@@ -1,0 +1,53 @@
+// Ablation A3 (Section 5 / Corollary 5.2): routing delegate accesses over
+// the embedded de Bruijn graph costs an O(log |X|) hop factor versus
+// hypothetically knowing every member's address (direct routing), but
+// each node then stores only a constant-size neighbor table.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv,
+      "Ablation: de Bruijn routing vs direct delegate addressing");
+
+  Table table({"nodes", "routing", "maint_ratio", "query_ratio"});
+  const std::size_t seeds = common.seeds != 0 ? common.seeds : 3;
+  for (const std::size_t size : paper_grid_sizes(common.full)) {
+    for (const bool debruijn : {false, true}) {
+      OnlineStats maint, query;
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const std::uint64_t seed = common.base_seed + s;
+        const Network net = build_grid_network(size, seed);
+        TraceParams tp;
+        tp.num_objects = common.objects != 0 ? common.objects : 50;
+        tp.moves_per_object = common.moves != 0 ? common.moves : 40;
+        Rng rng(SeedTree(seed).seed_for("trace"));
+        const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+
+        MotOptions options;
+        options.use_parent_sets = false;
+        options.load_balance = true;
+        options.charge_debruijn_routing = debruijn;
+        const EdgeRates rates = trace.estimate_rates();
+        AlgoInstance instance =
+            make_algo(Algo::kMotLoadBalanced, net, rates, seed, &options);
+        publish_all(*instance.tracker, trace);
+        maint.add(run_moves(*instance.tracker, *net.oracle, trace.moves)
+                      .aggregate_ratio());
+        Rng qrng(SeedTree(seed).seed_for("queries"));
+        const auto queries = generate_queries(net.num_nodes(),
+                                              tp.num_objects, 200, qrng);
+        query.add(run_queries(*instance.tracker, *net.oracle, queries)
+                      .aggregate_ratio());
+      }
+      table.begin_row()
+          .cell(static_cast<std::uint64_t>(size))
+          .cell(debruijn ? "de-bruijn" : "direct")
+          .cell(maint.mean(), 3)
+          .cell(query.mean(), 3);
+    }
+  }
+  bench::emit("Ablation A3: de Bruijn hop overhead (Cor. 5.2)", table,
+              common);
+  return 0;
+}

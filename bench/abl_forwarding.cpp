@@ -1,0 +1,58 @@
+// Ablation A4 (Section 3's "improved algorithm"): delete messages leave
+// forwarding pointers behind, so queries whose descent was torn redirect
+// immediately instead of re-climbing the hierarchy. Measured under the
+// concurrent workload of Figs. 14-15.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv,
+      "Ablation: forwarding pointers for queries overlapping maintenance");
+
+  Table table({"nodes", "forwarding", "query_ratio", "restarts",
+               "pointer_redirects", "waits"});
+  const std::size_t seeds = common.seeds != 0 ? common.seeds : 3;
+  for (const std::size_t size : paper_grid_sizes(common.full)) {
+    for (const bool forwarding : {false, true}) {
+      OnlineStats ratio, restarts, redirects, waits;
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const std::uint64_t seed = common.base_seed + s;
+        const Network net = build_grid_network(size, seed);
+        TraceParams tp;
+        tp.num_objects = common.objects != 0 ? common.objects : 50;
+        tp.moves_per_object = common.moves != 0 ? common.moves : 60;
+        Rng rng(SeedTree(seed).seed_for("trace"));
+        const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+        const EdgeRates rates = trace.estimate_rates();
+        AlgoInstance algo = make_algo(Algo::kMot, net, rates, seed);
+        ChainOptions options = algo.chain_options;
+        options.forwarding_pointers = forwarding;
+
+        ConcurrentRunParams run;
+        run.batch_size = 10;
+        run.interleave_queries = true;
+        run.seed = SeedTree(seed).seed_for("conc-driver");
+        const ConcurrentRunResult result = run_concurrent(
+            *algo.provider, options, *net.oracle, trace, run);
+        ratio.add(result.queries.aggregate_ratio());
+        restarts.add(
+            static_cast<double>(result.engine_stats.query_restarts));
+        redirects.add(static_cast<double>(
+            result.engine_stats.query_pointer_redirects));
+        waits.add(static_cast<double>(result.engine_stats.query_waits));
+      }
+      table.begin_row()
+          .cell(static_cast<std::uint64_t>(size))
+          .cell(forwarding ? "on" : "off")
+          .cell(ratio.mean(), 3)
+          .cell(restarts.mean(), 1)
+          .cell(redirects.mean(), 1)
+          .cell(waits.mean(), 1);
+    }
+  }
+  bench::emit(
+      "Ablation A4: Section 3's improved queries (forwarding pointers)",
+      table, common);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared boilerplate for the figure benches: common flags, banner and
+// CSV output. Every bench runs with no arguments at a laptop-friendly
+// scale; --full reproduces the paper's scale (1000 moves/object, the
+// full 10..1024-node size sweep, 5 seeds).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "expt/fig_runners.hpp"
+#include "util/flags.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace mot::bench {
+
+struct CommonFlags {
+  bool full = false;
+  std::uint64_t objects = 0;   // 0 = figure default
+  std::uint64_t moves = 0;     // 0 = scale default
+  std::uint64_t seeds = 0;     // 0 = scale default
+  std::uint64_t base_seed = 42;
+  std::string csv;             // optional CSV output path
+};
+
+inline CommonFlags parse_common(int argc, char** argv,
+                                const std::string& description) {
+  CommonFlags common;
+  Flags flags(description);
+  flags.register_flag("full", &common.full,
+                      "run at the paper's scale (slow on one core)");
+  flags.register_flag("objects", &common.objects,
+                      "override the number of mobile objects");
+  flags.register_flag("moves", &common.moves,
+                      "override maintenance operations per object");
+  flags.register_flag("seeds", &common.seeds,
+                      "override the number of seeded repetitions");
+  flags.register_flag("seed", &common.base_seed, "base experiment seed");
+  flags.register_flag("csv", &common.csv, "also write the table as CSV");
+  if (!flags.parse(argc, argv)) std::exit(1);
+  set_log_level(LogLevel::kWarn);
+  return common;
+}
+
+inline SweepParams sweep_from(const CommonFlags& common,
+                              std::size_t default_objects,
+                              bool concurrent) {
+  SweepParams params;
+  params.full = common.full;
+  params.concurrent = concurrent;
+  params.num_objects =
+      common.objects != 0 ? common.objects : default_objects;
+  params.moves_per_object =
+      common.moves != 0 ? common.moves : (common.full ? 1000 : 100);
+  params.num_seeds = common.seeds != 0 ? common.seeds
+                                       : (common.full ? 5 : 3);
+  params.base_seed = common.base_seed;
+  return params;
+}
+
+inline void emit(const std::string& title, const Table& table,
+                 const CommonFlags& common) {
+  std::cout << "== " << title << " ==\n";
+  table.print(std::cout);
+  std::cout << std::flush;
+  if (!common.csv.empty()) {
+    std::ostringstream csv;
+    table.write_csv(csv);
+    write_text_file(common.csv, csv.str());
+  }
+}
+
+}  // namespace mot::bench

@@ -1,0 +1,14 @@
+// Figure 4: maintenance cost ratio, one-by-one execution, 100 objects,
+// 1000 maintenance operations per object in random order, grids of 10 to
+// 1024 nodes, MOT vs STUN vs Z-DAT vs Z-DAT + shortcuts. Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Fig. 4: maintenance cost ratio, one-by-one, 100 objects");
+  const SweepParams params = bench::sweep_from(common, 100, false);
+  bench::emit("Fig. 4: maintenance cost ratio (one-by-one, 100 objects)",
+              run_maintenance_sweep(params), common);
+  return 0;
+}

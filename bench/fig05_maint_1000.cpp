@@ -1,0 +1,19 @@
+// Figure 5: maintenance cost ratio, one-by-one execution, 1000 objects.
+// Same setting as Fig. 4 with 10x the objects. Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv,
+      "Fig. 5: maintenance cost ratio, one-by-one, 1000 objects");
+  SweepParams params = bench::sweep_from(common, 1000, false);
+  if (!common.full && common.moves == 0) {
+    // 1000 objects x default moves is the figure's heavy case; keep the
+    // no-flag run snappy on one core.
+    params.moves_per_object = 30;
+  }
+  bench::emit("Fig. 5: maintenance cost ratio (one-by-one, 1000 objects)",
+              run_maintenance_sweep(params), common);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 6: query cost ratio, one-by-one execution, 100 objects. One
+// query per object from a random node after the maintenance workload.
+// Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Fig. 6: query cost ratio, one-by-one, 100 objects");
+  const SweepParams params = bench::sweep_from(common, 100, false);
+  bench::emit("Fig. 6: query cost ratio (one-by-one, 100 objects)",
+              run_query_sweep(params), common);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 7: query cost ratio, one-by-one execution, 1000 objects.
+// Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Fig. 7: query cost ratio, one-by-one, 1000 objects");
+  SweepParams params = bench::sweep_from(common, 1000, false);
+  if (!common.full && common.moves == 0) params.moves_per_object = 30;
+  bench::emit("Fig. 7: query cost ratio (one-by-one, 1000 objects)",
+              run_query_sweep(params), common);
+  return 0;
+}

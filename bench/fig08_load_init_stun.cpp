@@ -1,0 +1,21 @@
+// Figure 8: per-node load of MOT vs STUN, 1024-node grid, 100 objects,
+// right after the tracking structures are initialized (publish only).
+// The paper reports 5 STUN nodes with load > 10 and none for MOT.
+// Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Fig. 8: load per node after init, MOT vs STUN");
+  LoadFigureParams params;
+  params.num_objects = common.objects != 0 ? common.objects : 100;
+  params.moves_per_object = 0;
+  params.num_seeds = common.seeds != 0 ? common.seeds : (common.full ? 5 : 3);
+  params.num_nodes = common.full ? 1024 : 256;
+  params.baseline = Algo::kStun;
+  params.base_seed = common.base_seed;
+  bench::emit("Fig. 8: load/node after initialization (MOT vs STUN)",
+              run_load_figure(params), common);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 10: per-node load of MOT vs Z-DAT after initialization. The
+// paper reports 14 Z-DAT nodes with load > 10 and none for MOT.
+// Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Fig. 10: load per node after init, MOT vs Z-DAT");
+  LoadFigureParams params;
+  params.num_objects = common.objects != 0 ? common.objects : 100;
+  params.moves_per_object = 0;
+  params.num_seeds = common.seeds != 0 ? common.seeds : (common.full ? 5 : 3);
+  params.num_nodes = common.full ? 1024 : 256;
+  params.baseline = Algo::kZdat;
+  params.base_seed = common.base_seed;
+  bench::emit("Fig. 10: load/node after initialization (MOT vs Z-DAT)",
+              run_load_figure(params), common);
+  return 0;
+}

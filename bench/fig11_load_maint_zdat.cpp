@@ -1,0 +1,21 @@
+// Figure 11: per-node load of MOT vs Z-DAT after 10 maintenance
+// operations per object. The paper reports 11 Z-DAT nodes with load > 10
+// and none for MOT. Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Fig. 11: load per node after maintenance, MOT vs Z-DAT");
+  LoadFigureParams params;
+  params.num_objects = common.objects != 0 ? common.objects : 100;
+  params.moves_per_object = common.moves != 0 ? common.moves : 10;
+  params.num_seeds = common.seeds != 0 ? common.seeds : (common.full ? 5 : 3);
+  params.num_nodes = common.full ? 1024 : 256;
+  params.baseline = Algo::kZdat;
+  params.base_seed = common.base_seed;
+  bench::emit(
+      "Fig. 11: load/node after 10 maintenance ops/object (MOT vs Z-DAT)",
+      run_load_figure(params), common);
+  return 0;
+}

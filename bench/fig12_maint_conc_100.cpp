@@ -1,0 +1,13 @@
+// Figure 12: maintenance cost ratio, concurrent execution (up to 10
+// in-flight operations per object), 100 objects. Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Fig. 12: maintenance cost ratio, concurrent, 100 objects");
+  const SweepParams params = bench::sweep_from(common, 100, true);
+  bench::emit("Fig. 12: maintenance cost ratio (concurrent, 100 objects)",
+              run_maintenance_sweep(params), common);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 13: maintenance cost ratio, concurrent execution, 1000 objects.
+// Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv,
+      "Fig. 13: maintenance cost ratio, concurrent, 1000 objects");
+  SweepParams params = bench::sweep_from(common, 1000, true);
+  if (!common.full && common.moves == 0) params.moves_per_object = 30;
+  bench::emit("Fig. 13: maintenance cost ratio (concurrent, 1000 objects)",
+              run_maintenance_sweep(params), common);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 14: query cost ratio, concurrent execution, 100 objects. Each
+// object's query is interleaved with its in-flight maintenance batches,
+// so queries genuinely overlap maintenance (Section 4.2.2).
+// Lower is better.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Fig. 14: query cost ratio, concurrent, 100 objects");
+  const SweepParams params = bench::sweep_from(common, 100, true);
+  bench::emit("Fig. 14: query cost ratio (concurrent, 100 objects)",
+              run_query_sweep(params), common);
+  return 0;
+}

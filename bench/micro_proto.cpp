@@ -1,0 +1,102 @@
+// Micro-benchmarks for the execution engines: wall-clock throughput of
+// simulated operations (events/sec matters for large --full sweeps).
+#include <benchmark/benchmark.h>
+
+#include "core/concurrent.hpp"
+#include "core/mot.hpp"
+#include "expt/experiment.hpp"
+#include "proto/distributed_mot.hpp"
+
+namespace mot {
+namespace {
+
+struct EngineFixture {
+  EngineFixture() : network(build_grid_network(256, 3)) {
+    MotOptions options;
+    options.use_parent_sets = false;
+    options.seed = 3;
+    provider = std::make_unique<MotPathProvider>(*network.hierarchy,
+                                                 options);
+    chain_options = make_mot_chain_options(options);
+  }
+  Network network;
+  std::unique_ptr<MotPathProvider> provider;
+  ChainOptions chain_options;
+};
+
+EngineFixture& fixture() {
+  static EngineFixture fx;
+  return fx;
+}
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  Simulator sim;
+  std::uint64_t counter = 0;
+  std::function<void()> tick = [&] {
+    ++counter;
+    sim.schedule(1.0, tick);
+  };
+  sim.schedule(0.0, tick);
+  for (auto _ : state) {
+    sim.run(1000);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(counter));
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_ConcurrentEngineMoveBurst(benchmark::State& state) {
+  EngineFixture& fx = fixture();
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 0);
+  Rng rng(7);
+  NodeId at = 0;
+  for (auto _ : state) {
+    for (int k = 0; k < 10; ++k) {
+      const auto neighbors = fx.network.graph().neighbors(at);
+      at = neighbors[rng.below(neighbors.size())].to;
+      engine.start_move(0, at, {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_ConcurrentEngineMoveBurst);
+
+void BM_DistributedMotMove(benchmark::State& state) {
+  EngineFixture& fx = fixture();
+  Simulator sim;
+  proto::DistributedMot runtime(*fx.provider, sim, fx.chain_options);
+  runtime.publish(0, 0);
+  sim.run();
+  Rng rng(9);
+  NodeId at = 0;
+  for (auto _ : state) {
+    const auto neighbors = fx.network.graph().neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    runtime.move(0, at, {});
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistributedMotMove);
+
+void BM_DistributedMotQuery(benchmark::State& state) {
+  EngineFixture& fx = fixture();
+  Simulator sim;
+  proto::DistributedMot runtime(*fx.provider, sim, fx.chain_options);
+  runtime.publish(0, 100);
+  sim.run();
+  Rng rng(11);
+  for (auto _ : state) {
+    runtime.query(static_cast<NodeId>(rng.below(256)), 0, {});
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistributedMotQuery);
+
+}  // namespace
+}  // namespace mot
+
+BENCHMARK_MAIN();

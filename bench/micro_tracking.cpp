@@ -1,0 +1,110 @@
+// Micro-benchmarks for tracking operations: MOT moves/queries and the
+// baselines, per operation, on a 16x16 grid.
+#include <benchmark/benchmark.h>
+
+#include "core/mot.hpp"
+#include "expt/experiment.hpp"
+#include "graph/generators.hpp"
+
+namespace mot {
+namespace {
+
+struct TrackingFixture {
+  TrackingFixture() : network(build_grid_network(256, 3)) {
+    TraceParams tp;
+    tp.num_objects = 50;
+    tp.moves_per_object = 20;
+    Rng rng(5);
+    trace = generate_trace(network.graph(), tp, rng);
+    rates = trace.estimate_rates();
+  }
+  Network network;
+  MovementTrace trace;
+  EdgeRates rates;
+};
+
+TrackingFixture& fixture() {
+  static TrackingFixture fx;
+  return fx;
+}
+
+void run_move_bench(benchmark::State& state, Algo algo) {
+  TrackingFixture& fx = fixture();
+  AlgoInstance instance = make_algo(algo, fx.network, fx.rates, 3);
+  publish_all(*instance.tracker, fx.trace);
+  Rng rng(7);
+  std::vector<NodeId> at = fx.trace.initial_proxy;
+  for (auto _ : state) {
+    const auto object = static_cast<ObjectId>(rng.below(50));
+    const auto neighbors = fx.network.graph().neighbors(at[object]);
+    at[object] = neighbors[rng.below(neighbors.size())].to;
+    benchmark::DoNotOptimize(instance.tracker->move(object, at[object]));
+  }
+}
+
+void run_query_bench(benchmark::State& state, Algo algo) {
+  TrackingFixture& fx = fixture();
+  AlgoInstance instance = make_algo(algo, fx.network, fx.rates, 3);
+  publish_all(*instance.tracker, fx.trace);
+  run_moves(*instance.tracker, *fx.network.oracle, fx.trace.moves);
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto from = static_cast<NodeId>(rng.below(256));
+    const auto object = static_cast<ObjectId>(rng.below(50));
+    benchmark::DoNotOptimize(instance.tracker->query(from, object));
+  }
+}
+
+void BM_MotMove(benchmark::State& state) {
+  run_move_bench(state, Algo::kMot);
+}
+BENCHMARK(BM_MotMove);
+
+void BM_MotLbMove(benchmark::State& state) {
+  run_move_bench(state, Algo::kMotLoadBalanced);
+}
+BENCHMARK(BM_MotLbMove);
+
+void BM_StunMove(benchmark::State& state) {
+  run_move_bench(state, Algo::kStun);
+}
+BENCHMARK(BM_StunMove);
+
+void BM_ZdatMove(benchmark::State& state) {
+  run_move_bench(state, Algo::kZdat);
+}
+BENCHMARK(BM_ZdatMove);
+
+void BM_MotQuery(benchmark::State& state) {
+  run_query_bench(state, Algo::kMot);
+}
+BENCHMARK(BM_MotQuery);
+
+void BM_StunQuery(benchmark::State& state) {
+  run_query_bench(state, Algo::kStun);
+}
+BENCHMARK(BM_StunQuery);
+
+void BM_ZdatQuery(benchmark::State& state) {
+  run_query_bench(state, Algo::kZdat);
+}
+BENCHMARK(BM_ZdatQuery);
+
+void BM_MotPublish(benchmark::State& state) {
+  TrackingFixture& fx = fixture();
+  Rng rng(11);
+  MotOptions options;
+  options.use_parent_sets = false;
+  ObjectId next = 0;
+  MotTracker tracker(*fx.network.hierarchy, options);
+  for (auto _ : state) {
+    tracker.publish(next++,
+                    static_cast<NodeId>(rng.below(256)));
+  }
+}
+BENCHMARK(BM_MotPublish);
+
+}  // namespace
+}  // namespace mot
+
+BENCHMARK_MAIN();

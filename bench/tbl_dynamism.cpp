@@ -1,0 +1,51 @@
+// Section 7: adaptability under churn. Nodes join and leave; every
+// affected cluster relabels its de Bruijn embedding. The amortized number
+// of member updates per event must stay O(1) per cluster — i.e. bounded
+// by a constant times the number of clusters a node belongs to.
+#include "bench_common.hpp"
+#include "core/dynamic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Section 7: amortized adaptability under churn");
+
+  Table table({"nodes", "clusters", "events", "amortized_updates",
+               "updates_per_cluster", "leader_handoffs", "rebuilds"});
+  for (const std::size_t size : paper_grid_sizes(common.full)) {
+    const Network net = build_grid_network(size, common.base_seed);
+    DynamicClusterSet clusters(*net.hierarchy, {common.base_seed, 2.0});
+    Rng rng(SeedTree(common.base_seed).seed_for("churn"));
+
+    const std::size_t events =
+        common.moves != 0 ? common.moves * 10 : 500;
+    std::vector<NodeId> out;
+    std::size_t handoffs = 0;
+    for (std::size_t e = 0; e < events; ++e) {
+      if (!out.empty() && rng.chance(0.5)) {
+        const std::size_t pick = rng.below(out.size());
+        clusters.node_joins(out[pick]);
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        const auto victim =
+            static_cast<NodeId>(rng.below(net.num_nodes()));
+        if (std::find(out.begin(), out.end(), victim) != out.end()) {
+          continue;
+        }
+        handoffs += clusters.node_leaves(victim).leader_handoffs;
+        out.push_back(victim);
+      }
+    }
+    table.begin_row()
+        .cell(static_cast<std::uint64_t>(net.num_nodes()))
+        .cell(static_cast<std::uint64_t>(clusters.num_clusters()))
+        .cell(static_cast<std::uint64_t>(events))
+        .cell(clusters.amortized_updates(), 2)
+        .cell(clusters.amortized_updates_per_cluster(), 2)
+        .cell(static_cast<std::uint64_t>(handoffs))
+        .cell(static_cast<std::uint64_t>(clusters.rebuilds()));
+  }
+  bench::emit("Section 7: churn adaptability (O(1) amortized per cluster)",
+              table, common);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Theorem 4.8: MOT's maintenance cost ratio is O(min{log n, log D}). We
+// report the ratio and ratio / log2(n): the latter must stay roughly flat
+// as the network grows (the constant of the theorem).
+#include <cmath>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Theorem 4.8: maintenance cost ratio is O(log n)");
+  SweepParams params = bench::sweep_from(common, 100, false);
+  params.algos = {Algo::kMot};
+  const Table sweep = run_maintenance_sweep(params);
+
+  Table table({"nodes", "maint_ratio", "ratio_over_log2n"});
+  for (std::size_t row = 0; row < sweep.num_rows(); ++row) {
+    const double nodes = std::stod(sweep.at(row, 0));
+    const double ratio = std::stod(sweep.at(row, 1));
+    table.begin_row()
+        .cell(sweep.at(row, 0))
+        .cell(ratio, 3)
+        .cell(ratio / std::log2(nodes), 3);
+  }
+  bench::emit("Theorem 4.8: MOT maintenance ratio grows like log n",
+              table, common);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The distributed (message-passing) runtime versus the centralized
+// engine: identical communication cost per operation by construction
+// (verified by tests), so this table reports the protocol-level facts a
+// deployment cares about — messages per operation and their split.
+#include "bench_common.hpp"
+#include "proto/distributed_mot.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Distributed protocol: messages and cost per operation");
+
+  Table table({"nodes", "msgs_per_move", "dist_per_move", "msgs_per_query",
+               "dist_per_query", "parked", "redirected"});
+  for (const std::size_t size : paper_grid_sizes(common.full)) {
+    const Network net = build_grid_network(size, common.base_seed);
+    MotOptions options;
+    options.use_parent_sets = false;
+    options.seed = common.base_seed;
+    const MotPathProvider provider(*net.hierarchy, options);
+
+    Simulator sim;
+    proto::DistributedMot runtime(provider, sim,
+                                  make_mot_chain_options(options));
+
+    const std::size_t num_objects =
+        common.objects != 0 ? common.objects : 30;
+    TraceParams tp;
+    tp.num_objects = num_objects;
+    tp.moves_per_object = common.moves != 0 ? common.moves : 50;
+    Rng rng(SeedTree(common.base_seed).seed_for("trace"));
+    const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      runtime.publish(o, trace.initial_proxy[o]);
+    }
+    sim.run();
+    const std::uint64_t msgs_after_publish = runtime.stats().messages_sent;
+    const Weight dist_after_publish = runtime.meter().total_distance();
+
+    Weight move_cost = 0.0;
+    for (const MoveOp& op : trace.moves) {
+      runtime.move(op.object, op.to,
+                   [&](const MoveResult& r) { move_cost += r.cost; });
+      sim.run();
+    }
+    const std::uint64_t msgs_after_moves = runtime.stats().messages_sent;
+
+    Rng qrng(SeedTree(common.base_seed).seed_for("queries"));
+    const auto queries =
+        generate_queries(net.num_nodes(), num_objects, 200, qrng);
+    Weight query_cost = 0.0;
+    for (const QueryOp& op : queries) {
+      runtime.query(op.from, op.object,
+                    [&](const QueryResult& r) { query_cost += r.cost; });
+      sim.run();
+    }
+    runtime.validate_quiescent();
+
+    const double moves_count = static_cast<double>(trace.moves.size());
+    const double query_count = static_cast<double>(queries.size());
+    table.begin_row()
+        .cell(static_cast<std::uint64_t>(net.num_nodes()))
+        .cell(static_cast<double>(msgs_after_moves - msgs_after_publish) /
+                  moves_count,
+              1)
+        .cell(move_cost / moves_count, 1)
+        .cell(static_cast<double>(runtime.stats().messages_sent -
+                                  msgs_after_moves) /
+                  query_count,
+              1)
+        .cell(query_cost / query_count, 1)
+        .cell(runtime.stats().queries_parked)
+        .cell(runtime.stats().queries_redirected);
+    (void)dist_after_publish;
+  }
+  bench::emit("Distributed MOT protocol: per-operation message budget",
+              table, common);
+  return 0;
+}

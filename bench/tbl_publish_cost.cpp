@@ -1,0 +1,41 @@
+// Theorem 4.1: the one-time publish cost of an object is O(D) in
+// constant-doubling networks. We publish objects at random proxies on
+// grids of growing diameter and report cost / D, which must stay flat.
+#include "bench_common.hpp"
+#include "core/mot.hpp"
+#include "graph/shortest_path.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Theorem 4.1: publish cost is O(diameter)");
+
+  Table table({"nodes", "diameter", "mean_publish_cost", "cost_over_D"});
+  for (const std::size_t size : paper_grid_sizes(common.full)) {
+    OnlineStats costs;
+    const std::size_t seeds = common.seeds != 0 ? common.seeds : 3;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const Network net = build_grid_network(size, common.base_seed + s);
+      MotOptions options;
+      options.use_parent_sets = false;
+      Rng rng(SeedTree(common.base_seed + s).seed_for("publish"));
+      MotTracker tracker(*net.hierarchy, options);
+      const std::size_t objects =
+          common.objects != 0 ? common.objects : 50;
+      for (ObjectId o = 0; o < objects; ++o) {
+        const CostWindow window(tracker.meter());
+        tracker.publish(o, static_cast<NodeId>(rng.below(net.num_nodes())));
+        costs.add(window.cost());
+      }
+    }
+    const Network probe = build_grid_network(size, common.base_seed);
+    const Weight diameter = approx_diameter(probe.graph());
+    table.begin_row()
+        .cell(static_cast<std::uint64_t>(probe.num_nodes()))
+        .cell(diameter, 0)
+        .cell(costs.mean(), 1)
+        .cell(costs.mean() / diameter, 2);
+  }
+  bench::emit("Theorem 4.1: publish cost scales as O(D)", table, common);
+  return 0;
+}

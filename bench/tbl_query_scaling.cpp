@@ -1,0 +1,19 @@
+// Theorem 4.11: MOT's query cost ratio is O(1) in constant-doubling
+// networks — the column must stay flat while the network grows 100x.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Theorem 4.11: query cost ratio is O(1)");
+  SweepParams params = bench::sweep_from(common, 100, false);
+  params.algos = {Algo::kMot};
+  const Table sweep = run_query_sweep(params);
+
+  Table table({"nodes", "query_ratio"});
+  for (std::size_t row = 0; row < sweep.num_rows(); ++row) {
+    table.begin_row().cell(sweep.at(row, 0)).cell(sweep.at(row, 1));
+  }
+  bench::emit("Theorem 4.11: MOT query ratio is flat in n", table, common);
+  return 0;
+}

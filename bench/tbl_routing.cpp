@@ -1,0 +1,59 @@
+// Routing-layer substantiation of the cost model: the paper charges each
+// overlay hop its shortest-path distance, which presumes the network's
+// routing layer realizes (near-)shortest paths. This table measures the
+// stretch and delivery rate of the two routers on the evaluation
+// topologies: converged next-hop routing is stretch-1 everywhere; the
+// stateless greedy-geographic fallback is stretch-1 on grids and close
+// to it on dense geometric fields.
+#include "bench_common.hpp"
+#include "net/router.hpp"
+
+namespace {
+
+struct NamedGraph {
+  std::string name;
+  mot::Graph graph;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mot;
+  const auto common = bench::parse_common(
+      argc, argv, "Routing layer: stretch and delivery per topology");
+
+  Rng build_rng(common.base_seed);
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"grid-32x32", make_grid(32, 32)});
+  graphs.push_back({"torus-20x20", make_torus(20, 20)});
+  graphs.push_back(
+      {"geo-dense-300",
+       make_random_geometric(300, 20.0, 2.6, build_rng, 64, 0.6)});
+  graphs.push_back(
+      {"geo-sparse-300",
+       make_random_geometric(300, 20.0, 1.9, build_rng, 64, 0.6)});
+
+  Table table({"topology", "router", "mean_stretch", "max_stretch",
+               "delivery_rate"});
+  const std::size_t samples = common.full ? 2000 : 400;
+  for (const NamedGraph& entry : graphs) {
+    const auto oracle = make_distance_oracle(entry.graph);
+    const ShortestPathRouter sp(entry.graph);
+    const GreedyGeographicRouter greedy(entry.graph);
+    for (const Router* router :
+         std::initializer_list<const Router*>{&sp, &greedy}) {
+      Rng rng(SeedTree(common.base_seed).seed_for(entry.name));
+      const RouteStretch stretch =
+          measure_stretch(entry.graph, *oracle, *router, rng, samples);
+      table.begin_row()
+          .cell(entry.name)
+          .cell(router->name())
+          .cell(stretch.mean_stretch, 3)
+          .cell(stretch.max_stretch, 3)
+          .cell(stretch.delivery_rate(), 3);
+    }
+  }
+  bench::emit("Routing layer: the cost model's shortest-path assumption",
+              table, common);
+  return 0;
+}

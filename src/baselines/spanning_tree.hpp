@@ -1,0 +1,93 @@
+// Spanning-tree tracking structures used by the traffic-conscious
+// baselines the paper compares against (Section 1.3 / Section 8):
+//
+//   * STUN (Kung & Vlah [18]) — Drain-And-Balance: components are merged
+//     along edges in descending detection-rate order, bucketed by rate
+//     thresholds, so high-traffic sensors join deep in the tree and the
+//     overall shape ignores geometry. Rooted at the sink.
+//   * DAT (Lin et al. [21]) — deviation-avoidance tree: every node's tree
+//     path to the sink is a shortest path in G; among shortest-path
+//     predecessors each node picks the highest-rate edge.
+//   * Z-DAT (Lin et al. [21]) — the sensing region is split into
+//     recursive quadrants ("zones"); zone members attach to their zone
+//     head, heads attach up the quadtree, the top head attaches to the
+//     sink. Requires node positions.
+//
+// All trees are logical overlays: an edge (child, parent) costs the
+// shortest-path distance in G between its endpoints.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+
+namespace mot {
+
+// Detection rates per undirected edge, as the traffic-conscious baselines
+// assume are known (we estimate them from a training trace).
+class EdgeRates {
+ public:
+  void record(NodeId u, NodeId v, double rate = 1.0);
+  double rate(NodeId u, NodeId v) const;  // 0 if never recorded
+  std::size_t distinct_edges() const { return rates_.size(); }
+
+ private:
+  static std::uint64_t key(NodeId u, NodeId v);
+  std::unordered_map<std::uint64_t, double> rates_;
+};
+
+struct SpanningTree {
+  NodeId root = kInvalidNode;          // the sink
+  std::vector<NodeId> parent;          // parent[root] == root
+  std::vector<int> depth;              // depth[root] == 0
+  int max_depth = 0;
+
+  std::size_t num_nodes() const { return parent.size(); }
+  bool is_valid() const;               // connected, acyclic, rooted
+};
+
+// Rebuilds depth/max_depth from the parent array; aborts on cycles.
+void recompute_depths(SpanningTree& tree);
+
+// The sink used across baselines: the node nearest the network's
+// geometric/graph center (ties to lowest ID).
+NodeId choose_sink(const Graph& graph);
+
+// STUN's Drain-And-Balance hierarchy (Kung & Vlah [18]): a logical
+// binary merge tree (dendrogram) whose leaves are the sensors. Edges are
+// processed in descending detection-rate order, bucketed into rate
+// thresholds; within a bucket components pair up balanced. Every internal
+// logical node is hosted at a physical sensor — the host of its
+// higher-rate child (the "drain") — and the root is hosted at the sink.
+// Maintenance and queries climb leaf -> host -> host...; because hosting
+// follows rates rather than geometry, those hops can cross the network,
+// which is exactly the weakness the paper demonstrates.
+struct Dendrogram {
+  struct Node {
+    std::int32_t parent = -1;  // index into `nodes`; root points to itself
+    NodeId host = kInvalidNode;
+    double rate_mass = 0.0;    // accumulated detection rate in the subtree
+  };
+  std::size_t num_sensors = 0;
+  std::vector<Node> nodes;  // 0..num_sensors-1 are the sensor leaves
+  std::int32_t root = -1;
+
+  bool is_valid() const;
+  int depth_of(std::size_t node) const;
+  int max_depth() const;
+};
+
+Dendrogram build_stun_dendrogram(const Graph& graph, const EdgeRates& rates,
+                                 NodeId sink, int threshold_buckets = 6);
+
+SpanningTree build_dat(const Graph& graph, const EdgeRates& rates,
+                       NodeId sink);
+
+SpanningTree build_zdat(const Graph& graph, const DistanceOracle& oracle,
+                        NodeId sink, std::size_t zone_capacity = 4,
+                        int max_zone_depth = 12);
+
+}  // namespace mot

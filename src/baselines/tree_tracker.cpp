@@ -1,0 +1,86 @@
+#include "baselines/tree_tracker.hpp"
+
+#include "util/check.hpp"
+
+namespace mot {
+
+TreePathProvider::TreePathProvider(const DistanceOracle& oracle,
+                                   SpanningTree tree)
+    : oracle_(&oracle), tree_(std::move(tree)) {
+  MOT_EXPECTS(tree_.is_valid());
+  MOT_EXPECTS(static_cast<int>(tree_.depth.size()) ==
+              static_cast<int>(tree_.parent.size()));
+}
+
+std::span<const PathStop> TreePathProvider::upward_sequence(NodeId u) const {
+  MOT_EXPECTS(u < tree_.num_nodes());
+  auto it = sequence_cache_.find(u);
+  if (it == sequence_cache_.end()) {
+    std::vector<PathStop> sequence;
+    NodeId at = u;
+    while (true) {
+      sequence.push_back({{level_of(at), at}, 0});
+      if (at == tree_.root) break;
+      at = tree_.parent[at];
+    }
+    it = sequence_cache_.emplace(u, std::move(sequence)).first;
+  }
+  return it->second;
+}
+
+OverlayNode TreePathProvider::root_stop() const {
+  return {tree_.max_depth, tree_.root};
+}
+
+namespace {
+
+ChainOptions tree_chain_options(bool shortcuts) {
+  ChainOptions options;
+  options.use_special_lists = false;
+  options.shortcut_descent = shortcuts;
+  options.charge_delegate_routing = true;  // delegates are free anyway
+  options.charge_special_updates = false;
+  return options;
+}
+
+}  // namespace
+
+TreeTracker::TreeTracker(std::string name, const DistanceOracle& oracle,
+                         SpanningTree tree, bool shortcuts)
+    : provider_(oracle, std::move(tree)),
+      chain_(std::move(name), provider_, tree_chain_options(shortcuts)) {}
+
+DendrogramProvider::DendrogramProvider(const DistanceOracle& oracle,
+                                       Dendrogram dendrogram)
+    : oracle_(&oracle), dendrogram_(std::move(dendrogram)) {
+  MOT_EXPECTS(dendrogram_.is_valid());
+}
+
+std::span<const PathStop> DendrogramProvider::upward_sequence(
+    NodeId u) const {
+  MOT_EXPECTS(u < dendrogram_.num_sensors);
+  auto it = sequence_cache_.find(u);
+  if (it == sequence_cache_.end()) {
+    std::vector<PathStop> sequence;
+    std::size_t at = u;
+    while (true) {
+      sequence.push_back(
+          {{static_cast<int>(at), dendrogram_.nodes[at].host}, 0});
+      if (static_cast<std::int32_t>(at) == dendrogram_.root) break;
+      at = static_cast<std::size_t>(dendrogram_.nodes[at].parent);
+    }
+    it = sequence_cache_.emplace(u, std::move(sequence)).first;
+  }
+  return it->second;
+}
+
+OverlayNode DendrogramProvider::root_stop() const {
+  return {dendrogram_.root,
+          dendrogram_.nodes[dendrogram_.root].host};
+}
+
+StunTracker::StunTracker(const DistanceOracle& oracle, Dendrogram dendrogram)
+    : provider_(oracle, std::move(dendrogram)),
+      chain_("STUN", provider_, tree_chain_options(/*shortcuts=*/false)) {}
+
+}  // namespace mot

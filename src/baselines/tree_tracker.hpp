@@ -1,0 +1,138 @@
+// Message-pruning-tree trackers: the STUN / DAT / Z-DAT baselines as
+// Tracker instances. The tree is exposed to the shared chain engine
+// through TreePathProvider: the upward visit sequence of a node is its
+// ancestor chain, entries store the detection sets with child pointers
+// (exactly the message-pruning-tree semantics of [18, 21]), and the
+// "+ shortcuts" variant of [23] enables direct-descent on queries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/spanning_tree.hpp"
+#include "tracking/chain_tracker.hpp"
+#include "tracking/path_provider.hpp"
+
+namespace mot {
+
+class TreePathProvider final : public PathProvider {
+ public:
+  // `oracle` and the graph behind it must outlive the provider.
+  TreePathProvider(const DistanceOracle& oracle, SpanningTree tree);
+
+  std::span<const PathStop> upward_sequence(NodeId u) const override;
+  std::optional<OverlayNode> special_parent(NodeId, std::size_t) const override {
+    return std::nullopt;  // trees have no special-parent mechanism
+  }
+  DelegateAccess delegate(OverlayNode owner, ObjectId) const override {
+    return {owner.node, 0.0};  // trees store detection sets locally
+  }
+  OverlayNode root_stop() const override;
+  const DistanceOracle& oracle() const override { return *oracle_; }
+  std::size_t num_nodes() const override { return tree_.num_nodes(); }
+
+  const SpanningTree& tree() const { return tree_; }
+
+  // Overlay level of a tree node: distance from the deepest leaf, so the
+  // root has the highest level and every node has one fixed level.
+  int level_of(NodeId v) const { return tree_.max_depth - tree_.depth[v]; }
+
+ private:
+  const DistanceOracle* oracle_;
+  SpanningTree tree_;
+  mutable std::unordered_map<NodeId, std::vector<PathStop>> sequence_cache_;
+};
+
+// STUN's logical dendrogram as a path structure: the upward sequence of a
+// sensor is its leaf followed by the hosts of its logical ancestors. Each
+// logical node is addressed as OverlayNode{dendrogram index, host}, which
+// keeps distinct logical roles on one physical host distinct.
+class DendrogramProvider final : public PathProvider {
+ public:
+  DendrogramProvider(const DistanceOracle& oracle, Dendrogram dendrogram);
+
+  std::span<const PathStop> upward_sequence(NodeId u) const override;
+  std::optional<OverlayNode> special_parent(NodeId, std::size_t) const override {
+    return std::nullopt;
+  }
+  DelegateAccess delegate(OverlayNode owner, ObjectId) const override {
+    return {owner.node, 0.0};
+  }
+  OverlayNode root_stop() const override;
+  const DistanceOracle& oracle() const override { return *oracle_; }
+  std::size_t num_nodes() const override { return dendrogram_.num_sensors; }
+
+  const Dendrogram& dendrogram() const { return dendrogram_; }
+
+ private:
+  const DistanceOracle* oracle_;
+  Dendrogram dendrogram_;
+  mutable std::unordered_map<NodeId, std::vector<PathStop>> sequence_cache_;
+};
+
+// STUN as a Tracker: owns the dendrogram provider and the chain engine.
+class StunTracker final : public Tracker {
+ public:
+  StunTracker(const DistanceOracle& oracle, Dendrogram dendrogram);
+
+  std::string name() const override { return chain_.name(); }
+  void publish(ObjectId object, NodeId proxy) override {
+    chain_.publish(object, proxy);
+  }
+  MoveResult move(ObjectId object, NodeId new_proxy) override {
+    return chain_.move(object, new_proxy);
+  }
+  QueryResult query(NodeId from, ObjectId object) override {
+    return chain_.query(from, object);
+  }
+  NodeId proxy_of(ObjectId object) const override {
+    return chain_.proxy_of(object);
+  }
+  std::vector<std::size_t> load_per_node() const override {
+    return chain_.load_per_node();
+  }
+  const CostMeter& meter() const override { return chain_.meter(); }
+
+  const DendrogramProvider& provider() const { return provider_; }
+  ChainTracker& chain() { return chain_; }
+
+ private:
+  DendrogramProvider provider_;
+  ChainTracker chain_;
+};
+
+class TreeTracker final : public Tracker {
+ public:
+  TreeTracker(std::string name, const DistanceOracle& oracle,
+              SpanningTree tree, bool shortcuts);
+
+  std::string name() const override { return chain_.name(); }
+  void publish(ObjectId object, NodeId proxy) override {
+    chain_.publish(object, proxy);
+  }
+  MoveResult move(ObjectId object, NodeId new_proxy) override {
+    return chain_.move(object, new_proxy);
+  }
+  QueryResult query(NodeId from, ObjectId object) override {
+    return chain_.query(from, object);
+  }
+  NodeId proxy_of(ObjectId object) const override {
+    return chain_.proxy_of(object);
+  }
+  std::vector<std::size_t> load_per_node() const override {
+    return chain_.load_per_node();
+  }
+  const CostMeter& meter() const override { return chain_.meter(); }
+
+  const TreePathProvider& provider() const { return provider_; }
+  ChainTracker& chain() { return chain_; }
+  const ChainTracker& chain() const { return chain_; }
+
+ private:
+  TreePathProvider provider_;
+  ChainTracker chain_;
+};
+
+}  // namespace mot

@@ -1,0 +1,642 @@
+#include "core/concurrent.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace mot {
+
+namespace {
+
+std::uint64_t waiter_key(NodeId node, ObjectId object) {
+  return (static_cast<std::uint64_t>(node) << 32) | object;
+}
+
+// Generous bound on climb restarts per query: each restart is caused by a
+// concurrently torn fragment, and per-object concurrency is bounded.
+constexpr int kMaxQueryRestarts = 1000;
+
+}  // namespace
+
+struct ConcurrentEngine::MoveCtx {
+  ObjectId object = 0;
+  NodeId to = kInvalidNode;
+  std::span<const PathStop> sequence;
+  std::size_t index = 0;       // stop currently being probed
+  std::size_t meet_index = 0;  // candidate meet stop
+  bool waiting_token = false;
+  Weight cost = 0.0;
+  int peak_level = 0;
+  MoveCallback done;
+};
+
+struct ConcurrentEngine::QueryCtx {
+  ObjectId object = 0;
+  NodeId origin = kInvalidNode;
+  NodeId climb_source = kInvalidNode;
+  std::span<const PathStop> sequence;
+  std::size_t index = 0;
+  Weight cost = 0.0;
+  int found_level = 0;
+  int restarts = 0;
+  QueryCallback done;
+};
+
+ConcurrentEngine::ConcurrentEngine(const PathProvider& provider,
+                                   Simulator& sim,
+                                   const ChainOptions& options)
+    : provider_(&provider), sim_(&sim), options_(options) {}
+
+ConcurrentEngine::~ConcurrentEngine() = default;
+
+Weight ConcurrentEngine::distance(NodeId a, NodeId b) const {
+  return a == b ? 0.0 : provider_->oracle().distance(a, b);
+}
+
+void ConcurrentEngine::charge(Weight amount, Weight* op_cost) {
+  if (amount <= 0.0) return;
+  meter_.charge(amount);
+  if (op_cost != nullptr) *op_cost += amount;
+}
+
+void ConcurrentEngine::charge_access(OverlayNode owner, ObjectId object,
+                                     Weight* op_cost) {
+  if (!options_.charge_delegate_routing) return;
+  const auto access = provider_->delegate(owner, object);
+  charge(access.route_cost, op_cost);
+}
+
+const ConcurrentEngine::Entry* ConcurrentEngine::find_entry(
+    OverlayNode owner, ObjectId object) const {
+  const auto node_it = state_.find(owner);
+  if (node_it == state_.end()) return nullptr;
+  const auto dl_it = node_it->second.dl.find(object);
+  return dl_it == node_it->second.dl.end() ? nullptr : &dl_it->second;
+}
+
+ConcurrentEngine::Entry* ConcurrentEngine::find_entry(OverlayNode owner,
+                                                      ObjectId object) {
+  return const_cast<Entry*>(
+      static_cast<const ConcurrentEngine*>(this)->find_entry(owner, object));
+}
+
+void ConcurrentEngine::install_entry(OverlayNode owner, ObjectId object,
+                                     OverlayNode child,
+                                     std::optional<OverlayNode> sp,
+                                     Weight* op_cost) {
+  if (!options_.use_special_lists) sp.reset();
+  NodeState& node = state_[owner];
+  node.forwards.erase(object);  // a live entry supersedes any old pointer
+  MOT_CHECK(node.dl.count(object) == 0);
+  node.dl.emplace(object, Entry{next_entry_id_++, child, sp});
+  if (sp) {
+    if (options_.charge_special_updates) {
+      charge(distance(owner.node, sp->node), op_cost);
+      charge_access(*sp, object, op_cost);
+    }
+    state_[*sp].sdl[object].push_back(owner);
+  }
+}
+
+void ConcurrentEngine::erase_entry(OverlayNode owner, ObjectId object,
+                                   Weight* op_cost) {
+  auto node_it = state_.find(owner);
+  MOT_CHECK(node_it != state_.end());
+  auto dl_it = node_it->second.dl.find(object);
+  MOT_CHECK(dl_it != node_it->second.dl.end());
+  const Entry entry = dl_it->second;
+  node_it->second.dl.erase(dl_it);
+  if (options_.forwarding_pointers && erase_forward_hint_ != kInvalidNode) {
+    // Section 3's improvement: the delete leaves the object's new
+    // location behind, so a torn-descent query redirects on the spot.
+    node_it->second.forwards[object] = erase_forward_hint_;
+  }
+  if (entry.sp) {
+    if (options_.charge_special_updates) {
+      charge(distance(owner.node, entry.sp->node), op_cost);
+      charge_access(*entry.sp, object, op_cost);
+    }
+    auto sp_it = state_.find(*entry.sp);
+    MOT_CHECK(sp_it != state_.end());
+    auto sdl_it = sp_it->second.sdl.find(object);
+    MOT_CHECK(sdl_it != sp_it->second.sdl.end());
+    const auto pos =
+        std::find(sdl_it->second.begin(), sdl_it->second.end(), owner);
+    MOT_CHECK(pos != sdl_it->second.end());
+    sdl_it->second.erase(pos);
+    if (sdl_it->second.empty()) sp_it->second.sdl.erase(sdl_it);
+  }
+}
+
+void ConcurrentEngine::publish(ObjectId object, NodeId proxy) {
+  MOT_EXPECTS(physical_.count(object) == 0);
+  const auto sequence = provider_->upward_sequence(proxy);
+  const OverlayNode bottom = sequence.front().node;
+  charge_access(bottom, object, nullptr);
+  install_entry(bottom, object, bottom, provider_->special_parent(proxy, 0),
+                nullptr);
+  OverlayNode previous = bottom;
+  for (std::size_t i = 1; i < sequence.size(); ++i) {
+    const OverlayNode stop = sequence[i].node;
+    charge(distance(previous.node, stop.node), nullptr);
+    charge_access(stop, object, nullptr);
+    install_entry(stop, object, previous,
+                  provider_->special_parent(proxy, i), nullptr);
+    previous = stop;
+  }
+  physical_[object] = proxy;
+}
+
+NodeId ConcurrentEngine::physical_position(ObjectId object) const {
+  const auto it = physical_.find(object);
+  MOT_EXPECTS(it != physical_.end());
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Moves
+// ---------------------------------------------------------------------------
+
+bool ConcurrentEngine::holds_token(const MoveCtx& ctx) const {
+  const auto it = move_queues_.find(ctx.object);
+  MOT_CHECK(it != move_queues_.end() && !it->second.empty());
+  return it->second.front().get() == &ctx;
+}
+
+void ConcurrentEngine::start_move(ObjectId object, NodeId new_proxy,
+                                  MoveCallback done) {
+  MOT_EXPECTS(physical_.count(object) != 0);
+  MOT_EXPECTS(new_proxy < provider_->num_nodes());
+  if (physical_[object] == new_proxy) {
+    if (done) {
+      sim_->schedule(0.0, [done = std::move(done)] { done(MoveResult{}); });
+    }
+    return;
+  }
+  physical_[object] = new_proxy;
+
+  auto ctx = std::make_shared<MoveCtx>();
+  ctx->object = object;
+  ctx->to = new_proxy;
+  ctx->sequence = provider_->upward_sequence(new_proxy);
+  ctx->done = std::move(done);
+  move_queues_[object].push_back(ctx);
+  ++inflight_;
+  // The insert message originates at the new proxy: probe stop 0 now.
+  sim_->schedule(0.0, [this, ctx] { move_step(ctx); });
+}
+
+void ConcurrentEngine::move_step(const std::shared_ptr<MoveCtx>& ctx) {
+  // Arrival at sequence[index]: look for the chain.
+  const OverlayNode stop = ctx->sequence[ctx->index].node;
+  charge_access(stop, ctx->object, &ctx->cost);
+  if (find_entry(stop, ctx->object) != nullptr) {
+    ctx->meet_index = ctx->index;
+    move_candidate_meet(ctx);
+    return;
+  }
+  // The root stop always holds every published object.
+  MOT_CHECK(ctx->index + 1 < ctx->sequence.size());
+  const OverlayNode next = ctx->sequence[ctx->index + 1].node;
+  charge(distance(stop.node, next.node), &ctx->cost);
+  ++ctx->index;
+  sim_->schedule(distance(stop.node, next.node),
+                 [this, ctx] { move_step(ctx); });
+}
+
+void ConcurrentEngine::move_candidate_meet(
+    const std::shared_ptr<MoveCtx>& ctx) {
+  if (!holds_token(*ctx)) {
+    // An earlier move of this object is still in flight; its delete might
+    // tear the entry we just found. Park until we hold the token.
+    ctx->waiting_token = true;
+    return;
+  }
+  // Token held: state for this object is now stable (earlier moves are
+  // fully done, later ones cannot mutate). Re-verify the meet.
+  if (find_entry(ctx->sequence[ctx->meet_index].node, ctx->object) ==
+      nullptr) {
+    ++stats_.meet_rechecks_failed;
+    // Resume climbing from the vanished meet stop.
+    MOT_CHECK(ctx->meet_index + 1 < ctx->sequence.size());
+    const OverlayNode from = ctx->sequence[ctx->meet_index].node;
+    const OverlayNode next = ctx->sequence[ctx->meet_index + 1].node;
+    ctx->index = ctx->meet_index + 1;
+    charge(distance(from.node, next.node), &ctx->cost);
+    sim_->schedule(distance(from.node, next.node),
+                   [this, ctx] { move_step(ctx); });
+    return;
+  }
+  move_commit(ctx);
+}
+
+void ConcurrentEngine::move_commit(const std::shared_ptr<MoveCtx>& ctx) {
+  const ObjectId object = ctx->object;
+  // An earlier move may have committed entries onto lower stops of our
+  // sequence after we probed them; under the token the state is stable,
+  // so splice at the lowest chained stop (re-scan is local, no messages).
+  for (std::size_t i = 0; i < ctx->meet_index; ++i) {
+    if (find_entry(ctx->sequence[i].node, object) != nullptr) {
+      ctx->meet_index = i;
+      break;
+    }
+  }
+  const OverlayNode meet = ctx->sequence[ctx->meet_index].node;
+  ctx->peak_level = meet.level;
+
+  Entry* meet_entry = find_entry(meet, object);
+  MOT_CHECK(meet_entry != nullptr);
+  const bool meet_was_sentinel = meet_entry->child == meet;
+  if (meet_was_sentinel && meet.node == ctx->to) {
+    // The chain already ends at our destination (the object bounced back
+    // before the structure ever saw it leave): nothing to splice or tear.
+    // Queries parked here while the object was elsewhere can now succeed.
+    notify_waiters(meet.node, object, ctx->to);
+    move_finish(ctx);
+    return;
+  }
+
+  // Install the new fragment: entries for every stop probed below the
+  // meet (message distances were charged while climbing; only the
+  // special-parent bookkeeping is charged here). A meet at index 0 means
+  // the new proxy is an ancestor of the old one: the meet entry itself
+  // becomes the proxy sentinel and the fragment is empty.
+  OverlayNode previous = meet;  // becomes the splice target's new child
+  if (ctx->meet_index > 0) {
+    const OverlayNode bottom = ctx->sequence[0].node;
+    install_entry(bottom, object, bottom,
+                  provider_->special_parent(ctx->to, 0), &ctx->cost);
+    previous = bottom;
+    for (std::size_t i = 1; i < ctx->meet_index; ++i) {
+      const OverlayNode stop = ctx->sequence[i].node;
+      install_entry(stop, object, previous,
+                    provider_->special_parent(ctx->to, i), &ctx->cost);
+      previous = stop;
+    }
+  }
+
+  const OverlayNode first_victim = meet_entry->child;
+  meet_entry->child = previous;  // meet_index == 0: self, the new sentinel
+
+  if (meet_was_sentinel) {
+    // The meet was the old proxy itself (the new proxy sits below it in
+    // the structure): there is no detached fragment to tear, but queries
+    // parked at the old proxy must be redirected.
+    notify_waiters(meet.node, object, ctx->to);
+    move_finish(ctx);
+    return;
+  }
+
+  // Tear the detached fragment; the move completes when the delete does.
+  const Weight hop = distance(meet.node, first_victim.node);
+  charge(hop, &ctx->cost);
+  sim_->schedule(hop, [this, ctx, first_victim, from = meet.node] {
+    delete_step(ctx, first_victim, from);
+  });
+}
+
+void ConcurrentEngine::delete_step(const std::shared_ptr<MoveCtx>& ctx,
+                                   OverlayNode current,
+                                   NodeId previous_physical) {
+  (void)previous_physical;
+  charge_access(current, ctx->object, &ctx->cost);
+  const Entry* entry = find_entry(current, ctx->object);
+  // Under the token discipline the fragment is untouchable by anyone
+  // else, so the entry must still be there.
+  MOT_CHECK(entry != nullptr);
+  const OverlayNode next = entry->child;
+  erase_forward_hint_ = ctx->to;
+  erase_entry(current, ctx->object, &ctx->cost);
+  erase_forward_hint_ = kInvalidNode;
+  if (next == current) {
+    // Old proxy sentinel reached: wake queries parked here with the new
+    // location (the delete message carries it — Section 3).
+    notify_waiters(current.node, ctx->object, ctx->to);
+    move_finish(ctx);
+    return;
+  }
+  const Weight hop = distance(current.node, next.node);
+  charge(hop, &ctx->cost);
+  sim_->schedule(hop, [this, ctx, next, from = current.node] {
+    delete_step(ctx, next, from);
+  });
+}
+
+void ConcurrentEngine::move_finish(const std::shared_ptr<MoveCtx>& ctx) {
+  auto queue_it = move_queues_.find(ctx->object);
+  MOT_CHECK(queue_it != move_queues_.end() && !queue_it->second.empty());
+  MOT_CHECK(queue_it->second.front() == ctx);
+  queue_it->second.pop_front();
+  const ObjectId object = ctx->object;
+  if (queue_it->second.empty()) move_queues_.erase(queue_it);
+
+  --inflight_;
+  ++stats_.moves_completed;
+  if (ctx->done) {
+    MoveResult result;
+    result.cost = ctx->cost;
+    result.peak_level = ctx->peak_level;
+    ctx->done(result);
+  }
+  wake_token_waiter(object);
+}
+
+void ConcurrentEngine::wake_token_waiter(ObjectId object) {
+  const auto it = move_queues_.find(object);
+  if (it == move_queues_.end() || it->second.empty()) return;
+  const std::shared_ptr<MoveCtx> next = it->second.front();
+  if (next->waiting_token) {
+    next->waiting_token = false;
+    sim_->schedule(0.0, [this, next] { move_candidate_meet(next); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+void ConcurrentEngine::start_query(NodeId from, ObjectId object,
+                                   QueryCallback done) {
+  MOT_EXPECTS(physical_.count(object) != 0);
+  MOT_EXPECTS(from < provider_->num_nodes());
+  auto ctx = std::make_shared<QueryCtx>();
+  ctx->object = object;
+  ctx->origin = from;
+  ctx->climb_source = from;
+  ctx->sequence = provider_->upward_sequence(from);
+  ctx->done = std::move(done);
+  ++inflight_;
+  sim_->schedule(0.0, [this, ctx] { query_step(ctx); });
+}
+
+void ConcurrentEngine::query_step(const std::shared_ptr<QueryCtx>& ctx) {
+  const OverlayNode stop = ctx->sequence[ctx->index].node;
+  charge_access(stop, ctx->object, &ctx->cost);
+
+  if (find_entry(stop, ctx->object) != nullptr) {
+    ctx->found_level = std::max(ctx->found_level, stop.level);
+    query_descend(ctx, stop);
+    return;
+  }
+  if (options_.use_special_lists) {
+    const auto node_it = state_.find(stop);
+    if (node_it != state_.end()) {
+      const auto sdl_it = node_it->second.sdl.find(ctx->object);
+      if (sdl_it != node_it->second.sdl.end() && !sdl_it->second.empty()) {
+        const auto best = std::min_element(
+            sdl_it->second.begin(), sdl_it->second.end(),
+            [](const OverlayNode& a, const OverlayNode& b) {
+              return a.level < b.level;
+            });
+        ctx->found_level = std::max(ctx->found_level, stop.level);
+        const OverlayNode child = *best;
+        const Weight hop = distance(stop.node, child.node);
+        charge(hop, &ctx->cost);
+        sim_->schedule(hop, [this, ctx, child] { query_descend(ctx, child); });
+        return;
+      }
+    }
+  }
+  // Climb on; the root stop always holds the object.
+  MOT_CHECK(ctx->index + 1 < ctx->sequence.size());
+  const OverlayNode next = ctx->sequence[ctx->index + 1].node;
+  const Weight hop = distance(stop.node, next.node);
+  charge(hop, &ctx->cost);
+  ++ctx->index;
+  sim_->schedule(hop, [this, ctx] { query_step(ctx); });
+}
+
+void ConcurrentEngine::query_descend(const std::shared_ptr<QueryCtx>& ctx,
+                                     OverlayNode at) {
+  charge_access(at, ctx->object, &ctx->cost);
+  const Entry* entry = find_entry(at, ctx->object);
+  if (entry == nullptr) {
+    if (options_.forwarding_pointers) {
+      const auto node_it = state_.find(at);
+      if (node_it != state_.end()) {
+        const auto fwd = node_it->second.forwards.find(ctx->object);
+        if (fwd != node_it->second.forwards.end()) {
+          // The delete that tore this entry left the new location behind:
+          // redirect without ever visiting the stale proxy (Section 3's
+          // improved algorithm).
+          ++stats_.query_pointer_redirects;
+        ++ctx->restarts;  // chases share the restart budget
+        MOT_CHECK(ctx->restarts < kMaxQueryRestarts);
+          ++ctx->restarts;  // chases share the restart budget
+          MOT_CHECK(ctx->restarts < kMaxQueryRestarts);
+          const NodeId target = fwd->second;
+          const OverlayNode bottom =
+              provider_->upward_sequence(target).front().node;
+          const Weight hop = distance(at.node, target);
+          charge(hop, &ctx->cost);
+          sim_->schedule(hop, [this, ctx, bottom] {
+            query_at_bottom(ctx, bottom);
+          });
+          return;
+        }
+      }
+    }
+    // The fragment we were descending was torn underneath us.
+    ++stats_.query_restarts;
+    query_restart_from(ctx, at.node);
+    return;
+  }
+  if (entry->child == at) {  // proxy sentinel
+    query_at_bottom(ctx, at);
+    return;
+  }
+  if (options_.shortcut_descent) {
+    // Shortcut pointers give the discovering node the proxy's address: we
+    // read the chain locally and route directly.
+    OverlayNode walk = at;
+    while (true) {
+      const Entry* step = find_entry(walk, ctx->object);
+      MOT_CHECK(step != nullptr);
+      if (step->child == walk) break;
+      walk = step->child;
+    }
+    const OverlayNode target = walk;
+    const Weight hop = distance(at.node, target.node);
+    charge(hop, &ctx->cost);
+    sim_->schedule(hop, [this, ctx, target] { query_at_bottom(ctx, target); });
+    return;
+  }
+  const OverlayNode next = entry->child;
+  const Weight hop = distance(at.node, next.node);
+  charge(hop, &ctx->cost);
+  sim_->schedule(hop, [this, ctx, next] { query_descend(ctx, next); });
+}
+
+void ConcurrentEngine::query_at_bottom(const std::shared_ptr<QueryCtx>& ctx,
+                                       OverlayNode bottom) {
+  if (physical_position(ctx->object) == bottom.node) {
+    query_finish(ctx, bottom.node);
+    return;
+  }
+  const Entry* entry = find_entry(bottom, ctx->object);
+  if (entry != nullptr && entry->child == bottom) {
+    // Stale proxy whose delete is still on its way: wait for it — it
+    // carries the new location (Section 3).
+    ++stats_.query_waits;
+    waiters_[waiter_key(bottom.node, ctx->object)].push_back(ctx);
+    return;
+  }
+  if (entry != nullptr) {
+    // The stop holds a live non-sentinel entry: it is back on the chain
+    // (possible when the stop doubles as an ancestor, e.g. a tree sink).
+    // Follow the chain instead of waiting for a delete that never comes.
+    query_descend(ctx, bottom);
+    return;
+  }
+  if (options_.forwarding_pointers) {
+    const auto node_it = state_.find(bottom);
+    if (node_it != state_.end()) {
+      const auto fwd = node_it->second.forwards.find(ctx->object);
+      if (fwd != node_it->second.forwards.end()) {
+        // The delete that cleared this proxy left the new location
+        // behind: chase it directly (Section 3's improved algorithm).
+        ++stats_.query_pointer_redirects;
+        const NodeId target = fwd->second;
+        const OverlayNode next_bottom =
+            provider_->upward_sequence(target).front().node;
+        const Weight hop = distance(bottom.node, target);
+        charge(hop, &ctx->cost);
+        sim_->schedule(hop, [this, ctx, next_bottom] {
+          query_at_bottom(ctx, next_bottom);
+        });
+        return;
+      }
+    }
+  }
+  // The delete already passed: climb again from here.
+  ++stats_.query_restarts;
+  query_restart_from(ctx, bottom.node);
+}
+
+void ConcurrentEngine::query_restart_from(const std::shared_ptr<QueryCtx>& ctx,
+                                          NodeId node) {
+  ++ctx->restarts;
+  MOT_CHECK(ctx->restarts < kMaxQueryRestarts);
+  ctx->climb_source = node;
+  ctx->sequence = provider_->upward_sequence(node);
+  ctx->index = 0;
+  sim_->schedule(0.0, [this, ctx] { query_step(ctx); });
+}
+
+void ConcurrentEngine::notify_waiters(NodeId stale_proxy, ObjectId object,
+                                      NodeId new_proxy) {
+  const auto it = waiters_.find(waiter_key(stale_proxy, object));
+  if (it == waiters_.end()) return;
+  std::vector<std::shared_ptr<QueryCtx>> parked = std::move(it->second);
+  waiters_.erase(it);
+  const OverlayNode target_bottom =
+      provider_->upward_sequence(new_proxy).front().node;
+  for (const auto& ctx : parked) {
+    ++stats_.query_forwards;
+    const Weight hop = distance(stale_proxy, new_proxy);
+    charge(hop, &ctx->cost);
+    sim_->schedule(hop, [this, ctx, target_bottom] {
+      query_at_bottom(ctx, target_bottom);
+    });
+  }
+}
+
+void ConcurrentEngine::query_finish(const std::shared_ptr<QueryCtx>& ctx,
+                                    NodeId proxy) {
+  --inflight_;
+  ++stats_.queries_completed;
+  if (ctx->done) {
+    QueryResult result;
+    result.found = true;
+    result.proxy = proxy;
+    result.cost = ctx->cost;
+    result.found_level = ctx->found_level;
+    ctx->done(result);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> ConcurrentEngine::load_per_node() const {
+  std::vector<std::size_t> load(provider_->num_nodes(), 0);
+  for (const auto& [owner, node] : state_) {
+    for (const auto& [object, entry] : node.dl) {
+      load[provider_->delegate(owner, object).storage] += 1;
+    }
+    for (const auto& [object, children] : node.sdl) {
+      load[provider_->delegate(owner, object).storage] += children.size();
+    }
+  }
+  return load;
+}
+
+std::string ConcurrentEngine::debug_stuck_report() const {
+  std::string report;
+  for (const auto& [object, queue] : move_queues_) {
+    if (queue.empty()) continue;
+    report += "object " + std::to_string(object) + ": " +
+              std::to_string(queue.size()) + " moves pending";
+    const auto& front = queue.front();
+    report += " front{to=" + std::to_string(front->to) +
+              " index=" + std::to_string(front->index) +
+              " waiting_token=" + std::to_string(front->waiting_token) +
+              "}\n";
+  }
+  for (const auto& [key, parked] : waiters_) {
+    if (parked.empty()) continue;
+    const auto node = static_cast<NodeId>(key >> 32);
+    const auto object = static_cast<ObjectId>(key);
+    report += "waiters at node " + std::to_string(node) + " for object " +
+              std::to_string(object) + ": " + std::to_string(parked.size()) +
+              " (physical=" + std::to_string(physical_position(object));
+    const Entry* entry = find_entry({0, node}, object);
+    report += ", level0_entry=" + std::string(entry ? "yes" : "no");
+    // chain end from root
+    OverlayNode current = provider_->root_stop();
+    while (true) {
+      const Entry* e = find_entry(current, object);
+      if (e == nullptr) {
+        report += ", chain=BROKEN at level " +
+                  std::to_string(current.level);
+        break;
+      }
+      if (e->child == current) {
+        report += ", chain_end=" + std::to_string(current.node) +
+                  "@L" + std::to_string(current.level);
+        break;
+      }
+      current = e->child;
+    }
+    report += ")\n";
+  }
+  return report;
+}
+
+void ConcurrentEngine::validate_quiescent() const {
+  MOT_CHECK(inflight_ == 0);
+  for (const auto& [object, proxy] : physical_) {
+    // Walk the chain from the root; it must end at the physical position.
+    OverlayNode current = provider_->root_stop();
+    std::size_t chain_length = 0;
+    std::size_t total = 0;
+    for (const auto& [owner, node] : state_) {
+      (void)owner;
+      total += node.dl.count(object);
+    }
+    while (true) {
+      MOT_CHECK(chain_length <= total);
+      const Entry* entry = find_entry(current, object);
+      MOT_CHECK(entry != nullptr);
+      ++chain_length;
+      if (entry->child == current) {  // proxy sentinel
+        MOT_CHECK(current.node == proxy);
+        break;
+      }
+      current = entry->child;
+    }
+    MOT_CHECK(chain_length == total);
+  }
+}
+
+}  // namespace mot

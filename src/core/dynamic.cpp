@@ -1,0 +1,115 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+DynamicClusterSet::DynamicClusterSet(const Hierarchy& hierarchy,
+                                     const Params& params)
+    : params_(params) {
+  const SeedTree seeds(params.seed);
+  for (int level = 1; level <= hierarchy.height(); ++level) {
+    for (const NodeId center : hierarchy.members(level)) {
+      const auto members = hierarchy.cluster(level, center);
+      const std::uint64_t salt = seeds.seed_for(
+          "dyn-cluster",
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level))
+           << 32) |
+              center);
+      const std::size_t index = clusters_.size();
+      clusters_.push_back(
+          {{level, center},
+           ClusterEmbedding(std::vector<NodeId>(members.begin(),
+                                                members.end()),
+                            salt),
+           center,
+           members.size()});
+      for (const NodeId member : members) {
+        membership_[member].push_back(index);
+      }
+    }
+  }
+}
+
+void DynamicClusterSet::maybe_rebuild(ManagedCluster& cluster) {
+  const double size = static_cast<double>(cluster.embedding.size());
+  const double nominal = static_cast<double>(cluster.nominal_size);
+  if (size > nominal * params_.rebuild_factor ||
+      size < nominal / params_.rebuild_factor) {
+    // Past the drift threshold the paper suggests rebuilding from
+    // scratch: re-embed with the current membership as the new nominal.
+    cluster.nominal_size = cluster.embedding.size();
+    ++rebuilds_;
+  }
+}
+
+AdaptabilityReport DynamicClusterSet::node_joins(NodeId node) {
+  AdaptabilityReport report;
+  ++events_;
+  // A joining sensor enters the clusters it is covered by; without a live
+  // hierarchy rebuild we attach it to the clusters of its position —
+  // here, every cluster it previously left or (for fresh nodes) none.
+  auto& indices = membership_[node];
+  for (const std::size_t index : indices) {
+    ManagedCluster& cluster = clusters_[index];
+    if (cluster.embedding.label_of(node) >= 0) continue;  // already present
+    ++report.clusters_affected;
+    report.nodes_updated += cluster.embedding.add_member(node);
+    maybe_rebuild(cluster);
+  }
+  total_updates_ += report.nodes_updated;
+  total_cluster_events_ += report.clusters_affected;
+  return report;
+}
+
+AdaptabilityReport DynamicClusterSet::node_leaves(NodeId node) {
+  AdaptabilityReport report;
+  ++events_;
+  const auto it = membership_.find(node);
+  if (it == membership_.end()) return report;
+  for (const std::size_t index : it->second) {
+    ManagedCluster& cluster = clusters_[index];
+    if (cluster.embedding.label_of(node) < 0) continue;  // already gone
+    if (cluster.embedding.size() <= 1) continue;  // last member stays put
+    ++report.clusters_affected;
+    report.nodes_updated += cluster.embedding.remove_member(node);
+    if (cluster.leader == node) {
+      // Leadership passes to the lowest-labeled surviving member and is
+      // announced to the whole cluster (Section 7).
+      cluster.leader = cluster.embedding.members().front();
+      ++report.leader_handoffs;
+      report.handoff_broadcasts += cluster.embedding.size();
+    }
+    maybe_rebuild(cluster);
+  }
+  total_updates_ += report.nodes_updated;
+  total_cluster_events_ += report.clusters_affected;
+  return report;
+}
+
+double DynamicClusterSet::amortized_updates() const {
+  if (events_ == 0) return 0.0;
+  return static_cast<double>(total_updates_) /
+         static_cast<double>(events_);
+}
+
+double DynamicClusterSet::amortized_updates_per_cluster() const {
+  if (total_cluster_events_ == 0) return 0.0;
+  return static_cast<double>(total_updates_) /
+         static_cast<double>(total_cluster_events_);
+}
+
+bool DynamicClusterSet::cluster_contains(OverlayNode center,
+                                         NodeId node) const {
+  for (const auto& cluster : clusters_) {
+    if (cluster.center == center) {
+      return cluster.embedding.label_of(node) >= 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace mot

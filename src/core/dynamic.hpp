@@ -1,0 +1,81 @@
+// Section 7: adapting MOT's load-balancing clusters to nodes joining and
+// leaving the network.
+//
+// Each internal node of the hierarchy carries a cluster with an embedded
+// de Bruijn graph (Section 5). When a sensor joins or leaves, every
+// cluster containing it relabels per the Section 7 scheme: O(1) member
+// updates per event, except when the member count crosses a power of two
+// and the de Bruijn dimension changes, which touches the whole cluster —
+// amortized O(1) per cluster over any event sequence. A leaving leader
+// hands leadership to another member, which is announced cluster-wide.
+//
+// DynamicClusterSet applies event sequences and reports the adaptability
+// (nodes updated), plus the rebuild-threshold bookkeeping the paper
+// sketches (rebuild when a cluster drifts too far from its nominal size).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "debruijn/debruijn.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace mot {
+
+struct AdaptabilityReport {
+  std::size_t clusters_affected = 0;
+  std::size_t nodes_updated = 0;      // de Bruijn relabeling updates
+  std::size_t leader_handoffs = 0;    // leaving node led a cluster
+  std::size_t handoff_broadcasts = 0; // members informed of new leaders
+};
+
+class DynamicClusterSet {
+ public:
+  struct Params {
+    std::uint64_t seed = 1;
+    // Rebuild a cluster's embedding when its size drifts beyond this
+    // factor of the size it was built with (the paper's threshold).
+    double rebuild_factor = 2.0;
+  };
+
+  // Materializes the cluster embeddings of every internal node at levels
+  // 1..height of `hierarchy`.
+  DynamicClusterSet(const Hierarchy& hierarchy, const Params& params);
+
+  AdaptabilityReport node_joins(NodeId node);
+  AdaptabilityReport node_leaves(NodeId node);
+
+  std::size_t num_clusters() const { return clusters_.size(); }
+  std::size_t rebuilds() const { return rebuilds_; }
+
+  // Mean nodes updated per event so far (the amortized adaptability).
+  double amortized_updates() const;
+
+  // Mean nodes updated per affected cluster — the Section 7 O(1) bound.
+  double amortized_updates_per_cluster() const;
+
+  // True if `node` currently belongs to the cluster of `center`.
+  bool cluster_contains(OverlayNode center, NodeId node) const;
+
+ private:
+  struct ManagedCluster {
+    OverlayNode center;
+    ClusterEmbedding embedding;
+    NodeId leader;
+    std::size_t nominal_size;
+  };
+
+  void maybe_rebuild(ManagedCluster& cluster);
+
+  Params params_;
+  std::vector<ManagedCluster> clusters_;
+  // node -> indices of clusters containing it
+  std::unordered_map<NodeId, std::vector<std::size_t>> membership_;
+  std::size_t events_ = 0;
+  std::size_t total_updates_ = 0;
+  std::size_t total_cluster_events_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace mot

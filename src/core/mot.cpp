@@ -1,0 +1,127 @@
+#include "core/mot.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+MotPathProvider::MotPathProvider(const Hierarchy& hierarchy,
+                                 const MotOptions& options)
+    : hierarchy_(&hierarchy), options_(options) {
+  MOT_EXPECTS(options.special_parent_offset >= 1 ||
+              !options.use_special_parents);
+}
+
+std::span<const PathStop> MotPathProvider::upward_sequence(NodeId u) const {
+  MOT_EXPECTS(u < num_nodes());
+  auto it = sequence_cache_.find(u);
+  if (it == sequence_cache_.end()) {
+    std::vector<PathStop> sequence;
+    sequence.push_back({{0, u}, 0});
+    for (int level = 1; level <= hierarchy_->height(); ++level) {
+      if (options_.use_parent_sets) {
+        const auto group = hierarchy_->group(u, level);
+        for (std::uint32_t rank = 0; rank < group.size(); ++rank) {
+          sequence.push_back({{level, group[rank]}, rank});
+        }
+      } else {
+        sequence.push_back({{level, hierarchy_->primary(u, level)}, 0});
+      }
+    }
+    it = sequence_cache_.emplace(u, std::move(sequence)).first;
+  }
+  return it->second;
+}
+
+std::optional<OverlayNode> MotPathProvider::special_parent(
+    NodeId u, std::size_t index) const {
+  if (!options_.use_special_parents) return std::nullopt;
+  const auto sequence = upward_sequence(u);
+  MOT_EXPECTS(index < sequence.size());
+  const PathStop& stop = sequence[index];
+  const int sp_level = stop.node.level + options_.special_parent_offset;
+  if (sp_level > hierarchy_->height()) return std::nullopt;
+  if (options_.use_parent_sets) {
+    const auto group = hierarchy_->group(u, sp_level);
+    return OverlayNode{sp_level,
+                       group[stop.rank % static_cast<std::uint32_t>(
+                                             group.size())]};
+  }
+  return OverlayNode{sp_level, hierarchy_->primary(u, sp_level)};
+}
+
+const ClusterEmbedding& MotPathProvider::embedding(OverlayNode owner) const {
+  auto it = embedding_cache_.find(owner);
+  if (it == embedding_cache_.end()) {
+    const auto members = hierarchy_->cluster(owner.level, owner.node);
+    MOT_CHECK(!members.empty());
+    const SeedTree seeds(options_.seed);
+    const std::uint64_t salt = seeds.seed_for(
+        "cluster-hash",
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner.level))
+         << 32) |
+            owner.node);
+    it = embedding_cache_
+             .emplace(owner, ClusterEmbedding(
+                                 std::vector<NodeId>(members.begin(),
+                                                     members.end()),
+                                 salt))
+             .first;
+  }
+  return it->second;
+}
+
+PathProvider::DelegateAccess MotPathProvider::delegate(
+    OverlayNode owner, ObjectId object) const {
+  if (!options_.load_balance || owner.level == 0) {
+    return {owner.node, 0.0};
+  }
+  const ClusterEmbedding& cluster = embedding(owner);
+  const std::uint32_t target = cluster.label_for_key(object);
+  const NodeId storage = cluster.host(target);
+  if (storage == owner.node) return {storage, 0.0};
+
+  const DistanceOracle& dist = hierarchy_->oracle();
+  if (!options_.charge_debruijn_routing) {
+    return {storage, dist.distance(owner.node, storage)};
+  }
+  const std::int64_t from = cluster.label_of(owner.node);
+  MOT_CHECK(from >= 0);  // the center is always a member of its cluster
+  const std::vector<NodeId> hops =
+      cluster.route(static_cast<std::uint32_t>(from), target);
+  Weight cost = 0.0;
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    cost += dist.distance(hops[i - 1], hops[i]);
+  }
+  return {storage, cost};
+}
+
+OverlayNode MotPathProvider::root_stop() const {
+  return {hierarchy_->height(), hierarchy_->root()};
+}
+
+ChainOptions make_mot_chain_options(const MotOptions& options) {
+  ChainOptions chain;
+  chain.use_special_lists = options.use_special_parents;
+  chain.shortcut_descent = false;
+  chain.charge_delegate_routing = true;
+  chain.charge_special_updates = options.charge_special_updates;
+  return chain;
+}
+
+std::string make_mot_name(const MotOptions& options) {
+  std::string name = "MOT";
+  if (options.load_balance) name += "-LB";
+  if (!options.use_parent_sets) name += "(no-psets)";
+  if (!options.use_special_parents) name += "(no-sp)";
+  return name;
+}
+
+MotTracker::MotTracker(const Hierarchy& hierarchy, const MotOptions& options)
+    : provider_(hierarchy, options),
+      chain_(make_mot_name(options), provider_,
+             make_mot_chain_options(options)) {}
+
+}  // namespace mot

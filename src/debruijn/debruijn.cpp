@@ -1,0 +1,179 @@
+#include "debruijn/debruijn.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+DeBruijnGraph::DeBruijnGraph(int dimension) : dimension_(dimension) {
+  MOT_EXPECTS(dimension >= 0 && dimension <= 30);
+  mask_ = dimension == 0 ? 0u : ((1u << dimension) - 1u);
+}
+
+std::uint32_t DeBruijnGraph::successor(std::uint32_t label, int bit) const {
+  MOT_EXPECTS(label <= mask_);
+  MOT_EXPECTS(bit == 0 || bit == 1);
+  if (dimension_ == 0) return 0;
+  return ((label << 1) | static_cast<std::uint32_t>(bit)) & mask_;
+}
+
+std::vector<std::uint32_t> DeBruijnGraph::shortest_path(
+    std::uint32_t from, std::uint32_t to) const {
+  MOT_EXPECTS(from <= mask_ && to <= mask_);
+  // Longest k such that the last k bits of `from` equal the first k bits
+  // of `to` (as d-bit strings). The remaining d-k bits of `to` are shifted
+  // in one at a time.
+  int overlap = 0;
+  for (int k = dimension_; k >= 0; --k) {
+    const std::uint32_t from_suffix =
+        k == 0 ? 0u : (from & ((1u << k) - 1u));
+    const std::uint32_t to_prefix = k == 0 ? 0u : (to >> (dimension_ - k));
+    if (from_suffix == to_prefix) {
+      overlap = k;
+      break;
+    }
+  }
+  std::vector<std::uint32_t> path{from};
+  std::uint32_t at = from;
+  for (int step = overlap; step < dimension_; ++step) {
+    const int bit =
+        static_cast<int>((to >> (dimension_ - 1 - step)) & 1u);
+    at = successor(at, bit);
+    path.push_back(at);
+  }
+  MOT_ENSURES(path.back() == to);
+  return path;
+}
+
+int DeBruijnGraph::distance(std::uint32_t from, std::uint32_t to) const {
+  return static_cast<int>(shortest_path(from, to).size()) - 1;
+}
+
+UniversalHash::UniversalHash(std::uint64_t salt) {
+  Rng rng(salt);
+  multiplier_ = rng() | 1ULL;  // multiply-shift needs an odd multiplier
+  addend_ = rng();
+}
+
+std::uint64_t UniversalHash::operator()(std::uint64_t key) const {
+  std::uint64_t mixed = key * multiplier_ + addend_;
+  // Finalizer (splitmix-style) so low bits are well distributed for mod.
+  mixed ^= mixed >> 33;
+  mixed *= 0xff51afd7ed558ccdULL;
+  mixed ^= mixed >> 33;
+  return mixed;
+}
+
+namespace {
+
+int dimension_for(std::size_t size) {
+  MOT_EXPECTS(size >= 1);
+  return static_cast<int>(std::bit_width(size - 1));  // ceil(log2 size)
+}
+
+}  // namespace
+
+ClusterEmbedding::ClusterEmbedding(std::vector<NodeId> members,
+                                   std::uint64_t hash_salt)
+    : members_(std::move(members)),
+      debruijn_(dimension_for(std::max<std::size_t>(members_.size(), 1))),
+      hash_(hash_salt) {
+  MOT_EXPECTS(!members_.empty());
+}
+
+void ClusterEmbedding::rebuild_dimension() {
+  debruijn_ = DeBruijnGraph(dimension_for(members_.size()));
+}
+
+NodeId ClusterEmbedding::host(std::uint32_t label) const {
+  MOT_EXPECTS(label < debruijn_.num_vertices());
+  if (label < members_.size()) return members_[label];
+  // Labels beyond |X| are emulated by the member whose label matches with
+  // the most significant bit cleared (paper, Section 5).
+  const std::uint32_t msb = 1u << (debruijn_.dimension() - 1);
+  const std::uint32_t folded = label & ~msb;
+  MOT_CHECK(folded < members_.size());
+  return members_[folded];
+}
+
+std::uint32_t ClusterEmbedding::label_for_key(std::uint64_t key) const {
+  return static_cast<std::uint32_t>(hash_(key) % members_.size());
+}
+
+NodeId ClusterEmbedding::node_for_key(std::uint64_t key) const {
+  return members_[label_for_key(key)];
+}
+
+std::vector<NodeId> ClusterEmbedding::route(std::uint32_t from_label,
+                                            std::uint32_t to_label) const {
+  MOT_EXPECTS(from_label < members_.size() && to_label < members_.size());
+  const std::vector<std::uint32_t> labels =
+      debruijn_.shortest_path(from_label, to_label);
+  std::vector<NodeId> hops;
+  hops.reserve(labels.size());
+  for (const std::uint32_t label : labels) {
+    const NodeId node = host(label);
+    if (hops.empty() || hops.back() != node) hops.push_back(node);
+  }
+  return hops;
+}
+
+std::vector<NodeId> ClusterEmbedding::neighbor_table(
+    std::uint32_t label) const {
+  MOT_EXPECTS(label < debruijn_.num_vertices());
+  std::vector<NodeId> table;
+  const NodeId self = host(label);
+  for (const int bit : {0, 1}) {
+    const NodeId next = host(debruijn_.successor(label, bit));
+    if (next == self) continue;
+    if (std::find(table.begin(), table.end(), next) == table.end()) {
+      table.push_back(next);
+    }
+  }
+  return table;
+}
+
+std::int64_t ClusterEmbedding::label_of(NodeId node) const {
+  const auto it = std::find(members_.begin(), members_.end(), node);
+  if (it == members_.end()) return -1;
+  return it - members_.begin();
+}
+
+std::size_t ClusterEmbedding::add_member(NodeId node) {
+  MOT_EXPECTS(label_of(node) < 0);
+  const std::size_t old_size = members_.size();
+  members_.push_back(node);
+  if (std::has_single_bit(old_size)) {
+    // |X| was exactly a power of two, so the new label does not fit the
+    // current dimension: it grows by one and every member re-derives its
+    // emulated second label (Section 7).
+    rebuild_dimension();
+    return members_.size();
+  }
+  // Otherwise only the new node and the hosts of its de Bruijn in/out
+  // neighbors update their tables: O(1) nodes.
+  return 3;
+}
+
+std::size_t ClusterEmbedding::remove_member(NodeId node) {
+  const std::int64_t label = label_of(node);
+  MOT_EXPECTS(label >= 0);
+  MOT_EXPECTS(members_.size() > 1);
+  const std::size_t old_size = members_.size();
+  // Move the last-labeled member into the vacated label (the paper's
+  // "set l(p) to the label of the node with current label |X| - 1").
+  members_[static_cast<std::size_t>(label)] = members_.back();
+  members_.pop_back();
+  if (std::has_single_bit(old_size - 1)) {
+    // |X| - 1 is a power of two: the dimension shrinks and every member
+    // merges the bookkeeping of its two labels (Section 7).
+    rebuild_dimension();
+    return members_.size();
+  }
+  return 3;
+}
+
+}  // namespace mot

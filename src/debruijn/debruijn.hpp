@@ -1,0 +1,110 @@
+// Binary de Bruijn graphs and their embedding into hierarchy clusters
+// (Section 5 of the paper).
+//
+// A d-dimensional de Bruijn graph has 2^d vertices labeled by d-bit
+// strings, with an edge from u1 u2 .. ud to u2 .. ud b for b in {0, 1}.
+// Its diameter is d and the shortest path between two labels is the
+// "shift-in" walk determined by the longest suffix-of-source /
+// prefix-of-target overlap — each vertex only needs its two out-neighbor
+// addresses, which is the constant-size routing table the paper relies
+// on for load balancing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mot {
+
+// Pure de Bruijn label arithmetic (no physical hosts).
+class DeBruijnGraph {
+ public:
+  explicit DeBruijnGraph(int dimension);
+
+  int dimension() const { return dimension_; }
+  std::uint32_t num_vertices() const { return 1u << dimension_; }
+
+  // The two out-neighbors of `label`: (label << 1 | b) mod 2^d.
+  std::uint32_t successor(std::uint32_t label, int bit) const;
+
+  // Shortest shift-in path from `from` to `to`, inclusive of both ends.
+  // Length (hop count) is dimension - overlap <= dimension.
+  std::vector<std::uint32_t> shortest_path(std::uint32_t from,
+                                           std::uint32_t to) const;
+
+  // Hop count of the shortest path (path size - 1).
+  int distance(std::uint32_t from, std::uint32_t to) const;
+
+ private:
+  int dimension_;
+  std::uint32_t mask_;
+};
+
+// Multiply-shift universal hash over 64-bit keys, salted per instance.
+// Used to spread object keys across cluster members (Section 5's
+// key(o) mod |X| with a salt so distinct clusters shard differently).
+class UniversalHash {
+ public:
+  explicit UniversalHash(std::uint64_t salt);
+
+  std::uint64_t operator()(std::uint64_t key) const;
+
+ private:
+  std::uint64_t multiplier_;  // odd
+  std::uint64_t addend_;
+};
+
+// A de Bruijn graph embedded over a cluster of physical nodes
+// (Section 5 / Rajaraman et al.): dimension d = ceil(log2 |X|); label
+// l < |X| is hosted by the l-th member; label l >= |X| is emulated by the
+// member whose index is l with the most significant bit cleared.
+//
+// Supports the Section 7 dynamics: members joining and leaving with
+// relabeling, reporting how many nodes had to update state (the paper's
+// "adaptability" measure, O(1) amortized).
+class ClusterEmbedding {
+ public:
+  // `members` must be non-empty; order defines the initial labels.
+  ClusterEmbedding(std::vector<NodeId> members, std::uint64_t hash_salt);
+
+  std::size_t size() const { return members_.size(); }
+  int dimension() const { return debruijn_.dimension(); }
+  const std::vector<NodeId>& members() const { return members_; }
+
+  // Physical host of a de Bruijn label.
+  NodeId host(std::uint32_t label) const;
+
+  // The member index / physical node an object key is hashed to.
+  std::uint32_t label_for_key(std::uint64_t key) const;
+  NodeId node_for_key(std::uint64_t key) const;
+
+  // Physical hop sequence (hosts of successive de Bruijn vertices) from
+  // member `from_label` to member `to_label`, both ends included.
+  // Consecutive duplicate hosts (labels emulated by one node) collapse.
+  std::vector<NodeId> route(std::uint32_t from_label,
+                            std::uint32_t to_label) const;
+
+  // Label of a physical member, or -1 if not a member.
+  std::int64_t label_of(NodeId node) const;
+
+  // The constant-size routing state a member stores (the paper's claim
+  // that "the neighborhood table at each node is of constant size"):
+  // the physical hosts of the label's two de Bruijn out-neighbors.
+  // Duplicate or self hosts collapse, so the table has at most 2 entries.
+  std::vector<NodeId> neighbor_table(std::uint32_t label) const;
+
+  // Dynamics (Section 7). Both return the number of member nodes whose
+  // state (labels / neighbor tables / hosted shares) had to change.
+  std::size_t add_member(NodeId node);
+  std::size_t remove_member(NodeId node);
+
+ private:
+  void rebuild_dimension();
+
+  std::vector<NodeId> members_;  // label -> physical node
+  DeBruijnGraph debruijn_;
+  UniversalHash hash_;
+};
+
+}  // namespace mot

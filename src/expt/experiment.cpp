@@ -1,0 +1,286 @@
+#include "expt/experiment.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "baselines/tree_tracker.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace mot {
+
+Network build_network(Graph graph, std::uint64_t seed) {
+  Network network;
+  network.graph_storage = std::make_unique<Graph>(std::move(graph));
+  network.oracle = make_distance_oracle(network.graph());
+  DoublingHierarchy::Params params;
+  params.seed = seed;
+  network.hierarchy =
+      DoublingHierarchy::build(network.graph(), *network.oracle, params);
+  network.sink = choose_sink(network.graph());
+  return network;
+}
+
+Network build_grid_network(std::size_t target_nodes, std::uint64_t seed) {
+  MOT_EXPECTS(target_nodes >= 4);
+  const auto side = static_cast<std::size_t>(
+      std::lround(std::sqrt(static_cast<double>(target_nodes))));
+  return build_network(make_grid(side, side), seed);
+}
+
+const char* algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::kMot:
+      return "MOT";
+    case Algo::kMotLoadBalanced:
+      return "MOT-LB";
+    case Algo::kStun:
+      return "STUN";
+    case Algo::kDat:
+      return "DAT";
+    case Algo::kZdat:
+      return "Z-DAT";
+    case Algo::kZdatShortcuts:
+      return "Z-DAT+SC";
+  }
+  return "?";
+}
+
+AlgoInstance make_algo(Algo algo, const Network& network,
+                       const EdgeRates& training_rates, std::uint64_t seed,
+                       const MotOptions* mot_options) {
+  AlgoInstance instance;
+  instance.name = algo_name(algo);
+
+  switch (algo) {
+    case Algo::kMot:
+    case Algo::kMotLoadBalanced: {
+      MotOptions options;
+      if (mot_options != nullptr) {
+        options = *mot_options;
+      } else {
+        // Experiment configuration: Algorithm 1 as the paper presents it
+        // — one default parent per level ("for simplicity, assume there
+        // is only one parent internal node p^l(x)") with special parents.
+        // The full parent-set probing is exercised by the ablations.
+        options.use_parent_sets = false;
+        options.use_special_parents = true;
+        options.special_parent_offset = 2;
+      }
+      options.seed = seed;
+      if (algo == Algo::kMotLoadBalanced) options.load_balance = true;
+      instance.provider =
+          std::make_unique<MotPathProvider>(*network.hierarchy, options);
+      instance.chain_options = make_mot_chain_options(options);
+      instance.name = make_mot_name(options);
+      break;
+    }
+    case Algo::kStun: {
+      Dendrogram dendrogram = build_stun_dendrogram(
+          network.graph(), training_rates, network.sink);
+      instance.provider = std::make_unique<DendrogramProvider>(
+          *network.oracle, std::move(dendrogram));
+      instance.chain_options.shortcut_descent = false;
+      break;
+    }
+    case Algo::kDat: {
+      SpanningTree tree =
+          build_dat(network.graph(), training_rates, network.sink);
+      instance.provider = std::make_unique<TreePathProvider>(
+          *network.oracle, std::move(tree));
+      instance.chain_options.shortcut_descent = false;
+      break;
+    }
+    case Algo::kZdat:
+    case Algo::kZdatShortcuts: {
+      SpanningTree tree =
+          build_zdat(network.graph(), *network.oracle, network.sink);
+      instance.provider = std::make_unique<TreePathProvider>(
+          *network.oracle, std::move(tree));
+      instance.chain_options.shortcut_descent =
+          algo == Algo::kZdatShortcuts;
+      break;
+    }
+  }
+
+  instance.tracker = std::make_unique<ChainTracker>(
+      instance.name, *instance.provider, instance.chain_options);
+  return instance;
+}
+
+void publish_all(Tracker& tracker, const MovementTrace& trace) {
+  for (ObjectId o = 0; o < trace.num_objects(); ++o) {
+    tracker.publish(o, trace.initial_proxy[o]);
+  }
+}
+
+CostRatioAccumulator run_moves(Tracker& tracker, const DistanceOracle& oracle,
+                               std::span<const MoveOp> moves) {
+  CostRatioAccumulator accumulator;
+  for (const MoveOp& op : moves) {
+    MOT_CHECK(tracker.proxy_of(op.object) == op.from);
+    const MoveResult result = tracker.move(op.object, op.to);
+    accumulator.add(result.cost, oracle.distance(op.from, op.to));
+  }
+  return accumulator;
+}
+
+CostRatioAccumulator run_queries(Tracker& tracker,
+                                 const DistanceOracle& oracle,
+                                 std::span<const QueryOp> queries) {
+  CostRatioAccumulator accumulator;
+  for (const QueryOp& op : queries) {
+    const NodeId proxy = tracker.proxy_of(op.object);
+    const QueryResult result = tracker.query(op.from, op.object);
+    MOT_CHECK(result.found && result.proxy == proxy);
+    accumulator.add(result.cost, oracle.distance(op.from, proxy));
+  }
+  return accumulator;
+}
+
+namespace {
+
+// Drives the concurrent engine: per object, batches of overlapping moves;
+// the next batch starts when the previous one fully completes.
+struct ConcurrentDriver : std::enable_shared_from_this<ConcurrentDriver> {
+  ConcurrentEngine* engine = nullptr;
+  Simulator* sim = nullptr;
+  const DistanceOracle* oracle = nullptr;
+  ConcurrentRunParams params;
+  Rng rng{1};
+
+  std::vector<ObjectId> object_order;
+  std::vector<std::vector<MoveOp>> moves_of;  // indexed by ObjectId
+  std::size_t object_index = 0;
+  std::size_t move_index = 0;
+  std::size_t batch_counter = 0;    // batches issued for current object
+  std::size_t query_at_batch = 0;   // batch at which this object's query fires
+  bool query_issued = false;
+  std::size_t pending = 0;
+
+  ConcurrentRunResult result;
+
+  void start_object() {
+    batch_counter = 0;
+    move_index = 0;
+    query_issued = !params.interleave_queries;
+    const ObjectId object = object_order[object_index];
+    const std::size_t batches =
+        (moves_of[object].size() + params.batch_size - 1) /
+        std::max<std::size_t>(params.batch_size, 1);
+    query_at_batch = batches == 0 ? 0 : rng.below(batches);
+    next_batch();
+  }
+
+  void next_batch() {
+    if (object_index >= object_order.size()) return;  // all done
+    if (move_index >= moves_of[object_order[object_index]].size() &&
+        query_issued) {
+      // Current object exhausted: move on to the next one.
+      ++object_index;
+      if (object_index >= object_order.size()) return;
+      start_object();
+      return;
+    }
+
+    const ObjectId object = object_order[object_index];
+    const auto& moves = moves_of[object];
+    const std::size_t batch =
+        std::min(params.batch_size, moves.size() - move_index);
+    MOT_CHECK(pending == 0);
+
+    auto self = shared_from_this();
+    // Optionally interleave this object's query with this batch.
+    if (!query_issued && batch_counter == query_at_batch) {
+      query_issued = true;
+      ++pending;
+      const auto from = static_cast<NodeId>(
+          rng.below(oracle->num_nodes()));
+      const Weight optimal =
+          oracle->distance(from, engine->physical_position(object));
+      engine->start_query(from, object, [self, optimal](
+                                            const QueryResult& r) {
+        self->result.queries.add(r.cost, optimal);
+        self->complete_one();
+      });
+    }
+    for (std::size_t k = 0; k < batch; ++k) {
+      const MoveOp& op = moves[move_index++];
+      ++pending;
+      const Weight optimal = oracle->distance(op.from, op.to);
+      engine->start_move(op.object, op.to,
+                         [self, optimal](const MoveResult& r) {
+                           self->result.maintenance.add(r.cost, optimal);
+                           self->complete_one();
+                         });
+    }
+    ++batch_counter;
+    // A batch can be empty when only the query remained.
+    if (pending == 0) next_batch();
+  }
+
+  void complete_one() {
+    MOT_CHECK(pending > 0);
+    if (--pending == 0) {
+      auto self = shared_from_this();
+      sim->schedule(0.0, [self] { self->next_batch(); });
+    }
+  }
+};
+
+}  // namespace
+
+ConcurrentRunResult run_concurrent(const PathProvider& provider,
+                                   const ChainOptions& chain_options,
+                                   const DistanceOracle& oracle,
+                                   const MovementTrace& trace,
+                                   const ConcurrentRunParams& params) {
+  Simulator sim;
+  ConcurrentEngine engine(provider, sim, chain_options);
+  for (ObjectId o = 0; o < trace.num_objects(); ++o) {
+    engine.publish(o, trace.initial_proxy[o]);
+  }
+
+  auto driver = std::make_shared<ConcurrentDriver>();
+  driver->engine = &engine;
+  driver->sim = &sim;
+  driver->oracle = &oracle;
+  driver->params = params;
+  driver->rng.reseed(params.seed);
+  driver->moves_of.resize(trace.num_objects());
+  for (const MoveOp& op : trace.moves) {
+    if (driver->moves_of[op.object].empty()) {
+      driver->object_order.push_back(op.object);
+    }
+    driver->moves_of[op.object].push_back(op);
+  }
+  // Objects that never move still get their query.
+  if (params.interleave_queries) {
+    for (ObjectId o = 0; o < trace.num_objects(); ++o) {
+      if (driver->moves_of[o].empty()) driver->object_order.push_back(o);
+    }
+  }
+
+  if (!driver->object_order.empty()) driver->start_object();
+  sim.run();
+  if (engine.inflight_operations() != 0) {
+    MOT_LOG_ERROR("concurrent run left stuck operations:\n%s",
+                  engine.debug_stuck_report().c_str());
+  }
+  MOT_CHECK(engine.inflight_operations() == 0);
+  engine.validate_quiescent();
+
+  ConcurrentRunResult result = std::move(driver->result);
+  result.engine_stats = engine.stats();
+  return result;
+}
+
+std::vector<std::size_t> paper_grid_sizes(bool full) {
+  // The paper sweeps grids of 10 to 1024 nodes; these square grids span
+  // that range. The quick scale trims only the smallest sizes, which are
+  // noisy at reduced move counts.
+  if (full) return {9, 36, 100, 256, 529, 1024};
+  return {16, 64, 144, 256, 529, 1024};
+}
+
+}  // namespace mot

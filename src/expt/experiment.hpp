@@ -1,0 +1,109 @@
+// Shared experiment harness: network construction, algorithm factory and
+// the sequential / concurrent drivers that every figure bench reuses.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/concurrent.hpp"
+#include "core/mot.hpp"
+#include "graph/distance_oracle.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "metrics/metrics.hpp"
+#include "tracking/chain_tracker.hpp"
+#include "workload/mobility.hpp"
+
+namespace mot {
+
+// One built network instance: the graph, its exact distance oracle, the
+// MOT overlay hierarchy and the baselines' sink. The graph lives behind a
+// unique_ptr so the oracle's and hierarchy's internal pointers survive
+// moves of the Network itself.
+struct Network {
+  std::unique_ptr<Graph> graph_storage;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+  NodeId sink = kInvalidNode;
+
+  const Graph& graph() const { return *graph_storage; }
+  std::size_t num_nodes() const { return graph_storage->num_nodes(); }
+};
+
+// Square-ish grid with approximately `target_nodes` sensors (the paper's
+// evaluation topology), with hierarchy seeded from `seed`.
+Network build_grid_network(std::size_t target_nodes, std::uint64_t seed);
+
+// Same wrapper for an arbitrary prebuilt graph.
+Network build_network(Graph graph, std::uint64_t seed);
+
+// The tracking algorithms of the Section 8 comparison.
+enum class Algo {
+  kMot,
+  kMotLoadBalanced,
+  kStun,
+  kDat,
+  kZdat,
+  kZdatShortcuts,
+};
+
+const char* algo_name(Algo algo);
+
+// A tracker instance whose provider is exposed so the same configuration
+// can also be driven by the concurrent engine.
+struct AlgoInstance {
+  std::string name;
+  std::unique_ptr<PathProvider> provider;
+  ChainOptions chain_options;
+  std::unique_ptr<ChainTracker> tracker;
+};
+
+// Builds an algorithm over `network`. Traffic-conscious baselines consume
+// `training_rates` (detection rates estimated from a training trace).
+// `mot_options` overrides the MOT configuration (nullptr = defaults).
+AlgoInstance make_algo(Algo algo, const Network& network,
+                       const EdgeRates& training_rates, std::uint64_t seed,
+                       const MotOptions* mot_options = nullptr);
+
+// --- sequential (one-by-one) drivers ---
+
+void publish_all(Tracker& tracker, const MovementTrace& trace);
+
+CostRatioAccumulator run_moves(Tracker& tracker, const DistanceOracle& oracle,
+                               std::span<const MoveOp> moves);
+
+CostRatioAccumulator run_queries(Tracker& tracker,
+                                 const DistanceOracle& oracle,
+                                 std::span<const QueryOp> queries);
+
+// --- concurrent driver (Figs. 12-15) ---
+
+struct ConcurrentRunResult {
+  CostRatioAccumulator maintenance;
+  CostRatioAccumulator queries;
+  ConcurrentStats engine_stats;
+};
+
+struct ConcurrentRunParams {
+  // Paper setting: at most this many in-flight operations per object.
+  std::size_t batch_size = 10;
+  // Issue one query per object at a random point of its stream.
+  bool interleave_queries = false;
+  std::uint64_t seed = 1;
+};
+
+// Replays `trace` through the concurrent engine: per object, its moves
+// are issued in overlapping batches of `batch_size`; the next batch (and
+// then the next object) starts when the previous completes.
+ConcurrentRunResult run_concurrent(const PathProvider& provider,
+                                   const ChainOptions& chain_options,
+                                   const DistanceOracle& oracle,
+                                   const MovementTrace& trace,
+                                   const ConcurrentRunParams& params);
+
+// Grid sizes of the paper's sweep (10 to 1024 nodes).
+std::vector<std::size_t> paper_grid_sizes(bool full);
+
+}  // namespace mot

@@ -1,0 +1,149 @@
+#include "expt/fig_runners.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace mot {
+
+namespace {
+
+std::vector<std::size_t> sizes_for(const SweepParams& params) {
+  return params.sizes.empty() ? paper_grid_sizes(params.full)
+                              : params.sizes;
+}
+
+MovementTrace make_trace(const Network& network, const SweepParams& params,
+                         std::uint64_t seed) {
+  TraceParams trace_params;
+  trace_params.num_objects = params.num_objects;
+  trace_params.moves_per_object = params.moves_per_object;
+  trace_params.model = params.model;
+  Rng rng(SeedTree(seed).seed_for("trace"));
+  return generate_trace(network.graph(), trace_params, rng);
+}
+
+enum class SweepKind { kMaintenance, kQuery };
+
+Table run_sweep(const SweepParams& params, SweepKind kind) {
+  std::vector<std::string> columns{"nodes"};
+  for (const Algo algo : params.algos) {
+    columns.push_back(algo_name(algo));
+  }
+  Table table(std::move(columns));
+
+  for (const std::size_t size : sizes_for(params)) {
+    std::vector<OnlineStats> per_algo(params.algos.size());
+    for (std::size_t s = 0; s < params.num_seeds; ++s) {
+      const std::uint64_t seed = params.base_seed + s;
+      const Network network = build_grid_network(size, seed);
+      const MovementTrace trace = make_trace(network, params, seed);
+      // The traffic-conscious baselines receive the real detection rates
+      // of the measured trace — the most favorable training possible.
+      const EdgeRates rates = trace.estimate_rates();
+
+      for (std::size_t a = 0; a < params.algos.size(); ++a) {
+        AlgoInstance algo =
+            make_algo(params.algos[a], network, rates, seed);
+        double ratio = 0.0;
+        if (params.concurrent) {
+          ConcurrentRunParams run;
+          run.batch_size = params.batch_size;
+          run.interleave_queries = kind == SweepKind::kQuery;
+          run.seed = SeedTree(seed).seed_for("conc-driver");
+          const ConcurrentRunResult result =
+              run_concurrent(*algo.provider, algo.chain_options,
+                             *network.oracle, trace, run);
+          ratio = kind == SweepKind::kMaintenance
+                      ? result.maintenance.aggregate_ratio()
+                      : result.queries.aggregate_ratio();
+        } else {
+          publish_all(*algo.tracker, trace);
+          const CostRatioAccumulator moves =
+              run_moves(*algo.tracker, *network.oracle, trace.moves);
+          if (kind == SweepKind::kMaintenance) {
+            ratio = moves.aggregate_ratio();
+          } else {
+            Rng qrng(SeedTree(seed).seed_for("queries"));
+            const std::vector<QueryOp> queries = generate_queries(
+                network.num_nodes(), params.num_objects,
+                params.num_objects, qrng);
+            const CostRatioAccumulator result =
+                run_queries(*algo.tracker, *network.oracle, queries);
+            ratio = result.aggregate_ratio();
+          }
+        }
+        per_algo[a].add(ratio);
+      }
+      MOT_LOG_INFO("sweep: size=%zu seed=%zu done", size, s);
+    }
+    table.begin_row().cell(static_cast<std::uint64_t>(size));
+    for (const auto& stats : per_algo) table.cell(stats.mean(), 3);
+  }
+  return table;
+}
+
+}  // namespace
+
+Table run_maintenance_sweep(const SweepParams& params) {
+  return run_sweep(params, SweepKind::kMaintenance);
+}
+
+Table run_query_sweep(const SweepParams& params) {
+  return run_sweep(params, SweepKind::kQuery);
+}
+
+Table run_load_figure(const LoadFigureParams& params) {
+  Table table({"algo", "mean_load", "max_load", "p99", "nodes_gt_thresh",
+               "imbalance"});
+
+  struct Row {
+    OnlineStats mean, max, p99, above, imbalance;
+  };
+  // MOT (load-balanced), plain MOT for reference, and the baseline.
+  const std::vector<Algo> algos = {Algo::kMotLoadBalanced, Algo::kMot,
+                                   params.baseline};
+  std::vector<Row> rows(algos.size());
+
+  for (std::size_t s = 0; s < params.num_seeds; ++s) {
+    const std::uint64_t seed = params.base_seed + s;
+    const Network network = build_grid_network(params.num_nodes, seed);
+    TraceParams trace_params;
+    trace_params.num_objects = params.num_objects;
+    trace_params.moves_per_object = params.moves_per_object;
+    Rng rng(SeedTree(seed).seed_for("trace"));
+    const MovementTrace trace =
+        generate_trace(network.graph(), trace_params, rng);
+    const EdgeRates rates = trace.estimate_rates();
+
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      AlgoInstance algo = make_algo(algos[a], network, rates, seed);
+      publish_all(*algo.tracker, trace);
+      if (!trace.moves.empty()) {
+        run_moves(*algo.tracker, *network.oracle, trace.moves);
+      }
+      const LoadSummary load = summarize_load(
+          algo.tracker->load_per_node(), params.load_threshold);
+      rows[a].mean.add(load.mean);
+      rows[a].max.add(static_cast<double>(load.max));
+      rows[a].p99.add(load.p99);
+      rows[a].above.add(static_cast<double>(load.nodes_above_threshold));
+      rows[a].imbalance.add(load.imbalance);
+    }
+  }
+
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    table.begin_row()
+        .cell(std::string(algo_name(algos[a])))
+        .cell(rows[a].mean.mean(), 2)
+        .cell(rows[a].max.mean(), 1)
+        .cell(rows[a].p99.mean(), 1)
+        .cell(rows[a].above.mean(), 1)
+        .cell(rows[a].imbalance.mean(), 2);
+  }
+  return table;
+}
+
+}  // namespace mot

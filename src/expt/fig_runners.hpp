@@ -1,0 +1,51 @@
+// Figure runners: one function per family of paper figures, each
+// producing a printable Table with the same rows/series the paper plots.
+// Bench binaries are thin mains over these.
+#pragma once
+
+#include <vector>
+
+#include "expt/experiment.hpp"
+#include "util/table.hpp"
+
+namespace mot {
+
+struct SweepParams {
+  std::size_t num_objects = 100;
+  std::size_t moves_per_object = 100;  // paper: 1000 (use --full)
+  std::size_t num_seeds = 5;           // paper: average of 5 runs
+  bool full = false;                   // paper-scale sizes and moves
+  bool concurrent = false;             // Figs. 12-15 execution mode
+  std::size_t batch_size = 10;         // max in-flight ops per object
+  std::vector<Algo> algos = {Algo::kMot, Algo::kStun, Algo::kZdat,
+                             Algo::kZdatShortcuts};
+  std::uint64_t base_seed = 42;
+  MobilityModel model = MobilityModel::kRandomWalk;
+  std::vector<std::size_t> sizes;      // empty = paper_grid_sizes(full)
+};
+
+// Figs. 4/5 (one-by-one) and 12/13 (concurrent): maintenance cost ratio
+// vs network size, one column per algorithm.
+Table run_maintenance_sweep(const SweepParams& params);
+
+// Figs. 6/7 (one-by-one) and 14/15 (concurrent): query cost ratio vs
+// network size. One-by-one issues one query per object after the full
+// maintenance workload; concurrent interleaves each object's query with
+// its maintenance batches.
+Table run_query_sweep(const SweepParams& params);
+
+struct LoadFigureParams {
+  std::size_t num_nodes = 1024;
+  std::size_t num_objects = 100;
+  std::size_t moves_per_object = 0;  // Figs. 8/10: 0 (init); 9/11: 10
+  std::size_t num_seeds = 5;
+  Algo baseline = Algo::kStun;       // Figs. 8/9: STUN; 10/11: Z-DAT
+  std::uint64_t base_seed = 42;
+  std::size_t load_threshold = 10;   // "nodes with load > 10"
+};
+
+// Figs. 8-11: per-node load of MOT (load-balanced) vs a baseline.
+// Reports mean / max / p99 / nodes-above-threshold per algorithm.
+Table run_load_figure(const LoadFigureParams& params);
+
+}  // namespace mot

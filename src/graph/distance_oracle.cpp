@@ -1,0 +1,145 @@
+#include "graph/distance_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_path.hpp"
+#include "util/check.hpp"
+
+namespace mot {
+
+CachedDistanceOracle::CachedDistanceOracle(const Graph& graph)
+    : graph_(&graph), unit_weights_(has_unit_weights(graph)) {}
+
+const std::vector<Weight>& CachedDistanceOracle::row(NodeId source) const {
+  auto it = cache_.find(source);
+  if (it == cache_.end()) {
+    ShortestPathTree tree = unit_weights_ ? bfs_unit(*graph_, source)
+                                          : dijkstra(*graph_, source);
+    it = cache_.emplace(source, std::move(tree.distance)).first;
+  }
+  return it->second;
+}
+
+Weight CachedDistanceOracle::distance(NodeId u, NodeId v) const {
+  MOT_EXPECTS(u < graph_->num_nodes() && v < graph_->num_nodes());
+  if (u == v) return 0.0;
+  // Prefer an already-cached endpoint as the source.
+  if (cache_.count(u) == 0 && cache_.count(v) != 0) std::swap(u, v);
+  return row(u)[v];
+}
+
+GridDistanceOracle::GridDistanceOracle(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  MOT_EXPECTS(rows >= 1 && cols >= 1);
+}
+
+Weight GridDistanceOracle::distance(NodeId u, NodeId v) const {
+  MOT_EXPECTS(u < num_nodes() && v < num_nodes());
+  const auto ur = u / cols_;
+  const auto uc = u % cols_;
+  const auto vr = v / cols_;
+  const auto vc = v % cols_;
+  const auto dr = ur > vr ? ur - vr : vr - ur;
+  const auto dc = uc > vc ? uc - vc : vc - uc;
+  return static_cast<Weight>(dr + dc);
+}
+
+std::optional<GridShape> detect_grid(const Graph& graph) {
+  const std::size_t n = graph.num_nodes();
+  if (n == 0 || !has_unit_weights(graph)) return std::nullopt;
+  // Infer cols from node 0's smallest "vertical" neighbor: in the
+  // canonical numbering node 0 connects to node 1 (if cols > 1) and node
+  // `cols` (if rows > 1).
+  for (std::size_t cols = 1; cols <= n; ++cols) {
+    if (n % cols != 0) continue;
+    const std::size_t rows = n / cols;
+    // Verify the full edge set matches a rows x cols 4-grid.
+    std::size_t expected_edges =
+        rows * (cols - 1) + cols * (rows - 1);
+    if (graph.num_edges() != expected_edges) continue;
+    bool ok = true;
+    for (NodeId u = 0; u < n && ok; ++u) {
+      const std::size_t r = u / cols;
+      const std::size_t c = u % cols;
+      std::size_t expected_degree = 0;
+      auto expect = [&](std::size_t rr, std::size_t cc) {
+        ++expected_degree;
+        const auto v = static_cast<NodeId>(rr * cols + cc);
+        if (graph.edge_weight(u, v) != 1.0) ok = false;
+      };
+      if (c + 1 < cols) expect(r, c + 1);
+      if (c > 0) expect(r, c - 1);
+      if (r + 1 < rows) expect(r + 1, c);
+      if (r > 0) expect(r - 1, c);
+      if (graph.degree(u) != expected_degree) ok = false;
+    }
+    if (ok) return GridShape{rows, cols};
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<DistanceOracle> make_distance_oracle(const Graph& graph) {
+  if (const auto shape = detect_grid(graph)) {
+    return std::make_unique<GridDistanceOracle>(shape->rows, shape->cols);
+  }
+  return std::make_unique<CachedDistanceOracle>(graph);
+}
+
+namespace {
+
+// Greedy cover of B(center, radius) by radius/2 balls; the greedy cover
+// size upper-bounds the optimal one, so it never over-reports dimension
+// by more than the greedy factor.
+std::size_t half_ball_cover_size(const Graph& graph, NodeId center,
+                                 Weight radius) {
+  const ShortestPathTree ball = dijkstra_bounded(graph, center, radius);
+  std::vector<NodeId> members;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (ball.distance[v] != kInfiniteDistance) members.push_back(v);
+  }
+  std::vector<bool> covered(graph.num_nodes(), false);
+  std::size_t cover_size = 0;
+  for (const NodeId v : members) {
+    if (covered[v]) continue;
+    ++cover_size;
+    const ShortestPathTree half = dijkstra_bounded(graph, v, radius / 2.0);
+    for (const NodeId w : members) {
+      if (half.distance[w] != kInfiniteDistance) covered[w] = true;
+    }
+  }
+  return cover_size;
+}
+
+}  // namespace
+
+double estimate_doubling_dimension(const Graph& graph, Rng& rng,
+                                   std::size_t sample_count) {
+  MOT_EXPECTS(graph.num_nodes() >= 2 && sample_count >= 1);
+  const Weight diameter = approx_diameter(graph);
+
+  // Centers: the highest-degree node (hubs betray high dimension) plus a
+  // random sample. Radii: powers of two up to the diameter — the scale at
+  // which a hub ball cannot be halved is easy to miss with random radii.
+  std::vector<NodeId> centers;
+  NodeId hub = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.degree(v) > graph.degree(hub)) hub = v;
+  }
+  centers.push_back(hub);
+  for (std::size_t s = 0; s + 1 < sample_count; ++s) {
+    centers.push_back(static_cast<NodeId>(rng.below(graph.num_nodes())));
+  }
+
+  std::size_t worst_cover = 1;
+  for (const NodeId center : centers) {
+    for (Weight radius = 1.0; radius <= std::max(1.0, diameter);
+         radius *= 2.0) {
+      worst_cover =
+          std::max(worst_cover, half_ball_cover_size(graph, center, radius));
+    }
+  }
+  return std::log2(static_cast<double>(worst_cover));
+}
+
+}  // namespace mot

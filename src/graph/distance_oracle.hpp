@@ -1,0 +1,85 @@
+// Distance oracles: the experiment harness issues millions of pairwise
+// distance queries (every move's optimal cost is dist_G(old, new)). The
+// oracle interface lets callers pick the cheapest exact backend:
+//
+//   * GridDistanceOracle — O(1) closed form (Manhattan) on 4-connected
+//     unit grids, the paper's evaluation topology;
+//   * CachedDistanceOracle — lazy per-source Dijkstra, memoized; exact on
+//     any graph, memory O(sources_touched * n);
+//   * make_distance_oracle — picks the grid fast path automatically.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  // Exact shortest-path distance between u and v.
+  virtual Weight distance(NodeId u, NodeId v) const = 0;
+
+  virtual std::size_t num_nodes() const = 0;
+};
+
+// Lazy exact oracle over any connected graph.
+class CachedDistanceOracle final : public DistanceOracle {
+ public:
+  explicit CachedDistanceOracle(const Graph& graph);
+
+  Weight distance(NodeId u, NodeId v) const override;
+  std::size_t num_nodes() const override { return graph_->num_nodes(); }
+
+  // Number of distinct sources whose SSSP tree has been materialized.
+  std::size_t cached_sources() const { return cache_.size(); }
+
+ private:
+  const std::vector<Weight>& row(NodeId source) const;
+
+  const Graph* graph_;
+  bool unit_weights_;
+  mutable std::unordered_map<NodeId, std::vector<Weight>> cache_;
+};
+
+// Closed-form oracle for rows x cols 4-connected unit grids.
+class GridDistanceOracle final : public DistanceOracle {
+ public:
+  GridDistanceOracle(std::size_t rows, std::size_t cols);
+
+  Weight distance(NodeId u, NodeId v) const override;
+  std::size_t num_nodes() const override { return rows_ * cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+struct GridShape {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+
+// If `graph` is structurally a rows x cols 4-connected unit grid with the
+// canonical node numbering, returns its shape.
+std::optional<GridShape> detect_grid(const Graph& graph);
+
+// Best exact oracle for `graph`: GridDistanceOracle when the graph is a
+// canonical grid, CachedDistanceOracle otherwise. The oracle keeps a
+// pointer to `graph`, which must outlive it.
+std::unique_ptr<DistanceOracle> make_distance_oracle(const Graph& graph);
+
+// Empirical doubling-dimension estimate: samples balls B(v, r) and counts
+// how many radius r/2 balls are needed to cover each (greedy). Returns
+// log2 of the worst cover size found. Used by tests to confirm grids and
+// geometric graphs are constant-doubling while stars/lollipops are not.
+double estimate_doubling_dimension(const Graph& graph, Rng& rng,
+                                   std::size_t sample_count = 16);
+
+}  // namespace mot

@@ -1,0 +1,254 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace mot {
+
+namespace {
+
+NodeId grid_id(std::size_t row, std::size_t col, std::size_t cols) {
+  return static_cast<NodeId>(row * cols + col);
+}
+
+void add_grid_positions(GraphBuilder& builder, std::size_t rows,
+                        std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      builder.set_position(grid_id(r, c, cols),
+                           {static_cast<double>(c), static_cast<double>(r)});
+    }
+  }
+}
+
+}  // namespace
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  MOT_EXPECTS(rows >= 1 && cols >= 1);
+  GraphBuilder builder(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+      }
+      if (r + 1 < rows) {
+        builder.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+      }
+    }
+  }
+  add_grid_positions(builder, rows, cols);
+  return std::move(builder).build();
+}
+
+Graph make_grid8(std::size_t rows, std::size_t cols) {
+  MOT_EXPECTS(rows >= 1 && cols >= 1);
+  const double diagonal = std::sqrt(2.0);
+  GraphBuilder builder(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+      }
+      if (r + 1 < rows) {
+        builder.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+        if (c + 1 < cols) {
+          builder.add_edge(grid_id(r, c, cols), grid_id(r + 1, c + 1, cols),
+                           diagonal);
+        }
+        if (c > 0) {
+          builder.add_edge(grid_id(r, c, cols), grid_id(r + 1, c - 1, cols),
+                           diagonal);
+        }
+      }
+    }
+  }
+  add_grid_positions(builder, rows, cols);
+  return std::move(builder).build();
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  MOT_EXPECTS(rows >= 3 && cols >= 3);
+  GraphBuilder builder(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      builder.add_edge(grid_id(r, c, cols),
+                       grid_id(r, (c + 1) % cols, cols));
+      builder.add_edge(grid_id(r, c, cols),
+                       grid_id((r + 1) % rows, c, cols));
+    }
+  }
+  add_grid_positions(builder, rows, cols);
+  return std::move(builder).build();
+}
+
+Graph make_ring(std::size_t n) {
+  MOT_EXPECTS(n >= 3);
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add_edge(static_cast<NodeId>(i),
+                     static_cast<NodeId>((i + 1) % n));
+  }
+  // Embed on a circle so zone-based baselines can run on rings too.
+  const double radius = static_cast<double>(n) / (2.0 * M_PI);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * static_cast<double>(i) /
+                         static_cast<double>(n);
+    builder.set_position(static_cast<NodeId>(i),
+                         {radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  return std::move(builder).build();
+}
+
+Graph make_path(std::size_t n) {
+  MOT_EXPECTS(n >= 1);
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    builder.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.set_position(static_cast<NodeId>(i),
+                         {static_cast<double>(i), 0.0});
+  }
+  return std::move(builder).build();
+}
+
+Graph make_star(std::size_t n) {
+  MOT_EXPECTS(n >= 2);
+  GraphBuilder builder(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    builder.add_edge(0, static_cast<NodeId>(i));
+  }
+  return std::move(builder).build();
+}
+
+Graph make_complete(std::size_t n) {
+  MOT_EXPECTS(n >= 2);
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      builder.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph make_balanced_tree(std::size_t n, std::size_t branching) {
+  MOT_EXPECTS(n >= 1 && branching >= 1);
+  GraphBuilder builder(n);
+  for (std::size_t child = 1; child < n; ++child) {
+    const std::size_t parent = (child - 1) / branching;
+    builder.add_edge(static_cast<NodeId>(parent), static_cast<NodeId>(child));
+  }
+  return std::move(builder).build();
+}
+
+Graph make_random_tree(std::size_t n, Rng& rng) {
+  MOT_EXPECTS(n >= 1);
+  GraphBuilder builder(n);
+  for (std::size_t child = 1; child < n; ++child) {
+    const auto parent = static_cast<NodeId>(rng.below(child));
+    builder.add_edge(parent, static_cast<NodeId>(child));
+  }
+  return std::move(builder).build();
+}
+
+Graph make_random_geometric(std::size_t n, double side, double radius,
+                            Rng& rng, int max_attempts,
+                            double min_separation) {
+  MOT_EXPECTS(n >= 2 && side > 0.0 && radius > 0.0 && max_attempts >= 1);
+  MOT_EXPECTS(min_separation >= 0.0 && min_separation < radius);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    GraphBuilder builder(n);
+    std::vector<Position> points(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Rejection-sample until the point clears min_separation (bounded
+      // tries so dense parameterizations degrade instead of hanging).
+      for (int tries = 0; tries < 256; ++tries) {
+        points[i] = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+        if (min_separation == 0.0) break;
+        bool clear = true;
+        for (std::size_t j = 0; j < i && clear; ++j) {
+          const double dx = points[i].x - points[j].x;
+          const double dy = points[i].y - points[j].y;
+          if (dx * dx + dy * dy < min_separation * min_separation) {
+            clear = false;
+          }
+        }
+        if (clear) break;
+      }
+      builder.set_position(static_cast<NodeId>(i), points[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = points[i].x - points[j].x;
+        const double dy = points[i].y - points[j].y;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        if (dist <= radius && dist > 0.0) {
+          builder.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                           dist);
+        }
+      }
+    }
+    builder.normalize();
+    Graph graph = std::move(builder).build();
+    if (graph.is_connected()) return graph;
+  }
+  MOT_LOG_WARN(
+      "random geometric graph (n=%zu, r=%.3f) not connected after %d "
+      "attempts; increase radius",
+      n, radius, max_attempts);
+  MOT_CHECK(false && "make_random_geometric: could not produce a connected graph");
+  return Graph{};
+}
+
+Graph make_connected_random(std::size_t n, double average_degree,
+                            double max_weight, Rng& rng) {
+  MOT_EXPECTS(n >= 2 && average_degree >= 2.0 && max_weight >= 1.0);
+  GraphBuilder builder(n);
+  // Spine: random spanning tree guarantees connectivity.
+  for (std::size_t child = 1; child < n; ++child) {
+    const auto parent = static_cast<NodeId>(rng.below(child));
+    builder.add_edge(parent, static_cast<NodeId>(child),
+                     rng.uniform(1.0, max_weight));
+  }
+  const auto target_edges =
+      static_cast<std::size_t>(average_degree * static_cast<double>(n) / 2.0);
+  std::size_t edges = n - 1;
+  std::size_t stale = 0;
+  while (edges < target_edges && stale < 16 * n) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (builder.add_edge(u, v, rng.uniform(1.0, max_weight))) {
+      ++edges;
+      stale = 0;
+    } else {
+      ++stale;
+    }
+  }
+  builder.normalize();
+  return std::move(builder).build();
+}
+
+Graph make_lollipop(std::size_t clique_size, std::size_t tail_length) {
+  MOT_EXPECTS(clique_size >= 2);
+  const std::size_t n = clique_size + tail_length;
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < clique_size; ++i) {
+    for (std::size_t j = i + 1; j < clique_size; ++j) {
+      builder.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  for (std::size_t i = 0; i < tail_length; ++i) {
+    const std::size_t from = (i == 0) ? clique_size - 1 : clique_size + i - 1;
+    builder.add_edge(static_cast<NodeId>(from),
+                     static_cast<NodeId>(clique_size + i));
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace mot

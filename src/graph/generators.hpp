@@ -1,0 +1,64 @@
+// Network topology generators. Grids are the paper's evaluation substrate
+// (Section 8, 10–1024 nodes); rings exercise the O(D) worst case of the
+// spanning-tree baselines (Section 1.3); random geometric graphs are the
+// standard constant-doubling sensor deployment model; the remaining
+// families feed tests and the general-graph benches (Section 6).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+// rows x cols 4-connected grid with unit edge weights and integer
+// positions. Node id = row * cols + col.
+Graph make_grid(std::size_t rows, std::size_t cols);
+
+// 8-connected grid: diagonal edges weigh sqrt(2).
+Graph make_grid8(std::size_t rows, std::size_t cols);
+
+// Torus: grid with wrap-around edges (vertex-transitive; no boundary).
+Graph make_torus(std::size_t rows, std::size_t cols);
+
+// Cycle of n nodes, unit weights.
+Graph make_ring(std::size_t n);
+
+// Path of n nodes, unit weights.
+Graph make_path(std::size_t n);
+
+// Star: node 0 joined to all others.
+Graph make_star(std::size_t n);
+
+// Complete graph with unit weights.
+Graph make_complete(std::size_t n);
+
+// Balanced tree with the given branching factor.
+Graph make_balanced_tree(std::size_t n, std::size_t branching);
+
+// Uniform random spanning tree over n nodes (random attachment).
+Graph make_random_tree(std::size_t n, Rng& rng);
+
+// Random geometric graph: n points uniform in [0, side]^2, edge when
+// distance <= radius, weight = Euclidean distance. Retries until connected
+// (caller should choose radius comfortably above the connectivity
+// threshold ~ sqrt(log n / n) * side). A positive min_separation rejects
+// points closer than that to an existing one (Poisson-disk-style), which
+// models real deployments and keeps the normalized diameter reasonable —
+// without it, one near-coincident pair rescales every other weight up.
+Graph make_random_geometric(std::size_t n, double side, double radius,
+                            Rng& rng, int max_attempts = 64,
+                            double min_separation = 0.0);
+
+// Connected Erdos-Renyi-style graph: a random spanning tree plus extra
+// random edges until ~average_degree. Weights uniform in [1, max_weight].
+Graph make_connected_random(std::size_t n, double average_degree,
+                            double max_weight, Rng& rng);
+
+// "Lollipop": a clique of clique_size nodes with a path of tail_length
+// hanging off it — a standard non-doubling stress topology for the
+// general-graph hierarchy.
+Graph make_lollipop(std::size_t clique_size, std::size_t tail_length);
+
+}  // namespace mot

@@ -1,0 +1,136 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+std::span<const Edge> Graph::neighbors(NodeId node) const {
+  MOT_EXPECTS(node < num_nodes());
+  return {edges_.data() + offsets_[node],
+          offsets_[node + 1] - offsets_[node]};
+}
+
+std::size_t Graph::degree(NodeId node) const {
+  MOT_EXPECTS(node < num_nodes());
+  return offsets_[node + 1] - offsets_[node];
+}
+
+const Position& Graph::position(NodeId node) const {
+  MOT_EXPECTS(has_positions() && node < positions_.size());
+  return positions_[node];
+}
+
+Weight Graph::edge_weight(NodeId u, NodeId v) const {
+  for (const Edge& e : neighbors(u)) {
+    if (e.to == v) return e.weight;
+  }
+  return kInfiniteDistance;
+}
+
+bool Graph::is_connected() const {
+  const std::size_t n = num_nodes();
+  if (n <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const Edge& e : neighbors(u)) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == n;
+}
+
+Weight Graph::min_edge_weight() const {
+  Weight best = kInfiniteDistance;
+  for (const Edge& e : edges_) best = std::min(best, e.weight);
+  return edges_.empty() ? 0.0 : best;
+}
+
+Weight Graph::max_edge_weight() const {
+  Weight best = 0.0;
+  for (const Edge& e : edges_) best = std::max(best, e.weight);
+  return best;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream out;
+  out << "Graph(n=" << num_nodes() << ", m=" << num_edges()
+      << ", weights=[" << min_edge_weight() << ", " << max_edge_weight()
+      << "]" << (has_positions() ? ", embedded" : "") << ")";
+  return out.str();
+}
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes)
+    : adjacency_(num_nodes), positions_(num_nodes) {}
+
+bool GraphBuilder::add_edge(NodeId u, NodeId v, Weight weight) {
+  MOT_EXPECTS(u < adjacency_.size() && v < adjacency_.size());
+  MOT_EXPECTS(weight > 0.0);
+  if (u == v || has_edge(u, v)) return false;
+  adjacency_[u].push_back({v, weight});
+  adjacency_[v].push_back({u, weight});
+  return true;
+}
+
+bool GraphBuilder::has_edge(NodeId u, NodeId v) const {
+  MOT_EXPECTS(u < adjacency_.size() && v < adjacency_.size());
+  // Scan the smaller adjacency list.
+  const auto& list =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::any_of(list.begin(), list.end(),
+                     [target](const Edge& e) { return e.to == target; });
+}
+
+void GraphBuilder::set_position(NodeId node, Position pos) {
+  MOT_EXPECTS(node < positions_.size());
+  positions_[node] = pos;
+  has_positions_ = true;
+}
+
+void GraphBuilder::normalize() {
+  Weight min_weight = kInfiniteDistance;
+  for (const auto& list : adjacency_) {
+    for (const Edge& e : list) min_weight = std::min(min_weight, e.weight);
+  }
+  if (min_weight == kInfiniteDistance || min_weight == 1.0) return;
+  MOT_CHECK(min_weight > 0.0);
+  for (auto& list : adjacency_) {
+    for (Edge& e : list) e.weight /= min_weight;
+  }
+}
+
+Graph GraphBuilder::build() && {
+  Graph graph;
+  graph.offsets_.resize(adjacency_.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    graph.offsets_[i] = total;
+    total += adjacency_[i].size();
+  }
+  graph.offsets_[adjacency_.size()] = total;
+  graph.edges_.reserve(total);
+  for (auto& list : adjacency_) {
+    // Sorted adjacency gives deterministic iteration order everywhere.
+    std::sort(list.begin(), list.end(),
+              [](const Edge& a, const Edge& b) { return a.to < b.to; });
+    graph.edges_.insert(graph.edges_.end(), list.begin(), list.end());
+  }
+  if (has_positions_) graph.positions_ = std::move(positions_);
+  return graph;
+}
+
+}  // namespace mot

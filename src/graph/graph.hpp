@@ -1,0 +1,103 @@
+// Weighted undirected graph modeling the sensor network (Section 2.1 of
+// the paper): nodes are sensors, edges connect sensors whose detection
+// ranges are adjacent, edge weights are inter-sensor distances normalized
+// so the shortest edge has weight 1.
+//
+// Storage is CSR (compressed sparse row): cache-friendly for the
+// Dijkstra/BFS sweeps that dominate experiment time on a single core.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mot {
+
+using NodeId = std::uint32_t;
+using Weight = double;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr Weight kInfiniteDistance =
+    std::numeric_limits<Weight>::infinity();
+
+struct Edge {
+  NodeId to = kInvalidNode;
+  Weight weight = 0.0;
+};
+
+// Optional 2D embedding (set by generators that have one, e.g. grids and
+// random geometric graphs). Zone-based baselines (Z-DAT) require it.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_edges() const { return edges_.size() / 2; }  // undirected
+
+  std::span<const Edge> neighbors(NodeId node) const;
+  std::size_t degree(NodeId node) const;
+
+  bool has_positions() const { return !positions_.empty(); }
+  const Position& position(NodeId node) const;
+  std::span<const Position> positions() const { return positions_; }
+
+  // Weight of the direct edge (u, v); kInfiniteDistance if absent.
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  // True if every pair of nodes is joined by some path.
+  bool is_connected() const;
+
+  // Minimum and maximum edge weights (0 for an edgeless graph).
+  Weight min_edge_weight() const;
+  Weight max_edge_weight() const;
+
+  // Human-readable one-line summary for logs.
+  std::string summary() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // size num_nodes + 1
+  std::vector<Edge> edges_;           // both directions of every edge
+  std::vector<Position> positions_;   // empty or size num_nodes
+};
+
+// Accumulates edges, then produces a CSR graph. Duplicate edges are
+// rejected; weights must be positive. normalize() rescales all weights so
+// the minimum edge weight is exactly 1 (the paper's normalization, which
+// makes all bounds scale-free).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t num_nodes);
+
+  // Adds the undirected edge (u, v). Returns false and ignores the call if
+  // the edge already exists or is a self-loop.
+  bool add_edge(NodeId u, NodeId v, Weight weight = 1.0);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  void set_position(NodeId node, Position pos);
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+
+  // Rescales weights so min weight == 1. No-op on an edgeless graph.
+  void normalize();
+
+  Graph build() &&;
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<Position> positions_;
+  bool has_positions_ = false;
+};
+
+}  // namespace mot

@@ -1,0 +1,137 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  MOT_EXPECTS(target < distance.size());
+  if (distance[target] == kInfiniteDistance) return {};
+  std::vector<NodeId> path;
+  for (NodeId at = target; at != kInvalidNode; at = parent[at]) {
+    path.push_back(at);
+    if (at == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  MOT_ENSURES(!path.empty() && path.front() == source);
+  return path;
+}
+
+namespace {
+
+struct QueueEntry {
+  Weight distance;
+  NodeId node;
+  bool operator>(const QueueEntry& other) const {
+    return distance > other.distance;
+  }
+};
+
+ShortestPathTree run_dijkstra(const Graph& graph, NodeId source,
+                              Weight radius) {
+  MOT_EXPECTS(source < graph.num_nodes());
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.distance.assign(graph.num_nodes(), kInfiniteDistance);
+  tree.parent.assign(graph.num_nodes(), kInvalidNode);
+  tree.distance[source] = 0.0;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [dist, node] = queue.top();
+    queue.pop();
+    if (dist > tree.distance[node]) continue;  // stale entry
+    for (const Edge& e : graph.neighbors(node)) {
+      const Weight candidate = dist + e.weight;
+      if (candidate > radius) continue;
+      if (candidate < tree.distance[e.to]) {
+        tree.distance[e.to] = candidate;
+        tree.parent[e.to] = node;
+        queue.push({candidate, e.to});
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Graph& graph, NodeId source) {
+  return run_dijkstra(graph, source, kInfiniteDistance);
+}
+
+ShortestPathTree dijkstra_bounded(const Graph& graph, NodeId source,
+                                  Weight radius) {
+  MOT_EXPECTS(radius >= 0.0);
+  return run_dijkstra(graph, source, radius);
+}
+
+ShortestPathTree bfs_unit(const Graph& graph, NodeId source) {
+  MOT_EXPECTS(source < graph.num_nodes());
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.distance.assign(graph.num_nodes(), kInfiniteDistance);
+  tree.parent.assign(graph.num_nodes(), kInvalidNode);
+  tree.distance[source] = 0.0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop_front();
+    for (const Edge& e : graph.neighbors(node)) {
+      MOT_EXPECTS(e.weight == 1.0);
+      if (tree.distance[e.to] == kInfiniteDistance) {
+        tree.distance[e.to] = tree.distance[node] + 1.0;
+        tree.parent[e.to] = node;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return tree;
+}
+
+bool has_unit_weights(const Graph& graph) {
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const Edge& e : graph.neighbors(u)) {
+      if (e.weight != 1.0) return false;
+    }
+  }
+  return true;
+}
+
+Weight eccentricity(const Graph& graph, NodeId source) {
+  const ShortestPathTree tree = dijkstra(graph, source);
+  Weight ecc = 0.0;
+  for (const Weight d : tree.distance) {
+    MOT_CHECK(d != kInfiniteDistance);  // callers require connectivity
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+Weight exact_diameter(const Graph& graph) {
+  Weight diameter = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    diameter = std::max(diameter, eccentricity(graph, u));
+  }
+  return diameter;
+}
+
+Weight approx_diameter(const Graph& graph) {
+  if (graph.num_nodes() <= 1) return 0.0;
+  const ShortestPathTree first = dijkstra(graph, 0);
+  NodeId farthest = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    MOT_CHECK(first.distance[u] != kInfiniteDistance);
+    if (first.distance[u] > first.distance[farthest]) farthest = u;
+  }
+  return eccentricity(graph, farthest);
+}
+
+}  // namespace mot

@@ -1,0 +1,49 @@
+// Single-source shortest paths (Dijkstra, with a BFS fast path for
+// unit-weight graphs) and path extraction. All tracking-cost accounting
+// reduces to distances computed here.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mot {
+
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<Weight> distance;   // kInfiniteDistance if unreachable
+  std::vector<NodeId> parent;     // kInvalidNode for source/unreachable
+
+  // Nodes on the shortest path source -> target, inclusive of both ends.
+  // Empty if target is unreachable.
+  std::vector<NodeId> path_to(NodeId target) const;
+};
+
+// Full Dijkstra from `source`.
+ShortestPathTree dijkstra(const Graph& graph, NodeId source);
+
+// Dijkstra truncated at `radius`: nodes farther than radius keep
+// kInfiniteDistance. Used for cluster construction, where only a bounded
+// neighborhood matters. Cost is proportional to the ball size, not n.
+ShortestPathTree dijkstra_bounded(const Graph& graph, NodeId source,
+                                  Weight radius);
+
+// BFS distances for graphs whose edges all weigh exactly 1 (grids, rings).
+// Falls back on a contract failure if the graph is weighted.
+ShortestPathTree bfs_unit(const Graph& graph, NodeId source);
+
+// True when every edge weight equals 1 (enables the BFS fast path).
+bool has_unit_weights(const Graph& graph);
+
+// Exact eccentricity of `source` (max distance to any node).
+Weight eccentricity(const Graph& graph, NodeId source);
+
+// Exact diameter by running SSSP from every node. O(n * SSSP); fine for
+// the experiment sizes (<= a few thousand nodes).
+Weight exact_diameter(const Graph& graph);
+
+// Two-sweep lower bound on the diameter (exact on trees, excellent on
+// grids): eccentricity of the farthest node from an arbitrary start.
+Weight approx_diameter(const Graph& graph);
+
+}  // namespace mot

@@ -1,0 +1,181 @@
+#include "hier/doubling_hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_path.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace mot {
+
+namespace {
+
+// Safety bound on hierarchy height: 2^64 exceeds any representable
+// diameter, so the level loop must terminate long before this.
+constexpr int kMaxLevels = 60;
+
+}  // namespace
+
+std::unique_ptr<DoublingHierarchy> DoublingHierarchy::build(
+    const Graph& graph, const DistanceOracle& oracle, const Params& params) {
+  MOT_EXPECTS(graph.num_nodes() >= 1);
+  MOT_EXPECTS(params.parent_radius_factor >= 1.0);
+
+  auto hierarchy = std::unique_ptr<DoublingHierarchy>(new DoublingHierarchy());
+  hierarchy->graph_ = &graph;
+  hierarchy->oracle_ = &oracle;
+
+  Rng rng(params.seed);
+  const std::size_t n = graph.num_nodes();
+
+  // Level 0: every sensor.
+  Level bottom;
+  bottom.member_list.resize(n);
+  for (NodeId v = 0; v < n; ++v) bottom.member_list[v] = v;
+  bottom.membership.assign(n, true);
+  hierarchy->levels_.push_back(std::move(bottom));
+
+  // Refine: V_{l+1} = MIS of (V_l, {(u,v) : dist_G(u,v) < 2^{l+1}}).
+  for (int level = 0; hierarchy->levels_[level].member_list.size() > 1;
+       ++level) {
+    MOT_CHECK(level < kMaxLevels);
+    const auto& current = hierarchy->levels_[level].member_list;
+    const Weight radius = std::ldexp(1.0, level + 1);  // 2^{l+1}
+
+    MisInstance instance;
+    instance.vertices = current;
+    instance.neighbors.resize(current.size());
+    for (std::uint32_t i = 0; i < current.size(); ++i) {
+      const ShortestPathTree ball =
+          dijkstra_bounded(graph, current[i], radius);
+      for (std::uint32_t j = 0; j < current.size(); ++j) {
+        if (j != i && ball.distance[current[j]] < radius) {
+          instance.neighbors[i].push_back(j);
+        }
+      }
+    }
+
+    MisResult mis = luby_mis(instance, rng);
+    hierarchy->total_mis_rounds_ += mis.rounds;
+
+    Level next;
+    next.member_list = std::move(mis.members);
+    next.membership.assign(n, false);
+    for (const NodeId v : next.member_list) next.membership[v] = true;
+    hierarchy->levels_.push_back(std::move(next));
+  }
+
+  // Parent structure: for target level t, scan a bounded ball around each
+  // V_t member and register it in the parent set of every V_{t-1} member
+  // found (radius factor * 2^t, the paper's 4 * 2^{l+1}).
+  for (int target = 1; target <= hierarchy->height(); ++target) {
+    Level& upper = hierarchy->levels_[target];
+    const Level& lower = hierarchy->levels_[target - 1];
+    const Weight radius =
+        params.parent_radius_factor * std::ldexp(1.0, target);
+
+    // best (distance, parent) per lower member, for default parents.
+    std::unordered_map<NodeId, std::pair<Weight, NodeId>> best;
+    for (const NodeId parent : upper.member_list) {
+      const ShortestPathTree ball = dijkstra_bounded(graph, parent, radius);
+      for (const NodeId child : lower.member_list) {
+        const Weight d = ball.distance[child];
+        if (d > radius) continue;  // unreachable entries are +inf
+        upper.parent_sets[child].push_back(parent);
+        auto [it, inserted] = best.emplace(child, std::make_pair(d, parent));
+        if (!inserted && (d < it->second.first ||
+                          (d == it->second.first &&
+                           parent < it->second.second))) {
+          it->second = {d, parent};
+        }
+      }
+    }
+    for (auto& [child, parents] : upper.parent_sets) {
+      std::sort(parents.begin(), parents.end());
+    }
+    for (const NodeId child : lower.member_list) {
+      const auto it = best.find(child);
+      // Maximality of the MIS guarantees a parent within 2^t < radius.
+      MOT_CHECK(it != best.end());
+      upper.default_parent.emplace(child, it->second.second);
+    }
+  }
+
+  MOT_ENSURES(hierarchy->levels_.back().member_list.size() == 1);
+  MOT_LOG_DEBUG("DoublingHierarchy: n=%zu height=%d root=%u mis_rounds=%zu",
+                n, hierarchy->height(),
+                hierarchy->levels_.back().member_list[0],
+                hierarchy->total_mis_rounds_);
+  return hierarchy;
+}
+
+NodeId DoublingHierarchy::root() const {
+  MOT_CHECK(levels_.back().member_list.size() == 1);
+  return levels_.back().member_list[0];
+}
+
+bool DoublingHierarchy::is_member(int level, NodeId node) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  MOT_EXPECTS(node < graph_->num_nodes());
+  return levels_[level].membership[node];
+}
+
+NodeId DoublingHierarchy::default_parent(int level, NodeId member) const {
+  MOT_EXPECTS(level >= 0 && level < height());
+  const auto& parents = levels_[level + 1].default_parent;
+  const auto it = parents.find(member);
+  MOT_EXPECTS(it != parents.end());
+  return it->second;
+}
+
+NodeId DoublingHierarchy::home(NodeId u, int level) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  NodeId at = u;
+  for (int l = 1; l <= level; ++l) {
+    at = default_parent(l - 1, at);
+  }
+  return at;
+}
+
+std::span<const NodeId> DoublingHierarchy::group(NodeId u, int level) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  MOT_EXPECTS(u < graph_->num_nodes());
+  if (level == 0) {
+    // The level-0 group is the node itself; alias into the bottom member
+    // list, where member_list[u] == u.
+    return {levels_[0].member_list.data() + u, 1};
+  }
+  const NodeId anchor = home(u, level - 1);
+  const auto& sets = levels_[level].parent_sets;
+  const auto it = sets.find(anchor);
+  MOT_CHECK(it != sets.end());
+  return it->second;
+}
+
+std::span<const NodeId> DoublingHierarchy::members(int level) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  return levels_[level].member_list;
+}
+
+std::span<const NodeId> DoublingHierarchy::cluster(int level,
+                                                   NodeId center) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  MOT_EXPECTS(center < graph_->num_nodes());
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level)) << 32) |
+      center;
+  auto it = cluster_cache_.find(key);
+  if (it == cluster_cache_.end()) {
+    const Weight radius = std::ldexp(1.0, level);  // 2^level
+    const ShortestPathTree ball = dijkstra_bounded(*graph_, center, radius);
+    std::vector<NodeId> members;
+    for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+      if (ball.distance[v] <= radius) members.push_back(v);
+    }
+    it = cluster_cache_.emplace(key, std::move(members)).first;
+  }
+  return it->second;
+}
+
+}  // namespace mot

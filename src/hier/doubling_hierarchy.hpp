@@ -1,0 +1,85 @@
+// The constant-doubling overlay HS of Section 2.2.
+//
+// Levels are nested maximal independent sets: V_0 = V; V_{l+1} is a Luby
+// MIS of the connectivity graph I_l = (V_l, E_l) where E_l joins members
+// at graph distance < 2^{l+1}. The top level has a single node, the root.
+//
+// For each member w of V_l:
+//   * its default parent home(w) is the nearest member of V_{l+1}
+//     (guaranteed within 2^{l+1} by maximality);
+//   * its parent set is every member of V_{l+1} within 4 * 2^{l+1},
+//     sorted by node ID (the global visit order that avoids the
+//     Section 3.1 race).
+//
+// The visit group of a bottom node u at level l is the parent set of
+// home^{l-1}(u). Lemma 2.1 (detection paths of u and v meet by level
+// ceil(log2 dist(u, v)) + 1) and Lemma 2.2 (path-length bound geometric
+// in the level) hold by construction and are enforced by property tests.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+#include "hier/mis.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+class DoublingHierarchy final : public Hierarchy {
+ public:
+  struct Params {
+    std::uint64_t seed = 1;
+    // Parent-set radius multiplier; the paper uses 4 (times 2^{l+1}).
+    double parent_radius_factor = 4.0;
+  };
+
+  // Builds HS over `graph` (must be connected). `oracle` must outlive the
+  // hierarchy and answer exact distances on `graph`.
+  static std::unique_ptr<DoublingHierarchy> build(
+      const Graph& graph, const DistanceOracle& oracle, const Params& params);
+
+  int height() const override { return static_cast<int>(levels_.size()) - 1; }
+  NodeId root() const override;
+  std::span<const NodeId> group(NodeId u, int level) const override;
+  std::span<const NodeId> cluster(int level, NodeId center) const override;
+  std::span<const NodeId> members(int level) const override;
+  NodeId primary(NodeId u, int level) const override { return home(u, level); }
+  const Graph& graph() const override { return *graph_; }
+  const DistanceOracle& oracle() const override { return *oracle_; }
+
+  // Default parent of `member` at `level` (a member of level + 1).
+  NodeId default_parent(int level, NodeId member) const;
+
+  // home^level(u): the canonical level-`level` ancestor of bottom node u.
+  NodeId home(NodeId u, int level) const;
+
+  bool is_member(int level, NodeId node) const;
+
+  // Total MIS rounds across all levels (construction-cost reporting).
+  std::size_t total_mis_rounds() const { return total_mis_rounds_; }
+
+ private:
+  struct Level {
+    std::vector<NodeId> member_list;          // sorted
+    std::vector<bool> membership;             // indexed by NodeId
+    // Keyed by a member of the level *below*; values are members of this
+    // level. parent_sets[w] is sorted by ID and contains default_parent[w].
+    std::unordered_map<NodeId, std::vector<NodeId>> parent_sets;
+    std::unordered_map<NodeId, NodeId> default_parent;
+  };
+
+  DoublingHierarchy() = default;
+
+  const Graph* graph_ = nullptr;
+  const DistanceOracle* oracle_ = nullptr;
+  std::vector<Level> levels_;  // levels_[0] = bottom
+  std::size_t total_mis_rounds_ = 0;
+
+  // Lazy cache of load-balancing clusters: ball of radius 2^level.
+  mutable std::unordered_map<std::uint64_t, std::vector<NodeId>>
+      cluster_cache_;
+};
+
+}  // namespace mot

@@ -1,0 +1,101 @@
+#include "hier/general_hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_path.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace mot {
+
+std::unique_ptr<GeneralHierarchy> GeneralHierarchy::build(
+    const Graph& graph, const DistanceOracle& oracle, const Params& params) {
+  MOT_EXPECTS(graph.num_nodes() >= 1);
+
+  auto hierarchy = std::unique_ptr<GeneralHierarchy>(new GeneralHierarchy());
+  hierarchy->graph_ = &graph;
+  hierarchy->oracle_ = &oracle;
+
+  const std::size_t n = graph.num_nodes();
+  hierarchy->identity_.resize(n);
+  for (NodeId v = 0; v < n; ++v) hierarchy->identity_[v] = v;
+
+  // Build covers with radius 2^l until one cluster swallows the graph.
+  for (int level = 1;; ++level) {
+    MOT_CHECK(level <= 60);
+    const Weight radius = std::ldexp(1.0, level);
+    SparseCover cover =
+        build_sparse_cover(graph, radius, params.growth_threshold);
+
+    std::vector<std::vector<NodeId>> groups(n);
+    std::vector<NodeId> leaders;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const std::uint32_t label : cover.clusters_of[v]) {
+        groups[v].push_back(cover.clusters[label].leader);
+      }
+      MOT_CHECK(!groups[v].empty());
+    }
+    std::unordered_map<NodeId, std::uint32_t> leader_map;
+    for (std::uint32_t label = 0; label < cover.clusters.size(); ++label) {
+      leaders.push_back(cover.clusters[label].leader);
+      leader_map.emplace(cover.clusters[label].leader, label);
+    }
+    std::sort(leaders.begin(), leaders.end());
+    leaders.erase(std::unique(leaders.begin(), leaders.end()), leaders.end());
+
+    const bool is_top = cover.clusters.size() == 1;
+    hierarchy->covers_.push_back(std::move(cover));
+    hierarchy->groups_.push_back(std::move(groups));
+    hierarchy->level_members_.push_back(std::move(leaders));
+    hierarchy->leader_to_cluster_.push_back(std::move(leader_map));
+    if (is_top) break;
+  }
+
+  MOT_LOG_DEBUG("GeneralHierarchy: n=%zu height=%d root=%u", n,
+                hierarchy->height(), hierarchy->root());
+  return hierarchy;
+}
+
+NodeId GeneralHierarchy::root() const {
+  const SparseCover& top = covers_.back();
+  MOT_CHECK(top.clusters.size() == 1);
+  return top.clusters[0].leader;
+}
+
+std::span<const NodeId> GeneralHierarchy::group(NodeId u, int level) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  MOT_EXPECTS(u < graph_->num_nodes());
+  if (level == 0) return {identity_.data() + u, 1};
+  return groups_[level - 1][u];
+}
+
+std::span<const NodeId> GeneralHierarchy::members(int level) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  if (level == 0) return identity_;
+  return level_members_[level - 1];
+}
+
+std::span<const NodeId> GeneralHierarchy::cluster(int level,
+                                                  NodeId center) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  if (level == 0) {
+    return {identity_.data() + center, 1};
+  }
+  const auto& map = leader_to_cluster_[level - 1];
+  const auto it = map.find(center);
+  MOT_EXPECTS(it != map.end());
+  return covers_[level - 1].clusters[it->second].members;
+}
+
+const SparseCover& GeneralHierarchy::cover(int level) const {
+  MOT_EXPECTS(level >= 1 && level <= height());
+  return covers_[level - 1];
+}
+
+double GeneralHierarchy::average_overlap(int level) const {
+  MOT_EXPECTS(level >= 1 && level <= height());
+  return covers_[level - 1].average_overlap();
+}
+
+}  // namespace mot

@@ -1,0 +1,66 @@
+// The general-network overlay of Section 6: one sparse cover per level
+// with cover radius 2^l; the visit group of a bottom node u at level l is
+// the set of leaders of the level-l clusters containing u, visited in
+// ascending cluster label order. The top level is a single cluster
+// containing every node, whose leader is the root.
+//
+// Meet property (Lemma 6.1): if dist(u, v) <= 2^l then v lies inside
+// B(u, 2^l), which some level-l cluster contains entirely, so u's and v's
+// level-l groups share that cluster's leader.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+#include "hier/sparse_cover.hpp"
+
+namespace mot {
+
+class GeneralHierarchy final : public Hierarchy {
+ public:
+  struct Params {
+    // Ball-expansion stop factor for the sparse-cover construction.
+    double growth_threshold = 2.0;
+  };
+
+  static std::unique_ptr<GeneralHierarchy> build(
+      const Graph& graph, const DistanceOracle& oracle, const Params& params);
+
+  int height() const override { return static_cast<int>(covers_.size()); }
+  NodeId root() const override;
+  std::span<const NodeId> group(NodeId u, int level) const override;
+  std::span<const NodeId> cluster(int level, NodeId center) const override;
+  std::span<const NodeId> members(int level) const override;
+  NodeId primary(NodeId u, int level) const override {
+    return group(u, level).front();
+  }
+  const Graph& graph() const override { return *graph_; }
+  const DistanceOracle& oracle() const override { return *oracle_; }
+
+  // The sparse cover backing level `level` (1-based; level 0 has no cover).
+  const SparseCover& cover(int level) const;
+
+  // Mean/max number of clusters a node belongs to at `level`.
+  double average_overlap(int level) const;
+
+ private:
+  GeneralHierarchy() = default;
+
+  const Graph* graph_ = nullptr;
+  const DistanceOracle* oracle_ = nullptr;
+
+  // covers_[l - 1] backs level l (levels 1 .. height()).
+  std::vector<SparseCover> covers_;
+  // groups_[l - 1][u]: leaders of clusters containing u at level l,
+  // in cluster-label order.
+  std::vector<std::vector<std::vector<NodeId>>> groups_;
+  // members_[l - 1]: distinct leaders at level l, sorted.
+  std::vector<std::vector<NodeId>> level_members_;
+  std::vector<NodeId> identity_;  // identity_[v] == v, for level-0 groups
+  // leader -> cluster label per level, for cluster() lookups.
+  std::vector<std::unordered_map<NodeId, std::uint32_t>> leader_to_cluster_;
+};
+
+}  // namespace mot

@@ -1,0 +1,31 @@
+#include "hier/hierarchy.hpp"
+
+#include "util/check.hpp"
+
+namespace mot {
+
+std::vector<OverlayNode> Hierarchy::detection_path(NodeId u) const {
+  std::vector<OverlayNode> path;
+  for (int level = 1; level <= height(); ++level) {
+    for (const NodeId node : group(u, level)) {
+      path.push_back({level, node});
+    }
+  }
+  return path;
+}
+
+Weight Hierarchy::detection_path_length(NodeId u, int level) const {
+  MOT_EXPECTS(level >= 0 && level <= height());
+  const DistanceOracle& dist = oracle();
+  Weight length = 0.0;
+  NodeId previous = u;
+  for (int l = 1; l <= level; ++l) {
+    for (const NodeId node : group(u, l)) {
+      length += dist.distance(previous, node);
+      previous = node;
+    }
+  }
+  return length;
+}
+
+}  // namespace mot

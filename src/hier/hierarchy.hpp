@@ -1,0 +1,89 @@
+// Abstract overlay hierarchy interface consumed by the MOT tracker.
+//
+// Both overlay constructions of the paper implement it:
+//   * DoublingHierarchy (Section 2.2) — MIS-refinement levels with
+//     default parents and parent sets, for constant-doubling graphs;
+//   * GeneralHierarchy (Section 6) — sparse-cover cluster leaders, for
+//     arbitrary topologies.
+//
+// The single concept MOT needs is the *visit group*: the ordered set of
+// internal nodes a detection message from bottom node u visits at each
+// level on its way to the root (parentset^l(u) in the doubling model,
+// the leaders of the level-l clusters containing u in the general model).
+// Visiting every group in a fixed global order (ID order) is what rules
+// out the Section 3.1 race condition in concurrent executions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+
+namespace mot {
+
+// An internal node of the overlay: a physical sensor playing its level-l
+// role. The same sensor at two levels is two distinct overlay nodes.
+struct OverlayNode {
+  int level = 0;
+  NodeId node = kInvalidNode;
+
+  bool operator==(const OverlayNode&) const = default;
+};
+
+struct OverlayNodeHash {
+  std::size_t operator()(const OverlayNode& v) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.level))
+         << 32) |
+        v.node);
+  }
+};
+
+class Hierarchy {
+ public:
+  virtual ~Hierarchy() = default;
+
+  // Root level index h. Levels run 0 (bottom, all sensors) .. h (root).
+  virtual int height() const = 0;
+
+  // The single top-level node.
+  virtual NodeId root() const = 0;
+
+  // Internal nodes a detection message from bottom node u visits at
+  // `level`, in visit order (ascending ID / cluster label). group(u, 0)
+  // is {u}; group(u, height()) is {root()}. Never empty for a connected
+  // graph. The returned span stays valid for the hierarchy's lifetime.
+  virtual std::span<const NodeId> group(NodeId u, int level) const = 0;
+
+  // Load-balancing cluster around internal node `center` at `level`
+  // (Section 5): the nodes that may host shares of center's detection
+  // list. Always contains center. Sorted by ID.
+  virtual std::span<const NodeId> cluster(int level, NodeId center) const = 0;
+
+  // All distinct internal nodes at `level` (sorted). Level 0 = all sensors.
+  virtual std::span<const NodeId> members(int level) const = 0;
+
+  // The canonical single parent of u at `level` — the default parent
+  // home^level(u) in the doubling model, the first-label cluster leader in
+  // the general model. Always an element of group(u, level). Used by the
+  // "default parents only" ablation (Section 3.1 discusses why probing the
+  // whole parent set is better).
+  virtual NodeId primary(NodeId u, int level) const = 0;
+
+  virtual const Graph& graph() const = 0;
+  virtual const DistanceOracle& oracle() const = 0;
+
+  // Convenience: full detection path of u as (level, node) pairs in visit
+  // order, bottom group excluded, root group included.
+  std::vector<OverlayNode> detection_path(NodeId u) const;
+
+  // Total length of the detection path of u up to and including `level`
+  // (length(DPath_level(u)) in the paper): sum of distances between
+  // consecutive visited overlay nodes starting at u.
+  Weight detection_path_length(NodeId u, int level) const;
+};
+
+}  // namespace mot

@@ -1,0 +1,85 @@
+#include "hier/mis.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+MisResult luby_mis(const MisInstance& instance, Rng& rng) {
+  const std::size_t n = instance.vertices.size();
+  MOT_EXPECTS(instance.neighbors.size() == n);
+
+  enum class State : std::uint8_t { kLive, kInMis, kRetired };
+  std::vector<State> state(n, State::kLive);
+  std::vector<std::uint64_t> priority(n);
+  std::size_t live = n;
+
+  MisResult result;
+  while (live > 0) {
+    ++result.rounds;
+    // Round part 1: every live vertex draws a priority. Ties are broken by
+    // vertex index so the round is total-ordered (matches the message-
+    // passing algorithm where IDs break ties).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i] == State::kLive) priority[i] = rng();
+    }
+    // Round part 2: join if strictly best among live neighbors.
+    std::vector<std::uint32_t> joined;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (state[i] != State::kLive) continue;
+      bool best = true;
+      for (const std::uint32_t j : instance.neighbors[i]) {
+        if (state[j] != State::kLive) continue;
+        if (priority[j] > priority[i] ||
+            (priority[j] == priority[i] && j < i)) {
+          best = false;
+          break;
+        }
+      }
+      if (best) joined.push_back(static_cast<std::uint32_t>(i));
+    }
+    // Round part 3: winners enter the MIS; their live neighbors retire.
+    for (const std::uint32_t i : joined) {
+      if (state[i] != State::kLive) continue;  // retired by an earlier winner
+      state[i] = State::kInMis;
+      --live;
+      for (const std::uint32_t j : instance.neighbors[i]) {
+        if (state[j] == State::kLive) {
+          state[j] = State::kRetired;
+          --live;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state[i] == State::kInMis) {
+      result.members.push_back(instance.vertices[i]);
+    }
+  }
+  std::sort(result.members.begin(), result.members.end());
+  return result;
+}
+
+bool is_maximal_independent_set(const MisInstance& instance,
+                                const std::vector<NodeId>& members) {
+  const std::size_t n = instance.vertices.size();
+  std::unordered_set<NodeId> member_set(members.begin(), members.end());
+  std::vector<bool> in_mis(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    in_mis[i] = member_set.count(instance.vertices[i]) > 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    bool has_mis_neighbor = false;
+    for (const std::uint32_t j : instance.neighbors[i]) {
+      if (in_mis[i] && in_mis[j]) return false;  // independence violated
+      if (in_mis[j]) has_mis_neighbor = true;
+    }
+    if (!in_mis[i] && !has_mis_neighbor) return false;  // not maximal
+  }
+  return true;
+}
+
+}  // namespace mot

@@ -1,0 +1,40 @@
+// Luby's randomized maximal independent set (STOC'85), simulated as the
+// synchronous distributed algorithm the paper cites for constructing the
+// overlay hierarchy levels (Section 2.2): in each round every live vertex
+// draws a random priority, joins the MIS if its priority beats all live
+// neighbors', and then MIS vertices and their neighbors retire.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+// A lightweight adjacency view for MIS computation over *derived* graphs
+// (the level-l connectivity graph I_l joins hierarchy members closer than
+// 2^{l+1}, which is not the sensor graph itself).
+struct MisInstance {
+  // vertices[i] is an opaque label (e.g. the sensor NodeId) — returned in
+  // the result but not interpreted.
+  std::vector<NodeId> vertices;
+  // neighbors[i] lists indices (into `vertices`) adjacent to vertex i.
+  std::vector<std::vector<std::uint32_t>> neighbors;
+};
+
+struct MisResult {
+  std::vector<NodeId> members;   // labels of MIS vertices, sorted
+  std::size_t rounds = 0;        // synchronous rounds Luby needed
+};
+
+// Runs Luby's algorithm. Deterministic for a given rng state.
+MisResult luby_mis(const MisInstance& instance, Rng& rng);
+
+// Verification helper for tests: true iff `members` (labels) form a
+// maximal independent set of `instance`.
+bool is_maximal_independent_set(const MisInstance& instance,
+                                const std::vector<NodeId>& members);
+
+}  // namespace mot

@@ -1,0 +1,147 @@
+#include "hier/sparse_cover.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graph/shortest_path.hpp"
+#include "util/check.hpp"
+
+namespace mot {
+
+double SparseCover::average_overlap() const {
+  if (clusters_of.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& list : clusters_of) total += list.size();
+  return static_cast<double>(total) /
+         static_cast<double>(clusters_of.size());
+}
+
+std::size_t SparseCover::max_overlap() const {
+  std::size_t worst = 0;
+  for (const auto& list : clusters_of) worst = std::max(worst, list.size());
+  return worst;
+}
+
+namespace {
+
+// Multi-source Dijkstra bounded by `radius`: distances from the nearest
+// node of `sources`.
+std::vector<Weight> ball_of_set(const Graph& graph,
+                                const std::vector<NodeId>& sources,
+                                Weight radius) {
+  std::vector<Weight> dist(graph.num_nodes(), kInfiniteDistance);
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (const NodeId s : sources) {
+    dist[s] = 0.0;
+    queue.push({0.0, s});
+  }
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d > dist[node]) continue;
+    for (const Edge& e : graph.neighbors(node)) {
+      const Weight candidate = d + e.weight;
+      if (candidate > radius) continue;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        queue.push({candidate, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+SparseCover build_sparse_cover(const Graph& graph, Weight radius,
+                               double growth_threshold) {
+  MOT_EXPECTS(graph.num_nodes() >= 1);
+  MOT_EXPECTS(radius >= 0.0);
+  MOT_EXPECTS(growth_threshold > 1.0);
+
+  const std::size_t n = graph.num_nodes();
+  SparseCover cover;
+  cover.cover_radius = radius;
+  cover.clusters_of.resize(n);
+
+  // Nodes whose r-ball still needs a covering cluster, processed in ID
+  // order for determinism.
+  std::vector<bool> uncovered(n, true);
+  std::size_t remaining = n;
+
+  for (NodeId seed = 0; remaining > 0; ++seed) {
+    MOT_CHECK(seed < n);
+    if (!uncovered[seed]) continue;
+
+    // Grow: core starts as {seed}; expand to the r-ball of the core while
+    // the ball is more than growth_threshold times the core.
+    std::vector<NodeId> core{seed};
+    std::vector<NodeId> ball_members;
+    while (true) {
+      const std::vector<Weight> dist = ball_of_set(graph, core, radius);
+      ball_members.clear();
+      for (NodeId v = 0; v < n; ++v) {
+        if (dist[v] <= radius) ball_members.push_back(v);
+      }
+      if (static_cast<double>(ball_members.size()) >
+          growth_threshold * static_cast<double>(core.size())) {
+        core = ball_members;
+      } else {
+        break;
+      }
+    }
+
+    Cluster cluster;
+    cluster.leader = seed;
+    cluster.members = ball_members;  // sorted (built in ID order)
+    const ShortestPathTree from_leader = dijkstra(graph, seed);
+    for (const NodeId v : cluster.members) {
+      cluster.radius = std::max(cluster.radius, from_leader.distance[v]);
+    }
+
+    const auto label = static_cast<std::uint32_t>(cover.clusters.size());
+    for (const NodeId v : cluster.members) {
+      cover.clusters_of[v].push_back(label);
+    }
+    // Every core node's r-ball lies inside the cluster (the cluster is
+    // exactly the r-ball of the final core), so the cores are now covered.
+    for (const NodeId v : core) {
+      if (uncovered[v]) {
+        uncovered[v] = false;
+        --remaining;
+      }
+    }
+    cover.clusters.push_back(std::move(cluster));
+  }
+
+  return cover;
+}
+
+bool covers_all_balls(const Graph& graph, const SparseCover& cover) {
+  const std::size_t n = graph.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const ShortestPathTree ball =
+        dijkstra_bounded(graph, v, cover.cover_radius);
+    bool found = false;
+    for (const std::uint32_t label : cover.clusters_of[v]) {
+      const auto& members = cover.clusters[label].members;
+      bool contains_ball = true;
+      for (NodeId w = 0; w < n && contains_ball; ++w) {
+        if (ball.distance[w] <= cover.cover_radius &&
+            !std::binary_search(members.begin(), members.end(), w)) {
+          contains_ball = false;
+        }
+      }
+      if (contains_ball) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace mot

@@ -1,0 +1,47 @@
+// Sparse covers in the style of Awerbuch–Peleg (FOCS'90), the
+// (O(log n), O(log n)) partition scheme the paper's Section 6 builds its
+// general-network overlay from.
+//
+// For a cover radius r, the construction guarantees:
+//   * coverage — every ball B(v, r) is fully contained in some cluster;
+//   * bounded radius — every cluster has radius <= (ceil(log2 n) + 1) * r
+//     from its leader (ball expansion doubles the core at most log2 n
+//     times before the growth test fails);
+//   * sparseness — empirically O(log n) clusters per node on the graph
+//     families we evaluate (asserted by tests, reported by benches).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mot {
+
+struct Cluster {
+  NodeId leader = kInvalidNode;    // the growth center; hosts the leader role
+  std::vector<NodeId> members;     // sorted by ID; contains leader
+  Weight radius = 0.0;             // max distance leader -> member
+};
+
+struct SparseCover {
+  Weight cover_radius = 0.0;       // the r whose balls are covered
+  std::vector<Cluster> clusters;   // cluster label = index in this vector
+  // clusters_of[v] = labels of clusters containing v, ascending.
+  std::vector<std::vector<std::uint32_t>> clusters_of;
+
+  double average_overlap() const;  // mean clusters per node
+  std::size_t max_overlap() const;
+};
+
+// Builds a sparse cover of `graph` with cover radius `radius`.
+// `growth_threshold` is the ball-expansion stop factor (2 corresponds to
+// the classic n^{1/k} with k = log2 n).
+SparseCover build_sparse_cover(const Graph& graph, Weight radius,
+                               double growth_threshold = 2.0);
+
+// Verification helper for tests: true iff every ball B(v, radius) is
+// contained in at least one cluster of `cover`.
+bool covers_all_balls(const Graph& graph, const SparseCover& cover);
+
+}  // namespace mot

@@ -1,0 +1,55 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+void CostRatioAccumulator::add(Weight measured, Weight optimal) {
+  MOT_EXPECTS(measured >= 0.0 && optimal >= 0.0);
+  if (optimal == 0.0) {
+    ++zero_optimal_;
+    return;
+  }
+  ++count_;
+  total_measured_ += measured;
+  total_optimal_ += optimal;
+  per_op_.add(measured / optimal);
+}
+
+double CostRatioAccumulator::aggregate_ratio() const {
+  if (total_optimal_ == 0.0) return 0.0;
+  return total_measured_ / total_optimal_;
+}
+
+LoadSummary summarize_load(const std::vector<std::size_t>& load_per_node,
+                           std::size_t threshold) {
+  LoadSummary summary;
+  summary.num_nodes = load_per_node.size();
+  summary.threshold = threshold;
+  if (load_per_node.empty()) return summary;
+
+  SampleSet samples;
+  for (const std::size_t load : load_per_node) {
+    summary.total_entries += load;
+    summary.max = std::max(summary.max, load);
+    if (load > threshold) ++summary.nodes_above_threshold;
+    samples.add(static_cast<double>(load));
+  }
+  summary.mean = static_cast<double>(summary.total_entries) /
+                 static_cast<double>(summary.num_nodes);
+  summary.p99 = samples.quantile(0.99);
+  summary.imbalance =
+      summary.mean > 0.0 ? static_cast<double>(summary.max) / summary.mean
+                         : 0.0;
+  return summary;
+}
+
+std::string load_histogram(const std::vector<std::size_t>& load_per_node) {
+  Histogram histogram;
+  for (const std::size_t load : load_per_node) histogram.add(load);
+  return histogram.to_string();
+}
+
+}  // namespace mot

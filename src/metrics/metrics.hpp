@@ -1,0 +1,66 @@
+// Experiment metrics: cost-ratio accumulation and per-node load summaries,
+// matching how the paper reports results.
+//
+// Maintenance cost ratio (Section 1.1): total tracker cost over a set of
+// operations divided by the total optimal cost (sum of dist_G(from, to)).
+// Query cost ratio: same aggregate, plus the per-operation distribution
+// (each query is individually near-optimal — Theorem 4.11).
+// Load (Section 5 / Figs. 8-11): objects + bookkeeping entries stored per
+// physical node.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/stats.hpp"
+
+namespace mot {
+
+class CostRatioAccumulator {
+ public:
+  // Records one operation. Operations with zero optimal cost (query for a
+  // co-located object) are tracked separately and excluded from ratios.
+  void add(Weight measured, Weight optimal);
+
+  std::size_t count() const { return count_; }
+  std::size_t zero_optimal_count() const { return zero_optimal_; }
+  Weight total_measured() const { return total_measured_; }
+  Weight total_optimal() const { return total_optimal_; }
+
+  // Aggregate ratio: sum(measured) / sum(optimal).
+  double aggregate_ratio() const;
+
+  // Distribution of per-operation ratios.
+  const SampleSet& per_op_ratios() const { return per_op_; }
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t zero_optimal_ = 0;
+  Weight total_measured_ = 0.0;
+  Weight total_optimal_ = 0.0;
+  SampleSet per_op_;
+};
+
+struct LoadSummary {
+  std::size_t num_nodes = 0;
+  std::size_t total_entries = 0;
+  double mean = 0.0;
+  std::size_t max = 0;
+  double p99 = 0.0;
+  // The paper's headline figure: nodes storing more than `threshold`
+  // entries (threshold 10 in Figs. 8-11).
+  std::size_t nodes_above_threshold = 0;
+  std::size_t threshold = 10;
+  // Imbalance: max / mean (1.0 = perfectly even).
+  double imbalance = 0.0;
+};
+
+LoadSummary summarize_load(const std::vector<std::size_t>& load_per_node,
+                           std::size_t threshold = 10);
+
+// Full histogram string (bin = load value, count = number of nodes).
+std::string load_histogram(const std::vector<std::size_t>& load_per_node);
+
+}  // namespace mot

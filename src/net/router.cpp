@@ -1,0 +1,115 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/shortest_path.hpp"
+#include "util/check.hpp"
+
+namespace mot {
+
+Weight route_cost(const Graph& graph, const std::vector<NodeId>& route) {
+  Weight cost = 0.0;
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    const Weight w = graph.edge_weight(route[i - 1], route[i]);
+    MOT_CHECK(w != kInfiniteDistance);  // hops must follow real edges
+    cost += w;
+  }
+  return cost;
+}
+
+ShortestPathRouter::ShortestPathRouter(const Graph& graph)
+    : graph_(&graph) {}
+
+std::vector<NodeId> ShortestPathRouter::route(NodeId from, NodeId to) const {
+  MOT_EXPECTS(from < graph_->num_nodes() && to < graph_->num_nodes());
+  if (from == to) return {from};
+  auto it = parents_.find(to);
+  if (it == parents_.end()) {
+    // One SSSP rooted at the destination gives every node its next hop
+    // toward it (the tree parent).
+    ShortestPathTree tree = has_unit_weights(*graph_)
+                                ? bfs_unit(*graph_, to)
+                                : dijkstra(*graph_, to);
+    it = parents_.emplace(to, std::move(tree.parent)).first;
+  }
+  const std::vector<NodeId>& next_hop = it->second;
+  std::vector<NodeId> path{from};
+  NodeId at = from;
+  while (at != to) {
+    MOT_CHECK(next_hop[at] != kInvalidNode);  // connected graph
+    at = next_hop[at];
+    path.push_back(at);
+    MOT_CHECK(path.size() <= graph_->num_nodes());
+  }
+  return path;
+}
+
+GreedyGeographicRouter::GreedyGeographicRouter(const Graph& graph)
+    : graph_(&graph) {
+  MOT_EXPECTS(graph.has_positions());
+}
+
+double GreedyGeographicRouter::euclidean(NodeId a, NodeId b) const {
+  const Position& pa = graph_->position(a);
+  const Position& pb = graph_->position(b);
+  const double dx = pa.x - pb.x;
+  const double dy = pa.y - pb.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<NodeId> GreedyGeographicRouter::route(NodeId from,
+                                                  NodeId to) const {
+  MOT_EXPECTS(from < graph_->num_nodes() && to < graph_->num_nodes());
+  std::vector<NodeId> path{from};
+  NodeId at = from;
+  while (at != to) {
+    double best_distance = euclidean(at, to);
+    NodeId best = kInvalidNode;
+    for (const Edge& e : graph_->neighbors(at)) {
+      const double d = euclidean(e.to, to);
+      if (d < best_distance || (d == best_distance && e.to == to)) {
+        best_distance = d;
+        best = e.to;
+      }
+    }
+    if (best == kInvalidNode) return {};  // void: no strictly closer hop
+    at = best;
+    path.push_back(at);
+    MOT_CHECK(path.size() <= graph_->num_nodes());  // progress => no loop
+  }
+  return path;
+}
+
+RouteStretch measure_stretch(const Graph& graph,
+                             const DistanceOracle& oracle,
+                             const Router& router, Rng& rng,
+                             std::size_t samples) {
+  MOT_EXPECTS(graph.num_nodes() >= 2);
+  RouteStretch stretch;
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto from = static_cast<NodeId>(rng.below(graph.num_nodes()));
+    auto to = static_cast<NodeId>(rng.below(graph.num_nodes()));
+    if (from == to) to = (to + 1) % graph.num_nodes();
+    const std::vector<NodeId> route = router.route(from, to);
+    if (route.empty()) {
+      ++stretch.failed;
+      continue;
+    }
+    MOT_CHECK(route.front() == from && route.back() == to);
+    const Weight cost = route_cost(graph, route);
+    const Weight optimal = oracle.distance(from, to);
+    MOT_CHECK(optimal > 0.0);
+    const double ratio = cost / optimal;
+    total += ratio;
+    stretch.max_stretch = std::max(stretch.max_stretch, ratio);
+    ++stretch.delivered;
+  }
+  if (stretch.delivered > 0) {
+    stretch.mean_stretch = total / static_cast<double>(stretch.delivered);
+  }
+  return stretch;
+}
+
+}  // namespace mot

@@ -1,0 +1,98 @@
+// Physical packet routing over the sensor graph.
+//
+// The paper's cost model assumes that a message between two overlay
+// nodes costs their shortest-path distance — i.e., that the network's
+// routing layer realizes (near-)shortest paths. This module supplies that
+// layer, so the assumption is substantiated rather than postulated:
+//
+//   * ShortestPathRouter — classic next-hop tables derived from SSSP
+//     trees (what a converged distance-vector/link-state protocol
+//     yields). Stretch is exactly 1 by construction.
+//   * GreedyGeographicRouter — the standard stateless sensor-network
+//     scheme (GPSR's greedy mode): forward to the neighbor geographically
+//     closest to the destination; fails at local minima ("voids").
+//     Needs node positions; stretch and failure rate are measurable.
+//
+// Routers return the full physical hop sequence, so a simulator can
+// charge per-edge traversals; route_cost() sums the edge weights.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  // Physical node sequence from `from` to `to`, both inclusive. An empty
+  // vector means the router failed (possible for greedy routing).
+  virtual std::vector<NodeId> route(NodeId from, NodeId to) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Sum of edge weights along a route (0 for empty/self routes). Aborts if
+// consecutive hops are not graph neighbors.
+Weight route_cost(const Graph& graph, const std::vector<NodeId>& route);
+
+// Next-hop forwarding along shortest-path trees, one SSSP per destination
+// computed lazily and cached (the converged-routing-protocol model).
+class ShortestPathRouter final : public Router {
+ public:
+  explicit ShortestPathRouter(const Graph& graph);
+
+  std::vector<NodeId> route(NodeId from, NodeId to) const override;
+  std::string name() const override { return "shortest-path"; }
+
+  std::size_t cached_destinations() const { return parents_.size(); }
+
+ private:
+  const Graph* graph_;
+  // parent-toward-destination per destination (SSSP tree parents).
+  mutable std::unordered_map<NodeId, std::vector<NodeId>> parents_;
+};
+
+// Stateless greedy geographic forwarding. Each hop strictly decreases the
+// Euclidean distance to the destination or the packet is dropped (local
+// minimum / void). Requires an embedded graph.
+class GreedyGeographicRouter final : public Router {
+ public:
+  explicit GreedyGeographicRouter(const Graph& graph);
+
+  std::vector<NodeId> route(NodeId from, NodeId to) const override;
+  std::string name() const override { return "greedy-geographic"; }
+
+ private:
+  double euclidean(NodeId a, NodeId b) const;
+  const Graph* graph_;
+};
+
+// Empirical routing quality over random source/destination pairs.
+struct RouteStretch {
+  double mean_stretch = 0.0;  // route cost / shortest-path distance
+  double max_stretch = 0.0;
+  std::size_t delivered = 0;
+  std::size_t failed = 0;     // dropped (greedy voids)
+
+  double delivery_rate() const {
+    const std::size_t total = delivered + failed;
+    return total == 0 ? 0.0
+                      : static_cast<double>(delivered) /
+                            static_cast<double>(total);
+  }
+};
+
+RouteStretch measure_stretch(const Graph& graph,
+                             const DistanceOracle& oracle,
+                             const Router& router, Rng& rng,
+                             std::size_t samples);
+
+}  // namespace mot

@@ -1,0 +1,569 @@
+#include "proto/distributed_mot.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mot::proto {
+
+namespace {
+
+constexpr int kMaxQueryRestarts = 1000;
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kPublish:
+      return "publish";
+    case MsgType::kInsert:
+      return "insert";
+    case MsgType::kDelete:
+      return "delete";
+    case MsgType::kQueryUp:
+      return "query-up";
+    case MsgType::kQueryDown:
+      return "query-down";
+    case MsgType::kQueryReply:
+      return "query-reply";
+    case MsgType::kSdlAdd:
+      return "sdl-add";
+    case MsgType::kSdlRemove:
+      return "sdl-remove";
+  }
+  return "?";
+}
+
+DistributedMot::DistributedMot(const PathProvider& provider, Simulator& sim,
+                               const ChainOptions& options)
+    : provider_(&provider), sim_(&sim), options_(options),
+      sensors_(provider.num_nodes()) {
+  // Shortcut descent needs a node to read a remote chain locally, which a
+  // message-passing node cannot do; the centralized engines model it.
+  MOT_EXPECTS(!options.shortcut_descent);
+}
+
+Weight DistributedMot::distance(NodeId a, NodeId b) const {
+  return a == b ? 0.0 : provider_->oracle().distance(a, b);
+}
+
+DistributedMot::SensorState& DistributedMot::local(NodeId node) {
+  // The locality guard: only the node currently handling a message may
+  // touch its state. This is what makes the runtime genuinely
+  // distributed rather than conveniently centralized.
+  MOT_CHECK(node == active_node_);
+  return sensors_[node];
+}
+
+void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
+  const NodeId to = message.role.node;
+  const Weight hop = distance(from, to);
+  ++stats_.messages_sent;
+  if (router_ != nullptr && from != to) {
+    // Hop-by-hop physical forwarding. With a shortest-path router the
+    // route cost equals the oracle distance charged below, so the cost
+    // model is realized rather than assumed.
+    const std::vector<NodeId> route = router_->route(from, to);
+    MOT_CHECK(!route.empty());  // the overlay requires deliverable routes
+    stats_.physical_hops += route.size() - 1;
+  }
+  if (op_cost != nullptr && hop > 0.0) {
+    meter_.charge(hop);
+    *op_cost += hop;
+  } else if (op_cost != nullptr) {
+    meter_.charge(0.0, 1);
+  }
+  if (record_) {
+    deliveries_.push_back({message, from, to, sim_->now(), hop});
+  }
+  sim_->schedule(hop, [this, message] { handle(message); });
+}
+
+void DistributedMot::handle(const Message& message) {
+  MOT_CHECK(active_node_ == kInvalidNode);
+  active_node_ = message.role.node;
+  switch (message.type) {
+    case MsgType::kPublish:
+      on_publish(message);
+      break;
+    case MsgType::kInsert:
+      on_insert(message);
+      break;
+    case MsgType::kDelete:
+      on_delete(message);
+      break;
+    case MsgType::kQueryUp:
+      on_query_up(message);
+      break;
+    case MsgType::kQueryDown:
+      on_query_down(message);
+      break;
+    case MsgType::kQueryReply:
+      on_query_reply(message);
+      break;
+    case MsgType::kSdlAdd:
+      on_sdl_add(message);
+      break;
+    case MsgType::kSdlRemove:
+      on_sdl_remove(message);
+      break;
+  }
+  active_node_ = kInvalidNode;
+}
+
+DistributedMot::Entry* DistributedMot::find_entry(SensorState& sensor,
+                                                  int level,
+                                                  ObjectId object) {
+  const auto role_it = sensor.roles.find(level);
+  if (role_it == sensor.roles.end()) return nullptr;
+  const auto dl_it = role_it->second.dl.find(object);
+  return dl_it == role_it->second.dl.end() ? nullptr : &dl_it->second;
+}
+
+Weight* DistributedMot::move_cost(ObjectId object) {
+  const auto it = moves_.find(object);
+  return it == moves_.end() ? nullptr : &it->second.cost;
+}
+
+void DistributedMot::install_entry(const Message& message, NodeId self,
+                                   std::optional<OverlayNode> sp,
+                                   Weight* op_cost) {
+  if (!options_.use_special_lists) sp.reset();
+  RoleState& role = local(self).roles[message.role.level];
+  MOT_CHECK(role.dl.count(message.object) == 0);
+  role.dl.emplace(message.object, Entry{message.link, sp});
+  if (sp) {
+    Message add;
+    add.type = MsgType::kSdlAdd;
+    add.object = message.object;
+    add.role = *sp;
+    add.link = message.role;  // the special child registering itself
+    send(self, add, options_.charge_special_updates ? op_cost : nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Publish
+// ---------------------------------------------------------------------------
+
+void DistributedMot::publish(ObjectId object, NodeId proxy) {
+  MOT_EXPECTS(proxy < provider_->num_nodes());
+  MOT_EXPECTS(proxies_.count(object) == 0);
+  proxies_[object] = proxy;
+  physical_[object] = proxy;
+  ++inflight_;
+  ++pending_publishes_;
+
+  const auto sequence = provider_->upward_sequence(proxy);
+  Message message;
+  message.type = MsgType::kPublish;
+  message.object = object;
+  message.role = sequence.front().node;
+  message.walk_source = proxy;
+  message.walk_index = 0;
+  message.link = sequence.front().node;  // sentinel: child == self
+  send(proxy, message, nullptr);
+}
+
+void DistributedMot::on_publish(const Message& message) {
+  const NodeId self = message.role.node;
+  install_entry(message, self,
+                provider_->special_parent(message.walk_source,
+                                          message.walk_index),
+                nullptr);
+  const auto sequence = provider_->upward_sequence(message.walk_source);
+  if (message.walk_index + 1 >= sequence.size()) {
+    ++stats_.publishes_completed;
+    --pending_publishes_;
+    --inflight_;
+    return;
+  }
+  Message next = message;
+  next.walk_index = message.walk_index + 1;
+  next.role = sequence[next.walk_index].node;
+  next.link = message.role;  // we become the child of the next stop
+  Weight publish_cost = 0.0;  // publish cost goes to the meter only
+  send(self, next, &publish_cost);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+void DistributedMot::move(ObjectId object, NodeId new_proxy,
+                          MoveCallback done) {
+  MOT_EXPECTS(new_proxy < provider_->num_nodes());
+  MOT_EXPECTS(proxies_.count(object) != 0);
+  // One-by-one execution: at most one maintenance operation per object.
+  MOT_EXPECTS(moves_.count(object) == 0);
+  if (physical_[object] == new_proxy) {
+    if (done) sim_->schedule(0.0, [done] { done(MoveResult{}); });
+    return;
+  }
+  // The object moves now; the structure catches up asynchronously.
+  physical_[object] = new_proxy;
+  MoveCtx ctx;
+  ctx.to = new_proxy;
+  ctx.done = std::move(done);
+  auto [it, inserted] = moves_.emplace(object, std::move(ctx));
+  MOT_CHECK(inserted);
+  ++inflight_;
+
+  const auto sequence = provider_->upward_sequence(new_proxy);
+  Message message;
+  message.type = MsgType::kInsert;
+  message.object = object;
+  message.role = sequence.front().node;
+  message.walk_source = new_proxy;
+  message.walk_index = 0;
+  message.link = sequence.front().node;  // sentinel if installed fresh
+  message.new_proxy = new_proxy;
+  send(new_proxy, message, &it->second.cost);
+}
+
+void DistributedMot::on_insert(const Message& message) {
+  const NodeId self = message.role.node;
+  const ObjectId object = message.object;
+  auto move_it = moves_.find(object);
+  MOT_CHECK(move_it != moves_.end());
+  MoveCtx& ctx = move_it->second;
+
+  Entry* entry = find_entry(local(self), message.role.level, object);
+  if (entry != nullptr) {
+    // Meet node: splice the chain onto the new fragment.
+    const OverlayNode first_victim = entry->child;
+    entry->child =
+        message.walk_index == 0 ? message.role : message.link;
+    ctx.peak_level = message.role.level;
+    proxies_[object] = ctx.to;  // the move commits at the splice
+    if (first_victim == message.role) {
+      // The meet entry was the old proxy's sentinel (structural
+      // ancestor/descendant move): nothing to tear.
+      redirect_parked(self, object, ctx.to);
+      finish_move(object);
+      return;
+    }
+    Message del;
+    del.type = MsgType::kDelete;
+    del.object = object;
+    del.role = first_victim;
+    del.new_proxy = ctx.to;
+    send(self, del, &ctx.cost);
+    return;
+  }
+
+  install_entry(message, self,
+                provider_->special_parent(message.walk_source,
+                                          message.walk_index),
+                &ctx.cost);
+  const auto sequence = provider_->upward_sequence(message.walk_source);
+  // The root always holds every published object, so the climb meets.
+  MOT_CHECK(message.walk_index + 1 < sequence.size());
+  Message next = message;
+  next.walk_index = message.walk_index + 1;
+  next.role = sequence[next.walk_index].node;
+  next.link = message.role;
+  send(self, next, &ctx.cost);
+}
+
+void DistributedMot::on_delete(const Message& message) {
+  const NodeId self = message.role.node;
+  const ObjectId object = message.object;
+  Weight* cost = move_cost(object);
+  MOT_CHECK(cost != nullptr);
+
+  SensorState& sensor = local(self);
+  auto role_it = sensor.roles.find(message.role.level);
+  MOT_CHECK(role_it != sensor.roles.end());
+  auto dl_it = role_it->second.dl.find(object);
+  MOT_CHECK(dl_it != role_it->second.dl.end());
+  const Entry entry = dl_it->second;
+  role_it->second.dl.erase(dl_it);
+
+  if (entry.sp) {
+    Message remove;
+    remove.type = MsgType::kSdlRemove;
+    remove.object = object;
+    remove.role = *entry.sp;
+    remove.link = message.role;
+    send(self, remove, options_.charge_special_updates ? cost : nullptr);
+  }
+
+  if (entry.child == message.role) {
+    // Old proxy sentinel reached: redirect parked queries to the new
+    // location the delete carries (Section 3), then the move is done.
+    redirect_parked(self, object, message.new_proxy);
+    finish_move(object);
+    return;
+  }
+  Message next = message;
+  next.role = entry.child;
+  send(self, next, cost);
+}
+
+void DistributedMot::finish_move(ObjectId object) {
+  auto it = moves_.find(object);
+  MOT_CHECK(it != moves_.end());
+  MoveCtx ctx = std::move(it->second);
+  moves_.erase(it);
+  --inflight_;
+  ++stats_.moves_completed;
+  if (ctx.done) {
+    MoveResult result;
+    result.cost = ctx.cost;
+    result.peak_level = ctx.peak_level;
+    ctx.done(result);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+void DistributedMot::query(NodeId from, ObjectId object,
+                           QueryCallback done) {
+  MOT_EXPECTS(from < provider_->num_nodes());
+  MOT_EXPECTS(proxies_.count(object) != 0);
+  const std::uint64_t id = next_query_id_++;
+  QueryCtx ctx;
+  ctx.origin = from;
+  ctx.object = object;
+  ctx.done = std::move(done);
+  queries_.emplace(id, std::move(ctx));
+  ++inflight_;
+
+  const auto sequence = provider_->upward_sequence(from);
+  Message message;
+  message.type = MsgType::kQueryUp;
+  message.object = object;
+  message.role = sequence.front().node;
+  message.walk_source = from;
+  message.walk_index = 0;
+  message.requester = from;
+  message.query_id = id;
+  send(from, message, &queries_.at(id).cost);
+}
+
+void DistributedMot::on_query_up(const Message& message) {
+  const NodeId self = message.role.node;
+  auto ctx_it = queries_.find(message.query_id);
+  MOT_CHECK(ctx_it != queries_.end());
+  QueryCtx& ctx = ctx_it->second;
+
+  SensorState& sensor = local(self);
+  if (find_entry(sensor, message.role.level, message.object) != nullptr) {
+    ctx.found_level = std::max(ctx.found_level, message.role.level);
+    Message down = message;
+    down.type = MsgType::kQueryDown;
+    send(self, down, &ctx.cost);  // self-delivery, zero distance
+    return;
+  }
+  if (options_.use_special_lists) {
+    const auto role_it = sensor.roles.find(message.role.level);
+    if (role_it != sensor.roles.end()) {
+      const auto sdl_it = role_it->second.sdl.find(message.object);
+      if (sdl_it != role_it->second.sdl.end() && !sdl_it->second.empty()) {
+        const auto best = std::min_element(
+            sdl_it->second.begin(), sdl_it->second.end(),
+            [](const OverlayNode& a, const OverlayNode& b) {
+              return a.level < b.level;
+            });
+        ctx.found_level = std::max(ctx.found_level, message.role.level);
+        Message down = message;
+        down.type = MsgType::kQueryDown;
+        down.role = *best;
+        send(self, down, &ctx.cost);
+        return;
+      }
+    }
+  }
+  const auto sequence = provider_->upward_sequence(message.walk_source);
+  MOT_CHECK(message.walk_index + 1 < sequence.size());
+  Message next = message;
+  next.walk_index = message.walk_index + 1;
+  next.role = sequence[next.walk_index].node;
+  send(self, next, &ctx.cost);
+}
+
+void DistributedMot::on_query_down(const Message& message) {
+  const NodeId self = message.role.node;
+  auto ctx_it = queries_.find(message.query_id);
+  MOT_CHECK(ctx_it != queries_.end());
+  QueryCtx& ctx = ctx_it->second;
+
+  SensorState& sensor = local(self);
+  Entry* entry = find_entry(sensor, message.role.level, message.object);
+  if (entry == nullptr) {
+    // The fragment was torn while we descended: climb again from here.
+    ++stats_.queries_restarted;
+    restart_query(message.query_id, self);
+    return;
+  }
+  if (entry->child == message.role) {  // proxy sentinel
+    if (physical_.at(message.object) == self) {
+      finish_query(message.query_id, self);
+      return;
+    }
+    // Stale proxy: the delete en route carries the new location; park.
+    ++stats_.queries_parked;
+    sensor.parked[message.object].push_back({message.query_id});
+    return;
+  }
+  Message next = message;
+  next.role = entry->child;
+  send(self, next, &ctx.cost);
+}
+
+void DistributedMot::restart_query(std::uint64_t query_id, NodeId from) {
+  auto ctx_it = queries_.find(query_id);
+  MOT_CHECK(ctx_it != queries_.end());
+  QueryCtx& ctx = ctx_it->second;
+  ++ctx.restarts;
+  MOT_CHECK(ctx.restarts < kMaxQueryRestarts);
+
+  const auto sequence = provider_->upward_sequence(from);
+  Message message;
+  message.type = MsgType::kQueryUp;
+  message.object = ctx.object;
+  message.role = sequence.front().node;
+  message.walk_source = from;
+  message.walk_index = 0;
+  message.requester = ctx.origin;
+  message.query_id = query_id;
+  send(from, message, &ctx.cost);
+}
+
+void DistributedMot::redirect_parked(NodeId self, ObjectId object,
+                                     NodeId new_proxy) {
+  SensorState& sensor = local(self);
+  const auto it = sensor.parked.find(object);
+  if (it == sensor.parked.end()) return;
+  std::vector<ParkedQuery> parked = std::move(it->second);
+  sensor.parked.erase(it);
+  const OverlayNode target =
+      provider_->upward_sequence(new_proxy).front().node;
+  for (const ParkedQuery& waiting : parked) {
+    ++stats_.queries_redirected;
+    auto ctx_it = queries_.find(waiting.query_id);
+    MOT_CHECK(ctx_it != queries_.end());
+    Message down;
+    down.type = MsgType::kQueryDown;
+    down.object = object;
+    down.role = target;
+    down.requester = ctx_it->second.origin;
+    down.query_id = waiting.query_id;
+    send(self, down, &ctx_it->second.cost);
+  }
+}
+
+void DistributedMot::finish_query(std::uint64_t query_id, NodeId proxy) {
+  auto ctx_it = queries_.find(query_id);
+  MOT_CHECK(ctx_it != queries_.end());
+  // The reply travels home as a real message, but the locate cost (what
+  // the paper's query cost ratio measures) excludes the response trip.
+  Message reply;
+  reply.type = MsgType::kQueryReply;
+  reply.object = ctx_it->second.object;
+  reply.role = {0, ctx_it->second.origin};
+  reply.new_proxy = proxy;
+  reply.query_id = query_id;
+  Weight reply_cost = 0.0;
+  send(proxy, reply, &reply_cost);  // metered, not attributed to the op
+}
+
+void DistributedMot::on_query_reply(const Message& message) {
+  auto ctx_it = queries_.find(message.query_id);
+  MOT_CHECK(ctx_it != queries_.end());
+  QueryCtx ctx = std::move(ctx_it->second);
+  queries_.erase(ctx_it);
+  --inflight_;
+  ++stats_.queries_completed;
+  if (ctx.done) {
+    QueryResult result;
+    result.found = true;
+    result.proxy = message.new_proxy;
+    result.cost = ctx.cost;
+    result.found_level = ctx.found_level;
+    ctx.done(result);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SDL bookkeeping
+// ---------------------------------------------------------------------------
+
+void DistributedMot::on_sdl_add(const Message& message) {
+  RoleState& role = local(message.role.node).roles[message.role.level];
+  role.sdl[message.object].push_back(message.link);
+}
+
+void DistributedMot::on_sdl_remove(const Message& message) {
+  SensorState& sensor = local(message.role.node);
+  const auto role_it = sensor.roles.find(message.role.level);
+  MOT_CHECK(role_it != sensor.roles.end());
+  const auto sdl_it = role_it->second.sdl.find(message.object);
+  MOT_CHECK(sdl_it != role_it->second.sdl.end());
+  const auto pos = std::find(sdl_it->second.begin(), sdl_it->second.end(),
+                             message.link);
+  MOT_CHECK(pos != sdl_it->second.end());
+  sdl_it->second.erase(pos);
+  if (sdl_it->second.empty()) role_it->second.sdl.erase(sdl_it);
+}
+
+// ---------------------------------------------------------------------------
+
+NodeId DistributedMot::proxy_of(ObjectId object) const {
+  const auto it = proxies_.find(object);
+  MOT_EXPECTS(it != proxies_.end());
+  return it->second;
+}
+
+NodeId DistributedMot::physical_position(ObjectId object) const {
+  const auto it = physical_.find(object);
+  MOT_EXPECTS(it != physical_.end());
+  return it->second;
+}
+
+std::vector<std::size_t> DistributedMot::load_per_node() const {
+  std::vector<std::size_t> load(sensors_.size(), 0);
+  for (NodeId v = 0; v < sensors_.size(); ++v) {
+    for (const auto& [level, role] : sensors_[v].roles) {
+      load[v] += role.dl.size();
+      for (const auto& [object, children] : role.sdl) {
+        load[v] += children.size();
+      }
+    }
+  }
+  return load;
+}
+
+void DistributedMot::validate_quiescent() const {
+  MOT_CHECK(inflight_ == 0);
+  for (const auto& [object, proxy] : proxies_) {
+    std::size_t total = 0;
+    for (const SensorState& sensor : sensors_) {
+      for (const auto& [level, role] : sensor.roles) {
+        total += role.dl.count(object);
+      }
+    }
+    OverlayNode current = provider_->root_stop();
+    std::size_t chain = 0;
+    while (true) {
+      MOT_CHECK(chain < total + 1);
+      const auto& roles = sensors_[current.node].roles;
+      const auto role_it = roles.find(current.level);
+      MOT_CHECK(role_it != roles.end());
+      const auto dl_it = role_it->second.dl.find(object);
+      MOT_CHECK(dl_it != role_it->second.dl.end());
+      ++chain;
+      if (dl_it->second.child == current) {
+        MOT_CHECK(current.node == proxy);
+        break;
+      }
+      current = dl_it->second.child;
+    }
+    MOT_CHECK(chain == total);
+  }
+}
+
+}  // namespace mot::proto

@@ -1,0 +1,182 @@
+// The message-passing form of Algorithm 1 (footnote 2 of the paper).
+//
+// Unlike ChainTracker (a centralized walk over the structure) and
+// ConcurrentEngine (centralized state, event-timed walkers), this runtime
+// stores every detection-list entry at the sensor that owns it and makes
+// ALL coordination travel in typed messages (proto::Message) over the
+// discrete-event simulator. A handler may only touch the state of the
+// node a message was delivered to — enforced at runtime by a locality
+// guard — so the implementation is a constructive proof that the
+// algorithm runs distributed.
+//
+// Routing knowledge: a node handling a climbing message computes the next
+// stop of the walk from the PathProvider, which stands in for the local
+// routing tables (parents, parent sets) every node keeps after the
+// hierarchy construction phase.
+//
+// Execution model: maintenance operations execute one-by-one per object
+// (the paper's Section 4.1.1 case; enforce_one_by_one asserts it).
+// Queries may overlap maintenance: a query that lands on a stale proxy
+// parks there and is redirected by the delete message that carries the
+// new location (Section 3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/router.hpp"
+#include "proto/messages.hpp"
+#include "sim/cost_meter.hpp"
+#include "sim/event_sim.hpp"
+#include "tracking/chain_tracker.hpp"
+#include "tracking/path_provider.hpp"
+
+namespace mot::proto {
+
+struct ProtocolStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t physical_hops = 0;  // per-edge forwards when routed
+  std::uint64_t publishes_completed = 0;
+  std::uint64_t moves_completed = 0;
+  std::uint64_t queries_completed = 0;
+  std::uint64_t queries_parked = 0;
+  std::uint64_t queries_redirected = 0;
+  std::uint64_t queries_restarted = 0;
+};
+
+class DistributedMot {
+ public:
+  using MoveCallback = std::function<void(const MoveResult&)>;
+  using QueryCallback = std::function<void(const QueryResult&)>;
+
+  // `provider` and `sim` must outlive the runtime.
+  DistributedMot(const PathProvider& provider, Simulator& sim,
+                 const ChainOptions& options);
+
+  // Injects a publish message at the proxy. Runs asynchronously; drive
+  // the simulator to completion before relying on the structure.
+  void publish(ObjectId object, NodeId proxy);
+
+  // Starts a maintenance operation. At most one in flight per object
+  // (one-by-one case); violating that is a precondition failure.
+  void move(ObjectId object, NodeId new_proxy, MoveCallback done = {});
+
+  // Starts a query; may overlap an in-flight move of the same object.
+  void query(NodeId from, ObjectId object, QueryCallback done = {});
+
+  // The committed proxy (updated when the move's insert splices).
+  NodeId proxy_of(ObjectId object) const;
+
+  // Where the object physically is (moves take effect when issued;
+  // queries are answered against this, chasing if necessary).
+  NodeId physical_position(ObjectId object) const;
+
+  const CostMeter& meter() const { return meter_; }
+  const ProtocolStats& stats() const { return stats_; }
+  std::size_t inflight_operations() const { return inflight_; }
+
+  // Storage load per sensor: every DL/SDL entry lives at its owner node.
+  std::vector<std::size_t> load_per_node() const;
+
+  // Attach a physical routing layer: every overlay message is forwarded
+  // hop by hop along router-provided paths and the per-edge forwards are
+  // counted in stats().physical_hops. With a shortest-path router the
+  // total distance is unchanged (the cost model's assumption, asserted by
+  // tests). The router must outlive the runtime.
+  void use_router(const Router* router) { router_ = router; }
+
+  // Optional wire trace for debugging / tests.
+  void record_deliveries(bool on) { record_ = on; }
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+
+  // Quiescent check: per object, entries form one root -> proxy chain.
+  void validate_quiescent() const;
+
+ private:
+  struct Entry {
+    OverlayNode child;
+    std::optional<OverlayNode> sp;
+  };
+  struct RoleState {
+    std::unordered_map<ObjectId, Entry> dl;
+    std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl;
+  };
+  struct ParkedQuery {
+    std::uint64_t query_id = 0;
+  };
+  struct SensorState {
+    // One state slice per overlay level this sensor plays.
+    std::unordered_map<int, RoleState> roles;
+    // Queries parked at this sensor waiting for a delete, per object.
+    std::unordered_map<ObjectId, std::vector<ParkedQuery>> parked;
+  };
+
+  struct MoveCtx {
+    NodeId to = kInvalidNode;
+    Weight cost = 0.0;
+    int peak_level = 0;
+    MoveCallback done;
+  };
+  struct QueryCtx {
+    NodeId origin = kInvalidNode;
+    ObjectId object = 0;
+    Weight cost = 0.0;
+    int found_level = 0;
+    int restarts = 0;
+    QueryCallback done;
+  };
+
+  // Locality-guarded access to a sensor's state: only legal for the node
+  // currently handling a message.
+  SensorState& local(NodeId node);
+
+  void send(NodeId from, Message message, Weight* op_cost);
+  void handle(const Message& message);
+
+  void on_publish(const Message& message);
+  void on_insert(const Message& message);
+  void on_delete(const Message& message);
+  void on_query_up(const Message& message);
+  void on_query_down(const Message& message);
+  void on_query_reply(const Message& message);
+  void on_sdl_add(const Message& message);
+  void on_sdl_remove(const Message& message);
+
+  Entry* find_entry(SensorState& sensor, int level, ObjectId object);
+  void install_entry(const Message& message, NodeId self,
+                     std::optional<OverlayNode> sp, Weight* op_cost);
+  Weight* move_cost(ObjectId object);
+
+  void finish_move(ObjectId object);
+  void finish_query(std::uint64_t query_id, NodeId proxy);
+  void restart_query(std::uint64_t query_id, NodeId from);
+  void redirect_parked(NodeId self, ObjectId object, NodeId new_proxy);
+
+  Weight distance(NodeId a, NodeId b) const;
+
+  const PathProvider* provider_;
+  Simulator* sim_;
+  ChainOptions options_;
+  CostMeter meter_;
+  ProtocolStats stats_;
+
+  std::vector<SensorState> sensors_;
+  NodeId active_node_ = kInvalidNode;  // locality guard
+
+  std::unordered_map<ObjectId, NodeId> proxies_;   // committed (at splice)
+  std::unordered_map<ObjectId, NodeId> physical_;  // actual (at issue)
+  std::unordered_map<ObjectId, MoveCtx> moves_;  // at most one per object
+  std::unordered_map<std::uint64_t, QueryCtx> queries_;
+  std::uint64_t next_query_id_ = 1;
+  std::size_t inflight_ = 0;
+  std::size_t pending_publishes_ = 0;
+
+  const Router* router_ = nullptr;
+  bool record_ = false;
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace mot::proto

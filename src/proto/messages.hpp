@@ -1,0 +1,68 @@
+// Wire-level message vocabulary of the distributed MOT protocol
+// (footnote 2 of the paper: Algorithm 1 "can be immediately converted to
+// a message-passing based distributed algorithm by modifying the
+// procedures from the perspective of what a node does when it receives a
+// publish, maintenance, or query message").
+//
+// Every message is addressed to a specific *role* of a sensor (its
+// level-l overlay identity); walker state that the centralized engines
+// keep in C++ objects travels inside the messages instead.
+#pragma once
+
+#include <cstdint>
+
+#include "hier/hierarchy.hpp"
+#include "tracking/tracker.hpp"
+
+namespace mot::proto {
+
+enum class MsgType : std::uint8_t {
+  kPublish,     // climb and install entries up to the root
+  kInsert,      // climb, install, splice at the meet (maintenance, up)
+  kDelete,      // tear the detached fragment (maintenance, down)
+  kQueryUp,     // climb looking for DL/SDL
+  kQueryDown,   // descend chain pointers toward the proxy
+  kQueryReply,  // result traveling back to the requester
+  kSdlAdd,      // register a special child with its special parent
+  kSdlRemove,   // deregister on delete
+};
+
+const char* msg_type_name(MsgType type);
+
+struct Message {
+  MsgType type = MsgType::kPublish;
+  ObjectId object = 0;
+
+  // Role the message is addressed to. The physical destination is
+  // role.node; the handler must touch only that node's state.
+  OverlayNode role;
+
+  // Climbing state (kPublish / kInsert / kQueryUp): the bottom node whose
+  // upward sequence is being walked and the index of `role` within it.
+  NodeId walk_source = kInvalidNode;
+  std::uint32_t walk_index = 0;
+
+  // Chain state: the previous overlay stop (the child to record), or the
+  // next victim for kDelete / next hop for kQueryDown.
+  OverlayNode link;
+
+  // kDelete carries the object's new proxy so queries parked at the old
+  // proxy can be redirected (Section 3). kQueryReply carries the located
+  // proxy as well.
+  NodeId new_proxy = kInvalidNode;
+
+  // Querying: who asked, so the reply can travel home.
+  NodeId requester = kInvalidNode;
+  std::uint64_t query_id = 0;
+};
+
+// Per-message accounting record (for protocol traces and tests).
+struct Delivery {
+  Message message;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double send_time = 0.0;
+  Weight distance = 0.0;
+};
+
+}  // namespace mot::proto

@@ -1,0 +1,53 @@
+// Communication-cost accounting (Section 1.1 of the paper): the cost of
+// an operation is the total distance traversed by all of its messages.
+// Trackers charge every overlay hop to a CostMeter; the harness snapshots
+// meters around operations to attribute cost per move / per query.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace mot {
+
+class CostMeter {
+ public:
+  void charge(Weight distance, std::uint64_t messages = 1) {
+    total_distance_ += distance;
+    total_messages_ += messages;
+  }
+
+  void reset() {
+    total_distance_ = 0.0;
+    total_messages_ = 0;
+  }
+
+  Weight total_distance() const { return total_distance_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  Weight total_distance_ = 0.0;
+  std::uint64_t total_messages_ = 0;
+};
+
+// RAII window over a meter: cost() returns the distance charged since
+// construction. Lets the harness measure a single operation's cost while
+// the tracker keeps one cumulative meter.
+class CostWindow {
+ public:
+  explicit CostWindow(const CostMeter& meter)
+      : meter_(&meter), start_distance_(meter.total_distance()),
+        start_messages_(meter.total_messages()) {}
+
+  Weight cost() const { return meter_->total_distance() - start_distance_; }
+  std::uint64_t messages() const {
+    return meter_->total_messages() - start_messages_;
+  }
+
+ private:
+  const CostMeter* meter_;
+  Weight start_distance_;
+  std::uint64_t start_messages_;
+};
+
+}  // namespace mot

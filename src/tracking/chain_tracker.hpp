@@ -1,0 +1,133 @@
+// The sequential (one-by-one execution) tracking engine: Algorithm 1 of
+// the paper, generalized over a PathProvider so the same verified engine
+// serves MOT (doubling or general hierarchy, with or without load
+// balancing) and the spanning-tree baselines.
+//
+// Invariant maintained for every published object o (checked by
+// validate()): the overlay nodes holding a detection-list entry for o
+// form exactly one chain of child pointers from the root stop down to
+// o's current proxy. move() splices the chain at the meet node (the
+// lowest stop of the new proxy's sequence already on the chain) and
+// deletes the detached old fragment; query() climbs until it sees the
+// chain (directly via DL or via a special-parent SDL record) and then
+// descends it.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tracking/path_provider.hpp"
+#include "tracking/tracker.hpp"
+
+namespace mot {
+
+struct ChainOptions {
+  // Maintain special detection lists (MOT's SDL, Definition 3) so queries
+  // escape detection-path fragmentation. Requires the provider to define
+  // special parents.
+  bool use_special_lists = false;
+  // Query descent jumps straight from the discovering node to the proxy
+  // (the Z-DAT + shortcuts behaviour) instead of walking the chain.
+  bool shortcut_descent = false;
+  // Charge the provider's delegate routing cost on every entry access
+  // (MOT-LB's de Bruijn hops). Off models free local storage.
+  bool charge_delegate_routing = true;
+  // Charge the hops that keep special-parent SDL records up to date. The
+  // paper's analysis excludes them (constant factor); measurements are
+  // more honest with them included.
+  bool charge_special_updates = true;
+  // Section 3's "improved algorithm": delete messages leave a forwarding
+  // pointer (the object's new location) at every node they clear, so an
+  // overlapping query that finds its descent torn redirects immediately
+  // instead of re-climbing — and never needs to reach the incorrect proxy.
+  // Only meaningful for the concurrent engine; the sequential engine has
+  // no overlap.
+  bool forwarding_pointers = false;
+};
+
+class ChainTracker final : public Tracker {
+ public:
+  // `provider` must outlive the tracker.
+  ChainTracker(std::string name, const PathProvider& provider,
+               const ChainOptions& options);
+
+  std::string name() const override { return name_; }
+  void publish(ObjectId object, NodeId proxy) override;
+  MoveResult move(ObjectId object, NodeId new_proxy) override;
+  QueryResult query(NodeId from, ObjectId object) override;
+  NodeId proxy_of(ObjectId object) const override;
+  std::vector<std::size_t> load_per_node() const override;
+  const CostMeter& meter() const override { return meter_; }
+
+  bool is_published(ObjectId object) const {
+    return proxies_.count(object) != 0;
+  }
+
+  // Gracefully retires a sensor (Section 7: nodes announce departures).
+  // Every chain entry hosted at any of the node's overlay roles is
+  // bypassed — its chain parent is spliced straight to its child — and
+  // its special-list records are dropped (the pointers would dangle).
+  // Preconditions: no object is proxied at the node, and the node does
+  // not host the root stop (re-rooting is a hierarchy rebuild, which the
+  // paper defers past a threshold). Returns the number of entries
+  // evacuated; repair messages are charged to the meter.
+  std::size_t evacuate_node(NodeId node);
+
+  // Structural self-check of the per-object chain invariant and the
+  // DL <-> SDL cross-references. Aborts (contract failure) on violation.
+  void validate(ObjectId object) const;
+  void validate_all() const;
+
+  // Introspection for tests.
+  std::size_t dl_entries(ObjectId object) const;
+  std::size_t sdl_entries(ObjectId object) const;
+  bool node_has_dl(OverlayNode owner, ObjectId object) const;
+
+  // How queries discovered their objects (ablation A2 reporting).
+  struct QueryStats {
+    std::uint64_t dl_hits = 0;   // found via a detection list
+    std::uint64_t sdl_hits = 0;  // found via a special detection list
+  };
+  const QueryStats& query_stats() const { return query_stats_; }
+
+ private:
+  struct DlEntry {
+    OverlayNode child;                 // next chain node toward the proxy
+    std::optional<OverlayNode> sp;     // special parent holding our SDL record
+  };
+  struct NodeState {
+    std::unordered_map<ObjectId, DlEntry> dl;
+    // SDL: object -> special children (DL holders) that registered here.
+    std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl;
+  };
+
+  Weight distance(NodeId a, NodeId b) const;
+  void charge_hop(NodeId from, NodeId to);
+  // Charges the delegate route for touching `owner`'s entry store.
+  void charge_access(OverlayNode owner, ObjectId object);
+
+  void add_entry(OverlayNode owner, ObjectId object, OverlayNode child,
+                 std::optional<OverlayNode> sp);
+  void remove_sdl_record(OverlayNode sp, ObjectId object, OverlayNode child);
+
+  // Removes the chain fragment hanging below `meet` whose top is
+  // `first_victim`, charging message hops from meet downwards.
+  void delete_fragment(OverlayNode meet, OverlayNode first_victim,
+                       ObjectId object);
+
+  // Follows chain pointers from `start` (which must hold a DL entry for
+  // `object`) down to the proxy. Charges per-hop unless shortcutting.
+  NodeId descend(OverlayNode start, ObjectId object);
+
+  std::string name_;
+  const PathProvider* provider_;
+  ChainOptions options_;
+  CostMeter meter_;
+
+  std::unordered_map<OverlayNode, NodeState, OverlayNodeHash> state_;
+  std::unordered_map<ObjectId, NodeId> proxies_;
+  QueryStats query_stats_;
+};
+
+}  // namespace mot

@@ -1,0 +1,58 @@
+// PathProvider abstracts "the structure a detection message climbs".
+//
+// Every tracking algorithm in this library — MOT over either hierarchy,
+// and the spanning-tree baselines — maintains, per object, a chain of
+// detection-list entries from the root down to the proxy, and serves
+// operations by climbing a node-specific upward visit sequence until the
+// chain is met. The provider supplies that sequence plus the
+// algorithm-specific extras:
+//   * special parents (MOT's SDL mechanism, Definition 3);
+//   * storage delegation (MOT's Section 5 load balancing, where an
+//     internal node's list entry physically lives on a hashed cluster
+//     member reached over the embedded de Bruijn graph).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "graph/distance_oracle.hpp"
+#include "hier/hierarchy.hpp"
+#include "tracking/tracker.hpp"
+
+namespace mot {
+
+struct PathStop {
+  OverlayNode node;
+  // Index within the stop's level group (used to pick special parents).
+  std::uint32_t rank = 0;
+};
+
+class PathProvider {
+ public:
+  virtual ~PathProvider() = default;
+
+  // Upward visit sequence of bottom node u: element 0 is {level 0, u},
+  // the last element is the root stop. The span stays valid for the
+  // provider's lifetime.
+  virtual std::span<const PathStop> upward_sequence(NodeId u) const = 0;
+
+  // Special parent of the stop at `index` within u's sequence, or nullopt
+  // when undefined (near the root) or unsupported (tree baselines).
+  virtual std::optional<OverlayNode> special_parent(
+      NodeId u, std::size_t index) const = 0;
+
+  // Where `owner`'s entry for `object` physically lives, and the routing
+  // cost of reaching that storage from owner.node (0 when local).
+  struct DelegateAccess {
+    NodeId storage = kInvalidNode;
+    Weight route_cost = 0.0;
+  };
+  virtual DelegateAccess delegate(OverlayNode owner,
+                                  ObjectId object) const = 0;
+
+  virtual OverlayNode root_stop() const = 0;
+  virtual const DistanceOracle& oracle() const = 0;
+  virtual std::size_t num_nodes() const = 0;
+};
+
+}  // namespace mot

@@ -1,0 +1,56 @@
+// The tracking-algorithm interface the experiment harness drives.
+//
+// Operation model (Section 1.1 of the paper):
+//   * publish(o, v)  — one-time initialization: v becomes o's proxy and
+//     the structure records o along v's path to the root;
+//   * move(o, v)     — a maintenance operation: o moved from its current
+//     proxy to v; optimal cost is dist_G(old proxy, v);
+//   * query(u, o)    — locate o's proxy from node u; optimal cost is
+//     dist_G(u, proxy).
+// Cost is communication cost: total distance traversed by all messages
+// of the operation, accumulated on the tracker's CostMeter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/cost_meter.hpp"
+
+namespace mot {
+
+using ObjectId = std::uint32_t;
+
+struct MoveResult {
+  Weight cost = 0.0;   // communication cost of this maintenance operation
+  int peak_level = 0;  // highest overlay level the operation reached
+};
+
+struct QueryResult {
+  bool found = false;
+  NodeId proxy = kInvalidNode;  // proxy the query located
+  Weight cost = 0.0;            // communication cost of the query
+  int found_level = 0;          // level where the object was discovered
+};
+
+class Tracker {
+ public:
+  virtual ~Tracker() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual void publish(ObjectId object, NodeId proxy) = 0;
+  virtual MoveResult move(ObjectId object, NodeId new_proxy) = 0;
+  virtual QueryResult query(NodeId from, ObjectId object) = 0;
+
+  virtual NodeId proxy_of(ObjectId object) const = 0;
+
+  // Storage load per physical node: objects plus bookkeeping entries
+  // (detection-list, special-list and pointer records) hosted there.
+  virtual std::vector<std::size_t> load_per_node() const = 0;
+
+  virtual const CostMeter& meter() const = 0;
+};
+
+}  // namespace mot

@@ -1,0 +1,33 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// Expects()/Ensures() (I.6, I.8). Checks are always on: tracking-structure
+// invariants are cheap relative to simulation work, and a silently corrupt
+// detection list would invalidate every measured cost ratio downstream.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mot::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace mot::detail
+
+#define MOT_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::mot::detail::contract_failure("Precondition", #cond,        \
+                                            __FILE__, __LINE__))
+
+#define MOT_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::mot::detail::contract_failure("Postcondition", #cond,       \
+                                            __FILE__, __LINE__))
+
+#define MOT_CHECK(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::mot::detail::contract_failure("Invariant", #cond,           \
+                                            __FILE__, __LINE__))

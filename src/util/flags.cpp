@@ -1,0 +1,166 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+Flags::Flags(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+namespace {
+
+std::string bool_text(bool value) { return value ? "true" : "false"; }
+
+}  // namespace
+
+void Flags::register_flag(const std::string& name, std::string* value,
+                          const std::string& help) {
+  MOT_EXPECTS(value != nullptr && find(name) == nullptr);
+  flags_.push_back({name, Kind::kString, value, help, *value});
+}
+
+void Flags::register_flag(const std::string& name, std::int64_t* value,
+                          const std::string& help) {
+  MOT_EXPECTS(value != nullptr && find(name) == nullptr);
+  flags_.push_back({name, Kind::kInt, value, help, std::to_string(*value)});
+}
+
+void Flags::register_flag(const std::string& name, std::uint64_t* value,
+                          const std::string& help) {
+  MOT_EXPECTS(value != nullptr && find(name) == nullptr);
+  flags_.push_back({name, Kind::kUint, value, help, std::to_string(*value)});
+}
+
+void Flags::register_flag(const std::string& name, double* value,
+                          const std::string& help) {
+  MOT_EXPECTS(value != nullptr && find(name) == nullptr);
+  flags_.push_back({name, Kind::kDouble, value, help, std::to_string(*value)});
+}
+
+void Flags::register_flag(const std::string& name, bool* value,
+                          const std::string& help) {
+  MOT_EXPECTS(value != nullptr && find(name) == nullptr);
+  flags_.push_back({name, Kind::kBool, value, help, bool_text(*value)});
+}
+
+Flags::FlagInfo* Flags::find(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool Flags::assign(FlagInfo& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = text;
+      return true;
+    case Kind::kInt: {
+      const long long parsed = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+      *static_cast<std::int64_t*>(flag.target) = parsed;
+      return true;
+    }
+    case Kind::kUint: {
+      if (!text.empty() && text[0] == '-') return false;
+      const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+      *static_cast<std::uint64_t*>(flag.target) = parsed;
+      return true;
+    }
+    case Kind::kDouble: {
+      const double parsed = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+      *static_cast<double*>(flag.target) = parsed;
+      return true;
+    }
+    case Kind::kBool: {
+      if (text == "true" || text == "1" || text == "yes") {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (text == "false" || text == "0" || text == "no") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+
+    FlagInfo* flag = find(name);
+    // --no-name sugar for booleans.
+    if (flag == nullptr && name.rfind("no-", 0) == 0 && !inline_value) {
+      flag = find(name.substr(3));
+      if (flag != nullptr && flag->kind == Kind::kBool) {
+        *static_cast<bool*>(flag->target) = false;
+        continue;
+      }
+      flag = nullptr;
+    }
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+
+    std::string value;
+    if (inline_value) {
+      value = *inline_value;
+    } else if (flag->kind == Kind::kBool) {
+      value = "true";
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+      return false;
+    }
+
+    if (!assign(*flag, value)) {
+      std::fprintf(stderr, "invalid value '%s' for flag --%s\n", value.c_str(),
+                   name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Flags::usage() const {
+  std::ostringstream out;
+  out << description_ << "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    out << "  --" << flag.name << "  (default: " << flag.default_value
+        << ")\n      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mot

@@ -1,0 +1,56 @@
+// A tiny command-line flag parser for bench/example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name /
+// --no-name. Unknown flags are an error (catches typos in sweep scripts);
+// --help prints registered flags with defaults and exits 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mot {
+
+class Flags {
+ public:
+  Flags(std::string program_description);
+
+  // Registration: pointers must outlive parse(). The default value is the
+  // value already stored at the pointer.
+  void register_flag(const std::string& name, std::string* value,
+                     const std::string& help);
+  void register_flag(const std::string& name, std::int64_t* value,
+                     const std::string& help);
+  void register_flag(const std::string& name, std::uint64_t* value,
+                     const std::string& help);
+  void register_flag(const std::string& name, double* value,
+                     const std::string& help);
+  void register_flag(const std::string& name, bool* value,
+                     const std::string& help);
+
+  // Parses argv. Returns false on error (message on stderr). Calls
+  // std::exit(0) after printing usage if --help is present.
+  bool parse(int argc, char** argv);
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kUint, kDouble, kBool };
+
+  struct FlagInfo {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  FlagInfo* find(const std::string& name);
+  bool assign(FlagInfo& flag, const std::string& text);
+
+  std::string description_;
+  std::vector<FlagInfo> flags_;
+};
+
+}  // namespace mot

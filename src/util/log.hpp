@@ -1,0 +1,29 @@
+// Minimal leveled logging to stderr. Bench binaries default to WARN so
+// their stdout stays a clean table stream; tests raise the level when
+// diagnosing failures.
+#pragma once
+
+#include <cstdarg>
+
+namespace mot {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+}  // namespace mot
+
+#define MOT_LOG_DEBUG(...) \
+  ::mot::detail::log_message(::mot::LogLevel::kDebug, __VA_ARGS__)
+#define MOT_LOG_INFO(...) \
+  ::mot::detail::log_message(::mot::LogLevel::kInfo, __VA_ARGS__)
+#define MOT_LOG_WARN(...) \
+  ::mot::detail::log_message(::mot::LogLevel::kWarn, __VA_ARGS__)
+#define MOT_LOG_ERROR(...) \
+  ::mot::detail::log_message(::mot::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,74 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  MOT_EXPECTS(bound > 0);
+  // Lemire's nearly-divisionless rejection method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MOT_EXPECTS(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [lo, hi].
+  if (span == 0) return static_cast<std::int64_t>((*this)());
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MOT_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Rng::truncated_pareto(double alpha, std::uint64_t max_value) {
+  MOT_EXPECTS(alpha > 0.0);
+  MOT_EXPECTS(max_value >= 1);
+  // Inverse-CDF sampling of a Pareto(1, alpha), truncated to [1, max_value].
+  const double u = uniform01();
+  const double value = std::pow(1.0 - u, -1.0 / alpha);
+  const double clamped = std::min(value, static_cast<double>(max_value));
+  return static_cast<std::uint64_t>(clamped);
+}
+
+std::uint64_t SeedTree::seed_for(std::string_view label,
+                                 std::uint64_t index) const {
+  // FNV-1a over the label folded into the root, then mixed with the index
+  // through splitmix64. Collisions across distinct labels are astronomically
+  // unlikely and harmless (streams would merely coincide).
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ root_;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t state = h + 0x9e3779b97f4a7c15ULL * (index + 1);
+  return splitmix64(state);
+}
+
+}  // namespace mot

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  const double total =
+      std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return total / static_cast<double>(samples_.size());
+}
+
+double SampleSet::quantile(double q) const {
+  MOT_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+void Histogram::add(std::size_t bin, std::uint64_t weight) {
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+  bins_[bin] += weight;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t bin) const {
+  return bin < bins_.size() ? bins_[bin] : 0;
+}
+
+std::uint64_t Histogram::total() const {
+  return std::accumulate(bins_.begin(), bins_.end(), std::uint64_t{0});
+}
+
+std::uint64_t Histogram::count_above(std::size_t bin) const {
+  std::uint64_t count = 0;
+  for (std::size_t i = bin + 1; i < bins_.size(); ++i) count += bins_[i];
+  return count;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    out << i << ":" << bins_[i] << " ";
+  }
+  return out.str();
+}
+
+}  // namespace mot

@@ -1,0 +1,79 @@
+// Streaming statistics used throughout the experiment harness: Welford
+// online moments, exact-percentile reservoirs for the modest sample counts
+// we deal with, and integer histograms for per-node load plots.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mot {
+
+// Numerically stable online mean/variance (Welford), plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return count_ == 0 ? 0.0 : mean_ * count_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Keeps all samples (experiment scales are small enough) and answers exact
+// quantiles. Quantile uses linear interpolation between closest ranks.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double quantile(double q) const;  // q in [0, 1]
+  double min() const;
+  double max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+// Fixed-bin integer histogram, e.g. "number of nodes with load k".
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_bins = 0) : bins_(num_bins, 0) {}
+
+  void add(std::size_t bin, std::uint64_t weight = 1);
+  std::uint64_t bin_count(std::size_t bin) const;
+  std::size_t num_bins() const { return bins_.size(); }
+  std::uint64_t total() const;
+
+  // Count of entries whose bin index is strictly greater than `bin` —
+  // the paper reports e.g. "nodes with load > 10".
+  std::uint64_t count_above(std::size_t bin) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+};
+
+}  // namespace mot

@@ -1,0 +1,134 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace mot {
+
+Table::Table(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {
+  MOT_EXPECTS(!columns_.empty());
+}
+
+Table& Table::begin_row() {
+  MOT_EXPECTS(rows_.empty() || rows_.back().size() == columns_.size());
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  MOT_EXPECTS(!rows_.empty() && rows_.back().size() < columns_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return cell(out.str());
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  MOT_EXPECTS(row < rows_.size() && col < rows_[row].size());
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      out << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+          << text;
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::size_t rule_width = 0;
+  for (const auto w : widths) rule_width += w + 2;
+  out << std::string(rule_width, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out << ',';
+    out << csv_escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& contents) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      MOT_LOG_WARN("cannot create directory %s: %s", parent.c_str(),
+                   ec.message().c_str());
+      return false;
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    MOT_LOG_WARN("cannot open %s for writing", path.c_str());
+    return false;
+  }
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+}  // namespace mot

@@ -1,0 +1,48 @@
+// Result presentation: aligned plain-text tables for terminal output and
+// CSV emission for downstream plotting. Every bench binary prints its
+// figure/table through this so all outputs share one format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mot {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> column_names);
+
+  // Row-building interface. Numeric cells are formatted on insertion.
+  Table& begin_row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return columns_.size(); }
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  // Aligned fixed-width rendering with a header rule.
+  void print(std::ostream& out) const;
+
+  // RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& out) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Writes `contents` to `path`, creating parent directories if needed.
+// Returns false (and logs) on failure instead of throwing: losing a CSV
+// must not abort a half-day experiment run.
+bool write_text_file(const std::string& path, const std::string& contents);
+
+}  // namespace mot

@@ -1,0 +1,108 @@
+#include "viz/dot_export.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mot::viz {
+
+namespace {
+
+void write_position(std::ostream& out, const Graph& graph, NodeId node) {
+  if (!graph.has_positions()) return;
+  const Position& p = graph.position(node);
+  out << ", pos=\"" << p.x << "," << p.y << "!\"";
+}
+
+}  // namespace
+
+std::string graph_to_dot(const Graph& graph) {
+  std::ostringstream out;
+  out << "graph sensors {\n  node [shape=circle, fontsize=9];\n";
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"" << v << "\"";
+    write_position(out, graph, v);
+    out << "];\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const Edge& e : graph.neighbors(v)) {
+      if (e.to > v) {
+        out << "  n" << v << " -- n" << e.to;
+        if (e.weight != 1.0) out << " [label=\"" << e.weight << "\"]";
+        out << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string hierarchy_to_dot(const Hierarchy& hierarchy) {
+  std::ostringstream out;
+  out << "digraph overlay {\n  rankdir=BT;\n  node [shape=box, "
+         "fontsize=9];\n";
+  for (int level = 0; level <= hierarchy.height(); ++level) {
+    out << "  { rank=same;";
+    for (const NodeId member : hierarchy.members(level)) {
+      out << " l" << level << "_" << member << ";";
+    }
+    out << " }\n";
+    for (const NodeId member : hierarchy.members(level)) {
+      out << "  l" << level << "_" << member << " [label=\"L" << level
+          << ":" << member << "\"];\n";
+    }
+  }
+  // Primary-parent edges: each level-l member to its level-(l+1) parent.
+  for (int level = 0; level < hierarchy.height(); ++level) {
+    for (const NodeId member : hierarchy.members(level)) {
+      const NodeId parent = hierarchy.primary(member, level + 1);
+      out << "  l" << level << "_" << member << " -> l" << (level + 1)
+          << "_" << parent << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string spanning_tree_to_dot(const SpanningTree& tree,
+                                 const Graph& graph) {
+  MOT_EXPECTS(tree.is_valid());
+  std::ostringstream out;
+  out << "digraph tree {\n  rankdir=BT;\n  node [shape=circle, "
+         "fontsize=9];\n";
+  out << "  n" << tree.root << " [shape=doublecircle];\n";
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"" << v << "\"";
+    write_position(out, graph, v);
+    out << "];\n";
+    if (v != tree.root) {
+      out << "  n" << v << " -> n" << tree.parent[v] << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string dendrogram_to_dot(const Dendrogram& dendrogram) {
+  MOT_EXPECTS(dendrogram.is_valid());
+  std::ostringstream out;
+  out << "digraph dendrogram {\n  rankdir=BT;\n  node [fontsize=9];\n";
+  for (std::size_t i = 0; i < dendrogram.nodes.size(); ++i) {
+    const bool leaf = i < dendrogram.num_sensors;
+    out << "  d" << i << " [shape=" << (leaf ? "circle" : "box")
+        << ", label=\"";
+    if (leaf) {
+      out << i;
+    } else {
+      out << "host " << dendrogram.nodes[i].host;
+    }
+    out << "\"];\n";
+    if (static_cast<std::int32_t>(i) != dendrogram.root) {
+      out << "  d" << i << " -> d" << dendrogram.nodes[i].parent << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mot::viz

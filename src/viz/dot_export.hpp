@@ -1,0 +1,32 @@
+// Graphviz (DOT) exporters for the structures this library builds. They
+// exist for documentation and debugging: render with
+//   dot -Tsvg hierarchy.dot -o hierarchy.svg
+//
+// Exporters write plain DOT text; they never read files and have no
+// Graphviz dependency.
+#pragma once
+
+#include <string>
+
+#include "baselines/spanning_tree.hpp"
+#include "graph/graph.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace mot::viz {
+
+// The sensor graph: nodes placed at their positions when embedded.
+std::string graph_to_dot(const Graph& graph);
+
+// The overlay hierarchy as a layered DAG: one record per (level, member),
+// edges from each member to its primary parent at the next level.
+std::string hierarchy_to_dot(const Hierarchy& hierarchy);
+
+// A spanning tree (DAT / Z-DAT) over the sensors, rooted at the sink.
+std::string spanning_tree_to_dot(const SpanningTree& tree,
+                                 const Graph& graph);
+
+// A STUN dendrogram: sensor leaves at the bottom, logical merge nodes
+// above, each labeled with its host sensor.
+std::string dendrogram_to_dot(const Dendrogram& dendrogram);
+
+}  // namespace mot::viz

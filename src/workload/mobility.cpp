@@ -1,0 +1,140 @@
+#include "workload/mobility.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/shortest_path.hpp"
+#include "util/check.hpp"
+
+namespace mot {
+
+Weight MovementTrace::optimal_cost(const DistanceOracle& oracle) const {
+  Weight total = 0.0;
+  for (const MoveOp& op : moves) {
+    total += oracle.distance(op.from, op.to);
+  }
+  return total;
+}
+
+EdgeRates MovementTrace::estimate_rates() const {
+  EdgeRates rates;
+  for (const MoveOp& op : moves) {
+    if (op.from != op.to) rates.record(op.from, op.to);
+  }
+  return rates;
+}
+
+namespace {
+
+// One mobility step: returns the next proxy for an object at `at`.
+// Waypoint-style models walk precomputed shortest paths; `pending` holds
+// the remaining nodes of the current segment (per object).
+class Stepper {
+ public:
+  Stepper(const Graph& graph, const TraceParams& params, Rng& rng)
+      : graph_(&graph), params_(params), rng_(&rng) {}
+
+  NodeId next(ObjectId object, NodeId at) {
+    switch (params_.model) {
+      case MobilityModel::kRandomWalk:
+        return random_neighbor(at);
+      case MobilityModel::kRandomWaypoint:
+        return waypoint_step(object, at, /*levy=*/false);
+      case MobilityModel::kLevyWalk:
+        return waypoint_step(object, at, /*levy=*/true);
+    }
+    return at;
+  }
+
+ private:
+  NodeId random_neighbor(NodeId at) {
+    const auto neighbors = graph_->neighbors(at);
+    MOT_CHECK(!neighbors.empty());  // connected graph with n >= 2
+    return neighbors[rng_->below(neighbors.size())].to;
+  }
+
+  NodeId waypoint_step(ObjectId object, NodeId at, bool levy) {
+    auto& segment = pending_[object];
+    if (segment.empty()) {
+      // Pick a new target. Levy walks bound the hop budget heavy-tailed;
+      // plain waypoint accepts any target.
+      NodeId target = at;
+      while (target == at) {
+        target = static_cast<NodeId>(rng_->below(graph_->num_nodes()));
+      }
+      const ShortestPathTree tree = dijkstra(*graph_, at);
+      std::vector<NodeId> path = tree.path_to(target);
+      MOT_CHECK(path.size() >= 2);
+      if (levy) {
+        const std::uint64_t budget =
+            rng_->truncated_pareto(params_.levy_alpha, path.size() - 1);
+        path.resize(budget + 1);
+      }
+      // Store the remaining hops in reverse so steps pop from the back.
+      segment.assign(path.rbegin(), path.rend());
+      segment.pop_back();  // drop the current node
+    }
+    const NodeId next = segment.back();
+    segment.pop_back();
+    return next;
+  }
+
+  const Graph* graph_;
+  TraceParams params_;
+  Rng* rng_;
+  std::unordered_map<ObjectId, std::vector<NodeId>> pending_;
+};
+
+}  // namespace
+
+MovementTrace generate_trace(const Graph& graph, const TraceParams& params,
+                             Rng& rng) {
+  MOT_EXPECTS(graph.num_nodes() >= 2);
+  MOT_EXPECTS(params.num_objects >= 1);
+
+  MovementTrace trace;
+  trace.initial_proxy.resize(params.num_objects);
+  std::vector<NodeId> position(params.num_objects);
+  for (ObjectId o = 0; o < params.num_objects; ++o) {
+    position[o] = static_cast<NodeId>(rng.below(graph.num_nodes()));
+    trace.initial_proxy[o] = position[o];
+  }
+
+  Stepper stepper(graph, params, rng);
+  const std::size_t total_moves =
+      params.num_objects * params.moves_per_object;
+  trace.moves.reserve(total_moves);
+  std::vector<std::size_t> remaining(params.num_objects,
+                                     params.moves_per_object);
+  std::size_t objects_left = params.moves_per_object > 0
+                                 ? params.num_objects
+                                 : 0;
+  while (objects_left > 0) {
+    // "Random order": a uniformly random object (with moves left) steps.
+    auto object = static_cast<ObjectId>(rng.below(params.num_objects));
+    while (remaining[object] == 0) {
+      object = static_cast<ObjectId>((object + 1) % params.num_objects);
+    }
+    const NodeId from = position[object];
+    const NodeId to = stepper.next(object, from);
+    trace.moves.push_back({object, from, to});
+    position[object] = to;
+    if (--remaining[object] == 0) --objects_left;
+  }
+  return trace;
+}
+
+std::vector<QueryOp> generate_queries(std::size_t num_nodes,
+                                      std::size_t num_objects,
+                                      std::size_t count, Rng& rng) {
+  MOT_EXPECTS(num_nodes >= 1 && num_objects >= 1);
+  std::vector<QueryOp> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queries.push_back({static_cast<NodeId>(rng.below(num_nodes)),
+                       static_cast<ObjectId>(rng.below(num_objects))});
+  }
+  return queries;
+}
+
+}  // namespace mot

@@ -1,0 +1,70 @@
+// Mobility workloads (Section 8): object placements, movement traces and
+// query workloads, plus the detection-rate estimation that feeds the
+// traffic-conscious baselines.
+//
+// A MovementTrace is a fully materialized experiment input: initial proxy
+// per object and a flat list of maintenance operations in the order they
+// are issued ("1000 maintenance operations per object in random order").
+// Traces are seeded and replayable, so every tracker in a comparison
+// consumes the identical operation stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/spanning_tree.hpp"
+#include "graph/graph.hpp"
+#include "tracking/tracker.hpp"
+#include "util/rng.hpp"
+
+namespace mot {
+
+struct MoveOp {
+  ObjectId object = 0;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+};
+
+struct MovementTrace {
+  std::vector<NodeId> initial_proxy;  // indexed by ObjectId
+  std::vector<MoveOp> moves;
+
+  std::size_t num_objects() const { return initial_proxy.size(); }
+
+  // Sum over moves of dist_G(from, to): the optimal maintenance cost.
+  Weight optimal_cost(const DistanceOracle& oracle) const;
+
+  // Detection rates observed along the trace (object transitions between
+  // adjacent sensors), as the traffic-conscious baselines consume.
+  EdgeRates estimate_rates() const;
+};
+
+enum class MobilityModel {
+  kRandomWalk,     // each move: uniformly random neighbor of the proxy
+  kRandomWaypoint, // walk a shortest path to a random target, edge by edge
+  kLevyWalk,       // heavy-tailed segment lengths along shortest paths
+};
+
+struct TraceParams {
+  std::size_t num_objects = 100;
+  std::size_t moves_per_object = 1000;
+  MobilityModel model = MobilityModel::kRandomWalk;
+  double levy_alpha = 1.5;  // tail exponent for kLevyWalk
+};
+
+// Generates a trace: initial proxies uniform over nodes; per-move, a
+// uniformly random object takes its next mobility step ("random order").
+MovementTrace generate_trace(const Graph& graph, const TraceParams& params,
+                             Rng& rng);
+
+struct QueryOp {
+  NodeId from = kInvalidNode;
+  ObjectId object = 0;
+};
+
+// `count` queries from uniform random nodes for uniform random objects.
+std::vector<QueryOp> generate_queries(std::size_t num_nodes,
+                                      std::size_t num_objects,
+                                      std::size_t count, Rng& rng);
+
+}  // namespace mot

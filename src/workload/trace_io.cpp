@@ -1,0 +1,182 @@
+#include "workload/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message,
+               std::size_t line) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + message;
+  }
+}
+
+// Splits a line into whitespace-separated tokens; '#' starts a comment.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (!token.empty() && token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool parse_u32(const std::string& text, std::uint32_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xffffffffULL) return false;
+  }
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const MovementTrace& trace) {
+  out << "mot-trace v1\n";
+  out << "objects " << trace.num_objects() << "\n";
+  for (ObjectId o = 0; o < trace.num_objects(); ++o) {
+    out << "init " << o << " " << trace.initial_proxy[o] << "\n";
+  }
+  for (const MoveOp& op : trace.moves) {
+    out << "move " << op.object << " " << op.from << " " << op.to << "\n";
+  }
+}
+
+std::string trace_to_string(const MovementTrace& trace) {
+  std::ostringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+std::optional<MovementTrace> read_trace(std::istream& in,
+                                        std::string* error) {
+  std::string line;
+  std::size_t line_number = 0;
+  // Header.
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 2 || tokens[0] != "mot-trace" ||
+        tokens[1] != "v1") {
+      set_error(error, "expected header 'mot-trace v1'", line_number);
+      return std::nullopt;
+    }
+    break;
+  }
+
+  MovementTrace trace;
+  bool have_objects = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "objects") {
+      std::uint32_t count = 0;
+      if (tokens.size() != 2 || !parse_u32(tokens[1], &count)) {
+        set_error(error, "malformed 'objects' line", line_number);
+        return std::nullopt;
+      }
+      trace.initial_proxy.assign(count, kInvalidNode);
+      have_objects = true;
+    } else if (tokens[0] == "init") {
+      std::uint32_t object = 0;
+      std::uint32_t proxy = 0;
+      if (!have_objects || tokens.size() != 3 ||
+          !parse_u32(tokens[1], &object) || !parse_u32(tokens[2], &proxy) ||
+          object >= trace.initial_proxy.size()) {
+        set_error(error, "malformed 'init' line", line_number);
+        return std::nullopt;
+      }
+      trace.initial_proxy[object] = proxy;
+    } else if (tokens[0] == "move") {
+      std::uint32_t object = 0;
+      std::uint32_t from = 0;
+      std::uint32_t to = 0;
+      if (!have_objects || tokens.size() != 4 ||
+          !parse_u32(tokens[1], &object) || !parse_u32(tokens[2], &from) ||
+          !parse_u32(tokens[3], &to) ||
+          object >= trace.initial_proxy.size()) {
+        set_error(error, "malformed 'move' line", line_number);
+        return std::nullopt;
+      }
+      trace.moves.push_back({object, from, to});
+    } else {
+      set_error(error, "unknown directive '" + tokens[0] + "'",
+                line_number);
+      return std::nullopt;
+    }
+  }
+  if (!have_objects) {
+    set_error(error, "missing 'objects' line", line_number);
+    return std::nullopt;
+  }
+  for (ObjectId o = 0; o < trace.num_objects(); ++o) {
+    if (trace.initial_proxy[o] == kInvalidNode) {
+      set_error(error, "object " + std::to_string(o) + " has no init",
+                line_number);
+      return std::nullopt;
+    }
+  }
+  return trace;
+}
+
+std::optional<MovementTrace> trace_from_string(const std::string& text,
+                                               std::string* error) {
+  std::istringstream in(text);
+  return read_trace(in, error);
+}
+
+void write_queries(std::ostream& out,
+                   const std::vector<QueryOp>& queries) {
+  out << "mot-queries v1\n";
+  for (const QueryOp& op : queries) {
+    out << "query " << op.from << " " << op.object << "\n";
+  }
+}
+
+std::optional<std::vector<QueryOp>> read_queries(std::istream& in,
+                                                 std::string* error) {
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 2 || tokens[0] != "mot-queries" ||
+        tokens[1] != "v1") {
+      set_error(error, "expected header 'mot-queries v1'", line_number);
+      return std::nullopt;
+    }
+    break;
+  }
+  std::vector<QueryOp> queries;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    std::uint32_t from = 0;
+    std::uint32_t object = 0;
+    if (tokens[0] != "query" || tokens.size() != 3 ||
+        !parse_u32(tokens[1], &from) || !parse_u32(tokens[2], &object)) {
+      set_error(error, "malformed 'query' line", line_number);
+      return std::nullopt;
+    }
+    queries.push_back({from, object});
+  }
+  return queries;
+}
+
+}  // namespace mot

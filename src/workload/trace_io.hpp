@@ -1,0 +1,37 @@
+// Plain-text serialization of movement traces and query workloads, so an
+// experiment input can be produced once, inspected, versioned and
+// replayed bit-identically across machines and tracker implementations.
+//
+// Format (line-oriented, '#' comments allowed):
+//   mot-trace v1
+//   objects <m>
+//   init <object> <proxy>          (one per object)
+//   move <object> <from> <to>      (in issue order)
+//
+//   mot-queries v1
+//   query <from> <object>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "workload/mobility.hpp"
+
+namespace mot {
+
+void write_trace(std::ostream& out, const MovementTrace& trace);
+std::string trace_to_string(const MovementTrace& trace);
+
+// Returns nullopt on malformed input; the error string (if provided)
+// explains the first problem found.
+std::optional<MovementTrace> read_trace(std::istream& in,
+                                        std::string* error = nullptr);
+std::optional<MovementTrace> trace_from_string(const std::string& text,
+                                               std::string* error = nullptr);
+
+void write_queries(std::ostream& out, const std::vector<QueryOp>& queries);
+std::optional<std::vector<QueryOp>> read_queries(
+    std::istream& in, std::string* error = nullptr);
+
+}  // namespace mot

@@ -1,0 +1,263 @@
+#include "baselines/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/tree_tracker.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace mot {
+namespace {
+
+EdgeRates uniform_rates(const Graph& graph) {
+  EdgeRates rates;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const Edge& e : graph.neighbors(v)) {
+      if (e.to > v) rates.record(v, e.to, 1.0);
+    }
+  }
+  return rates;
+}
+
+EdgeRates varied_rates(const Graph& graph) {
+  EdgeRates rates;
+  Rng rng(7);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const Edge& e : graph.neighbors(v)) {
+      if (e.to > v) rates.record(v, e.to, 1.0 + rng.below(10));
+    }
+  }
+  return rates;
+}
+
+TEST(EdgeRates, SymmetricAndAccumulating) {
+  EdgeRates rates;
+  rates.record(3, 7, 2.0);
+  rates.record(7, 3, 1.0);
+  EXPECT_DOUBLE_EQ(rates.rate(3, 7), 3.0);
+  EXPECT_DOUBLE_EQ(rates.rate(7, 3), 3.0);
+  EXPECT_DOUBLE_EQ(rates.rate(1, 2), 0.0);
+  EXPECT_EQ(rates.distinct_edges(), 1u);
+}
+
+TEST(ChooseSink, GridCenter) {
+  const Graph g = make_grid(5, 5);
+  EXPECT_EQ(choose_sink(g), 12u);  // the exact center of a 5x5 grid
+}
+
+TEST(ChooseSink, NoPositionsUsesEccentricity) {
+  const Graph g = make_star(9);
+  EXPECT_EQ(choose_sink(g), 0u);  // hub has minimum eccentricity
+}
+
+TEST(SpanningTreeStruct, ValidityChecks) {
+  SpanningTree tree;
+  tree.root = 0;
+  tree.parent = {0, 0, 1};
+  recompute_depths(tree);
+  EXPECT_TRUE(tree.is_valid());
+  EXPECT_EQ(tree.depth[2], 2);
+  EXPECT_EQ(tree.max_depth, 2);
+
+  SpanningTree broken;
+  broken.root = 0;
+  broken.parent = {1, 0};  // root's parent is not itself
+  EXPECT_FALSE(broken.is_valid());
+}
+
+TEST(Dat, IsDeviationAvoiding) {
+  // DAT invariant: tree distance to the sink equals graph distance.
+  const Graph g = make_grid(7, 7);
+  const NodeId sink = choose_sink(g);
+  const SpanningTree tree = build_dat(g, varied_rates(g), sink);
+  ASSERT_TRUE(tree.is_valid());
+  const ShortestPathTree from_sink = dijkstra(g, sink);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Weight tree_dist = 0.0;
+    NodeId at = v;
+    while (at != sink) {
+      tree_dist += g.edge_weight(at, tree.parent[at]);
+      at = tree.parent[at];
+    }
+    EXPECT_DOUBLE_EQ(tree_dist, from_sink.distance[v]) << "node " << v;
+  }
+}
+
+TEST(Dat, PrefersHighRateParents) {
+  // Node at (1,1) of a 3x3 grid with sink at center? Use a path where
+  // the rate decides between two shortest-path parents.
+  const Graph g = make_grid(3, 3);
+  EdgeRates rates;
+  // Node 8 (corner) has shortest-path parents 5 and 7 toward sink 4.
+  rates.record(8, 5, 10.0);
+  rates.record(8, 7, 1.0);
+  const SpanningTree tree = build_dat(g, rates, 4);
+  EXPECT_EQ(tree.parent[8], 5u);
+
+  EdgeRates flipped;
+  flipped.record(8, 5, 1.0);
+  flipped.record(8, 7, 10.0);
+  const SpanningTree tree2 = build_dat(g, flipped, 4);
+  EXPECT_EQ(tree2.parent[8], 7u);
+}
+
+TEST(Zdat, IsDeviationAvoidingTreeOverGridEdges) {
+  const Graph g = make_grid(8, 8);
+  const NodeId sink = choose_sink(g);
+  const auto oracle = make_distance_oracle(g);
+  const SpanningTree tree = build_zdat(g, *oracle, sink);
+  ASSERT_TRUE(tree.is_valid());
+  const ShortestPathTree from_sink = dijkstra(g, sink);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == sink) continue;
+    // Parent is a graph neighbor one step closer to the sink.
+    EXPECT_NE(g.edge_weight(v, tree.parent[v]), kInfiniteDistance);
+    EXPECT_DOUBLE_EQ(from_sink.distance[tree.parent[v]],
+                     from_sink.distance[v] - 1.0);
+  }
+}
+
+TEST(Zdat, DistinctFromDatOnTies) {
+  // Both are deviation-avoiding, but Z-DAT picks zone-local parents while
+  // DAT picks rate-heavy parents; with uniform rates they usually differ
+  // somewhere on a big grid.
+  const Graph g = make_grid(10, 10);
+  const NodeId sink = choose_sink(g);
+  const auto oracle = make_distance_oracle(g);
+  const SpanningTree zdat = build_zdat(g, *oracle, sink);
+  const SpanningTree dat = build_dat(g, uniform_rates(g), sink);
+  int differences = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (zdat.parent[v] != dat.parent[v]) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(StunDendrogram, StructureAndHosting) {
+  const Graph g = make_grid(6, 6);
+  const NodeId sink = choose_sink(g);
+  const Dendrogram dendrogram =
+      build_stun_dendrogram(g, varied_rates(g), sink);
+  ASSERT_TRUE(dendrogram.is_valid());
+  EXPECT_EQ(dendrogram.num_sensors, 36u);
+  // A full binary merge tree has exactly n - 1 internal nodes.
+  EXPECT_EQ(dendrogram.nodes.size(), 2u * 36 - 1);
+  // The root is hosted at the sink.
+  EXPECT_EQ(dendrogram.nodes[dendrogram.root].host, sink);
+  // Leaves host themselves.
+  for (NodeId v = 0; v < 36; ++v) {
+    EXPECT_EQ(dendrogram.nodes[v].host, v);
+  }
+  // Balanced pairing keeps depth ~ buckets x log2(class size), far from
+  // the O(n) a chain merge would produce.
+  EXPECT_LE(dendrogram.max_depth(), 24);
+}
+
+TEST(StunDendrogram, DeterministicForSameRates) {
+  const Graph g = make_grid(5, 5);
+  const EdgeRates rates = varied_rates(g);
+  const Dendrogram a = build_stun_dendrogram(g, rates, 12);
+  const Dendrogram b = build_stun_dendrogram(g, rates, 12);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent);
+    EXPECT_EQ(a.nodes[i].host, b.nodes[i].host);
+  }
+}
+
+TEST(StunTracker, TracksThroughDendrogram) {
+  const Graph g = make_grid(6, 6);
+  const CachedDistanceOracle oracle(g);
+  StunTracker tracker(oracle,
+                      build_stun_dendrogram(g, varied_rates(g), 14));
+  tracker.publish(0, 0);
+  Rng rng(5);
+  NodeId at = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto neighbors = g.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    tracker.move(0, at);
+    tracker.chain().validate(0);
+  }
+  EXPECT_EQ(tracker.proxy_of(0), at);
+  EXPECT_EQ(tracker.query(35, 0).proxy, at);
+}
+
+TEST(StunTracker, RootHostStoresEveryObject) {
+  const Graph g = make_grid(6, 6);
+  const CachedDistanceOracle oracle(g);
+  const NodeId sink = choose_sink(g);
+  StunTracker tracker(oracle,
+                      build_stun_dendrogram(g, uniform_rates(g), sink));
+  for (ObjectId o = 0; o < 30; ++o) {
+    tracker.publish(o, static_cast<NodeId>((o * 5) % 36));
+  }
+  const auto load = tracker.load_per_node();
+  // The sink hosts the root's detection set: at least one entry per
+  // object lives there.
+  EXPECT_GE(load[sink], 30u);
+}
+
+TEST(TreeTracker, ZdatTracksAndAnswers) {
+  const Graph g = make_grid(6, 6);
+  const CachedDistanceOracle oracle(g);
+  const auto grid_oracle = make_distance_oracle(g);
+  TreeTracker tracker("Z-DAT", oracle,
+                      build_zdat(g, *grid_oracle, choose_sink(g)), false);
+  tracker.publish(0, 3);
+  tracker.publish(1, 32);
+  tracker.move(0, 4);
+  tracker.move(1, 31);
+  tracker.chain().validate_all();
+  EXPECT_EQ(tracker.query(0, 0).proxy, 4u);
+  EXPECT_EQ(tracker.query(0, 1).proxy, 31u);
+}
+
+TEST(TreeTracker, ShortcutNeverCostsMoreOnQueries) {
+  const Graph g = make_grid(8, 8);
+  const CachedDistanceOracle oracle(g);
+  const auto grid_oracle = make_distance_oracle(g);
+  const NodeId sink = choose_sink(g);
+  SpanningTree tree = build_zdat(g, *grid_oracle, sink);
+  SpanningTree tree_copy = tree;
+  TreeTracker plain("Z-DAT", oracle, std::move(tree), false);
+  TreeTracker shortcut("Z-DAT+SC", oracle, std::move(tree_copy), true);
+
+  Rng rng(3);
+  NodeId at = 0;
+  plain.publish(0, 0);
+  shortcut.publish(0, 0);
+  for (int i = 0; i < 40; ++i) {
+    const auto neighbors = g.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    plain.move(0, at);
+    shortcut.move(0, at);
+  }
+  for (NodeId from = 0; from < 64; from += 5) {
+    const QueryResult a = plain.query(from, 0);
+    const QueryResult b = shortcut.query(from, 0);
+    EXPECT_EQ(a.proxy, b.proxy);
+    EXPECT_LE(b.cost, a.cost + 1e-9);
+  }
+}
+
+TEST(Baselines, WorkOnRingNetworks) {
+  // Rings are the paper's example of spanning-tree weakness: the tree
+  // must cut the cycle somewhere and pay O(D) for moves across the cut.
+  const Graph ring = make_ring(32);
+  const CachedDistanceOracle oracle(ring);
+  const NodeId sink = choose_sink(ring);
+  TreeTracker dat("DAT", oracle, build_dat(ring, uniform_rates(ring), sink),
+                  false);
+  dat.publish(0, 0);
+  Weight total = 0.0;
+  // Walk the full ring: crossing the tree cut costs ~D.
+  for (NodeId to = 1; to < 32; ++to) total += dat.move(0, to).cost;
+  total += dat.move(0, 0).cost;
+  // Optimal total is 32 (one hop each); the tree pays extra every time
+  // the walk crosses the edge the spanning tree had to cut (~D extra).
+  EXPECT_GT(total, 32.0 + 16.0 - 2.0);
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,324 @@
+#include "core/concurrent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/tree_tracker.hpp"
+#include "core/mot.hpp"
+#include "expt/experiment.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+
+namespace mot {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t side = 8, std::uint64_t seed = 7)
+      : graph(make_grid(side, side)), oracle(make_distance_oracle(graph)) {
+    DoublingHierarchy::Params hier_params;
+    hier_params.seed = seed;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, hier_params);
+    MotOptions options;
+    options.use_parent_sets = false;
+    provider = std::make_unique<MotPathProvider>(*hierarchy, options);
+    chain_options = make_mot_chain_options(options);
+  }
+
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+  std::unique_ptr<MotPathProvider> provider;
+  ChainOptions chain_options;
+};
+
+TEST(ConcurrentEngine, SingleMoveMatchesSequentialCost) {
+  const Fixture fx;
+  // Sequential reference.
+  ChainTracker sequential("seq", *fx.provider, fx.chain_options);
+  sequential.publish(0, 10);
+  const MoveResult expected = sequential.move(0, 11);
+
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 10);
+  MoveResult actual;
+  bool done = false;
+  engine.start_move(0, 11, [&](const MoveResult& r) {
+    actual = r;
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_DOUBLE_EQ(actual.cost, expected.cost);
+  EXPECT_EQ(actual.peak_level, expected.peak_level);
+  engine.validate_quiescent();
+}
+
+TEST(ConcurrentEngine, SingleQueryMatchesSequentialCost) {
+  const Fixture fx;
+  ChainTracker sequential("seq", *fx.provider, fx.chain_options);
+  sequential.publish(0, 10);
+  sequential.move(0, 30);
+  const QueryResult expected = sequential.query(60, 0);
+
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 10);
+  engine.start_move(0, 30, {});
+  sim.run();
+  QueryResult actual;
+  engine.start_query(60, 0, [&](const QueryResult& r) { actual = r; });
+  sim.run();
+  EXPECT_TRUE(actual.found);
+  EXPECT_EQ(actual.proxy, expected.proxy);
+  EXPECT_DOUBLE_EQ(actual.cost, expected.cost);
+}
+
+TEST(ConcurrentEngine, MoveToSamePlaceCompletesImmediately) {
+  const Fixture fx;
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 5);
+  bool done = false;
+  engine.start_move(0, 5, [&](const MoveResult& r) {
+    EXPECT_DOUBLE_EQ(r.cost, 0.0);
+    done = true;
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(engine.inflight_operations(), 0u);
+}
+
+TEST(ConcurrentEngine, OverlappingMovesSameObjectKeepChain) {
+  const Fixture fx;
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 0);
+  // A burst of ten overlapping moves along a walk.
+  const NodeId walk[] = {1, 2, 10, 11, 12, 20, 21, 29, 37, 38};
+  int completed = 0;
+  for (const NodeId to : walk) {
+    engine.start_move(0, to, [&](const MoveResult&) { ++completed; });
+  }
+  EXPECT_EQ(engine.physical_position(0), 38u);
+  sim.run();
+  EXPECT_EQ(completed, 10);
+  engine.validate_quiescent();
+}
+
+TEST(ConcurrentEngine, MovesCompleteInIssueOrder) {
+  const Fixture fx;
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 0);
+  std::vector<int> order;
+  engine.start_move(0, 8, [&](const MoveResult&) { order.push_back(1); });
+  engine.start_move(0, 16, [&](const MoveResult&) { order.push_back(2); });
+  engine.start_move(0, 24, [&](const MoveResult&) { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ConcurrentEngine, QueryDuringMoveEventuallySucceeds) {
+  const Fixture fx;
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 0);
+  // Start a long move, immediately query from near the OLD location: the
+  // query may land on the stale proxy and must be forwarded.
+  engine.start_move(0, 63, {});
+  QueryResult result;
+  engine.start_query(1, 0, [&](const QueryResult& r) { result = r; });
+  sim.run();
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.proxy, 63u);
+  engine.validate_quiescent();
+}
+
+TEST(ConcurrentEngine, ManyObjectsManyMovesQuiesceValid) {
+  const Fixture fx(8, 5);
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  Rng rng(3);
+  std::vector<NodeId> at(20);
+  for (ObjectId o = 0; o < 20; ++o) {
+    at[o] = static_cast<NodeId>(rng.below(64));
+    engine.publish(o, at[o]);
+  }
+  int completed = 0;
+  for (int round = 0; round < 15; ++round) {
+    for (ObjectId o = 0; o < 20; ++o) {
+      const auto neighbors = fx.graph.neighbors(at[o]);
+      at[o] = neighbors[rng.below(neighbors.size())].to;
+      engine.start_move(o, at[o], [&](const MoveResult&) { ++completed; });
+    }
+  }
+  sim.run();
+  EXPECT_EQ(completed, 15 * 20);
+  engine.validate_quiescent();
+  for (ObjectId o = 0; o < 20; ++o) {
+    EXPECT_EQ(engine.physical_position(o), at[o]);
+  }
+}
+
+TEST(ConcurrentEngine, StatsTrackWaitsAndForwards) {
+  const Fixture fx;
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 0);
+  engine.start_move(0, 63, {});
+  // Query straight at the stale proxy: it must wait for the delete.
+  engine.start_query(0, 0, {});
+  sim.run();
+  const ConcurrentStats& stats = engine.stats();
+  EXPECT_EQ(stats.moves_completed, 1u);
+  EXPECT_EQ(stats.queries_completed, 1u);
+  EXPECT_GE(stats.query_waits + stats.query_restarts, 1u);
+}
+
+TEST(ConcurrentEngine, WorksOverTreeProviders) {
+  const Graph graph = make_grid(6, 6);
+  const CachedDistanceOracle oracle(graph);
+  EdgeRates rates;
+  const NodeId sink = choose_sink(graph);
+  SpanningTree tree = build_dat(graph, rates, sink);
+  TreePathProvider provider(oracle, std::move(tree));
+  ChainOptions options;
+
+  Simulator sim;
+  ConcurrentEngine engine(provider, sim, options);
+  engine.publish(0, 0);
+  Rng rng(9);
+  NodeId at = 0;
+  int completed = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto neighbors = graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    engine.start_move(0, at, [&](const MoveResult&) { ++completed; });
+    if (i % 5 == 0) {
+      engine.start_query(static_cast<NodeId>(rng.below(36)), 0,
+                         [&](const QueryResult& r) {
+                           EXPECT_TRUE(r.found);
+                         });
+    }
+  }
+  sim.run();
+  EXPECT_EQ(completed, 40);
+  engine.validate_quiescent();
+  EXPECT_EQ(engine.physical_position(0), at);
+}
+
+TEST(ConcurrentEngine, WorksOverDendrogramProvider) {
+  const Graph graph = make_grid(6, 6);
+  const CachedDistanceOracle oracle(graph);
+  EdgeRates rates;
+  for (NodeId v = 0; v < 36; ++v) {
+    for (const Edge& e : graph.neighbors(v)) {
+      if (e.to > v) rates.record(v, e.to, (v * 7 + e.to) % 5 + 1);
+    }
+  }
+  Dendrogram dendrogram =
+      build_stun_dendrogram(graph, rates, choose_sink(graph));
+  DendrogramProvider provider(oracle, std::move(dendrogram));
+
+  Simulator sim;
+  ConcurrentEngine engine(provider, sim, {});
+  engine.publish(0, 10);
+  int completed = 0;
+  for (const NodeId to : {11u, 12u, 13u, 14u, 20u}) {
+    engine.start_move(0, to, [&](const MoveResult&) { ++completed; });
+  }
+  engine.start_query(35, 0, [&](const QueryResult& r) {
+    EXPECT_TRUE(r.found);
+  });
+  sim.run();
+  EXPECT_EQ(completed, 5);
+  engine.validate_quiescent();
+}
+
+TEST(ConcurrentEngine, ConcurrentCostAtLeastSequential) {
+  // Overlap can only add probing over stale state, never reduce cost.
+  const Fixture fx(8, 13);
+  const NodeId walk[] = {1, 2, 3, 11, 19, 27, 26, 25, 33, 41};
+
+  ChainTracker sequential("seq", *fx.provider, fx.chain_options);
+  sequential.publish(0, 0);
+  Weight seq_cost = 0.0;
+  for (const NodeId to : walk) seq_cost += sequential.move(0, to).cost;
+
+  Simulator sim;
+  ConcurrentEngine engine(*fx.provider, sim, fx.chain_options);
+  engine.publish(0, 0);
+  Weight conc_cost = 0.0;
+  for (const NodeId to : walk) {
+    engine.start_move(0, to,
+                      [&](const MoveResult& r) { conc_cost += r.cost; });
+  }
+  sim.run();
+  engine.validate_quiescent();
+  EXPECT_GE(conc_cost, seq_cost - 1e-9);
+}
+
+TEST(ConcurrentEngine, ForwardingPointersRedirectTornQueries) {
+  // Section 3's improved algorithm: with forwarding pointers on, a query
+  // whose descent is torn redirects straight to the new location instead
+  // of re-climbing. Compare both configurations on the same workload.
+  ConcurrentStats with_stats;
+  ConcurrentStats without_stats;
+  for (const bool forwarding : {false, true}) {
+    const Fixture fx(4, 7);  // a small dense grid maximizes torn descents
+    ChainOptions options = fx.chain_options;
+    options.forwarding_pointers = forwarding;
+    Simulator sim;
+    ConcurrentEngine engine(*fx.provider, sim, options);
+    engine.publish(0, 0);
+    Rng rng(13);
+    NodeId at = 0;
+    for (int burst = 0; burst < 80; ++burst) {
+      for (int k = 0; k < 8; ++k) {
+        const auto neighbors = fx.graph.neighbors(at);
+        at = neighbors[rng.below(neighbors.size())].to;
+        engine.start_move(0, at, {});
+      }
+      for (int q = 0; q < 4; ++q) {
+        engine.start_query(static_cast<NodeId>(rng.below(16)), 0,
+                           [&](const QueryResult& r) {
+                             ASSERT_TRUE(r.found);
+                           });
+      }
+      sim.run();
+      engine.validate_quiescent();
+    }
+    (forwarding ? with_stats : without_stats) = engine.stats();
+  }
+  EXPECT_EQ(without_stats.query_pointer_redirects, 0u);
+  EXPECT_GT(with_stats.query_pointer_redirects, 0u);
+  // Redirects replace restarts one for one where they fire.
+  EXPECT_LE(with_stats.query_restarts, without_stats.query_restarts);
+}
+
+TEST(RunConcurrent, DriverReplaysTraceAndValidates) {
+  const Network net = build_grid_network(64, 11);
+  TraceParams tp;
+  tp.num_objects = 12;
+  tp.moves_per_object = 25;
+  Rng rng(3);
+  const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+  const EdgeRates rates = trace.estimate_rates();
+  const AlgoInstance algo = make_algo(Algo::kMot, net, rates, 11);
+
+  ConcurrentRunParams params;
+  params.batch_size = 10;
+  params.interleave_queries = true;
+  params.seed = 99;
+  const ConcurrentRunResult result = run_concurrent(
+      *algo.provider, algo.chain_options, *net.oracle, trace, params);
+  EXPECT_EQ(result.maintenance.count() + result.maintenance.zero_optimal_count(),
+            trace.moves.size());
+  // One query per object (those with zero distance are counted separately).
+  EXPECT_EQ(result.queries.count() + result.queries.zero_optimal_count(),
+            tp.num_objects);
+  EXPECT_GE(result.maintenance.aggregate_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,90 @@
+// Death tests for the contract layer (check.hpp) and the most important
+// precondition guards across the library: misuse must fail loudly at the
+// call site, not corrupt tracking state.
+#include <gtest/gtest.h>
+
+#include "core/mot.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace mot {
+namespace {
+
+struct ContractsDeathTest : public ::testing::Test {
+  ContractsDeathTest() {
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+  }
+};
+
+TEST_F(ContractsDeathTest, ExpectsAborts) {
+  EXPECT_DEATH(MOT_EXPECTS(1 == 2), "Precondition");
+}
+
+TEST_F(ContractsDeathTest, EnsuresAborts) {
+  EXPECT_DEATH(MOT_ENSURES(false), "Postcondition");
+}
+
+TEST_F(ContractsDeathTest, CheckAborts) {
+  EXPECT_DEATH(MOT_CHECK(false), "Invariant");
+}
+
+TEST_F(ContractsDeathTest, PassingChecksAreSilent) {
+  MOT_EXPECTS(true);
+  MOT_ENSURES(2 > 1);
+  MOT_CHECK(1 + 1 == 2);
+}
+
+struct TrackerGuards : public ::testing::Test {
+  TrackerGuards() : graph(make_grid(4, 4)) {
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    oracle = make_distance_oracle(graph);
+    DoublingHierarchy::Params params;
+    params.seed = 1;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, params);
+  }
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+};
+
+TEST_F(TrackerGuards, DoublePublishAborts) {
+  MotTracker tracker(*hierarchy, {});
+  tracker.publish(0, 3);
+  EXPECT_DEATH(tracker.publish(0, 4), "Precondition");
+}
+
+TEST_F(TrackerGuards, MoveOfUnpublishedObjectAborts) {
+  MotTracker tracker(*hierarchy, {});
+  EXPECT_DEATH(tracker.move(7, 3), "Precondition");
+}
+
+TEST_F(TrackerGuards, QueryOfUnpublishedObjectAborts) {
+  MotTracker tracker(*hierarchy, {});
+  EXPECT_DEATH(tracker.query(0, 7), "Precondition");
+}
+
+TEST_F(TrackerGuards, OutOfRangeProxyAborts) {
+  MotTracker tracker(*hierarchy, {});
+  EXPECT_DEATH(tracker.publish(0, 999), "Precondition");
+}
+
+TEST_F(TrackerGuards, ProxyOfUnknownObjectAborts) {
+  MotTracker tracker(*hierarchy, {});
+  EXPECT_DEATH(tracker.proxy_of(3), "Precondition");
+}
+
+TEST(LogLevels, FilteringAndRestore) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Filtered-out levels must not crash (output goes to stderr if at all).
+  MOT_LOG_DEBUG("invisible %d", 1);
+  MOT_LOG_INFO("invisible %s", "too");
+  MOT_LOG_ERROR("visible %d", 2);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,250 @@
+#include "debruijn/debruijn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace mot {
+namespace {
+
+TEST(DeBruijnGraph, SuccessorsShiftBitsIn) {
+  const DeBruijnGraph g(3);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.successor(0b101, 0), 0b010u);
+  EXPECT_EQ(g.successor(0b101, 1), 0b011u);
+  EXPECT_EQ(g.successor(0b111, 1), 0b111u);  // self loop at all-ones
+}
+
+TEST(DeBruijnGraph, ShortestPathEndpoints) {
+  const DeBruijnGraph g(4);
+  for (std::uint32_t from = 0; from < g.num_vertices(); from += 3) {
+    for (std::uint32_t to = 0; to < g.num_vertices(); to += 5) {
+      const auto path = g.shortest_path(from, to);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), from);
+      EXPECT_EQ(path.back(), to);
+      // Each hop is a legal de Bruijn edge.
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        EXPECT_TRUE(path[i] == g.successor(path[i - 1], 0) ||
+                    path[i] == g.successor(path[i - 1], 1));
+      }
+    }
+  }
+}
+
+TEST(DeBruijnGraph, DiameterIsDimension) {
+  const DeBruijnGraph g(5);
+  int max_dist = 0;
+  for (std::uint32_t from = 0; from < g.num_vertices(); ++from) {
+    for (std::uint32_t to = 0; to < g.num_vertices(); ++to) {
+      max_dist = std::max(max_dist, g.distance(from, to));
+    }
+  }
+  EXPECT_EQ(max_dist, 5);
+}
+
+TEST(DeBruijnGraph, SelfPathIsTrivial) {
+  const DeBruijnGraph g(4);
+  EXPECT_EQ(g.distance(9, 9), 0);
+}
+
+TEST(DeBruijnGraph, OverlapShortensPath) {
+  const DeBruijnGraph g(4);
+  // 0b0111 -> 0b1110: suffix 111 == prefix 111, one shift.
+  EXPECT_EQ(g.distance(0b0111, 0b1110), 1);
+}
+
+TEST(DeBruijnGraph, DimensionZero) {
+  const DeBruijnGraph g(0);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.distance(0, 0), 0);
+}
+
+TEST(UniversalHash, DeterministicPerSalt) {
+  const UniversalHash a(5);
+  const UniversalHash b(5);
+  const UniversalHash c(6);
+  EXPECT_EQ(a(123), b(123));
+  EXPECT_NE(a(123), c(123));
+}
+
+TEST(UniversalHash, SpreadsKeys) {
+  const UniversalHash hash(7);
+  std::set<std::uint64_t> buckets;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    buckets.insert(hash(key) % 16);
+  }
+  EXPECT_GE(buckets.size(), 12u);  // nearly all buckets hit
+}
+
+TEST(ClusterEmbedding, HostsAndLabels) {
+  ClusterEmbedding embedding({10, 20, 30}, 1);
+  EXPECT_EQ(embedding.size(), 3u);
+  EXPECT_EQ(embedding.dimension(), 2);
+  EXPECT_EQ(embedding.host(0), 10u);
+  EXPECT_EQ(embedding.host(1), 20u);
+  EXPECT_EQ(embedding.host(2), 30u);
+  // Label 3 (>= |X|) is emulated by the member at 3 & ~msb = 1.
+  EXPECT_EQ(embedding.host(3), 20u);
+  EXPECT_EQ(embedding.label_of(30), 2);
+  EXPECT_EQ(embedding.label_of(99), -1);
+}
+
+TEST(ClusterEmbedding, RouteEndpointsAndMembership) {
+  std::vector<NodeId> members(13);
+  std::iota(members.begin(), members.end(), 100);
+  const ClusterEmbedding embedding(members, 3);
+  for (std::uint32_t from = 0; from < 13; from += 3) {
+    for (std::uint32_t to = 0; to < 13; to += 4) {
+      const auto route = embedding.route(from, to);
+      ASSERT_FALSE(route.empty());
+      EXPECT_EQ(route.front(), members[from]);
+      EXPECT_EQ(route.back(), members[to]);
+      // Hops bounded by dimension + 1 vertices.
+      EXPECT_LE(route.size(),
+                static_cast<std::size_t>(embedding.dimension()) + 1);
+      for (const NodeId hop : route) {
+        EXPECT_GE(embedding.label_of(hop), 0);  // all hops are members
+      }
+    }
+  }
+}
+
+TEST(ClusterEmbedding, KeysHashWithinCluster) {
+  ClusterEmbedding embedding({1, 2, 3, 4, 5}, 11);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const NodeId node = embedding.node_for_key(key);
+    EXPECT_GE(node, 1u);
+    EXPECT_LE(node, 5u);
+    EXPECT_EQ(node, embedding.host(embedding.label_for_key(key)));
+  }
+}
+
+TEST(ClusterEmbedding, HashSpreadsAcrossMembers) {
+  std::vector<NodeId> members(8);
+  std::iota(members.begin(), members.end(), 0);
+  const ClusterEmbedding embedding(members, 13);
+  std::vector<int> hits(8, 0);
+  for (std::uint64_t key = 0; key < 800; ++key) {
+    ++hits[embedding.node_for_key(key)];
+  }
+  for (const int h : hits) {
+    EXPECT_GT(h, 40);   // no starving member
+    EXPECT_LT(h, 250);  // no hot member
+  }
+}
+
+TEST(ClusterEmbedding, AddMemberGrowsDimensionAtPowersOfTwo) {
+  ClusterEmbedding embedding({1, 2, 3}, 1);
+  EXPECT_EQ(embedding.dimension(), 2);
+  // 3 -> 4 members: label 3 still fits dimension 2, O(1) updates.
+  EXPECT_EQ(embedding.add_member(4), 3u);
+  EXPECT_EQ(embedding.dimension(), 2);  // ceil(log2 4) == 2
+  // 4 -> 5 members: old size was a power of two, dimension must grow and
+  // every member re-derives its labels.
+  EXPECT_EQ(embedding.add_member(5), 5u);
+  EXPECT_EQ(embedding.dimension(), 3);
+  // Every label is hosted by a real member afterwards.
+  for (std::uint32_t label = 0; label < 8; ++label) {
+    EXPECT_GE(embedding.label_of(embedding.host(label)), 0);
+  }
+}
+
+TEST(ClusterEmbedding, RemoveMemberRelabels) {
+  ClusterEmbedding embedding({10, 20, 30, 40, 50}, 1);
+  embedding.remove_member(20);
+  EXPECT_EQ(embedding.size(), 4u);
+  EXPECT_EQ(embedding.label_of(20), -1);
+  // The last member (50) took 20's label.
+  EXPECT_EQ(embedding.label_of(50), 1);
+}
+
+TEST(ClusterEmbedding, RemoveAtPowerOfTwoShrinksDimension) {
+  ClusterEmbedding embedding({1, 2, 3, 4, 5}, 1);
+  EXPECT_EQ(embedding.dimension(), 3);
+  // 5 -> 4 members: 4 is a power of two, dimension shrinks, all updated.
+  EXPECT_EQ(embedding.remove_member(3), 4u);
+  EXPECT_EQ(embedding.dimension(), 2);
+}
+
+TEST(ClusterEmbedding, AmortizedConstantUpdates) {
+  std::vector<NodeId> members(3);
+  std::iota(members.begin(), members.end(), 0);
+  ClusterEmbedding embedding(members, 1);
+  std::size_t total_updates = 0;
+  std::size_t events = 0;
+  NodeId next = 3;
+  for (int round = 0; round < 200; ++round) {
+    total_updates += embedding.add_member(next++);
+    ++events;
+    if (round % 3 == 0) {
+      total_updates += embedding.remove_member(
+          embedding.members()[round % embedding.size()]);
+      ++events;
+    }
+  }
+  const double amortized =
+      static_cast<double>(total_updates) / static_cast<double>(events);
+  EXPECT_LE(amortized, 8.0);  // O(1) amortized (Section 7)
+}
+
+TEST(ClusterEmbedding, NeighborTablesAreConstantSize) {
+  // The paper's Section 5 claim: "the neighborhood table at each node is
+  // of constant size" — at most the two de Bruijn out-neighbors.
+  for (const std::size_t size : {2u, 5u, 16u, 37u, 100u}) {
+    std::vector<NodeId> members(size);
+    std::iota(members.begin(), members.end(), 0);
+    const ClusterEmbedding embedding(members, 3);
+    for (std::uint32_t label = 0;
+         label < (1u << embedding.dimension()); ++label) {
+      const auto table = embedding.neighbor_table(label);
+      EXPECT_LE(table.size(), 2u);
+      for (const NodeId host : table) {
+        EXPECT_GE(embedding.label_of(host), 0);  // neighbors are members
+      }
+    }
+  }
+}
+
+TEST(ClusterEmbedding, NeighborTablesSufficeForRouting) {
+  // Every hop of every shortest route is reachable through some node's
+  // neighbor table (the routing state is genuinely local).
+  std::vector<NodeId> members(23);
+  std::iota(members.begin(), members.end(), 50);
+  const ClusterEmbedding embedding(members, 5);
+  for (std::uint32_t from = 0; from < 23; from += 4) {
+    for (std::uint32_t to = 0; to < 23; to += 5) {
+      const auto route = embedding.route(from, to);
+      for (std::size_t i = 1; i < route.size(); ++i) {
+        // The next physical host must be the previous hop itself (label
+        // emulation collapse) or in some of its labels' tables.
+        const NodeId prev = route[i - 1];
+        bool reachable = false;
+        for (std::uint32_t label = 0;
+             label < (1u << embedding.dimension()) && !reachable;
+             ++label) {
+          if (embedding.host(label) != prev) continue;
+          const auto table = embedding.neighbor_table(label);
+          reachable = std::find(table.begin(), table.end(), route[i]) !=
+                      table.end();
+        }
+        EXPECT_TRUE(reachable) << "hop " << prev << " -> " << route[i];
+      }
+    }
+  }
+}
+
+TEST(ClusterEmbedding, SingleMemberCluster) {
+  ClusterEmbedding embedding({42}, 1);
+  EXPECT_EQ(embedding.size(), 1u);
+  EXPECT_EQ(embedding.dimension(), 0);
+  EXPECT_EQ(embedding.node_for_key(99), 42u);
+  const auto route = embedding.route(0, 0);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(route[0], 42u);
+}
+
+}  // namespace
+}  // namespace mot

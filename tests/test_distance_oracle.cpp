@@ -1,0 +1,105 @@
+#include "graph/distance_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace mot {
+namespace {
+
+TEST(GridDistanceOracle, MatchesBfs) {
+  const Graph g = make_grid(6, 9);
+  const GridDistanceOracle oracle(6, 9);
+  for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+    const ShortestPathTree tree = bfs_unit(g, u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_DOUBLE_EQ(oracle.distance(u, v), tree.distance[v]);
+    }
+  }
+}
+
+TEST(CachedDistanceOracle, ExactAndCaching) {
+  Rng rng(13);
+  const Graph g = make_connected_random(40, 4.0, 5.0, rng);
+  const CachedDistanceOracle oracle(g);
+  EXPECT_EQ(oracle.cached_sources(), 0u);
+  const ShortestPathTree tree = dijkstra(g, 3);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(oracle.distance(3, v), tree.distance[v]);
+  }
+  EXPECT_GE(oracle.cached_sources(), 1u);
+  // Symmetric query reuses a cached endpoint rather than a new SSSP.
+  const std::size_t before = oracle.cached_sources();
+  EXPECT_DOUBLE_EQ(oracle.distance(7, 3), tree.distance[7]);
+  EXPECT_EQ(oracle.cached_sources(), before);
+}
+
+TEST(CachedDistanceOracle, SelfDistanceZero) {
+  const Graph g = make_grid(3, 3);
+  const CachedDistanceOracle oracle(g);
+  EXPECT_DOUBLE_EQ(oracle.distance(4, 4), 0.0);
+}
+
+TEST(DetectGrid, RecognizesCanonicalGrids) {
+  const auto shape = detect_grid(make_grid(4, 7));
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(shape->rows, 4u);
+  EXPECT_EQ(shape->cols, 7u);
+}
+
+TEST(DetectGrid, RejectsNonGrids) {
+  EXPECT_FALSE(detect_grid(make_ring(12)).has_value());
+  EXPECT_FALSE(detect_grid(make_torus(4, 4)).has_value());
+  EXPECT_FALSE(detect_grid(make_grid8(3, 3)).has_value());
+  EXPECT_FALSE(detect_grid(make_complete(4)).has_value());
+}
+
+TEST(DetectGrid, SquareAmbiguityStillExact) {
+  // 1xN and Nx1 grids have the same edge set; either shape is acceptable
+  // as long as distances are right.
+  const Graph g = make_grid(1, 6);
+  const auto oracle = make_distance_oracle(g);
+  const ShortestPathTree tree = bfs_unit(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(oracle->distance(0, v), tree.distance[v]);
+  }
+}
+
+TEST(MakeDistanceOracle, PicksGridFastPath) {
+  const Graph grid = make_grid(5, 5);
+  const auto oracle = make_distance_oracle(grid);
+  EXPECT_NE(dynamic_cast<GridDistanceOracle*>(oracle.get()), nullptr);
+
+  const Graph ring = make_ring(10);
+  const auto fallback = make_distance_oracle(ring);
+  EXPECT_NE(dynamic_cast<CachedDistanceOracle*>(fallback.get()), nullptr);
+}
+
+TEST(MakeDistanceOracle, AgreesAcrossBackends) {
+  const Graph g = make_grid(7, 3);
+  const auto fast = make_distance_oracle(g);
+  const CachedDistanceOracle slow(g);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto u = static_cast<NodeId>(rng.below(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.below(g.num_nodes()));
+    EXPECT_DOUBLE_EQ(fast->distance(u, v), slow.distance(u, v));
+  }
+}
+
+TEST(DoublingDimension, GridIsLow) {
+  Rng rng(21);
+  const double dim = estimate_doubling_dimension(make_grid(12, 12), rng, 8);
+  EXPECT_LE(dim, 4.0);  // 2D grids have doubling dimension ~2
+}
+
+TEST(DoublingDimension, StarIsHigh) {
+  Rng rng(23);
+  const double dim = estimate_doubling_dimension(make_star(128), rng, 8);
+  // A star's center ball needs ~n half-radius balls to cover.
+  EXPECT_GE(dim, 5.0);
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,265 @@
+#include "hier/doubling_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace mot {
+namespace {
+
+struct Built {
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+};
+
+Built build(Graph graph, std::uint64_t seed = 1) {
+  Built built;
+  built.graph = std::move(graph);
+  built.oracle = make_distance_oracle(built.graph);
+  DoublingHierarchy::Params params;
+  params.seed = seed;
+  built.hierarchy =
+      DoublingHierarchy::build(built.graph, *built.oracle, params);
+  return built;
+}
+
+TEST(DoublingHierarchy, SingleNodeGraph) {
+  GraphBuilder builder(1);
+  const Built b = build(std::move(builder).build());
+  EXPECT_EQ(b.hierarchy->height(), 0);
+  EXPECT_EQ(b.hierarchy->root(), 0u);
+  const auto group = b.hierarchy->group(0, 0);
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0], 0u);
+}
+
+TEST(DoublingHierarchy, BottomLevelIsAllNodes) {
+  const Built b = build(make_grid(6, 6));
+  EXPECT_EQ(b.hierarchy->members(0).size(), 36u);
+  for (NodeId v = 0; v < 36; ++v) {
+    EXPECT_TRUE(b.hierarchy->is_member(0, v));
+  }
+}
+
+TEST(DoublingHierarchy, LevelsShrinkToSingleRoot) {
+  const Built b = build(make_grid(8, 8));
+  const int h = b.hierarchy->height();
+  EXPECT_GE(h, 2);
+  for (int level = 1; level <= h; ++level) {
+    EXPECT_LE(b.hierarchy->members(level).size(),
+              b.hierarchy->members(level - 1).size());
+  }
+  EXPECT_EQ(b.hierarchy->members(h).size(), 1u);
+}
+
+TEST(DoublingHierarchy, HeightIsLogDiameter) {
+  const Built b = build(make_grid(8, 8));
+  // D = 14 => h <= ceil(log2 14) + 2 with slack for the MIS chain.
+  EXPECT_LE(b.hierarchy->height(), 7);
+}
+
+TEST(DoublingHierarchy, MembersAreNested) {
+  const Built b = build(make_grid(7, 7), 3);
+  for (int level = 1; level <= b.hierarchy->height(); ++level) {
+    for (const NodeId v : b.hierarchy->members(level)) {
+      EXPECT_TRUE(b.hierarchy->is_member(level - 1, v))
+          << "level " << level << " member " << v;
+    }
+  }
+}
+
+TEST(DoublingHierarchy, MembersAtLevelLAreFarApart) {
+  const Built b = build(make_grid(10, 10), 7);
+  for (int level = 1; level <= b.hierarchy->height(); ++level) {
+    const auto members = b.hierarchy->members(level);
+    const Weight min_separation = std::ldexp(1.0, level);  // 2^level
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        EXPECT_GE(b.oracle->distance(members[i], members[j]),
+                  min_separation)
+            << "level " << level;
+      }
+    }
+  }
+}
+
+TEST(DoublingHierarchy, DefaultParentWithinRadius) {
+  const Built b = build(make_grid(9, 9), 11);
+  for (int level = 0; level < b.hierarchy->height(); ++level) {
+    const Weight radius = std::ldexp(1.0, level + 1);  // 2^{l+1}
+    for (const NodeId v : b.hierarchy->members(level)) {
+      const NodeId parent = b.hierarchy->default_parent(level, v);
+      EXPECT_TRUE(b.hierarchy->is_member(level + 1, parent));
+      EXPECT_LE(b.oracle->distance(v, parent), radius);
+    }
+  }
+}
+
+TEST(DoublingHierarchy, SelfParentWhenStillMember) {
+  const Built b = build(make_grid(9, 9), 11);
+  for (int level = 0; level < b.hierarchy->height(); ++level) {
+    for (const NodeId v : b.hierarchy->members(level + 1)) {
+      // A node surviving to the next level is its own nearest parent.
+      EXPECT_EQ(b.hierarchy->default_parent(level, v), v);
+    }
+  }
+}
+
+TEST(DoublingHierarchy, GroupsSortedAndContainPrimary) {
+  const Built b = build(make_grid(8, 8), 5);
+  for (NodeId u = 0; u < b.graph.num_nodes(); u += 5) {
+    for (int level = 1; level <= b.hierarchy->height(); ++level) {
+      const auto group = b.hierarchy->group(u, level);
+      ASSERT_FALSE(group.empty());
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        EXPECT_LT(group[i - 1], group[i]);  // strict ID order
+      }
+      const NodeId primary = b.hierarchy->primary(u, level);
+      EXPECT_TRUE(std::binary_search(group.begin(), group.end(), primary));
+    }
+  }
+}
+
+TEST(DoublingHierarchy, GroupMembersWithinParentSetRadius) {
+  const Built b = build(make_grid(8, 8), 5);
+  for (NodeId u = 0; u < b.graph.num_nodes(); u += 7) {
+    for (int level = 1; level <= b.hierarchy->height(); ++level) {
+      const NodeId anchor = b.hierarchy->home(u, level - 1);
+      const Weight radius = 4.0 * std::ldexp(1.0, level);
+      for (const NodeId p : b.hierarchy->group(u, level)) {
+        EXPECT_LE(b.oracle->distance(anchor, p), radius);
+        EXPECT_TRUE(b.hierarchy->is_member(level, p));
+      }
+    }
+  }
+}
+
+TEST(DoublingHierarchy, ParentSetSizeBounded) {
+  // Observation 1: constant-size parent sets in constant-doubling graphs
+  // (2^{3 rho}; for 2D grids rho ~ 2, so 64 is a very generous cap).
+  const Built b = build(make_grid(12, 12), 9);
+  for (NodeId u = 0; u < b.graph.num_nodes(); u += 11) {
+    for (int level = 1; level <= b.hierarchy->height(); ++level) {
+      EXPECT_LE(b.hierarchy->group(u, level).size(), 64u);
+    }
+  }
+}
+
+// Lemma 2.1: detection paths of u and v share a level-l stop for
+// l = ceil(log2 dist(u, v)) + 1.
+TEST(DoublingHierarchy, DetectionPathsMeetAtLemmaLevel) {
+  const Built b = build(make_grid(10, 10), 13);
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto u = static_cast<NodeId>(rng.below(b.graph.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.below(b.graph.num_nodes()));
+    if (u == v) continue;
+    const Weight dist = b.oracle->distance(u, v);
+    const int meet_level = std::min(
+        b.hierarchy->height(),
+        static_cast<int>(std::ceil(std::log2(dist))) + 1);
+    bool met = false;
+    for (int level = 1; level <= meet_level && !met; ++level) {
+      const auto gu = b.hierarchy->group(u, level);
+      const auto gv = b.hierarchy->group(v, level);
+      for (const NodeId x : gu) {
+        if (std::binary_search(gv.begin(), gv.end(), x)) {
+          met = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(met) << "u=" << u << " v=" << v << " dist=" << dist;
+  }
+}
+
+// Lemma 2.2 analogue: detection path length up to level j is geometric
+// in 2^j (constant depends on the doubling constant; assert the trend).
+TEST(DoublingHierarchy, DetectionPathLengthGeometric) {
+  const Built b = build(make_grid(12, 12), 17);
+  for (const NodeId u : {0u, 77u, 143u}) {
+    Weight previous = 0.0;
+    for (int level = 1; level <= b.hierarchy->height(); ++level) {
+      const Weight length = b.hierarchy->detection_path_length(u, level);
+      // Lemma 2.2's per-level fragment bound is ~2^{3 rho} * 2^{l+1};
+      // with rho ~ 2 on grids that is 256 * 2^l.
+      EXPECT_GE(length, previous);  // monotone in level
+      EXPECT_LE(length, 256.0 * std::ldexp(1.0, level))
+          << "level " << level;
+      previous = length;
+    }
+  }
+}
+
+TEST(DoublingHierarchy, RootGroupIsRoot) {
+  const Built b = build(make_grid(6, 6), 19);
+  const int h = b.hierarchy->height();
+  for (NodeId u = 0; u < b.graph.num_nodes(); u += 5) {
+    const auto group = b.hierarchy->group(u, h);
+    ASSERT_EQ(group.size(), 1u);
+    EXPECT_EQ(group[0], b.hierarchy->root());
+  }
+}
+
+TEST(DoublingHierarchy, ClusterContainsCenterAndRespectsRadius) {
+  const Built b = build(make_grid(8, 8), 21);
+  for (int level = 1; level <= b.hierarchy->height(); ++level) {
+    for (const NodeId center : b.hierarchy->members(level)) {
+      const auto cluster = b.hierarchy->cluster(level, center);
+      EXPECT_TRUE(
+          std::binary_search(cluster.begin(), cluster.end(), center));
+      const Weight radius = std::ldexp(1.0, level);
+      for (const NodeId v : cluster) {
+        EXPECT_LE(b.oracle->distance(center, v), radius);
+      }
+    }
+  }
+}
+
+TEST(DoublingHierarchy, TopClusterCoversWholeGridEventually) {
+  const Built b = build(make_grid(6, 6), 23);
+  const int h = b.hierarchy->height();
+  // The root's cluster at the top level has radius 2^h >= D.
+  if (std::ldexp(1.0, h) >= exact_diameter(b.graph)) {
+    EXPECT_EQ(b.hierarchy->cluster(h, b.hierarchy->root()).size(),
+              b.graph.num_nodes());
+  }
+}
+
+TEST(DoublingHierarchy, DeterministicForSeed) {
+  const Built a = build(make_grid(7, 7), 31);
+  const Built b = build(make_grid(7, 7), 31);
+  EXPECT_EQ(a.hierarchy->height(), b.hierarchy->height());
+  for (int level = 0; level <= a.hierarchy->height(); ++level) {
+    const auto ma = a.hierarchy->members(level);
+    const auto mb = b.hierarchy->members(level);
+    EXPECT_TRUE(std::equal(ma.begin(), ma.end(), mb.begin(), mb.end()));
+  }
+}
+
+TEST(DoublingHierarchy, WorksOnRingAndGeometric) {
+  const Built ring = build(make_ring(32), 37);
+  EXPECT_EQ(ring.hierarchy->members(ring.hierarchy->height()).size(), 1u);
+
+  Rng rng(41);
+  const Built geo =
+      build(make_random_geometric(50, 10.0, 2.6, rng), 37);
+  EXPECT_EQ(geo.hierarchy->members(geo.hierarchy->height()).size(), 1u);
+}
+
+TEST(DoublingHierarchy, DetectionPathCoversAllLevels) {
+  const Built b = build(make_grid(8, 8), 43);
+  const auto path = b.hierarchy->detection_path(5);
+  std::set<int> levels;
+  for (const auto& stop : path) levels.insert(stop.level);
+  EXPECT_EQ(static_cast<int>(levels.size()), b.hierarchy->height());
+  EXPECT_EQ(path.back().node, b.hierarchy->root());
+}
+
+}  // namespace
+}  // namespace mot

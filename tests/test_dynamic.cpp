@@ -1,0 +1,130 @@
+#include "core/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+
+namespace mot {
+namespace {
+
+struct Fixture {
+  Fixture() : graph(make_grid(6, 6)), oracle(make_distance_oracle(graph)) {
+    DoublingHierarchy::Params params;
+    params.seed = 5;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, params);
+  }
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+};
+
+TEST(DynamicClusterSet, BuildsOneClusterPerInternalNode) {
+  const Fixture fx;
+  const DynamicClusterSet clusters(*fx.hierarchy, {});
+  std::size_t expected = 0;
+  for (int level = 1; level <= fx.hierarchy->height(); ++level) {
+    expected += fx.hierarchy->members(level).size();
+  }
+  EXPECT_EQ(clusters.num_clusters(), expected);
+}
+
+TEST(DynamicClusterSet, LeaveAndRejoinRoundTrips) {
+  const Fixture fx;
+  DynamicClusterSet clusters(*fx.hierarchy, {});
+  const NodeId victim = 14;
+  const OverlayNode center{1, fx.hierarchy->members(1)[0]};
+
+  const AdaptabilityReport leave = clusters.node_leaves(victim);
+  EXPECT_GT(leave.clusters_affected, 0u);
+  EXPECT_GT(leave.nodes_updated, 0u);
+
+  const AdaptabilityReport join = clusters.node_joins(victim);
+  EXPECT_EQ(join.clusters_affected, leave.clusters_affected);
+  (void)center;
+}
+
+TEST(DynamicClusterSet, LeaderHandoffWhenLeaderLeaves) {
+  const Fixture fx;
+  DynamicClusterSet clusters(*fx.hierarchy, {});
+  // A level-1 member leads its own cluster; removing it must hand off.
+  const NodeId leader = fx.hierarchy->members(1)[0];
+  const AdaptabilityReport report = clusters.node_leaves(leader);
+  EXPECT_GE(report.leader_handoffs, 1u);
+  EXPECT_GT(report.handoff_broadcasts, 0u);
+}
+
+TEST(DynamicClusterSet, NonLeaderLeaveHasNoHandoff) {
+  const Fixture fx;
+  DynamicClusterSet clusters(*fx.hierarchy, {});
+  // Find a node that is a bottom-level sensor but not a member of any
+  // higher level (so it never leads).
+  NodeId follower = kInvalidNode;
+  for (NodeId v = 0; v < fx.graph.num_nodes(); ++v) {
+    bool leads = false;
+    for (int level = 1; level <= fx.hierarchy->height(); ++level) {
+      if (fx.hierarchy->is_member(level, v)) leads = true;
+    }
+    if (!leads) {
+      follower = v;
+      break;
+    }
+  }
+  ASSERT_NE(follower, kInvalidNode);
+  const AdaptabilityReport report = clusters.node_leaves(follower);
+  EXPECT_EQ(report.leader_handoffs, 0u);
+}
+
+TEST(DynamicClusterSet, AmortizedUpdatesConstant) {
+  // Section 7: a long churn sequence has O(1) amortized de Bruijn
+  // relabeling updates per event per cluster; summed over the O(log D)
+  // clusters a node belongs to, the per-event mean stays small.
+  const Fixture fx;
+  DynamicClusterSet clusters(*fx.hierarchy, {});
+  Rng rng(3);
+  std::vector<NodeId> out;  // nodes currently removed
+  for (int event = 0; event < 400; ++event) {
+    if (!out.empty() && rng.chance(0.5)) {
+      const std::size_t pick = rng.below(out.size());
+      clusters.node_joins(out[pick]);
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto victim = static_cast<NodeId>(rng.below(36));
+      if (std::find(out.begin(), out.end(), victim) != out.end()) continue;
+      clusters.node_leaves(victim);
+      out.push_back(victim);
+    }
+  }
+  // Mean updates per event across all clusters containing the node:
+  // O(1) per cluster x O(levels) clusters; 60 is a loose ceiling that a
+  // non-amortized scheme (full rebuilds) would blow through.
+  EXPECT_LT(clusters.amortized_updates(), 60.0);
+}
+
+TEST(DynamicClusterSet, ClusterMembershipTracksChurn) {
+  const Fixture fx;
+  DynamicClusterSet clusters(*fx.hierarchy, {});
+  const int level = 1;
+  const NodeId center = fx.hierarchy->members(level)[0];
+  const auto members = fx.hierarchy->cluster(level, center);
+  ASSERT_GT(members.size(), 1u);
+  // Pick a member that is not the center.
+  NodeId member = members[0] == center ? members[1] : members[0];
+  EXPECT_TRUE(clusters.cluster_contains({level, center}, member));
+  clusters.node_leaves(member);
+  EXPECT_FALSE(clusters.cluster_contains({level, center}, member));
+  clusters.node_joins(member);
+  EXPECT_TRUE(clusters.cluster_contains({level, center}, member));
+}
+
+TEST(DynamicClusterSet, RepeatLeaveIsIdempotent) {
+  const Fixture fx;
+  DynamicClusterSet clusters(*fx.hierarchy, {});
+  clusters.node_leaves(10);
+  const AdaptabilityReport second = clusters.node_leaves(10);
+  EXPECT_EQ(second.clusters_affected, 0u);
+  EXPECT_EQ(second.nodes_updated, 0u);
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,163 @@
+// Section 7 fault tolerance: graceful node departure with chain repair.
+#include <gtest/gtest.h>
+
+#include "core/mot.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+
+namespace mot {
+namespace {
+
+struct Fixture {
+  Fixture() : graph(make_grid(8, 8)), oracle(make_distance_oracle(graph)) {
+    DoublingHierarchy::Params params;
+    params.seed = 7;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, params);
+  }
+
+  MotOptions options() const {
+    MotOptions o;
+    o.use_parent_sets = false;
+    return o;
+  }
+
+  // An internal node on object 0's chain that is not its proxy and not
+  // the root sensor.
+  NodeId pick_internal_victim(const MotTracker& tracker) const {
+    const NodeId proxy = tracker.proxy_of(0);
+    const NodeId root = hierarchy->root();
+    for (int level = 1; level < hierarchy->height(); ++level) {
+      for (const NodeId member : hierarchy->members(level)) {
+        if (member != proxy && member != root &&
+            tracker.chain().node_has_dl({level, member}, 0)) {
+          return member;
+        }
+      }
+    }
+    return kInvalidNode;
+  }
+
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+};
+
+TEST(Evacuation, ChainRepairedAndQueriesStillWork) {
+  const Fixture fx;
+  MotTracker tracker(*fx.hierarchy, fx.options());
+  tracker.publish(0, 9);
+  tracker.move(0, 10);
+  tracker.move(0, 18);
+
+  const NodeId victim = fx.pick_internal_victim(tracker);
+  ASSERT_NE(victim, kInvalidNode);
+  const std::size_t evacuated = tracker.chain().evacuate_node(victim);
+  EXPECT_GE(evacuated, 1u);
+  tracker.chain().validate(0);
+
+  for (const NodeId from : {0u, 63u, 32u}) {
+    const QueryResult result = tracker.query(from, 0);
+    EXPECT_TRUE(result.found);
+    EXPECT_EQ(result.proxy, 18u);
+  }
+}
+
+TEST(Evacuation, SurvivorsKeepMoving) {
+  const Fixture fx;
+  MotTracker tracker(*fx.hierarchy, fx.options());
+  tracker.publish(0, 9);
+  tracker.move(0, 10);
+  const NodeId victim = fx.pick_internal_victim(tracker);
+  ASSERT_NE(victim, kInvalidNode);
+  tracker.chain().evacuate_node(victim);
+
+  // The structure still supports maintenance after the departure (the
+  // dead node's roles simply hold nothing when climbed through).
+  Rng rng(3);
+  NodeId at = 10;
+  for (int i = 0; i < 40; ++i) {
+    const auto neighbors = fx.graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    tracker.move(0, at);
+    tracker.chain().validate(0);
+  }
+  EXPECT_EQ(tracker.query(0, 0).proxy, at);
+}
+
+TEST(Evacuation, MultipleObjectsAllRepaired) {
+  const Fixture fx;
+  MotTracker tracker(*fx.hierarchy, fx.options());
+  for (ObjectId o = 0; o < 12; ++o) {
+    tracker.publish(o, static_cast<NodeId>(o * 5 + 1));
+  }
+  const NodeId victim = fx.pick_internal_victim(tracker);
+  ASSERT_NE(victim, kInvalidNode);
+  tracker.chain().evacuate_node(victim);
+  tracker.chain().validate_all();
+  for (ObjectId o = 0; o < 12; ++o) {
+    EXPECT_EQ(tracker.query(40, o).proxy, tracker.proxy_of(o));
+  }
+}
+
+TEST(Evacuation, IdempotentOnEmptyNode) {
+  const Fixture fx;
+  MotTracker tracker(*fx.hierarchy, fx.options());
+  tracker.publish(0, 9);
+  const NodeId victim = fx.pick_internal_victim(tracker);
+  ASSERT_NE(victim, kInvalidNode);
+  const std::size_t first = tracker.chain().evacuate_node(victim);
+  EXPECT_GE(first, 1u);
+  EXPECT_EQ(tracker.chain().evacuate_node(victim), 0u);
+  tracker.chain().validate(0);
+}
+
+TEST(Evacuation, SpecialListsStayConsistent) {
+  const Fixture fx;
+  MotOptions options = fx.options();
+  options.use_special_parents = true;
+  options.special_parent_offset = 1;
+  MotTracker tracker(*fx.hierarchy, options);
+  tracker.publish(0, 9);
+  tracker.move(0, 10);
+  tracker.move(0, 2);
+  const NodeId victim = fx.pick_internal_victim(tracker);
+  ASSERT_NE(victim, kInvalidNode);
+  tracker.chain().evacuate_node(victim);
+  // validate() cross-checks DL.sp <-> SDL records; dangling pointers
+  // after the departure would trip it.
+  tracker.chain().validate(0);
+}
+
+TEST(Evacuation, ChargesRepairMessages) {
+  const Fixture fx;
+  MotTracker tracker(*fx.hierarchy, fx.options());
+  tracker.publish(0, 9);
+  tracker.move(0, 50);
+  const NodeId victim = fx.pick_internal_victim(tracker);
+  ASSERT_NE(victim, kInvalidNode);
+  const Weight before = tracker.meter().total_distance();
+  tracker.chain().evacuate_node(victim);
+  EXPECT_GT(tracker.meter().total_distance(), before);
+}
+
+using EvacuationDeathTest = ::testing::Test;
+
+TEST(EvacuationDeathTest, RefusesProxyNode) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Fixture fx;
+  MotTracker tracker(*fx.hierarchy, fx.options());
+  tracker.publish(0, 9);
+  EXPECT_DEATH(tracker.chain().evacuate_node(9), "Precondition");
+}
+
+TEST(EvacuationDeathTest, RefusesRootSensor) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Fixture fx;
+  MotTracker tracker(*fx.hierarchy, fx.options());
+  tracker.publish(0, 9);
+  EXPECT_DEATH(tracker.chain().evacuate_node(fx.hierarchy->root()),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace mot

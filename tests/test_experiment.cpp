@@ -1,0 +1,177 @@
+#include "expt/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expt/fig_runners.hpp"
+
+namespace mot {
+namespace {
+
+TEST(BuildGridNetwork, ProducesSquareGridWithHierarchy) {
+  const Network net = build_grid_network(64, 3);
+  EXPECT_EQ(net.num_nodes(), 64u);
+  EXPECT_TRUE(net.graph().is_connected());
+  EXPECT_GE(net.hierarchy->height(), 2);
+  EXPECT_LT(net.sink, 64u);
+}
+
+TEST(BuildGridNetwork, RoundsToNearestSquare) {
+  EXPECT_EQ(build_grid_network(100, 1).num_nodes(), 100u);
+  EXPECT_EQ(build_grid_network(10, 1).num_nodes(), 9u);  // 3x3
+}
+
+TEST(MakeAlgo, AllAlgorithmsConstructAndTrack) {
+  const Network net = build_grid_network(36, 5);
+  TraceParams tp;
+  tp.num_objects = 5;
+  tp.moves_per_object = 20;
+  Rng rng(7);
+  const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+  const EdgeRates rates = trace.estimate_rates();
+
+  for (const Algo algo :
+       {Algo::kMot, Algo::kMotLoadBalanced, Algo::kStun, Algo::kDat,
+        Algo::kZdat, Algo::kZdatShortcuts}) {
+    AlgoInstance instance = make_algo(algo, net, rates, 5);
+    EXPECT_FALSE(instance.name.empty());
+    publish_all(*instance.tracker, trace);
+    const CostRatioAccumulator moves =
+        run_moves(*instance.tracker, *net.oracle, trace.moves);
+    EXPECT_GE(moves.aggregate_ratio(), 1.0) << instance.name;
+    instance.tracker->load_per_node();
+  }
+}
+
+TEST(RunQueries, MatchesProxiesAndCountsOps) {
+  const Network net = build_grid_network(36, 5);
+  TraceParams tp;
+  tp.num_objects = 4;
+  tp.moves_per_object = 15;
+  Rng rng(9);
+  const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+  const EdgeRates rates = trace.estimate_rates();
+  AlgoInstance algo = make_algo(Algo::kMot, net, rates, 5);
+  publish_all(*algo.tracker, trace);
+  run_moves(*algo.tracker, *net.oracle, trace.moves);
+
+  Rng qrng(11);
+  const auto queries = generate_queries(36, 4, 30, qrng);
+  const CostRatioAccumulator result =
+      run_queries(*algo.tracker, *net.oracle, queries);
+  EXPECT_EQ(result.count() + result.zero_optimal_count(), 30u);
+  EXPECT_GE(result.aggregate_ratio(), 1.0);
+}
+
+TEST(Integration, MotBeatsStunOnMaintenance) {
+  // The paper's headline comparison, at test scale.
+  const Network net = build_grid_network(256, 7);
+  TraceParams tp;
+  tp.num_objects = 30;
+  tp.moves_per_object = 40;
+  Rng rng(13);
+  const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+  const EdgeRates rates = trace.estimate_rates();
+
+  AlgoInstance mot = make_algo(Algo::kMot, net, rates, 7);
+  AlgoInstance stun = make_algo(Algo::kStun, net, rates, 7);
+  publish_all(*mot.tracker, trace);
+  publish_all(*stun.tracker, trace);
+  const double mot_ratio =
+      run_moves(*mot.tracker, *net.oracle, trace.moves).aggregate_ratio();
+  const double stun_ratio =
+      run_moves(*stun.tracker, *net.oracle, trace.moves).aggregate_ratio();
+  EXPECT_LT(mot_ratio, stun_ratio);
+}
+
+TEST(Integration, MotLoadFlatterThanBaselines) {
+  const Network net = build_grid_network(256, 9);
+  TraceParams tp;
+  tp.num_objects = 50;
+  tp.moves_per_object = 0;
+  Rng rng(15);
+  const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+  const EdgeRates rates = trace.estimate_rates();
+
+  AlgoInstance lb = make_algo(Algo::kMotLoadBalanced, net, rates, 9);
+  AlgoInstance stun = make_algo(Algo::kStun, net, rates, 9);
+  publish_all(*lb.tracker, trace);
+  publish_all(*stun.tracker, trace);
+  const LoadSummary lb_load = summarize_load(lb.tracker->load_per_node());
+  const LoadSummary stun_load =
+      summarize_load(stun.tracker->load_per_node());
+  EXPECT_LT(lb_load.max, stun_load.max);
+  EXPECT_LT(lb_load.imbalance, stun_load.imbalance);
+}
+
+TEST(Integration, QueryRatioFlatAcrossSizes) {
+  // Theorem 4.11's shape: MOT's query cost ratio does not blow up with n.
+  double small_ratio = 0.0;
+  double large_ratio = 0.0;
+  for (const std::size_t size : {64u, 400u}) {
+    const Network net = build_grid_network(size, 11);
+    TraceParams tp;
+    tp.num_objects = 20;
+    tp.moves_per_object = 30;
+    Rng rng(17);
+    const MovementTrace trace = generate_trace(net.graph(), tp, rng);
+    const EdgeRates rates = trace.estimate_rates();
+    AlgoInstance mot = make_algo(Algo::kMot, net, rates, 11);
+    publish_all(*mot.tracker, trace);
+    run_moves(*mot.tracker, *net.oracle, trace.moves);
+    Rng qrng(19);
+    const auto queries = generate_queries(net.num_nodes(), 20, 100, qrng);
+    const double ratio =
+        run_queries(*mot.tracker, *net.oracle, queries).aggregate_ratio();
+    (size == 64 ? small_ratio : large_ratio) = ratio;
+  }
+  EXPECT_LT(large_ratio, 3.0 * small_ratio);  // flat up to noise
+}
+
+TEST(FigRunners, MaintenanceSweepTableShape) {
+  SweepParams params;
+  params.num_objects = 5;
+  params.moves_per_object = 10;
+  params.num_seeds = 1;
+  params.sizes = {16, 36};
+  params.algos = {Algo::kMot, Algo::kZdat};
+  const Table table = run_maintenance_sweep(params);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 3u);  // nodes + 2 algos
+  EXPECT_EQ(table.at(0, 0), "16");
+  EXPECT_GT(std::stod(table.at(0, 1)), 0.0);
+}
+
+TEST(FigRunners, QuerySweepConcurrentRuns) {
+  SweepParams params;
+  params.num_objects = 5;
+  params.moves_per_object = 10;
+  params.num_seeds = 1;
+  params.concurrent = true;
+  params.sizes = {16};
+  params.algos = {Algo::kMot};
+  const Table table = run_query_sweep(params);
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_GT(std::stod(table.at(0, 1)), 0.0);
+}
+
+TEST(FigRunners, LoadFigureHasThreeRows) {
+  LoadFigureParams params;
+  params.num_nodes = 64;
+  params.num_objects = 10;
+  params.moves_per_object = 5;
+  params.num_seeds = 1;
+  const Table table = run_load_figure(params);
+  EXPECT_EQ(table.num_rows(), 3u);  // MOT-LB, MOT, baseline
+  EXPECT_EQ(table.at(0, 0), "MOT-LB");
+}
+
+TEST(PaperGridSizes, CoversPaperRange) {
+  const auto full = paper_grid_sizes(true);
+  EXPECT_EQ(full.front(), 9u);
+  EXPECT_EQ(full.back(), 1024u);
+  const auto quick = paper_grid_sizes(false);
+  EXPECT_EQ(quick.back(), 1024u);
+}
+
+}  // namespace
+}  // namespace mot

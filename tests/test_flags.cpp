@@ -1,0 +1,130 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mot {
+namespace {
+
+// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::initializer_list<const char*> args) {
+    storage_.emplace_back("prog");
+    for (const char* a : args) storage_.emplace_back(a);
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Flags, ParsesAllTypes) {
+  std::string name = "default";
+  std::int64_t count = 1;
+  std::uint64_t size = 2;
+  double ratio = 0.5;
+  bool verbose = false;
+
+  Flags flags("test");
+  flags.register_flag("name", &name, "a string");
+  flags.register_flag("count", &count, "an int");
+  flags.register_flag("size", &size, "a uint");
+  flags.register_flag("ratio", &ratio, "a double");
+  flags.register_flag("verbose", &verbose, "a bool");
+
+  Argv argv{"--name=abc", "--count", "-5", "--size=100", "--ratio=1.25",
+            "--verbose"};
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(name, "abc");
+  EXPECT_EQ(count, -5);
+  EXPECT_EQ(size, 100u);
+  EXPECT_DOUBLE_EQ(ratio, 1.25);
+  EXPECT_TRUE(verbose);
+}
+
+TEST(Flags, NoPrefixDisablesBool) {
+  bool verbose = true;
+  Flags flags("test");
+  flags.register_flag("verbose", &verbose, "a bool");
+  Argv argv{"--no-verbose"};
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_FALSE(verbose);
+}
+
+TEST(Flags, UnknownFlagFails) {
+  Flags flags("test");
+  Argv argv{"--bogus=1"};
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, InvalidValueFails) {
+  std::int64_t count = 0;
+  Flags flags("test");
+  flags.register_flag("count", &count, "an int");
+  Argv argv{"--count=notanumber"};
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, NegativeForUnsignedFails) {
+  std::uint64_t size = 0;
+  Flags flags("test");
+  flags.register_flag("size", &size, "a uint");
+  Argv argv{"--size=-3"};
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, MissingValueFails) {
+  std::int64_t count = 0;
+  Flags flags("test");
+  flags.register_flag("count", &count, "an int");
+  Argv argv{"--count"};
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, PositionalArgumentFails) {
+  Flags flags("test");
+  Argv argv{"stray"};
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(Flags, DefaultsSurviveEmptyParse) {
+  std::string name = "keep";
+  Flags flags("test");
+  flags.register_flag("name", &name, "a string");
+  Argv argv{};
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(name, "keep");
+}
+
+TEST(Flags, UsageMentionsFlagsAndDefaults) {
+  std::int64_t count = 7;
+  Flags flags("my tool");
+  flags.register_flag("count", &count, "how many");
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("my tool"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("7"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+TEST(Flags, BoolAcceptsExplicitValues) {
+  bool flag = false;
+  Flags flags("test");
+  flags.register_flag("flag", &flag, "b");
+  Argv argv{"--flag=true"};
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(flag);
+  Flags flags2("test");
+  flags2.register_flag("flag", &flag, "b");
+  Argv argv2{"--flag=0"};
+  ASSERT_TRUE(flags2.parse(argv2.argc(), argv2.argv()));
+  EXPECT_FALSE(flag);
+}
+
+}  // namespace
+}  // namespace mot

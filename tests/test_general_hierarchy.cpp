@@ -1,0 +1,120 @@
+#include "hier/general_hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace mot {
+namespace {
+
+struct Built {
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<GeneralHierarchy> hierarchy;
+};
+
+Built build(Graph graph) {
+  Built built;
+  built.graph = std::move(graph);
+  built.oracle = make_distance_oracle(built.graph);
+  built.hierarchy = GeneralHierarchy::build(built.graph, *built.oracle, {});
+  return built;
+}
+
+TEST(GeneralHierarchy, TopLevelSingleRoot) {
+  const Built b = build(make_grid(6, 6));
+  const int h = b.hierarchy->height();
+  EXPECT_GE(h, 2);
+  EXPECT_EQ(b.hierarchy->members(h).size(), 1u);
+  EXPECT_EQ(b.hierarchy->members(h)[0], b.hierarchy->root());
+}
+
+TEST(GeneralHierarchy, GroupsNonEmptyEverywhere) {
+  const Built b = build(make_ring(24));
+  for (NodeId u = 0; u < b.graph.num_nodes(); ++u) {
+    for (int level = 0; level <= b.hierarchy->height(); ++level) {
+      EXPECT_FALSE(b.hierarchy->group(u, level).empty());
+    }
+  }
+}
+
+TEST(GeneralHierarchy, Level0IsSelf) {
+  const Built b = build(make_grid(4, 4));
+  for (NodeId u = 0; u < b.graph.num_nodes(); ++u) {
+    const auto group = b.hierarchy->group(u, 0);
+    ASSERT_EQ(group.size(), 1u);
+    EXPECT_EQ(group[0], u);
+  }
+}
+
+// Lemma 6.1 analogue: groups of u and v intersect at the covering level.
+TEST(GeneralHierarchy, GroupsMeetAtLogDistance) {
+  const Built b = build(make_grid(8, 8));
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto u = static_cast<NodeId>(rng.below(b.graph.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.below(b.graph.num_nodes()));
+    if (u == v) continue;
+    const Weight dist = b.oracle->distance(u, v);
+    const int meet_level =
+        std::min(b.hierarchy->height(),
+                 std::max(1, static_cast<int>(std::ceil(std::log2(dist)))));
+    bool met = false;
+    for (int level = 1; level <= meet_level && !met; ++level) {
+      const auto gu = b.hierarchy->group(u, level);
+      const auto gv = b.hierarchy->group(v, level);
+      for (const NodeId x : gu) {
+        if (std::find(gv.begin(), gv.end(), x) != gv.end()) {
+          met = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(met) << "u=" << u << " v=" << v << " dist=" << dist;
+  }
+}
+
+TEST(GeneralHierarchy, PrimaryIsFirstGroupMember) {
+  const Built b = build(make_grid(5, 5));
+  for (NodeId u = 0; u < b.graph.num_nodes(); u += 3) {
+    for (int level = 1; level <= b.hierarchy->height(); ++level) {
+      EXPECT_EQ(b.hierarchy->primary(u, level),
+                b.hierarchy->group(u, level).front());
+    }
+  }
+}
+
+TEST(GeneralHierarchy, ClusterLookupByLeader) {
+  const Built b = build(make_grid(6, 6));
+  for (int level = 1; level <= b.hierarchy->height(); ++level) {
+    for (const NodeId leader : b.hierarchy->members(level)) {
+      const auto cluster = b.hierarchy->cluster(level, leader);
+      EXPECT_TRUE(
+          std::binary_search(cluster.begin(), cluster.end(), leader));
+    }
+  }
+}
+
+TEST(GeneralHierarchy, WorksOnStarAndLollipop) {
+  const Built star = build(make_star(40));
+  EXPECT_EQ(star.hierarchy->members(star.hierarchy->height()).size(), 1u);
+
+  const Built lollipop = build(make_lollipop(8, 24));
+  EXPECT_EQ(
+      lollipop.hierarchy->members(lollipop.hierarchy->height()).size(),
+      1u);
+}
+
+TEST(GeneralHierarchy, AverageOverlapLogarithmic) {
+  const Built b = build(make_grid(8, 8));
+  for (int level = 1; level <= b.hierarchy->height(); ++level) {
+    EXPECT_LE(b.hierarchy->average_overlap(level), 14.0)
+        << "level " << level;
+  }
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,133 @@
+// MOT over the general-network hierarchy (Section 6): the same tracker
+// engine, driven by sparse-cover visit groups, on topologies that are not
+// constant-doubling.
+#include <gtest/gtest.h>
+
+#include "core/mot.hpp"
+#include "graph/generators.hpp"
+#include "hier/general_hierarchy.hpp"
+#include "workload/mobility.hpp"
+
+namespace mot {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Graph g) : graph(std::move(g)) {
+    oracle = make_distance_oracle(graph);
+    hierarchy = GeneralHierarchy::build(graph, *oracle, {});
+  }
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<GeneralHierarchy> hierarchy;
+};
+
+MotOptions general_options() {
+  MotOptions options;
+  options.use_parent_sets = true;  // cluster membership IS the group
+  options.use_special_parents = true;
+  options.special_parent_offset = 2;
+  return options;
+}
+
+TEST(GeneralMot, TracksOnGrid) {
+  const Fixture fx(make_grid(8, 8));
+  MotTracker tracker(*fx.hierarchy, general_options());
+  tracker.publish(0, 0);
+  Rng rng(3);
+  NodeId at = 0;
+  for (int i = 0; i < 80; ++i) {
+    const auto neighbors = fx.graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    tracker.move(0, at);
+    tracker.chain().validate(0);
+  }
+  EXPECT_EQ(tracker.proxy_of(0), at);
+  EXPECT_EQ(tracker.query(63, 0).proxy, at);
+}
+
+TEST(GeneralMot, TracksOnStar) {
+  const Fixture fx(make_star(40));
+  MotTracker tracker(*fx.hierarchy, general_options());
+  tracker.publish(0, 5);
+  tracker.move(0, 17);
+  tracker.move(0, 0);
+  tracker.move(0, 31);
+  tracker.chain().validate(0);
+  EXPECT_EQ(tracker.query(20, 0).proxy, 31u);
+}
+
+TEST(GeneralMot, TracksOnLollipop) {
+  const Fixture fx(make_lollipop(8, 24));
+  MotTracker tracker(*fx.hierarchy, general_options());
+  tracker.publish(0, 0);
+  // Walk out to the tail tip and back.
+  for (NodeId to = 8; to < 32; ++to) tracker.move(0, to);
+  tracker.chain().validate(0);
+  EXPECT_EQ(tracker.proxy_of(0), 31u);
+  EXPECT_EQ(tracker.query(3, 0).proxy, 31u);
+  for (NodeId to = 31; to-- > 8;) tracker.move(0, to);
+  tracker.chain().validate(0);
+}
+
+TEST(GeneralMot, QueryRatioPolylogOnGrid) {
+  const Fixture fx(make_grid(10, 10));
+  MotTracker tracker(*fx.hierarchy, general_options());
+  TraceParams tp;
+  tp.num_objects = 10;
+  tp.moves_per_object = 40;
+  Rng rng(5);
+  const MovementTrace trace = generate_trace(fx.graph, tp, rng);
+  for (ObjectId o = 0; o < 10; ++o) {
+    tracker.publish(o, trace.initial_proxy[o]);
+  }
+  for (const MoveOp& op : trace.moves) tracker.move(op.object, op.to);
+
+  Weight cost = 0.0;
+  Weight optimal = 0.0;
+  Rng qrng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto from = static_cast<NodeId>(qrng.below(100));
+    const auto object = static_cast<ObjectId>(qrng.below(10));
+    const NodeId proxy = tracker.proxy_of(object);
+    if (from == proxy) continue;
+    cost += tracker.query(from, object).cost;
+    optimal += fx.oracle->distance(from, proxy);
+  }
+  // Theorem 6.4 allows O(log^4 n); empirically the ratio is far smaller,
+  // but it must certainly not approach O(n).
+  EXPECT_LT(cost / optimal, 30.0);
+}
+
+TEST(GeneralMot, WorksWithLoadBalancing) {
+  const Fixture fx(make_grid(7, 7));
+  MotOptions options = general_options();
+  options.load_balance = true;
+  MotTracker tracker(*fx.hierarchy, options);
+  for (ObjectId o = 0; o < 30; ++o) {
+    tracker.publish(o, static_cast<NodeId>((o * 11) % 49));
+  }
+  tracker.chain().validate_all();
+  std::size_t max_load = 0;
+  for (const auto l : tracker.load_per_node()) max_load = std::max(max_load, l);
+  // The root leader would otherwise hold >= 30 entries.
+  EXPECT_LT(max_load, 30u);
+}
+
+TEST(GeneralMot, WeightedRandomGraph) {
+  Rng gen(11);
+  const Fixture fx(make_connected_random(60, 4.0, 6.0, gen));
+  MotTracker tracker(*fx.hierarchy, general_options());
+  tracker.publish(0, 0);
+  Rng rng(13);
+  NodeId at = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto neighbors = fx.graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    tracker.move(0, at);
+  }
+  tracker.chain().validate(0);
+  EXPECT_EQ(tracker.query(59, 0).proxy, at);
+}
+
+}  // namespace
+}  // namespace mot

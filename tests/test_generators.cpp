@@ -1,0 +1,122 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/shortest_path.hpp"
+
+namespace mot {
+namespace {
+
+TEST(Generators, GridShape) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // 3 rows * 3 horizontal + 4 cols * 2 vertical = 9 + 8 = 17.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_positions());
+  EXPECT_TRUE(has_unit_weights(g));
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(5), 4u);
+}
+
+TEST(Generators, Grid8HasDiagonals) {
+  const Graph g = make_grid8(3, 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 4), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, TorusIsRegular) {
+  const Graph g = make_torus(4, 5);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.degree(v), 4u);
+  }
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, RingAndPath) {
+  const Graph ring = make_ring(10);
+  EXPECT_EQ(ring.num_edges(), 10u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(ring.degree(v), 2u);
+  EXPECT_TRUE(ring.has_positions());
+
+  const Graph path = make_path(10);
+  EXPECT_EQ(path.num_edges(), 9u);
+  EXPECT_EQ(path.degree(0), 1u);
+  EXPECT_EQ(path.degree(5), 2u);
+}
+
+TEST(Generators, StarAndComplete) {
+  const Graph star = make_star(6);
+  EXPECT_EQ(star.degree(0), 5u);
+  EXPECT_EQ(star.degree(3), 1u);
+
+  const Graph complete = make_complete(5);
+  EXPECT_EQ(complete.num_edges(), 10u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(complete.degree(v), 4u);
+}
+
+TEST(Generators, BalancedTree) {
+  const Graph tree = make_balanced_tree(7, 2);
+  EXPECT_EQ(tree.num_edges(), 6u);
+  EXPECT_TRUE(tree.is_connected());
+  EXPECT_EQ(tree.degree(0), 2u);  // root has children 1, 2
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(3);
+  const Graph tree = make_random_tree(50, rng);
+  EXPECT_EQ(tree.num_edges(), 49u);
+  EXPECT_TRUE(tree.is_connected());
+}
+
+TEST(Generators, RandomGeometricConnectedNormalized) {
+  Rng rng(7);
+  const Graph g = make_random_geometric(60, 10.0, 2.5, rng);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_positions());
+  EXPECT_NEAR(g.min_edge_weight(), 1.0, 1e-9);
+}
+
+TEST(Generators, ConnectedRandomHitsTargetDegree) {
+  Rng rng(11);
+  const Graph g = make_connected_random(100, 4.0, 8.0, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) * 2.0 / 100.0, 4.0, 0.5);
+  EXPECT_NEAR(g.min_edge_weight(), 1.0, 1e-9);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = make_lollipop(5, 10);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_TRUE(g.is_connected());
+  // Clique part: degree 4 within the clique (+1 for the tail attachment).
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(4), 5u);
+  // Tail end: degree 1.
+  EXPECT_EQ(g.degree(14), 1u);
+}
+
+TEST(Generators, GridPositionsMatchCoordinates) {
+  const Graph g = make_grid(2, 3);
+  EXPECT_DOUBLE_EQ(g.position(0).x, 0.0);
+  EXPECT_DOUBLE_EQ(g.position(0).y, 0.0);
+  EXPECT_DOUBLE_EQ(g.position(5).x, 2.0);
+  EXPECT_DOUBLE_EQ(g.position(5).y, 1.0);
+}
+
+TEST(Generators, SingleRowGridIsPath) {
+  const Graph g = make_grid(1, 5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,118 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mot {
+namespace {
+
+Graph triangle() {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 1.0);
+  builder.add_edge(1, 2, 2.0);
+  builder.add_edge(0, 2, 3.0);
+  return std::move(builder).build();
+}
+
+TEST(GraphBuilder, BuildsCsr) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(GraphBuilder, RejectsDuplicatesAndSelfLoops) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.add_edge(0, 1));
+  EXPECT_FALSE(builder.add_edge(0, 1));
+  EXPECT_FALSE(builder.add_edge(1, 0));  // same undirected edge
+  EXPECT_FALSE(builder.add_edge(2, 2));  // self loop
+  const Graph g = std::move(builder).build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, NeighborsSortedById) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 3);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  const Graph g = std::move(builder).build();
+  const auto neighbors = g.neighbors(0);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].to, 1u);
+  EXPECT_EQ(neighbors[1].to, 2u);
+  EXPECT_EQ(neighbors[2].to, 3u);
+}
+
+TEST(Graph, EdgeWeightLookup) {
+  const Graph g = triangle();
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 1), 2.0);
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  const Graph h = std::move(builder).build();
+  EXPECT_EQ(h.edge_weight(0, 2), kInfiniteDistance);
+}
+
+TEST(Graph, Connectivity) {
+  EXPECT_TRUE(triangle().is_connected());
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 3);
+  EXPECT_FALSE(std::move(builder).build().is_connected());
+}
+
+TEST(Graph, SingleNodeIsConnected) {
+  GraphBuilder builder(1);
+  EXPECT_TRUE(std::move(builder).build().is_connected());
+}
+
+TEST(Graph, WeightExtremes) {
+  const Graph g = triangle();
+  EXPECT_DOUBLE_EQ(g.min_edge_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max_edge_weight(), 3.0);
+}
+
+TEST(GraphBuilder, NormalizeScalesMinWeightToOne) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 0.5);
+  builder.add_edge(1, 2, 2.0);
+  builder.normalize();
+  const Graph g = std::move(builder).build();
+  EXPECT_DOUBLE_EQ(g.min_edge_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max_edge_weight(), 4.0);  // proportions preserved
+}
+
+TEST(GraphBuilder, NormalizeNoOpWhenAlreadyOne) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1, 1.0);
+  builder.normalize();
+  const Graph g = std::move(builder).build();
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.0);
+}
+
+TEST(Graph, PositionsRoundTrip) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1);
+  builder.set_position(0, {1.5, 2.5});
+  builder.set_position(1, {3.0, 4.0});
+  const Graph g = std::move(builder).build();
+  ASSERT_TRUE(g.has_positions());
+  EXPECT_DOUBLE_EQ(g.position(0).x, 1.5);
+  EXPECT_DOUBLE_EQ(g.position(1).y, 4.0);
+}
+
+TEST(Graph, NoPositionsByDefault) {
+  const Graph g = triangle();
+  EXPECT_FALSE(g.has_positions());
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  const std::string summary = triangle().summary();
+  EXPECT_NE(summary.find("n=3"), std::string::npos);
+  EXPECT_NE(summary.find("m=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mot

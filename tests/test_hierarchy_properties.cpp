@@ -1,0 +1,168 @@
+// Property sweeps: the structural lemmas of Section 2 checked across
+// seeds and graph families (parameterized), not just single fixtures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+
+namespace mot {
+namespace {
+
+enum class Family { kGrid, kTorus, kGeometric, kRing };
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::kGrid:
+      return "Grid";
+    case Family::kTorus:
+      return "Torus";
+    case Family::kGeometric:
+      return "Geometric";
+    case Family::kRing:
+      return "Ring";
+  }
+  return "?";
+}
+
+Graph make_family(Family family, std::uint64_t seed) {
+  switch (family) {
+    case Family::kGrid:
+      return make_grid(9, 9);
+    case Family::kTorus:
+      return make_torus(8, 8);
+    case Family::kGeometric: {
+      Rng rng(seed * 77 + 5);
+      return make_random_geometric(70, 10.0, 2.6, rng, 64, 0.5);
+    }
+    case Family::kRing:
+      return make_ring(50);
+  }
+  return Graph{};
+}
+
+using Param = std::tuple<Family, std::uint64_t>;
+
+class HierarchyPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto [family, seed] = GetParam();
+    graph_ = make_family(family, seed);
+    oracle_ = make_distance_oracle(graph_);
+    DoublingHierarchy::Params params;
+    params.seed = seed;
+    hierarchy_ = DoublingHierarchy::build(graph_, *oracle_, params);
+  }
+
+  Graph graph_;
+  std::unique_ptr<DistanceOracle> oracle_;
+  std::unique_ptr<DoublingHierarchy> hierarchy_;
+};
+
+TEST_P(HierarchyPropertyTest, NestedLevelsEndInSingleRoot) {
+  for (int level = 1; level <= hierarchy_->height(); ++level) {
+    for (const NodeId member : hierarchy_->members(level)) {
+      ASSERT_TRUE(hierarchy_->is_member(level - 1, member));
+    }
+    ASSERT_LE(hierarchy_->members(level).size(),
+              hierarchy_->members(level - 1).size());
+  }
+  EXPECT_EQ(hierarchy_->members(hierarchy_->height()).size(), 1u);
+}
+
+TEST_P(HierarchyPropertyTest, LevelSeparationInvariant) {
+  // Members of V_l are pairwise > 2^l apart (MIS of the dist < 2^l graph).
+  for (int level = 1; level <= hierarchy_->height(); ++level) {
+    const auto members = hierarchy_->members(level);
+    const Weight separation = std::ldexp(1.0, level);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        ASSERT_GE(oracle_->distance(members[i], members[j]), separation);
+      }
+    }
+  }
+}
+
+TEST_P(HierarchyPropertyTest, DefaultParentWithinMaximalityRadius) {
+  for (int level = 0; level < hierarchy_->height(); ++level) {
+    const Weight radius = std::ldexp(1.0, level + 1);
+    for (const NodeId member : hierarchy_->members(level)) {
+      const NodeId parent = hierarchy_->default_parent(level, member);
+      ASSERT_TRUE(hierarchy_->is_member(level + 1, parent));
+      ASSERT_LE(oracle_->distance(member, parent), radius);
+    }
+  }
+}
+
+TEST_P(HierarchyPropertyTest, Lemma21MeetLevel) {
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto u = static_cast<NodeId>(rng.below(graph_.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.below(graph_.num_nodes()));
+    if (u == v) continue;
+    const Weight dist = oracle_->distance(u, v);
+    const int meet_level =
+        std::min(hierarchy_->height(),
+                 static_cast<int>(std::ceil(std::log2(dist))) + 1);
+    bool met = false;
+    for (int level = 1; level <= meet_level && !met; ++level) {
+      const auto gu = hierarchy_->group(u, level);
+      const auto gv = hierarchy_->group(v, level);
+      for (const NodeId x : gu) {
+        if (std::binary_search(gv.begin(), gv.end(), x)) {
+          met = true;
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(met) << "u=" << u << " v=" << v << " dist=" << dist;
+  }
+}
+
+TEST_P(HierarchyPropertyTest, Lemma22PathLengthGeometric) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto u = static_cast<NodeId>(rng.below(graph_.num_nodes()));
+    for (int level = 1; level <= hierarchy_->height(); ++level) {
+      // 2^{3 rho + 6}-style constant: generous 512 covers every family
+      // here (rho <= 3).
+      ASSERT_LE(hierarchy_->detection_path_length(u, level),
+                512.0 * std::ldexp(1.0, level));
+    }
+  }
+}
+
+TEST_P(HierarchyPropertyTest, GroupsConsistentWithClusters) {
+  // Every group member is a level member, groups are sorted, and the
+  // cluster of every internal node contains its center.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto u = static_cast<NodeId>(rng.below(graph_.num_nodes()));
+    for (int level = 1; level <= hierarchy_->height(); ++level) {
+      const auto group = hierarchy_->group(u, level);
+      ASSERT_TRUE(std::is_sorted(group.begin(), group.end()));
+      for (const NodeId member : group) {
+        ASSERT_TRUE(hierarchy_->is_member(level, member));
+        const auto cluster = hierarchy_->cluster(level, member);
+        ASSERT_TRUE(
+            std::binary_search(cluster.begin(), cluster.end(), member));
+      }
+    }
+  }
+}
+
+std::string property_param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [family, seed] = info.param;
+  return std::string(family_name(family)) + "_seed" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, HierarchyPropertyTest,
+    ::testing::Combine(::testing::Values(Family::kGrid, Family::kTorus,
+                                         Family::kGeometric, Family::kRing),
+                       ::testing::Values(1u, 2u, 3u)),
+    property_param_name);
+
+}  // namespace
+}  // namespace mot

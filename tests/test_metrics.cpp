@@ -1,0 +1,73 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mot {
+namespace {
+
+TEST(CostRatioAccumulator, AggregateRatio) {
+  CostRatioAccumulator acc;
+  acc.add(10.0, 2.0);
+  acc.add(6.0, 2.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.total_measured(), 16.0);
+  EXPECT_DOUBLE_EQ(acc.total_optimal(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.aggregate_ratio(), 4.0);
+}
+
+TEST(CostRatioAccumulator, ZeroOptimalExcluded) {
+  CostRatioAccumulator acc;
+  acc.add(5.0, 0.0);
+  acc.add(4.0, 2.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.zero_optimal_count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.aggregate_ratio(), 2.0);
+}
+
+TEST(CostRatioAccumulator, EmptyIsZero) {
+  const CostRatioAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.aggregate_ratio(), 0.0);
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(CostRatioAccumulator, PerOpDistribution) {
+  CostRatioAccumulator acc;
+  acc.add(2.0, 1.0);
+  acc.add(8.0, 2.0);
+  acc.add(3.0, 3.0);
+  const SampleSet& ratios = acc.per_op_ratios();
+  EXPECT_EQ(ratios.count(), 3u);
+  EXPECT_DOUBLE_EQ(ratios.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ratios.max(), 4.0);
+}
+
+TEST(SummarizeLoad, BasicStatistics) {
+  const std::vector<std::size_t> load = {0, 1, 2, 3, 14};
+  const LoadSummary summary = summarize_load(load, 10);
+  EXPECT_EQ(summary.num_nodes, 5u);
+  EXPECT_EQ(summary.total_entries, 20u);
+  EXPECT_DOUBLE_EQ(summary.mean, 4.0);
+  EXPECT_EQ(summary.max, 14u);
+  EXPECT_EQ(summary.nodes_above_threshold, 1u);
+  EXPECT_DOUBLE_EQ(summary.imbalance, 3.5);
+}
+
+TEST(SummarizeLoad, EmptyLoad) {
+  const LoadSummary summary = summarize_load({}, 10);
+  EXPECT_EQ(summary.num_nodes, 0u);
+  EXPECT_EQ(summary.total_entries, 0u);
+}
+
+TEST(SummarizeLoad, ThresholdIsStrict) {
+  const std::vector<std::size_t> load = {10, 10, 11};
+  const LoadSummary summary = summarize_load(load, 10);
+  EXPECT_EQ(summary.nodes_above_threshold, 1u);  // strictly greater
+}
+
+TEST(LoadHistogram, FormatsBins) {
+  EXPECT_EQ(load_histogram({1, 1, 3}), "1:2 3:1 ");
+  EXPECT_EQ(load_histogram({0}), "0:1 ");
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,102 @@
+#include "hier/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace mot {
+namespace {
+
+// Builds a MisInstance from a Graph using its direct edges.
+MisInstance instance_from_graph(const Graph& graph) {
+  MisInstance instance;
+  instance.vertices.resize(graph.num_nodes());
+  instance.neighbors.resize(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    instance.vertices[v] = v;
+    for (const Edge& e : graph.neighbors(v)) {
+      instance.neighbors[v].push_back(e.to);
+    }
+  }
+  return instance;
+}
+
+TEST(LubyMis, EmptyInstance) {
+  MisInstance instance;
+  Rng rng(1);
+  const MisResult result = luby_mis(instance, rng);
+  EXPECT_TRUE(result.members.empty());
+}
+
+TEST(LubyMis, SingletonJoins) {
+  MisInstance instance;
+  instance.vertices = {7};
+  instance.neighbors.resize(1);
+  Rng rng(1);
+  const MisResult result = luby_mis(instance, rng);
+  ASSERT_EQ(result.members.size(), 1u);
+  EXPECT_EQ(result.members[0], 7u);
+}
+
+TEST(LubyMis, EdgelessGraphTakesAll) {
+  MisInstance instance;
+  instance.vertices = {1, 2, 3, 4};
+  instance.neighbors.resize(4);
+  Rng rng(1);
+  const MisResult result = luby_mis(instance, rng);
+  EXPECT_EQ(result.members.size(), 4u);
+}
+
+TEST(LubyMis, CompleteGraphTakesExactlyOne) {
+  const MisInstance instance = instance_from_graph(make_complete(8));
+  Rng rng(5);
+  const MisResult result = luby_mis(instance, rng);
+  EXPECT_EQ(result.members.size(), 1u);
+  EXPECT_TRUE(is_maximal_independent_set(instance, result.members));
+}
+
+TEST(LubyMis, ValidOnVariousGraphs) {
+  Rng graph_rng(17);
+  const Graph graphs[] = {
+      make_grid(8, 8), make_ring(21), make_path(30), make_star(16),
+      make_connected_random(64, 4.0, 3.0, graph_rng)};
+  for (const Graph& graph : graphs) {
+    const MisInstance instance = instance_from_graph(graph);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng rng(seed);
+      const MisResult result = luby_mis(instance, rng);
+      EXPECT_TRUE(is_maximal_independent_set(instance, result.members))
+          << graph.summary() << " seed " << seed;
+    }
+  }
+}
+
+TEST(LubyMis, DeterministicForSeed) {
+  const MisInstance instance = instance_from_graph(make_grid(10, 10));
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(luby_mis(instance, a).members, luby_mis(instance, b).members);
+}
+
+TEST(LubyMis, RoundsAreLogarithmic) {
+  const MisInstance instance = instance_from_graph(make_grid(16, 16));
+  Rng rng(3);
+  const MisResult result = luby_mis(instance, rng);
+  // Luby needs O(log n) rounds in expectation; allow generous slack.
+  EXPECT_LE(result.rounds, 32u);
+  EXPECT_GE(result.rounds, 1u);
+}
+
+TEST(IsMaximalIndependentSet, DetectsViolations) {
+  const MisInstance instance = instance_from_graph(make_path(4));
+  // 0-1-2-3: {0, 1} not independent; {0} not maximal; {0, 2} misses 3?
+  // path 0-1-2-3: {0,2} leaves 3 uncovered? 3's neighbor is 2 -> covered.
+  EXPECT_FALSE(is_maximal_independent_set(instance, {0, 1}));
+  EXPECT_FALSE(is_maximal_independent_set(instance, {0}));
+  EXPECT_TRUE(is_maximal_independent_set(instance, {0, 2}));
+  EXPECT_TRUE(is_maximal_independent_set(instance, {0, 3}));
+  EXPECT_TRUE(is_maximal_independent_set(instance, {1, 3}));
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,307 @@
+#include "core/mot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "workload/mobility.hpp"
+
+namespace mot {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::size_t side = 8, std::uint64_t seed = 7)
+      : graph(make_grid(side, side)), oracle(make_distance_oracle(graph)) {
+    DoublingHierarchy::Params params;
+    params.seed = seed;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, params);
+  }
+
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+};
+
+TEST(MotPathProvider, SequenceStartsAtSelfEndsAtRoot) {
+  const Fixture fx;
+  MotOptions options;
+  const MotPathProvider provider(*fx.hierarchy, options);
+  for (NodeId u = 0; u < fx.graph.num_nodes(); u += 9) {
+    const auto seq = provider.upward_sequence(u);
+    ASSERT_GE(seq.size(), 2u);
+    EXPECT_EQ(seq.front().node.level, 0);
+    EXPECT_EQ(seq.front().node.node, u);
+    EXPECT_EQ(seq.back().node.level, fx.hierarchy->height());
+    EXPECT_EQ(seq.back().node.node, fx.hierarchy->root());
+  }
+}
+
+TEST(MotPathProvider, SingleParentModeHasOneStopPerLevel) {
+  const Fixture fx;
+  MotOptions options;
+  options.use_parent_sets = false;
+  const MotPathProvider provider(*fx.hierarchy, options);
+  const auto seq = provider.upward_sequence(13);
+  EXPECT_EQ(seq.size(),
+            static_cast<std::size_t>(fx.hierarchy->height()) + 1);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].node.level, static_cast<int>(i));
+  }
+}
+
+TEST(MotPathProvider, ParentSetModeVisitsGroupsInIdOrder) {
+  const Fixture fx;
+  MotOptions options;
+  options.use_parent_sets = true;
+  const MotPathProvider provider(*fx.hierarchy, options);
+  const auto seq = provider.upward_sequence(13);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    if (seq[i].node.level == seq[i - 1].node.level) {
+      EXPECT_LT(seq[i - 1].node.node, seq[i].node.node);
+    } else {
+      EXPECT_EQ(seq[i].node.level, seq[i - 1].node.level + 1);
+    }
+  }
+}
+
+TEST(MotPathProvider, SpecialParentIsOffsetLevelsUp) {
+  const Fixture fx;
+  MotOptions options;
+  options.use_parent_sets = false;
+  options.special_parent_offset = 2;
+  const MotPathProvider provider(*fx.hierarchy, options);
+  const auto seq = provider.upward_sequence(20);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const auto sp = provider.special_parent(20, i);
+    const int target = seq[i].node.level + 2;
+    if (target > fx.hierarchy->height()) {
+      EXPECT_FALSE(sp.has_value());
+    } else {
+      ASSERT_TRUE(sp.has_value());
+      EXPECT_EQ(sp->level, target);
+    }
+  }
+}
+
+TEST(MotPathProvider, SpecialParentsDisabled) {
+  const Fixture fx;
+  MotOptions options;
+  options.use_special_parents = false;
+  const MotPathProvider provider(*fx.hierarchy, options);
+  EXPECT_FALSE(provider.special_parent(3, 0).has_value());
+}
+
+TEST(MotPathProvider, DelegateLocalWithoutLoadBalance) {
+  const Fixture fx;
+  MotOptions options;
+  const MotPathProvider provider(*fx.hierarchy, options);
+  const auto access = provider.delegate({2, fx.hierarchy->root()}, 42);
+  EXPECT_EQ(access.storage, fx.hierarchy->root());
+  EXPECT_DOUBLE_EQ(access.route_cost, 0.0);
+}
+
+TEST(MotPathProvider, DelegateHashesIntoCluster) {
+  const Fixture fx;
+  MotOptions options;
+  options.load_balance = true;
+  const MotPathProvider provider(*fx.hierarchy, options);
+  const int level = std::min(3, fx.hierarchy->height());
+  const NodeId center = fx.hierarchy->members(level)[0];
+  const auto cluster = fx.hierarchy->cluster(level, center);
+  bool some_remote = false;
+  for (ObjectId object = 0; object < 64; ++object) {
+    const auto access = provider.delegate({level, center}, object);
+    EXPECT_TRUE(std::binary_search(cluster.begin(), cluster.end(),
+                                   access.storage));
+    if (access.storage != center) {
+      some_remote = true;
+      EXPECT_GT(access.route_cost, 0.0);
+    }
+  }
+  EXPECT_TRUE(some_remote);  // hashing spreads objects off the center
+}
+
+TEST(MotPathProvider, Level0DelegateAlwaysLocal) {
+  const Fixture fx;
+  MotOptions options;
+  options.load_balance = true;
+  const MotPathProvider provider(*fx.hierarchy, options);
+  const auto access = provider.delegate({0, 17}, 3);
+  EXPECT_EQ(access.storage, 17u);
+  EXPECT_DOUBLE_EQ(access.route_cost, 0.0);
+}
+
+class MotTrackerParamTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MotTrackerParamTest, RandomWalkKeepsInvariant) {
+  const Fixture fx;
+  MotOptions options;
+  options.use_parent_sets = GetParam();
+  MotTracker tracker(*fx.hierarchy, options);
+  tracker.publish(0, 10);
+  Rng rng(11);
+  NodeId at = 10;
+  for (int i = 0; i < 150; ++i) {
+    const auto neighbors = fx.graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    tracker.move(0, at);
+    tracker.chain().validate(0);
+  }
+  EXPECT_EQ(tracker.proxy_of(0), at);
+  // Queries from every corner locate it.
+  for (const NodeId from : {0u, 7u, 56u, 63u}) {
+    EXPECT_EQ(tracker.query(from, 0).proxy, at);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParentSets, MotTrackerParamTest,
+                         ::testing::Bool());
+
+TEST(MotTracker, QueryCostBoundedByConstantTimesDistance) {
+  // Theorem 4.11 in spirit: after heavy churn, query cost stays within a
+  // constant factor of distance on the doubling hierarchy.
+  const Fixture fx(10, 3);
+  MotOptions options;
+  options.use_parent_sets = false;
+  MotTracker tracker(*fx.hierarchy, options);
+
+  TraceParams params;
+  params.num_objects = 20;
+  params.moves_per_object = 60;
+  Rng rng(5);
+  const MovementTrace trace = generate_trace(fx.graph, params, rng);
+  for (ObjectId o = 0; o < 20; ++o) {
+    tracker.publish(o, trace.initial_proxy[o]);
+  }
+  for (const MoveOp& op : trace.moves) tracker.move(op.object, op.to);
+
+  Weight total_cost = 0.0;
+  Weight total_optimal = 0.0;
+  Rng qrng(9);
+  for (int i = 0; i < 300; ++i) {
+    const auto from = static_cast<NodeId>(rng.below(fx.graph.num_nodes()));
+    const auto object = static_cast<ObjectId>(qrng.below(20));
+    const NodeId proxy = tracker.proxy_of(object);
+    if (from == proxy) continue;
+    const QueryResult result = tracker.query(from, object);
+    EXPECT_EQ(result.proxy, proxy);
+    total_cost += result.cost;
+    total_optimal += fx.oracle->distance(from, proxy);
+  }
+  EXPECT_LT(total_cost / total_optimal, 12.0);  // O(1), generous constant
+}
+
+TEST(MotTracker, MoveCostScalesWithDistanceNotDiameter) {
+  const Fixture fx(12, 3);
+  MotOptions options;
+  options.use_parent_sets = false;
+  MotTracker tracker(*fx.hierarchy, options);
+  tracker.publish(0, 0);
+
+  // Many 1-hop moves: average cost must stay far below the diameter.
+  Rng rng(13);
+  NodeId at = 0;
+  Weight total = 0.0;
+  const int kMoves = 300;
+  for (int i = 0; i < kMoves; ++i) {
+    const auto neighbors = fx.graph.neighbors(at);
+    const NodeId next = neighbors[rng.below(neighbors.size())].to;
+    total += tracker.move(0, next).cost;
+    at = next;
+  }
+  const double diameter = 22.0;  // 12x12 grid
+  EXPECT_LT(total / kMoves, 2.0 * diameter);
+  EXPECT_GT(total / kMoves, 1.0);  // must pay at least the move itself
+}
+
+TEST(MotTracker, LoadBalancedVariantFlattensLoad) {
+  const Fixture fx(12, 3);
+  MotOptions plain_options;
+  MotOptions lb_options;
+  lb_options.load_balance = true;
+  MotTracker plain(*fx.hierarchy, plain_options);
+  MotTracker balanced(*fx.hierarchy, lb_options);
+
+  for (ObjectId o = 0; o < 80; ++o) {
+    const auto proxy = static_cast<NodeId>((o * 13) % 144);
+    plain.publish(o, proxy);
+    balanced.publish(o, proxy);
+  }
+  const auto max_of = [](const std::vector<std::size_t>& load) {
+    std::size_t best = 0;
+    for (const auto l : load) best = std::max(best, l);
+    return best;
+  };
+  EXPECT_LT(max_of(balanced.load_per_node()),
+            max_of(plain.load_per_node()));
+}
+
+TEST(MotTracker, LoadBalancingCostsMore) {
+  const Fixture fx(8, 3);
+  MotOptions plain_options;
+  plain_options.use_parent_sets = false;
+  MotOptions lb_options = plain_options;
+  lb_options.load_balance = true;
+  MotTracker plain(*fx.hierarchy, plain_options);
+  MotTracker balanced(*fx.hierarchy, lb_options);
+  plain.publish(0, 0);
+  balanced.publish(0, 0);
+  Rng rng(17);
+  NodeId at = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto neighbors = fx.graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    plain.move(0, at);
+    balanced.move(0, at);
+  }
+  // Corollary 5.2: the de Bruijn detour costs extra.
+  EXPECT_GT(balanced.meter().total_distance(),
+            plain.meter().total_distance());
+  balanced.chain().validate_all();
+}
+
+TEST(MotTracker, DeterministicForSeeds) {
+  const Fixture fx(8, 21);
+  MotOptions options;
+  MotTracker a(*fx.hierarchy, options);
+  MotTracker b(*fx.hierarchy, options);
+  for (MotTracker* t : {&a, &b}) {
+    t->publish(0, 3);
+    t->move(0, 4);
+    t->move(0, 12);
+    t->query(60, 0);
+  }
+  EXPECT_DOUBLE_EQ(a.meter().total_distance(), b.meter().total_distance());
+}
+
+TEST(MotTracker, NamesEncodeConfiguration) {
+  MotOptions options;
+  EXPECT_EQ(make_mot_name(options), "MOT");
+  options.load_balance = true;
+  EXPECT_EQ(make_mot_name(options), "MOT-LB");
+  options.load_balance = false;
+  options.use_parent_sets = false;
+  EXPECT_EQ(make_mot_name(options), "MOT(no-psets)");
+  options.use_parent_sets = true;
+  options.use_special_parents = false;
+  EXPECT_EQ(make_mot_name(options), "MOT(no-sp)");
+}
+
+TEST(MotTracker, PublishCostBoundedByDiameterConstant) {
+  // Theorem 4.1: publish cost is O(D) per object.
+  const Fixture fx(10, 3);
+  MotOptions options;
+  options.use_parent_sets = false;
+  const double diameter = 18.0;  // 10x10 grid
+  for (const NodeId proxy : {0u, 9u, 44u, 99u, 55u}) {
+    MotTracker tracker(*fx.hierarchy, options);
+    tracker.publish(0, proxy);
+    EXPECT_LT(tracker.meter().total_distance(), 8.0 * diameter)
+        << "proxy " << proxy;
+  }
+}
+
+}  // namespace
+}  // namespace mot

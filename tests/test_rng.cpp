@@ -1,0 +1,145 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mot {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBound, kSamples * 0.01);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(17);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits, kSamples * 0.3, kSamples * 0.02);
+}
+
+TEST(Rng, TruncatedParetoBounds) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.truncated_pareto(1.5, 50);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+TEST(Rng, TruncatedParetoIsHeavyTailedButMostlyShort) {
+  Rng rng(31);
+  int short_hops = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.truncated_pareto(1.5, 1000) <= 3) ++short_hops;
+  }
+  // Pareto(1.5): P(X <= 3) ~ 1 - 3^-1.5 ~ 0.81.
+  EXPECT_GT(short_hops, 7000);
+  EXPECT_LT(short_hops, 9500);
+}
+
+TEST(SeedTree, StableAcrossInstances) {
+  SeedTree a(99);
+  SeedTree b(99);
+  EXPECT_EQ(a.seed_for("mis", 0), b.seed_for("mis", 0));
+  EXPECT_EQ(a.seed_for("mis", 5), b.seed_for("mis", 5));
+}
+
+TEST(SeedTree, DistinctLabelsAndIndicesDiffer) {
+  SeedTree tree(99);
+  EXPECT_NE(tree.seed_for("mis"), tree.seed_for("trace"));
+  EXPECT_NE(tree.seed_for("mis", 0), tree.seed_for("mis", 1));
+}
+
+TEST(SeedTree, DifferentRootsDiffer) {
+  EXPECT_NE(SeedTree(1).seed_for("x"), SeedTree(2).seed_for("x"));
+}
+
+TEST(SeedTree, StreamsAreIndependentRngs) {
+  SeedTree tree(5);
+  Rng a = tree.stream("a");
+  Rng b = tree.stream("b");
+  EXPECT_NE(a(), b());
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,139 @@
+#include "net/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace mot {
+namespace {
+
+TEST(RouteCost, SumsEdgeWeights) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 2.0);
+  builder.add_edge(1, 2, 3.0);
+  const Graph g = std::move(builder).build();
+  EXPECT_DOUBLE_EQ(route_cost(g, {0, 1, 2}), 5.0);
+  EXPECT_DOUBLE_EQ(route_cost(g, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(route_cost(g, {}), 0.0);
+}
+
+TEST(ShortestPathRouter, ExactOnGrids) {
+  const Graph g = make_grid(6, 6);
+  const auto oracle = make_distance_oracle(g);
+  const ShortestPathRouter router(g);
+  for (NodeId from = 0; from < 36; from += 5) {
+    for (NodeId to = 0; to < 36; to += 7) {
+      const auto route = router.route(from, to);
+      ASSERT_FALSE(route.empty());
+      EXPECT_EQ(route.front(), from);
+      EXPECT_EQ(route.back(), to);
+      EXPECT_DOUBLE_EQ(route_cost(g, route), oracle->distance(from, to));
+    }
+  }
+}
+
+TEST(ShortestPathRouter, SelfRouteIsTrivial) {
+  const Graph g = make_grid(3, 3);
+  const ShortestPathRouter router(g);
+  const auto route = router.route(4, 4);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(route[0], 4u);
+}
+
+TEST(ShortestPathRouter, CachesPerDestination) {
+  const Graph g = make_grid(4, 4);
+  const ShortestPathRouter router(g);
+  router.route(0, 15);
+  router.route(3, 15);
+  EXPECT_EQ(router.cached_destinations(), 1u);
+  router.route(0, 7);
+  EXPECT_EQ(router.cached_destinations(), 2u);
+}
+
+TEST(ShortestPathRouter, ExactOnWeightedGraphs) {
+  Rng rng(5);
+  const Graph g = make_connected_random(50, 4.0, 7.0, rng);
+  const auto oracle = make_distance_oracle(g);
+  const ShortestPathRouter router(g);
+  Rng pick(9);
+  for (int i = 0; i < 50; ++i) {
+    const auto from = static_cast<NodeId>(pick.below(50));
+    const auto to = static_cast<NodeId>(pick.below(50));
+    const auto route = router.route(from, to);
+    ASSERT_FALSE(route.empty());
+    EXPECT_NEAR(route_cost(g, route), oracle->distance(from, to), 1e-9);
+  }
+}
+
+TEST(GreedyGeographicRouter, PerfectOnGrids) {
+  // On a full grid, greedy geographic forwarding is void-free and every
+  // hop reduces Manhattan distance, so routes are shortest paths.
+  const Graph g = make_grid(8, 8);
+  const auto oracle = make_distance_oracle(g);
+  const GreedyGeographicRouter router(g);
+  Rng rng(3);
+  const RouteStretch stretch = measure_stretch(g, *oracle, router, rng, 200);
+  EXPECT_EQ(stretch.failed, 0u);
+  EXPECT_DOUBLE_EQ(stretch.delivery_rate(), 1.0);
+  EXPECT_NEAR(stretch.mean_stretch, 1.0, 1e-9);
+}
+
+TEST(GreedyGeographicRouter, FailsAtVoids) {
+  // A ring embedded on a circle has massive voids: the straight-line
+  // target direction usually disagrees with the cycle, so greedy drops
+  // long-haul packets at local minima.
+  const Graph ring = make_ring(32);
+  const GreedyGeographicRouter router(ring);
+  // Opposite side of the ring: greedy walks until no neighbor is closer.
+  const auto route = router.route(0, 16);
+  // Either fails or pays heavily; on the circle embedding it must fail
+  // for the antipodal pair (both neighbors are equidistant-or-farther
+  // partway around).
+  if (!route.empty()) {
+    const auto oracle = make_distance_oracle(ring);
+    EXPECT_GE(route_cost(ring, route), oracle->distance(0, 16));
+  }
+}
+
+TEST(GreedyGeographicRouter, HighDeliveryOnDenseGeometric) {
+  Rng rng(11);
+  const Graph g = make_random_geometric(80, 10.0, 2.8, rng, 64, 0.5);
+  const auto oracle = make_distance_oracle(g);
+  const GreedyGeographicRouter router(g);
+  Rng sample(13);
+  const RouteStretch stretch =
+      measure_stretch(g, *oracle, router, sample, 300);
+  EXPECT_GT(stretch.delivery_rate(), 0.9);  // dense fields rarely void
+  EXPECT_GE(stretch.mean_stretch, 1.0);
+  EXPECT_LT(stretch.mean_stretch, 2.0);
+}
+
+TEST(MeasureStretch, ShortestPathRouterIsStretchOne) {
+  const Graph g = make_grid(7, 7);
+  const auto oracle = make_distance_oracle(g);
+  const ShortestPathRouter router(g);
+  Rng rng(17);
+  const RouteStretch stretch = measure_stretch(g, *oracle, router, rng, 150);
+  EXPECT_EQ(stretch.failed, 0u);
+  EXPECT_NEAR(stretch.mean_stretch, 1.0, 1e-9);
+  EXPECT_NEAR(stretch.max_stretch, 1.0, 1e-9);
+}
+
+// The substantiation the tracking cost model rests on: a message between
+// two overlay nodes, physically forwarded hop by hop by the routing
+// layer, costs exactly the oracle distance the trackers charge.
+TEST(RoutingSubstantiatesCostModel, OverlayHopEqualsPhysicalRoute) {
+  const Graph g = make_grid(9, 9);
+  const auto oracle = make_distance_oracle(g);
+  const ShortestPathRouter router(g);
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<NodeId>(rng.below(81));
+    const auto b = static_cast<NodeId>(rng.below(81));
+    EXPECT_DOUBLE_EQ(route_cost(g, router.route(a, b)),
+                     oracle->distance(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,109 @@
+#include "hier/sparse_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace mot {
+namespace {
+
+class SparseCoverParamTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SparseCoverParamTest, CoverageOnGrid) {
+  const auto [side, radius] = GetParam();
+  const Graph graph = make_grid(side, side);
+  const SparseCover cover = build_sparse_cover(graph, radius);
+  EXPECT_TRUE(covers_all_balls(graph, cover));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridRadii, SparseCoverParamTest,
+    ::testing::Combine(::testing::Values(4, 6, 8),
+                       ::testing::Values(1.0, 2.0, 4.0, 8.0)));
+
+TEST(SparseCover, ClusterRadiusBounded) {
+  const Graph graph = make_grid(8, 8);
+  for (const Weight radius : {1.0, 2.0, 4.0}) {
+    const SparseCover cover = build_sparse_cover(graph, radius);
+    const double bound =
+        (std::ceil(std::log2(static_cast<double>(graph.num_nodes()))) +
+         1.0) *
+        radius;
+    for (const Cluster& cluster : cover.clusters) {
+      EXPECT_LE(cluster.radius, bound);
+    }
+  }
+}
+
+TEST(SparseCover, MembersSortedAndContainLeader) {
+  const Graph graph = make_grid(6, 6);
+  const SparseCover cover = build_sparse_cover(graph, 2.0);
+  for (const Cluster& cluster : cover.clusters) {
+    EXPECT_TRUE(std::is_sorted(cluster.members.begin(),
+                               cluster.members.end()));
+    EXPECT_TRUE(std::binary_search(cluster.members.begin(),
+                                   cluster.members.end(), cluster.leader));
+  }
+}
+
+TEST(SparseCover, EveryNodeInSomeCluster) {
+  const Graph graph = make_ring(30);
+  const SparseCover cover = build_sparse_cover(graph, 2.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_FALSE(cover.clusters_of[v].empty());
+  }
+}
+
+TEST(SparseCover, OverlapModestOnGrids) {
+  const Graph graph = make_grid(10, 10);
+  const SparseCover cover = build_sparse_cover(graph, 2.0);
+  // (O(log n), O(log n)) scheme: log2(100) ~ 6.6; allow constant slack.
+  EXPECT_LE(cover.average_overlap(), 14.0);
+  EXPECT_GE(cover.average_overlap(), 1.0);
+  EXPECT_LE(cover.max_overlap(), 40u);
+}
+
+TEST(SparseCover, HugeRadiusGivesOneCluster) {
+  const Graph graph = make_grid(5, 5);
+  const SparseCover cover = build_sparse_cover(graph, 100.0);
+  ASSERT_EQ(cover.clusters.size(), 1u);
+  EXPECT_EQ(cover.clusters[0].members.size(), graph.num_nodes());
+}
+
+TEST(SparseCover, ZeroRadiusIsSingletons) {
+  const Graph graph = make_path(6);
+  const SparseCover cover = build_sparse_cover(graph, 0.0);
+  EXPECT_EQ(cover.clusters.size(), 6u);
+  for (const Cluster& cluster : cover.clusters) {
+    EXPECT_EQ(cluster.members.size(), 1u);
+  }
+}
+
+TEST(SparseCover, WorksOnNonDoublingTopologies) {
+  const Graph star = make_star(64);
+  const SparseCover cover = build_sparse_cover(star, 2.0);
+  EXPECT_TRUE(covers_all_balls(star, cover));
+
+  const Graph lollipop = make_lollipop(10, 20);
+  const SparseCover cover2 = build_sparse_cover(lollipop, 4.0);
+  EXPECT_TRUE(covers_all_balls(lollipop, cover2));
+}
+
+TEST(SparseCover, DeterministicConstruction) {
+  const Graph graph = make_grid(6, 6);
+  const SparseCover a = build_sparse_cover(graph, 2.0);
+  const SparseCover b = build_sparse_cover(graph, 2.0);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].leader, b.clusters[i].leader);
+    EXPECT_EQ(a.clusters[i].members, b.clusters[i].members);
+  }
+}
+
+}  // namespace
+}  // namespace mot

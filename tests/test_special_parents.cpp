@@ -1,0 +1,148 @@
+// The special-parent mechanism (Definition 3 / Fig. 2 of the paper),
+// reproduced deterministically: after fragmentation, a query whose upward
+// sequence misses the live chain at low levels still finds the object
+// through the SDL record its insert registered *above* the meet on the
+// new proxy's own path.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "tracking/chain_tracker.hpp"
+
+namespace mot {
+namespace {
+
+// Node roles in the scenario (ids into a path graph used for distances):
+constexpr NodeId kRoot = 0;
+constexpr NodeId kU1 = 1;   // level-1 meet node shared by A's and B's paths
+constexpr NodeId kU2 = 2;   // level-2 node of B's (old) path
+constexpr NodeId kM2 = 3;   // level-2 node of A's path — SDL lands here
+constexpr NodeId kA = 4;    // new proxy
+constexpr NodeId kB = 5;    // old proxy
+constexpr NodeId kQ = 6;    // querier
+constexpr NodeId kQ1 = 7;   // level-1 node of Q's path (off everyone else's)
+
+// Hand-authored upward sequences realizing Fig. 2's geometry.
+class ScriptedProvider final : public PathProvider {
+ public:
+  ScriptedProvider() : graph_(make_path(8)), oracle_(graph_) {
+    auto seq = [](std::initializer_list<std::pair<int, NodeId>> stops) {
+      std::vector<PathStop> sequence;
+      std::uint32_t rank = 0;
+      for (const auto& [level, node] : stops) {
+        sequence.push_back({{level, node}, rank++});
+      }
+      return sequence;
+    };
+    sequences_[kA] = seq({{0, kA}, {1, kU1}, {2, kM2}, {3, kRoot}});
+    sequences_[kB] = seq({{0, kB}, {1, kU1}, {2, kU2}, {3, kRoot}});
+    sequences_[kQ] = seq({{0, kQ}, {1, kQ1}, {2, kM2}, {3, kRoot}});
+    for (NodeId v = 0; v < 8; ++v) {
+      if (sequences_.count(v) == 0) {
+        sequences_[v] = seq({{0, v}, {3, kRoot}});
+      }
+    }
+  }
+
+  std::span<const PathStop> upward_sequence(NodeId u) const override {
+    return sequences_.at(u);
+  }
+  // Definition 3 with offset 2 sequence positions (~levels here).
+  std::optional<OverlayNode> special_parent(
+      NodeId u, std::size_t index) const override {
+    const auto& sequence = sequences_.at(u);
+    if (index + 2 >= sequence.size()) return std::nullopt;
+    return sequence[index + 2].node;
+  }
+  DelegateAccess delegate(OverlayNode owner, ObjectId) const override {
+    return {owner.node, 0.0};
+  }
+  OverlayNode root_stop() const override { return {3, kRoot}; }
+  const DistanceOracle& oracle() const override { return oracle_; }
+  std::size_t num_nodes() const override { return 8; }
+
+ private:
+  Graph graph_;
+  CachedDistanceOracle oracle_;
+  std::map<NodeId, std::vector<PathStop>> sequences_;
+};
+
+ChainOptions with_sdl(bool on) {
+  ChainOptions options;
+  options.use_special_lists = on;
+  return options;
+}
+
+TEST(SpecialParents, QueryRescuedBySdlBelowTheChainMeet) {
+  ScriptedProvider provider;
+  ChainTracker tracker("mot", provider, with_sdl(true));
+
+  // Publish at B, then the object moves to A. A's insert meets the chain
+  // at u1 (level 1), so nothing above u1 on A's own path carries a DL —
+  // but A's bottom entry registered its SDL at m2 (two positions up).
+  tracker.publish(0, kB);
+  tracker.move(0, kA);
+  tracker.validate(0);
+  ASSERT_FALSE(tracker.node_has_dl({2, kM2}, 0));  // m2 is off the chain
+
+  // Q's path misses the live chain until the root — except that it passes
+  // m2 at level 2, where the SDL points straight at the proxy.
+  const QueryResult result = tracker.query(kQ, 0);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.proxy, kA);
+  EXPECT_EQ(result.found_level, 2);  // found at m2, below the root
+  EXPECT_EQ(tracker.query_stats().sdl_hits, 1u);
+  EXPECT_EQ(tracker.query_stats().dl_hits, 0u);
+}
+
+TEST(SpecialParents, WithoutSdlTheSameQueryClimbsToTheRoot) {
+  ScriptedProvider provider;
+  ChainTracker tracker("mot-no-sdl", provider, with_sdl(false));
+  tracker.publish(0, kB);
+  tracker.move(0, kA);
+
+  const QueryResult result = tracker.query(kQ, 0);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.proxy, kA);
+  EXPECT_EQ(result.found_level, 3);  // only the root still knows
+}
+
+TEST(SpecialParents, SdlQueryIsCheaperThanRootDetour) {
+  ScriptedProvider provider;
+  ChainTracker with("with", provider, with_sdl(true));
+  ChainTracker without("without", provider, with_sdl(false));
+  for (ChainTracker* tracker : {&with, &without}) {
+    tracker->publish(0, kB);
+    tracker->move(0, kA);
+  }
+  const QueryResult rescued = with.query(kQ, 0);
+  const QueryResult detoured = without.query(kQ, 0);
+  EXPECT_LT(rescued.cost, detoured.cost);
+}
+
+TEST(SpecialParents, SdlRecordRemovedWhenFragmentDies) {
+  ScriptedProvider provider;
+  ChainTracker tracker("mot", provider, with_sdl(true));
+  tracker.publish(0, kB);
+  tracker.move(0, kA);
+  ASSERT_GT(tracker.sdl_entries(0), 0u);
+  // Move back to B: A's fragment (and its SDL registrations) must be
+  // cleaned up, or queries would chase a dead pointer.
+  tracker.move(0, kB);
+  tracker.validate(0);
+  const QueryResult result = tracker.query(kQ, 0);
+  EXPECT_EQ(result.proxy, kB);
+}
+
+TEST(SpecialParents, DlWinsOverSdlAtTheSameStop) {
+  ScriptedProvider provider;
+  ChainTracker tracker("mot", provider, with_sdl(true));
+  tracker.publish(0, kA);  // chain passes m2 directly (publish, no meet)
+  const QueryResult result = tracker.query(kQ, 0);
+  EXPECT_EQ(result.proxy, kA);
+  EXPECT_GE(tracker.query_stats().dl_hits, 1u);
+}
+
+}  // namespace
+}  // namespace mot

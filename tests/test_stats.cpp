@@ -1,0 +1,137 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mot {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats merged_a;
+  OnlineStats merged_b;
+  OnlineStats sequential;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? merged_a : merged_b).add(x);
+    sequential.add(x);
+  }
+  merged_a.merge(merged_b);
+  EXPECT_EQ(merged_a.count(), sequential.count());
+  EXPECT_NEAR(merged_a.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(merged_a.variance(), sequential.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged_a.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(merged_a.max(), sequential.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats stats;
+  stats.add(1.0);
+  OnlineStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 1u);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(SampleSet, QuantilesOfKnownData) {
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 100.0);
+  EXPECT_NEAR(samples.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(samples.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(samples.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(samples.mean(), 50.5, 1e-9);
+}
+
+TEST(SampleSet, QuantileInterpolates) {
+  SampleSet samples;
+  samples.add(0.0);
+  samples.add(10.0);
+  EXPECT_NEAR(samples.quantile(0.25), 2.5, 1e-9);
+  EXPECT_NEAR(samples.quantile(0.75), 7.5, 1e-9);
+}
+
+TEST(SampleSet, SingleElement) {
+  SampleSet samples;
+  samples.add(3.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.1), 3.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.9), 3.0);
+}
+
+TEST(SampleSet, AddAfterQuantileStillSorted) {
+  SampleSet samples;
+  samples.add(5.0);
+  samples.add(1.0);
+  EXPECT_DOUBLE_EQ(samples.min(), 1.0);
+  samples.add(0.5);
+  EXPECT_DOUBLE_EQ(samples.min(), 0.5);
+  EXPECT_DOUBLE_EQ(samples.max(), 5.0);
+}
+
+TEST(Histogram, CountsAndGrowth) {
+  Histogram histogram(2);
+  histogram.add(0);
+  histogram.add(0);
+  histogram.add(5, 3);  // grows the bin vector
+  EXPECT_EQ(histogram.bin_count(0), 2u);
+  EXPECT_EQ(histogram.bin_count(1), 0u);
+  EXPECT_EQ(histogram.bin_count(5), 3u);
+  EXPECT_EQ(histogram.bin_count(99), 0u);
+  EXPECT_EQ(histogram.total(), 5u);
+  EXPECT_EQ(histogram.num_bins(), 6u);
+}
+
+TEST(Histogram, CountAbove) {
+  Histogram histogram;
+  histogram.add(1);
+  histogram.add(10);
+  histogram.add(11);
+  histogram.add(12, 2);
+  EXPECT_EQ(histogram.count_above(10), 3u);
+  EXPECT_EQ(histogram.count_above(0), 5u);
+  EXPECT_EQ(histogram.count_above(12), 0u);
+}
+
+TEST(Histogram, ToStringSkipsEmptyBins) {
+  Histogram histogram;
+  histogram.add(2);
+  histogram.add(4, 2);
+  EXPECT_EQ(histogram.to_string(), "2:1 4:2 ");
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mot {
+namespace {
+
+TEST(Table, BuildsAndReadsBack) {
+  Table table({"name", "value"});
+  table.begin_row().cell("alpha").cell(std::uint64_t{42});
+  table.begin_row().cell("beta").cell(3.14159, 2);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.at(0, 0), "alpha");
+  EXPECT_EQ(table.at(0, 1), "42");
+  EXPECT_EQ(table.at(1, 1), "3.14");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table table({"a", "longer"});
+  table.begin_row().cell("x").cell("y");
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"c1", "c2"});
+  table.begin_row().cell("has,comma").cell("has\"quote");
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "c1,c2\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table table({"x"});
+  table.begin_row().cell("plain");
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "x\nplain\n");
+}
+
+TEST(Table, NegativeIntegerCell) {
+  Table table({"v"});
+  table.begin_row().cell(std::int64_t{-7});
+  EXPECT_EQ(table.at(0, 0), "-7");
+}
+
+TEST(WriteTextFile, RoundTripsAndCreatesDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "mot_table_test" / "nested";
+  const auto path = (dir / "out.txt").string();
+  std::filesystem::remove_all(dir.parent_path());
+  ASSERT_TRUE(write_text_file(path, "hello\n"));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "hello\n");
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,101 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace mot {
+namespace {
+
+TEST(TraceIo, RoundTripsGeneratedTrace) {
+  const Graph g = make_grid(5, 5);
+  TraceParams params;
+  params.num_objects = 4;
+  params.moves_per_object = 25;
+  Rng rng(7);
+  const MovementTrace original = generate_trace(g, params, rng);
+
+  const std::string text = trace_to_string(original);
+  std::string error;
+  const auto parsed = trace_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->initial_proxy, original.initial_proxy);
+  ASSERT_EQ(parsed->moves.size(), original.moves.size());
+  for (std::size_t i = 0; i < original.moves.size(); ++i) {
+    EXPECT_EQ(parsed->moves[i].object, original.moves[i].object);
+    EXPECT_EQ(parsed->moves[i].from, original.moves[i].from);
+    EXPECT_EQ(parsed->moves[i].to, original.moves[i].to);
+  }
+}
+
+TEST(TraceIo, AcceptsCommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "mot-trace v1\n"
+      "\n"
+      "objects 2\n"
+      "init 0 5   # object zero\n"
+      "init 1 7\n"
+      "move 0 5 6\n";
+  const auto parsed = trace_from_string(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_objects(), 2u);
+  EXPECT_EQ(parsed->initial_proxy[0], 5u);
+  ASSERT_EQ(parsed->moves.size(), 1u);
+  EXPECT_EQ(parsed->moves[0].to, 6u);
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::string error;
+  EXPECT_FALSE(trace_from_string("objects 1\ninit 0 0\n", &error));
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsUnknownDirective) {
+  std::string error;
+  EXPECT_FALSE(trace_from_string(
+      "mot-trace v1\nobjects 1\ninit 0 0\nteleport 0 1 2\n", &error));
+  EXPECT_NE(error.find("teleport"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsObjectOutOfRange) {
+  std::string error;
+  EXPECT_FALSE(trace_from_string(
+      "mot-trace v1\nobjects 1\ninit 3 0\n", &error));
+}
+
+TEST(TraceIo, RejectsMissingInit) {
+  std::string error;
+  EXPECT_FALSE(
+      trace_from_string("mot-trace v1\nobjects 2\ninit 0 0\n", &error));
+  EXPECT_NE(error.find("no init"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsGarbageNumbers) {
+  std::string error;
+  EXPECT_FALSE(trace_from_string(
+      "mot-trace v1\nobjects 1\ninit 0 -3\n", &error));
+}
+
+TEST(TraceIo, QueriesRoundTrip) {
+  const std::vector<QueryOp> original = {{3, 0}, {17, 2}, {0, 1}};
+  std::ostringstream out;
+  write_queries(out, original);
+  std::istringstream in(out.str());
+  const auto parsed = read_queries(in);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[1].from, 17u);
+  EXPECT_EQ((*parsed)[1].object, 2u);
+}
+
+TEST(TraceIo, QueriesRejectMalformed) {
+  std::istringstream in("mot-queries v1\nquery 1\n");
+  std::string error;
+  EXPECT_FALSE(read_queries(in, &error));
+}
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,162 @@
+// The tracker contract: behaviours EVERY tracking algorithm in the
+// library must satisfy, run as a parameterized suite over the full
+// algorithm x topology matrix. This is the safety net that lets the
+// experiment harness treat all algorithms uniformly.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "expt/experiment.hpp"
+#include "graph/generators.hpp"
+#include "workload/mobility.hpp"
+
+namespace mot {
+namespace {
+
+enum class Topology { kGrid, kRing, kTorus, kGeometric };
+
+const char* topology_name(Topology topology) {
+  switch (topology) {
+    case Topology::kGrid:
+      return "Grid";
+    case Topology::kRing:
+      return "Ring";
+    case Topology::kTorus:
+      return "Torus";
+    case Topology::kGeometric:
+      return "Geometric";
+  }
+  return "?";
+}
+
+Graph make_topology(Topology topology) {
+  switch (topology) {
+    case Topology::kGrid:
+      return make_grid(7, 7);
+    case Topology::kRing:
+      return make_ring(48);
+    case Topology::kTorus:
+      return make_torus(7, 7);
+    case Topology::kGeometric: {
+      Rng rng(1234);
+      return make_random_geometric(50, 10.0, 2.6, rng, 64, 0.5);
+    }
+  }
+  return Graph{};
+}
+
+using Param = std::tuple<Algo, Topology>;
+
+class TrackerContractTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto [algo, topology] = GetParam();
+    (void)algo;  // every algorithm must pass on every embedded topology
+    network_ = build_network(make_topology(topology), 42);
+    TraceParams tp;
+    tp.num_objects = 8;
+    tp.moves_per_object = 30;
+    Rng rng(7);
+    trace_ = generate_trace(network_.graph(), tp, rng);
+    rates_ = trace_.estimate_rates();
+    instance_ = make_algo(algo, network_, rates_, 42);
+  }
+
+  Network network_;
+  MovementTrace trace_;
+  EdgeRates rates_;
+  AlgoInstance instance_;
+};
+
+TEST_P(TrackerContractTest, ProxiesTrackEveryMove) {
+  publish_all(*instance_.tracker, trace_);
+  std::vector<NodeId> at = trace_.initial_proxy;
+  for (const MoveOp& op : trace_.moves) {
+    instance_.tracker->move(op.object, op.to);
+    at[op.object] = op.to;
+    ASSERT_EQ(instance_.tracker->proxy_of(op.object), op.to);
+  }
+  for (ObjectId o = 0; o < trace_.num_objects(); ++o) {
+    EXPECT_EQ(instance_.tracker->proxy_of(o), at[o]);
+  }
+}
+
+TEST_P(TrackerContractTest, EveryQueryFindsTheRightProxy) {
+  publish_all(*instance_.tracker, trace_);
+  run_moves(*instance_.tracker, *network_.oracle, trace_.moves);
+  Rng rng(9);
+  for (int i = 0; i < 60; ++i) {
+    const auto from =
+        static_cast<NodeId>(rng.below(network_.num_nodes()));
+    const auto object =
+        static_cast<ObjectId>(rng.below(trace_.num_objects()));
+    const QueryResult result = instance_.tracker->query(from, object);
+    ASSERT_TRUE(result.found);
+    ASSERT_EQ(result.proxy, instance_.tracker->proxy_of(object));
+  }
+}
+
+TEST_P(TrackerContractTest, MoveCostNeverBelowOptimal) {
+  publish_all(*instance_.tracker, trace_);
+  for (const MoveOp& op : trace_.moves) {
+    const Weight optimal = network_.oracle->distance(op.from, op.to);
+    const MoveResult result = instance_.tracker->move(op.object, op.to);
+    ASSERT_GE(result.cost, optimal - 1e-9)
+        << op.from << " -> " << op.to;
+  }
+}
+
+TEST_P(TrackerContractTest, ChainInvariantHoldsThroughout) {
+  publish_all(*instance_.tracker, trace_);
+  std::size_t step = 0;
+  for (const MoveOp& op : trace_.moves) {
+    instance_.tracker->move(op.object, op.to);
+    if (++step % 17 == 0) instance_.tracker->validate_all();
+  }
+  instance_.tracker->validate_all();
+}
+
+TEST_P(TrackerContractTest, LoadAccountsForEveryObject) {
+  publish_all(*instance_.tracker, trace_);
+  run_moves(*instance_.tracker, *network_.oracle, trace_.moves);
+  const auto load = instance_.tracker->load_per_node();
+  ASSERT_EQ(load.size(), network_.num_nodes());
+  std::size_t total = 0;
+  for (const auto l : load) total += l;
+  // Every object occupies at least its proxy sentinel and the root entry.
+  EXPECT_GE(total, 2 * trace_.num_objects());
+}
+
+TEST_P(TrackerContractTest, QueriesDoNotMutate) {
+  publish_all(*instance_.tracker, trace_);
+  run_moves(*instance_.tracker, *network_.oracle, trace_.moves);
+  const auto before = instance_.tracker->load_per_node();
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    instance_.tracker->query(
+        static_cast<NodeId>(rng.below(network_.num_nodes())),
+        static_cast<ObjectId>(rng.below(trace_.num_objects())));
+  }
+  EXPECT_EQ(instance_.tracker->load_per_node(), before);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [algo, topology] = info.param;
+  std::string name = algo_name(algo);
+  for (char& c : name) {
+    if (c == '-' || c == '+') c = '_';
+  }
+  return name + "_" + topology_name(topology);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllTopologies, TrackerContractTest,
+    ::testing::Combine(
+        ::testing::Values(Algo::kMot, Algo::kMotLoadBalanced, Algo::kStun,
+                          Algo::kDat, Algo::kZdat, Algo::kZdatShortcuts),
+        ::testing::Values(Topology::kGrid, Topology::kRing,
+                          Topology::kTorus, Topology::kGeometric)),
+    param_name);
+
+}  // namespace
+}  // namespace mot

@@ -1,0 +1,85 @@
+#include "viz/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+
+namespace mot {
+namespace {
+
+// Crude structural checks: balanced braces, expected node/edge counts.
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(DotExport, GraphHasAllNodesAndEdges) {
+  const Graph g = make_grid(3, 3);
+  const std::string dot = viz::graph_to_dot(g);
+  EXPECT_NE(dot.find("graph sensors {"), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "[label="), 9u);
+  EXPECT_EQ(count_occurrences(dot, " -- "), g.num_edges());
+  EXPECT_NE(dot.find("pos="), std::string::npos);  // grid is embedded
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, WeightedEdgesCarryLabels) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1, 2.5);
+  const Graph g = std::move(builder).build();
+  const std::string dot = viz::graph_to_dot(g);
+  EXPECT_NE(dot.find("label=\"2.5\""), std::string::npos);
+}
+
+TEST(DotExport, HierarchyLayersAndEdges) {
+  const Graph g = make_grid(4, 4);
+  const auto oracle = make_distance_oracle(g);
+  DoublingHierarchy::Params params;
+  params.seed = 3;
+  const auto hierarchy = DoublingHierarchy::build(g, *oracle, params);
+  const std::string dot = viz::hierarchy_to_dot(*hierarchy);
+  EXPECT_NE(dot.find("digraph overlay {"), std::string::npos);
+  // One rank group per level.
+  EXPECT_EQ(count_occurrences(dot, "rank=same"),
+            static_cast<std::size_t>(hierarchy->height()) + 1);
+  // Every non-root member has exactly one primary-parent edge.
+  std::size_t expected_edges = 0;
+  for (int level = 0; level < hierarchy->height(); ++level) {
+    expected_edges += hierarchy->members(level).size();
+  }
+  EXPECT_EQ(count_occurrences(dot, " -> "), expected_edges);
+}
+
+TEST(DotExport, SpanningTreeRootIsDoubleCircle) {
+  const Graph g = make_grid(4, 4);
+  EdgeRates rates;
+  const SpanningTree tree = build_dat(g, rates, 5);
+  const std::string dot = viz::spanning_tree_to_dot(tree, g);
+  EXPECT_NE(dot.find("n5 [shape=doublecircle]"), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, " -> "), g.num_nodes() - 1);
+}
+
+TEST(DotExport, DendrogramShowsHosts) {
+  const Graph g = make_grid(4, 4);
+  EdgeRates rates;
+  for (NodeId v = 0; v < 16; ++v) {
+    for (const Edge& e : g.neighbors(v)) {
+      if (e.to > v) rates.record(v, e.to, 1.0 + (v % 3));
+    }
+  }
+  const Dendrogram dendrogram = build_stun_dendrogram(g, rates, 5);
+  const std::string dot = viz::dendrogram_to_dot(dendrogram);
+  EXPECT_NE(dot.find("digraph dendrogram {"), std::string::npos);
+  EXPECT_NE(dot.find("host"), std::string::npos);
+  // Every node except the root has a parent edge.
+  EXPECT_EQ(count_occurrences(dot, " -> "), dendrogram.nodes.size() - 1);
+}
+
+}  // namespace
+}  // namespace mot

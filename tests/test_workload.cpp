@@ -1,0 +1,153 @@
+#include "workload/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace mot {
+namespace {
+
+TEST(GenerateTrace, CountsAndContinuity) {
+  const Graph g = make_grid(6, 6);
+  TraceParams params;
+  params.num_objects = 5;
+  params.moves_per_object = 40;
+  Rng rng(3);
+  const MovementTrace trace = generate_trace(g, params, rng);
+  EXPECT_EQ(trace.num_objects(), 5u);
+  EXPECT_EQ(trace.moves.size(), 200u);
+
+  // Per-object continuity: each move starts where the previous ended.
+  std::vector<NodeId> at = trace.initial_proxy;
+  std::vector<std::size_t> count(5, 0);
+  for (const MoveOp& op : trace.moves) {
+    EXPECT_EQ(op.from, at[op.object]);
+    at[op.object] = op.to;
+    ++count[op.object];
+  }
+  for (const auto c : count) EXPECT_EQ(c, 40u);
+}
+
+TEST(GenerateTrace, RandomWalkMovesToNeighbors) {
+  const Graph g = make_grid(5, 5);
+  TraceParams params;
+  params.num_objects = 3;
+  params.moves_per_object = 50;
+  params.model = MobilityModel::kRandomWalk;
+  Rng rng(7);
+  const MovementTrace trace = generate_trace(g, params, rng);
+  for (const MoveOp& op : trace.moves) {
+    EXPECT_DOUBLE_EQ(g.edge_weight(op.from, op.to), 1.0);
+  }
+}
+
+TEST(GenerateTrace, WaypointFollowsShortestPathSteps) {
+  const Graph g = make_grid(6, 6);
+  TraceParams params;
+  params.num_objects = 2;
+  params.moves_per_object = 60;
+  params.model = MobilityModel::kRandomWaypoint;
+  Rng rng(11);
+  const MovementTrace trace = generate_trace(g, params, rng);
+  for (const MoveOp& op : trace.moves) {
+    // Steps are always single edges.
+    EXPECT_NE(g.edge_weight(op.from, op.to), kInfiniteDistance);
+  }
+}
+
+TEST(GenerateTrace, LevyWalkAlsoSteppedOnEdges) {
+  const Graph g = make_grid(6, 6);
+  TraceParams params;
+  params.num_objects = 2;
+  params.moves_per_object = 60;
+  params.model = MobilityModel::kLevyWalk;
+  Rng rng(13);
+  const MovementTrace trace = generate_trace(g, params, rng);
+  for (const MoveOp& op : trace.moves) {
+    EXPECT_NE(g.edge_weight(op.from, op.to), kInfiniteDistance);
+  }
+}
+
+TEST(GenerateTrace, DeterministicForSeed) {
+  const Graph g = make_grid(5, 5);
+  TraceParams params;
+  params.num_objects = 4;
+  params.moves_per_object = 20;
+  Rng a(17);
+  Rng b(17);
+  const MovementTrace ta = generate_trace(g, params, a);
+  const MovementTrace tb = generate_trace(g, params, b);
+  EXPECT_EQ(ta.initial_proxy, tb.initial_proxy);
+  ASSERT_EQ(ta.moves.size(), tb.moves.size());
+  for (std::size_t i = 0; i < ta.moves.size(); ++i) {
+    EXPECT_EQ(ta.moves[i].object, tb.moves[i].object);
+    EXPECT_EQ(ta.moves[i].from, tb.moves[i].from);
+    EXPECT_EQ(ta.moves[i].to, tb.moves[i].to);
+  }
+}
+
+TEST(GenerateTrace, ZeroMovesStillPlacesObjects) {
+  const Graph g = make_grid(4, 4);
+  TraceParams params;
+  params.num_objects = 6;
+  params.moves_per_object = 0;
+  Rng rng(19);
+  const MovementTrace trace = generate_trace(g, params, rng);
+  EXPECT_EQ(trace.num_objects(), 6u);
+  EXPECT_TRUE(trace.moves.empty());
+}
+
+TEST(GenerateTrace, RandomOrderInterleavesObjects) {
+  const Graph g = make_grid(6, 6);
+  TraceParams params;
+  params.num_objects = 4;
+  params.moves_per_object = 50;
+  Rng rng(23);
+  const MovementTrace trace = generate_trace(g, params, rng);
+  // The stream should not be sorted by object (that would mean the
+  // "random order" shuffling failed).
+  bool interleaved = false;
+  for (std::size_t i = 1; i < trace.moves.size(); ++i) {
+    if (trace.moves[i].object < trace.moves[i - 1].object) {
+      interleaved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(interleaved);
+}
+
+TEST(MovementTrace, OptimalCostSumsDistances) {
+  const Graph g = make_path(10);
+  const CachedDistanceOracle oracle(g);
+  MovementTrace trace;
+  trace.initial_proxy = {0};
+  trace.moves = {{0, 0, 3}, {0, 3, 1}, {0, 1, 9}};
+  EXPECT_DOUBLE_EQ(trace.optimal_cost(oracle), 3.0 + 2.0 + 8.0);
+}
+
+TEST(MovementTrace, EstimateRatesCountsTransitions) {
+  MovementTrace trace;
+  trace.initial_proxy = {0, 5};
+  trace.moves = {{0, 0, 1}, {0, 1, 0}, {1, 5, 6}, {0, 0, 1}};
+  const EdgeRates rates = trace.estimate_rates();
+  EXPECT_DOUBLE_EQ(rates.rate(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(rates.rate(5, 6), 1.0);
+  EXPECT_DOUBLE_EQ(rates.rate(2, 3), 0.0);
+}
+
+TEST(GenerateQueries, BoundsAndDeterminism) {
+  Rng a(29);
+  Rng b(29);
+  const auto qa = generate_queries(100, 10, 50, a);
+  const auto qb = generate_queries(100, 10, 50, b);
+  ASSERT_EQ(qa.size(), 50u);
+  for (std::size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_LT(qa[i].from, 100u);
+    EXPECT_LT(qa[i].object, 10u);
+    EXPECT_EQ(qa[i].from, qb[i].from);
+    EXPECT_EQ(qa[i].object, qb[i].object);
+  }
+}
+
+}  // namespace
+}  // namespace mot
