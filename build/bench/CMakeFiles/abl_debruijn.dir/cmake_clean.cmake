@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_debruijn.dir/abl_debruijn.cpp.o"
+  "CMakeFiles/abl_debruijn.dir/abl_debruijn.cpp.o.d"
+  "abl_debruijn"
+  "abl_debruijn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_debruijn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

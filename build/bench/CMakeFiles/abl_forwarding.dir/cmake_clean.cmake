@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_forwarding.dir/abl_forwarding.cpp.o"
+  "CMakeFiles/abl_forwarding.dir/abl_forwarding.cpp.o.d"
+  "abl_forwarding"
+  "abl_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_parent_sets.dir/abl_parent_sets.cpp.o"
+  "CMakeFiles/abl_parent_sets.dir/abl_parent_sets.cpp.o.d"
+  "abl_parent_sets"
+  "abl_parent_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_parent_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

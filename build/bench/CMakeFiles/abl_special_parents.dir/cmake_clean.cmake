@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_special_parents.dir/abl_special_parents.cpp.o"
+  "CMakeFiles/abl_special_parents.dir/abl_special_parents.cpp.o.d"
+  "abl_special_parents"
+  "abl_special_parents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_special_parents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_maint_100.dir/fig04_maint_100.cpp.o"
+  "CMakeFiles/fig04_maint_100.dir/fig04_maint_100.cpp.o.d"
+  "fig04_maint_100"
+  "fig04_maint_100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_maint_100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

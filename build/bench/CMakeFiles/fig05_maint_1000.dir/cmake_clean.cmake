@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_maint_1000.dir/fig05_maint_1000.cpp.o"
+  "CMakeFiles/fig05_maint_1000.dir/fig05_maint_1000.cpp.o.d"
+  "fig05_maint_1000"
+  "fig05_maint_1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_maint_1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_query_100.dir/fig06_query_100.cpp.o"
+  "CMakeFiles/fig06_query_100.dir/fig06_query_100.cpp.o.d"
+  "fig06_query_100"
+  "fig06_query_100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_query_100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_query_100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_query_100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_query_1000.dir/fig07_query_1000.cpp.o"
+  "CMakeFiles/fig07_query_1000.dir/fig07_query_1000.cpp.o.d"
+  "fig07_query_1000"
+  "fig07_query_1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_query_1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

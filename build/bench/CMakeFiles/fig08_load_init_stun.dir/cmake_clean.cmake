@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_load_init_stun.dir/fig08_load_init_stun.cpp.o"
+  "CMakeFiles/fig08_load_init_stun.dir/fig08_load_init_stun.cpp.o.d"
+  "fig08_load_init_stun"
+  "fig08_load_init_stun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_load_init_stun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_load_maint_stun.dir/fig09_load_maint_stun.cpp.o"
+  "CMakeFiles/fig09_load_maint_stun.dir/fig09_load_maint_stun.cpp.o.d"
+  "fig09_load_maint_stun"
+  "fig09_load_maint_stun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_load_maint_stun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

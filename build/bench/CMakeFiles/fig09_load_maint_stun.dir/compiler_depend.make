@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_load_maint_stun.
+# This may be replaced when dependencies are built.

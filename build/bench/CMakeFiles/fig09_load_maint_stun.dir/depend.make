@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_load_maint_stun.
+# This may be replaced when dependencies are built.

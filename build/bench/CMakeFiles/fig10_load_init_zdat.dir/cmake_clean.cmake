@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_load_init_zdat.dir/fig10_load_init_zdat.cpp.o"
+  "CMakeFiles/fig10_load_init_zdat.dir/fig10_load_init_zdat.cpp.o.d"
+  "fig10_load_init_zdat"
+  "fig10_load_init_zdat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_load_init_zdat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

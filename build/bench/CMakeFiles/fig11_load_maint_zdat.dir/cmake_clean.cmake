@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_load_maint_zdat.dir/fig11_load_maint_zdat.cpp.o"
+  "CMakeFiles/fig11_load_maint_zdat.dir/fig11_load_maint_zdat.cpp.o.d"
+  "fig11_load_maint_zdat"
+  "fig11_load_maint_zdat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_load_maint_zdat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

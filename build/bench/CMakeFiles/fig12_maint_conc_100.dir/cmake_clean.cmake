@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_maint_conc_100.dir/fig12_maint_conc_100.cpp.o"
+  "CMakeFiles/fig12_maint_conc_100.dir/fig12_maint_conc_100.cpp.o.d"
+  "fig12_maint_conc_100"
+  "fig12_maint_conc_100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_maint_conc_100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

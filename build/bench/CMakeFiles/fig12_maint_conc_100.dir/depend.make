@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_maint_conc_100.
+# This may be replaced when dependencies are built.

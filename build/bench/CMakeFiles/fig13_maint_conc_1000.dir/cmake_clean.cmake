@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_maint_conc_1000.dir/fig13_maint_conc_1000.cpp.o"
+  "CMakeFiles/fig13_maint_conc_1000.dir/fig13_maint_conc_1000.cpp.o.d"
+  "fig13_maint_conc_1000"
+  "fig13_maint_conc_1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_maint_conc_1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

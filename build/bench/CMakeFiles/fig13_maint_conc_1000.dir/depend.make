@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_maint_conc_1000.
+# This may be replaced when dependencies are built.

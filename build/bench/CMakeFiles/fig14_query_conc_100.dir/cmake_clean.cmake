@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_query_conc_100.dir/fig14_query_conc_100.cpp.o"
+  "CMakeFiles/fig14_query_conc_100.dir/fig14_query_conc_100.cpp.o.d"
+  "fig14_query_conc_100"
+  "fig14_query_conc_100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_query_conc_100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

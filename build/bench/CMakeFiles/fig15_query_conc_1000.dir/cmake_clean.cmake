@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_query_conc_1000.dir/fig15_query_conc_1000.cpp.o"
+  "CMakeFiles/fig15_query_conc_1000.dir/fig15_query_conc_1000.cpp.o.d"
+  "fig15_query_conc_1000"
+  "fig15_query_conc_1000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_query_conc_1000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hierarchy.dir/micro_hierarchy.cpp.o"
+  "CMakeFiles/micro_hierarchy.dir/micro_hierarchy.cpp.o.d"
+  "micro_hierarchy"
+  "micro_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_proto.cpp" "bench/CMakeFiles/micro_proto.dir/micro_proto.cpp.o" "gcc" "bench/CMakeFiles/micro_proto.dir/micro_proto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expt/CMakeFiles/mot_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/mot_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mot_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mot_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mot_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/mot_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/mot_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/debruijn/CMakeFiles/mot_debruijn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tracking.dir/micro_tracking.cpp.o"
+  "CMakeFiles/micro_tracking.dir/micro_tracking.cpp.o.d"
+  "micro_tracking"
+  "micro_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

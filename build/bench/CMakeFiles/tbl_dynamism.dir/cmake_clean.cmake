@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_dynamism.dir/tbl_dynamism.cpp.o"
+  "CMakeFiles/tbl_dynamism.dir/tbl_dynamism.cpp.o.d"
+  "tbl_dynamism"
+  "tbl_dynamism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_dynamism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_general_graphs.dir/tbl_general_graphs.cpp.o"
+  "CMakeFiles/tbl_general_graphs.dir/tbl_general_graphs.cpp.o.d"
+  "tbl_general_graphs"
+  "tbl_general_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_general_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

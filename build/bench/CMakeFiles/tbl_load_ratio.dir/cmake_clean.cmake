@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_load_ratio.dir/tbl_load_ratio.cpp.o"
+  "CMakeFiles/tbl_load_ratio.dir/tbl_load_ratio.cpp.o.d"
+  "tbl_load_ratio"
+  "tbl_load_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_load_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

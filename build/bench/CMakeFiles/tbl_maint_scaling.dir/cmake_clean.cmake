@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_maint_scaling.dir/tbl_maint_scaling.cpp.o"
+  "CMakeFiles/tbl_maint_scaling.dir/tbl_maint_scaling.cpp.o.d"
+  "tbl_maint_scaling"
+  "tbl_maint_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_maint_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

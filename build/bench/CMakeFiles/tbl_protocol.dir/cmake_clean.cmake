@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_protocol.dir/tbl_protocol.cpp.o"
+  "CMakeFiles/tbl_protocol.dir/tbl_protocol.cpp.o.d"
+  "tbl_protocol"
+  "tbl_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_publish_cost.dir/tbl_publish_cost.cpp.o"
+  "CMakeFiles/tbl_publish_cost.dir/tbl_publish_cost.cpp.o.d"
+  "tbl_publish_cost"
+  "tbl_publish_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_publish_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

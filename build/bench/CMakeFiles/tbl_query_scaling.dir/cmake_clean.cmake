@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_query_scaling.dir/tbl_query_scaling.cpp.o"
+  "CMakeFiles/tbl_query_scaling.dir/tbl_query_scaling.cpp.o.d"
+  "tbl_query_scaling"
+  "tbl_query_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_query_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_routing.dir/tbl_routing.cpp.o"
+  "CMakeFiles/tbl_routing.dir/tbl_routing.cpp.o.d"
+  "tbl_routing"
+  "tbl_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_pursuit.dir/vehicle_pursuit.cpp.o"
+  "CMakeFiles/vehicle_pursuit.dir/vehicle_pursuit.cpp.o.d"
+  "vehicle_pursuit"
+  "vehicle_pursuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_pursuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildlife_monitoring.dir/wildlife_monitoring.cpp.o"
+  "CMakeFiles/wildlife_monitoring.dir/wildlife_monitoring.cpp.o.d"
+  "wildlife_monitoring"
+  "wildlife_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildlife_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

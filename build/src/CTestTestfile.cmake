@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("graph")
+subdirs("sim")
+subdirs("net")
+subdirs("hier")
+subdirs("debruijn")
+subdirs("tracking")
+subdirs("proto")
+subdirs("core")
+subdirs("baselines")
+subdirs("workload")
+subdirs("metrics")
+subdirs("viz")
+subdirs("expt")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_baselines.dir/spanning_tree.cpp.o"
+  "CMakeFiles/mot_baselines.dir/spanning_tree.cpp.o.d"
+  "CMakeFiles/mot_baselines.dir/tree_tracker.cpp.o"
+  "CMakeFiles/mot_baselines.dir/tree_tracker.cpp.o.d"
+  "libmot_baselines.a"
+  "libmot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

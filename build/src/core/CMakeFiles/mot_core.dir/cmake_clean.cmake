@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_core.dir/concurrent.cpp.o"
+  "CMakeFiles/mot_core.dir/concurrent.cpp.o.d"
+  "CMakeFiles/mot_core.dir/dynamic.cpp.o"
+  "CMakeFiles/mot_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/mot_core.dir/mot.cpp.o"
+  "CMakeFiles/mot_core.dir/mot.cpp.o.d"
+  "libmot_core.a"
+  "libmot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_debruijn.dir/debruijn.cpp.o"
+  "CMakeFiles/mot_debruijn.dir/debruijn.cpp.o.d"
+  "libmot_debruijn.a"
+  "libmot_debruijn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_debruijn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

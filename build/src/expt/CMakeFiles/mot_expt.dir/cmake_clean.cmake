@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_expt.dir/experiment.cpp.o"
+  "CMakeFiles/mot_expt.dir/experiment.cpp.o.d"
+  "CMakeFiles/mot_expt.dir/fig_runners.cpp.o"
+  "CMakeFiles/mot_expt.dir/fig_runners.cpp.o.d"
+  "libmot_expt.a"
+  "libmot_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

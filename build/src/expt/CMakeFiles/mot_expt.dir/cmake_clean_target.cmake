@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmot_expt.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mot_expt.
+# This may be replaced when dependencies are built.

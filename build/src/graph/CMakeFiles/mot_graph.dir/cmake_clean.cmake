@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_graph.dir/distance_oracle.cpp.o"
+  "CMakeFiles/mot_graph.dir/distance_oracle.cpp.o.d"
+  "CMakeFiles/mot_graph.dir/generators.cpp.o"
+  "CMakeFiles/mot_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mot_graph.dir/graph.cpp.o"
+  "CMakeFiles/mot_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mot_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/mot_graph.dir/shortest_path.cpp.o.d"
+  "libmot_graph.a"
+  "libmot_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

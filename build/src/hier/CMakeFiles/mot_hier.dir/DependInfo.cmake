@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hier/doubling_hierarchy.cpp" "src/hier/CMakeFiles/mot_hier.dir/doubling_hierarchy.cpp.o" "gcc" "src/hier/CMakeFiles/mot_hier.dir/doubling_hierarchy.cpp.o.d"
+  "/root/repo/src/hier/general_hierarchy.cpp" "src/hier/CMakeFiles/mot_hier.dir/general_hierarchy.cpp.o" "gcc" "src/hier/CMakeFiles/mot_hier.dir/general_hierarchy.cpp.o.d"
+  "/root/repo/src/hier/hierarchy.cpp" "src/hier/CMakeFiles/mot_hier.dir/hierarchy.cpp.o" "gcc" "src/hier/CMakeFiles/mot_hier.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/hier/mis.cpp" "src/hier/CMakeFiles/mot_hier.dir/mis.cpp.o" "gcc" "src/hier/CMakeFiles/mot_hier.dir/mis.cpp.o.d"
+  "/root/repo/src/hier/sparse_cover.cpp" "src/hier/CMakeFiles/mot_hier.dir/sparse_cover.cpp.o" "gcc" "src/hier/CMakeFiles/mot_hier.dir/sparse_cover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

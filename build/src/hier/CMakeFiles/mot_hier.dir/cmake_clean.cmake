@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_hier.dir/doubling_hierarchy.cpp.o"
+  "CMakeFiles/mot_hier.dir/doubling_hierarchy.cpp.o.d"
+  "CMakeFiles/mot_hier.dir/general_hierarchy.cpp.o"
+  "CMakeFiles/mot_hier.dir/general_hierarchy.cpp.o.d"
+  "CMakeFiles/mot_hier.dir/hierarchy.cpp.o"
+  "CMakeFiles/mot_hier.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/mot_hier.dir/mis.cpp.o"
+  "CMakeFiles/mot_hier.dir/mis.cpp.o.d"
+  "CMakeFiles/mot_hier.dir/sparse_cover.cpp.o"
+  "CMakeFiles/mot_hier.dir/sparse_cover.cpp.o.d"
+  "libmot_hier.a"
+  "libmot_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

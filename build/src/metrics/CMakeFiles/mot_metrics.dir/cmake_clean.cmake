@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/mot_metrics.dir/metrics.cpp.o.d"
+  "libmot_metrics.a"
+  "libmot_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_net.dir/router.cpp.o"
+  "CMakeFiles/mot_net.dir/router.cpp.o.d"
+  "libmot_net.a"
+  "libmot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

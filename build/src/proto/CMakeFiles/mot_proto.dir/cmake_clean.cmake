@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_proto.dir/distributed_mot.cpp.o"
+  "CMakeFiles/mot_proto.dir/distributed_mot.cpp.o.d"
+  "libmot_proto.a"
+  "libmot_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mot_proto.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/mot_sim.dir/event_sim.cpp.o.d"
+  "libmot_sim.a"
+  "libmot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

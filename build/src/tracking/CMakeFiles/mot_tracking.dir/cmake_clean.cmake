@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_tracking.dir/chain_tracker.cpp.o"
+  "CMakeFiles/mot_tracking.dir/chain_tracker.cpp.o.d"
+  "libmot_tracking.a"
+  "libmot_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

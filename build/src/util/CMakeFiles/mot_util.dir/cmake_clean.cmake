@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_util.dir/flags.cpp.o"
+  "CMakeFiles/mot_util.dir/flags.cpp.o.d"
+  "CMakeFiles/mot_util.dir/log.cpp.o"
+  "CMakeFiles/mot_util.dir/log.cpp.o.d"
+  "CMakeFiles/mot_util.dir/rng.cpp.o"
+  "CMakeFiles/mot_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mot_util.dir/stats.cpp.o"
+  "CMakeFiles/mot_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mot_util.dir/table.cpp.o"
+  "CMakeFiles/mot_util.dir/table.cpp.o.d"
+  "libmot_util.a"
+  "libmot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_viz.dir/dot_export.cpp.o"
+  "CMakeFiles/mot_viz.dir/dot_export.cpp.o.d"
+  "libmot_viz.a"
+  "libmot_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/mobility.cpp" "src/workload/CMakeFiles/mot_workload.dir/mobility.cpp.o" "gcc" "src/workload/CMakeFiles/mot_workload.dir/mobility.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/mot_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/mot_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/mot_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/mot_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/mot_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mot_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_workload.dir/mobility.cpp.o"
+  "CMakeFiles/mot_workload.dir/mobility.cpp.o.d"
+  "CMakeFiles/mot_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/mot_workload.dir/trace_io.cpp.o.d"
+  "libmot_workload.a"
+  "libmot_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/mot_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_chain_tracker.cpp" "tests/CMakeFiles/mot_tests.dir/test_chain_tracker.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_chain_tracker.cpp.o.d"
+  "/root/repo/tests/test_concurrent.cpp" "tests/CMakeFiles/mot_tests.dir/test_concurrent.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_concurrent.cpp.o.d"
+  "/root/repo/tests/test_contracts.cpp" "tests/CMakeFiles/mot_tests.dir/test_contracts.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_contracts.cpp.o.d"
+  "/root/repo/tests/test_debruijn.cpp" "tests/CMakeFiles/mot_tests.dir/test_debruijn.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_debruijn.cpp.o.d"
+  "/root/repo/tests/test_distance_oracle.cpp" "tests/CMakeFiles/mot_tests.dir/test_distance_oracle.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_distance_oracle.cpp.o.d"
+  "/root/repo/tests/test_doubling_hierarchy.cpp" "tests/CMakeFiles/mot_tests.dir/test_doubling_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_doubling_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_dynamic.cpp" "tests/CMakeFiles/mot_tests.dir/test_dynamic.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_dynamic.cpp.o.d"
+  "/root/repo/tests/test_evacuation.cpp" "tests/CMakeFiles/mot_tests.dir/test_evacuation.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_evacuation.cpp.o.d"
+  "/root/repo/tests/test_event_sim.cpp" "tests/CMakeFiles/mot_tests.dir/test_event_sim.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_event_sim.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/mot_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/mot_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/mot_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_general_hierarchy.cpp" "tests/CMakeFiles/mot_tests.dir/test_general_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_general_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_general_mot.cpp" "tests/CMakeFiles/mot_tests.dir/test_general_mot.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_general_mot.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/mot_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/mot_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hierarchy_properties.cpp" "tests/CMakeFiles/mot_tests.dir/test_hierarchy_properties.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_hierarchy_properties.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/mot_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mis.cpp" "tests/CMakeFiles/mot_tests.dir/test_mis.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_mis.cpp.o.d"
+  "/root/repo/tests/test_mot.cpp" "tests/CMakeFiles/mot_tests.dir/test_mot.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_mot.cpp.o.d"
+  "/root/repo/tests/test_proto.cpp" "tests/CMakeFiles/mot_tests.dir/test_proto.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_proto.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mot_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/mot_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_shortest_path.cpp" "tests/CMakeFiles/mot_tests.dir/test_shortest_path.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_shortest_path.cpp.o.d"
+  "/root/repo/tests/test_sparse_cover.cpp" "tests/CMakeFiles/mot_tests.dir/test_sparse_cover.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_sparse_cover.cpp.o.d"
+  "/root/repo/tests/test_special_parents.cpp" "tests/CMakeFiles/mot_tests.dir/test_special_parents.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_special_parents.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mot_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/mot_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/mot_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_tracker_contract.cpp" "tests/CMakeFiles/mot_tests.dir/test_tracker_contract.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_tracker_contract.cpp.o.d"
+  "/root/repo/tests/test_viz.cpp" "tests/CMakeFiles/mot_tests.dir/test_viz.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_viz.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/mot_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/mot_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expt/CMakeFiles/mot_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/mot_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mot_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mot_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mot_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/mot_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/mot_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/mot_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/debruijn/CMakeFiles/mot_debruijn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mot_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
