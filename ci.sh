@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI: the tier-1 verify (build + full test suite) plus a separate
+# AddressSanitizer/UBSan build of the test binary. Run from the repo root.
+#
+#   ./ci.sh           # tier-1 + sanitized mot_tests
+#   ./ci.sh --fast    # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipped sanitizer stage (--fast) =="
+  exit 0
+fi
+
+echo "== sanitizers: asan+ubsan mot_tests =="
+cmake -B build-asan -S . -DMOT_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug > /dev/null
+cmake --build build-asan -j "${JOBS}" --target mot_tests
+# halt_on_error so UBSan findings fail the run rather than scroll past.
+UBSAN_OPTIONS=halt_on_error=1 ./build-asan/tests/mot_tests --gtest_brief=1
+
+echo "== ci green =="

@@ -90,6 +90,25 @@ AdaptabilityReport DynamicClusterSet::node_leaves(NodeId node) {
   return report;
 }
 
+AdaptabilityReport DynamicClusterSet::node_crashes(NodeId node) {
+  // Survivors must learn of the unannounced failure before relabeling:
+  // count one notification per remaining member of each affected cluster.
+  std::size_t notifications = 0;
+  const auto it = membership_.find(node);
+  if (it != membership_.end()) {
+    for (const std::size_t index : it->second) {
+      const ManagedCluster& cluster = clusters_[index];
+      if (cluster.embedding.label_of(node) < 0) continue;
+      if (cluster.embedding.size() <= 1) continue;
+      notifications += cluster.embedding.size() - 1;
+    }
+  }
+  AdaptabilityReport report = node_leaves(node);
+  report.failure_notifications = notifications;
+  ++crashes_;
+  return report;
+}
+
 double DynamicClusterSet::amortized_updates() const {
   if (events_ == 0) return 0.0;
   return static_cast<double>(total_updates_) /

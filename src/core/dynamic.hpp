@@ -28,6 +28,8 @@ struct AdaptabilityReport {
   std::size_t nodes_updated = 0;      // de Bruijn relabeling updates
   std::size_t leader_handoffs = 0;    // leaving node led a cluster
   std::size_t handoff_broadcasts = 0; // members informed of new leaders
+  // Crash-stop only: survivors notified of an unannounced failure.
+  std::size_t failure_notifications = 0;
 };
 
 class DynamicClusterSet {
@@ -46,8 +48,14 @@ class DynamicClusterSet {
   AdaptabilityReport node_joins(NodeId node);
   AdaptabilityReport node_leaves(NodeId node);
 
+  // Crash-stop departure: structurally a leave, but nothing is announced
+  // by the node itself — each affected cluster's survivors must be told
+  // of the failure first (counted as failure_notifications).
+  AdaptabilityReport node_crashes(NodeId node);
+
   std::size_t num_clusters() const { return clusters_.size(); }
   std::size_t rebuilds() const { return rebuilds_; }
+  std::size_t crash_events() const { return crashes_; }
 
   // Mean nodes updated per event so far (the amortized adaptability).
   double amortized_updates() const;
@@ -76,6 +84,7 @@ class DynamicClusterSet {
   std::size_t total_updates_ = 0;
   std::size_t total_cluster_events_ = 0;
   std::size_t rebuilds_ = 0;
+  std::size_t crashes_ = 0;
 };
 
 }  // namespace mot

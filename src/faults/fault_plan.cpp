@@ -1,0 +1,58 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mot::faults {
+
+namespace {
+
+std::uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+void check_rates(const LinkFaults& faults) {
+  MOT_EXPECTS(faults.drop >= 0.0 && faults.drop < 1.0);
+  MOT_EXPECTS(faults.duplicate >= 0.0 && faults.duplicate <= 1.0);
+  MOT_EXPECTS(faults.delay >= 0.0 && faults.delay <= 1.0);
+  MOT_EXPECTS(faults.max_extra_delay >= 0.0);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::set_default_faults(const LinkFaults& faults) {
+  check_rates(faults);
+  defaults_ = faults;
+  return *this;
+}
+
+FaultPlan& FaultPlan::set_link_faults(NodeId from, NodeId to,
+                                      const LinkFaults& faults) {
+  check_rates(faults);
+  MOT_EXPECTS(from != to);
+  overrides_[link_key(from, to)] = faults;
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_crash(SimTime time, NodeId node) {
+  MOT_EXPECTS(time >= 0.0);
+  MOT_EXPECTS(node != kInvalidNode);
+  for (const CrashEvent& crash : crashes_) {
+    MOT_EXPECTS(crash.node != node);  // a node crashes at most once
+  }
+  crashes_.push_back({time, node});
+  std::stable_sort(crashes_.begin(), crashes_.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.node < b.node;
+                   });
+  return *this;
+}
+
+const LinkFaults& FaultPlan::faults_for(NodeId from, NodeId to) const {
+  const auto it = overrides_.find(link_key(from, to));
+  return it == overrides_.end() ? defaults_ : it->second;
+}
+
+}  // namespace mot::faults

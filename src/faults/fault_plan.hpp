@@ -1,0 +1,66 @@
+// A deterministic, seed-independent description of what goes wrong in a
+// run: per-link (or global) message fault rates and a schedule of
+// crash-stop node failures. A FaultPlan is pure data — the randomness
+// lives in the UnreliableChannel that executes it — so the same plan can
+// drive many seeded repetitions, and two runs with the same (plan, seed)
+// pair replay identically.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/event_sim.hpp"
+
+namespace mot::faults {
+
+// Fault rates of one directed link. All probabilities are per delivery
+// attempt and independent; `extra delay` is uniform in
+// [0, max_extra_delay] and models queueing/contention-induced reordering.
+struct LinkFaults {
+  double drop = 0.0;             // P(message vanishes)
+  double duplicate = 0.0;        // P(message delivered twice)
+  double delay = 0.0;            // P(a copy is delayed)
+  double max_extra_delay = 0.0;  // extra latency bound for delayed copies
+
+  bool faulty() const {
+    return drop > 0.0 || duplicate > 0.0 || delay > 0.0;
+  }
+};
+
+struct CrashEvent {
+  SimTime time = 0.0;
+  NodeId node = kInvalidNode;
+};
+
+class FaultPlan {
+ public:
+  // Faults applied to every link without a per-link override.
+  FaultPlan& set_default_faults(const LinkFaults& faults);
+
+  // Per-link override (directed: from -> to).
+  FaultPlan& set_link_faults(NodeId from, NodeId to,
+                             const LinkFaults& faults);
+
+  // Schedules a crash-stop failure of `node` at simulator time `time`
+  // (relative to when the channel is armed). Crashes are executed in
+  // time order; a node crashes at most once.
+  FaultPlan& add_crash(SimTime time, NodeId node);
+
+  const LinkFaults& faults_for(NodeId from, NodeId to) const;
+
+  // Crash schedule sorted by time (ties broken by node id).
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
+
+  bool has_link_faults() const {
+    return defaults_.faulty() || !overrides_.empty();
+  }
+
+ private:
+  LinkFaults defaults_;
+  std::unordered_map<std::uint64_t, LinkFaults> overrides_;  // key (from,to)
+  std::vector<CrashEvent> crashes_;
+};
+
+}  // namespace mot::faults

@@ -1,0 +1,75 @@
+#include "faults/unreliable_channel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mot::faults {
+
+UnreliableChannel::UnreliableChannel(const FaultPlan& plan,
+                                     std::uint64_t seed)
+    : plan_(&plan), rng_(SeedTree(seed).seed_for("unreliable-channel")) {}
+
+void UnreliableChannel::arm(Simulator& sim) {
+  for (const CrashEvent& crash : plan_->crashes()) {
+    sim.schedule(crash.time, [this, node = crash.node] { crash_now(node); });
+  }
+}
+
+void UnreliableChannel::crash_now(NodeId node) {
+  if (is_dead(node)) return;
+  dead_.push_back(node);
+  ++stats_.crashes;
+  for (const auto& callback : on_crash_) callback(node);
+}
+
+bool UnreliableChannel::is_dead(NodeId node) const {
+  return std::find(dead_.begin(), dead_.end(), node) != dead_.end();
+}
+
+void UnreliableChannel::subscribe_crashes(
+    std::function<void(NodeId)> on_crash) {
+  MOT_EXPECTS(on_crash != nullptr);
+  on_crash_.push_back(std::move(on_crash));
+}
+
+void UnreliableChannel::transmit(Simulator& sim, NodeId from, NodeId to,
+                                 Weight distance,
+                                 std::function<void()> deliver) {
+  if (is_dead(from) || is_dead(to)) {
+    ++stats_.blocked_dead;
+    return;
+  }
+  ++stats_.transmissions;
+  // Self-delivery never crosses a link, so it is immune to link faults.
+  const LinkFaults faults =
+      from == to ? LinkFaults{} : plan_->faults_for(from, to);
+
+  int copies = 1;
+  if (faults.drop > 0.0 && rng_.chance(faults.drop)) {
+    ++stats_.dropped;
+    return;
+  }
+  if (faults.duplicate > 0.0 && rng_.chance(faults.duplicate)) {
+    ++stats_.duplicated;
+    copies = 2;
+  }
+  for (int copy = 0; copy < copies; ++copy) {
+    Weight extra = 0.0;
+    if (faults.delay > 0.0 && rng_.chance(faults.delay)) {
+      ++stats_.delayed;
+      extra = rng_.uniform(0.0, faults.max_extra_delay);
+    }
+    // The target may crash while the copy is in flight (crash-stop): the
+    // message is then lost on arrival rather than processed by a ghost.
+    sim.schedule(distance + extra, [this, to, deliver] {
+      if (is_dead(to)) {
+        ++stats_.dead_on_arrival;
+        return;
+      }
+      deliver();
+    });
+  }
+}
+
+}  // namespace mot::faults

@@ -1,0 +1,61 @@
+// Executes a FaultPlan against the deterministic simulator: every
+// transmit() draws from a seeded substream to decide drop / duplication /
+// extra delay, and the armed crash schedule marks nodes dead and notifies
+// subscribers (protocol runtimes hook recovery there).
+//
+// Determinism: the channel's Rng is seeded once and consumed in simulator
+// event order, which is itself deterministic, so a (plan, seed) pair
+// fully determines which messages are lost — the property the replay
+// tests lock in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "sim/channel.hpp"
+#include "util/rng.hpp"
+
+namespace mot::faults {
+
+struct ChannelStats {
+  std::uint64_t transmissions = 0;   // transmit() calls accepted
+  std::uint64_t dropped = 0;         // messages that vanished
+  std::uint64_t duplicated = 0;      // messages delivered twice
+  std::uint64_t delayed = 0;         // copies given extra latency
+  std::uint64_t blocked_dead = 0;    // transmissions to/from dead nodes
+  std::uint64_t dead_on_arrival = 0; // copies whose target died in flight
+  std::uint64_t crashes = 0;         // crash events executed
+};
+
+class UnreliableChannel final : public Channel {
+ public:
+  // `plan` must outlive the channel.
+  UnreliableChannel(const FaultPlan& plan, std::uint64_t seed);
+
+  // Schedules the plan's crash events on `sim`, relative to sim.now().
+  // Call once per run before (or while) driving the simulator.
+  void arm(Simulator& sim);
+
+  // Immediately crash-stops `node` (marks it dead, notifies subscribers).
+  // Lets tests and benches place a crash between two operations without
+  // pre-computing simulator times.
+  void crash_now(NodeId node);
+
+  void transmit(Simulator& sim, NodeId from, NodeId to, Weight distance,
+                std::function<void()> deliver) override;
+  bool is_dead(NodeId node) const override;
+  void subscribe_crashes(std::function<void(NodeId)> on_crash) override;
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  const FaultPlan* plan_;
+  Rng rng_;
+  std::vector<NodeId> dead_;  // small: linear scan beats hashing here
+  std::vector<std::function<void(NodeId)>> on_crash_;
+  ChannelStats stats_;
+};
+
+}  // namespace mot::faults

@@ -46,6 +46,30 @@ LoadSummary summarize_load(const std::vector<std::size_t>& load_per_node,
   return summary;
 }
 
+ReliabilitySummary summarize_reliability(const ReliabilityInputs& in) {
+  ReliabilitySummary summary;
+  if (in.data_sent > 0) {
+    summary.retransmission_rate =
+        static_cast<double>(in.retransmissions) /
+        static_cast<double>(in.data_sent);
+  }
+  const std::uint64_t received = in.acks_sent;  // one ack per reception
+  if (received > 0) {
+    summary.duplicate_rate =
+        static_cast<double>(in.duplicates_suppressed) /
+        static_cast<double>(received);
+  }
+  if (in.ack_rtt_count > 0) {
+    summary.mean_ack_rtt =
+        in.ack_rtt_sum / static_cast<double>(in.ack_rtt_count);
+  }
+  if (in.useful_distance > 0.0) {
+    summary.transport_overhead = in.transport_distance / in.useful_distance;
+    summary.recovery_overhead = in.recovery_distance / in.useful_distance;
+  }
+  return summary;
+}
+
 std::string load_histogram(const std::vector<std::size_t>& load_per_node) {
   Histogram histogram;
   for (const std::size_t load : load_per_node) histogram.add(load);

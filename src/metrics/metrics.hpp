@@ -63,4 +63,33 @@ LoadSummary summarize_load(const std::vector<std::size_t>& load_per_node,
 // Full histogram string (bin = load value, count = number of nodes).
 std::string load_histogram(const std::vector<std::size_t>& load_per_node);
 
+// Reliable-transport accounting (src/faults + the proto link layer).
+// Takes plain counters rather than a ProtocolStats so metrics stays
+// independent of the protocol layer.
+struct ReliabilityInputs {
+  std::uint64_t data_sent = 0;              // logical inter-node frames
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  double ack_rtt_sum = 0.0;
+  std::uint64_t ack_rtt_count = 0;
+  Weight useful_distance = 0.0;    // distance charged to operations
+  Weight transport_distance = 0.0;  // retransmit + ack distance
+  Weight recovery_distance = 0.0;   // crash-repair distance
+};
+
+struct ReliabilitySummary {
+  // Fraction of DATA frames that needed at least the first resend:
+  // retransmissions / data_sent (> 1.0 possible under heavy loss).
+  double retransmission_rate = 0.0;
+  // Fraction of received frames discarded by dedup.
+  double duplicate_rate = 0.0;
+  double mean_ack_rtt = 0.0;
+  // Distance overhead of reliability relative to useful protocol work.
+  double transport_overhead = 0.0;
+  double recovery_overhead = 0.0;
+};
+
+ReliabilitySummary summarize_reliability(const ReliabilityInputs& in);
+
 }  // namespace mot

@@ -9,6 +9,11 @@ namespace mot::proto {
 namespace {
 
 constexpr int kMaxQueryRestarts = 1000;
+// Retransmission gives up only when something is structurally wrong: with
+// any loss rate < 1 the expected attempt count is small, so hitting the
+// cap means a message is being sent to a node that can never ack (a
+// protocol bug — crashes cancel their transfers during recovery).
+constexpr int kMaxTransferAttempts = 100;
 
 }  // namespace
 
@@ -43,8 +48,31 @@ DistributedMot::DistributedMot(const PathProvider& provider, Simulator& sim,
   MOT_EXPECTS(!options.shortcut_descent);
 }
 
+void DistributedMot::use_channel(Channel* channel) {
+  MOT_EXPECTS(channel != nullptr);
+  MOT_EXPECTS(inflight_ == 0);  // attach before injecting traffic
+  channel_ = channel;
+  channel->subscribe_crashes(
+      [this](NodeId node) { recover_from_crash(node); });
+}
+
 Weight DistributedMot::distance(NodeId a, NodeId b) const {
   return a == b ? 0.0 : provider_->oracle().distance(a, b);
+}
+
+bool DistributedMot::is_node_dead(NodeId node) const {
+  return channel_ != nullptr && channel_->is_dead(node);
+}
+
+std::size_t DistributedMot::next_alive_index(
+    std::span<const PathStop> sequence, std::size_t index) const {
+  // Crashed sensors are skipped on climbs: departures are announced
+  // (Section 7), so a live node never forwards into a dead role.
+  while (index < sequence.size() &&
+         is_node_dead(sequence[index].node.node)) {
+    ++index;
+  }
+  return index;
 }
 
 DistributedMot::SensorState& DistributedMot::local(NodeId node) {
@@ -76,7 +104,122 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
   if (record_) {
     deliveries_.push_back({message, from, to, sim_->now(), hop});
   }
-  sim_->schedule(hop, [this, message] { handle(message); });
+  if (channel_ == nullptr) {
+    sim_->schedule(hop, [this, message] { handle(message); });
+    return;
+  }
+  if (from == to) {
+    // Local handoff: no link crossed, so no frame — but the node may
+    // crash before the zero-distance delivery fires.
+    sim_->schedule(hop, [this, message] {
+      if (is_node_dead(message.role.node)) return;
+      handle(message);
+    });
+    return;
+  }
+  // Reliable link layer: the message becomes a sequence-numbered DATA
+  // frame, retransmitted until acknowledged.
+  const std::uint64_t seq = next_seq_++;
+  PendingTransfer transfer;
+  transfer.message = message;
+  transfer.from = from;
+  transfer.to = to;
+  transfer.dist = hop;
+  transfer.rto = 2.0 * hop + 1.0;  // round trip + processing slack
+  transfer.first_send = sim_->now();
+  pending_.emplace(seq, std::move(transfer));
+  ++stats_.data_sent;
+  transmit_data(seq);
+}
+
+void DistributedMot::transmit_data(std::uint64_t seq) {
+  const PendingTransfer& transfer = pending_.at(seq);
+  const Message message = transfer.message;
+  const NodeId from = transfer.from;
+  const NodeId to = transfer.to;
+  const Weight dist = transfer.dist;
+  channel_->transmit(*sim_, from, to, dist,
+                     [this, seq, message, from, to, dist] {
+                       deliver_data(seq, message, from, to, dist);
+                     });
+  sim_->schedule(transfer.rto,
+                 [this, seq] { on_transfer_timeout(seq); });
+}
+
+void DistributedMot::deliver_data(std::uint64_t seq, const Message& message,
+                                  NodeId from, NodeId to, Weight dist) {
+  if (poisoned_.count(seq) != 0) return;  // cancelled by crash recovery
+  // Acknowledge every copy: a duplicate DATA regenerates the ack in case
+  // the previous one was lost. The ack link is just as unreliable.
+  ++stats_.acks_sent;
+  stats_.transport_distance += dist;
+  meter_.charge(dist);
+  channel_->transmit(*sim_, to, from, dist,
+                     [this, seq] { on_ack(seq); });
+  if (!delivered_.insert(seq).second) {
+    // Duplicate suppression: handlers are effectively-once.
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  handle(message);
+}
+
+void DistributedMot::on_ack(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // duplicate ack
+  stats_.ack_rtt_sum += sim_->now() - it->second.first_send;
+  ++stats_.ack_rtt_count;
+  pending_.erase(it);
+}
+
+void DistributedMot::on_transfer_timeout(std::uint64_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // acked (or recovered) in time
+  PendingTransfer& transfer = it->second;
+  ++transfer.attempts;
+  MOT_CHECK(transfer.attempts < kMaxTransferAttempts);
+  // Capped exponential backoff keeps retransmissions of a persistently
+  // unlucky frame from flooding the link.
+  transfer.rto = std::min(transfer.rto * 2.0,
+                          128.0 * (transfer.dist + 1.0));
+  ++stats_.retransmissions;
+  stats_.transport_distance += transfer.dist;
+  meter_.charge(transfer.dist);
+  transmit_data(seq);
+}
+
+void DistributedMot::poison_transfer(std::uint64_t seq) {
+  poisoned_.insert(seq);
+  pending_.erase(seq);
+}
+
+void DistributedMot::poison_query_transfers(std::uint64_t query_id) {
+  std::vector<std::uint64_t> seqs;
+  for (const auto& [seq, transfer] : pending_) {
+    const MsgType type = transfer.message.type;
+    if ((type == MsgType::kQueryUp || type == MsgType::kQueryDown ||
+         type == MsgType::kQueryReply) &&
+        transfer.message.query_id == query_id) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  for (const std::uint64_t seq : seqs) poison_transfer(seq);
+}
+
+void DistributedMot::poison_object_transfers(ObjectId object) {
+  std::vector<std::uint64_t> seqs;
+  for (const auto& [seq, transfer] : pending_) {
+    const MsgType type = transfer.message.type;
+    if ((type == MsgType::kPublish || type == MsgType::kInsert ||
+         type == MsgType::kDelete || type == MsgType::kSdlAdd ||
+         type == MsgType::kSdlRemove) &&
+        transfer.message.object == object) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  for (const std::uint64_t seq : seqs) poison_transfer(seq);
 }
 
 void DistributedMot::handle(const Message& message) {
@@ -129,6 +272,7 @@ void DistributedMot::install_entry(const Message& message, NodeId self,
                                    std::optional<OverlayNode> sp,
                                    Weight* op_cost) {
   if (!options_.use_special_lists) sp.reset();
+  if (sp && is_node_dead(sp->node)) sp.reset();  // no SDL on the departed
   RoleState& role = local(self).roles[message.role.level];
   MOT_CHECK(role.dl.count(message.object) == 0);
   role.dl.emplace(message.object, Entry{message.link, sp});
@@ -148,11 +292,12 @@ void DistributedMot::install_entry(const Message& message, NodeId self,
 
 void DistributedMot::publish(ObjectId object, NodeId proxy) {
   MOT_EXPECTS(proxy < provider_->num_nodes());
+  MOT_EXPECTS(!is_node_dead(proxy));
   MOT_EXPECTS(proxies_.count(object) == 0);
   proxies_[object] = proxy;
   physical_[object] = proxy;
   ++inflight_;
-  ++pending_publishes_;
+  publishing_.insert(object);
 
   const auto sequence = provider_->upward_sequence(proxy);
   Message message;
@@ -172,15 +317,17 @@ void DistributedMot::on_publish(const Message& message) {
                                           message.walk_index),
                 nullptr);
   const auto sequence = provider_->upward_sequence(message.walk_source);
-  if (message.walk_index + 1 >= sequence.size()) {
+  const std::size_t next_index =
+      next_alive_index(sequence, message.walk_index + 1);
+  if (next_index >= sequence.size()) {
     ++stats_.publishes_completed;
-    --pending_publishes_;
+    publishing_.erase(message.object);
     --inflight_;
     return;
   }
   Message next = message;
-  next.walk_index = message.walk_index + 1;
-  next.role = sequence[next.walk_index].node;
+  next.walk_index = static_cast<std::uint32_t>(next_index);
+  next.role = sequence[next_index].node;
   next.link = message.role;  // we become the child of the next stop
   Weight publish_cost = 0.0;  // publish cost goes to the meter only
   send(self, next, &publish_cost);
@@ -193,6 +340,7 @@ void DistributedMot::on_publish(const Message& message) {
 void DistributedMot::move(ObjectId object, NodeId new_proxy,
                           MoveCallback done) {
   MOT_EXPECTS(new_proxy < provider_->num_nodes());
+  MOT_EXPECTS(!is_node_dead(new_proxy));
   MOT_EXPECTS(proxies_.count(object) != 0);
   // One-by-one execution: at most one maintenance operation per object.
   MOT_EXPECTS(moves_.count(object) == 0);
@@ -257,11 +405,13 @@ void DistributedMot::on_insert(const Message& message) {
                                           message.walk_index),
                 &ctx.cost);
   const auto sequence = provider_->upward_sequence(message.walk_source);
+  const std::size_t next_index =
+      next_alive_index(sequence, message.walk_index + 1);
   // The root always holds every published object, so the climb meets.
-  MOT_CHECK(message.walk_index + 1 < sequence.size());
+  MOT_CHECK(next_index < sequence.size());
   Message next = message;
-  next.walk_index = message.walk_index + 1;
-  next.role = sequence[next.walk_index].node;
+  next.walk_index = static_cast<std::uint32_t>(next_index);
+  next.role = sequence[next_index].node;
   next.link = message.role;
   send(self, next, &ctx.cost);
 }
@@ -323,6 +473,7 @@ void DistributedMot::finish_move(ObjectId object) {
 void DistributedMot::query(NodeId from, ObjectId object,
                            QueryCallback done) {
   MOT_EXPECTS(from < provider_->num_nodes());
+  MOT_EXPECTS(!is_node_dead(from));
   MOT_EXPECTS(proxies_.count(object) != 0);
   const std::uint64_t id = next_query_id_++;
   QueryCtx ctx;
@@ -378,10 +529,12 @@ void DistributedMot::on_query_up(const Message& message) {
     }
   }
   const auto sequence = provider_->upward_sequence(message.walk_source);
-  MOT_CHECK(message.walk_index + 1 < sequence.size());
+  const std::size_t next_index =
+      next_alive_index(sequence, message.walk_index + 1);
+  MOT_CHECK(next_index < sequence.size());
   Message next = message;
-  next.walk_index = message.walk_index + 1;
-  next.role = sequence[next.walk_index].node;
+  next.walk_index = static_cast<std::uint32_t>(next_index);
+  next.role = sequence[next_index].node;
   send(self, next, &ctx.cost);
 }
 
@@ -494,20 +647,279 @@ void DistributedMot::on_query_reply(const Message& message) {
 
 void DistributedMot::on_sdl_add(const Message& message) {
   RoleState& role = local(message.role.node).roles[message.role.level];
+  // A reordered SdlRemove may have arrived first; annihilate against its
+  // tombstone instead of registering a record that would instantly dangle.
+  const auto tomb_it = role.sdl_tombstones.find(message.object);
+  if (tomb_it != role.sdl_tombstones.end()) {
+    const auto pos = std::find(tomb_it->second.begin(),
+                               tomb_it->second.end(), message.link);
+    if (pos != tomb_it->second.end()) {
+      tomb_it->second.erase(pos);
+      if (tomb_it->second.empty()) role.sdl_tombstones.erase(tomb_it);
+      return;
+    }
+  }
   role.sdl[message.object].push_back(message.link);
 }
 
 void DistributedMot::on_sdl_remove(const Message& message) {
-  SensorState& sensor = local(message.role.node);
-  const auto role_it = sensor.roles.find(message.role.level);
-  MOT_CHECK(role_it != sensor.roles.end());
-  const auto sdl_it = role_it->second.sdl.find(message.object);
-  MOT_CHECK(sdl_it != role_it->second.sdl.end());
-  const auto pos = std::find(sdl_it->second.begin(), sdl_it->second.end(),
-                             message.link);
-  MOT_CHECK(pos != sdl_it->second.end());
-  sdl_it->second.erase(pos);
-  if (sdl_it->second.empty()) role_it->second.sdl.erase(sdl_it);
+  RoleState& role = local(message.role.node).roles[message.role.level];
+  const auto sdl_it = role.sdl.find(message.object);
+  if (sdl_it != role.sdl.end()) {
+    const auto pos = std::find(sdl_it->second.begin(),
+                               sdl_it->second.end(), message.link);
+    if (pos != sdl_it->second.end()) {
+      sdl_it->second.erase(pos);
+      if (sdl_it->second.empty()) role.sdl.erase(sdl_it);
+      return;
+    }
+  }
+  // Out-of-order arrival: the matching SdlAdd is still in flight. Only
+  // possible on a reordering channel; in-order delivery always finds the
+  // record (the previous MOT_CHECK lives on through this assert).
+  MOT_CHECK(channel_ != nullptr);
+  role.sdl_tombstones[message.object].push_back(message.link);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery (Section 7, crash-stop failures)
+// ---------------------------------------------------------------------------
+
+void DistributedMot::recover_from_crash(NodeId victim) {
+  // Recovery is the control plane: it runs between message handlers (a
+  // crash is a simulator event of its own), touches state directly like
+  // ChainTracker::evacuate_node does, and charges every repair hop to the
+  // meter as recovery traffic.
+  MOT_CHECK(active_node_ == kInvalidNode);
+  MOT_CHECK(victim < sensors_.size());
+  MOT_CHECK(provider_->root_stop().node != victim);  // re-rooting = rebuild
+  for (const auto& [object, at] : physical_) {
+    (void)object;
+    MOT_CHECK(at != victim);  // objects sit on live sensors
+  }
+  ++stats_.crash_recoveries;
+
+  // 1. Freeze traffic that involved the dead node and classify what the
+  //    lost frames were doing.
+  std::vector<std::uint64_t> stalled;
+  for (const auto& [seq, transfer] : pending_) {
+    if (transfer.from == victim || transfer.to == victim) {
+      stalled.push_back(seq);
+    }
+  }
+  std::sort(stalled.begin(), stalled.end());
+  std::vector<ObjectId> damaged;
+  std::vector<std::uint64_t> queries_to_restart;
+  for (const std::uint64_t seq : stalled) {
+    const Message& lost = pending_.at(seq).message;
+    switch (lost.type) {
+      case MsgType::kPublish:
+      case MsgType::kInsert:
+      case MsgType::kDelete:
+        damaged.push_back(lost.object);
+        break;
+      case MsgType::kSdlAdd:
+      case MsgType::kSdlRemove:
+        break;  // cross-references are restored by the sweep below
+      case MsgType::kQueryUp:
+      case MsgType::kQueryDown:
+      case MsgType::kQueryReply:
+        queries_to_restart.push_back(lost.query_id);
+        break;
+    }
+    poison_transfer(seq);
+  }
+  // Only objects whose maintenance walker is still in flight need a
+  // rebuild; a lingering unacked frame of a completed operation is noise.
+  std::sort(damaged.begin(), damaged.end());
+  damaged.erase(std::unique(damaged.begin(), damaged.end()), damaged.end());
+  std::erase_if(damaged, [this](ObjectId object) {
+    return moves_.count(object) == 0 && publishing_.count(object) == 0;
+  });
+
+  // 2. Queries issued from the dead node die with their requester.
+  std::vector<std::uint64_t> orphaned;
+  for (const auto& [id, ctx] : queries_) {
+    if (ctx.origin == victim) orphaned.push_back(id);
+  }
+  std::sort(orphaned.begin(), orphaned.end());
+  for (const std::uint64_t id : orphaned) {
+    poison_query_transfers(id);
+    erase_parked_records(id);
+    queries_.erase(id);
+    --inflight_;
+    ++stats_.queries_aborted;
+  }
+
+  // 3. Rebuild objects whose maintenance died mid-flight.
+  for (const ObjectId object : damaged) {
+    poison_object_transfers(object);
+    rebuild_object(object, &queries_to_restart);
+    if (moves_.count(object) != 0) {
+      finish_move(object);
+    } else {
+      MOT_CHECK(publishing_.erase(object) == 1);
+      --inflight_;
+      ++stats_.publishes_completed;
+    }
+  }
+
+  // 4. Splice the victim's surviving chain entries out of their chains.
+  splice_around(victim);
+
+  // 5. Sweep dangling references and collect queries parked at the dead
+  //    sensor, then erase its state entirely.
+  for (const auto& [object, parked] : sensors_[victim].parked) {
+    (void)object;
+    for (const ParkedQuery& waiting : parked) {
+      queries_to_restart.push_back(waiting.query_id);
+    }
+  }
+  sensors_[victim] = SensorState{};
+  for (NodeId v = 0; v < sensors_.size(); ++v) {
+    for (auto& [level, role] : sensors_[v].roles) {
+      (void)level;
+      for (auto& [object, entry] : role.dl) {
+        (void)object;
+        if (entry.sp && entry.sp->node == victim) entry.sp.reset();
+      }
+      for (auto* lists : {&role.sdl, &role.sdl_tombstones}) {
+        for (auto it = lists->begin(); it != lists->end();) {
+          std::erase_if(it->second, [victim](const OverlayNode& child) {
+            return child.node == victim;
+          });
+          it = it->second.empty() ? lists->erase(it) : std::next(it);
+        }
+      }
+    }
+  }
+
+  // 6. Restart queries that lost their walker (or their parking spot).
+  std::sort(queries_to_restart.begin(), queries_to_restart.end());
+  queries_to_restart.erase(
+      std::unique(queries_to_restart.begin(), queries_to_restart.end()),
+      queries_to_restart.end());
+  for (const std::uint64_t id : queries_to_restart) {
+    const auto it = queries_.find(id);
+    if (it == queries_.end()) continue;  // completed or aborted meanwhile
+    poison_query_transfers(id);
+    erase_parked_records(id);
+    ++stats_.queries_rescued;
+    restart_query(id, it->second.origin);
+  }
+}
+
+void DistributedMot::splice_around(NodeId victim) {
+  // Collect the objects chained through the victim, in sorted order so
+  // recovery replays deterministically.
+  std::vector<ObjectId> objects = objects_through(victim);
+  for (const ObjectId object : objects) {
+    // The victim may appear at several (even consecutive) levels of one
+    // chain; resolve each entry's child transitively to the first stop
+    // hosted by a live sensor.
+    const auto resolve = [&](OverlayNode at) {
+      std::size_t hops = 0;
+      while (at.node == victim) {
+        const Entry& entry =
+            sensors_[victim].roles.at(at.level).dl.at(object);
+        MOT_CHECK(!(entry.child == at));  // the victim proxies nothing
+        at = entry.child;
+        MOT_CHECK(++hops <= sensors_.size());
+      }
+      return at;
+    };
+    std::size_t spliced = 0;
+    for (NodeId v = 0; v < sensors_.size(); ++v) {
+      if (v == victim) continue;
+      for (auto& [level, role] : sensors_[v].roles) {
+        (void)level;
+        const auto dl_it = role.dl.find(object);
+        if (dl_it == role.dl.end() || dl_it->second.child.node != victim) {
+          continue;
+        }
+        const OverlayNode target = resolve(dl_it->second.child);
+        dl_it->second.child = target;
+        // The repair message: parent tells the bypassed child directly.
+        const Weight hop = distance(v, target.node);
+        stats_.recovery_distance += hop;
+        meter_.charge(hop);
+        ++spliced;
+      }
+    }
+    // Every maximal run of victim-hosted entries hangs below one live
+    // parent (the root is always live), so each was reachable above.
+    MOT_CHECK(spliced >= 1);
+    for (const auto& [level, role] : sensors_[victim].roles) {
+      (void)level;
+      stats_.chain_splices += role.dl.count(object);
+    }
+  }
+}
+
+void DistributedMot::rebuild_object(
+    ObjectId object, std::vector<std::uint64_t>* queries_to_restart) {
+  // Tear every trace of the object: its chain may be mid-splice with
+  // fragments on both the old and new paths, so surgical repair is not
+  // worth the case analysis — re-publishing costs O(D) like any publish.
+  for (NodeId v = 0; v < sensors_.size(); ++v) {
+    for (auto& [level, role] : sensors_[v].roles) {
+      (void)level;
+      role.dl.erase(object);
+      role.sdl.erase(object);
+      role.sdl_tombstones.erase(object);
+    }
+    const auto parked_it = sensors_[v].parked.find(object);
+    if (parked_it != sensors_[v].parked.end()) {
+      for (const ParkedQuery& waiting : parked_it->second) {
+        queries_to_restart->push_back(waiting.query_id);
+      }
+      sensors_[v].parked.erase(parked_it);
+    }
+  }
+
+  // Reinstall the chain along the physical position's upward sequence
+  // (dead stops skipped), charging the climb as recovery traffic.
+  const NodeId at = physical_.at(object);
+  MOT_CHECK(!is_node_dead(at));
+  const auto sequence = provider_->upward_sequence(at);
+  OverlayNode child = sequence.front().node;  // sentinel: child == self
+  std::size_t index = 0;
+  while (index < sequence.size()) {
+    const OverlayNode stop = sequence[index].node;
+    const Weight hop = distance(child.node, stop.node);
+    stats_.recovery_distance += hop;
+    meter_.charge(hop);
+    RoleState& role = sensors_[stop.node].roles[stop.level];
+    std::optional<OverlayNode> sp;
+    if (options_.use_special_lists) {
+      sp = provider_->special_parent(at, index);
+      if (sp && is_node_dead(sp->node)) sp.reset();
+    }
+    MOT_CHECK(role.dl.count(object) == 0);
+    role.dl.emplace(object, Entry{child, sp});
+    if (sp) {
+      sensors_[sp->node].roles[sp->level].sdl[object].push_back(stop);
+      const Weight sp_hop = distance(stop.node, sp->node);
+      stats_.recovery_distance += sp_hop;
+      meter_.charge(sp_hop);
+    }
+    child = stop;
+    index = next_alive_index(sequence, index + 1);
+  }
+  proxies_[object] = at;
+  ++stats_.objects_rebuilt;
+}
+
+void DistributedMot::erase_parked_records(std::uint64_t query_id) {
+  for (NodeId v = 0; v < sensors_.size(); ++v) {
+    auto& parked = sensors_[v].parked;
+    for (auto it = parked.begin(); it != parked.end();) {
+      std::erase_if(it->second, [query_id](const ParkedQuery& waiting) {
+        return waiting.query_id == query_id;
+      });
+      it = it->second.empty() ? parked.erase(it) : std::next(it);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -537,8 +949,30 @@ std::vector<std::size_t> DistributedMot::load_per_node() const {
   return load;
 }
 
+std::vector<ObjectId> DistributedMot::objects_through(NodeId node) const {
+  MOT_EXPECTS(node < sensors_.size());
+  std::vector<ObjectId> objects;
+  for (const auto& [level, role] : sensors_[node].roles) {
+    (void)level;
+    for (const auto& [object, entry] : role.dl) {
+      (void)entry;
+      objects.push_back(object);
+    }
+  }
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+  return objects;
+}
+
 void DistributedMot::validate_quiescent() const {
   MOT_CHECK(inflight_ == 0);
+  MOT_CHECK(pending_.empty());  // every frame acknowledged or recovered
+  for (const SensorState& sensor : sensors_) {
+    for (const auto& [level, role] : sensor.roles) {
+      (void)level;
+      MOT_CHECK(role.sdl_tombstones.empty());  // adds matched removes
+    }
+  }
   for (const auto& [object, proxy] : proxies_) {
     std::size_t total = 0;
     for (const SensorState& sensor : sensors_) {

@@ -19,16 +19,31 @@
 // Queries may overlap maintenance: a query that lands on a stale proxy
 // parks there and is redirected by the delete message that carries the
 // new location (Section 3).
+//
+// Fault tolerance (src/faults/): attaching a Channel via use_channel()
+// engages a reliable link layer — every inter-node message becomes a
+// sequence-numbered DATA frame that is retransmitted on a capped
+// exponential-backoff timer until an ACK returns, and the receiver
+// suppresses duplicate sequence numbers, so delivery over a dropping /
+// duplicating / reordering channel is at-least-once + dedup =
+// effectively-once. Crash-stop node failures (announced, Section 7)
+// trigger recovery: chains through the dead sensor are spliced, objects
+// with a maintenance walker lost in the crash are rebuilt from their
+// physical position, and stranded queries are restarted from their
+// origin. Without a channel the runtime behaves exactly as before —
+// bit-identical costs and placement versus the centralized engine.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/router.hpp"
 #include "proto/messages.hpp"
+#include "sim/channel.hpp"
 #include "sim/cost_meter.hpp"
 #include "sim/event_sim.hpp"
 #include "tracking/chain_tracker.hpp"
@@ -45,6 +60,29 @@ struct ProtocolStats {
   std::uint64_t queries_parked = 0;
   std::uint64_t queries_redirected = 0;
   std::uint64_t queries_restarted = 0;
+
+  // Reliable-transport counters: all zero unless a Channel is attached.
+  std::uint64_t data_sent = 0;               // logical inter-node frames
+  std::uint64_t retransmissions = 0;         // timeout-driven resends
+  std::uint64_t acks_sent = 0;               // receiver acknowledgements
+  std::uint64_t duplicates_suppressed = 0;   // dedup hits at the receiver
+  double ack_rtt_sum = 0.0;                  // send -> first-ack times
+  std::uint64_t ack_rtt_count = 0;
+  Weight transport_distance = 0.0;           // retransmit + ack distance
+
+  // Crash-recovery counters.
+  std::uint64_t crash_recoveries = 0;   // dead sensors recovered from
+  std::uint64_t chain_splices = 0;      // entries bypassed around the dead
+  std::uint64_t objects_rebuilt = 0;    // chains re-published after a loss
+  std::uint64_t queries_rescued = 0;    // restarted because of a crash
+  std::uint64_t queries_aborted = 0;    // their requester died
+  Weight recovery_distance = 0.0;       // repair/rebuild message distance
+
+  double mean_ack_rtt() const {
+    return ack_rtt_count == 0 ? 0.0 : ack_rtt_sum / ack_rtt_count;
+  }
+
+  bool operator==(const ProtocolStats&) const = default;
 };
 
 class DistributedMot {
@@ -85,15 +123,29 @@ class DistributedMot {
   // hop by hop along router-provided paths and the per-edge forwards are
   // counted in stats().physical_hops. With a shortest-path router the
   // total distance is unchanged (the cost model's assumption, asserted by
-  // tests). The router must outlive the runtime.
+  // tests). The router must outlive the runtime. Physical hops are
+  // counted once per logical message (retransmissions reuse the route).
   void use_router(const Router* router) { router_ = router; }
+
+  // Attach a delivery channel (typically faults::UnreliableChannel) and
+  // engage the reliable link layer plus crash recovery. Attach before
+  // injecting any traffic; the channel must outlive the runtime.
+  void use_channel(Channel* channel);
 
   // Optional wire trace for debugging / tests.
   void record_deliveries(bool on) { record_ = on; }
   const std::vector<Delivery>& deliveries() const { return deliveries_; }
 
-  // Quiescent check: per object, entries form one root -> proxy chain.
+  // Quiescent check: per object, entries form one root -> proxy chain,
+  // no unacknowledged transfers linger, and SDL bookkeeping is settled.
   void validate_quiescent() const;
+
+  // Objects whose detection chain currently stores an entry at any of
+  // `node`'s overlay roles (introspection for fault tests and benches).
+  std::vector<ObjectId> objects_through(NodeId node) const;
+
+  // Outstanding reliable-transport frames awaiting acknowledgement.
+  std::size_t pending_transfers() const { return pending_.size(); }
 
  private:
   struct Entry {
@@ -103,6 +155,9 @@ class DistributedMot {
   struct RoleState {
     std::unordered_map<ObjectId, Entry> dl;
     std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl;
+    // Reordering guard: an SdlRemove that overtakes its SdlAdd leaves a
+    // tombstone the late add annihilates against (empty at quiescence).
+    std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl_tombstones;
   };
   struct ParkedQuery {
     std::uint64_t query_id = 0;
@@ -127,6 +182,17 @@ class DistributedMot {
     int found_level = 0;
     int restarts = 0;
     QueryCallback done;
+  };
+
+  // One unacknowledged DATA frame of the reliable link layer.
+  struct PendingTransfer {
+    Message message;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    Weight dist = 0.0;
+    double rto = 0.0;  // current retransmission timeout
+    int attempts = 0;
+    SimTime first_send = 0.0;
   };
 
   // Locality-guarded access to a sensor's state: only legal for the node
@@ -157,6 +223,26 @@ class DistributedMot {
 
   Weight distance(NodeId a, NodeId b) const;
 
+  // --- Reliable link layer (engaged when channel_ != nullptr). ---------
+  bool is_node_dead(NodeId node) const;
+  std::size_t next_alive_index(std::span<const PathStop> sequence,
+                               std::size_t index) const;
+  void transmit_data(std::uint64_t seq);
+  void deliver_data(std::uint64_t seq, const Message& message, NodeId from,
+                    NodeId to, Weight dist);
+  void on_ack(std::uint64_t seq);
+  void on_transfer_timeout(std::uint64_t seq);
+  void poison_transfer(std::uint64_t seq);
+  void poison_query_transfers(std::uint64_t query_id);
+  void poison_object_transfers(ObjectId object);
+
+  // --- Crash recovery (Section 7, crash-stop). -------------------------
+  void recover_from_crash(NodeId victim);
+  void splice_around(NodeId victim);
+  void rebuild_object(ObjectId object,
+                      std::vector<std::uint64_t>* queries_to_restart);
+  void erase_parked_records(std::uint64_t query_id);
+
   const PathProvider* provider_;
   Simulator* sim_;
   ChainOptions options_;
@@ -169,12 +255,17 @@ class DistributedMot {
   std::unordered_map<ObjectId, NodeId> proxies_;   // committed (at splice)
   std::unordered_map<ObjectId, NodeId> physical_;  // actual (at issue)
   std::unordered_map<ObjectId, MoveCtx> moves_;  // at most one per object
+  std::unordered_set<ObjectId> publishing_;      // publishes in flight
   std::unordered_map<std::uint64_t, QueryCtx> queries_;
   std::uint64_t next_query_id_ = 1;
   std::size_t inflight_ = 0;
-  std::size_t pending_publishes_ = 0;
 
   const Router* router_ = nullptr;
+  Channel* channel_ = nullptr;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, PendingTransfer> pending_;
+  std::unordered_set<std::uint64_t> delivered_;  // receiver-side dedup
+  std::unordered_set<std::uint64_t> poisoned_;   // cancelled by recovery
   bool record_ = false;
   std::vector<Delivery> deliveries_;
 };

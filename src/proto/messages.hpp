@@ -7,6 +7,14 @@
 // Every message is addressed to a specific *role* of a sensor (its
 // level-l overlay identity); walker state that the centralized engines
 // keep in C++ objects travels inside the messages instead.
+//
+// Handlers may assume effectively-once delivery: when the runtime rides
+// an unreliable channel (src/faults/), its link layer wraps each message
+// in a sequence-numbered DATA frame, retransmits until acked, and
+// suppresses duplicates at the receiver, so the vocabulary here needs no
+// idempotence of its own. Ordering between independent messages is NOT
+// guaranteed under reordering faults — only SdlAdd/SdlRemove pairs need
+// (and get) special handling via tombstones.
 #pragma once
 
 #include <cstdint>

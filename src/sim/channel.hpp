@@ -1,0 +1,58 @@
+// Delivery abstraction between protocol runtimes and the simulator.
+//
+// The discrete-event simulator itself is perfectly reliable: schedule()
+// fires every action exactly once at the requested time. A Channel owns
+// the decision of what "transmitting a message over a link" means — the
+// default is exactly-once in-time delivery, while a fault-injecting
+// implementation (src/faults/) may drop, duplicate or delay the delivery
+// and may declare nodes crashed. Protocol code talks only to this
+// interface, so the reliable and lossy configurations share one runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "sim/event_sim.hpp"
+
+namespace mot {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Transmits one message from `from` to `to` over a link of length
+  // `distance`. `deliver` runs zero or more times (drop / duplication),
+  // each at a time >= now() + distance (extra delay reorders traffic).
+  virtual void transmit(Simulator& sim, NodeId from, NodeId to,
+                        Weight distance, std::function<void()> deliver) = 0;
+
+  // Crash-stop failure oracle (Section 7: departures are announced, so
+  // live nodes may consult liveness when choosing a next hop). The
+  // reliable default has no failures.
+  virtual bool is_dead(NodeId node) const {
+    (void)node;
+    return false;
+  }
+
+  // Registers a callback invoked when a node crash-stops, after the node
+  // is marked dead. Runtimes hook their recovery procedure here. The
+  // reliable default never crashes anyone, so the subscription is a no-op.
+  virtual void subscribe_crashes(std::function<void(NodeId)> on_crash) {
+    (void)on_crash;
+  }
+};
+
+// The reliable channel: exactly-once delivery after exactly `distance`
+// time units — identical to scheduling directly on the simulator.
+class ReliableChannel final : public Channel {
+ public:
+  void transmit(Simulator& sim, NodeId from, NodeId to, Weight distance,
+                std::function<void()> deliver) override {
+    (void)from;
+    (void)to;
+    sim.schedule(distance, std::move(deliver));
+  }
+};
+
+}  // namespace mot

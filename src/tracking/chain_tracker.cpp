@@ -347,6 +347,58 @@ std::size_t ChainTracker::evacuate_node(NodeId node) {
   return evacuated;
 }
 
+std::size_t ChainTracker::crash_node(NodeId node) {
+  MOT_EXPECTS(node < provider_->num_nodes());
+  MOT_EXPECTS(provider_->root_stop().node != node);
+  for (const auto& [object, proxy] : proxies_) {
+    (void)object;
+    MOT_EXPECTS(proxy != node);  // objects sit on surviving sensors
+  }
+
+  std::vector<OverlayNode> roles;
+  for (const auto& [owner, state] : state_) {
+    (void)state;
+    if (owner.node == node) roles.push_back(owner);
+  }
+
+  std::size_t repaired = 0;
+  for (const OverlayNode& role : roles) {
+    NodeState& state = state_.at(role);
+    for (const auto& [object, entry] : state.dl) {
+      bool found_parent = false;
+      for (auto& [owner, other] : state_) {
+        if (owner == role) continue;
+        const auto it = other.dl.find(object);
+        if (it != other.dl.end() && it->second.child == role) {
+          found_parent = true;
+          it->second.child = entry.child;
+          // The surviving parent pays the repair hop to the bypassed
+          // child; the dead node itself sends nothing.
+          charge_hop(owner.node, entry.child.node);
+          break;
+        }
+      }
+      MOT_CHECK(found_parent);  // a non-root chain entry has a parent
+      // The special parent clears the dead child's record locally when
+      // the failure is announced — no message from the dead node.
+      if (entry.sp) remove_sdl_record(*entry.sp, object, role);
+      ++repaired;
+    }
+    for (const auto& [object, children] : state.sdl) {
+      for (const OverlayNode& child : children) {
+        auto child_state = state_.find(child);
+        MOT_CHECK(child_state != state_.end());
+        auto dl_it = child_state->second.dl.find(object);
+        MOT_CHECK(dl_it != child_state->second.dl.end());
+        MOT_CHECK(dl_it->second.sp.has_value() && *dl_it->second.sp == role);
+        dl_it->second.sp.reset();
+      }
+    }
+    state_.erase(role);
+  }
+  return repaired;
+}
+
 void ChainTracker::validate(ObjectId object) const {
   MOT_EXPECTS(is_published(object));
   // 1. Chain: root -> proxy via child pointers, every hop present.

@@ -74,6 +74,14 @@ class ChainTracker final : public Tracker {
   // evacuated; repair messages are charged to the meter.
   std::size_t evacuate_node(NodeId node);
 
+  // Crash-stop variant of evacuate_node: the sensor dies without sending
+  // anything, so survivors do all the repair. Chain parents splice around
+  // the dead roles (paying the repair hop); dangling SDL cross-references
+  // are cleared locally by their owners once the failure is announced, at
+  // no message cost from the dead node. Same preconditions as
+  // evacuate_node. Returns the number of chain entries repaired.
+  std::size_t crash_node(NodeId node);
+
   // Structural self-check of the per-object chain invariant and the
   // DL <-> SDL cross-references. Aborts (contract failure) on violation.
   void validate(ObjectId object) const;

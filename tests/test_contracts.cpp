@@ -14,7 +14,7 @@ namespace {
 
 struct ContractsDeathTest : public ::testing::Test {
   ContractsDeathTest() {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   }
 };
 
@@ -38,7 +38,7 @@ TEST_F(ContractsDeathTest, PassingChecksAreSilent) {
 
 struct TrackerGuards : public ::testing::Test {
   TrackerGuards() : graph(make_grid(4, 4)) {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
     oracle = make_distance_oracle(graph);
     DoublingHierarchy::Params params;
     params.seed = 1;

@@ -117,6 +117,28 @@ TEST(DynamicClusterSet, ClusterMembershipTracksChurn) {
   EXPECT_TRUE(clusters.cluster_contains({level, center}, member));
 }
 
+TEST(DynamicClusterSet, CrashNotifiesSurvivorsThenRelabelsLikeALeave) {
+  const Fixture fx;
+  DynamicClusterSet control(*fx.hierarchy, {});
+  DynamicClusterSet clusters(*fx.hierarchy, {});
+  const int level = 1;
+  const NodeId center = fx.hierarchy->members(level)[0];
+  const auto members = fx.hierarchy->cluster(level, center);
+  ASSERT_GT(members.size(), 1u);
+  const NodeId victim = members[0] == center ? members[1] : members[0];
+
+  const AdaptabilityReport expected = control.node_leaves(victim);
+  const AdaptabilityReport report = clusters.node_crashes(victim);
+  // Structurally identical to an announced departure...
+  EXPECT_EQ(report.clusters_affected, expected.clusters_affected);
+  EXPECT_EQ(report.nodes_updated, expected.nodes_updated);
+  EXPECT_FALSE(clusters.cluster_contains({level, center}, victim));
+  // ...plus at least one survivor notified per affected cluster.
+  EXPECT_GE(report.failure_notifications, report.clusters_affected);
+  EXPECT_EQ(expected.failure_notifications, 0u);
+  EXPECT_EQ(clusters.crash_events(), 1u);
+}
+
 TEST(DynamicClusterSet, RepeatLeaveIsIdempotent) {
   const Fixture fx;
   DynamicClusterSet clusters(*fx.hierarchy, {});

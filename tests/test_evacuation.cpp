@@ -140,10 +140,67 @@ TEST(Evacuation, ChargesRepairMessages) {
   EXPECT_GT(tracker.meter().total_distance(), before);
 }
 
+TEST(Crash, RepairsLikeEvacuationButSurvivorsPay) {
+  // crash_node leaves the same structure as evacuate_node — only the
+  // charging differs (the dead node sends nothing, so its SDL
+  // deregistration hops are free while parents still pay splices).
+  const Fixture fx;
+  MotOptions options = fx.options();
+  options.use_special_parents = true;
+  options.special_parent_offset = 1;
+  MotTracker evacuated(*fx.hierarchy, options);
+  MotTracker crashed(*fx.hierarchy, options);
+  for (MotTracker* tracker : {&evacuated, &crashed}) {
+    tracker->publish(0, 9);
+    tracker->move(0, 10);
+    tracker->move(0, 2);
+  }
+  const NodeId victim = fx.pick_internal_victim(crashed);
+  ASSERT_NE(victim, kInvalidNode);
+
+  const Weight evac_before = evacuated.meter().total_distance();
+  const std::size_t graceful = evacuated.chain().evacuate_node(victim);
+  const Weight evac_cost =
+      evacuated.meter().total_distance() - evac_before;
+  const Weight crash_before = crashed.meter().total_distance();
+  const std::size_t repaired = crashed.chain().crash_node(victim);
+  const Weight crash_cost = crashed.meter().total_distance() - crash_before;
+
+  EXPECT_EQ(repaired, graceful);
+  EXPECT_LE(crash_cost, evac_cost);
+  crashed.chain().validate(0);
+  EXPECT_EQ(crashed.chain().load_per_node(), evacuated.chain().load_per_node());
+  for (const NodeId from : {0u, 63u, 32u}) {
+    EXPECT_EQ(crashed.query(from, 0).proxy, 2u);
+  }
+}
+
+TEST(Crash, SurvivorsKeepMovingAfterCrash) {
+  const Fixture fx;
+  MotTracker tracker(*fx.hierarchy, fx.options());
+  for (ObjectId o = 0; o < 8; ++o) {
+    tracker.publish(o, static_cast<NodeId>(o * 7 + 1));
+  }
+  const NodeId victim = fx.pick_internal_victim(tracker);
+  ASSERT_NE(victim, kInvalidNode);
+  EXPECT_GE(tracker.chain().crash_node(victim), 1u);
+  tracker.chain().validate_all();
+
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const ObjectId o = rng.below(8);
+    tracker.move(o, static_cast<NodeId>(rng.below(64)));
+    tracker.chain().validate(o);
+  }
+  for (ObjectId o = 0; o < 8; ++o) {
+    EXPECT_EQ(tracker.query(40, o).proxy, tracker.proxy_of(o));
+  }
+}
+
 using EvacuationDeathTest = ::testing::Test;
 
 TEST(EvacuationDeathTest, RefusesProxyNode) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   const Fixture fx;
   MotTracker tracker(*fx.hierarchy, fx.options());
   tracker.publish(0, 9);
@@ -151,7 +208,7 @@ TEST(EvacuationDeathTest, RefusesProxyNode) {
 }
 
 TEST(EvacuationDeathTest, RefusesRootSensor) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   const Fixture fx;
   MotTracker tracker(*fx.hierarchy, fx.options());
   tracker.publish(0, 9);

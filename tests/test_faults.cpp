@@ -1,0 +1,407 @@
+// The fault-injection subsystem and the protocol's answer to it: the
+// reliable link layer must make a dropping / duplicating / reordering
+// channel look like a lossless one (same op costs, same placement), the
+// whole stack must replay bit-identically from a (plan, seed) pair, and
+// crash-stop failures must leave a structure that still answers every
+// query correctly.
+#include "faults/fault_plan.hpp"
+#include "faults/unreliable_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/mot.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "proto/distributed_mot.hpp"
+#include "tracking/chain_tracker.hpp"
+
+namespace mot {
+namespace {
+
+using faults::ChannelStats;
+using faults::FaultPlan;
+using faults::LinkFaults;
+using faults::UnreliableChannel;
+using proto::DistributedMot;
+using proto::ProtocolStats;
+
+LinkFaults lossy(double drop, double duplicate, double delay = 0.0,
+                 double max_extra_delay = 0.0) {
+  LinkFaults faults;
+  faults.drop = drop;
+  faults.duplicate = duplicate;
+  faults.delay = delay;
+  faults.max_extra_delay = max_extra_delay;
+  return faults;
+}
+
+struct Fixture {
+  explicit Fixture(std::size_t side = 8)
+      : graph(make_grid(side, side)), oracle(make_distance_oracle(graph)) {
+    DoublingHierarchy::Params hp;
+    hp.seed = 7;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, hp);
+    MotOptions options;
+    options.use_parent_sets = false;
+    provider = std::make_unique<MotPathProvider>(*hierarchy, options);
+    chain_options = make_mot_chain_options(options);
+  }
+
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+  std::unique_ptr<MotPathProvider> provider;
+  ChainOptions chain_options;
+};
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultsAndOverridesResolvePerDirectedLink) {
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.1, 0.0));
+  plan.set_link_faults(3, 5, lossy(0.5, 0.2));
+
+  EXPECT_DOUBLE_EQ(plan.faults_for(3, 5).drop, 0.5);
+  EXPECT_DOUBLE_EQ(plan.faults_for(5, 3).drop, 0.1);  // directed override
+  EXPECT_DOUBLE_EQ(plan.faults_for(0, 1).drop, 0.1);
+  EXPECT_TRUE(plan.has_link_faults());
+}
+
+TEST(FaultPlan, CrashesSortByTimeAndRejectRepeats) {
+  FaultPlan plan;
+  plan.add_crash(5.0, 2).add_crash(1.0, 7).add_crash(5.0, 1);
+  ASSERT_EQ(plan.crashes().size(), 3u);
+  EXPECT_EQ(plan.crashes()[0].node, 7u);
+  EXPECT_EQ(plan.crashes()[1].node, 1u);  // time tie broken by node id
+  EXPECT_EQ(plan.crashes()[2].node, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// UnreliableChannel
+// ---------------------------------------------------------------------------
+
+TEST(UnreliableChannel, SameSeedReplaysIdentically) {
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.3, 0.2, 0.5, 4.0));
+
+  const auto run = [&plan](std::uint64_t seed) {
+    Simulator sim;
+    UnreliableChannel channel(plan, seed);
+    std::vector<SimTime> arrivals;
+    for (int i = 0; i < 200; ++i) {
+      channel.transmit(sim, 0, 1, 1.0,
+                       [&arrivals, &sim] { arrivals.push_back(sim.now()); });
+    }
+    sim.run();
+    return arrivals;
+  };
+
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));  // and the seed actually matters
+}
+
+TEST(UnreliableChannel, DeadNodesBlockAndSwallowTraffic) {
+  FaultPlan plan;
+  Simulator sim;
+  UnreliableChannel channel(plan, 1);
+  NodeId crashed = kInvalidNode;
+  channel.subscribe_crashes([&crashed](NodeId node) { crashed = node; });
+
+  int delivered = 0;
+  channel.transmit(sim, 0, 1, 5.0, [&delivered] { ++delivered; });
+  channel.crash_now(1);  // dies while the message is in flight
+  EXPECT_EQ(crashed, 1u);
+  channel.transmit(sim, 0, 1, 5.0, [&delivered] { ++delivered; });
+  sim.run();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(channel.stats().blocked_dead, 1u);
+  EXPECT_EQ(channel.stats().dead_on_arrival, 1u);
+  channel.crash_now(1);  // idempotent
+  EXPECT_EQ(channel.stats().crashes, 1u);
+}
+
+TEST(UnreliableChannel, ArmSchedulesPlannedCrashes) {
+  FaultPlan plan;
+  plan.add_crash(10.0, 3);
+  Simulator sim;
+  UnreliableChannel channel(plan, 1);
+  channel.arm(sim);
+  EXPECT_FALSE(channel.is_dead(3));
+  sim.run();
+  EXPECT_TRUE(channel.is_dead(3));
+}
+
+// ---------------------------------------------------------------------------
+// Reliable delivery: the protocol over a faulty channel
+// ---------------------------------------------------------------------------
+
+TEST(FaultTolerance, MoveCostParityWithCentralizedUnderLinkFaults) {
+  // The reliable layer makes every logical message arrive effectively
+  // once, and op costs are charged at first send — so per-operation costs
+  // must equal the centralized engine's even while the wire is lossy.
+  const Fixture fx;
+  ChainTracker central("seq", *fx.provider, fx.chain_options);
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.15, 0.10, 0.3, 6.0));
+  UnreliableChannel channel(plan, 99);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  central.publish(0, 0);
+  dist.publish(0, 0);
+  sim.run();
+
+  Rng rng(3);
+  NodeId at = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto neighbors = fx.graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    const MoveResult expected = central.move(0, at);
+    MoveResult actual;
+    dist.move(0, at, [&](const MoveResult& r) { actual = r; });
+    sim.run();
+    ASSERT_DOUBLE_EQ(actual.cost, expected.cost) << "step " << i;
+  }
+  dist.validate_quiescent();
+  EXPECT_EQ(dist.proxy_of(0), central.proxy_of(0));
+  EXPECT_EQ(dist.load_per_node(), central.load_per_node());
+  EXPECT_GT(dist.stats().retransmissions, 0u);
+  EXPECT_GT(dist.stats().duplicates_suppressed, 0u);
+  EXPECT_GT(dist.stats().transport_distance, 0.0);
+}
+
+TEST(FaultTolerance, HeavyFaultsOnLargeGridEveryQueryCorrect) {
+  // The issue's acceptance scenario: 16x16 grid, 100 objects, 10% drop +
+  // 5% duplication + reordering delays. Everything completes, the
+  // structure is intact, and every query finds the true position.
+  const Fixture fx(16);
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.10, 0.05, 0.25, 8.0));
+  UnreliableChannel channel(plan, 4242);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  const std::size_t num_objects = 100;
+  Rng rng(17);
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    dist.publish(o, rng.below(fx.graph.num_nodes()));
+  }
+  sim.run();
+
+  std::size_t queries_answered = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      dist.move(o, rng.below(fx.graph.num_nodes()));
+    }
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      const NodeId from = rng.below(fx.graph.num_nodes());
+      dist.query(from, o, [&, o](const QueryResult& r) {
+        ++queries_answered;
+        EXPECT_TRUE(r.found);
+        EXPECT_EQ(r.proxy, dist.physical_position(o));
+      });
+    }
+    sim.run();
+  }
+  dist.validate_quiescent();
+  EXPECT_EQ(queries_answered, 3 * num_objects);
+  EXPECT_EQ(dist.inflight_operations(), 0u);
+  EXPECT_EQ(dist.pending_transfers(), 0u);
+  EXPECT_GT(channel.stats().dropped, 0u);
+  EXPECT_GT(channel.stats().duplicated, 0u);
+  EXPECT_GT(channel.stats().delayed, 0u);
+}
+
+TEST(FaultTolerance, DeterministicReplayProducesIdenticalStats) {
+  // A (plan, seed) pair fully determines the run: protocol stats, meter
+  // distance, and final placement all replay bit-identically.
+  const auto run = [](bool faulty) {
+    const Fixture fx;
+    Simulator sim;
+    FaultPlan plan;
+    if (faulty) plan.set_default_faults(lossy(0.2, 0.1, 0.3, 5.0));
+    UnreliableChannel channel(plan, 31337);
+    DistributedMot dist(*fx.provider, sim, fx.chain_options);
+    dist.use_channel(&channel);
+
+    Rng rng(5);
+    const std::size_t num_objects = 20;
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      dist.publish(o, rng.below(fx.graph.num_nodes()));
+    }
+    sim.run();
+    for (int round = 0; round < 2; ++round) {
+      for (ObjectId o = 0; o < num_objects; ++o) {
+        dist.move(o, rng.below(fx.graph.num_nodes()));
+        dist.query(rng.below(fx.graph.num_nodes()), o);
+      }
+      sim.run();
+    }
+    dist.validate_quiescent();
+    return std::tuple{dist.stats(), dist.meter().total_distance(),
+                      dist.load_per_node()};
+  };
+
+  EXPECT_EQ(run(false), run(false));
+  EXPECT_EQ(run(true), run(true));
+  EXPECT_NE(std::get<0>(run(true)), std::get<0>(run(false)));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-stop recovery
+// ---------------------------------------------------------------------------
+
+// A non-root sensor whose roles store chain entries but which hosts no
+// object physically — a safe, interesting crash victim.
+NodeId pick_victim(const DistributedMot& dist, const MotPathProvider& provider,
+                   std::size_t num_nodes, std::size_t num_objects) {
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (provider.root_stop().node == v) continue;
+    bool hosts_object = false;
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      if (dist.physical_position(o) == v) hosts_object = true;
+    }
+    if (hosts_object) continue;
+    if (!dist.objects_through(v).empty()) return v;
+  }
+  ADD_FAILURE() << "no eligible crash victim";
+  return kInvalidNode;
+}
+
+TEST(CrashRecovery, QuiescentCrashSplicesChainsAndQueriesStillResolve) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  UnreliableChannel channel(plan, 8);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  const std::size_t num_objects = 12;
+  Rng rng(23);
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    dist.publish(o, rng.below(fx.graph.num_nodes()));
+  }
+  sim.run();
+
+  const NodeId victim =
+      pick_victim(dist, *fx.provider, fx.graph.num_nodes(), num_objects);
+  const std::size_t chained = dist.objects_through(victim).size();
+  ASSERT_GT(chained, 0u);
+  channel.crash_now(victim);
+
+  EXPECT_EQ(dist.stats().crash_recoveries, 1u);
+  EXPECT_GE(dist.stats().chain_splices, chained);
+  EXPECT_TRUE(dist.objects_through(victim).empty());
+  dist.validate_quiescent();
+
+  // The structure keeps working: moves and queries all over the grid.
+  std::size_t answered = 0;
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    NodeId to = rng.below(fx.graph.num_nodes());
+    while (to == victim) to = rng.below(fx.graph.num_nodes());
+    dist.move(o, to);
+    NodeId from = rng.below(fx.graph.num_nodes());
+    while (from == victim) from = rng.below(fx.graph.num_nodes());
+    dist.query(from, o, [&, o](const QueryResult& r) {
+      ++answered;
+      EXPECT_EQ(r.proxy, dist.physical_position(o));
+    });
+  }
+  sim.run();
+  dist.validate_quiescent();
+  EXPECT_EQ(answered, num_objects);
+}
+
+TEST(CrashRecovery, MidFlightCrashRebuildsDamagedObjects) {
+  // Crash a chain sensor while maintenance, queries, and a publish are in
+  // flight over a lossy channel — the hardest case: in-flight walkers die
+  // with the victim and must be rebuilt or restarted.
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.1, 0.05, 0.2, 4.0));
+  UnreliableChannel channel(plan, 77);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  const std::size_t num_objects = 10;
+  Rng rng(29);
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    dist.publish(o, rng.below(fx.graph.num_nodes()));
+  }
+  sim.run();
+  const NodeId victim =
+      pick_victim(dist, *fx.provider, fx.graph.num_nodes(), num_objects);
+
+  std::size_t moves_done = 0;
+  std::size_t answered = 0;
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    NodeId to = rng.below(fx.graph.num_nodes());
+    while (to == victim) to = rng.below(fx.graph.num_nodes());
+    dist.move(o, to, [&moves_done](const MoveResult&) { ++moves_done; });
+    NodeId from = rng.below(fx.graph.num_nodes());
+    while (from == victim) from = rng.below(fx.graph.num_nodes());
+    dist.query(from, o, [&, o](const QueryResult& r) {
+      ++answered;
+      EXPECT_EQ(r.proxy, dist.physical_position(o));
+    });
+  }
+  // A fresh publish that will climb straight through the crash.
+  dist.publish(num_objects, victim == 0 ? 1 : 0);
+  sim.schedule(2.0, [&channel, victim] { channel.crash_now(victim); });
+  sim.run();
+
+  EXPECT_EQ(dist.stats().crash_recoveries, 1u);
+  EXPECT_EQ(moves_done, num_objects);
+  EXPECT_EQ(answered, num_objects);
+  EXPECT_EQ(dist.inflight_operations(), 0u);
+  dist.validate_quiescent();
+
+  // Every object is findable afterwards, including the fresh publish.
+  std::size_t post = 0;
+  for (ObjectId o = 0; o <= num_objects; ++o) {
+    NodeId from = rng.below(fx.graph.num_nodes());
+    while (from == victim) from = rng.below(fx.graph.num_nodes());
+    dist.query(from, o, [&, o](const QueryResult& r) {
+      ++post;
+      EXPECT_EQ(r.proxy, dist.physical_position(o));
+    });
+  }
+  sim.run();
+  dist.validate_quiescent();
+  EXPECT_EQ(post, num_objects + 1);
+}
+
+TEST(CrashRecovery, QueriesFromTheDeadNodeAreAborted) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.0, 0.0, 1.0, 20.0));  // slow everything
+  UnreliableChannel channel(plan, 13);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  dist.publish(0, 0);
+  sim.run();
+  NodeId origin = 42;  // any live non-root sensor away from the object
+  while (origin == fx.provider->root_stop().node) ++origin;
+  bool completed = false;
+  dist.query(origin, 0, [&completed](const QueryResult&) { completed = true; });
+  sim.schedule(1.0, [&channel, origin] { channel.crash_now(origin); });
+  sim.run();
+
+  EXPECT_FALSE(completed);  // the requester died; no one to answer
+  EXPECT_EQ(dist.stats().queries_aborted, 1u);
+  EXPECT_EQ(dist.inflight_operations(), 0u);
+  dist.validate_quiescent();
+}
+
+}  // namespace
+}  // namespace mot

@@ -69,5 +69,33 @@ TEST(LoadHistogram, FormatsBins) {
   EXPECT_EQ(load_histogram({0}), "0:1 ");
 }
 
+TEST(SummarizeReliability, RatesAndOverheads) {
+  ReliabilityInputs in;
+  in.data_sent = 100;
+  in.retransmissions = 25;
+  in.acks_sent = 120;
+  in.duplicates_suppressed = 20;
+  in.ack_rtt_sum = 60.0;
+  in.ack_rtt_count = 100;
+  in.useful_distance = 400.0;
+  in.transport_distance = 100.0;
+  in.recovery_distance = 40.0;
+  const ReliabilitySummary summary = summarize_reliability(in);
+  EXPECT_DOUBLE_EQ(summary.retransmission_rate, 0.25);
+  EXPECT_DOUBLE_EQ(summary.duplicate_rate, 20.0 / 120.0);
+  EXPECT_DOUBLE_EQ(summary.mean_ack_rtt, 0.6);
+  EXPECT_DOUBLE_EQ(summary.transport_overhead, 0.25);
+  EXPECT_DOUBLE_EQ(summary.recovery_overhead, 0.1);
+}
+
+TEST(SummarizeReliability, EmptyInputsYieldZeros) {
+  const ReliabilitySummary summary = summarize_reliability({});
+  EXPECT_DOUBLE_EQ(summary.retransmission_rate, 0.0);
+  EXPECT_DOUBLE_EQ(summary.duplicate_rate, 0.0);
+  EXPECT_DOUBLE_EQ(summary.mean_ack_rtt, 0.0);
+  EXPECT_DOUBLE_EQ(summary.transport_overhead, 0.0);
+  EXPECT_DOUBLE_EQ(summary.recovery_overhead, 0.0);
+}
+
 }  // namespace
 }  // namespace mot
