@@ -2,14 +2,26 @@
 // CSV output. Every bench runs with no arguments at a laptop-friendly
 // scale; --full reproduces the paper's scale (1000 moves/object, the
 // full 10..1024-node size sweep, 5 seeds).
+//
+// Telemetry: `--emit-json <path>` writes a machine-readable run record
+// (config, every emitted table, phase timings, metrics snapshot, git
+// rev); `--trace-jsonl <path>` streams structured trace events;
+// `--log-level` controls stderr verbosity.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "expt/fig_runners.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/run_record.hpp"
+#include "obs/trace.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -23,7 +35,60 @@ struct CommonFlags {
   std::uint64_t seeds = 0;     // 0 = scale default
   std::uint64_t base_seed = 42;
   std::string csv;             // optional CSV output path
+  std::string emit_json;       // optional run-record JSON path
+  std::string trace_jsonl;     // optional trace event stream path
+  std::string log_level = "warn";
 };
+
+namespace detail {
+
+inline obs::RunRecord& run_record() {
+  static obs::RunRecord record;
+  return record;
+}
+
+inline std::string& emit_json_path() {
+  static std::string path;
+  return path;
+}
+
+inline std::unique_ptr<obs::JsonlFileSink>& trace_sink() {
+  static std::unique_ptr<obs::JsonlFileSink> sink;
+  return sink;
+}
+
+inline std::string bench_name_from(const char* argv0) {
+  std::string name = argv0 != nullptr ? argv0 : "bench";
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+// Registered with atexit by parse_common: prints phase timings and
+// writes the run record after main() returns, so every exit path that
+// reaches a normal process shutdown emits telemetry.
+inline void finalize_telemetry() {
+  if (trace_sink() != nullptr) {
+    trace_sink()->flush();
+    obs::install_trace_sink(nullptr);
+    trace_sink().reset();
+  }
+  const auto& phases = obs::PhaseTimers::global().phases();
+  if (!phases.empty()) {
+    std::fprintf(stderr, "-- phase timings --\n");
+    for (const auto& phase : phases) {
+      std::fprintf(stderr, "  %-18s %9.3f s  (%llu scopes)\n",
+                   phase.name.c_str(), phase.seconds,
+                   static_cast<unsigned long long>(phase.count));
+    }
+  }
+  if (!emit_json_path().empty() && !run_record().write(emit_json_path())) {
+    std::fprintf(stderr, "failed to write run record to %s\n",
+                 emit_json_path().c_str());
+  }
+}
+
+}  // namespace detail
 
 inline CommonFlags parse_common(int argc, char** argv,
                                 const std::string& description) {
@@ -39,8 +104,47 @@ inline CommonFlags parse_common(int argc, char** argv,
                       "override the number of seeded repetitions");
   flags.register_flag("seed", &common.base_seed, "base experiment seed");
   flags.register_flag("csv", &common.csv, "also write the table as CSV");
+  flags.register_flag("emit-json", &common.emit_json,
+                      "write a machine-readable run record (BENCH_*.json)");
+  flags.register_flag("trace-jsonl", &common.trace_jsonl,
+                      "stream structured trace events to this JSONL file");
+  flags.register_flag("log-level", &common.log_level,
+                      "stderr log level: debug|info|warn|error");
   if (!flags.parse(argc, argv)) std::exit(1);
-  set_log_level(LogLevel::kWarn);
+  const std::optional<LogLevel> level = parse_log_level(common.log_level);
+  if (!level.has_value()) {
+    std::fprintf(stderr, "unknown --log-level '%s'\n",
+                 common.log_level.c_str());
+    std::exit(1);
+  }
+  set_log_level(*level);
+
+  obs::RunRecord& record = detail::run_record();
+  record.set_bench(detail::bench_name_from(argc > 0 ? argv[0] : nullptr));
+  record.set_description(description);
+  record.set_command_line(argc, argv);
+  record.add_config("full", common.full);
+  record.add_config("objects", common.objects);
+  record.add_config("moves", common.moves);
+  record.add_config("seeds", common.seeds);
+  record.add_config("seed", common.base_seed);
+  detail::emit_json_path() = common.emit_json;
+  if (!common.trace_jsonl.empty()) {
+    detail::trace_sink() =
+        std::make_unique<obs::JsonlFileSink>(common.trace_jsonl);
+    if (!detail::trace_sink()->ok()) {
+      std::fprintf(stderr, "cannot open --trace-jsonl path %s\n",
+                   common.trace_jsonl.c_str());
+      std::exit(1);
+    }
+    obs::install_trace_sink(detail::trace_sink().get());
+  }
+  // Touch the process-wide singletons before registering the atexit
+  // hook: statics die in reverse construction order, so constructing
+  // them here keeps them alive inside finalize_telemetry().
+  obs::PhaseTimers::global();
+  obs::MetricsRegistry::global();
+  std::atexit(detail::finalize_telemetry);
   return common;
 }
 
@@ -65,10 +169,17 @@ inline void emit(const std::string& title, const Table& table,
   std::cout << "== " << title << " ==\n";
   table.print(std::cout);
   std::cout << std::flush;
+  detail::run_record().add_table(title, table);
   if (!common.csv.empty()) {
+    // A bench emitting several tables used to rewrite the CSV on every
+    // emit, keeping only the last table. The first emit truncates; later
+    // ones append under a `# <title>` comment.
+    static std::set<std::string> csv_paths_written;
+    const bool append = !csv_paths_written.insert(common.csv).second;
     std::ostringstream csv;
+    if (append) csv << "\n# " << title << "\n";
     table.write_csv(csv);
-    write_text_file(common.csv, csv.str());
+    write_text_file(common.csv, csv.str(), append);
   }
 }
 

@@ -1,6 +1,8 @@
 // Micro-benchmarks for the graph substrate: SSSP, oracles, generators.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "graph/distance_oracle.hpp"
 #include "graph/generators.hpp"
 #include "graph/shortest_path.hpp"
@@ -79,4 +81,4 @@ BENCHMARK(BM_BoundedDijkstraSmallBall);
 }  // namespace
 }  // namespace mot
 
-BENCHMARK_MAIN();
+MOT_MICRO_MAIN()

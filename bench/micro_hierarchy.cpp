@@ -2,6 +2,8 @@
 // cluster embeddings.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "debruijn/debruijn.hpp"
 #include "graph/generators.hpp"
 #include "hier/doubling_hierarchy.hpp"
@@ -99,4 +101,4 @@ BENCHMARK(BM_LubyMisLevel0)->Arg(16)->Arg(32);
 }  // namespace
 }  // namespace mot
 
-BENCHMARK_MAIN();
+MOT_MICRO_MAIN()

@@ -2,6 +2,8 @@
 // simulated operations (events/sec matters for large --full sweeps).
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "core/concurrent.hpp"
 #include "core/mot.hpp"
 #include "expt/experiment.hpp"
@@ -99,4 +101,4 @@ BENCHMARK(BM_DistributedMotQuery);
 }  // namespace
 }  // namespace mot
 
-BENCHMARK_MAIN();
+MOT_MICRO_MAIN()

@@ -2,6 +2,8 @@
 // baselines, per operation, on a 16x16 grid.
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "core/mot.hpp"
 #include "expt/experiment.hpp"
 #include "graph/generators.hpp"
@@ -107,4 +109,4 @@ BENCHMARK(BM_MotPublish);
 }  // namespace
 }  // namespace mot
 
-BENCHMARK_MAIN();
+MOT_MICRO_MAIN()

@@ -175,10 +175,7 @@ int main(int argc, char** argv) {
       .cell(stats.recovery_distance, 1)
       .cell(static_cast<double>(correct) / static_cast<double>(answered), 3)
       .cell(static_cast<std::uint64_t>(skipped));
-  // emit() overwrites the CSV path, so the second table gets its own file.
-  bench::CommonFlags crash_flags = common;
-  if (!crash_flags.csv.empty()) crash_flags.csv += ".crash";
   bench::emit("Crash-stop recovery: chain sensor dies mid-run", crash,
-              crash_flags);
+              common);
   return 0;
 }

@@ -14,6 +14,40 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+echo "== telemetry smoke: --emit-json / --trace-jsonl =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+./build/bench/tbl_publish_cost --seeds 1 \
+  --emit-json "${SMOKE_DIR}/BENCH_tbl_publish_cost.json" > /dev/null
+./build/bench/tbl_routing --log-level error \
+  --emit-json "${SMOKE_DIR}/BENCH_tbl_routing.json" > /dev/null
+./build/bench/tbl_faults --seeds 1 \
+  --emit-json "${SMOKE_DIR}/BENCH_tbl_faults.json" \
+  --trace-jsonl "${SMOKE_DIR}/trace.jsonl" > /dev/null 2> /dev/null
+python3 - "${SMOKE_DIR}" <<'PYEOF'
+import json, sys, glob, os
+smoke_dir = sys.argv[1]
+records = sorted(glob.glob(os.path.join(smoke_dir, "BENCH_*.json")))
+assert len(records) == 3, f"expected 3 run records, got {records}"
+for path in records:
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("schema", "bench", "git_rev", "config", "tables", "phases"):
+        assert key in doc, f"{path}: missing key {key!r}"
+    assert doc["tables"], f"{path}: no tables recorded"
+    if doc["bench"] in ("tbl_publish_cost", "tbl_faults"):
+        assert any(p["name"] == "hierarchy_build" for p in doc["phases"]), \
+            f"{path}: no hierarchy_build phase timing"
+trace_path = os.path.join(smoke_dir, "trace.jsonl")
+events = [json.loads(line) for line in open(trace_path)]
+assert events, "trace.jsonl is empty"
+assert all("ev" in e and "i" in e for e in events)
+kinds = {e["ev"] for e in events}
+assert "climb_hop" in kinds or "msg_send" in kinds, kinds
+print(f"telemetry smoke ok: {len(records)} run records, "
+      f"{len(events)} trace events, kinds={len(kinds)}")
+PYEOF
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer stage (--fast) =="
   exit 0

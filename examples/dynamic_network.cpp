@@ -9,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "hier/doubling_hierarchy.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 
 int main(int argc, char** argv) {
   using namespace mot;
@@ -17,7 +18,16 @@ int main(int argc, char** argv) {
   Flags flags("Dynamic network example: cluster adaptation under churn");
   flags.register_flag("events", &events, "join/leave events to simulate");
   flags.register_flag("seed", &seed, "experiment seed");
+  std::string log_level = "info";
+  flags.register_flag("log-level", &log_level,
+                      "stderr log level: debug|info|warn|error");
   if (!flags.parse(argc, argv)) return 1;
+  const std::optional<mot::LogLevel> level = mot::parse_log_level(log_level);
+  if (!level.has_value()) {
+    std::fprintf(stderr, "unknown --log-level '%s'\n", log_level.c_str());
+    return 1;
+  }
+  mot::set_log_level(*level);
 
   const Graph field = make_grid(16, 16);
   const auto oracle = make_distance_oracle(field);

@@ -83,6 +83,9 @@ int main(int argc, char** argv) {
   flags.register_flag("moves", &moves, "maintenance operations per object");
   flags.register_flag("queries", &queries, "query operations to issue");
   flags.register_flag("seed", &seed, "experiment seed");
+  std::string log_level = "warn";
+  flags.register_flag("log-level", &log_level,
+                      "stderr log level: debug|info|warn|error");
   flags.register_flag("save-trace", &save_trace,
                       "write the generated trace to this file");
   flags.register_flag("load-trace", &load_trace,
@@ -90,7 +93,12 @@ int main(int argc, char** argv) {
   flags.register_flag("dot", &dot_path,
                       "write the overlay hierarchy as Graphviz DOT");
   if (!flags.parse(argc, argv)) return 1;
-  set_log_level(LogLevel::kWarn);
+  const std::optional<mot::LogLevel> level = mot::parse_log_level(log_level);
+  if (!level.has_value()) {
+    std::fprintf(stderr, "unknown --log-level '%s'\n", log_level.c_str());
+    return 1;
+  }
+  mot::set_log_level(*level);
 
   const auto algo = parse_algo(algo_name_flag);
   if (!algo) {

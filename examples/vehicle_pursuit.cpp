@@ -11,6 +11,7 @@
 #include "graph/generators.hpp"
 #include "hier/doubling_hierarchy.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 
 int main(int argc, char** argv) {
   using namespace mot;
@@ -19,7 +20,16 @@ int main(int argc, char** argv) {
   Flags flags("Vehicle pursuit example: concurrent queries during motion");
   flags.register_flag("blocks", &blocks, "city grid side length");
   flags.register_flag("seed", &seed, "experiment seed");
+  std::string log_level = "info";
+  flags.register_flag("log-level", &log_level,
+                      "stderr log level: debug|info|warn|error");
   if (!flags.parse(argc, argv)) return 1;
+  const std::optional<mot::LogLevel> level = mot::parse_log_level(log_level);
+  if (!level.has_value()) {
+    std::fprintf(stderr, "unknown --log-level '%s'\n", log_level.c_str());
+    return 1;
+  }
+  mot::set_log_level(*level);
 
   const Graph city = make_grid(blocks, blocks);
   const auto oracle = make_distance_oracle(city);

@@ -11,6 +11,7 @@
 #include "hier/doubling_hierarchy.hpp"
 #include "metrics/metrics.hpp"
 #include "util/flags.hpp"
+#include "util/log.hpp"
 #include "workload/mobility.hpp"
 
 int main(int argc, char** argv) {
@@ -22,7 +23,16 @@ int main(int argc, char** argv) {
   flags.register_flag("animals", &animals, "number of tracked animals");
   flags.register_flag("steps", &steps, "movement steps per animal");
   flags.register_flag("seed", &seed, "experiment seed");
+  std::string log_level = "info";
+  flags.register_flag("log-level", &log_level,
+                      "stderr log level: debug|info|warn|error");
   if (!flags.parse(argc, argv)) return 1;
+  const std::optional<mot::LogLevel> level = mot::parse_log_level(log_level);
+  if (!level.has_value()) {
+    std::fprintf(stderr, "unknown --log-level '%s'\n", log_level.c_str());
+    return 1;
+  }
+  mot::set_log_level(*level);
 
   // 1. Deploy 300 sensors over a 20 x 20 km reserve, at least 0.6 km
   //    apart (deployments avoid redundant coverage); sensors within

@@ -54,17 +54,28 @@ Weight ConcurrentEngine::distance(NodeId a, NodeId b) const {
   return a == b ? 0.0 : provider_->oracle().distance(a, b);
 }
 
-void ConcurrentEngine::charge(Weight amount, Weight* op_cost) {
+void ConcurrentEngine::charge(Weight amount, Weight* op_cost, ObjectId object,
+                              obs::Ev kind, NodeId from, NodeId to) {
   if (amount <= 0.0) return;
   meter_.charge(amount);
   if (op_cost != nullptr) *op_cost += amount;
+  if (obs::tracing()) {
+    obs::emit({.type = kind,
+               .t = sim_->now(),
+               .object = object,
+               .from = from,
+               .to = to,
+               .dist = amount,
+               .charged = amount});
+  }
 }
 
 void ConcurrentEngine::charge_access(OverlayNode owner, ObjectId object,
                                      Weight* op_cost) {
   if (!options_.charge_delegate_routing) return;
   const auto access = provider_->delegate(owner, object);
-  charge(access.route_cost, op_cost);
+  charge(access.route_cost, op_cost, object, obs::Ev::kAccessRoute, owner.node,
+         access.storage);
 }
 
 const ConcurrentEngine::Entry* ConcurrentEngine::find_entry(
@@ -92,7 +103,8 @@ void ConcurrentEngine::install_entry(OverlayNode owner, ObjectId object,
   node.dl.emplace(object, Entry{next_entry_id_++, child, sp});
   if (sp) {
     if (options_.charge_special_updates) {
-      charge(distance(owner.node, sp->node), op_cost);
+      charge(distance(owner.node, sp->node), op_cost, object, obs::Ev::kSpHop,
+             owner.node, sp->node);
       charge_access(*sp, object, op_cost);
     }
     state_[*sp].sdl[object].push_back(owner);
@@ -114,7 +126,8 @@ void ConcurrentEngine::erase_entry(OverlayNode owner, ObjectId object,
   }
   if (entry.sp) {
     if (options_.charge_special_updates) {
-      charge(distance(owner.node, entry.sp->node), op_cost);
+      charge(distance(owner.node, entry.sp->node), op_cost, object,
+             obs::Ev::kSpHop, owner.node, entry.sp->node);
       charge_access(*entry.sp, object, op_cost);
     }
     auto sp_it = state_.find(*entry.sp);
@@ -139,7 +152,8 @@ void ConcurrentEngine::publish(ObjectId object, NodeId proxy) {
   OverlayNode previous = bottom;
   for (std::size_t i = 1; i < sequence.size(); ++i) {
     const OverlayNode stop = sequence[i].node;
-    charge(distance(previous.node, stop.node), nullptr);
+    charge(distance(previous.node, stop.node), nullptr, object,
+           obs::Ev::kClimbHop, previous.node, stop.node);
     charge_access(stop, object, nullptr);
     install_entry(stop, object, previous,
                   provider_->special_parent(proxy, i), nullptr);
@@ -199,7 +213,8 @@ void ConcurrentEngine::move_step(const std::shared_ptr<MoveCtx>& ctx) {
   // The root stop always holds every published object.
   MOT_CHECK(ctx->index + 1 < ctx->sequence.size());
   const OverlayNode next = ctx->sequence[ctx->index + 1].node;
-  charge(distance(stop.node, next.node), &ctx->cost);
+  charge(distance(stop.node, next.node), &ctx->cost, ctx->object,
+         obs::Ev::kClimbHop, stop.node, next.node);
   ++ctx->index;
   sim_->schedule(distance(stop.node, next.node),
                  [this, ctx] { move_step(ctx); });
@@ -211,6 +226,13 @@ void ConcurrentEngine::move_candidate_meet(
     // An earlier move of this object is still in flight; its delete might
     // tear the entry we just found. Park until we hold the token.
     ctx->waiting_token = true;
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kTokenWait,
+                 .t = sim_->now(),
+                 .object = ctx->object,
+                 .from = ctx->sequence[ctx->meet_index].node.node,
+                 .level = ctx->sequence[ctx->meet_index].node.level});
+    }
     return;
   }
   // Token held: state for this object is now stable (earlier moves are
@@ -223,7 +245,8 @@ void ConcurrentEngine::move_candidate_meet(
     const OverlayNode from = ctx->sequence[ctx->meet_index].node;
     const OverlayNode next = ctx->sequence[ctx->meet_index + 1].node;
     ctx->index = ctx->meet_index + 1;
-    charge(distance(from.node, next.node), &ctx->cost);
+    charge(distance(from.node, next.node), &ctx->cost, ctx->object,
+           obs::Ev::kClimbHop, from.node, next.node);
     sim_->schedule(distance(from.node, next.node),
                    [this, ctx] { move_step(ctx); });
     return;
@@ -244,6 +267,13 @@ void ConcurrentEngine::move_commit(const std::shared_ptr<MoveCtx>& ctx) {
   }
   const OverlayNode meet = ctx->sequence[ctx->meet_index].node;
   ctx->peak_level = meet.level;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kSplice,
+               .t = sim_->now(),
+               .object = object,
+               .from = meet.node,
+               .level = meet.level});
+  }
 
   Entry* meet_entry = find_entry(meet, object);
   MOT_CHECK(meet_entry != nullptr);
@@ -290,7 +320,8 @@ void ConcurrentEngine::move_commit(const std::shared_ptr<MoveCtx>& ctx) {
 
   // Tear the detached fragment; the move completes when the delete does.
   const Weight hop = distance(meet.node, first_victim.node);
-  charge(hop, &ctx->cost);
+  charge(hop, &ctx->cost, object, obs::Ev::kDeleteHop, meet.node,
+         first_victim.node);
   sim_->schedule(hop, [this, ctx, first_victim, from = meet.node] {
     delete_step(ctx, first_victim, from);
   });
@@ -317,7 +348,8 @@ void ConcurrentEngine::delete_step(const std::shared_ptr<MoveCtx>& ctx,
     return;
   }
   const Weight hop = distance(current.node, next.node);
-  charge(hop, &ctx->cost);
+  charge(hop, &ctx->cost, ctx->object, obs::Ev::kDeleteHop, current.node,
+         next.node);
   sim_->schedule(hop, [this, ctx, next, from = current.node] {
     delete_step(ctx, next, from);
   });
@@ -392,7 +424,8 @@ void ConcurrentEngine::query_step(const std::shared_ptr<QueryCtx>& ctx) {
         ctx->found_level = std::max(ctx->found_level, stop.level);
         const OverlayNode child = *best;
         const Weight hop = distance(stop.node, child.node);
-        charge(hop, &ctx->cost);
+        charge(hop, &ctx->cost, ctx->object, obs::Ev::kSdlJump, stop.node,
+               child.node);
         sim_->schedule(hop, [this, ctx, child] { query_descend(ctx, child); });
         return;
       }
@@ -402,7 +435,8 @@ void ConcurrentEngine::query_step(const std::shared_ptr<QueryCtx>& ctx) {
   MOT_CHECK(ctx->index + 1 < ctx->sequence.size());
   const OverlayNode next = ctx->sequence[ctx->index + 1].node;
   const Weight hop = distance(stop.node, next.node);
-  charge(hop, &ctx->cost);
+  charge(hop, &ctx->cost, ctx->object, obs::Ev::kClimbHop, stop.node,
+         next.node);
   ++ctx->index;
   sim_->schedule(hop, [this, ctx] { query_step(ctx); });
 }
@@ -429,7 +463,8 @@ void ConcurrentEngine::query_descend(const std::shared_ptr<QueryCtx>& ctx,
           const OverlayNode bottom =
               provider_->upward_sequence(target).front().node;
           const Weight hop = distance(at.node, target);
-          charge(hop, &ctx->cost);
+          charge(hop, &ctx->cost, ctx->object, obs::Ev::kQueryForward,
+                 at.node, target);
           sim_->schedule(hop, [this, ctx, bottom] {
             query_at_bottom(ctx, bottom);
           });
@@ -458,13 +493,15 @@ void ConcurrentEngine::query_descend(const std::shared_ptr<QueryCtx>& ctx,
     }
     const OverlayNode target = walk;
     const Weight hop = distance(at.node, target.node);
-    charge(hop, &ctx->cost);
+    charge(hop, &ctx->cost, ctx->object, obs::Ev::kDescendHop, at.node,
+           target.node);
     sim_->schedule(hop, [this, ctx, target] { query_at_bottom(ctx, target); });
     return;
   }
   const OverlayNode next = entry->child;
   const Weight hop = distance(at.node, next.node);
-  charge(hop, &ctx->cost);
+  charge(hop, &ctx->cost, ctx->object, obs::Ev::kDescendHop, at.node,
+         next.node);
   sim_->schedule(hop, [this, ctx, next] { query_descend(ctx, next); });
 }
 
@@ -501,7 +538,8 @@ void ConcurrentEngine::query_at_bottom(const std::shared_ptr<QueryCtx>& ctx,
         const OverlayNode next_bottom =
             provider_->upward_sequence(target).front().node;
         const Weight hop = distance(bottom.node, target);
-        charge(hop, &ctx->cost);
+        charge(hop, &ctx->cost, ctx->object, obs::Ev::kQueryForward,
+               bottom.node, target);
         sim_->schedule(hop, [this, ctx, next_bottom] {
           query_at_bottom(ctx, next_bottom);
         });
@@ -518,6 +556,13 @@ void ConcurrentEngine::query_restart_from(const std::shared_ptr<QueryCtx>& ctx,
                                           NodeId node) {
   ++ctx->restarts;
   MOT_CHECK(ctx->restarts < kMaxQueryRestarts);
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kQueryRestart,
+               .t = sim_->now(),
+               .object = ctx->object,
+               .from = node,
+               .aux = static_cast<std::uint64_t>(ctx->restarts)});
+  }
   ctx->climb_source = node;
   ctx->sequence = provider_->upward_sequence(node);
   ctx->index = 0;
@@ -535,7 +580,8 @@ void ConcurrentEngine::notify_waiters(NodeId stale_proxy, ObjectId object,
   for (const auto& ctx : parked) {
     ++stats_.query_forwards;
     const Weight hop = distance(stale_proxy, new_proxy);
-    charge(hop, &ctx->cost);
+    charge(hop, &ctx->cost, ctx->object, obs::Ev::kQueryForward, stale_proxy,
+           new_proxy);
     sim_->schedule(hop, [this, ctx, target_bottom] {
       query_at_bottom(ctx, target_bottom);
     });

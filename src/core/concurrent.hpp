@@ -104,7 +104,11 @@ class ConcurrentEngine {
   struct QueryCtx;
 
   Weight distance(NodeId a, NodeId b) const;
-  void charge(Weight amount, Weight* op_cost);
+  // Charges `amount` to the meter (and `op_cost`, when given) and, with
+  // a trace sink installed, emits an event of kind `kind` attributed to
+  // `object` at the current simulation time.
+  void charge(Weight amount, Weight* op_cost, ObjectId object, obs::Ev kind,
+              NodeId from = kInvalidNode, NodeId to = kInvalidNode);
   void charge_access(OverlayNode owner, ObjectId object, Weight* op_cost);
 
   const Entry* find_entry(OverlayNode owner, ObjectId object) const;

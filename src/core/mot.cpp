@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -94,6 +95,17 @@ PathProvider::DelegateAccess MotPathProvider::delegate(
   Weight cost = 0.0;
   for (std::size_t i = 1; i < hops.size(); ++i) {
     cost += dist.distance(hops[i - 1], hops[i]);
+  }
+  if (obs::tracing()) {
+    // Summarize the cluster route (the per-hop kRouteHop events came from
+    // ClusterEmbedding::route); the caller charges `cost` to its meter.
+    obs::emit({.type = obs::Ev::kRouteComputed,
+               .object = object,
+               .from = owner.node,
+               .to = storage,
+               .level = owner.level,
+               .dist = cost,
+               .aux = hops.empty() ? 0 : hops.size() - 1});
   }
   return {storage, cost};
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -117,6 +118,16 @@ std::vector<NodeId> ClusterEmbedding::route(std::uint32_t from_label,
   for (const std::uint32_t label : labels) {
     const NodeId node = host(label);
     if (hops.empty() || hops.back() != node) hops.push_back(node);
+  }
+  if (obs::tracing()) {
+    // One event per physical hop of the cluster route; distances are not
+    // known at this layer, the caller's access event carries the cost.
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      obs::emit({.type = obs::Ev::kRouteHop,
+                 .from = hops[i - 1],
+                 .to = hops[i],
+                 .aux = i});
+    }
   }
   return hops;
 }

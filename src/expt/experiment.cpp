@@ -4,12 +4,14 @@
 #include <functional>
 
 #include "baselines/tree_tracker.hpp"
+#include "obs/phase_timer.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace mot {
 
 Network build_network(Graph graph, std::uint64_t seed) {
+  MOT_PHASE("hierarchy_build");
   Network network;
   network.graph_storage = std::make_unique<Graph>(std::move(graph));
   network.oracle = make_distance_oracle(network.graph());
@@ -109,6 +111,7 @@ AlgoInstance make_algo(Algo algo, const Network& network,
 }
 
 void publish_all(Tracker& tracker, const MovementTrace& trace) {
+  MOT_PHASE("publish");
   for (ObjectId o = 0; o < trace.num_objects(); ++o) {
     tracker.publish(o, trace.initial_proxy[o]);
   }
@@ -116,6 +119,7 @@ void publish_all(Tracker& tracker, const MovementTrace& trace) {
 
 CostRatioAccumulator run_moves(Tracker& tracker, const DistanceOracle& oracle,
                                std::span<const MoveOp> moves) {
+  MOT_PHASE("op_loop");
   CostRatioAccumulator accumulator;
   for (const MoveOp& op : moves) {
     MOT_CHECK(tracker.proxy_of(op.object) == op.from);
@@ -128,6 +132,7 @@ CostRatioAccumulator run_moves(Tracker& tracker, const DistanceOracle& oracle,
 CostRatioAccumulator run_queries(Tracker& tracker,
                                  const DistanceOracle& oracle,
                                  std::span<const QueryOp> queries) {
+  MOT_PHASE("op_loop");
   CostRatioAccumulator accumulator;
   for (const QueryOp& op : queries) {
     const NodeId proxy = tracker.proxy_of(op.object);
@@ -235,6 +240,7 @@ ConcurrentRunResult run_concurrent(const PathProvider& provider,
                                    const DistanceOracle& oracle,
                                    const MovementTrace& trace,
                                    const ConcurrentRunParams& params) {
+  MOT_PHASE("op_loop");
   Simulator sim;
   ConcurrentEngine engine(provider, sim, chain_options);
   for (ObjectId o = 0; o < trace.num_objects(); ++o) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace mot::faults {
@@ -20,6 +21,9 @@ void UnreliableChannel::crash_now(NodeId node) {
   if (is_dead(node)) return;
   dead_.push_back(node);
   ++stats_.crashes;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kCrash, .from = node});
+  }
   for (const auto& callback : on_crash_) callback(node);
 }
 
@@ -48,17 +52,38 @@ void UnreliableChannel::transmit(Simulator& sim, NodeId from, NodeId to,
   int copies = 1;
   if (faults.drop > 0.0 && rng_.chance(faults.drop)) {
     ++stats_.dropped;
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kChannelDrop,
+                 .t = sim.now(),
+                 .from = from,
+                 .to = to,
+                 .dist = distance});
+    }
     return;
   }
   if (faults.duplicate > 0.0 && rng_.chance(faults.duplicate)) {
     ++stats_.duplicated;
     copies = 2;
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kChannelDuplicate,
+                 .t = sim.now(),
+                 .from = from,
+                 .to = to,
+                 .dist = distance});
+    }
   }
   for (int copy = 0; copy < copies; ++copy) {
     Weight extra = 0.0;
     if (faults.delay > 0.0 && rng_.chance(faults.delay)) {
       ++stats_.delayed;
       extra = rng_.uniform(0.0, faults.max_extra_delay);
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kChannelDelay,
+                   .t = sim.now(),
+                   .from = from,
+                   .to = to,
+                   .dist = extra});
+      }
     }
     // The target may crash while the copy is in flight (crash-stop): the
     // message is then lost on arrival rather than processed by a ghost.

@@ -76,4 +76,66 @@ std::string load_histogram(const std::vector<std::size_t>& load_per_node) {
   return histogram.to_string();
 }
 
+namespace {
+
+void set_counter(obs::MetricsRegistry& registry, const std::string& name,
+                 const obs::Labels& labels, std::uint64_t value) {
+  obs::Counter& counter = registry.counter(name, labels);
+  counter.reset();
+  counter.increment(value);
+}
+
+}  // namespace
+
+void export_load(const std::vector<std::size_t>& load_per_node,
+                 obs::MetricsRegistry& registry, const obs::Labels& labels,
+                 std::size_t threshold) {
+  const LoadSummary summary = summarize_load(load_per_node, threshold);
+  registry.gauge("mot_load_mean", labels).set(summary.mean);
+  registry.gauge("mot_load_max", labels)
+      .set(static_cast<double>(summary.max));
+  registry.gauge("mot_load_p99", labels).set(summary.p99);
+  registry.gauge("mot_load_imbalance", labels).set(summary.imbalance);
+  set_counter(registry, "mot_load_entries_total", labels,
+              summary.total_entries);
+  set_counter(registry, "mot_load_nodes_above_threshold", labels,
+              summary.nodes_above_threshold);
+  // Histograms accumulate, so only the first export fills the
+  // distribution; callers wanting per-run series should add a
+  // distinguishing label.
+  static const std::vector<double> kBounds = {0.0,  1.0,  2.0,  5.0,
+                                              10.0, 20.0, 50.0, 100.0};
+  obs::FixedHistogram& histogram =
+      registry.histogram("mot_load_per_node", kBounds, labels);
+  if (histogram.count() == 0) {
+    for (const std::size_t load : load_per_node) {
+      histogram.observe(static_cast<double>(load));
+    }
+  }
+}
+
+void export_reliability(const ReliabilityInputs& in,
+                        obs::MetricsRegistry& registry,
+                        const obs::Labels& labels) {
+  set_counter(registry, "mot_data_sent_total", labels, in.data_sent);
+  set_counter(registry, "mot_retransmissions_total", labels,
+              in.retransmissions);
+  set_counter(registry, "mot_acks_sent_total", labels, in.acks_sent);
+  set_counter(registry, "mot_duplicates_suppressed_total", labels,
+              in.duplicates_suppressed);
+  registry.gauge("mot_useful_distance", labels).set(in.useful_distance);
+  registry.gauge("mot_transport_distance", labels)
+      .set(in.transport_distance);
+  registry.gauge("mot_recovery_distance", labels).set(in.recovery_distance);
+  const ReliabilitySummary summary = summarize_reliability(in);
+  registry.gauge("mot_retransmission_rate", labels)
+      .set(summary.retransmission_rate);
+  registry.gauge("mot_duplicate_rate", labels).set(summary.duplicate_rate);
+  registry.gauge("mot_mean_ack_rtt", labels).set(summary.mean_ack_rtt);
+  registry.gauge("mot_transport_overhead", labels)
+      .set(summary.transport_overhead);
+  registry.gauge("mot_recovery_overhead", labels)
+      .set(summary.recovery_overhead);
+}
+
 }  // namespace mot

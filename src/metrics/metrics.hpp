@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics_registry.hpp"
 #include "util/stats.hpp"
 
 namespace mot {
@@ -91,5 +92,16 @@ struct ReliabilitySummary {
 };
 
 ReliabilitySummary summarize_reliability(const ReliabilityInputs& in);
+
+// Registry bridges (see obs/metrics_registry.hpp): project a snapshot of
+// the plain structs above into named instruments. Idempotent — counters
+// are reset before being set, so re-exporting does not double-count.
+void export_load(const std::vector<std::size_t>& load_per_node,
+                 obs::MetricsRegistry& registry,
+                 const obs::Labels& labels = {}, std::size_t threshold = 10);
+
+void export_reliability(const ReliabilityInputs& in,
+                        obs::MetricsRegistry& registry,
+                        const obs::Labels& labels = {});
 
 }  // namespace mot

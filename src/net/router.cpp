@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/shortest_path.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace mot {
@@ -42,6 +43,14 @@ std::vector<NodeId> ShortestPathRouter::route(NodeId from, NodeId to) const {
     path.push_back(at);
     MOT_CHECK(path.size() <= graph_->num_nodes());
   }
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kRouteComputed,
+               .from = from,
+               .to = to,
+               .dist = route_cost(*graph_, path),
+               .aux = path.size() - 1,
+               .label = "shortest_path"});
+  }
   return path;
 }
 
@@ -77,6 +86,14 @@ std::vector<NodeId> GreedyGeographicRouter::route(NodeId from,
     at = best;
     path.push_back(at);
     MOT_CHECK(path.size() <= graph_->num_nodes());  // progress => no loop
+  }
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kRouteComputed,
+               .from = from,
+               .to = to,
+               .dist = route_cost(*graph_, path),
+               .aux = path.size() - 1,
+               .label = "greedy_geo"});
   }
   return path;
 }

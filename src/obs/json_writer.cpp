@@ -1,0 +1,126 @@
+#include "obs/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace mot::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  std::string out(buf, res.ptr);
+  // to_chars may produce "1e+20"-style tokens, which are valid JSON;
+  // bare integers like "3" are too. Nothing to fix up.
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& text) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* text) { value(std::string(text)); }
+
+void JsonWriter::value(double number) {
+  pre_value();
+  out_ += json_double(number);
+}
+
+void JsonWriter::value(std::int64_t number) {
+  pre_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  pre_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool flag) {
+  pre_value();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  pre_value();
+  out_ += "null";
+}
+
+void JsonWriter::raw(const std::string& token) {
+  pre_value();
+  out_ += token;
+}
+
+}  // namespace mot::obs

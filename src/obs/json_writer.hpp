@@ -1,0 +1,58 @@
+// Minimal JSON emission helpers shared by the trace / metrics / run
+// record exporters. Write-only by design: the repo never parses JSON,
+// it only produces it for jq / pandas / CI validation, so a dependency-
+// free writer beats vendoring a parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mot::obs {
+
+// Escapes `text` for inclusion inside a JSON string literal (quotes not
+// included).
+std::string json_escape(const std::string& text);
+
+// Formats a double as a JSON token: shortest round-trippable decimal;
+// NaN / Inf become `null` so every emitted document stays parseable.
+std::string json_double(double value);
+
+// Comma-tracking structural writer. Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("name"); w.value("fig04");
+//   w.key("rows"); w.begin_array(); w.value(1.5); w.end_array();
+//   w.end_object();
+//   std::string doc = w.str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& name);
+
+  void value(const std::string& text);
+  void value(const char* text);
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(bool flag);
+  void null();
+  // Emits `token` verbatim (for pre-serialized sub-documents).
+  void raw(const std::string& token);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void pre_value();
+
+  std::string out_;
+  // One entry per open container: true once the first element has been
+  // written (so the next one needs a leading comma).
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace mot::obs

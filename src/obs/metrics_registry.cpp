@@ -1,0 +1,214 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+
+#include "obs/json_writer.hpp"
+#include "util/check.hpp"
+
+namespace mot::obs {
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  MOT_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void FixedHistogram::observe(double sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += sample;
+}
+
+namespace {
+
+std::string entry_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, Kind kind,
+    const std::vector<double>* bounds) {
+  const std::string key = entry_key(name, labels);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    MOT_CHECK(it->second->kind == kind);
+    return *it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<FixedHistogram>(*bounds);
+      break;
+  }
+  Entry& ref = *entry;
+  index_.emplace(key, &ref);
+  entries_.push_back(std::move(entry));
+  return ref;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kGauge, nullptr).gauge;
+}
+
+FixedHistogram& MetricsRegistry::histogram(const std::string& name,
+                                           const std::vector<double>& bounds,
+                                           const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kHistogram, &bounds).histogram;
+}
+
+void MetricsRegistry::clear() {
+  index_.clear();
+  entries_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& entry : entries_) {
+    w.begin_object();
+    w.key("name");
+    w.value(entry->name);
+    if (!entry->labels.empty()) {
+      w.key("labels");
+      w.begin_object();
+      for (const auto& [k, v] : entry->labels) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+    }
+    w.key("type");
+    switch (entry->kind) {
+      case Kind::kCounter:
+        w.value("counter");
+        w.key("value");
+        w.value(entry->counter->value());
+        break;
+      case Kind::kGauge:
+        w.value("gauge");
+        w.key("value");
+        w.value(entry->gauge->value());
+        break;
+      case Kind::kHistogram: {
+        w.value("histogram");
+        const FixedHistogram& h = *entry->histogram;
+        w.key("count");
+        w.value(h.count());
+        w.key("sum");
+        w.value(h.sum());
+        w.key("bounds");
+        w.begin_array();
+        for (const double b : h.bounds()) w.value(b);
+        w.end_array();
+        w.key("buckets");
+        w.begin_array();
+        for (const std::uint64_t c : h.bucket_counts()) w.value(c);
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; map everything else to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prom_name(k) + "=\"" + json_escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    const std::string name = prom_name(entry->name);
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + prom_labels(entry->labels) + " " +
+               std::to_string(entry->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + prom_labels(entry->labels) + " " +
+               json_double(entry->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const FixedHistogram& h = *entry->histogram;
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_counts()[i];
+          out += name + "_bucket" +
+                 prom_labels(entry->labels, "le", json_double(h.bounds()[i])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += name + "_bucket" + prom_labels(entry->labels, "le", "+Inf") +
+               " " + std::to_string(h.count()) + "\n";
+        out += name + "_sum" + prom_labels(entry->labels) + " " +
+               json_double(h.sum()) + "\n";
+        out += name + "_count" + prom_labels(entry->labels) + " " +
+               std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace mot::obs

@@ -1,0 +1,111 @@
+// Named-metric registry: counters, gauges, and fixed-bucket histograms,
+// each optionally labeled (e.g. by node or overlay level), behind one
+// snapshot/export API with JSON and Prometheus-text exporters.
+//
+// This absorbs the ad-hoc tallies that grew per subsystem — `CostMeter`
+// (sim), `ProtocolStats` (proto), `ReliabilityInputs` (metrics) — each
+// of those keeps its cheap inline counters on the hot path, and an
+// export bridge (export_cost_meter / export_protocol_stats /
+// export_reliability) projects them into the registry at snapshot time,
+// so every bench and test reads one uniform surface.
+//
+// Metric handles returned by counter()/gauge()/histogram() are stable
+// for the registry's lifetime: instruments are heap-allocated and never
+// move, so hot loops can hoist the lookup and bump a reference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mot::obs {
+
+// Label set attached to an instrument, e.g. {{"node","17"},{"level","3"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void increment(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Histogram over caller-supplied bucket upper bounds. A sample lands in
+// the first bucket whose bound is >= the sample; larger samples land in
+// the implicit overflow bucket. Cumulative counts (Prometheus style)
+// are computed at export time.
+class FixedHistogram {
+ public:
+  explicit FixedHistogram(std::vector<double> bounds);
+
+  void observe(double sample);
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts; back() is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Returns the instrument registered under (name, labels), creating it
+  // on first use. References remain valid until clear()/destruction.
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  // `bounds` is consulted only on first registration of (name, labels).
+  FixedHistogram& histogram(const std::string& name,
+                            const std::vector<double>& bounds,
+                            const Labels& labels = {});
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear();
+
+  // Snapshot exporters; instruments appear in registration order.
+  std::string to_json() const;
+  std::string to_prometheus() const;
+
+  // Process-wide registry used by the bench telemetry layer.
+  static MetricsRegistry& global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<FixedHistogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const Labels& labels,
+                        Kind kind, const std::vector<double>* bounds);
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, Entry*> index_;  // keyed name+labels
+};
+
+}  // namespace mot::obs

@@ -1,0 +1,23 @@
+#include "obs/phase_timer.hpp"
+
+namespace mot::obs {
+
+void PhaseTimers::record(const std::string& name, double seconds) {
+  for (Phase& phase : phases_) {
+    if (phase.name == name) {
+      phase.seconds += seconds;
+      ++phase.count;
+      return;
+    }
+  }
+  phases_.push_back({name, seconds, 1});
+}
+
+void PhaseTimers::clear() { phases_.clear(); }
+
+PhaseTimers& PhaseTimers::global() {
+  static PhaseTimers timers;
+  return timers;
+}
+
+}  // namespace mot::obs

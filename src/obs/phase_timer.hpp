@@ -1,0 +1,67 @@
+// Per-phase wall-clock timers: hierarchy build, op loop, recovery, …
+// surfaced in every bench and embedded in BENCH_*.json run records.
+//
+// This is the ONE place wall-clock enters the observability layer.
+// Trace events never carry wall-clock (it would break same-seed stream
+// determinism); phase timings are aggregated separately and reported
+// only at the run level.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mot::obs {
+
+class PhaseTimers {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t count = 0;  // number of scopes merged into this phase
+  };
+
+  // Adds `seconds` to the phase named `name` (created on first use;
+  // phases report in first-use order).
+  void record(const std::string& name, double seconds);
+
+  const std::vector<Phase>& phases() const { return phases_; }
+  bool empty() const { return phases_.empty(); }
+  void clear();
+
+  // Process-wide timers read by the bench telemetry layer.
+  static PhaseTimers& global();
+
+  // RAII scope feeding the global timers on destruction.
+  class Scope {
+   public:
+    explicit Scope(const char* name)
+        : name_(name), start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      PhaseTimers::global().record(
+          name_, std::chrono::duration<double>(elapsed).count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    const char* name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+}  // namespace mot::obs
+
+#define MOT_OBS_PHASE_CONCAT_INNER(a, b) a##b
+#define MOT_OBS_PHASE_CONCAT(a, b) MOT_OBS_PHASE_CONCAT_INNER(a, b)
+// Times the enclosing block under the given phase name.
+#define MOT_PHASE(name)                                       \
+  ::mot::obs::PhaseTimers::Scope MOT_OBS_PHASE_CONCAT(        \
+      mot_obs_phase_, __LINE__) {                             \
+    name                                                      \
+  }

@@ -1,0 +1,199 @@
+#include "obs/run_record.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json_writer.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/phase_timer.hpp"
+#include "util/table.hpp"
+
+namespace mot::obs {
+
+void RunRecord::set_command_line(int argc, char** argv) {
+  command_line_.assign(argv, argv + argc);
+}
+
+void RunRecord::add_config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, value);
+  config_raw_.push_back(false);
+}
+
+void RunRecord::add_config(const std::string& key, std::uint64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+  config_raw_.push_back(true);
+}
+
+void RunRecord::add_config(const std::string& key, double value) {
+  config_.emplace_back(key, json_double(value));
+  config_raw_.push_back(true);
+}
+
+void RunRecord::add_config(const std::string& key, bool value) {
+  config_.emplace_back(key, value ? "true" : "false");
+  config_raw_.push_back(true);
+}
+
+void RunRecord::add_table(const std::string& title, const Table& table) {
+  RecordedTable recorded;
+  recorded.title = title;
+  recorded.columns = table.column_names();
+  recorded.rows.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.num_columns());
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      row.push_back(table.at(r, c));
+    }
+    recorded.rows.push_back(std::move(row));
+  }
+  tables_.push_back(std::move(recorded));
+}
+
+namespace {
+
+// Table cells are formatted numbers ("12.5000") or labels ("greedy");
+// emit numbers as JSON numbers so consumers need no coercion pass.
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = cell[0] == '-' || cell[0] == '+' ? 1 : 0;
+  if (i == cell.size()) return false;
+  bool seen_digit = false;
+  bool seen_dot = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (c >= '0' && c <= '9') {
+      seen_digit = true;
+    } else if (c == '.' && !seen_dot) {
+      seen_dot = true;
+    } else {
+      return false;
+    }
+  }
+  return seen_digit;
+}
+
+}  // namespace
+
+std::string RunRecord::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(std::uint64_t{1});
+  w.key("bench");
+  w.value(bench_);
+  if (!description_.empty()) {
+    w.key("description");
+    w.value(description_);
+  }
+  if (!command_line_.empty()) {
+    w.key("command_line");
+    w.begin_array();
+    for (const auto& arg : command_line_) w.value(arg);
+    w.end_array();
+  }
+  w.key("git_rev");
+  w.value(read_git_rev());
+
+  w.key("config");
+  w.begin_object();
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    w.key(config_[i].first);
+    if (config_raw_[i]) {
+      w.raw(config_[i].second);
+    } else {
+      w.value(config_[i].second);
+    }
+  }
+  w.end_object();
+
+  w.key("tables");
+  w.begin_array();
+  for (const RecordedTable& table : tables_) {
+    w.begin_object();
+    w.key("title");
+    w.value(table.title);
+    w.key("columns");
+    w.begin_array();
+    for (const auto& col : table.columns) w.value(col);
+    w.end_array();
+    w.key("rows");
+    w.begin_array();
+    for (const auto& row : table.rows) {
+      w.begin_array();
+      for (const auto& cell : row) {
+        if (looks_numeric(cell)) {
+          w.raw(cell[0] == '+' ? cell.substr(1) : cell);
+        } else {
+          w.value(cell);
+        }
+      }
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("phases");
+  w.begin_array();
+  for (const auto& phase : PhaseTimers::global().phases()) {
+    w.begin_object();
+    w.key("name");
+    w.value(phase.name);
+    w.key("seconds");
+    w.value(phase.seconds);
+    w.key("count");
+    w.value(phase.count);
+    w.end_object();
+  }
+  w.end_array();
+
+  if (!MetricsRegistry::global().empty()) {
+    w.key("metrics");
+    w.raw(MetricsRegistry::global().to_json());
+  }
+  w.end_object();
+  return w.str();
+}
+
+bool RunRecord::write(const std::string& path) const {
+  return write_text_file(path, to_json() + "\n");
+}
+
+std::string read_git_rev() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dir = fs::current_path(ec);
+  if (ec) return "";
+  for (int depth = 0; depth < 16 && !dir.empty(); ++depth) {
+    const fs::path head = dir / ".git" / "HEAD";
+    if (fs::exists(head, ec) && !ec) {
+      std::ifstream in(head);
+      std::string line;
+      if (!std::getline(in, line)) return "";
+      constexpr const char* kRefPrefix = "ref: ";
+      if (line.rfind(kRefPrefix, 0) == 0) {
+        const std::string ref = line.substr(5);
+        std::ifstream ref_in(dir / ".git" / ref);
+        std::string rev;
+        if (std::getline(ref_in, rev)) return rev;
+        // Packed refs: scan .git/packed-refs for the ref name.
+        std::ifstream packed(dir / ".git" / "packed-refs");
+        while (std::getline(packed, line)) {
+          if (line.size() > 41 && line.compare(41, std::string::npos, ref) == 0) {
+            return line.substr(0, 40);
+          }
+        }
+        return "";
+      }
+      return line;
+    }
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) break;
+    dir = parent;
+  }
+  return "";
+}
+
+}  // namespace mot::obs

@@ -1,0 +1,63 @@
+// Machine-readable bench run records. Each fig/tbl binary run with
+// `--emit-json <path>` writes one BENCH_<name>.json document capturing
+// everything a perf-trajectory tracker needs to compare runs: the exact
+// config, every result table, per-phase wall-clock timings, the global
+// metrics snapshot, and the git revision the binary was built from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mot {
+class Table;
+}  // namespace mot
+
+namespace mot::obs {
+
+struct RecordedTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+class RunRecord {
+ public:
+  void set_bench(const std::string& name) { bench_ = name; }
+  void set_description(const std::string& text) { description_ = text; }
+  void set_command_line(int argc, char** argv);
+  void add_config(const std::string& key, const std::string& value);
+  void add_config(const std::string& key, std::uint64_t value);
+  void add_config(const std::string& key, double value);
+  void add_config(const std::string& key, bool value);
+  void add_table(const std::string& title, const Table& table);
+
+  const std::string& bench() const { return bench_; }
+  std::size_t num_tables() const { return tables_.size(); }
+
+  // Serializes the record: {schema, bench, description, command_line,
+  // git_rev, config, tables, phases, metrics?}. Phase timings come from
+  // PhaseTimers::global(); the metrics key appears only when
+  // MetricsRegistry::global() is non-empty.
+  std::string to_json() const;
+
+  // Serializes and writes to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::string description_;
+  std::vector<std::string> command_line_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  // Config values that are numeric/bool JSON tokens rather than strings.
+  std::vector<bool> config_raw_;
+  std::vector<RecordedTable> tables_;
+};
+
+// Best-effort current git revision: reads .git/HEAD (following one ref
+// indirection) walking up from the current directory. Returns "" when
+// not in a git checkout — never shells out.
+std::string read_git_rev();
+
+}  // namespace mot::obs

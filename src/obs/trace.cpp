@@ -1,0 +1,156 @@
+#include "obs/trace.hpp"
+
+#include <cstring>
+
+#include "obs/json_writer.hpp"
+
+namespace mot::obs {
+
+const char* ev_name(Ev type) {
+  switch (type) {
+    case Ev::kSpanBegin: return "span_begin";
+    case Ev::kSpanEnd: return "span_end";
+    case Ev::kClimbHop: return "climb_hop";
+    case Ev::kDescendHop: return "descend_hop";
+    case Ev::kDeleteHop: return "delete_hop";
+    case Ev::kSpHop: return "sp_hop";
+    case Ev::kSdlJump: return "sdl_jump";
+    case Ev::kAccessRoute: return "access_route";
+    case Ev::kSplice: return "splice";
+    case Ev::kRepairHop: return "repair_hop";
+    case Ev::kQueryRestart: return "query_restart";
+    case Ev::kQueryForward: return "query_forward";
+    case Ev::kTokenWait: return "token_wait";
+    case Ev::kRouteHop: return "route_hop";
+    case Ev::kRouteComputed: return "route_computed";
+    case Ev::kMsgSend: return "msg_send";
+    case Ev::kAck: return "ack";
+    case Ev::kRetransmit: return "retransmit";
+    case Ev::kDuplicate: return "duplicate";
+    case Ev::kChannelDrop: return "channel_drop";
+    case Ev::kChannelDuplicate: return "channel_duplicate";
+    case Ev::kChannelDelay: return "channel_delay";
+    case Ev::kCrash: return "crash";
+    case Ev::kRecoverySplice: return "recovery_splice";
+    case Ev::kRecoveryHop: return "recovery_hop";
+    case Ev::kRecoveryRebuild: return "recovery_rebuild";
+    case Ev::kQueryRescue: return "query_rescue";
+    case Ev::kQueryAbort: return "query_abort";
+  }
+  return "unknown";
+}
+
+bool TraceEvent::operator==(const TraceEvent& other) const {
+  if (type != other.type || t != other.t || object != other.object ||
+      from != other.from || to != other.to || level != other.level ||
+      dist != other.dist || charged != other.charged || aux != other.aux) {
+    return false;
+  }
+  if (label == other.label) return true;
+  if (label == nullptr || other.label == nullptr) return false;
+  return std::strcmp(label, other.label) == 0;
+}
+
+namespace detail {
+TraceSink* g_sink = nullptr;
+}  // namespace detail
+
+TraceSink* install_trace_sink(TraceSink* sink) {
+  TraceSink* previous = detail::g_sink;
+  detail::g_sink = sink;
+  return previous;
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  buffer_.reserve(capacity_);
+}
+
+void RingBufferSink::on_event(const TraceEvent& event) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+  } else {
+    buffer_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::vector<TraceEvent> ordered;
+  ordered.reserve(buffer_.size());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    ordered.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  }
+  return ordered;
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  return total_ - buffer_.size();
+}
+
+void RingBufferSink::clear() {
+  buffer_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string event_to_json(const TraceEvent& event, std::uint64_t index) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("i");
+  w.value(index);
+  w.key("ev");
+  w.value(ev_name(event.type));
+  if (event.t >= 0.0) {
+    w.key("t");
+    w.value(event.t);
+  }
+  if (event.object != kNoObject) {
+    w.key("obj");
+    w.value(event.object);
+  }
+  if (event.from != kNoNode) {
+    w.key("from");
+    w.value(static_cast<std::uint64_t>(event.from));
+  }
+  if (event.to != kNoNode) {
+    w.key("to");
+    w.value(static_cast<std::uint64_t>(event.to));
+  }
+  if (event.level >= 0) {
+    w.key("level");
+    w.value(static_cast<std::int64_t>(event.level));
+  }
+  if (event.dist != 0.0) {
+    w.key("dist");
+    w.value(event.dist);
+  }
+  if (event.charged != 0.0) {
+    w.key("charged");
+    w.value(event.charged);
+  }
+  if (event.aux != 0) {
+    w.key("aux");
+    w.value(event.aux);
+  }
+  if (event.label != nullptr) {
+    w.key("label");
+    w.value(event.label);
+  }
+  w.end_object();
+  return w.str();
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {}
+
+JsonlFileSink::~JsonlFileSink() { flush(); }
+
+void JsonlFileSink::on_event(const TraceEvent& event) {
+  out_ << event_to_json(event, written_) << '\n';
+  ++written_;
+}
+
+void JsonlFileSink::flush() { out_.flush(); }
+
+}  // namespace mot::obs

@@ -1,0 +1,188 @@
+// Structured tracing for the MOT stack.
+//
+// The paper's claims are cost-accounting claims: maintenance ratio
+// O(min{log n, log D}), O(1) query stretch, O(log D) load. When a ratio
+// regresses, an end-of-run aggregate cannot say *which* climb, chain
+// splice, or de Bruijn hop spent the distance. This facility records
+// exactly that: every point where a tracker charges its CostMeter (and
+// every protocol/channel event around those charges) can emit one typed
+// TraceEvent to an installed TraceSink.
+//
+// Zero-cost guarantee: with no sink installed, emission is a single
+// inlined null-pointer test — no event is constructed, nothing is
+// charged, and runs are bit-identical in cost to an untraced build
+// (guarded by the parity tests in tests/test_obs.cpp). Tracing never
+// writes to a CostMeter; `charged` merely mirrors what the instrumented
+// code charged, so the sum of `charged` over a trace reconciles with
+// CostMeter::total_distance().
+//
+// Determinism: events carry simulator time and seeded protocol state
+// only — never wall-clock — so the same seed yields an identical event
+// stream (also guarded by tests).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mot::obs {
+
+enum class Ev : std::uint8_t {
+  // Scoped spans (MOT_SPAN): logical operation boundaries.
+  kSpanBegin,
+  kSpanEnd,
+  // Chain-engine hops (ChainTracker / ConcurrentEngine).
+  kClimbHop,      // upward walk hop of a publish / move / query
+  kDescendHop,    // chain descent hop toward the proxy
+  kDeleteHop,     // fragment-tear hop of a maintenance delete
+  kSpHop,         // special-parent bookkeeping hop
+  kSdlJump,       // query jumping to the lowest special child
+  kAccessRoute,   // delegate (de Bruijn) routing cost of an entry access
+  kSplice,        // chain spliced at the meet node
+  kRepairHop,     // evacuation / crash chain-repair hop
+  // Concurrent-engine coordination.
+  kQueryRestart,  // climb restarted after a torn descent
+  kQueryForward,  // parked / redirected query forwarded to the new proxy
+  kTokenWait,     // move parked waiting for the per-object token
+  // Routing layers.
+  kRouteHop,       // one de Bruijn cluster-route hop (host to host)
+  kRouteComputed,  // physical router produced a route (aux = hop count)
+  // Distributed protocol link layer.
+  kMsgSend,     // logical protocol message sent (label = message type)
+  kAck,         // receiver acknowledged a DATA frame
+  kRetransmit,  // retransmission timer fired
+  kDuplicate,   // receiver-side duplicate suppressed
+  // Channel faults.
+  kChannelDrop,
+  kChannelDuplicate,
+  kChannelDelay,
+  kCrash,
+  // Crash recovery.
+  kRecoverySplice,   // chain spliced around a dead sensor
+  kRecoveryHop,      // rebuild climb / SDL re-registration hop
+  kRecoveryRebuild,  // object re-published from its physical position
+  kQueryRescue,      // query restarted because of a crash
+  kQueryAbort,       // query abandoned (its requester died)
+};
+
+// Stable lowercase name used as the "ev" field of JSONL traces.
+const char* ev_name(Ev type);
+
+inline constexpr std::uint64_t kNoObject = ~std::uint64_t{0};
+inline constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+
+// One trace record. Plain integers/doubles only (no graph types) so the
+// module sits below every instrumented layer. Unset fields keep their
+// defaults and are omitted from JSONL output.
+struct TraceEvent {
+  Ev type = Ev::kSpanBegin;
+  double t = -1.0;                    // simulator time; -1 = none
+  std::uint64_t object = kNoObject;   // tracked object, if any
+  std::uint32_t from = kNoNode;       // physical source node
+  std::uint32_t to = kNoNode;         // physical destination node
+  std::int32_t level = -1;            // overlay level, if any
+  double dist = 0.0;                  // hop / route distance
+  double charged = 0.0;               // amount charged to the CostMeter
+  std::uint64_t aux = 0;              // seq number / query id / count
+  const char* label = nullptr;        // static string: span / msg type
+
+  bool operator==(const TraceEvent& other) const;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+namespace detail {
+extern TraceSink* g_sink;
+}  // namespace detail
+
+// Installs `sink` as the process-wide trace sink (nullptr uninstalls).
+// The sink must outlive its installation; not thread-safe — install
+// before injecting traffic. Returns the previously installed sink.
+TraceSink* install_trace_sink(TraceSink* sink);
+
+inline TraceSink* trace_sink() { return detail::g_sink; }
+inline bool tracing() { return detail::g_sink != nullptr; }
+
+// The emission fast path: one predictable branch when disabled. Call as
+//   if (obs::tracing()) obs::emit({.type = ..., ...});
+// so the event is only constructed when a sink is listening.
+inline void emit(const TraceEvent& event) {
+  if (detail::g_sink != nullptr) detail::g_sink->on_event(event);
+}
+
+// Fixed-capacity in-memory sink: keeps the most recent `capacity`
+// events, counting what it had to overwrite. The cheap default for
+// tests and post-mortem ring dumps.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity);
+
+  void on_event(const TraceEvent& event) override;
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::uint64_t total_events() const { return total_; }
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// Streams events as JSON Lines: one self-contained object per line, so
+// traces are consumable with `jq` / pandas without a custom parser.
+// Field order and names are stable; unset fields are omitted.
+class JsonlFileSink final : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+
+  bool ok() const { return static_cast<bool>(out_); }
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+  std::uint64_t events_written() const { return written_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t written_ = 0;
+};
+
+// Serializes one event as a single JSON object (no trailing newline).
+std::string event_to_json(const TraceEvent& event, std::uint64_t index);
+
+// RAII span: emits kSpanBegin / kSpanEnd around a scope. The sink is
+// re-checked at each end, so installing or removing a sink mid-span is
+// safe (the unmatched half is simply absent from the stream).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, std::uint64_t object = kNoObject)
+      : name_(name), object_(object) {
+    emit({.type = Ev::kSpanBegin, .object = object_, .label = name_});
+  }
+  ~ScopedSpan() {
+    emit({.type = Ev::kSpanEnd, .object = object_, .label = name_});
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t object_;
+};
+
+}  // namespace mot::obs
+
+#define MOT_OBS_CONCAT_INNER(a, b) a##b
+#define MOT_OBS_CONCAT(a, b) MOT_OBS_CONCAT_INNER(a, b)
+// Scoped span over the enclosing block; extra args forward to ScopedSpan.
+#define MOT_SPAN(...) \
+  ::mot::obs::ScopedSpan MOT_OBS_CONCAT(mot_obs_span_, __LINE__){__VA_ARGS__}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/phase_timer.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace mot::proto {
@@ -101,6 +103,17 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
   } else if (op_cost != nullptr) {
     meter_.charge(0.0, 1);
   }
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kMsgSend,
+               .t = sim_->now(),
+               .object = message.object,
+               .from = from,
+               .to = to,
+               .level = message.role.level,
+               .dist = hop,
+               .charged = op_cost != nullptr ? hop : 0.0,
+               .label = msg_type_name(message.type)});
+  }
   if (record_) {
     deliveries_.push_back({message, from, to, sim_->now(), hop});
   }
@@ -154,11 +167,29 @@ void DistributedMot::deliver_data(std::uint64_t seq, const Message& message,
   ++stats_.acks_sent;
   stats_.transport_distance += dist;
   meter_.charge(dist);
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kAck,
+               .t = sim_->now(),
+               .object = message.object,
+               .from = to,
+               .to = from,
+               .dist = dist,
+               .charged = dist,
+               .aux = seq});
+  }
   channel_->transmit(*sim_, to, from, dist,
                      [this, seq] { on_ack(seq); });
   if (!delivered_.insert(seq).second) {
     // Duplicate suppression: handlers are effectively-once.
     ++stats_.duplicates_suppressed;
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kDuplicate,
+                 .t = sim_->now(),
+                 .object = message.object,
+                 .from = from,
+                 .to = to,
+                 .aux = seq});
+    }
     return;
   }
   handle(message);
@@ -185,6 +216,17 @@ void DistributedMot::on_transfer_timeout(std::uint64_t seq) {
   ++stats_.retransmissions;
   stats_.transport_distance += transfer.dist;
   meter_.charge(transfer.dist);
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kRetransmit,
+               .t = sim_->now(),
+               .object = transfer.message.object,
+               .from = transfer.from,
+               .to = transfer.to,
+               .dist = transfer.dist,
+               .charged = transfer.dist,
+               .aux = seq,
+               .label = msg_type_name(transfer.message.type)});
+  }
   transmit_data(seq);
 }
 
@@ -698,6 +740,7 @@ void DistributedMot::recover_from_crash(NodeId victim) {
     MOT_CHECK(at != victim);  // objects sit on live sensors
   }
   ++stats_.crash_recoveries;
+  MOT_PHASE("recovery");
 
   // 1. Freeze traffic that involved the dead node and classify what the
   //    lost frames were doing.
@@ -744,6 +787,13 @@ void DistributedMot::recover_from_crash(NodeId victim) {
   }
   std::sort(orphaned.begin(), orphaned.end());
   for (const std::uint64_t id : orphaned) {
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kQueryAbort,
+                 .t = sim_->now(),
+                 .object = queries_.at(id).object,
+                 .from = victim,
+                 .aux = id});
+    }
     poison_query_transfers(id);
     erase_parked_records(id);
     queries_.erase(id);
@@ -805,6 +855,13 @@ void DistributedMot::recover_from_crash(NodeId victim) {
     poison_query_transfers(id);
     erase_parked_records(id);
     ++stats_.queries_rescued;
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kQueryRescue,
+                 .t = sim_->now(),
+                 .object = it->second.object,
+                 .from = it->second.origin,
+                 .aux = id});
+    }
     restart_query(id, it->second.origin);
   }
 }
@@ -843,6 +900,16 @@ void DistributedMot::splice_around(NodeId victim) {
         const Weight hop = distance(v, target.node);
         stats_.recovery_distance += hop;
         meter_.charge(hop);
+        if (obs::tracing()) {
+          obs::emit({.type = obs::Ev::kRecoverySplice,
+                     .t = sim_->now(),
+                     .object = object,
+                     .from = v,
+                     .to = target.node,
+                     .level = target.level,
+                     .dist = hop,
+                     .charged = hop});
+        }
         ++spliced;
       }
     }
@@ -889,6 +956,16 @@ void DistributedMot::rebuild_object(
     const Weight hop = distance(child.node, stop.node);
     stats_.recovery_distance += hop;
     meter_.charge(hop);
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kRecoveryHop,
+                 .t = sim_->now(),
+                 .object = object,
+                 .from = child.node,
+                 .to = stop.node,
+                 .level = stop.level,
+                 .dist = hop,
+                 .charged = hop});
+    }
     RoleState& role = sensors_[stop.node].roles[stop.level];
     std::optional<OverlayNode> sp;
     if (options_.use_special_lists) {
@@ -902,12 +979,28 @@ void DistributedMot::rebuild_object(
       const Weight sp_hop = distance(stop.node, sp->node);
       stats_.recovery_distance += sp_hop;
       meter_.charge(sp_hop);
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kRecoveryHop,
+                   .t = sim_->now(),
+                   .object = object,
+                   .from = stop.node,
+                   .to = sp->node,
+                   .level = sp->level,
+                   .dist = sp_hop,
+                   .charged = sp_hop});
+      }
     }
     child = stop;
     index = next_alive_index(sequence, index + 1);
   }
   proxies_[object] = at;
   ++stats_.objects_rebuilt;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kRecoveryRebuild,
+               .t = sim_->now(),
+               .object = object,
+               .to = at});
+  }
 }
 
 void DistributedMot::erase_parked_records(std::uint64_t query_id) {
@@ -998,6 +1091,62 @@ void DistributedMot::validate_quiescent() const {
     }
     MOT_CHECK(chain == total);
   }
+}
+
+namespace {
+
+void set_counter(obs::MetricsRegistry& registry, const std::string& name,
+                 const obs::Labels& labels, std::uint64_t value) {
+  obs::Counter& counter = registry.counter(name, labels);
+  counter.reset();
+  counter.increment(value);
+}
+
+}  // namespace
+
+void export_protocol_stats(const ProtocolStats& stats,
+                           obs::MetricsRegistry& registry,
+                           const obs::Labels& labels) {
+  set_counter(registry, "mot_proto_messages_sent_total", labels,
+              stats.messages_sent);
+  set_counter(registry, "mot_proto_physical_hops_total", labels,
+              stats.physical_hops);
+  set_counter(registry, "mot_proto_publishes_total", labels,
+              stats.publishes_completed);
+  set_counter(registry, "mot_proto_moves_total", labels,
+              stats.moves_completed);
+  set_counter(registry, "mot_proto_queries_total", labels,
+              stats.queries_completed);
+  set_counter(registry, "mot_proto_queries_parked_total", labels,
+              stats.queries_parked);
+  set_counter(registry, "mot_proto_queries_redirected_total", labels,
+              stats.queries_redirected);
+  set_counter(registry, "mot_proto_queries_restarted_total", labels,
+              stats.queries_restarted);
+  set_counter(registry, "mot_proto_data_sent_total", labels,
+              stats.data_sent);
+  set_counter(registry, "mot_proto_retransmissions_total", labels,
+              stats.retransmissions);
+  set_counter(registry, "mot_proto_acks_sent_total", labels,
+              stats.acks_sent);
+  set_counter(registry, "mot_proto_duplicates_suppressed_total", labels,
+              stats.duplicates_suppressed);
+  registry.gauge("mot_proto_mean_ack_rtt", labels)
+      .set(stats.mean_ack_rtt());
+  registry.gauge("mot_proto_transport_distance", labels)
+      .set(stats.transport_distance);
+  set_counter(registry, "mot_proto_crash_recoveries_total", labels,
+              stats.crash_recoveries);
+  set_counter(registry, "mot_proto_chain_splices_total", labels,
+              stats.chain_splices);
+  set_counter(registry, "mot_proto_objects_rebuilt_total", labels,
+              stats.objects_rebuilt);
+  set_counter(registry, "mot_proto_queries_rescued_total", labels,
+              stats.queries_rescued);
+  set_counter(registry, "mot_proto_queries_aborted_total", labels,
+              stats.queries_aborted);
+  registry.gauge("mot_proto_recovery_distance", labels)
+      .set(stats.recovery_distance);
 }
 
 }  // namespace mot::proto

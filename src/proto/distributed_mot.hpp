@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "net/router.hpp"
+#include "obs/metrics_registry.hpp"
 #include "proto/messages.hpp"
 #include "sim/channel.hpp"
 #include "sim/cost_meter.hpp"
@@ -84,6 +85,13 @@ struct ProtocolStats {
 
   bool operator==(const ProtocolStats&) const = default;
 };
+
+// Projects a stats snapshot into a metrics registry (see
+// obs/metrics_registry.hpp). Idempotent: counters are reset before being
+// set, so re-exporting does not double-count.
+void export_protocol_stats(const ProtocolStats& stats,
+                           obs::MetricsRegistry& registry,
+                           const obs::Labels& labels = {});
 
 class DistributedMot {
  public:

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace mot {
 
@@ -49,5 +50,19 @@ class CostWindow {
   Weight start_distance_;
   std::uint64_t start_messages_;
 };
+
+// Projects a meter snapshot into a metrics registry. Idempotent: the
+// instruments are overwritten, not accumulated, so re-exporting the same
+// meter does not double-count.
+inline void export_cost_meter(const CostMeter& meter,
+                              obs::MetricsRegistry& registry,
+                              const obs::Labels& labels = {}) {
+  registry.gauge("mot_cost_distance_total", labels)
+      .set(meter.total_distance());
+  obs::Counter& messages =
+      registry.counter("mot_cost_messages_total", labels);
+  messages.reset();
+  messages.increment(meter.total_messages());
+}
 
 }  // namespace mot

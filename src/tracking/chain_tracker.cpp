@@ -14,15 +14,37 @@ Weight ChainTracker::distance(NodeId a, NodeId b) const {
   return provider_->oracle().distance(a, b);
 }
 
-void ChainTracker::charge_hop(NodeId from, NodeId to) {
+void ChainTracker::charge_hop(NodeId from, NodeId to, ObjectId object,
+                              obs::Ev kind, std::int32_t level) {
   if (from == to) return;
-  meter_.charge(distance(from, to));
+  const Weight d = distance(from, to);
+  meter_.charge(d);
+  if (obs::tracing()) {
+    obs::emit({.type = kind,
+               .object = object,
+               .from = from,
+               .to = to,
+               .level = level,
+               .dist = d,
+               .charged = d});
+  }
 }
 
 void ChainTracker::charge_access(OverlayNode owner, ObjectId object) {
   if (!options_.charge_delegate_routing) return;
   const auto access = provider_->delegate(owner, object);
-  if (access.route_cost > 0.0) meter_.charge(access.route_cost);
+  if (access.route_cost > 0.0) {
+    meter_.charge(access.route_cost);
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kAccessRoute,
+                 .object = object,
+                 .from = owner.node,
+                 .to = access.storage,
+                 .level = owner.level,
+                 .dist = access.route_cost,
+                 .charged = access.route_cost});
+    }
+  }
 }
 
 void ChainTracker::add_entry(OverlayNode owner, ObjectId object,
@@ -34,7 +56,7 @@ void ChainTracker::add_entry(OverlayNode owner, ObjectId object,
   node.dl.emplace(object, DlEntry{child, sp});
   if (sp) {
     if (options_.charge_special_updates) {
-      charge_hop(owner.node, sp->node);
+      charge_hop(owner.node, sp->node, object, obs::Ev::kSpHop, sp->level);
       charge_access(*sp, object);
     }
     state_[*sp].sdl[object].push_back(owner);
@@ -57,6 +79,7 @@ void ChainTracker::remove_sdl_record(OverlayNode sp, ObjectId object,
 void ChainTracker::publish(ObjectId object, NodeId proxy) {
   MOT_EXPECTS(proxy < provider_->num_nodes());
   MOT_EXPECTS(!is_published(object));
+  MOT_SPAN("publish", object);
   const auto sequence = provider_->upward_sequence(proxy);
   MOT_CHECK(!sequence.empty() && sequence.front().node.node == proxy);
 
@@ -68,7 +91,8 @@ void ChainTracker::publish(ObjectId object, NodeId proxy) {
   OverlayNode previous = bottom;
   for (std::size_t i = 1; i < sequence.size(); ++i) {
     const OverlayNode stop = sequence[i].node;
-    charge_hop(previous.node, stop.node);
+    charge_hop(previous.node, stop.node, object, obs::Ev::kClimbHop,
+               stop.level);
     charge_access(stop, object);
     add_entry(stop, object, previous, provider_->special_parent(proxy, i));
     previous = stop;
@@ -81,6 +105,7 @@ MoveResult ChainTracker::move(ObjectId object, NodeId new_proxy) {
   MOT_EXPECTS(is_published(object));
   const NodeId old_proxy = proxies_[object];
   if (new_proxy == old_proxy) return {};
+  MOT_SPAN("move", object);
 
   const CostWindow window(meter_);
   const auto sequence = provider_->upward_sequence(new_proxy);
@@ -99,6 +124,12 @@ MoveResult ChainTracker::move(ObjectId object, NodeId new_proxy) {
       const OverlayNode first_victim = dl_it->second.child;
       dl_it->second.child = bottom;
       result.peak_level = bottom.level;
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kSplice,
+                   .object = object,
+                   .from = bottom.node,
+                   .level = bottom.level});
+      }
       delete_fragment(bottom, first_victim, object);
       met = true;
     }
@@ -110,7 +141,8 @@ MoveResult ChainTracker::move(ObjectId object, NodeId new_proxy) {
   OverlayNode previous = bottom;
   for (std::size_t i = 1; i < sequence.size() && !met; ++i) {
     const OverlayNode stop = sequence[i].node;
-    charge_hop(previous.node, stop.node);
+    charge_hop(previous.node, stop.node, object, obs::Ev::kClimbHop,
+               stop.level);
     charge_access(stop, object);
     auto node_it = state_.find(stop);
     if (node_it != state_.end()) {
@@ -123,6 +155,12 @@ MoveResult ChainTracker::move(ObjectId object, NodeId new_proxy) {
         const OverlayNode first_victim = dl_it->second.child;
         dl_it->second.child = previous;
         result.peak_level = stop.level;
+        if (obs::tracing()) {
+          obs::emit({.type = obs::Ev::kSplice,
+                     .object = object,
+                     .from = stop.node,
+                     .level = stop.level});
+        }
         if (first_victim != stop) {
           delete_fragment(stop, first_victim, object);
         }
@@ -147,7 +185,8 @@ void ChainTracker::delete_fragment(OverlayNode meet, OverlayNode first_victim,
   NodeId previous_physical = meet.node;
   OverlayNode current = first_victim;
   while (true) {
-    charge_hop(previous_physical, current.node);
+    charge_hop(previous_physical, current.node, object, obs::Ev::kDeleteHop,
+               current.level);
     charge_access(current, object);
     auto node_it = state_.find(current);
     MOT_CHECK(node_it != state_.end());
@@ -157,7 +196,8 @@ void ChainTracker::delete_fragment(OverlayNode meet, OverlayNode first_victim,
     node_it->second.dl.erase(dl_it);
     if (entry.sp) {
       if (options_.charge_special_updates) {
-        charge_hop(current.node, entry.sp->node);
+        charge_hop(current.node, entry.sp->node, object, obs::Ev::kSpHop,
+                   entry.sp->level);
         charge_access(*entry.sp, object);
       }
       remove_sdl_record(*entry.sp, object, current);
@@ -178,14 +218,16 @@ NodeId ChainTracker::descend(OverlayNode start, ObjectId object) {
       if (entry.child == current) break;  // proxy sentinel
       current = entry.child;
     }
-    charge_hop(start.node, current.node);
+    charge_hop(start.node, current.node, object, obs::Ev::kDescendHop,
+               start.level);
     return current.node;
   }
   OverlayNode current = start;
   while (true) {
     const auto& entry = state_.at(current).dl.at(object);
     if (entry.child == current) break;  // proxy sentinel
-    charge_hop(current.node, entry.child.node);
+    charge_hop(current.node, entry.child.node, object, obs::Ev::kDescendHop,
+               entry.child.level);
     charge_access(entry.child, object);
     current = entry.child;
   }
@@ -195,6 +237,7 @@ NodeId ChainTracker::descend(OverlayNode start, ObjectId object) {
 QueryResult ChainTracker::query(NodeId from, ObjectId object) {
   MOT_EXPECTS(from < provider_->num_nodes());
   MOT_EXPECTS(is_published(object));
+  MOT_SPAN("query", object);
   const CostWindow window(meter_);
   const auto sequence = provider_->upward_sequence(from);
 
@@ -203,7 +246,8 @@ QueryResult ChainTracker::query(NodeId from, ObjectId object) {
   for (std::size_t i = 0; i < sequence.size(); ++i) {
     const OverlayNode stop = sequence[i].node;
     if (i > 0) {
-      charge_hop(previous_physical, stop.node);
+      charge_hop(previous_physical, stop.node, object, obs::Ev::kClimbHop,
+                 stop.level);
       previous_physical = stop.node;
     }
     charge_access(stop, object);
@@ -230,7 +274,8 @@ QueryResult ChainTracker::query(NodeId from, ObjectId object) {
         result.found = true;
         result.found_level = stop.level;
         ++query_stats_.sdl_hits;
-        charge_hop(stop.node, best->node);
+        charge_hop(stop.node, best->node, object, obs::Ev::kSdlJump,
+                   best->level);
         charge_access(*best, object);
         result.proxy = descend(*best, object);
         break;
@@ -316,7 +361,8 @@ std::size_t ChainTracker::evacuate_node(NodeId node) {
           found_parent = true;
           // The parent's repair message travels to the bypassed child.
           it->second.child = entry.child;
-          charge_hop(owner.node, entry.child.node);
+          charge_hop(owner.node, entry.child.node, object, obs::Ev::kRepairHop,
+                     entry.child.level);
           break;
         }
       }
@@ -324,7 +370,8 @@ std::size_t ChainTracker::evacuate_node(NodeId node) {
       (void)parent;
       // 2. Drop our SDL registration at our special parent.
       if (entry.sp) {
-        charge_hop(role.node, entry.sp->node);
+        charge_hop(role.node, entry.sp->node, object, obs::Ev::kRepairHop,
+                   entry.sp->level);
         remove_sdl_record(*entry.sp, object, role);
       }
       ++evacuated;
@@ -339,7 +386,8 @@ std::size_t ChainTracker::evacuate_node(NodeId node) {
         MOT_CHECK(dl_it != child_state->second.dl.end());
         MOT_CHECK(dl_it->second.sp.has_value() && *dl_it->second.sp == role);
         dl_it->second.sp.reset();
-        charge_hop(role.node, child.node);
+        charge_hop(role.node, child.node, object, obs::Ev::kRepairHop,
+                   child.level);
       }
     }
     state_.erase(role);
@@ -374,7 +422,8 @@ std::size_t ChainTracker::crash_node(NodeId node) {
           it->second.child = entry.child;
           // The surviving parent pays the repair hop to the bypassed
           // child; the dead node itself sends nothing.
-          charge_hop(owner.node, entry.child.node);
+          charge_hop(owner.node, entry.child.node, object, obs::Ev::kRepairHop,
+                     entry.child.level);
           break;
         }
       }

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "tracking/path_provider.hpp"
 #include "tracking/tracker.hpp"
 
@@ -111,7 +112,10 @@ class ChainTracker final : public Tracker {
   };
 
   Weight distance(NodeId a, NodeId b) const;
-  void charge_hop(NodeId from, NodeId to);
+  // Charges one message hop and, when a trace sink is installed, emits
+  // an event of kind `kind` attributed to `object` (level optional).
+  void charge_hop(NodeId from, NodeId to, ObjectId object, obs::Ev kind,
+                  std::int32_t level = -1);
   // Charges the delegate route for touching `owner`'s entry store.
   void charge_access(OverlayNode owner, ObjectId object);
 

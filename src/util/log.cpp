@@ -1,11 +1,13 @@
 #include "util/log.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 namespace mot {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,20 +24,40 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
 
 namespace detail {
 
 void log_message(LogLevel level, const char* fmt, ...) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  // Format the whole line locally and write it in one call: interleaved
+  // fprintf calls from concurrent threads would shred messages mid-line.
+  char buffer[2048];
+  int offset = std::snprintf(buffer, sizeof(buffer), "[%s] ",
+                             level_name(level));
+  if (offset < 0) return;
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int body = std::vsnprintf(buffer + offset,
+                                  sizeof(buffer) - 1 - offset, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body > 0) {
+    offset += std::min(body, static_cast<int>(sizeof(buffer)) - 1 - offset);
+  }
+  buffer[offset] = '\n';
+  std::fwrite(buffer, 1, static_cast<std::size_t>(offset) + 1, stderr);
 }
 
 }  // namespace detail

@@ -1,9 +1,15 @@
 // Minimal leveled logging to stderr. Bench binaries default to WARN so
 // their stdout stays a clean table stream; tests raise the level when
 // diagnosing failures.
+//
+// Thread-safe: the level is atomic and each message is formatted into a
+// local buffer and emitted with a single stdio write, so concurrent
+// messages never interleave mid-line.
 #pragma once
 
 #include <cstdarg>
+#include <optional>
+#include <string>
 
 namespace mot {
 
@@ -11,6 +17,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Parses "debug" / "info" / "warn" / "error" (case-sensitive, "warning"
+// also accepted). Returns nullopt for anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
 
 namespace detail {
 void log_message(LogLevel level, const char* fmt, ...)

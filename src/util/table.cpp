@@ -111,7 +111,8 @@ std::string Table::to_string() const {
   return out.str();
 }
 
-bool write_text_file(const std::string& path, const std::string& contents) {
+bool write_text_file(const std::string& path, const std::string& contents,
+                     bool append) {
   std::error_code ec;
   const auto parent = std::filesystem::path(path).parent_path();
   if (!parent.empty()) {
@@ -122,7 +123,7 @@ bool write_text_file(const std::string& path, const std::string& contents) {
       return false;
     }
   }
-  std::ofstream out(path, std::ios::trunc);
+  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
   if (!out) {
     MOT_LOG_WARN("cannot open %s for writing", path.c_str());
     return false;

@@ -25,6 +25,7 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
   std::size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& column_names() const { return columns_; }
   const std::string& at(std::size_t row, std::size_t col) const;
 
   // Aligned fixed-width rendering with a header rule.
@@ -41,8 +42,11 @@ class Table {
 };
 
 // Writes `contents` to `path`, creating parent directories if needed.
+// With `append` set, adds to an existing file instead of truncating it
+// (multi-table benches stack their tables in one CSV this way).
 // Returns false (and logs) on failure instead of throwing: losing a CSV
 // must not abort a half-day experiment run.
-bool write_text_file(const std::string& path, const std::string& contents);
+bool write_text_file(const std::string& path, const std::string& contents,
+                     bool append = false);
 
 }  // namespace mot

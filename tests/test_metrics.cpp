@@ -97,5 +97,39 @@ TEST(SummarizeReliability, EmptyInputsYieldZeros) {
   EXPECT_DOUBLE_EQ(summary.recovery_overhead, 0.0);
 }
 
+TEST(SummarizeReliability, ZeroDataSentWithOtherCountersStaysFinite) {
+  // Transport activity without any DATA frames (e.g. a run that only
+  // exchanged ACKs before being cut short) must not divide by zero.
+  ReliabilityInputs in;
+  in.retransmissions = 5;
+  in.acks_sent = 10;
+  in.duplicates_suppressed = 2;
+  in.transport_distance = 30.0;
+  const ReliabilitySummary summary = summarize_reliability(in);
+  EXPECT_DOUBLE_EQ(summary.retransmission_rate, 0.0);
+  EXPECT_DOUBLE_EQ(summary.duplicate_rate, 0.2);
+  EXPECT_DOUBLE_EQ(summary.transport_overhead, 0.0);  // no useful work
+}
+
+TEST(LoadHistogram, EmptyLoadVector) {
+  EXPECT_EQ(load_histogram({}), "");
+}
+
+TEST(LoadHistogram, AllZeroLoads) {
+  EXPECT_EQ(load_histogram({0, 0, 0, 0}), "0:4 ");
+}
+
+TEST(SummarizeLoad, AllZeroLoadsHaveZeroImbalance) {
+  const std::vector<std::size_t> load = {0, 0, 0};
+  const LoadSummary summary = summarize_load(load, 10);
+  EXPECT_EQ(summary.num_nodes, 3u);
+  EXPECT_EQ(summary.total_entries, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+  EXPECT_EQ(summary.max, 0u);
+  EXPECT_DOUBLE_EQ(summary.p99, 0.0);
+  EXPECT_EQ(summary.nodes_above_threshold, 0u);
+  EXPECT_DOUBLE_EQ(summary.imbalance, 0.0);  // not NaN
+}
+
 }  // namespace
 }  // namespace mot

@@ -1,0 +1,464 @@
+// The observability layer's contract: tracing is zero-cost and lossless
+// when disabled (bit-identical CostMeter totals), deterministic when
+// enabled (same seed => identical event stream), and reconcilable (the
+// sum of `charged` over a trace equals CostMeter::total_distance()).
+// Plus the metrics registry, phase timers, run records, and the export
+// bridges that project legacy counters into the registry.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/mot.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/unreliable_channel.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "metrics/metrics.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/run_record.hpp"
+#include "proto/distributed_mot.hpp"
+#include "sim/cost_meter.hpp"
+#include "tracking/chain_tracker.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace mot {
+namespace {
+
+using obs::Ev;
+using obs::RingBufferSink;
+using obs::TraceEvent;
+
+// RAII sink installation so a failing test never leaks a dangling sink
+// into the rest of the suite.
+struct SinkGuard {
+  explicit SinkGuard(obs::TraceSink* sink)
+      : previous(obs::install_trace_sink(sink)) {}
+  ~SinkGuard() { obs::install_trace_sink(previous); }
+  obs::TraceSink* previous;
+};
+
+// ---------------------------------------------------------------------------
+// TraceSink plumbing
+// ---------------------------------------------------------------------------
+
+TEST(TraceSink, EmitIsNoOpWithoutSink) {
+  ASSERT_FALSE(obs::tracing());
+  obs::emit({.type = Ev::kClimbHop, .dist = 1.0});  // must not crash
+}
+
+TEST(TraceSink, InstallReturnsPrevious) {
+  RingBufferSink a(4);
+  RingBufferSink b(4);
+  obs::TraceSink* before = obs::install_trace_sink(&a);
+  EXPECT_EQ(obs::install_trace_sink(&b), &a);
+  EXPECT_EQ(obs::install_trace_sink(before), &b);
+  EXPECT_FALSE(obs::tracing());
+}
+
+TEST(RingBufferSink, KeepsMostRecentAndCountsDropped) {
+  RingBufferSink sink(3);
+  SinkGuard guard(&sink);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    obs::emit({.type = Ev::kClimbHop, .aux = i});
+  }
+  EXPECT_EQ(sink.total_events(), 5u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].aux, 2u);  // oldest retained
+  EXPECT_EQ(events[2].aux, 4u);  // newest
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.total_events(), 0u);
+}
+
+TEST(ScopedSpan, EmitsBeginAndEnd) {
+  RingBufferSink sink(8);
+  SinkGuard guard(&sink);
+  {
+    MOT_SPAN("unit_test", 7);
+    obs::emit({.type = Ev::kClimbHop, .object = 7});
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, Ev::kSpanBegin);
+  EXPECT_STREQ(events[0].label, "unit_test");
+  EXPECT_EQ(events[0].object, 7u);
+  EXPECT_EQ(events[2].type, Ev::kSpanEnd);
+}
+
+TEST(EventToJson, OmitsDefaultsAndEscapesNothingStable) {
+  const TraceEvent minimal{.type = Ev::kSplice};
+  EXPECT_EQ(obs::event_to_json(minimal, 0), R"({"i":0,"ev":"splice"})");
+
+  const TraceEvent full{.type = Ev::kMsgSend,
+                        .t = 2.5,
+                        .object = 3,
+                        .from = 1,
+                        .to = 2,
+                        .level = 4,
+                        .dist = 1.5,
+                        .charged = 1.5,
+                        .aux = 9,
+                        .label = "data"};
+  const std::string json = obs::event_to_json(full, 12);
+  EXPECT_EQ(json,
+            R"({"i":12,"ev":"msg_send","t":2.5,"obj":3,"from":1,"to":2,)"
+            R"("level":4,"dist":1.5,"charged":1.5,"aux":9,"label":"data"})");
+}
+
+TEST(JsonlFileSink, WritesOneParseableLinePerEvent) {
+  const std::string path = ::testing::TempDir() + "mot_trace_test.jsonl";
+  {
+    obs::JsonlFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    SinkGuard guard(&sink);
+    obs::emit({.type = Ev::kClimbHop, .from = 0, .to = 1, .dist = 1.0});
+    obs::emit({.type = Ev::kAck, .aux = 42});
+    sink.flush();
+    EXPECT_EQ(sink.events_written(), 2u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ev\":"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism, parity, reconciliation on a 64-node grid
+// ---------------------------------------------------------------------------
+
+struct GridFixture {
+  explicit GridFixture(std::size_t side = 8)
+      : graph(make_grid(side, side)), oracle(make_distance_oracle(graph)) {
+    DoublingHierarchy::Params hp;
+    hp.seed = 7;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, hp);
+    MotOptions options;
+    options.use_parent_sets = false;
+    provider = std::make_unique<MotPathProvider>(*hierarchy, options);
+    chain_options = make_mot_chain_options(options);
+  }
+
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+  std::unique_ptr<MotPathProvider> provider;
+  ChainOptions chain_options;
+};
+
+// Runs a fixed publish/move/query workload; returns the meter total.
+double run_chain_workload(const GridFixture& fx) {
+  ChainTracker tracker("t", *fx.provider, fx.chain_options);
+  Rng rng(11);
+  for (ObjectId o = 0; o < 5; ++o) {
+    tracker.publish(o, rng.below(fx.graph.num_nodes()));
+  }
+  for (int i = 0; i < 40; ++i) {
+    const auto object = static_cast<ObjectId>(rng.below(5));
+    const auto neighbors = fx.graph.neighbors(tracker.proxy_of(object));
+    tracker.move(object, neighbors[rng.below(neighbors.size())].to);
+    tracker.query(rng.below(fx.graph.num_nodes()), object);
+  }
+  return tracker.meter().total_distance();
+}
+
+TEST(TraceDeterminism, SameSeedYieldsIdenticalEventStream) {
+  const GridFixture fx;
+  RingBufferSink first(1u << 16);
+  {
+    SinkGuard guard(&first);
+    run_chain_workload(fx);
+  }
+  RingBufferSink second(1u << 16);
+  {
+    SinkGuard guard(&second);
+    run_chain_workload(fx);
+  }
+  ASSERT_GT(first.total_events(), 0u);
+  EXPECT_EQ(first.dropped(), 0u);
+  EXPECT_EQ(first.total_events(), second.total_events());
+  EXPECT_EQ(first.events(), second.events());
+}
+
+TEST(TraceParity, CostIsBitIdenticalWithAndWithoutSink) {
+  const GridFixture fx;
+  ASSERT_FALSE(obs::tracing());
+  const double untraced = run_chain_workload(fx);
+  RingBufferSink sink(1u << 16);
+  double traced = 0.0;
+  {
+    SinkGuard guard(&sink);
+    traced = run_chain_workload(fx);
+  }
+  EXPECT_EQ(traced, untraced);  // bit-identical, not just close
+  EXPECT_GT(sink.total_events(), 0u);
+}
+
+double sum_charged(const std::vector<TraceEvent>& events) {
+  double total = 0.0;
+  for (const TraceEvent& event : events) total += event.charged;
+  return total;
+}
+
+TEST(TraceReconciliation, ChainTrackerChargesMatchMeter) {
+  const GridFixture fx;
+  RingBufferSink sink(1u << 18);
+  SinkGuard guard(&sink);
+  const double metered = run_chain_workload(fx);
+  ASSERT_EQ(sink.dropped(), 0u);
+  EXPECT_GT(metered, 0.0);
+  EXPECT_NEAR(sum_charged(sink.events()), metered, 1e-6 * metered);
+}
+
+TEST(TraceReconciliation, DistributedProtocolChargesMatchMeter) {
+  // 64-node grid over a lossy channel: climbs, routed sends, ACKs and
+  // retransmissions must all reconcile against the runtime's meter.
+  const GridFixture fx;
+  faults::FaultPlan plan;
+  faults::LinkFaults lossy;
+  lossy.drop = 0.15;
+  lossy.duplicate = 0.10;
+  lossy.delay = 0.3;
+  lossy.max_extra_delay = 6.0;
+  plan.set_default_faults(lossy);
+  faults::UnreliableChannel channel(plan, 99);
+
+  Simulator sim;
+  proto::DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  RingBufferSink sink(1u << 18);
+  SinkGuard guard(&sink);
+  Rng rng(3);
+  for (ObjectId o = 0; o < 3; ++o) {
+    dist.publish(o, rng.below(fx.graph.num_nodes()));
+    sim.run();
+  }
+  for (int i = 0; i < 30; ++i) {
+    const auto object = static_cast<ObjectId>(rng.below(3));
+    const auto neighbors = fx.graph.neighbors(dist.proxy_of(object));
+    dist.move(object, neighbors[rng.below(neighbors.size())].to);
+    sim.run();
+    bool found = false;
+    dist.query(rng.below(fx.graph.num_nodes()), object,
+               [&](const QueryResult& r) { found = r.found; });
+    sim.run();
+    ASSERT_TRUE(found);
+  }
+  dist.validate_quiescent();
+  ASSERT_EQ(sink.dropped(), 0u);
+  EXPECT_GT(dist.stats().retransmissions, 0u);
+  const double metered = dist.meter().total_distance();
+  EXPECT_GT(metered, 0.0);
+  EXPECT_NEAR(sum_charged(sink.events()), metered, 1e-6 * metered);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesAndLabelsAreDistinct) {
+  obs::MetricsRegistry registry;
+  registry.counter("ops").increment(3);
+  registry.counter("ops", {{"kind", "move"}}).increment(5);
+  registry.gauge("ratio").set(1.5);
+  EXPECT_EQ(registry.counter("ops").value(), 3u);
+  EXPECT_EQ(registry.counter("ops", {{"kind", "move"}}).value(), 5u);
+  EXPECT_DOUBLE_EQ(registry.gauge("ratio").value(), 1.5);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossGrowth) {
+  obs::MetricsRegistry registry;
+  obs::Counter& first = registry.counter("first");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("c" + std::to_string(i)).increment();
+  }
+  first.increment(7);
+  EXPECT_EQ(registry.counter("first").value(), 7u);
+}
+
+TEST(FixedHistogram, BucketsBySampleValue) {
+  obs::FixedHistogram histogram({1.0, 5.0, 10.0});
+  histogram.observe(0.5);   // <= 1
+  histogram.observe(1.0);   // <= 1 (bound is inclusive)
+  histogram.observe(3.0);   // <= 5
+  histogram.observe(100.0); // overflow
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 104.5);
+  const auto& counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(MetricsRegistry, JsonExportContainsAllInstruments) {
+  obs::MetricsRegistry registry;
+  registry.counter("mot_ops_total", {{"kind", "move"}}).increment(2);
+  registry.gauge("mot_ratio").set(2.25);
+  registry.histogram("mot_load", {1.0, 10.0}).observe(3.0);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"mot_ops_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"move\""), std::string::npos);
+  EXPECT_NE(json.find("\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"mot_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("2.25"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusExportHasTypedSeries) {
+  obs::MetricsRegistry registry;
+  registry.counter("mot_ops_total", {{"kind", "move"}}).increment(2);
+  registry.histogram("mot_load", {1.0, 10.0}).observe(3.0);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE mot_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("mot_ops_total{kind=\"move\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mot_load histogram"), std::string::npos);
+  EXPECT_NE(text.find("mot_load_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("mot_load_count 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Export bridges
+// ---------------------------------------------------------------------------
+
+TEST(ExportBridges, CostMeterExportIsIdempotent) {
+  obs::MetricsRegistry registry;
+  CostMeter meter;
+  meter.charge(3.5, 2);
+  export_cost_meter(meter, registry);
+  export_cost_meter(meter, registry);  // must not double-count
+  EXPECT_DOUBLE_EQ(registry.gauge("mot_cost_distance_total").value(), 3.5);
+  EXPECT_EQ(registry.counter("mot_cost_messages_total").value(), 2u);
+}
+
+TEST(ExportBridges, LoadExportProjectsSummary) {
+  obs::MetricsRegistry registry;
+  const std::vector<std::size_t> load = {0, 1, 2, 3, 14};
+  export_load(load, registry, {{"algo", "mot"}});
+  const obs::Labels labels = {{"algo", "mot"}};
+  EXPECT_DOUBLE_EQ(registry.gauge("mot_load_mean", labels).value(), 4.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("mot_load_max", labels).value(), 14.0);
+  EXPECT_EQ(registry.counter("mot_load_entries_total", labels).value(),
+            20u);
+  EXPECT_EQ(
+      registry.counter("mot_load_nodes_above_threshold", labels).value(),
+      1u);
+  EXPECT_EQ(registry.histogram("mot_load_per_node", {}, labels).count(),
+            5u);
+}
+
+TEST(ExportBridges, ReliabilityExportProjectsRatesAndCounters) {
+  obs::MetricsRegistry registry;
+  ReliabilityInputs in;
+  in.data_sent = 100;
+  in.retransmissions = 10;
+  in.acks_sent = 100;
+  in.duplicates_suppressed = 5;
+  in.useful_distance = 200.0;
+  in.transport_distance = 40.0;
+  export_reliability(in, registry);
+  export_reliability(in, registry);  // idempotent
+  EXPECT_EQ(registry.counter("mot_data_sent_total").value(), 100u);
+  EXPECT_EQ(registry.counter("mot_retransmissions_total").value(), 10u);
+  EXPECT_DOUBLE_EQ(registry.gauge("mot_retransmission_rate").value(), 0.1);
+  EXPECT_DOUBLE_EQ(registry.gauge("mot_transport_overhead").value(), 0.2);
+}
+
+TEST(ExportBridges, ProtocolStatsExportCoversRecoveryCounters) {
+  obs::MetricsRegistry registry;
+  proto::ProtocolStats stats;
+  stats.messages_sent = 12;
+  stats.crash_recoveries = 1;
+  stats.objects_rebuilt = 2;
+  stats.recovery_distance = 9.5;
+  proto::export_protocol_stats(stats, registry);
+  proto::export_protocol_stats(stats, registry);  // idempotent
+  EXPECT_EQ(registry.counter("mot_proto_messages_sent_total").value(),
+            12u);
+  EXPECT_EQ(registry.counter("mot_proto_crash_recoveries_total").value(),
+            1u);
+  EXPECT_EQ(registry.counter("mot_proto_objects_rebuilt_total").value(),
+            2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("mot_proto_recovery_distance").value(),
+                   9.5);
+}
+
+// ---------------------------------------------------------------------------
+// Phase timers and run records
+// ---------------------------------------------------------------------------
+
+TEST(PhaseTimers, MergesByNameInFirstUseOrder) {
+  obs::PhaseTimers timers;
+  timers.record("build", 1.0);
+  timers.record("ops", 2.0);
+  timers.record("build", 0.5);
+  ASSERT_EQ(timers.phases().size(), 2u);
+  EXPECT_EQ(timers.phases()[0].name, "build");
+  EXPECT_DOUBLE_EQ(timers.phases()[0].seconds, 1.5);
+  EXPECT_EQ(timers.phases()[0].count, 2u);
+  EXPECT_EQ(timers.phases()[1].name, "ops");
+}
+
+TEST(PhaseTimers, ScopeFeedsGlobalTimers) {
+  obs::PhaseTimers::global().clear();
+  { MOT_PHASE("scoped_phase"); }
+  const auto& phases = obs::PhaseTimers::global().phases();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].name, "scoped_phase");
+  EXPECT_GE(phases[0].seconds, 0.0);
+  obs::PhaseTimers::global().clear();
+}
+
+TEST(RunRecord, JsonHasRequiredKeys) {
+  obs::RunRecord record;
+  record.set_bench("unit_bench");
+  record.set_description("unit test record");
+  record.add_config("seed", std::uint64_t{42});
+  record.add_config("full", false);
+  Table table({"n", "ratio"});
+  table.begin_row().cell(std::uint64_t{64}).cell(1.25, 2);
+  record.add_table("results", table);
+  const std::string json = record.to_json();
+  EXPECT_NE(json.find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"config\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"full\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"tables\""), std::string::npos);
+  EXPECT_NE(json.find("\"results\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_rev\""), std::string::npos);
+}
+
+TEST(RunRecord, WritesToDisk) {
+  obs::RunRecord record;
+  record.set_bench("disk_bench");
+  const std::string path = ::testing::TempDir() + "mot_run_record.json";
+  ASSERT_TRUE(record.write(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"disk_bench\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mot

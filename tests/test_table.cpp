@@ -66,5 +66,24 @@ TEST(WriteTextFile, RoundTripsAndCreatesDirectories) {
   std::filesystem::remove_all(dir.parent_path());
 }
 
+TEST(WriteTextFile, AppendStacksInsteadOfTruncating) {
+  const auto dir = std::filesystem::temp_directory_path() / "mot_table_test";
+  const auto path = (dir / "append.txt").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(write_text_file(path, "first\n"));
+  ASSERT_TRUE(write_text_file(path, "second\n", /*append=*/true));
+  ASSERT_TRUE(write_text_file(path, "third\n"));  // truncates again
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "third\n");
+  ASSERT_TRUE(write_text_file(path, "fourth\n", /*append=*/true));
+  std::ifstream again(path);
+  contents.assign((std::istreambuf_iterator<char>(again)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "third\nfourth\n");
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace mot
