@@ -22,6 +22,7 @@
 #include "obs/phase_timer.hpp"
 #include "obs/run_record.hpp"
 #include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -34,11 +35,26 @@ struct CommonFlags {
   std::uint64_t moves = 0;     // 0 = scale default
   std::uint64_t seeds = 0;     // 0 = scale default
   std::uint64_t base_seed = 42;
+  std::uint64_t threads = 0;   // 0 = hardware_concurrency
+  std::string sizes;           // comma-separated grid-size override
   std::string csv;             // optional CSV output path
   std::string emit_json;       // optional run-record JSON path
   std::string trace_jsonl;     // optional trace event stream path
   std::string log_level = "warn";
 };
+
+// Parses a comma-separated size list ("16,64,256"). Empty input yields
+// an empty vector (= use the figure's default sizes).
+inline std::vector<std::size_t> parse_size_list(const std::string& text) {
+  std::vector<std::size_t> sizes;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    sizes.push_back(static_cast<std::size_t>(std::stoull(token)));
+  }
+  return sizes;
+}
 
 namespace detail {
 
@@ -73,13 +89,24 @@ inline void finalize_telemetry() {
     obs::install_trace_sink(nullptr);
     trace_sink().reset();
   }
-  const auto& phases = obs::PhaseTimers::global().phases();
+  const auto phases = obs::PhaseTimers::global().phases();
   if (!phases.empty()) {
     std::fprintf(stderr, "-- phase timings --\n");
     for (const auto& phase : phases) {
       std::fprintf(stderr, "  %-18s %9.3f s  (%llu scopes)\n",
                    phase.name.c_str(), phase.seconds,
                    static_cast<unsigned long long>(phase.count));
+      // Per-worker split, only when the phase actually ran on the pool.
+      if (phase.by_worker.size() > 1 ||
+          (phase.by_worker.size() == 1 &&
+           phase.by_worker[0].worker >= 0)) {
+        for (const auto& slice : phase.by_worker) {
+          std::fprintf(stderr, "    %s%-14d %9.3f s  (%llu scopes)\n",
+                       slice.worker < 0 ? "main" : "w",
+                       slice.worker < 0 ? 0 : slice.worker, slice.seconds,
+                       static_cast<unsigned long long>(slice.count));
+        }
+      }
     }
   }
   if (!emit_json_path().empty() && !run_record().write(emit_json_path())) {
@@ -103,6 +130,10 @@ inline CommonFlags parse_common(int argc, char** argv,
   flags.register_flag("seeds", &common.seeds,
                       "override the number of seeded repetitions");
   flags.register_flag("seed", &common.base_seed, "base experiment seed");
+  flags.register_flag("threads", &common.threads,
+                      "worker threads for sweeps (0 = all cores)");
+  flags.register_flag("sizes", &common.sizes,
+                      "comma-separated grid sizes (overrides defaults)");
   flags.register_flag("csv", &common.csv, "also write the table as CSV");
   flags.register_flag("emit-json", &common.emit_json,
                       "write a machine-readable run record (BENCH_*.json)");
@@ -118,6 +149,7 @@ inline CommonFlags parse_common(int argc, char** argv,
     std::exit(1);
   }
   set_log_level(*level);
+  par::set_default_workers(static_cast<std::size_t>(common.threads));
 
   obs::RunRecord& record = detail::run_record();
   record.set_bench(detail::bench_name_from(argc > 0 ? argv[0] : nullptr));
@@ -128,6 +160,9 @@ inline CommonFlags parse_common(int argc, char** argv,
   record.add_config("moves", common.moves);
   record.add_config("seeds", common.seeds);
   record.add_config("seed", common.base_seed);
+  record.add_config("threads",
+                    static_cast<std::uint64_t>(par::default_workers()));
+  if (!common.sizes.empty()) record.add_config("sizes", common.sizes);
   detail::emit_json_path() = common.emit_json;
   if (!common.trace_jsonl.empty()) {
     detail::trace_sink() =
@@ -161,6 +196,7 @@ inline SweepParams sweep_from(const CommonFlags& common,
   params.num_seeds = common.seeds != 0 ? common.seeds
                                        : (common.full ? 5 : 3);
   params.base_seed = common.base_seed;
+  params.sizes = parse_size_list(common.sizes);
   return params;
 }
 

@@ -1,0 +1,67 @@
+// micro_par: serial-vs-parallel speedup of the sweep engine.
+//
+// Runs the same small maintenance sweep at 1, 2, 4 and 8 workers,
+// reports wall seconds and speedup per thread count, and checks that
+// every parallel table is byte-identical to the serial one — the
+// determinism contract of src/par. Emits through the common bench
+// telemetry, so `--emit-json BENCH_par.json` records the sweep.
+#include <chrono>
+#include <string>
+
+#include "bench_common.hpp"
+#include "par/thread_pool.hpp"
+
+namespace {
+
+double run_once(const mot::SweepParams& params, std::string* rendered) {
+  const auto start = std::chrono::steady_clock::now();
+  const mot::Table table = mot::run_maintenance_sweep(params);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  *rendered = table.to_string();
+  return elapsed.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mot::bench::CommonFlags common = mot::bench::parse_common(
+      argc, argv,
+      "serial vs parallel sweep-engine speedup (determinism checked)");
+
+  mot::SweepParams params = mot::bench::sweep_from(common, 50, false);
+  if (params.sizes.empty() && !common.full) {
+    params.sizes = {16, 64, 144};  // keep the default run laptop-friendly
+  }
+
+  const std::size_t saved_workers = mot::par::default_workers();
+
+  mot::Table table({"threads", "seconds", "speedup", "identical"});
+  std::string serial_rendered;
+  double serial_seconds = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    mot::par::set_default_workers(threads);
+    std::string rendered;
+    const double seconds = run_once(params, &rendered);
+    if (threads == 1) {
+      serial_rendered = rendered;
+      serial_seconds = seconds;
+    }
+    table.begin_row()
+        .cell(static_cast<std::uint64_t>(threads))
+        .cell(seconds, 3)
+        .cell(serial_seconds / seconds, 2)
+        .cell(std::string(rendered == serial_rendered ? "yes" : "NO"));
+    if (rendered != serial_rendered) {
+      std::fprintf(stderr,
+                   "determinism violation: %zu-thread table differs from "
+                   "serial\n",
+                   threads);
+      return 1;
+    }
+  }
+  mot::par::set_default_workers(saved_workers);
+
+  mot::bench::emit("parallel sweep speedup", table, common);
+  return 0;
+}

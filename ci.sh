@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Local CI: the tier-1 verify (build + full test suite) plus a separate
-# AddressSanitizer/UBSan build of the test binary. Run from the repo root.
+# Local CI: the tier-1 verify (build + full test suite), a parallel-engine
+# determinism smoke, plus separate AddressSanitizer/UBSan and
+# ThreadSanitizer builds of the test binary. Run from the repo root.
 #
-#   ./ci.sh           # tier-1 + sanitized mot_tests
-#   ./ci.sh --fast    # tier-1 only
+#   ./ci.sh           # tier-1 + smokes + asan + tsan
+#   ./ci.sh --fast    # tier-1 + smokes only
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -48,8 +49,18 @@ print(f"telemetry smoke ok: {len(records)} run records, "
       f"{len(events)} trace events, kinds={len(kinds)}")
 PYEOF
 
+echo "== parallel smoke: fig04 --threads 1 vs --threads 4 =="
+PAR_ARGS=(--sizes 16,64 --seeds 2 --moves 20 --log-level error)
+./build/bench/fig04_maint_100 --threads 1 "${PAR_ARGS[@]}" \
+  --csv "${SMOKE_DIR}/fig04_t1.csv" > /dev/null
+./build/bench/fig04_maint_100 --threads 4 "${PAR_ARGS[@]}" \
+  --csv "${SMOKE_DIR}/fig04_t4.csv" > /dev/null
+diff "${SMOKE_DIR}/fig04_t1.csv" "${SMOKE_DIR}/fig04_t4.csv" \
+  || { echo "fig04 output differs between 1 and 4 threads"; exit 1; }
+echo "parallel smoke ok: fig04 CSV byte-identical at 1 and 4 threads"
+
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipped sanitizer stage (--fast) =="
+  echo "== skipped sanitizer stages (--fast) =="
   exit 0
 fi
 
@@ -58,5 +69,14 @@ cmake -B build-asan -S . -DMOT_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug > /dev/null
 cmake --build build-asan -j "${JOBS}" --target mot_tests
 # halt_on_error so UBSan findings fail the run rather than scroll past.
 UBSAN_OPTIONS=halt_on_error=1 ./build-asan/tests/mot_tests --gtest_brief=1
+
+echo "== sanitizers: tsan pool/oracle/sweep tests =="
+cmake -B build-tsan -S . -DMOT_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
+  > /dev/null
+cmake --build build-tsan -j "${JOBS}" --target mot_tests
+# The concurrency-bearing suites; the rest of mot_tests is single-threaded
+# and already covered by the asan stage.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/mot_tests --gtest_brief=1 \
+  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*'
 
 echo "== ci green =="

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -27,6 +28,56 @@ MovementTrace make_trace(const Network& network, const SweepParams& params,
 
 enum class SweepKind { kMaintenance, kQuery };
 
+// One (grid size, trial seed) context of the sweep: the network and the
+// movement trace every algorithm cell of that context replays. Built once
+// in a parallel stage, then shared read-only by the algorithm cells (the
+// oracle and the hierarchy's cluster cache are internally synchronized;
+// everything else is immutable after construction).
+struct SweepContext {
+  std::size_t size = 0;
+  std::uint64_t seed = 0;
+  Network network;
+  MovementTrace trace;
+  EdgeRates rates;
+};
+
+// One independent experiment cell: replay the context's trace through one
+// algorithm. All randomness is derived from the context seed, each cell
+// builds its own tracker and meters, and the return value depends only on
+// (context, algo) — the determinism contract of the parallel engine.
+double run_cell(const SweepContext& ctx, Algo algo,
+                const SweepParams& params, SweepKind kind) {
+  AlgoInstance instance = make_algo(algo, ctx.network, ctx.rates, ctx.seed);
+  if (params.concurrent) {
+    ConcurrentRunParams run;
+    run.batch_size = params.batch_size;
+    run.interleave_queries = kind == SweepKind::kQuery;
+    run.seed = SeedTree(ctx.seed).seed_for("conc-driver");
+    const ConcurrentRunResult result =
+        run_concurrent(*instance.provider, instance.chain_options,
+                       *ctx.network.oracle, ctx.trace, run);
+    return kind == SweepKind::kMaintenance
+               ? result.maintenance.aggregate_ratio()
+               : result.queries.aggregate_ratio();
+  }
+  publish_all(*instance.tracker, ctx.trace);
+  const CostRatioAccumulator moves =
+      run_moves(*instance.tracker, *ctx.network.oracle, ctx.trace.moves);
+  if (kind == SweepKind::kMaintenance) return moves.aggregate_ratio();
+  Rng qrng(SeedTree(ctx.seed).seed_for("queries"));
+  const std::vector<QueryOp> queries =
+      generate_queries(ctx.network.num_nodes(), params.num_objects,
+                       params.num_objects, qrng);
+  const CostRatioAccumulator result =
+      run_queries(*instance.tracker, *ctx.network.oracle, queries);
+  return result.aggregate_ratio();
+}
+
+// The sweep engine: every (size x trial) context is built in parallel,
+// then every (context x algorithm) cell runs in parallel, and the ratios
+// are reduced into the result table strictly in cell-index order — the
+// same order the serial loops used. Tables are therefore bit-identical
+// for any worker count (guarded by the parity tests in test_par.cpp).
 Table run_sweep(const SweepParams& params, SweepKind kind) {
   std::vector<std::string> columns{"nodes"};
   for (const Algo algo : params.algos) {
@@ -34,52 +85,42 @@ Table run_sweep(const SweepParams& params, SweepKind kind) {
   }
   Table table(std::move(columns));
 
-  for (const std::size_t size : sizes_for(params)) {
-    std::vector<OnlineStats> per_algo(params.algos.size());
-    for (std::size_t s = 0; s < params.num_seeds; ++s) {
-      const std::uint64_t seed = params.base_seed + s;
-      const Network network = build_grid_network(size, seed);
-      const MovementTrace trace = make_trace(network, params, seed);
-      // The traffic-conscious baselines receive the real detection rates
-      // of the measured trace — the most favorable training possible.
-      const EdgeRates rates = trace.estimate_rates();
+  const std::vector<std::size_t> sizes = sizes_for(params);
+  const std::size_t num_algos = params.algos.size();
 
-      for (std::size_t a = 0; a < params.algos.size(); ++a) {
-        AlgoInstance algo =
-            make_algo(params.algos[a], network, rates, seed);
-        double ratio = 0.0;
-        if (params.concurrent) {
-          ConcurrentRunParams run;
-          run.batch_size = params.batch_size;
-          run.interleave_queries = kind == SweepKind::kQuery;
-          run.seed = SeedTree(seed).seed_for("conc-driver");
-          const ConcurrentRunResult result =
-              run_concurrent(*algo.provider, algo.chain_options,
-                             *network.oracle, trace, run);
-          ratio = kind == SweepKind::kMaintenance
-                      ? result.maintenance.aggregate_ratio()
-                      : result.queries.aggregate_ratio();
-        } else {
-          publish_all(*algo.tracker, trace);
-          const CostRatioAccumulator moves =
-              run_moves(*algo.tracker, *network.oracle, trace.moves);
-          if (kind == SweepKind::kMaintenance) {
-            ratio = moves.aggregate_ratio();
-          } else {
-            Rng qrng(SeedTree(seed).seed_for("queries"));
-            const std::vector<QueryOp> queries = generate_queries(
-                network.num_nodes(), params.num_objects,
-                params.num_objects, qrng);
-            const CostRatioAccumulator result =
-                run_queries(*algo.tracker, *network.oracle, queries);
-            ratio = result.aggregate_ratio();
-          }
-        }
-        per_algo[a].add(ratio);
+  std::vector<SweepContext> contexts(sizes.size() * params.num_seeds);
+  par::parallel_for_each(contexts.size(), [&](std::size_t i) {
+    SweepContext& ctx = contexts[i];
+    ctx.size = sizes[i / params.num_seeds];
+    ctx.seed = params.base_seed + i % params.num_seeds;
+    ctx.network = build_grid_network(ctx.size, ctx.seed);
+    ctx.trace = make_trace(ctx.network, params, ctx.seed);
+    // The traffic-conscious baselines receive the real detection rates
+    // of the measured trace — the most favorable training possible.
+    ctx.rates = ctx.trace.estimate_rates();
+  });
+
+  std::vector<double> ratios(contexts.size() * num_algos, 0.0);
+  par::parallel_for_each(ratios.size(), [&](std::size_t cell) {
+    const SweepContext& ctx = contexts[cell / num_algos];
+    const Algo algo = params.algos[cell % num_algos];
+    ratios[cell] = run_cell(ctx, algo, params, kind);
+    MOT_LOG_DEBUG("sweep: size=%zu seed=%llu algo=%s done", ctx.size,
+                  static_cast<unsigned long long>(ctx.seed),
+                  algo_name(algo));
+  });
+
+  // Ordered reduction, mirroring the serial engine's loop nesting
+  // (size, then seed, then algorithm).
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<OnlineStats> per_algo(num_algos);
+    for (std::size_t s = 0; s < params.num_seeds; ++s) {
+      const std::size_t ctx_index = si * params.num_seeds + s;
+      for (std::size_t a = 0; a < num_algos; ++a) {
+        per_algo[a].add(ratios[ctx_index * num_algos + a]);
       }
-      MOT_LOG_INFO("sweep: size=%zu seed=%zu done", size, s);
     }
-    table.begin_row().cell(static_cast<std::uint64_t>(size));
+    table.begin_row().cell(static_cast<std::uint64_t>(sizes[si]));
     for (const auto& stats : per_algo) table.cell(stats.mean(), 3);
   }
   return table;
@@ -99,33 +140,53 @@ Table run_load_figure(const LoadFigureParams& params) {
   Table table({"algo", "mean_load", "max_load", "p99", "nodes_gt_thresh",
                "imbalance"});
 
-  struct Row {
-    OnlineStats mean, max, p99, above, imbalance;
-  };
   // MOT (load-balanced), plain MOT for reference, and the baseline.
   const std::vector<Algo> algos = {Algo::kMotLoadBalanced, Algo::kMot,
                                    params.baseline};
-  std::vector<Row> rows(algos.size());
 
-  for (std::size_t s = 0; s < params.num_seeds; ++s) {
-    const std::uint64_t seed = params.base_seed + s;
-    const Network network = build_grid_network(params.num_nodes, seed);
+  // Stage 1: one context per trial seed, built in parallel.
+  struct LoadContext {
+    std::uint64_t seed = 0;
+    Network network;
+    MovementTrace trace;
+    EdgeRates rates;
+  };
+  std::vector<LoadContext> contexts(params.num_seeds);
+  par::parallel_for_each(contexts.size(), [&](std::size_t s) {
+    LoadContext& ctx = contexts[s];
+    ctx.seed = params.base_seed + s;
+    ctx.network = build_grid_network(params.num_nodes, ctx.seed);
     TraceParams trace_params;
     trace_params.num_objects = params.num_objects;
     trace_params.moves_per_object = params.moves_per_object;
-    Rng rng(SeedTree(seed).seed_for("trace"));
-    const MovementTrace trace =
-        generate_trace(network.graph(), trace_params, rng);
-    const EdgeRates rates = trace.estimate_rates();
+    Rng rng(SeedTree(ctx.seed).seed_for("trace"));
+    ctx.trace = generate_trace(ctx.network.graph(), trace_params, rng);
+    ctx.rates = ctx.trace.estimate_rates();
+  });
 
+  // Stage 2: every (seed x algorithm) cell in parallel.
+  std::vector<LoadSummary> loads(contexts.size() * algos.size());
+  par::parallel_for_each(loads.size(), [&](std::size_t cell) {
+    const LoadContext& ctx = contexts[cell / algos.size()];
+    const Algo algo = algos[cell % algos.size()];
+    AlgoInstance instance =
+        make_algo(algo, ctx.network, ctx.rates, ctx.seed);
+    publish_all(*instance.tracker, ctx.trace);
+    if (!ctx.trace.moves.empty()) {
+      run_moves(*instance.tracker, *ctx.network.oracle, ctx.trace.moves);
+    }
+    loads[cell] = summarize_load(instance.tracker->load_per_node(),
+                                 params.load_threshold);
+  });
+
+  // Ordered reduction in (seed, algo) order, as the serial loops ran.
+  struct Row {
+    OnlineStats mean, max, p99, above, imbalance;
+  };
+  std::vector<Row> rows(algos.size());
+  for (std::size_t s = 0; s < contexts.size(); ++s) {
     for (std::size_t a = 0; a < algos.size(); ++a) {
-      AlgoInstance algo = make_algo(algos[a], network, rates, seed);
-      publish_all(*algo.tracker, trace);
-      if (!trace.moves.empty()) {
-        run_moves(*algo.tracker, *network.oracle, trace.moves);
-      }
-      const LoadSummary load = summarize_load(
-          algo.tracker->load_per_node(), params.load_threshold);
+      const LoadSummary& load = loads[s * algos.size() + a];
       rows[a].mean.add(load.mean);
       rows[a].max.add(static_cast<double>(load.max));
       rows[a].p99.add(load.p99);

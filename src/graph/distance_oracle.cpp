@@ -2,31 +2,76 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "graph/shortest_path.hpp"
 #include "util/check.hpp"
 
 namespace mot {
 
-CachedDistanceOracle::CachedDistanceOracle(const Graph& graph)
-    : graph_(&graph), unit_weights_(has_unit_weights(graph)) {}
+namespace {
 
-const std::vector<Weight>& CachedDistanceOracle::row(NodeId source) const {
-  auto it = cache_.find(source);
-  if (it == cache_.end()) {
-    ShortestPathTree tree = unit_weights_ ? bfs_unit(*graph_, source)
-                                          : dijkstra(*graph_, source);
-    it = cache_.emplace(source, std::move(tree.distance)).first;
-  }
-  return it->second;
+// One-entry per-thread memo of the last row fetched. Oracles get
+// process-unique ids, so a stale entry can never alias a new oracle
+// that reuses a freed address.
+struct RowMemo {
+  std::uint64_t oracle_id = 0;
+  NodeId source = kInvalidNode;
+  const std::vector<Weight>* row = nullptr;
+};
+thread_local RowMemo t_row_memo;
+
+std::atomic<std::uint64_t> g_next_oracle_id{1};
+
+}  // namespace
+
+CachedDistanceOracle::CachedDistanceOracle(const Graph& graph)
+    : graph_(&graph),
+      unit_weights_(has_unit_weights(graph)),
+      oracle_id_(g_next_oracle_id.fetch_add(1, std::memory_order_relaxed)),
+      rows_(graph.num_nodes(), nullptr) {}
+
+const std::vector<Weight>* CachedDistanceOracle::try_row(
+    NodeId source) const {
+  const Shard& shard = shards_[shard_of(source)];
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  return rows_[source];
+}
+
+const std::vector<Weight>* CachedDistanceOracle::row(NodeId source) const {
+  Shard& shard = shards_[shard_of(source)];
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  if (rows_[source] != nullptr) return rows_[source];  // lost the race
+  ShortestPathTree tree = unit_weights_ ? bfs_unit(*graph_, source)
+                                        : dijkstra(*graph_, source);
+  shard.owned.push_back(std::make_unique<const std::vector<Weight>>(
+      std::move(tree.distance)));
+  rows_[source] = shard.owned.back().get();
+  cached_count_.fetch_add(1, std::memory_order_relaxed);
+  return rows_[source];
 }
 
 Weight CachedDistanceOracle::distance(NodeId u, NodeId v) const {
   MOT_EXPECTS(u < graph_->num_nodes() && v < graph_->num_nodes());
   if (u == v) return 0.0;
-  // Prefer an already-cached endpoint as the source.
-  if (cache_.count(u) == 0 && cache_.count(v) != 0) std::swap(u, v);
-  return row(u)[v];
+  RowMemo& memo = t_row_memo;
+  if (memo.oracle_id == oracle_id_) {
+    if (memo.source == u) return (*memo.row)[v];
+    if (memo.source == v) return (*memo.row)[u];
+  }
+  const std::vector<Weight>* row_ptr = try_row(u);
+  if (row_ptr == nullptr) {
+    // Prefer an already-cached endpoint as the source (distances are
+    // symmetric), falling back to materializing u's row.
+    const std::vector<Weight>* other = try_row(v);
+    if (other != nullptr) {
+      memo = {oracle_id_, v, other};
+      return (*other)[u];
+    }
+    row_ptr = row(u);
+  }
+  memo = {oracle_id_, u, row_ptr};
+  return (*row_ptr)[v];
 }
 
 GridDistanceOracle::GridDistanceOracle(std::size_t rows, std::size_t cols)

@@ -9,9 +9,11 @@
 //   * make_distance_oracle — picks the grid fast path automatically.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <shared_mutex>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -29,7 +31,21 @@ class DistanceOracle {
   virtual std::size_t num_nodes() const = 0;
 };
 
-// Lazy exact oracle over any connected graph.
+// Lazy exact oracle over any connected graph, safe for concurrent reads
+// from the parallel sweep engine.
+//
+// Hot-path layout: rows_ is a flat vector indexed directly by the source
+// NodeId (no hashing on lookup); each slot points at an immutable
+// distance row once materialized. Slots are grouped into lock-striped
+// shards, each guarded by a shared_mutex: lookups take a shared lock on
+// the source's shard, the first thread to need a row takes the exclusive
+// lock, runs the SSSP (BFS on unit-weight graphs) and publishes the row.
+// Published rows are never evicted or mutated, so a pointer obtained
+// under the shared lock stays valid for the oracle's lifetime.
+//
+// On top of the stripes each thread keeps a one-entry memo of the last
+// (oracle, source) row it touched — the common access pattern is a burst
+// of distances from one source, which then costs no lock at all.
 class CachedDistanceOracle final : public DistanceOracle {
  public:
   explicit CachedDistanceOracle(const Graph& graph);
@@ -38,14 +54,34 @@ class CachedDistanceOracle final : public DistanceOracle {
   std::size_t num_nodes() const override { return graph_->num_nodes(); }
 
   // Number of distinct sources whose SSSP tree has been materialized.
-  std::size_t cached_sources() const { return cache_.size(); }
+  std::size_t cached_sources() const {
+    return cached_count_.load(std::memory_order_relaxed);
+  }
 
  private:
-  const std::vector<Weight>& row(NodeId source) const;
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    // Row storage, appended under the exclusive lock. Indirection keeps
+    // row addresses stable across appends.
+    std::vector<std::unique_ptr<const std::vector<Weight>>> owned;
+  };
+
+  std::size_t shard_of(NodeId source) const { return source % kShards; }
+  // Row pointer if already materialized (shared lock), else nullptr.
+  const std::vector<Weight>* try_row(NodeId source) const;
+  // Materializes (or finds) the row for `source` (exclusive lock).
+  const std::vector<Weight>* row(NodeId source) const;
 
   const Graph* graph_;
   bool unit_weights_;
-  mutable std::unordered_map<NodeId, std::vector<Weight>> cache_;
+  std::uint64_t oracle_id_;  // process-unique, keys the per-thread memo
+  // Indexed by source NodeId; written under the owning shard's exclusive
+  // lock, read under its shared lock.
+  mutable std::vector<const std::vector<Weight>*> rows_;
+  mutable std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::size_t> cached_count_{0};
 };
 
 // Closed-form oracle for rows x cols 4-connected unit grids.

@@ -4,6 +4,7 @@
 #include <deque>
 #include <queue>
 
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace mot {
@@ -105,8 +106,9 @@ bool has_unit_weights(const Graph& graph) {
   return true;
 }
 
-Weight eccentricity(const Graph& graph, NodeId source) {
-  const ShortestPathTree tree = dijkstra(graph, source);
+namespace {
+
+Weight eccentricity_of_tree(const ShortestPathTree& tree) {
   Weight ecc = 0.0;
   for (const Weight d : tree.distance) {
     MOT_CHECK(d != kInfiniteDistance);  // callers require connectivity
@@ -115,12 +117,26 @@ Weight eccentricity(const Graph& graph, NodeId source) {
   return ecc;
 }
 
+}  // namespace
+
+Weight eccentricity(const Graph& graph, NodeId source) {
+  return eccentricity_of_tree(dijkstra(graph, source));
+}
+
 Weight exact_diameter(const Graph& graph) {
-  Weight diameter = 0.0;
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    diameter = std::max(diameter, eccentricity(graph, u));
-  }
-  return diameter;
+  const std::size_t n = graph.num_nodes();
+  if (n == 0) return 0.0;
+  // One SSSP per node: independent, so fan the sources across the pool.
+  // Unit-weight graphs (grids, rings — the common experiment topologies)
+  // take the BFS fast path instead of paying Dijkstra's heap.
+  const bool unit = has_unit_weights(graph);
+  std::vector<Weight> ecc(n, 0.0);
+  par::parallel_for_each(n, [&](std::size_t u) {
+    const auto source = static_cast<NodeId>(u);
+    ecc[u] = eccentricity_of_tree(unit ? bfs_unit(graph, source)
+                                       : dijkstra(graph, source));
+  });
+  return *std::max_element(ecc.begin(), ecc.end());
 }
 
 Weight approx_diameter(const Graph& graph) {

@@ -29,11 +29,21 @@ std::unique_ptr<DoublingHierarchy> DoublingHierarchy::build(
   Rng rng(params.seed);
   const std::size_t n = graph.num_nodes();
 
+  auto index_members = [n](Level& level) {
+    level.membership.assign(n, false);
+    level.slot.assign(n, kNoSlot);
+    for (std::uint32_t i = 0; i < level.member_list.size(); ++i) {
+      const NodeId v = level.member_list[i];
+      level.membership[v] = true;
+      level.slot[v] = i;
+    }
+  };
+
   // Level 0: every sensor.
   Level bottom;
   bottom.member_list.resize(n);
   for (NodeId v = 0; v < n; ++v) bottom.member_list[v] = v;
-  bottom.membership.assign(n, true);
+  index_members(bottom);
   hierarchy->levels_.push_back(std::move(bottom));
 
   // Refine: V_{l+1} = MIS of (V_l, {(u,v) : dist_G(u,v) < 2^{l+1}}).
@@ -61,45 +71,62 @@ std::unique_ptr<DoublingHierarchy> DoublingHierarchy::build(
 
     Level next;
     next.member_list = std::move(mis.members);
-    next.membership.assign(n, false);
-    for (const NodeId v : next.member_list) next.membership[v] = true;
+    index_members(next);
     hierarchy->levels_.push_back(std::move(next));
   }
 
   // Parent structure: for target level t, scan a bounded ball around each
   // V_t member and register it in the parent set of every V_{t-1} member
-  // found (radius factor * 2^t, the paper's 4 * 2^{l+1}).
+  // found (radius factor * 2^t, the paper's 4 * 2^{l+1}). Accumulated
+  // per-child, then flattened into the CSR arrays the climb loop reads.
   for (int target = 1; target <= hierarchy->height(); ++target) {
     Level& upper = hierarchy->levels_[target];
     const Level& lower = hierarchy->levels_[target - 1];
+    const std::size_t lower_count = lower.member_list.size();
     const Weight radius =
         params.parent_radius_factor * std::ldexp(1.0, target);
 
-    // best (distance, parent) per lower member, for default parents.
-    std::unordered_map<NodeId, std::pair<Weight, NodeId>> best;
+    // Parent lists and best (distance, parent), per lower member slot.
+    std::vector<std::vector<NodeId>> sets(lower_count);
+    std::vector<std::pair<Weight, NodeId>> best(
+        lower_count, {kInfiniteDistance, kInvalidNode});
     for (const NodeId parent : upper.member_list) {
       const ShortestPathTree ball = dijkstra_bounded(graph, parent, radius);
-      for (const NodeId child : lower.member_list) {
-        const Weight d = ball.distance[child];
+      for (std::uint32_t s = 0; s < lower_count; ++s) {
+        const Weight d = ball.distance[lower.member_list[s]];
         if (d > radius) continue;  // unreachable entries are +inf
-        upper.parent_sets[child].push_back(parent);
-        auto [it, inserted] = best.emplace(child, std::make_pair(d, parent));
-        if (!inserted && (d < it->second.first ||
-                          (d == it->second.first &&
-                           parent < it->second.second))) {
-          it->second = {d, parent};
+        sets[s].push_back(parent);
+        if (d < best[s].first ||
+            (d == best[s].first && parent < best[s].second)) {
+          best[s] = {d, parent};
         }
       }
     }
-    for (auto& [child, parents] : upper.parent_sets) {
-      std::sort(parents.begin(), parents.end());
+
+    upper.parent_offsets.assign(lower_count + 1, 0);
+    std::size_t total = 0;
+    for (std::uint32_t s = 0; s < lower_count; ++s) {
+      upper.parent_offsets[s] = total;
+      total += sets[s].size();
     }
-    for (const NodeId child : lower.member_list) {
-      const auto it = best.find(child);
+    upper.parent_offsets[lower_count] = total;
+    upper.parent_data.reserve(total);
+    upper.default_parents.resize(lower_count);
+    for (std::uint32_t s = 0; s < lower_count; ++s) {
+      std::sort(sets[s].begin(), sets[s].end());
+      upper.parent_data.insert(upper.parent_data.end(), sets[s].begin(),
+                               sets[s].end());
       // Maximality of the MIS guarantees a parent within 2^t < radius.
-      MOT_CHECK(it != best.end());
-      upper.default_parent.emplace(child, it->second.second);
+      MOT_CHECK(best[s].second != kInvalidNode);
+      upper.default_parents[s] = best[s].second;
     }
+  }
+
+  hierarchy->cluster_slots_ = std::vector<
+      std::atomic<const std::vector<NodeId>*>>(
+      static_cast<std::size_t>(hierarchy->height() + 1) * n);
+  for (auto& slot : hierarchy->cluster_slots_) {
+    slot.store(nullptr, std::memory_order_relaxed);
   }
 
   MOT_ENSURES(hierarchy->levels_.back().member_list.size() == 1);
@@ -123,10 +150,9 @@ bool DoublingHierarchy::is_member(int level, NodeId node) const {
 
 NodeId DoublingHierarchy::default_parent(int level, NodeId member) const {
   MOT_EXPECTS(level >= 0 && level < height());
-  const auto& parents = levels_[level + 1].default_parent;
-  const auto it = parents.find(member);
-  MOT_EXPECTS(it != parents.end());
-  return it->second;
+  const std::uint32_t slot = levels_[level].slot[member];
+  MOT_EXPECTS(slot != kNoSlot);
+  return levels_[level + 1].default_parents[slot];
 }
 
 NodeId DoublingHierarchy::home(NodeId u, int level) const {
@@ -147,10 +173,13 @@ std::span<const NodeId> DoublingHierarchy::group(NodeId u, int level) const {
     return {levels_[0].member_list.data() + u, 1};
   }
   const NodeId anchor = home(u, level - 1);
-  const auto& sets = levels_[level].parent_sets;
-  const auto it = sets.find(anchor);
-  MOT_CHECK(it != sets.end());
-  return it->second;
+  const Level& lower = levels_[level - 1];
+  const Level& upper = levels_[level];
+  const std::uint32_t slot = lower.slot[anchor];
+  MOT_CHECK(slot != kNoSlot);
+  const std::size_t begin = upper.parent_offsets[slot];
+  const std::size_t end = upper.parent_offsets[slot + 1];
+  return {upper.parent_data.data() + begin, end - begin};
 }
 
 std::span<const NodeId> DoublingHierarchy::members(int level) const {
@@ -162,20 +191,27 @@ std::span<const NodeId> DoublingHierarchy::cluster(int level,
                                                    NodeId center) const {
   MOT_EXPECTS(level >= 0 && level <= height());
   MOT_EXPECTS(center < graph_->num_nodes());
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(level)) << 32) |
-      center;
-  auto it = cluster_cache_.find(key);
-  if (it == cluster_cache_.end()) {
+  auto& slot =
+      cluster_slots_[static_cast<std::size_t>(level) * graph_->num_nodes() +
+                     center];
+  const std::vector<NodeId>* cached = slot.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+
+  std::lock_guard<std::mutex> lock(cluster_mutex_);
+  cached = slot.load(std::memory_order_relaxed);  // lost the race?
+  if (cached == nullptr) {
     const Weight radius = std::ldexp(1.0, level);  // 2^level
     const ShortestPathTree ball = dijkstra_bounded(*graph_, center, radius);
     std::vector<NodeId> members;
     for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
       if (ball.distance[v] <= radius) members.push_back(v);
     }
-    it = cluster_cache_.emplace(key, std::move(members)).first;
+    cluster_owned_.push_back(
+        std::make_unique<const std::vector<NodeId>>(std::move(members)));
+    cached = cluster_owned_.back().get();
+    slot.store(cached, std::memory_order_release);
   }
-  return it->second;
+  return *cached;
 }
 
 }  // namespace mot

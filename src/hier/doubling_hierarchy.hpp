@@ -17,8 +17,9 @@
 // in the level) hold by construction and are enforced by property tests.
 #pragma once
 
+#include <atomic>
 #include <memory>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
 #include "hier/hierarchy.hpp"
@@ -61,14 +62,26 @@ class DoublingHierarchy final : public Hierarchy {
   std::size_t total_mis_rounds() const { return total_mis_rounds_; }
 
  private:
+  // Parent/member tables are flat contiguous arrays: the climb inner
+  // loop (home -> group -> span) is pure indexed loads with no hashing,
+  // and — being immutable after build() — they are safe to share across
+  // the parallel sweep engine's worker threads.
   struct Level {
     std::vector<NodeId> member_list;          // sorted
     std::vector<bool> membership;             // indexed by NodeId
-    // Keyed by a member of the level *below*; values are members of this
-    // level. parent_sets[w] is sorted by ID and contains default_parent[w].
-    std::unordered_map<NodeId, std::vector<NodeId>> parent_sets;
-    std::unordered_map<NodeId, NodeId> default_parent;
+    // Dense rank of each member within member_list, kNoSlot for
+    // non-members. Indexed by NodeId.
+    std::vector<std::uint32_t> slot;
+    // Parent sets in CSR form, keyed by the dense slot of a member of
+    // the level *below*: the parents of lower member with slot s are
+    // parent_data[parent_offsets[s] .. parent_offsets[s + 1]), sorted by
+    // ID and containing default_parents[s].
+    std::vector<std::size_t> parent_offsets;
+    std::vector<NodeId> parent_data;
+    std::vector<NodeId> default_parents;      // by lower member slot
   };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
   DoublingHierarchy() = default;
 
@@ -77,9 +90,16 @@ class DoublingHierarchy final : public Hierarchy {
   std::vector<Level> levels_;  // levels_[0] = bottom
   std::size_t total_mis_rounds_ = 0;
 
-  // Lazy cache of load-balancing clusters: ball of radius 2^level.
-  mutable std::unordered_map<std::uint64_t, std::vector<NodeId>>
-      cluster_cache_;
+  // Lazy cache of load-balancing clusters (ball of radius 2^level), one
+  // slot per (level, center). Readers do an acquire load of the slot;
+  // the first thread to need an entry computes it under cluster_mutex_
+  // and publishes the pointer with a release store. Entries are
+  // immutable once published, so concurrent cluster() calls are safe.
+  mutable std::vector<std::atomic<const std::vector<NodeId>*>>
+      cluster_slots_;  // size (height + 1) * num_nodes
+  mutable std::vector<std::unique_ptr<const std::vector<NodeId>>>
+      cluster_owned_;  // guarded by cluster_mutex_
+  mutable std::mutex cluster_mutex_;
 };
 
 }  // namespace mot

@@ -1,23 +1,60 @@
 #include "obs/phase_timer.hpp"
 
+#include "par/thread_pool.hpp"
+
 namespace mot::obs {
 
-void PhaseTimers::record(const std::string& name, double seconds) {
-  for (Phase& phase : phases_) {
-    if (phase.name == name) {
-      phase.seconds += seconds;
-      ++phase.count;
+void PhaseTimers::record(const std::string& name, double seconds,
+                         int worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Phase* phase = nullptr;
+  for (Phase& candidate : phases_) {
+    if (candidate.name == name) {
+      phase = &candidate;
+      break;
+    }
+  }
+  if (phase == nullptr) {
+    phases_.push_back({name, 0.0, 0, {}});
+    phase = &phases_.back();
+  }
+  phase->seconds += seconds;
+  ++phase->count;
+  for (WorkerSlice& slice : phase->by_worker) {
+    if (slice.worker == worker) {
+      slice.seconds += seconds;
+      ++slice.count;
       return;
     }
   }
-  phases_.push_back({name, seconds, 1});
+  phase->by_worker.push_back({worker, seconds, 1});
 }
 
-void PhaseTimers::clear() { phases_.clear(); }
+std::vector<PhaseTimers::Phase> PhaseTimers::phases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_;
+}
+
+bool PhaseTimers::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return phases_.empty();
+}
+
+void PhaseTimers::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  phases_.clear();
+}
 
 PhaseTimers& PhaseTimers::global() {
   static PhaseTimers timers;
   return timers;
+}
+
+PhaseTimers::Scope::~Scope() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  PhaseTimers::global().record(
+      name_, std::chrono::duration<double>(elapsed).count(),
+      par::ThreadPool::current_worker());
 }
 
 }  // namespace mot::obs

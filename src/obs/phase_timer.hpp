@@ -5,10 +5,17 @@
 // Trace events never carry wall-clock (it would break same-seed stream
 // determinism); phase timings are aggregated separately and reported
 // only at the run level.
+//
+// Thread-safety: scopes may close on any thread (the parallel sweep
+// engine runs whole experiment cells on pool workers), so record() is
+// mutex-guarded. Each sample is also attributed to the pool worker that
+// produced it (-1 = a thread outside the pool, e.g. main), so benches
+// can report how evenly the phase spread across workers.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,18 +23,29 @@ namespace mot::obs {
 
 class PhaseTimers {
  public:
+  struct WorkerSlice {
+    int worker = -1;  // pool worker index; -1 = non-pool thread
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+
   struct Phase {
     std::string name;
     double seconds = 0.0;
     std::uint64_t count = 0;  // number of scopes merged into this phase
+    // Per-worker breakdown, in first-seen worker order. Has more than
+    // one entry only when the phase actually ran on several threads.
+    std::vector<WorkerSlice> by_worker;
   };
 
   // Adds `seconds` to the phase named `name` (created on first use;
-  // phases report in first-use order).
-  void record(const std::string& name, double seconds);
+  // phases report in first-use order), attributed to `worker`.
+  void record(const std::string& name, double seconds, int worker = -1);
 
-  const std::vector<Phase>& phases() const { return phases_; }
-  bool empty() const { return phases_.empty(); }
+  // Snapshot of all phases. Copies under the lock — callers typically
+  // read once per run, after parallel work has joined.
+  std::vector<Phase> phases() const;
+  bool empty() const;
   void clear();
 
   // Process-wide timers read by the bench telemetry layer.
@@ -38,11 +56,7 @@ class PhaseTimers {
    public:
     explicit Scope(const char* name)
         : name_(name), start_(std::chrono::steady_clock::now()) {}
-    ~Scope() {
-      const auto elapsed = std::chrono::steady_clock::now() - start_;
-      PhaseTimers::global().record(
-          name_, std::chrono::duration<double>(elapsed).count());
-    }
+    ~Scope();
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
@@ -52,6 +66,7 @@ class PhaseTimers {
   };
 
  private:
+  mutable std::mutex mutex_;
   std::vector<Phase> phases_;
 };
 

@@ -145,6 +145,24 @@ std::string RunRecord::to_json() const {
     w.value(phase.seconds);
     w.key("count");
     w.value(phase.count);
+    // Per-worker split only when the phase actually ran on pool workers
+    // (a single -1 slice is the serial case and carries no information).
+    if (phase.by_worker.size() > 1 ||
+        (phase.by_worker.size() == 1 && phase.by_worker[0].worker >= 0)) {
+      w.key("workers");
+      w.begin_array();
+      for (const auto& slice : phase.by_worker) {
+        w.begin_object();
+        w.key("worker");
+        w.value(static_cast<std::int64_t>(slice.worker));
+        w.key("seconds");
+        w.value(slice.seconds);
+        w.key("count");
+        w.value(slice.count);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();

@@ -67,6 +67,7 @@ RingBufferSink::RingBufferSink(std::size_t capacity)
 }
 
 void RingBufferSink::on_event(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (buffer_.size() < capacity_) {
     buffer_.push_back(event);
   } else {
@@ -77,6 +78,7 @@ void RingBufferSink::on_event(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> RingBufferSink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TraceEvent> ordered;
   ordered.reserve(buffer_.size());
   for (std::size_t i = 0; i < buffer_.size(); ++i) {
@@ -85,11 +87,18 @@ std::vector<TraceEvent> RingBufferSink::events() const {
   return ordered;
 }
 
+std::uint64_t RingBufferSink::total_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
 std::uint64_t RingBufferSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return total_ - buffer_.size();
 }
 
 void RingBufferSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   buffer_.clear();
   next_ = 0;
   total_ = 0;
@@ -147,10 +156,19 @@ JsonlFileSink::JsonlFileSink(const std::string& path) : out_(path) {}
 JsonlFileSink::~JsonlFileSink() { flush(); }
 
 void JsonlFileSink::on_event(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
   out_ << event_to_json(event, written_) << '\n';
   ++written_;
 }
 
-void JsonlFileSink::flush() { out_.flush(); }
+std::uint64_t JsonlFileSink::events_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+void JsonlFileSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+}
 
 }  // namespace mot::obs

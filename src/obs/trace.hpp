@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -118,7 +119,9 @@ inline void emit(const TraceEvent& event) {
 
 // Fixed-capacity in-memory sink: keeps the most recent `capacity`
 // events, counting what it had to overwrite. The cheap default for
-// tests and post-mortem ring dumps.
+// tests and post-mortem ring dumps. Appends are mutex-guarded so the
+// sink survives the parallel sweep engine (event order across worker
+// threads is then the interleaving order, not deterministic).
 class RingBufferSink final : public TraceSink {
  public:
   explicit RingBufferSink(std::size_t capacity);
@@ -127,11 +130,12 @@ class RingBufferSink final : public TraceSink {
 
   // Retained events, oldest first.
   std::vector<TraceEvent> events() const;
-  std::uint64_t total_events() const { return total_; }
+  std::uint64_t total_events() const;
   std::uint64_t dropped() const;
   void clear();
 
  private:
+  mutable std::mutex mutex_;
   std::vector<TraceEvent> buffer_;
   std::size_t capacity_;
   std::size_t next_ = 0;
@@ -149,9 +153,10 @@ class JsonlFileSink final : public TraceSink {
   bool ok() const { return static_cast<bool>(out_); }
   void on_event(const TraceEvent& event) override;
   void flush() override;
-  std::uint64_t events_written() const { return written_; }
+  std::uint64_t events_written() const;
 
  private:
+  mutable std::mutex mutex_;
   std::ofstream out_;
   std::uint64_t written_ = 0;
 };

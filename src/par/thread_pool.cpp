@@ -1,0 +1,206 @@
+#include "par/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace mot::par {
+
+namespace {
+
+// Worker index of the current thread within *some* pool; -1 elsewhere.
+// One pool is live at a time in practice (the default pool); a thread
+// never belongs to two pools, so a plain thread_local is enough.
+thread_local int t_worker_index = -1;
+
+}  // namespace
+
+// One for_each invocation. Task indices are dealt round-robin into
+// per-worker deques up front; owners pop from the back (most recently
+// assigned, cache-warm), thieves steal from the front (oldest, largest
+// remaining run of work). Deques are mutex-guarded — tasks here are
+// whole experiment cells (milliseconds to seconds), so queue overhead is
+// noise and the simple locking is easy to reason about under TSan.
+struct ThreadPool::Job {
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+
+  explicit Job(std::size_t workers) : deques(workers) {}
+
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::vector<Deque> deques;
+  std::atomic<std::size_t> remaining{0};
+
+  std::mutex done_mutex;
+  std::condition_variable done;
+  std::exception_ptr first_error;  // guarded by done_mutex
+
+  void run_task(std::size_t task) {
+    try {
+      (*fn)(task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t count = workers == 0 ? 1 : workers;
+  workers_.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::current_worker() { return t_worker_index; }
+
+bool ThreadPool::next_task(Job& job, std::size_t self, std::size_t& task) {
+  {
+    Job::Deque& own = job.deques[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = own.tasks.back();
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal scan: victims in ring order starting after self.
+  const std::size_t n = job.deques.size();
+  for (std::size_t step = 1; step < n; ++step) {
+    Job::Deque& victim = job.deques[(self + step) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = victim.tasks.front();
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_index = static_cast<int>(index);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return shutdown_ ||
+               (job_ != nullptr && job_generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      job = job_;
+      seen_generation = job_generation_;
+    }
+    std::size_t task = 0;
+    while (next_task(*job, index, task)) job->run_task(task);
+  }
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Inline paths: trivial work, a single worker, or a nested call from
+  // inside a pool task (running inline avoids deadlock on the job slot).
+  if (count == 1 || worker_count() == 1 || t_worker_index >= 0) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>(worker_count());
+  job->fn = &fn;
+  job->remaining.store(count, std::memory_order_relaxed);
+  // Round-robin deal: task i starts on worker i % workers, so every
+  // worker begins with an even slice and stealing only kicks in when
+  // cells are unbalanced.
+  for (std::size_t i = 0; i < count; ++i) {
+    job->deques[i % worker_count()].tasks.push_back(i);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_generation_;
+  }
+  wake_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job_ == job) job_ = nullptr;
+  }
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+// --- default pool ---------------------------------------------------------
+
+namespace {
+
+std::mutex g_default_mutex;
+std::size_t g_default_workers = 0;  // 0 = unresolved
+std::unique_ptr<ThreadPool> g_default_pool;
+
+std::size_t resolve(std::size_t workers) {
+  if (workers != 0) return workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+void set_default_workers(std::size_t workers) {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  const std::size_t resolved = resolve(workers);
+  if (resolved == g_default_workers) return;
+  g_default_workers = resolved;
+  g_default_pool.reset();  // next default_pool() rebuilds at the new size
+}
+
+std::size_t default_workers() {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  if (g_default_workers == 0) g_default_workers = resolve(0);
+  return g_default_workers;
+}
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  if (g_default_workers == 0) g_default_workers = resolve(0);
+  if (g_default_pool == nullptr) {
+    g_default_pool = std::make_unique<ThreadPool>(g_default_workers);
+  }
+  return *g_default_pool;
+}
+
+void parallel_for_each(std::size_t count,
+                       const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || ThreadPool::current_worker() >= 0 ||
+      default_workers() == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  default_pool().for_each(count, fn);
+}
+
+}  // namespace mot::par

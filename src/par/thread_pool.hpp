@@ -1,0 +1,123 @@
+// Work-stealing thread pool for the experiment engine.
+//
+// The Section 8 sweeps are embarrassingly parallel: every (grid size x
+// algorithm x trial) cell builds its own tracker, RNG streams and cost
+// meter, so cells can run on any worker in any order as long as results
+// are *reduced* in cell-index order. This pool supplies exactly that
+// contract:
+//
+//   * ThreadPool::for_each(count, fn) runs fn(0..count-1) across fixed
+//     workers with per-worker deques; an idle worker steals from the
+//     front of a victim's deque (oldest task first), so unbalanced cells
+//     (a 1024-node hierarchy build vs a 16-node one) cannot serialize
+//     the sweep behind one slow worker.
+//   * ThreadPool::map(count, fn) collects fn(i) into slot i of a result
+//     vector — the deterministic ordered reduction: output depends only
+//     on the index, never on the schedule.
+//
+// Determinism contract: a task must derive all randomness from its index
+// (seeded RNG streams), touch shared state only through thread-safe
+// read-mostly structures (the sharded distance oracle, the hierarchy's
+// cluster cache), and write only to its own result slot. Under that
+// contract, results are bit-identical for any worker count, including 1.
+//
+// Nesting rule: for_each called from inside a pool task runs inline
+// serially on the calling worker (no deadlock, no oversubscription).
+// exact_diameter() and friends are therefore safe to call from a cell.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mot::par {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (clamped to >= 1). workers == 1 still spawns
+  // a single worker thread; for_each with one worker or one task runs
+  // inline on the caller instead.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  // Runs fn(i) for every i in [0, count). Blocks until all tasks have
+  // completed. The first exception thrown by a task is rethrown here
+  // (remaining tasks still run). Reentrant calls execute inline.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& fn);
+
+  // Ordered parallel map: returns {fn(0), fn(1), ..., fn(count-1)}.
+  // The reduction order is the index order regardless of schedule.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    std::vector<decltype(fn(std::size_t{0}))> results(count);
+    for_each(count,
+             [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  // Index of the pool worker executing the current thread, or -1 when
+  // called from a thread no pool owns (e.g. main). Used by the phase
+  // timers to split wall-clock per worker.
+  static int current_worker();
+
+ private:
+  struct Job;
+
+  void worker_loop(std::size_t index);
+  // Pops one task index for worker `self`, stealing if its own deque is
+  // empty. Returns false when the job has no tasks left to hand out.
+  bool next_task(Job& job, std::size_t self, std::size_t& task);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;                  // guards job_ handoff + shutdown
+  std::condition_variable wake_;      // workers wait here for a job
+  std::shared_ptr<Job> job_;          // currently running job (or null)
+  std::uint64_t job_generation_ = 0;  // bumped per submitted job
+  bool shutdown_ = false;
+};
+
+// --- process-wide default pool -------------------------------------------
+//
+// Benches configure it once from --threads; everything else calls
+// parallel_for_each / parallel_map and inherits the setting. With 0 or 1
+// workers (or before any configuration on a 1-core host) the helpers run
+// serially inline, so library code can call them unconditionally.
+
+// Sets the default pool size. 0 = hardware_concurrency. Rebuilds the pool
+// if the size changed; not safe to call while parallel work is running.
+void set_default_workers(std::size_t workers);
+
+// The resolved default worker count (>= 1).
+std::size_t default_workers();
+
+// Lazily constructed pool of default_workers() workers.
+ThreadPool& default_pool();
+
+// for_each over the default pool. Runs inline serially when the pool has
+// one worker, when count <= 1, or when already inside a pool task.
+void parallel_for_each(std::size_t count,
+                       const std::function<void(std::size_t)>& fn);
+
+template <typename Fn>
+auto parallel_map(std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> results(count);
+  parallel_for_each(count,
+                    [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace mot::par
