@@ -1,0 +1,295 @@
+// Chaos schedule explorer CLI: enumerates seeded random fault schedules
+// (crashes, partitions, isolations) against the distributed MOT runtime
+// on the acceptance topologies, audits invariants at quiescence, and on
+// violation prints a greedily shrunk minimal repro plus the exact replay
+// command. `--inject-bug` enables a deliberate recovery defect so the
+// detection + shrinking path itself can be exercised; the process then
+// succeeds only if the bug is caught.
+//
+//   chaos_runner --seeds 0..99 --topology all          # must stay green
+//   chaos_runner --seeds 0..9 --inject-bug             # must catch + shrink
+//   chaos_runner --topology grid --replay-seed 17 --keep 0,2   # repro
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_runner.hpp"
+#include "chaos/churn.hpp"
+#include "chaos/schedule.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mot;
+
+bool parse_seed_range(const std::string& text, std::uint64_t* lo,
+                      std::uint64_t* hi) {
+  try {
+    const auto dots = text.find("..");
+    if (dots == std::string::npos) {
+      *lo = *hi = std::stoull(text);
+    } else {
+      *lo = std::stoull(text.substr(0, dots));
+      *hi = std::stoull(text.substr(dots + 2));
+    }
+  } catch (...) {
+    return false;
+  }
+  return *lo <= *hi;
+}
+
+std::vector<std::size_t> parse_index_list(const std::string& text) {
+  std::vector<std::size_t> indices;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > start) {
+      indices.push_back(std::stoull(text.substr(start, comma - start)));
+    }
+    start = comma + 1;
+  }
+  return indices;
+}
+
+std::vector<chaos::Topology> parse_topologies(const std::string& text) {
+  if (text == "grid") return {chaos::Topology::kGrid};
+  if (text == "torus") return {chaos::Topology::kTorus};
+  if (text == "ring") return {chaos::Topology::kRing};
+  if (text == "all") {
+    return {chaos::Topology::kGrid, chaos::Topology::kTorus,
+            chaos::Topology::kRing};
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string seeds = "0..19";
+  std::string topology = "all";
+  std::uint64_t objects = 8;
+  std::uint64_t rounds = 6;
+  std::uint64_t events = 5;
+  bool inject_bug = false;
+  bool churn = false;
+  std::uint64_t replay_seed = UINT64_MAX;  // UINT64_MAX = explorer mode
+  std::string keep;
+
+  Flags flags(
+      "Chaos explorer: seeded fault schedules vs the distributed MOT "
+      "runtime, with invariant audits and schedule shrinking");
+  flags.register_flag("seeds", &seeds, "seed range A..B (or one seed N)");
+  flags.register_flag("topology", &topology, "grid | torus | ring | all");
+  flags.register_flag("objects", &objects, "mobile objects per run");
+  flags.register_flag("rounds", &rounds, "traffic rounds per run");
+  flags.register_flag("events", &events, "fault events per schedule");
+  flags.register_flag("inject-bug", &inject_bug,
+                      "enable a deliberate recovery defect; succeed only "
+                      "if the explorer catches and shrinks it");
+  flags.register_flag("churn", &churn,
+                      "also run the join/leave/crash churn driver");
+  flags.register_flag("replay-seed", &replay_seed,
+                      "replay one schedule by seed instead of exploring");
+  flags.register_flag("keep", &keep,
+                      "comma-separated event indices kept on replay "
+                      "(empty = all)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 0;
+  if (!parse_seed_range(seeds, &seed_lo, &seed_hi)) {
+    std::fprintf(stderr, "bad --seeds '%s' (want A..B)\n", seeds.c_str());
+    return 1;
+  }
+  const std::vector<chaos::Topology> topologies =
+      parse_topologies(topology);
+  if (topologies.empty()) {
+    std::fprintf(stderr, "bad --topology '%s'\n", topology.c_str());
+    return 1;
+  }
+
+  bool all_ok = true;
+
+  if (replay_seed != UINT64_MAX) {
+    // Replay mode: regenerate the schedule, keep only the listed events,
+    // run once. Succeeds when the violation reproduces.
+    for (const chaos::Topology topo : topologies) {
+      chaos::RunnerParams params;
+      params.topology = topo;
+      params.num_objects = objects;
+      params.rounds = static_cast<int>(rounds);
+      params.events_per_schedule = static_cast<int>(events);
+      params.inject_recovery_bug = inject_bug;
+      chaos::ChaosRunner runner(params);
+
+      chaos::ScheduleParams sp;
+      sp.rounds = params.rounds;
+      sp.num_events = params.events_per_schedule;
+      sp.num_nodes = runner.net().num_nodes();
+      chaos::ChaosSchedule schedule =
+          chaos::generate_schedule(replay_seed, sp);
+      if (!keep.empty()) {
+        std::vector<chaos::FaultEvent> kept;
+        for (const std::size_t index : parse_index_list(keep)) {
+          if (index < schedule.events.size()) {
+            kept.push_back(schedule.events[index]);
+          }
+        }
+        schedule.events = std::move(kept);
+      }
+      std::cout << "== replay on " << chaos::topology_name(topo)
+                << " ==\n" << schedule.describe() << "\n";
+      const chaos::RunReport report = runner.run(schedule);
+      if (report.ok()) {
+        std::cout << "no violation reproduced\n";
+        all_ok = false;
+      } else {
+        std::cout << "violation reproduced (round "
+                  << report.violation_round << "):\n";
+        for (const std::string& line : report.violations) {
+          std::cout << "  " << line << "\n";
+        }
+      }
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  Table table({"topology", "seeds", "runs", "faults", "skipped", "moves",
+               "queries", "failovers", "retries", "violation_seed"});
+  for (const chaos::Topology topo : topologies) {
+    chaos::RunnerParams params;
+    params.topology = topo;
+    params.num_objects = objects;
+    params.rounds = static_cast<int>(rounds);
+    params.events_per_schedule = static_cast<int>(events);
+    params.inject_recovery_bug = inject_bug;
+    chaos::ChaosRunner runner(params);
+
+    // Green-path totals across seeds, for the table.
+    std::size_t faults = 0;
+    std::size_t skipped = 0;
+    std::size_t moves = 0;
+    std::size_t queries = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t retries = 0;
+    chaos::ExplorerOutcome outcome;
+    chaos::ScheduleParams sp;
+    sp.rounds = params.rounds;
+    sp.num_events = params.events_per_schedule;
+    sp.num_nodes = runner.net().num_nodes();
+    for (std::uint64_t seed = seed_lo;; ++seed) {
+      const chaos::ChaosSchedule schedule =
+          chaos::generate_schedule(seed, sp);
+      const chaos::RunReport report = runner.run(schedule);
+      ++outcome.seeds_run;
+      faults += report.faults_applied;
+      skipped += report.faults_skipped;
+      moves += report.moves_issued;
+      queries += report.queries_issued;
+      failovers += report.proto_stats.query_failovers;
+      retries += report.proto_stats.queries_retried;
+      if (!report.ok()) {
+        outcome.violation_found = true;
+        outcome.seed = seed;
+        outcome.schedule = schedule;
+        outcome.shrunk = runner.shrink(schedule).schedule;
+        outcome.report = runner.run(outcome.shrunk);
+        break;
+      }
+      if (seed == seed_hi) break;
+    }
+    outcome.total_runs = runner.runs_executed();
+
+    table.begin_row()
+        .cell(chaos::topology_name(topo))
+        .cell(seeds)
+        .cell(static_cast<std::uint64_t>(outcome.total_runs))
+        .cell(static_cast<std::uint64_t>(faults))
+        .cell(static_cast<std::uint64_t>(skipped))
+        .cell(static_cast<std::uint64_t>(moves))
+        .cell(static_cast<std::uint64_t>(queries))
+        .cell(failovers)
+        .cell(retries)
+        .cell(outcome.violation_found ? std::to_string(outcome.seed)
+                                      : std::string("none"));
+
+    if (outcome.violation_found) {
+      std::cout << "!! violation on " << chaos::topology_name(topo)
+                << " at seed " << outcome.seed << "\n";
+      std::cout << "full schedule:\n  " << outcome.schedule.describe()
+                << "\n";
+      std::cout << "shrunk to " << outcome.shrunk.events.size()
+                << " event(s):\n  " << outcome.shrunk.describe() << "\n";
+      for (const std::string& line : outcome.report.violations) {
+        std::cout << "  violation: " << line << "\n";
+      }
+      std::string kept;
+      for (std::size_t i = 0; i < outcome.schedule.events.size(); ++i) {
+        // Map shrunk events back to indices in the generated schedule.
+        for (const chaos::FaultEvent& event : outcome.shrunk.events) {
+          const chaos::FaultEvent& original = outcome.schedule.events[i];
+          if (original.kind == event.kind &&
+              original.round == event.round &&
+              original.victim == event.victim &&
+              original.pivot == event.pivot &&
+              original.duration == event.duration) {
+            if (!kept.empty()) kept += ",";
+            kept += std::to_string(i);
+            break;
+          }
+        }
+      }
+      std::cout << "replay: chaos_runner --topology "
+                << chaos::topology_name(topo) << " --objects " << objects
+                << " --rounds " << rounds << " --events " << events
+                << " --replay-seed " << outcome.seed << " --keep " << kept
+                << (inject_bug ? " --inject-bug" : "") << "\n";
+      const bool expected =
+          inject_bug && outcome.shrunk.events.size() <= 10;
+      if (!expected) all_ok = false;
+    } else if (inject_bug) {
+      std::cout << "!! --inject-bug set but no violation found on "
+                << chaos::topology_name(topo) << "\n";
+      all_ok = false;
+    }
+  }
+  std::cout << "== chaos explorer ==\n";
+  table.print(std::cout);
+
+  if (churn) {
+    Table churn_table({"topology", "moves", "queries", "leaves", "crashes",
+                       "rejoins", "repaired", "relabels", "handoffs",
+                       "violations"});
+    for (const chaos::Topology topo : topologies) {
+      const chaos::ChaosNet net = chaos::build_chaos_net(topo, 7);
+      chaos::ChurnParams cp;
+      cp.seed = seed_lo + 1;
+      cp.num_objects = objects;
+      const chaos::ChurnReport report = chaos::run_churn(net, cp);
+      churn_table.begin_row()
+          .cell(chaos::topology_name(topo))
+          .cell(static_cast<std::uint64_t>(report.moves))
+          .cell(static_cast<std::uint64_t>(report.queries))
+          .cell(static_cast<std::uint64_t>(report.leaves))
+          .cell(static_cast<std::uint64_t>(report.crashes))
+          .cell(static_cast<std::uint64_t>(report.rejoins))
+          .cell(static_cast<std::uint64_t>(report.entries_repaired))
+          .cell(static_cast<std::uint64_t>(report.cluster_updates))
+          .cell(static_cast<std::uint64_t>(report.leader_handoffs))
+          .cell(static_cast<std::uint64_t>(report.violations.size()));
+      for (const std::string& line : report.violations) {
+        std::cout << "!! churn violation on "
+                  << chaos::topology_name(topo) << ": " << line << "\n";
+        all_ok = false;
+      }
+    }
+    std::cout << "== churn driver ==\n";
+    churn_table.print(std::cout);
+  }
+
+  return all_ok ? 0 : 1;
+}

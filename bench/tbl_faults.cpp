@@ -5,6 +5,8 @@
 // crash-stop demonstration where a chain sensor dies mid-run and the
 // structure is repaired while operations keep completing.
 #include "bench_common.hpp"
+#include "chaos/churn.hpp"
+#include "chaos/topology.hpp"
 #include "metrics/metrics.hpp"
 #include "util/check.hpp"
 #include "faults/fault_plan.hpp"
@@ -177,5 +179,119 @@ int main(int argc, char** argv) {
       .cell(static_cast<std::uint64_t>(skipped));
   bench::emit("Crash-stop recovery: chain sensor dies mid-run", crash,
               common);
+
+  // Partition-duration sweep: one move per object plus the query batch
+  // are issued concurrently, then the grid is cut into halves for the
+  // given number of ticks. Carrier sense parks retransmissions at the
+  // cut; recovery latency is how long the backlog takes to drain once
+  // the partition heals.
+  Table part({"cut_ticks", "retx_suppressed", "dist_per_move",
+              "dist_per_query", "maint_query_ratio", "recovery_latency"});
+  for (const double duration : {0.0, 16.0, 64.0, 256.0}) {
+    faults::LinkFaults part_link;
+    part_link.drop = 0.05;
+    part_link.duplicate = 0.05;
+    part_link.delay = 0.25;
+    part_link.max_extra_delay = 8.0;
+    faults::FaultPlan part_plan;
+    part_plan.set_default_faults(part_link);
+    faults::UnreliableChannel part_channel(
+        part_plan, SeedTree(common.base_seed).seed_for("part-channel"));
+
+    Simulator part_sim;
+    proto::DistributedMot part_runtime(provider, part_sim,
+                                       make_mot_chain_options(options));
+    part_runtime.use_channel(&part_channel);
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      part_runtime.publish(o, trace.initial_proxy[o]);
+    }
+    part_sim.run();
+
+    Rng part_rng(SeedTree(common.base_seed).seed_for("part-traffic"));
+    Weight maint_cost = 0.0;
+    Weight part_query_cost = 0.0;
+    std::size_t moves_done = 0;
+    std::size_t part_answered = 0;
+    for (ObjectId o = 0; o < num_objects; ++o) {
+      part_runtime.move(o, part_rng.below(net.num_nodes()),
+                        [&](const MoveResult& r) {
+                          maint_cost += r.cost;
+                          ++moves_done;
+                        });
+    }
+    for (const QueryOp& op : queries) {
+      part_runtime.query(op.from, op.object, [&](const QueryResult& r) {
+        part_query_cost += r.cost;
+        ++part_answered;
+      });
+    }
+
+    if (duration > 0.0) {
+      std::vector<NodeId> west;
+      std::vector<NodeId> east;
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        (v < net.num_nodes() / 2 ? west : east).push_back(v);
+      }
+      const std::uint64_t cut = part_channel.cut_now(west, east);
+      part_sim.run_until(part_sim.now() + duration);
+      part_channel.heal_now(cut);
+    }
+    const double heal_time = part_sim.now();
+    part_sim.run();
+    const double recovery_latency = part_sim.now() - heal_time;
+    MOT_CHECK(moves_done == num_objects);
+    MOT_CHECK(part_answered == queries.size());
+    part_runtime.validate_quiescent();
+
+    const proto::ProtocolStats& ps = part_runtime.stats();
+    const double per_move = maint_cost / static_cast<double>(moves_done);
+    const double per_query =
+        part_query_cost / static_cast<double>(part_answered);
+    part.begin_row()
+        .cell(duration, 0)
+        .cell(ps.retransmits_suppressed)
+        .cell(per_move, 1)
+        .cell(per_query, 1)
+        .cell(per_query > 0.0 ? per_move / per_query : 0.0, 2)
+        .cell(recovery_latency, 1);
+  }
+  bench::emit("Partition sweep: backlog drain after a healed cut", part,
+              common);
+
+  // Churn-rate sweep: fixed move/query traffic while the rate of
+  // join/leave/crash events scales; reports the realized churn rate per
+  // 100 operations, the amortized cluster relabeling work per event, and
+  // whether every query still answered with the true position.
+  Table churn_sweep({"churn_per_burst", "events_per_100_ops",
+                     "relabels_per_event", "repaired", "handoffs",
+                     "queries_ok"});
+  const chaos::ChaosNet chaos_net =
+      chaos::build_chaos_net(chaos::Topology::kGrid, common.base_seed);
+  for (const int churn_per_burst : {0, 1, 2, 4}) {
+    chaos::ChurnParams cp;
+    cp.seed = common.base_seed;
+    cp.bursts = 10;
+    cp.churn_per_burst = churn_per_burst;
+    cp.moves_per_burst = 10;
+    cp.queries_per_burst = 10;
+    cp.num_objects = 10;
+    const chaos::ChurnReport report = chaos::run_churn(chaos_net, cp);
+    const double ops = static_cast<double>(report.moves + report.queries);
+    const double events =
+        static_cast<double>(report.leaves + report.crashes + report.rejoins);
+    churn_sweep.begin_row()
+        .cell(static_cast<std::uint64_t>(churn_per_burst))
+        .cell(ops > 0.0 ? 100.0 * events / ops : 0.0, 1)
+        .cell(events > 0.0
+                  ? static_cast<double>(report.cluster_updates) / events
+                  : 0.0,
+              1)
+        .cell(static_cast<std::uint64_t>(report.entries_repaired))
+        .cell(static_cast<std::uint64_t>(report.leader_handoffs))
+        .cell(report.violations.empty() ? "yes" : "NO");
+    MOT_CHECK(report.violations.empty());
+  }
+  bench::emit("Churn sweep: cluster adaptation vs join/leave/crash rate",
+              churn_sweep, common);
   return 0;
 }

@@ -70,6 +70,28 @@ cmake --build build-asan -j "${JOBS}" --target mot_tests
 # halt_on_error so UBSan findings fail the run rather than scroll past.
 UBSAN_OPTIONS=halt_on_error=1 ./build-asan/tests/mot_tests --gtest_brief=1
 
+echo "== chaos: bounded schedule exploration under asan =="
+cmake --build build-asan -j "${JOBS}" --target chaos_runner
+CHAOS_LOG="${SMOKE_DIR}/chaos.log"
+# Fixed seeds, all acceptance topologies, plus the churn driver. On a
+# violation the log already holds the shrunk repro and the exact replay
+# command — surface it whole.
+if ! ./build-asan/bench/chaos_runner --seeds 0..19 --topology all \
+    --churn > "${CHAOS_LOG}" 2>&1; then
+  echo "chaos explorer found a violation; shrunk repro + replay command:"
+  cat "${CHAOS_LOG}"
+  exit 1
+fi
+# Self-check: the explorer must still catch a deliberately broken
+# recovery path and shrink it to a small deterministic schedule.
+if ! ./build-asan/bench/chaos_runner --seeds 0..9 --topology grid \
+    --events 12 --inject-bug > "${CHAOS_LOG}" 2>&1; then
+  echo "chaos explorer failed to catch the injected recovery defect:"
+  cat "${CHAOS_LOG}"
+  exit 1
+fi
+echo "chaos ok: 60 green schedules + churn; injected defect caught + shrunk"
+
 echo "== sanitizers: tsan pool/oracle/sweep tests =="
 cmake -B build-tsan -S . -DMOT_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
   > /dev/null

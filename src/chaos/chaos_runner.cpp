@@ -1,0 +1,317 @@
+#include "chaos/chaos_runner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/event_sim.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mot::chaos {
+namespace {
+
+std::vector<NodeId> id_range(NodeId first, NodeId last_exclusive) {
+  std::vector<NodeId> ids;
+  ids.reserve(last_exclusive - first);
+  for (NodeId v = first; v < last_exclusive; ++v) ids.push_back(v);
+  return ids;
+}
+
+}  // namespace
+
+ChaosRunner::ChaosRunner(const RunnerParams& params)
+    : params_(params),
+      net_(build_chaos_net(params.topology, params.build_seed)) {
+  MOT_EXPECTS(params_.rounds > 0);
+  MOT_EXPECTS(params_.num_objects > 0);
+}
+
+RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
+  ++runs_;
+  RunReport report;
+  const SeedTree seeds(schedule.seed);
+  const std::size_t n = net_.num_nodes();
+
+  faults::FaultPlan plan;
+  if (params_.link_faults.faulty()) {
+    plan.set_default_faults(params_.link_faults);
+  }
+  faults::UnreliableChannel channel(plan, seeds.seed_for("chaos-channel"));
+  Simulator sim;
+  proto::DistributedMot dist(*net_.provider, sim, net_.chain_options);
+  dist.use_channel(&channel);
+  dist.replicate_detection_lists(true);
+  dist.set_query_policy(params_.query_policy);
+  if (params_.inject_recovery_bug) dist.break_recovery_for_tests(true);
+
+  std::vector<bool> dead(n, false);
+  std::size_t crashed = 0;
+  const std::size_t crash_cap = std::max<std::size_t>(1, n / 6);
+  // Bounded rejection sampling; with at most n/6 dead nodes a uniform
+  // draw misses with probability < 1/6 per try.
+  auto live_node = [&](Rng& rng) {
+    for (;;) {
+      const NodeId v = rng.below(n);
+      if (!dead[v]) return v;
+    }
+  };
+
+  // Publish everything and settle before the first fault.
+  Rng publish_rng = SeedTree(schedule.seed).stream("chaos-publish");
+  for (ObjectId object = 0; object < params_.num_objects; ++object) {
+    dist.publish(object, publish_rng.below(n));
+  }
+  sim.run(params_.max_sim_events);
+  MOT_CHECK(sim.empty());
+
+  std::vector<char> move_busy(params_.num_objects, 0);
+  std::size_t moves_done = 0;
+
+  struct OpenCut {
+    std::uint64_t id = 0;
+    int heal_round = 0;
+  };
+  std::vector<OpenCut> open;
+
+  // Quiescence audit; returns false (and fills the report) on violation.
+  auto check_quiescent = [&](int round) {
+    std::vector<std::string>& out = report.violations;
+    if (!sim.empty()) {
+      out.push_back("did not quiesce within the event budget");
+    } else {
+      for (std::string& line : dist.invariant_violations()) {
+        out.push_back(std::move(line));
+      }
+      const faults::ChannelStats& cs = channel.stats();
+      if (cs.in_flight != 0) {
+        out.push_back("channel reports " + std::to_string(cs.in_flight) +
+                      " copies in flight at quiescence");
+      }
+      if (!cs.conserved()) {
+        out.push_back(
+            "channel conservation ledger violated: " +
+            std::to_string(cs.transmissions) + " sent + " +
+            std::to_string(cs.duplicated) + " duplicated != " +
+            std::to_string(cs.delivered) + " delivered + " +
+            std::to_string(cs.dropped) + " dropped + " +
+            std::to_string(cs.dead_on_arrival) + " dead + " +
+            std::to_string(cs.severed_in_flight) + " severed + " +
+            std::to_string(cs.in_flight) + " in flight");
+      }
+      if (report.moves_issued != moves_done) {
+        out.push_back("only " + std::to_string(moves_done) + " of " +
+                      std::to_string(report.moves_issued) +
+                      " moves completed");
+      }
+      // Crash-aborted queries die with their requester (no callback to a
+      // dead node); every other query must have answered or aborted
+      // through its callback.
+      const std::uint64_t terminated =
+          report.queries_terminated + dist.stats().queries_aborted;
+      if (report.queries_issued != terminated) {
+        out.push_back("only " + std::to_string(terminated) + " of " +
+                      std::to_string(report.queries_issued) +
+                      " queries terminated");
+      }
+      // Every live object must be locatable at its physical position.
+      Rng verify_rng = SeedTree(schedule.seed).stream(
+          "chaos-verify", static_cast<std::uint64_t>(round + 1));
+      for (ObjectId object = 0; object < params_.num_objects; ++object) {
+        if (move_busy[object] != 0) continue;  // mid-run point only
+        const NodeId origin = live_node(verify_rng);
+        bool answered = false;
+        QueryResult result;
+        dist.query(origin, object, [&](const QueryResult& r) {
+          answered = true;
+          result = r;
+        });
+        sim.run(params_.max_sim_events);
+        if (!answered || !sim.empty()) {
+          out.push_back("verification query for object " +
+                        std::to_string(object) + " never terminated");
+          break;
+        }
+        if (!result.found ||
+            result.proxy != dist.physical_position(object)) {
+          out.push_back(
+              "verification query for object " + std::to_string(object) +
+              " answered node " +
+              std::to_string(result.found ? result.proxy : kInvalidNode) +
+              " but the object is at node " +
+              std::to_string(dist.physical_position(object)));
+        }
+      }
+    }
+    if (!report.violations.empty()) report.violation_round = round;
+    return report.violations.empty();
+  };
+
+  auto finalize = [&] {
+    report.proto_stats = dist.stats();
+    report.channel_stats = channel.stats();
+  };
+
+  double round_end = sim.now();
+  for (int round = 0; round < params_.rounds; ++round) {
+    // Heal cuts whose window expired.
+    for (auto it = open.begin(); it != open.end();) {
+      if (it->heal_round <= round) {
+        channel.heal_now(it->id);
+        it = open.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Fire this round's fault events, guarded at fire time: never crash
+    // the root, a dead node, or a sensor physically hosting an object
+    // (the object would die with it), and cap total crashes so the
+    // network stays usable.
+    for (const FaultEvent& event : schedule.events) {
+      if (event.round != round) continue;
+      switch (event.kind) {
+        case FaultKind::kCrash: {
+          const NodeId victim = event.victim % n;
+          bool hosts = false;
+          for (ObjectId object = 0; object < params_.num_objects;
+               ++object) {
+            if (dist.physical_position(object) == victim) hosts = true;
+          }
+          if (dead[victim] || victim == net_.root() || hosts ||
+              crashed >= crash_cap) {
+            ++report.faults_skipped;
+            break;
+          }
+          channel.crash_now(victim);
+          dead[victim] = true;
+          ++crashed;
+          ++report.faults_applied;
+          break;
+        }
+        case FaultKind::kPartition: {
+          const NodeId pivot =
+              1 + event.pivot % static_cast<NodeId>(n - 1);
+          const std::uint64_t id = channel.cut_now(
+              id_range(0, pivot), id_range(pivot, static_cast<NodeId>(n)));
+          open.push_back({id, round + event.duration});
+          ++report.faults_applied;
+          break;
+        }
+        case FaultKind::kIsolate: {
+          const NodeId victim = event.victim % n;
+          if (dead[victim]) {
+            ++report.faults_skipped;
+            break;
+          }
+          std::vector<NodeId> rest;
+          for (NodeId v = 0; v < n; ++v) {
+            if (v != victim) rest.push_back(v);
+          }
+          const std::uint64_t id = channel.cut_now({victim}, std::move(rest));
+          open.push_back({id, round + event.duration});
+          ++report.faults_applied;
+          break;
+        }
+      }
+    }
+
+    // Traffic: moves on objects with no maintenance in flight (the
+    // one-by-one precondition) and queries from live origins.
+    Rng traffic = SeedTree(schedule.seed).stream(
+        "chaos-traffic", static_cast<std::uint64_t>(round));
+    for (int i = 0; i < params_.moves_per_round; ++i) {
+      const ObjectId object = traffic.below(params_.num_objects);
+      if (move_busy[object] != 0) continue;
+      const NodeId target = live_node(traffic);
+      move_busy[object] = 1;
+      ++report.moves_issued;
+      dist.move(object, target, [&, object](const MoveResult&) {
+        move_busy[object] = 0;
+        ++moves_done;
+      });
+    }
+    for (int i = 0; i < params_.queries_per_round; ++i) {
+      const ObjectId object = traffic.below(params_.num_objects);
+      const NodeId origin = live_node(traffic);
+      ++report.queries_issued;
+      dist.query(origin, object,
+                 [&](const QueryResult&) { ++report.queries_terminated; });
+    }
+
+    round_end += params_.round_time;
+    sim.run_until(round_end);
+
+    // Mid-run quiescence point: once the schedule leaves no cut open at
+    // the halfway mark, drain and audit before resuming the storm.
+    if (open.empty() && round == params_.rounds / 2) {
+      sim.run(params_.max_sim_events);
+      if (!check_quiescent(round)) {
+        finalize();
+        return report;
+      }
+      // The drain ran arbitrarily far past the round grid (long
+      // retransmission backoffs); re-base so later rounds still execute.
+      round_end = std::max(round_end, sim.now());
+    }
+  }
+
+  // Every partition heals; drain to the final quiescence point.
+  for (const OpenCut& cut : open) channel.heal_now(cut.id);
+  open.clear();
+  sim.run(params_.max_sim_events);
+  check_quiescent(-1);
+  finalize();
+  return report;
+}
+
+ShrinkOutcome ChaosRunner::shrink(const ChaosSchedule& failing) {
+  ShrinkOutcome out;
+  out.schedule = failing;
+  // Greedy ddmin at granularity one: delete any single event whose
+  // removal keeps the schedule failing; repeat to a fixed point. The
+  // traffic and channel streams derive from the seed alone, so removing
+  // an event replays everything else bit-identically.
+  bool progress = true;
+  while (progress && out.schedule.events.size() > 1) {
+    progress = false;
+    for (std::size_t i = 0; i < out.schedule.events.size(); ++i) {
+      ChaosSchedule candidate = out.schedule;
+      candidate.events.erase(candidate.events.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      ++out.probes;
+      if (!run(candidate).ok()) {
+        out.schedule = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ExplorerOutcome ChaosRunner::explore(std::uint64_t first_seed,
+                                     std::uint64_t last_seed) {
+  ExplorerOutcome out;
+  ScheduleParams sp;
+  sp.rounds = params_.rounds;
+  sp.num_events = params_.events_per_schedule;
+  sp.num_nodes = net_.num_nodes();
+  for (std::uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+    ++out.seeds_run;
+    ChaosSchedule schedule = generate_schedule(seed, sp);
+    if (!run(schedule).ok()) {
+      out.violation_found = true;
+      out.seed = seed;
+      out.schedule = std::move(schedule);
+      out.shrunk = shrink(out.schedule).schedule;
+      out.report = run(out.shrunk);
+      MOT_CHECK(!out.report.ok());  // the repro must replay
+      break;
+    }
+    if (seed == last_seed) break;  // avoid wrap at UINT64_MAX
+  }
+  out.total_runs = runs_;
+  return out;
+}
+
+}  // namespace mot::chaos

@@ -1,0 +1,112 @@
+// The chaos schedule explorer (the harness's tentpole): replays seeded
+// random fault schedules — crash-stop failures, timed partitions, node
+// isolations — against the distributed MOT runtime while objects move
+// and queries fire, checks the structural invariants at every quiescence
+// point, and greedily shrinks any violating schedule to a minimal
+// deterministic repro.
+//
+// Invariants checked at quiescence (all partitions healed, simulator
+// drained):
+//   * every live object is locatable and query answers match its
+//     physical position;
+//   * the per-object chain invariant holds with no orphaned
+//     detection-list entries (DistributedMot::invariant_violations);
+//   * every issued query terminated — answered or explicitly aborted;
+//   * the channel's conservation ledger balances exactly:
+//     transmissions + duplicated == delivered + dropped + dead_on_arrival
+//     + severed_in_flight + in_flight, with in_flight == 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.hpp"
+#include "chaos/topology.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/unreliable_channel.hpp"
+#include "proto/distributed_mot.hpp"
+
+namespace mot::chaos {
+
+struct RunnerParams {
+  Topology topology = Topology::kGrid;
+  std::uint64_t build_seed = 7;  // hierarchy seed, fixed across schedules
+  std::size_t num_objects = 8;
+  int rounds = 6;
+  int events_per_schedule = 5;
+  int moves_per_round = 2;
+  int queries_per_round = 3;
+  // Simulator time per round; long enough for un-faulted operations to
+  // finish, short enough that a 1-3 round partition spans real traffic.
+  double round_time = 64.0;
+  std::size_t max_sim_events = 4'000'000;  // runaway guard per drain
+  // Ambient link chaos on top of the scheduled faults.
+  faults::LinkFaults link_faults{0.02, 0.02, 0.10, 4.0};
+  // End-to-end query policy: generous enough that post-heal queries
+  // always answer, tight enough that cut-off queries abort explicitly.
+  proto::QueryPolicy query_policy{/*deadline=*/256.0, /*max_attempts=*/4,
+                                  /*backoff=*/2.0, /*hedge_delay=*/48.0};
+  // Routes through DistributedMot::break_recovery_for_tests so the
+  // explorer's detection + shrinking paths can be exercised against a
+  // real, deterministic recovery defect.
+  bool inject_recovery_bug = false;
+};
+
+struct RunReport {
+  std::vector<std::string> violations;
+  // Round the violation surfaced in; -1 = the final quiescence point.
+  int violation_round = -1;
+  std::size_t faults_applied = 0;
+  std::size_t faults_skipped = 0;  // fire-time eligibility guard
+  std::size_t moves_issued = 0;
+  std::size_t queries_issued = 0;
+  std::size_t queries_terminated = 0;
+  proto::ProtocolStats proto_stats;
+  faults::ChannelStats channel_stats;
+
+  bool ok() const { return violations.empty(); }
+};
+
+struct ShrinkOutcome {
+  ChaosSchedule schedule;  // minimal still-failing schedule
+  std::size_t probes = 0;  // replays spent shrinking
+};
+
+struct ExplorerOutcome {
+  bool violation_found = false;
+  std::uint64_t seed = 0;          // first violating seed
+  ChaosSchedule schedule;          // its full schedule
+  ChaosSchedule shrunk;            // minimal repro
+  RunReport report;                // replay of the shrunk repro
+  std::size_t seeds_run = 0;
+  std::size_t total_runs = 0;      // including shrink probes
+};
+
+class ChaosRunner {
+ public:
+  explicit ChaosRunner(const RunnerParams& params);
+
+  // Replays one schedule against a fresh simulator + channel + runtime.
+  // Deterministic: the same schedule always yields the same report.
+  RunReport run(const ChaosSchedule& schedule);
+
+  // Greedy delta-debugging: repeatedly deletes single events whose
+  // removal keeps the schedule failing, to a fixed point. The result
+  // replays the violation from (seed, events) alone.
+  ShrinkOutcome shrink(const ChaosSchedule& failing);
+
+  // Runs generate_schedule(seed) for every seed in [first, last]; stops
+  // at the first violation and returns it shrunk.
+  ExplorerOutcome explore(std::uint64_t first_seed, std::uint64_t last_seed);
+
+  const ChaosNet& net() const { return net_; }
+  std::size_t runs_executed() const { return runs_; }
+
+ private:
+  RunnerParams params_;
+  ChaosNet net_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace mot::chaos

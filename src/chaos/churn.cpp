@@ -1,0 +1,120 @@
+#include "chaos/churn.hpp"
+
+#include <algorithm>
+
+#include "core/dynamic.hpp"
+#include "tracking/chain_tracker.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mot::chaos {
+
+ChurnReport run_churn(const ChaosNet& net, const ChurnParams& params) {
+  MOT_EXPECTS(params.num_objects > 0);
+  ChurnReport report;
+  const std::size_t n = net.num_nodes();
+  const std::size_t departed_cap = std::max<std::size_t>(1, n / 5);
+
+  ChainTracker tracker("chaos-churn", *net.provider, net.chain_options);
+  DynamicClusterSet::Params dyn_params;
+  dyn_params.seed = params.seed;
+  DynamicClusterSet clusters(*net.hierarchy, dyn_params);
+
+  std::vector<bool> present(n, true);
+  std::vector<NodeId> departed;
+  std::vector<NodeId> position(params.num_objects, kInvalidNode);
+
+  const SeedTree seeds(params.seed);
+  auto present_node = [&](Rng& rng) {
+    for (;;) {
+      const NodeId v = rng.below(n);
+      if (present[v]) return v;
+    }
+  };
+  // A victim is eligible when it is present, does not host the root
+  // stop (re-rooting is a hierarchy rebuild, which the paper defers)
+  // and no object currently sits there (its proxy would dangle).
+  auto eligible_victim = [&](NodeId v) {
+    if (!present[v] || v == net.root()) return false;
+    return std::find(position.begin(), position.end(), v) ==
+           position.end();
+  };
+
+  Rng publish_rng = seeds.stream("churn-publish");
+  for (ObjectId object = 0; object < params.num_objects; ++object) {
+    position[object] = present_node(publish_rng);
+    tracker.publish(object, position[object]);
+  }
+
+  for (int burst = 0; burst < params.bursts; ++burst) {
+    Rng rng = seeds.stream("churn-burst", static_cast<std::uint64_t>(burst));
+
+    for (int i = 0; i < params.churn_per_burst; ++i) {
+      const std::uint64_t action = rng.below(3);
+      if (action == 2) {  // rejoin the longest-departed node
+        if (departed.empty()) {
+          ++report.churn_skipped;
+          continue;
+        }
+        const NodeId node = departed.front();
+        departed.erase(departed.begin());
+        const AdaptabilityReport adapt = clusters.node_joins(node);
+        report.cluster_updates += adapt.nodes_updated;
+        present[node] = true;
+        ++report.rejoins;
+        continue;
+      }
+      const NodeId victim = rng.below(n);
+      if (!eligible_victim(victim) || departed.size() >= departed_cap) {
+        ++report.churn_skipped;
+        continue;
+      }
+      if (action == 0) {  // graceful leave
+        report.entries_repaired += tracker.evacuate_node(victim);
+        const AdaptabilityReport adapt = clusters.node_leaves(victim);
+        report.cluster_updates += adapt.nodes_updated;
+        report.leader_handoffs += adapt.leader_handoffs;
+        ++report.leaves;
+      } else {  // crash-stop failure
+        report.entries_repaired += tracker.crash_node(victim);
+        const AdaptabilityReport adapt = clusters.node_crashes(victim);
+        report.cluster_updates += adapt.nodes_updated;
+        report.leader_handoffs += adapt.leader_handoffs;
+        ++report.crashes;
+      }
+      present[victim] = false;
+      departed.push_back(victim);
+    }
+
+    for (int i = 0; i < params.moves_per_burst; ++i) {
+      const ObjectId object = rng.below(params.num_objects);
+      const NodeId target = present_node(rng);
+      tracker.move(object, target);
+      position[object] = target;
+      ++report.moves;
+    }
+    for (int i = 0; i < params.queries_per_burst; ++i) {
+      const ObjectId object = rng.below(params.num_objects);
+      const QueryResult result =
+          tracker.query(present_node(rng), object);
+      ++report.queries;
+      if (!result.found || result.proxy != position[object]) {
+        report.violations.push_back(
+            "burst " + std::to_string(burst) + ": query for object " +
+            std::to_string(object) + " answered node " +
+            std::to_string(result.found ? result.proxy : kInvalidNode) +
+            " but the object is at node " +
+            std::to_string(position[object]));
+      }
+    }
+
+    tracker.validate_all();  // aborts on structural breakage
+    for (std::string& line : clusters.validate_membership()) {
+      report.violations.push_back("burst " + std::to_string(burst) +
+                                  ": " + std::move(line));
+    }
+  }
+  return report;
+}
+
+}  // namespace mot::chaos

@@ -1,0 +1,50 @@
+// Churn driver: a seeded schedule of interleaved node joins, graceful
+// leaves, crash-stop failures and rejoins driven through the
+// DynamicClusterSet (Section 7 cluster adaptation) and the ChainTracker
+// (chain repair via evacuate_node / crash_node) while objects keep
+// moving and queries keep firing. After every burst the driver audits
+// the tracker's structural invariant (validate_all aborts on breakage),
+// the cluster membership index (validate_membership), and that every
+// query answered with the object's true position.
+//
+// Departures are maintenance windows: a departed sensor leaves the
+// target pool and its chain entries are repaired away, but the overlay
+// address space is unchanged and the node may rejoin later.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/topology.hpp"
+
+namespace mot::chaos {
+
+struct ChurnParams {
+  std::uint64_t seed = 1;
+  int bursts = 6;
+  int churn_per_burst = 2;    // leave/crash/rejoin attempts per burst
+  int moves_per_burst = 8;
+  int queries_per_burst = 8;
+  std::size_t num_objects = 8;
+};
+
+struct ChurnReport {
+  std::size_t moves = 0;
+  std::size_t queries = 0;
+  std::size_t leaves = 0;
+  std::size_t crashes = 0;
+  std::size_t rejoins = 0;
+  std::size_t churn_skipped = 0;  // guard-ineligible victims
+  std::size_t entries_repaired = 0;  // chain entries evacuated/spliced
+  std::size_t cluster_updates = 0;   // de Bruijn relabeling updates
+  std::size_t leader_handoffs = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Deterministic for a (net, params) pair.
+ChurnReport run_churn(const ChaosNet& net, const ChurnParams& params);
+
+}  // namespace mot::chaos

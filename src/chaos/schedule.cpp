@@ -1,0 +1,76 @@
+#include "chaos/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mot::chaos {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kIsolate:
+      return "isolate";
+  }
+  MOT_CHECK(false);
+  return "?";
+}
+
+std::string ChaosSchedule::describe() const {
+  std::string out = "seed " + std::to_string(seed);
+  for (const FaultEvent& event : events) {
+    out += "\n  r" + std::to_string(event.round) + " ";
+    out += fault_kind_name(event.kind);
+    switch (event.kind) {
+      case FaultKind::kCrash:
+        out += " node " + std::to_string(event.victim);
+        break;
+      case FaultKind::kPartition:
+        out += " pivot " + std::to_string(event.pivot) + " for " +
+               std::to_string(event.duration) + " round(s)";
+        break;
+      case FaultKind::kIsolate:
+        out += " node " + std::to_string(event.victim) + " for " +
+               std::to_string(event.duration) + " round(s)";
+        break;
+    }
+  }
+  return out;
+}
+
+ChaosSchedule generate_schedule(std::uint64_t seed,
+                                const ScheduleParams& params) {
+  MOT_EXPECTS(params.rounds > 0);
+  MOT_EXPECTS(params.num_nodes >= 2);
+  ChaosSchedule schedule;
+  schedule.seed = seed;
+  Rng rng = SeedTree(seed).stream("chaos-schedule");
+  for (int i = 0; i < params.num_events; ++i) {
+    FaultEvent event;
+    const std::uint64_t kind_draw = rng.below(10);
+    if (kind_draw < 4) {
+      event.kind = FaultKind::kCrash;
+    } else if (kind_draw < 8) {
+      event.kind = FaultKind::kPartition;
+    } else {
+      event.kind = FaultKind::kIsolate;
+    }
+    event.round = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(params.rounds)));
+    event.victim = rng.below(params.num_nodes);
+    event.pivot = 1 + rng.below(params.num_nodes - 1);
+    event.duration = 1 + static_cast<int>(rng.below(3));
+    schedule.events.push_back(event);
+  }
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.round < b.round;
+                   });
+  return schedule;
+}
+
+}  // namespace mot::chaos

@@ -1,0 +1,55 @@
+// Seeded random fault schedules for the chaos explorer. A ChaosSchedule
+// is pure data: a seed (which also drives the run's traffic and channel
+// randomness) plus a list of timed fault events. (seed, events) fully
+// determines a run, so a failing schedule is its own repro, and the
+// shrinker can delete events one at a time while replaying the rest
+// bit-identically — the traffic streams are derived from the seed, never
+// from shared state the events could perturb.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mot::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,      // crash-stop one sensor (never heals)
+  kPartition,  // cut {id < pivot} from {id >= pivot} for `duration` rounds
+  kIsolate,    // cut {victim} from everyone else for `duration` rounds
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int round = 0;  // fires before this round's traffic is issued
+  NodeId victim = kInvalidNode;  // kCrash / kIsolate target
+  NodeId pivot = 1;              // kPartition cut line
+  int duration = 1;              // rounds until a cut heals (>= 1)
+};
+
+struct ChaosSchedule {
+  std::uint64_t seed = 0;  // also seeds traffic + channel streams
+  std::vector<FaultEvent> events;
+
+  // One line per event, e.g. "r2 partition pivot 31 for 2 rounds".
+  std::string describe() const;
+};
+
+struct ScheduleParams {
+  int rounds = 6;       // traffic rounds available to place events in
+  int num_events = 5;   // fault events per schedule
+  std::size_t num_nodes = 64;
+};
+
+// Deterministic: the same (seed, params) always yields the same
+// schedule. Victims/pivots are drawn uniformly; eligibility (root, node
+// hosting an object, ...) is the runner's job at fire time, so schedules
+// stay valid as objects move.
+ChaosSchedule generate_schedule(std::uint64_t seed,
+                                const ScheduleParams& params);
+
+}  // namespace mot::chaos

@@ -1,0 +1,51 @@
+#include "chaos/topology.hpp"
+
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace mot::chaos {
+
+const char* topology_name(Topology topology) {
+  switch (topology) {
+    case Topology::kGrid:
+      return "grid";
+    case Topology::kTorus:
+      return "torus";
+    case Topology::kRing:
+      return "ring";
+  }
+  MOT_CHECK(false);
+  return "?";
+}
+
+ChaosNet build_chaos_net(Topology topology, std::uint64_t seed) {
+  Graph graph;
+  switch (topology) {
+    case Topology::kGrid:
+      graph = make_grid(8, 8);
+      break;
+    case Topology::kTorus:
+      graph = make_torus(8, 8);
+      break;
+    case Topology::kRing:
+      graph = make_ring(48);
+      break;
+  }
+
+  ChaosNet net;
+  net.graph = std::make_unique<Graph>(std::move(graph));
+  net.oracle = make_distance_oracle(*net.graph);
+  DoublingHierarchy::Params hp;
+  hp.seed = seed;
+  net.hierarchy = DoublingHierarchy::build(*net.graph, *net.oracle, hp);
+  MotOptions options;
+  options.use_parent_sets = false;
+  options.seed = seed;
+  net.provider = std::make_unique<MotPathProvider>(*net.hierarchy, options);
+  net.chain_options = make_mot_chain_options(options);
+  return net;
+}
+
+}  // namespace mot::chaos

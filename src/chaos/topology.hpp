@@ -1,0 +1,40 @@
+// Chaos-harness network construction: one prebuilt MOT stack (graph,
+// oracle, hierarchy, path provider) per topology, shared read-only by
+// every seeded run of the explorer. Building the hierarchy dominates a
+// chaos run's cost, so the runner builds a ChaosNet once and spins up a
+// fresh simulator + channel + protocol runtime per schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/mot.hpp"
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "tracking/chain_tracker.hpp"
+
+namespace mot::chaos {
+
+// The three acceptance topologies: an 8x8 grid (the paper's evaluation
+// shape), the same grid wrapped into a torus (no boundary effects), and
+// a 48-node ring (worst-case diameter, long thin chains).
+enum class Topology { kGrid, kTorus, kRing };
+
+const char* topology_name(Topology topology);
+
+struct ChaosNet {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+  std::unique_ptr<MotPathProvider> provider;
+  ChainOptions chain_options;
+
+  std::size_t num_nodes() const { return graph->num_nodes(); }
+  NodeId root() const { return provider->root_stop().node; }
+};
+
+// Builds the full MOT stack for `topology` with hierarchy seed `seed`.
+ChaosNet build_chaos_net(Topology topology, std::uint64_t seed);
+
+}  // namespace mot::chaos

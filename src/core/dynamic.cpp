@@ -1,6 +1,8 @@
 #include "core/dynamic.hpp"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -119,6 +121,46 @@ double DynamicClusterSet::amortized_updates_per_cluster() const {
   if (total_cluster_events_ == 0) return 0.0;
   return static_cast<double>(total_updates_) /
          static_cast<double>(total_cluster_events_);
+}
+
+std::vector<std::string> DynamicClusterSet::validate_membership() const {
+  std::vector<std::string> out;
+  for (std::size_t index = 0; index < clusters_.size(); ++index) {
+    for (const NodeId member : clusters_[index].embedding.members()) {
+      const auto it = membership_.find(member);
+      const bool indexed =
+          it != membership_.end() &&
+          std::find(it->second.begin(), it->second.end(), index) !=
+              it->second.end();
+      if (!indexed) {
+        out.push_back("node " + std::to_string(member) +
+                      " embedded in cluster " + std::to_string(index) +
+                      " but missing from the membership index");
+      }
+    }
+    const ManagedCluster& cluster = clusters_[index];
+    if (cluster.embedding.size() > 0 &&
+        cluster.embedding.label_of(cluster.leader) < 0) {
+      out.push_back("cluster " + std::to_string(index) +
+                    " led by node " + std::to_string(cluster.leader) +
+                    " which is not a member");
+    }
+  }
+  for (const auto& [node, indices] : membership_) {
+    for (const std::size_t index : indices) {
+      if (index >= clusters_.size()) {
+        out.push_back("node " + std::to_string(node) +
+                      " indexed into nonexistent cluster " +
+                      std::to_string(index));
+      }
+    }
+    if (std::unordered_set<std::size_t>(indices.begin(), indices.end())
+            .size() != indices.size()) {
+      out.push_back("node " + std::to_string(node) +
+                    " has duplicate membership entries");
+    }
+  }
+  return out;
 }
 
 bool DynamicClusterSet::cluster_contains(OverlayNode center,

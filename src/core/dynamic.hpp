@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +66,12 @@ class DynamicClusterSet {
 
   // True if `node` currently belongs to the cluster of `center`.
   bool cluster_contains(OverlayNode center, NodeId node) const;
+
+  // Non-aborting audit of the membership index against the embeddings:
+  // every embedded member must be indexed and every indexed entry must
+  // be valid. Returns one line per violation (empty = consistent). The
+  // chaos churn driver runs this after every join/leave/crash burst.
+  std::vector<std::string> validate_membership() const;
 
  private:
   struct ManagedCluster {

@@ -19,7 +19,16 @@ void check_rates(const LinkFaults& faults) {
   MOT_EXPECTS(faults.max_extra_delay >= 0.0);
 }
 
+bool contains(const std::vector<NodeId>& sorted, NodeId node) {
+  return std::binary_search(sorted.begin(), sorted.end(), node);
+}
+
 }  // namespace
+
+bool PartitionWindow::cuts(NodeId from, NodeId to) const {
+  return (contains(side_a, from) && contains(side_b, to)) ||
+         (contains(side_b, from) && contains(side_a, to));
+}
 
 FaultPlan& FaultPlan::set_default_faults(const LinkFaults& faults) {
   check_rates(faults);
@@ -47,6 +56,26 @@ FaultPlan& FaultPlan::add_crash(SimTime time, NodeId node) {
                      if (a.time != b.time) return a.time < b.time;
                      return a.node < b.node;
                    });
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_partition(SimTime start, SimTime end,
+                                    std::vector<NodeId> side_a,
+                                    std::vector<NodeId> side_b) {
+  MOT_EXPECTS(start >= 0.0);
+  MOT_EXPECTS(end > start);  // every partition heals
+  MOT_EXPECTS(!side_a.empty() && !side_b.empty());
+  const auto normalize = [](std::vector<NodeId>& side) {
+    std::sort(side.begin(), side.end());
+    side.erase(std::unique(side.begin(), side.end()), side.end());
+  };
+  normalize(side_a);
+  normalize(side_b);
+  // The sides must be disjoint: a node cannot be cut from itself.
+  for (const NodeId node : side_a) {
+    MOT_EXPECTS(!std::binary_search(side_b.begin(), side_b.end(), node));
+  }
+  partitions_.push_back({start, end, std::move(side_a), std::move(side_b)});
   return *this;
 }
 

@@ -34,6 +34,21 @@ struct CrashEvent {
   NodeId node = kInvalidNode;
 };
 
+// A timed bidirectional partition: every link with one endpoint in
+// side_a and the other in side_b is severed for times in [start, end).
+// Sides need not cover the network; nodes in neither side keep all their
+// links. Pure data — UnreliableChannel::arm turns windows into cut/heal
+// events on the simulator.
+struct PartitionWindow {
+  SimTime start = 0.0;
+  SimTime end = 0.0;  // heal time; every window heals
+  std::vector<NodeId> side_a;  // sorted, deduplicated
+  std::vector<NodeId> side_b;
+
+  // True when the directed link from -> to crosses the cut (either way).
+  bool cuts(NodeId from, NodeId to) const;
+};
+
 class FaultPlan {
  public:
   // Faults applied to every link without a per-link override.
@@ -48,10 +63,21 @@ class FaultPlan {
   // time order; a node crashes at most once.
   FaultPlan& add_crash(SimTime time, NodeId node);
 
+  // Schedules a bidirectional partition cutting side_a from side_b over
+  // [start, end), relative to when the channel is armed. Windows may
+  // overlap; a link is severed while any active window cuts it.
+  FaultPlan& add_partition(SimTime start, SimTime end,
+                           std::vector<NodeId> side_a,
+                           std::vector<NodeId> side_b);
+
   const LinkFaults& faults_for(NodeId from, NodeId to) const;
 
   // Crash schedule sorted by time (ties broken by node id).
   const std::vector<CrashEvent>& crashes() const { return crashes_; }
+
+  const std::vector<PartitionWindow>& partitions() const {
+    return partitions_;
+  }
 
   bool has_link_faults() const {
     return defaults_.faulty() || !overrides_.empty();
@@ -61,6 +87,7 @@ class FaultPlan {
   LinkFaults defaults_;
   std::unordered_map<std::uint64_t, LinkFaults> overrides_;  // key (from,to)
   std::vector<CrashEvent> crashes_;
+  std::vector<PartitionWindow> partitions_;
 };
 
 }  // namespace mot::faults

@@ -1,6 +1,7 @@
 #include "faults/unreliable_channel.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -15,6 +16,18 @@ void UnreliableChannel::arm(Simulator& sim) {
   for (const CrashEvent& crash : plan_->crashes()) {
     sim.schedule(crash.time, [this, node = crash.node] { crash_now(node); });
   }
+  // Each window becomes one cut and one matching heal. Capturing the id
+  // through a shared slot is safe: the cut fires strictly before the heal
+  // (add_partition enforces end > start) and the simulator is
+  // single-threaded within a run.
+  for (const PartitionWindow& window : plan_->partitions()) {
+    auto id = std::make_shared<std::uint64_t>(0);
+    sim.schedule(window.start, [this, id, side_a = window.side_a,
+                                side_b = window.side_b]() mutable {
+      *id = cut_now(std::move(side_a), std::move(side_b));
+    });
+    sim.schedule(window.end, [this, id = std::move(id)] { heal_now(*id); });
+  }
 }
 
 void UnreliableChannel::crash_now(NodeId node) {
@@ -27,8 +40,59 @@ void UnreliableChannel::crash_now(NodeId node) {
   for (const auto& callback : on_crash_) callback(node);
 }
 
+std::uint64_t UnreliableChannel::cut_now(std::vector<NodeId> side_a,
+                                         std::vector<NodeId> side_b) {
+  PartitionWindow window;
+  window.side_a = std::move(side_a);
+  window.side_b = std::move(side_b);
+  const auto normalize = [](std::vector<NodeId>& side) {
+    std::sort(side.begin(), side.end());
+    side.erase(std::unique(side.begin(), side.end()), side.end());
+  };
+  normalize(window.side_a);
+  normalize(window.side_b);
+  MOT_EXPECTS(!window.side_a.empty() && !window.side_b.empty());
+  for (const NodeId node : window.side_a) {
+    MOT_EXPECTS(!std::binary_search(window.side_b.begin(),
+                                    window.side_b.end(), node));
+  }
+  const std::uint64_t id = next_partition_id_++;
+  active_partitions_.push_back({id, std::move(window)});
+  ++stats_.partitions_cut;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kPartitionCut, .aux = id});
+  }
+  return id;
+}
+
+void UnreliableChannel::heal_now(std::uint64_t partition_id) {
+  const auto it = std::find_if(
+      active_partitions_.begin(), active_partitions_.end(),
+      [partition_id](const ActivePartition& p) { return p.id == partition_id; });
+  MOT_EXPECTS(it != active_partitions_.end());
+  active_partitions_.erase(it);
+  ++stats_.partitions_healed;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kPartitionHeal, .aux = partition_id});
+  }
+}
+
 bool UnreliableChannel::is_dead(NodeId node) const {
   return std::find(dead_.begin(), dead_.end(), node) != dead_.end();
+}
+
+bool UnreliableChannel::severed(NodeId from, NodeId to) const {
+  if (from == to) return false;  // a node is never cut from itself
+  for (const ActivePartition& partition : active_partitions_) {
+    if (partition.window.cuts(from, to)) return true;
+  }
+  return false;
+}
+
+bool UnreliableChannel::link_blocked(SimTime now, NodeId from,
+                                     NodeId to) const {
+  (void)now;
+  return severed(from, to);
 }
 
 void UnreliableChannel::subscribe_crashes(
@@ -44,23 +108,23 @@ void UnreliableChannel::transmit(Simulator& sim, NodeId from, NodeId to,
     ++stats_.blocked_dead;
     return;
   }
+  // A partition is observable at the sender (carrier sense): the frame is
+  // refused outright rather than silently lost, so link layers can
+  // distinguish "link down" from "message lost" and suspend retries.
+  if (severed(from, to)) {
+    ++stats_.partition_blocked;
+    return;
+  }
   ++stats_.transmissions;
   // Self-delivery never crosses a link, so it is immune to link faults.
   const LinkFaults faults =
       from == to ? LinkFaults{} : plan_->faults_for(from, to);
 
+  // Duplication is decided before loss and loss is drawn per copy: a
+  // duplicated frame is two independent copies, either of which may be
+  // dropped. Deciding drop first would conflate "both copies lost" with
+  // "never duplicated" and break the conservation ledger.
   int copies = 1;
-  if (faults.drop > 0.0 && rng_.chance(faults.drop)) {
-    ++stats_.dropped;
-    if (obs::tracing()) {
-      obs::emit({.type = obs::Ev::kChannelDrop,
-                 .t = sim.now(),
-                 .from = from,
-                 .to = to,
-                 .dist = distance});
-    }
-    return;
-  }
   if (faults.duplicate > 0.0 && rng_.chance(faults.duplicate)) {
     ++stats_.duplicated;
     copies = 2;
@@ -73,6 +137,17 @@ void UnreliableChannel::transmit(Simulator& sim, NodeId from, NodeId to,
     }
   }
   for (int copy = 0; copy < copies; ++copy) {
+    if (faults.drop > 0.0 && rng_.chance(faults.drop)) {
+      ++stats_.dropped;
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kChannelDrop,
+                   .t = sim.now(),
+                   .from = from,
+                   .to = to,
+                   .dist = distance});
+      }
+      continue;
+    }
     Weight extra = 0.0;
     if (faults.delay > 0.0 && rng_.chance(faults.delay)) {
       ++stats_.delayed;
@@ -85,13 +160,23 @@ void UnreliableChannel::transmit(Simulator& sim, NodeId from, NodeId to,
                    .dist = extra});
       }
     }
+    ++stats_.in_flight;
     // The target may crash while the copy is in flight (crash-stop): the
     // message is then lost on arrival rather than processed by a ghost.
-    sim.schedule(distance + extra, [this, to, deliver] {
+    // Likewise a partition that closes behind a launched copy severs it:
+    // physically the frame is still traveling when the cut happens, so it
+    // never reaches the far side.
+    sim.schedule(distance + extra, [this, from, to, deliver] {
+      --stats_.in_flight;
       if (is_dead(to)) {
         ++stats_.dead_on_arrival;
         return;
       }
+      if (severed(from, to)) {
+        ++stats_.severed_in_flight;
+        return;
+      }
+      ++stats_.delivered;
       deliver();
     });
   }

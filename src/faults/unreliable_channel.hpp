@@ -1,12 +1,17 @@
 // Executes a FaultPlan against the deterministic simulator: every
-// transmit() draws from a seeded substream to decide drop / duplication /
-// extra delay, and the armed crash schedule marks nodes dead and notifies
-// subscribers (protocol runtimes hook recovery there).
+// transmit() draws from a seeded substream to decide duplication / drop /
+// extra delay, the armed crash schedule marks nodes dead and notifies
+// subscribers (protocol runtimes hook recovery there), and partition
+// windows sever every link crossing the cut until they heal.
 //
 // Determinism: the channel's Rng is seeded once and consumed in simulator
 // event order, which is itself deterministic, so a (plan, seed) pair
 // fully determines which messages are lost — the property the replay
 // tests lock in.
+//
+// Conservation ledger: every copy the channel creates is accounted for
+// exactly once — see ChannelStats::conserved(). The chaos explorer checks
+// the identity at every quiescence point.
 #pragma once
 
 #include <cstdint>
@@ -21,12 +26,30 @@ namespace mot::faults {
 
 struct ChannelStats {
   std::uint64_t transmissions = 0;   // transmit() calls accepted
-  std::uint64_t dropped = 0;         // messages that vanished
-  std::uint64_t duplicated = 0;      // messages delivered twice
+  std::uint64_t dropped = 0;         // copies that vanished to link loss
+  std::uint64_t duplicated = 0;      // extra copies created by duplication
   std::uint64_t delayed = 0;         // copies given extra latency
+  std::uint64_t delivered = 0;       // copies handed to their receiver
+  std::uint64_t in_flight = 0;       // copies scheduled but not yet resolved
   std::uint64_t blocked_dead = 0;    // transmissions to/from dead nodes
   std::uint64_t dead_on_arrival = 0; // copies whose target died in flight
+  std::uint64_t partition_blocked = 0;  // transmissions refused at a cut
+  std::uint64_t severed_in_flight = 0;  // copies lost when a cut closed
   std::uint64_t crashes = 0;         // crash events executed
+  std::uint64_t partitions_cut = 0;  // partitions opened
+  std::uint64_t partitions_healed = 0;
+
+  // The ledger identity: every copy created (one per accepted
+  // transmission plus one per duplication) resolves exactly once as
+  // delivered, dropped, dead on arrival, severed mid-flight, or still in
+  // flight. Duplicated-then-dropped copies cannot double-count because
+  // duplication mints copies and drop consumes them — different sides of
+  // the ledger. The chaos explorer asserts this after every quiescence.
+  bool conserved() const {
+    return transmissions + duplicated ==
+           delivered + dropped + dead_on_arrival + severed_in_flight +
+               in_flight;
+  }
 };
 
 class UnreliableChannel final : public Channel {
@@ -34,8 +57,9 @@ class UnreliableChannel final : public Channel {
   // `plan` must outlive the channel.
   UnreliableChannel(const FaultPlan& plan, std::uint64_t seed);
 
-  // Schedules the plan's crash events on `sim`, relative to sim.now().
-  // Call once per run before (or while) driving the simulator.
+  // Schedules the plan's crash events and partition windows on `sim`,
+  // relative to sim.now(). Call once per run before (or while) driving
+  // the simulator.
   void arm(Simulator& sim);
 
   // Immediately crash-stops `node` (marks it dead, notifies subscribers).
@@ -43,17 +67,34 @@ class UnreliableChannel final : public Channel {
   // pre-computing simulator times.
   void crash_now(NodeId node);
 
+  // Immediately severs every link between side_a and side_b until the
+  // returned partition id is healed. Drives the chaos runner's schedules;
+  // plan windows go through the same path via arm().
+  std::uint64_t cut_now(std::vector<NodeId> side_a,
+                        std::vector<NodeId> side_b);
+  void heal_now(std::uint64_t partition_id);
+
   void transmit(Simulator& sim, NodeId from, NodeId to, Weight distance,
                 std::function<void()> deliver) override;
   bool is_dead(NodeId node) const override;
   void subscribe_crashes(std::function<void(NodeId)> on_crash) override;
+  bool link_blocked(SimTime now, NodeId from, NodeId to) const override;
 
   const ChannelStats& stats() const { return stats_; }
 
  private:
+  struct ActivePartition {
+    std::uint64_t id = 0;
+    PartitionWindow window;  // start/end unused once active
+  };
+
+  bool severed(NodeId from, NodeId to) const;
+
   const FaultPlan* plan_;
   Rng rng_;
   std::vector<NodeId> dead_;  // small: linear scan beats hashing here
+  std::vector<ActivePartition> active_partitions_;
+  std::uint64_t next_partition_id_ = 1;
   std::vector<std::function<void(NodeId)>> on_crash_;
   ChannelStats stats_;
 };

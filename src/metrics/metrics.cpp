@@ -67,6 +67,15 @@ ReliabilitySummary summarize_reliability(const ReliabilityInputs& in) {
     summary.transport_overhead = in.transport_distance / in.useful_distance;
     summary.recovery_overhead = in.recovery_distance / in.useful_distance;
   }
+  if (in.channel_copies_created > 0) {
+    summary.channel_delivery_rate =
+        static_cast<double>(in.channel_delivered) /
+        static_cast<double>(in.channel_copies_created);
+  }
+  summary.channel_conserved =
+      in.channel_copies_created == in.channel_delivered + in.channel_dropped +
+                                       in.channel_lost_other +
+                                       in.channel_in_flight;
   return summary;
 }
 
@@ -127,6 +136,14 @@ void export_reliability(const ReliabilityInputs& in,
   registry.gauge("mot_transport_distance", labels)
       .set(in.transport_distance);
   registry.gauge("mot_recovery_distance", labels).set(in.recovery_distance);
+  set_counter(registry, "mot_channel_copies_total", labels,
+              in.channel_copies_created);
+  set_counter(registry, "mot_channel_delivered_total", labels,
+              in.channel_delivered);
+  set_counter(registry, "mot_channel_dropped_total", labels,
+              in.channel_dropped);
+  set_counter(registry, "mot_channel_lost_other_total", labels,
+              in.channel_lost_other);
   const ReliabilitySummary summary = summarize_reliability(in);
   registry.gauge("mot_retransmission_rate", labels)
       .set(summary.retransmission_rate);
@@ -136,6 +153,10 @@ void export_reliability(const ReliabilityInputs& in,
       .set(summary.transport_overhead);
   registry.gauge("mot_recovery_overhead", labels)
       .set(summary.recovery_overhead);
+  registry.gauge("mot_channel_delivery_rate", labels)
+      .set(summary.channel_delivery_rate);
+  registry.gauge("mot_channel_conserved", labels)
+      .set(summary.channel_conserved ? 1.0 : 0.0);
 }
 
 }  // namespace mot

@@ -77,6 +77,17 @@ struct ReliabilityInputs {
   Weight useful_distance = 0.0;    // distance charged to operations
   Weight transport_distance = 0.0;  // retransmit + ack distance
   Weight recovery_distance = 0.0;   // crash-repair distance
+  // Channel-side copy ledger (faults::ChannelStats). The channel mints
+  // one copy per accepted transmission plus one per duplication; every
+  // copy resolves exactly once (delivered, dropped, lost to a crash or
+  // partition, or still in flight). Keeping creations and resolutions as
+  // separate counters is what makes duplicated-then-dropped copies
+  // impossible to double-count.
+  std::uint64_t channel_copies_created = 0;
+  std::uint64_t channel_delivered = 0;
+  std::uint64_t channel_dropped = 0;
+  std::uint64_t channel_lost_other = 0;  // dead-on-arrival + severed
+  std::uint64_t channel_in_flight = 0;
 };
 
 struct ReliabilitySummary {
@@ -89,6 +100,13 @@ struct ReliabilitySummary {
   // Distance overhead of reliability relative to useful protocol work.
   double transport_overhead = 0.0;
   double recovery_overhead = 0.0;
+  // Fraction of channel copies that reached their receiver.
+  double channel_delivery_rate = 0.0;
+  // The conservation identity: created == delivered + dropped +
+  // lost_other + in_flight. Vacuously true with no channel traffic;
+  // false means the channel (or the caller's bookkeeping) leaked or
+  // double-counted a copy.
+  bool channel_conserved = true;
 };
 
 ReliabilitySummary summarize_reliability(const ReliabilityInputs& in);

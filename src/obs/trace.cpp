@@ -36,6 +36,12 @@ const char* ev_name(Ev type) {
     case Ev::kRecoveryRebuild: return "recovery_rebuild";
     case Ev::kQueryRescue: return "query_rescue";
     case Ev::kQueryAbort: return "query_abort";
+    case Ev::kPartitionCut: return "partition_cut";
+    case Ev::kPartitionHeal: return "partition_heal";
+    case Ev::kQueryFailover: return "query_failover";
+    case Ev::kQueryHedge: return "query_hedge";
+    case Ev::kQueryRetry: return "query_retry";
+    case Ev::kQueryDeadlineAbort: return "query_deadline_abort";
   }
   return "unknown";
 }

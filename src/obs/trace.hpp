@@ -65,6 +65,13 @@ enum class Ev : std::uint8_t {
   kRecoveryRebuild,  // object re-published from its physical position
   kQueryRescue,      // query restarted because of a crash
   kQueryAbort,       // query abandoned (its requester died)
+  // Partitions and query resilience (src/chaos/).
+  kPartitionCut,       // partition opened (aux = partition id)
+  kPartitionHeal,      // partition healed (aux = partition id)
+  kQueryFailover,      // detection-list read failed over to a replica
+  kQueryHedge,         // hedged duplicate walker issued from the origin
+  kQueryRetry,         // query re-issued after its deadline expired
+  kQueryDeadlineAbort, // query aborted: retry budget exhausted
 };
 
 // Stable lowercase name used as the "ev" field of JSONL traces.

@@ -1,10 +1,13 @@
 #include "proto/distributed_mot.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace mot::proto {
 
@@ -37,6 +40,12 @@ const char* msg_type_name(MsgType type) {
       return "sdl-add";
     case MsgType::kSdlRemove:
       return "sdl-remove";
+    case MsgType::kReplicaAdd:
+      return "replica-add";
+    case MsgType::kReplicaRemove:
+      return "replica-remove";
+    case MsgType::kQueryDownReplica:
+      return "query-down-replica";
   }
   return "?";
 }
@@ -58,6 +67,96 @@ void DistributedMot::use_channel(Channel* channel) {
       [this](NodeId node) { recover_from_crash(node); });
 }
 
+void DistributedMot::replicate_detection_lists(bool on) {
+  MOT_EXPECTS(inflight_ == 0);  // enable before injecting traffic
+  MOT_EXPECTS(proxies_.empty());
+  replicate_ = on;
+}
+
+NodeId DistributedMot::replica_of(OverlayNode role, ObjectId object) const {
+  const std::uint64_t n = sensors_.size();
+  if (n <= 1) return kInvalidNode;
+  // Deterministic rehash: everyone (writer, reader, recovery) derives
+  // the same slot from the role and object alone, re-probing past dead
+  // hosts. Depends on the current liveness set, which is why recovery
+  // rebuilds every replica after a crash (rebuild_replicas).
+  std::uint64_t state =
+      (static_cast<std::uint64_t>(role.node) << 40) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(role.level))
+       << 32) ^
+      object ^ 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t probe = 0; probe < n; ++probe) {
+    const std::uint64_t h = splitmix64(state);
+    const NodeId cand =
+        static_cast<NodeId>((role.node + 1 + h % (n - 1)) % n);
+    if (cand != role.node && !is_node_dead(cand)) return cand;
+  }
+  return kInvalidNode;  // everyone else is dead: no replica
+}
+
+void DistributedMot::send_replica_update(NodeId self, int level,
+                                         ObjectId object, OverlayNode child,
+                                         bool present) {
+  if (!replicate_) return;
+  const NodeId slot = replica_of({level, self}, object);
+  if (slot == kInvalidNode) return;
+  RoleState& role = local(self).roles[level];
+  const std::uint32_t version = ++role.replica_versions[object];
+  Message update;
+  update.type = present ? MsgType::kReplicaAdd : MsgType::kReplicaRemove;
+  update.object = object;
+  update.role = {level, slot};
+  update.link = child;
+  update.walk_source = self;     // owner node
+  update.walk_index = version;   // last-writer-wins ordering
+  ++stats_.replica_updates;
+  send(self, update, nullptr);  // mirrored bookkeeping, not op cost
+}
+
+void DistributedMot::rebuild_replicas() {
+  if (!replicate_) return;
+  // Ground truth wins: wipe every hosted replica and re-derive from the
+  // live detection lists. Runs in the recovery control plane, so slots
+  // are recomputed against the post-crash liveness set — replicas whose
+  // host died re-home automatically. Versions keep climbing so that any
+  // post-recovery update still supersedes the rebuilt record.
+  for (SensorState& sensor : sensors_) {
+    for (auto& [level, role] : sensor.roles) {
+      (void)level;
+      role.replicas.clear();
+    }
+  }
+  for (NodeId v = 0; v < sensors_.size(); ++v) {
+    if (is_node_dead(v)) continue;
+    for (auto& [level, role] : sensors_[v].roles) {
+      for (const auto& [object, entry] : role.dl) {
+        const NodeId slot = replica_of({level, v}, object);
+        if (slot == kInvalidNode) continue;
+        const std::uint32_t version = ++role.replica_versions[object];
+        sensors_[slot].roles[level].replicas[object][v] = {entry.child,
+                                                           version, true};
+        ++stats_.replica_updates;
+      }
+    }
+  }
+}
+
+void DistributedMot::on_replica_add(const Message& message) {
+  RoleState& role = local(message.role.node).roles[message.role.level];
+  ReplicaRecord& record = role.replicas[message.object][message.walk_source];
+  if (message.walk_index > record.version) {
+    record = {message.link, message.walk_index, true};
+  }
+}
+
+void DistributedMot::on_replica_remove(const Message& message) {
+  RoleState& role = local(message.role.node).roles[message.role.level];
+  ReplicaRecord& record = role.replicas[message.object][message.walk_source];
+  if (message.walk_index > record.version) {
+    record = {OverlayNode{}, message.walk_index, false};
+  }
+}
+
 Weight DistributedMot::distance(NodeId a, NodeId b) const {
   return a == b ? 0.0 : provider_->oracle().distance(a, b);
 }
@@ -75,6 +174,32 @@ std::size_t DistributedMot::next_alive_index(
     ++index;
   }
   return index;
+}
+
+std::size_t DistributedMot::next_reachable_index(
+    NodeId self, std::span<const PathStop> sequence,
+    std::size_t index) const {
+  const std::size_t first_alive = next_alive_index(sequence, index);
+  if (channel_ == nullptr) return first_alive;
+  // Prefer the first stop we can actually reach: a cut between self and
+  // a stop is locally observable (carrier sense), and any higher stop of
+  // the walk also meets the object's chain — worst case the root. If
+  // everything ahead is across the cut, keep the first alive stop and
+  // let the reliable layer wait out the heal; that preserves
+  // termination (queries never spin on restarts during a partition).
+  std::size_t probe = first_alive;
+  while (probe < sequence.size()) {
+    const NodeId node = sequence[probe].node.node;
+    if (!channel_->link_blocked(sim_->now(), self, node)) return probe;
+    probe = next_alive_index(sequence, probe + 1);
+  }
+  return first_alive;
+}
+
+bool DistributedMot::link_unreachable(NodeId from, NodeId to) const {
+  return channel_ != nullptr &&
+         (channel_->is_dead(to) ||
+          channel_->link_blocked(sim_->now(), from, to));
 }
 
 DistributedMot::SensorState& DistributedMot::local(NodeId node) {
@@ -123,9 +248,24 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
   }
   if (from == to) {
     // Local handoff: no link crossed, so no frame — but the node may
-    // crash before the zero-distance delivery fires.
-    sim_->schedule(hop, [this, message] {
+    // crash before the zero-distance delivery fires, and crash recovery
+    // may rebuild the operation out from under a queued handoff. Frames
+    // are cancelled by poisoning their sequence number; a handoff has no
+    // frame, so maintenance handoffs carry the object's rebuild epoch
+    // instead and drop themselves when recovery has moved on.
+    const bool maintenance = message.type == MsgType::kPublish ||
+                             message.type == MsgType::kInsert ||
+                             message.type == MsgType::kDelete ||
+                             message.type == MsgType::kSdlAdd ||
+                             message.type == MsgType::kSdlRemove;
+    const std::uint64_t epoch =
+        maintenance ? rebuild_epoch(message.object) : 0;
+    sim_->schedule(hop, [this, message, maintenance, epoch] {
       if (is_node_dead(message.role.node)) return;
+      if (maintenance && epoch != rebuild_epoch(message.object)) {
+        ++stats_.stale_maintenance_drops;
+        return;
+      }
       handle(message);
     });
     return;
@@ -207,6 +347,17 @@ void DistributedMot::on_transfer_timeout(std::uint64_t seq) {
   const auto it = pending_.find(seq);
   if (it == pending_.end()) return;  // acked (or recovered) in time
   PendingTransfer& transfer = it->second;
+  if (channel_->link_blocked(sim_->now(), transfer.from, transfer.to)) {
+    // Carrier sense: the link is partitioned, so a resend is guaranteed
+    // to be refused at the sender. Hold the frame at its current timeout
+    // without burning an attempt or doubling the RTO — a partition
+    // lasting thousands of ticks must neither wedge the sender into the
+    // attempts cap (that cap is reserved for structural bugs) nor
+    // inflate the backoff so far that post-heal recovery stalls.
+    ++stats_.retransmits_suppressed;
+    sim_->schedule(transfer.rto, [this, seq] { on_transfer_timeout(seq); });
+    return;
+  }
   ++transfer.attempts;
   MOT_CHECK(transfer.attempts < kMaxTransferAttempts);
   // Capped exponential backoff keeps retransmissions of a persistently
@@ -240,6 +391,7 @@ void DistributedMot::poison_query_transfers(std::uint64_t query_id) {
   for (const auto& [seq, transfer] : pending_) {
     const MsgType type = transfer.message.type;
     if ((type == MsgType::kQueryUp || type == MsgType::kQueryDown ||
+         type == MsgType::kQueryDownReplica ||
          type == MsgType::kQueryReply) &&
         transfer.message.query_id == query_id) {
       seqs.push_back(seq);
@@ -292,6 +444,15 @@ void DistributedMot::handle(const Message& message) {
     case MsgType::kSdlRemove:
       on_sdl_remove(message);
       break;
+    case MsgType::kReplicaAdd:
+      on_replica_add(message);
+      break;
+    case MsgType::kReplicaRemove:
+      on_replica_remove(message);
+      break;
+    case MsgType::kQueryDownReplica:
+      on_query_down_replica(message);
+      break;
   }
   active_node_ = kInvalidNode;
 }
@@ -318,6 +479,8 @@ void DistributedMot::install_entry(const Message& message, NodeId self,
   RoleState& role = local(self).roles[message.role.level];
   MOT_CHECK(role.dl.count(message.object) == 0);
   role.dl.emplace(message.object, Entry{message.link, sp});
+  send_replica_update(self, message.role.level, message.object,
+                      message.link, /*present=*/true);
   if (sp) {
     Message add;
     add.type = MsgType::kSdlAdd;
@@ -426,6 +589,8 @@ void DistributedMot::on_insert(const Message& message) {
         message.walk_index == 0 ? message.role : message.link;
     ctx.peak_level = message.role.level;
     proxies_[object] = ctx.to;  // the move commits at the splice
+    send_replica_update(self, message.role.level, object, entry->child,
+                        /*present=*/true);
     if (first_victim == message.role) {
       // The meet entry was the old proxy's sentinel (structural
       // ancestor/descendant move): nothing to tear.
@@ -471,6 +636,8 @@ void DistributedMot::on_delete(const Message& message) {
   MOT_CHECK(dl_it != role_it->second.dl.end());
   const Entry entry = dl_it->second;
   role_it->second.dl.erase(dl_it);
+  send_replica_update(self, message.role.level, object, OverlayNode{},
+                      /*present=*/false);
 
   if (entry.sp) {
     Message remove;
@@ -524,23 +691,114 @@ void DistributedMot::query(NodeId from, ObjectId object,
   ctx.done = std::move(done);
   queries_.emplace(id, std::move(ctx));
   ++inflight_;
+  issue_query_walker(id);
+  if (policy_.deadline > 0.0) arm_query_watchdog(id);
+  if (policy_.hedge_delay > 0.0) {
+    sim_->schedule(policy_.hedge_delay, [this, id] { hedge_query(id); });
+  }
+}
 
-  const auto sequence = provider_->upward_sequence(from);
+void DistributedMot::issue_query_walker(std::uint64_t query_id) {
+  QueryCtx& ctx = queries_.at(query_id);
+  const auto sequence = provider_->upward_sequence(ctx.origin);
   Message message;
   message.type = MsgType::kQueryUp;
-  message.object = object;
+  message.object = ctx.object;
   message.role = sequence.front().node;
-  message.walk_source = from;
+  message.walk_source = ctx.origin;
   message.walk_index = 0;
-  message.requester = from;
-  message.query_id = id;
-  send(from, message, &queries_.at(id).cost);
+  message.requester = ctx.origin;
+  message.query_id = query_id;
+  send(ctx.origin, message, &ctx.cost);
+}
+
+void DistributedMot::arm_query_watchdog(std::uint64_t query_id) {
+  QueryCtx& ctx = queries_.at(query_id);
+  // Bumping the generation orphans any previously armed watchdog; the
+  // stale timer fires, sees the mismatch, and does nothing. That stands
+  // in for cancellation on a simulator without timer removal.
+  const std::uint64_t gen = ++ctx.watchdog_gen;
+  double deadline = policy_.deadline;
+  for (int i = 0; i < ctx.attempt && i < 6; ++i) {  // cap at 64x
+    deadline *= policy_.backoff;
+  }
+  sim_->schedule(deadline, [this, query_id, gen] {
+    on_query_deadline(query_id, gen);
+  });
+}
+
+void DistributedMot::on_query_deadline(std::uint64_t query_id,
+                                       std::uint64_t gen) {
+  const auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;     // answered or aborted meanwhile
+  QueryCtx& ctx = it->second;
+  if (ctx.watchdog_gen != gen) return;  // superseded by a later arm
+  ++ctx.attempt;
+  if (ctx.attempt >= policy_.max_attempts) {
+    // Retry budget exhausted: terminate explicitly rather than leaving
+    // the caller hanging — every query either answers or aborts.
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kQueryDeadlineAbort,
+                 .t = sim_->now(),
+                 .object = ctx.object,
+                 .from = ctx.origin,
+                 .aux = query_id});
+    }
+    poison_query_transfers(query_id);
+    erase_parked_records(query_id);
+    QueryCtx dead = std::move(it->second);
+    queries_.erase(it);
+    --inflight_;
+    ++stats_.queries_deadline_aborted;
+    if (dead.done) {
+      QueryResult result;  // found stays false: the explicit abort
+      result.cost = dead.cost;
+      dead.done(result);
+    }
+    return;
+  }
+  ++stats_.queries_retried;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kQueryRetry,
+               .t = sim_->now(),
+               .object = ctx.object,
+               .from = ctx.origin,
+               .aux = query_id});
+  }
+  // Drop the stuck walker's leavings and start a fresh climb from home.
+  poison_query_transfers(query_id);
+  erase_parked_records(query_id);
+  issue_query_walker(query_id);
+  arm_query_watchdog(query_id);
+}
+
+void DistributedMot::hedge_query(std::uint64_t query_id) {
+  const auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;  // already answered
+  QueryCtx& ctx = it->second;
+  ctx.hedged = true;
+  ++stats_.queries_hedged;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kQueryHedge,
+               .t = sim_->now(),
+               .object = ctx.object,
+               .from = ctx.origin,
+               .aux = query_id});
+  }
+  // A second walker under the same id: the first reply wins and the
+  // loser's messages are dropped as stale.
+  issue_query_walker(query_id);
 }
 
 void DistributedMot::on_query_up(const Message& message) {
   const NodeId self = message.role.node;
   auto ctx_it = queries_.find(message.query_id);
-  MOT_CHECK(ctx_it != queries_.end());
+  if (ctx_it == queries_.end()) {
+    // A losing walker of a hedged / retried query: its twin already
+    // answered (or the deadline aborted the query). Drop silently.
+    ++stats_.stale_query_drops;
+    return;
+  }
   QueryCtx& ctx = ctx_it->second;
 
   SensorState& sensor = local(self);
@@ -572,7 +830,7 @@ void DistributedMot::on_query_up(const Message& message) {
   }
   const auto sequence = provider_->upward_sequence(message.walk_source);
   const std::size_t next_index =
-      next_alive_index(sequence, message.walk_index + 1);
+      next_reachable_index(self, sequence, message.walk_index + 1);
   MOT_CHECK(next_index < sequence.size());
   Message next = message;
   next.walk_index = static_cast<std::uint32_t>(next_index);
@@ -583,7 +841,10 @@ void DistributedMot::on_query_up(const Message& message) {
 void DistributedMot::on_query_down(const Message& message) {
   const NodeId self = message.role.node;
   auto ctx_it = queries_.find(message.query_id);
-  MOT_CHECK(ctx_it != queries_.end());
+  if (ctx_it == queries_.end()) {
+    ++stats_.stale_query_drops;
+    return;
+  }
   QueryCtx& ctx = ctx_it->second;
 
   SensorState& sensor = local(self);
@@ -604,8 +865,70 @@ void DistributedMot::on_query_down(const Message& message) {
     sensor.parked[message.object].push_back({message.query_id});
     return;
   }
+  const OverlayNode next_stop = entry->child;
+  if (replicate_ && link_unreachable(self, next_stop.node)) {
+    // The next chain hop is across a partition (or crashed): read its
+    // replicated detection list instead of waiting for the heal.
+    const NodeId slot = replica_of(next_stop, message.object);
+    if (slot != kInvalidNode && !link_unreachable(self, slot)) {
+      ++stats_.query_failovers;
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kQueryFailover,
+                   .t = sim_->now(),
+                   .object = message.object,
+                   .from = self,
+                   .to = slot,
+                   .level = next_stop.level,
+                   .aux = message.query_id});
+      }
+      Message failover = message;
+      failover.type = MsgType::kQueryDownReplica;
+      failover.role = {next_stop.level, slot};
+      failover.link = next_stop;  // the unreachable owner role
+      send(self, failover, &ctx.cost);
+      return;
+    }
+  }
   Message next = message;
-  next.role = entry->child;
+  next.role = next_stop;
+  send(self, next, &ctx.cost);
+}
+
+void DistributedMot::on_query_down_replica(const Message& message) {
+  const NodeId self = message.role.node;
+  auto ctx_it = queries_.find(message.query_id);
+  if (ctx_it == queries_.end()) {
+    ++stats_.stale_query_drops;
+    return;
+  }
+  QueryCtx& ctx = ctx_it->second;
+  const OverlayNode owner = message.link;
+  // Default: relay to the unreachable owner itself. This host was chosen
+  // because the sender could reach it, and it may well sit on the
+  // owner's side of the cut — in which case the relay routes the walker
+  // around the partition; otherwise the reliable layer waits out the
+  // heal here instead of at the sender.
+  OverlayNode target = owner;
+  SensorState& sensor = local(self);
+  const auto role_it = sensor.roles.find(message.role.level);
+  if (role_it != sensor.roles.end()) {
+    const auto obj_it = role_it->second.replicas.find(message.object);
+    if (obj_it != role_it->second.replicas.end()) {
+      const auto rec_it = obj_it->second.find(owner.node);
+      if (rec_it != obj_it->second.end() && rec_it->second.present &&
+          !(rec_it->second.child == owner)) {
+        // Replica hit with a real child pointer: skip the unreachable
+        // stop entirely and resume the normal descent below it. (A
+        // sentinel replica means the owner is the proxy — the walker
+        // must still reach the owner to answer, so relay.)
+        target = rec_it->second.child;
+      }
+    }
+  }
+  Message next = message;
+  next.type = MsgType::kQueryDown;
+  next.role = target;
+  next.link = OverlayNode{};
   send(self, next, &ctx.cost);
 }
 
@@ -638,9 +961,13 @@ void DistributedMot::redirect_parked(NodeId self, ObjectId object,
   const OverlayNode target =
       provider_->upward_sequence(new_proxy).front().node;
   for (const ParkedQuery& waiting : parked) {
-    ++stats_.queries_redirected;
     auto ctx_it = queries_.find(waiting.query_id);
-    MOT_CHECK(ctx_it != queries_.end());
+    if (ctx_it == queries_.end()) {
+      // A record a winning walker or the deadline watchdog left behind.
+      ++stats_.stale_query_drops;
+      continue;
+    }
+    ++stats_.queries_redirected;
     Message down;
     down.type = MsgType::kQueryDown;
     down.object = object;
@@ -653,7 +980,10 @@ void DistributedMot::redirect_parked(NodeId self, ObjectId object,
 
 void DistributedMot::finish_query(std::uint64_t query_id, NodeId proxy) {
   auto ctx_it = queries_.find(query_id);
-  MOT_CHECK(ctx_it != queries_.end());
+  if (ctx_it == queries_.end()) {
+    ++stats_.stale_query_drops;  // a losing walker reached the proxy too
+    return;
+  }
   // The reply travels home as a real message, but the locate cost (what
   // the paper's query cost ratio measures) excludes the response trip.
   Message reply;
@@ -668,11 +998,20 @@ void DistributedMot::finish_query(std::uint64_t query_id, NodeId proxy) {
 
 void DistributedMot::on_query_reply(const Message& message) {
   auto ctx_it = queries_.find(message.query_id);
-  MOT_CHECK(ctx_it != queries_.end());
+  if (ctx_it == queries_.end()) {
+    ++stats_.stale_query_drops;  // the losing reply of a hedged query
+    return;
+  }
   QueryCtx ctx = std::move(ctx_it->second);
   queries_.erase(ctx_it);
   --inflight_;
   ++stats_.queries_completed;
+  if (ctx.hedged || ctx.attempt > 0) {
+    // GC the losing walker: frames still in flight and parked records
+    // would otherwise linger past quiescence.
+    poison_query_transfers(message.query_id);
+    erase_parked_records(message.query_id);
+  }
   if (ctx.done) {
     QueryResult result;
     result.found = true;
@@ -763,14 +1102,25 @@ void DistributedMot::recover_from_crash(NodeId victim) {
         break;
       case MsgType::kSdlAdd:
       case MsgType::kSdlRemove:
+      case MsgType::kReplicaAdd:
+      case MsgType::kReplicaRemove:
         break;  // cross-references are restored by the sweep below
       case MsgType::kQueryUp:
       case MsgType::kQueryDown:
+      case MsgType::kQueryDownReplica:
       case MsgType::kQueryReply:
         queries_to_restart.push_back(lost.query_id);
         break;
     }
     poison_transfer(seq);
+  }
+  // An in-flight maintenance chain touching the victim must be rebuilt
+  // even when no lost frame implicates it: the victim may hold the
+  // chain's bottom sentinel (an old proxy dying mid-move, its walker
+  // parked elsewhere — possibly across a partition), which splice_around
+  // cannot bypass because there is nothing below it to splice to.
+  for (const ObjectId object : objects_through(victim)) {
+    damaged.push_back(object);
   }
   // Only objects whose maintenance walker is still in flight need a
   // rebuild; a lingering unacked frame of a completed operation is noise.
@@ -825,7 +1175,26 @@ void DistributedMot::recover_from_crash(NodeId victim) {
       queries_to_restart.push_back(waiting.query_id);
     }
   }
-  sensors_[victim] = SensorState{};
+  if (!break_recovery_) {
+    sensors_[victim] = SensorState{};
+  }
+  // The victim's detection-list entries are now (supposed to be) gone
+  // and its chains spliced, so the ground truth is stable: cancel every
+  // in-flight replica update (a late write could only clobber fresher
+  // state) and re-derive the replica stores from the live lists. This
+  // also re-homes replicas whose host just died.
+  if (replicate_) {
+    std::vector<std::uint64_t> replica_frames;
+    for (const auto& [seq, transfer] : pending_) {
+      const MsgType type = transfer.message.type;
+      if (type == MsgType::kReplicaAdd || type == MsgType::kReplicaRemove) {
+        replica_frames.push_back(seq);
+      }
+    }
+    std::sort(replica_frames.begin(), replica_frames.end());
+    for (const std::uint64_t seq : replica_frames) poison_transfer(seq);
+    rebuild_replicas();
+  }
   for (NodeId v = 0; v < sensors_.size(); ++v) {
     for (auto& [level, role] : sensors_[v].roles) {
       (void)level;
@@ -925,6 +1294,9 @@ void DistributedMot::splice_around(NodeId victim) {
 
 void DistributedMot::rebuild_object(
     ObjectId object, std::vector<std::uint64_t>* queries_to_restart) {
+  // Invalidate queued local handoffs of the torn operation (frames are
+  // poisoned by sequence number; handoffs are gated by this epoch).
+  ++rebuild_epoch_[object];
   // Tear every trace of the object: its chain may be mid-splice with
   // fragments on both the old and new paths, so surgical repair is not
   // worth the case analysis — re-publishing costs O(D) like any publish.
@@ -1057,40 +1429,141 @@ std::vector<ObjectId> DistributedMot::objects_through(NodeId node) const {
   return objects;
 }
 
-void DistributedMot::validate_quiescent() const {
-  MOT_CHECK(inflight_ == 0);
-  MOT_CHECK(pending_.empty());  // every frame acknowledged or recovered
-  for (const SensorState& sensor : sensors_) {
-    for (const auto& [level, role] : sensor.roles) {
-      (void)level;
-      MOT_CHECK(role.sdl_tombstones.empty());  // adds matched removes
+std::vector<std::string> DistributedMot::invariant_violations() const {
+  std::vector<std::string> out;
+  if (inflight_ != 0) {
+    out.push_back("operations still in flight: " + std::to_string(inflight_));
+  }
+  if (!pending_.empty()) {
+    out.push_back("unacknowledged transfers: " +
+                  std::to_string(pending_.size()));
+  }
+  for (NodeId v = 0; v < sensors_.size(); ++v) {
+    for (const auto& [level, role] : sensors_[v].roles) {
+      if (!role.sdl_tombstones.empty()) {
+        out.push_back("sdl tombstones at node " + std::to_string(v) +
+                      " level " + std::to_string(level));
+      }
     }
   }
   for (const auto& [object, proxy] : proxies_) {
     std::size_t total = 0;
     for (const SensorState& sensor : sensors_) {
       for (const auto& [level, role] : sensor.roles) {
+        (void)level;
         total += role.dl.count(object);
       }
     }
+    // Walk root -> proxy; every detection-list entry must sit on the
+    // walked chain, otherwise entries are orphaned.
     OverlayNode current = provider_->root_stop();
     std::size_t chain = 0;
+    bool walk_ok = true;
     while (true) {
-      MOT_CHECK(chain < total + 1);
-      const auto& roles = sensors_[current.node].roles;
-      const auto role_it = roles.find(current.level);
-      MOT_CHECK(role_it != roles.end());
-      const auto dl_it = role_it->second.dl.find(object);
-      MOT_CHECK(dl_it != role_it->second.dl.end());
-      ++chain;
-      if (dl_it->second.child == current) {
-        MOT_CHECK(current.node == proxy);
+      if (chain > total) {
+        out.push_back("object " + std::to_string(object) +
+                      ": chain longer than its entry count (cycle?)");
+        walk_ok = false;
         break;
       }
-      current = dl_it->second.child;
+      const Entry* entry = nullptr;
+      const auto& roles = sensors_[current.node].roles;
+      const auto role_it = roles.find(current.level);
+      if (role_it != roles.end()) {
+        const auto dl_it = role_it->second.dl.find(object);
+        if (dl_it != role_it->second.dl.end()) entry = &dl_it->second;
+      }
+      if (entry == nullptr) {
+        out.push_back("object " + std::to_string(object) +
+                      ": chain broken at node " +
+                      std::to_string(current.node) + " level " +
+                      std::to_string(current.level));
+        walk_ok = false;
+        break;
+      }
+      ++chain;
+      if (entry->child == current) {  // proxy sentinel
+        if (current.node != proxy) {
+          out.push_back("object " + std::to_string(object) +
+                        ": chain ends at node " +
+                        std::to_string(current.node) +
+                        " but the committed proxy is " +
+                        std::to_string(proxy));
+        }
+        break;
+      }
+      current = entry->child;
     }
-    MOT_CHECK(chain == total);
+    if (walk_ok && chain != total) {
+      out.push_back("object " + std::to_string(object) + ": " +
+                    std::to_string(total - chain) +
+                    " orphaned detection-list entries (chain " +
+                    std::to_string(chain) + " of " + std::to_string(total) +
+                    ")");
+    }
   }
+  if (replicate_) {
+    // Every live detection-list entry must be mirrored at its slot...
+    for (NodeId v = 0; v < sensors_.size(); ++v) {
+      if (is_node_dead(v)) continue;
+      for (const auto& [level, role] : sensors_[v].roles) {
+        for (const auto& [object, entry] : role.dl) {
+          const NodeId slot = replica_of({level, v}, object);
+          if (slot == kInvalidNode) continue;
+          const ReplicaRecord* record = nullptr;
+          const auto slot_role_it = sensors_[slot].roles.find(level);
+          if (slot_role_it != sensors_[slot].roles.end()) {
+            const auto obj_it = slot_role_it->second.replicas.find(object);
+            if (obj_it != slot_role_it->second.replicas.end()) {
+              const auto rec_it = obj_it->second.find(v);
+              if (rec_it != obj_it->second.end()) record = &rec_it->second;
+            }
+          }
+          if (record == nullptr || !record->present ||
+              !(record->child == entry.child)) {
+            out.push_back("object " + std::to_string(object) +
+                          ": replica at node " + std::to_string(slot) +
+                          " out of sync with owner " + std::to_string(v) +
+                          " level " + std::to_string(level));
+          }
+        }
+      }
+    }
+    // ...and no replica may outlive its detection-list entry.
+    for (NodeId host = 0; host < sensors_.size(); ++host) {
+      for (const auto& [level, role] : sensors_[host].roles) {
+        for (const auto& [object, owners] : role.replicas) {
+          for (const auto& [owner, record] : owners) {
+            if (!record.present) continue;
+            bool backed = false;
+            if (!is_node_dead(owner)) {
+              const auto& roles = sensors_[owner].roles;
+              const auto role_it = roles.find(level);
+              backed = role_it != roles.end() &&
+                       role_it->second.dl.count(object) != 0;
+            }
+            if (!backed) {
+              out.push_back("object " + std::to_string(object) +
+                            ": orphaned replica of owner " +
+                            std::to_string(owner) + " at node " +
+                            std::to_string(host) + " level " +
+                            std::to_string(level));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void DistributedMot::validate_quiescent() const {
+  const std::vector<std::string> violations = invariant_violations();
+  for (const std::string& violation : violations) {
+    std::fprintf(stderr, "[mot] invariant violation: %s\n",
+                 violation.c_str());
+  }
+  MOT_CHECK(violations.empty());
 }
 
 namespace {
@@ -1147,6 +1620,22 @@ void export_protocol_stats(const ProtocolStats& stats,
               stats.queries_aborted);
   registry.gauge("mot_proto_recovery_distance", labels)
       .set(stats.recovery_distance);
+  set_counter(registry, "mot_proto_queries_retried_total", labels,
+              stats.queries_retried);
+  set_counter(registry, "mot_proto_queries_hedged_total", labels,
+              stats.queries_hedged);
+  set_counter(registry, "mot_proto_queries_deadline_aborted_total", labels,
+              stats.queries_deadline_aborted);
+  set_counter(registry, "mot_proto_query_failovers_total", labels,
+              stats.query_failovers);
+  set_counter(registry, "mot_proto_replica_updates_total", labels,
+              stats.replica_updates);
+  set_counter(registry, "mot_proto_stale_query_drops_total", labels,
+              stats.stale_query_drops);
+  set_counter(registry, "mot_proto_stale_maintenance_drops_total", labels,
+              stats.stale_maintenance_drops);
+  set_counter(registry, "mot_proto_retransmits_suppressed_total", labels,
+              stats.retransmits_suppressed);
 }
 
 }  // namespace mot::proto

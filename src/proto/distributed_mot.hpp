@@ -79,6 +79,17 @@ struct ProtocolStats {
   std::uint64_t queries_aborted = 0;    // their requester died
   Weight recovery_distance = 0.0;       // repair/rebuild message distance
 
+  // Query-resilience counters (deadline policy, hedging, DL replication,
+  // partition carrier sense). All zero with the default configuration.
+  std::uint64_t queries_retried = 0;           // deadline-driven re-issues
+  std::uint64_t queries_hedged = 0;            // hedged duplicate walkers
+  std::uint64_t queries_deadline_aborted = 0;  // retry budget exhausted
+  std::uint64_t query_failovers = 0;           // replica-slot descents
+  std::uint64_t replica_updates = 0;           // DL writes mirrored out
+  std::uint64_t stale_query_drops = 0;         // losing-walker messages
+  std::uint64_t stale_maintenance_drops = 0;   // handoffs gated by rebuild
+  std::uint64_t retransmits_suppressed = 0;    // resends parked at a cut
+
   double mean_ack_rtt() const {
     return ack_rtt_count == 0 ? 0.0 : ack_rtt_sum / ack_rtt_count;
   }
@@ -92,6 +103,22 @@ struct ProtocolStats {
 void export_protocol_stats(const ProtocolStats& stats,
                            obs::MetricsRegistry& registry,
                            const obs::Labels& labels = {});
+
+// End-to-end query resilience knobs. All disabled by default, in which
+// case the runtime behaves bit-identically to the legacy configuration.
+struct QueryPolicy {
+  // A query that has not answered within `deadline` simulator time is
+  // re-issued from its origin; after `max_attempts` total attempts it is
+  // aborted explicitly (done fires with found = false). 0 disables.
+  double deadline = 0.0;
+  int max_attempts = 3;
+  // Each re-issue waits deadline * backoff^attempt (capped at 64x).
+  double backoff = 2.0;
+  // When > 0, a second walker with the same query id is issued from the
+  // origin after this delay unless the query already answered; the first
+  // reply wins and the loser is dropped as stale. 0 disables.
+  double hedge_delay = 0.0;
+};
 
 class DistributedMot {
  public:
@@ -140,6 +167,28 @@ class DistributedMot {
   // injecting any traffic; the channel must outlive the runtime.
   void use_channel(Channel* channel);
 
+  // Engage the end-to-end query deadline / retry / hedge policy.
+  void set_query_policy(const QueryPolicy& policy) { policy_ = policy; }
+
+  // Mirror every detection-list write to a deterministically rehashed
+  // replica slot so queries whose next chain hop is unreachable (crashed
+  // or across a partition) can fail over to the replica. Enable before
+  // injecting any traffic.
+  void replicate_detection_lists(bool on);
+
+  // Non-aborting quiescent invariant audit: returns one human-readable
+  // line per violated invariant (empty = healthy). Checks what
+  // validate_quiescent() asserts plus orphaned-entry and replica
+  // consistency. The chaos explorer calls this at quiescence points.
+  std::vector<std::string> invariant_violations() const;
+
+  // Test-only fault: when enabled, crash recovery "forgets" to erase the
+  // victim's sensor state, leaving orphaned detection-list entries for
+  // invariant_violations() to catch. Exists so the chaos explorer's
+  // bug-detection and schedule-shrinking paths can be exercised against
+  // a real, deterministic recovery defect.
+  void break_recovery_for_tests(bool on) { break_recovery_ = on; }
+
   // Optional wire trace for debugging / tests.
   void record_deliveries(bool on) { record_ = on; }
   const std::vector<Delivery>& deliveries() const { return deliveries_; }
@@ -160,12 +209,28 @@ class DistributedMot {
     OverlayNode child;
     std::optional<OverlayNode> sp;
   };
+  // One replicated DL record hosted on behalf of another role. Versioned
+  // last-writer-wins: replica updates are unordered messages, so each
+  // carries the owner's monotone per-(role, object) version and only a
+  // newer version may overwrite (or retract) the record.
+  struct ReplicaRecord {
+    OverlayNode child;
+    std::uint32_t version = 0;
+    bool present = false;
+  };
   struct RoleState {
     std::unordered_map<ObjectId, Entry> dl;
     std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl;
     // Reordering guard: an SdlRemove that overtakes its SdlAdd leaves a
     // tombstone the late add annihilates against (empty at quiescence).
     std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl_tombstones;
+    // Replicas hosted here, per object per owner node (the owner's level
+    // equals this role's level). Only populated when replication is on.
+    std::unordered_map<ObjectId, std::unordered_map<NodeId, ReplicaRecord>>
+        replicas;
+    // Owner-side version counters for replica updates. Never erased on
+    // delete so a delete-then-reinstall cannot reuse a version.
+    std::unordered_map<ObjectId, std::uint32_t> replica_versions;
   };
   struct ParkedQuery {
     std::uint64_t query_id = 0;
@@ -189,6 +254,12 @@ class DistributedMot {
     Weight cost = 0.0;
     int found_level = 0;
     int restarts = 0;
+    // Deadline policy state: attempts burned, hedge issued, and the
+    // generation of the live watchdog (stale watchdogs no-op on
+    // mismatch, which stands in for timer cancellation).
+    int attempt = 0;
+    bool hedged = false;
+    std::uint64_t watchdog_gen = 0;
     QueryCallback done;
   };
 
@@ -218,6 +289,9 @@ class DistributedMot {
   void on_query_reply(const Message& message);
   void on_sdl_add(const Message& message);
   void on_sdl_remove(const Message& message);
+  void on_replica_add(const Message& message);
+  void on_replica_remove(const Message& message);
+  void on_query_down_replica(const Message& message);
 
   Entry* find_entry(SensorState& sensor, int level, ObjectId object);
   void install_entry(const Message& message, NodeId self,
@@ -229,12 +303,30 @@ class DistributedMot {
   void restart_query(std::uint64_t query_id, NodeId from);
   void redirect_parked(NodeId self, ObjectId object, NodeId new_proxy);
 
+  // --- Query resilience (deadline policy + DL replication). ------------
+  bool link_unreachable(NodeId from, NodeId to) const;
+  void arm_query_watchdog(std::uint64_t query_id);
+  void on_query_deadline(std::uint64_t query_id, std::uint64_t gen);
+  void hedge_query(std::uint64_t query_id);
+  void issue_query_walker(std::uint64_t query_id);
+  NodeId replica_of(OverlayNode role, ObjectId object) const;
+  std::uint64_t rebuild_epoch(ObjectId object) const {
+    const auto it = rebuild_epoch_.find(object);
+    return it == rebuild_epoch_.end() ? 0 : it->second;
+  }
+  void send_replica_update(NodeId self, int level, ObjectId object,
+                           OverlayNode child, bool present);
+  void rebuild_replicas();
+
   Weight distance(NodeId a, NodeId b) const;
 
   // --- Reliable link layer (engaged when channel_ != nullptr). ---------
   bool is_node_dead(NodeId node) const;
   std::size_t next_alive_index(std::span<const PathStop> sequence,
                                std::size_t index) const;
+  std::size_t next_reachable_index(NodeId self,
+                                   std::span<const PathStop> sequence,
+                                   std::size_t index) const;
   void transmit_data(std::uint64_t seq);
   void deliver_data(std::uint64_t seq, const Message& message, NodeId from,
                     NodeId to, Weight dist);
@@ -265,11 +357,17 @@ class DistributedMot {
   std::unordered_map<ObjectId, MoveCtx> moves_;  // at most one per object
   std::unordered_set<ObjectId> publishing_;      // publishes in flight
   std::unordered_map<std::uint64_t, QueryCtx> queries_;
+  // Bumped when crash recovery rebuilds an object, so queued local
+  // handoffs of the torn operation drop themselves (see send()).
+  std::unordered_map<ObjectId, std::uint64_t> rebuild_epoch_;
   std::uint64_t next_query_id_ = 1;
   std::size_t inflight_ = 0;
 
   const Router* router_ = nullptr;
   Channel* channel_ = nullptr;
+  QueryPolicy policy_;
+  bool replicate_ = false;
+  bool break_recovery_ = false;
   std::uint64_t next_seq_ = 1;
   std::unordered_map<std::uint64_t, PendingTransfer> pending_;
   std::unordered_set<std::uint64_t> delivered_;  // receiver-side dedup

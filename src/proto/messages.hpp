@@ -33,6 +33,12 @@ enum class MsgType : std::uint8_t {
   kQueryReply,  // result traveling back to the requester
   kSdlAdd,      // register a special child with its special parent
   kSdlRemove,   // deregister on delete
+  // Detection-list replication (opt-in, see replicate_detection_lists):
+  // each DL write is mirrored to a deterministically rehashed replica
+  // slot so queries can fail over when the primary is unreachable.
+  kReplicaAdd,         // upsert a replica record (walk_index = version)
+  kReplicaRemove,      // retract a replica record (walk_index = version)
+  kQueryDownReplica,   // descend via the replica of an unreachable stop
 };
 
 const char* msg_type_name(MsgType type);

@@ -41,6 +41,19 @@ class Channel {
   virtual void subscribe_crashes(std::function<void(NodeId)> on_crash) {
     (void)on_crash;
   }
+
+  // Carrier sense: true when the link from -> to is currently severed by
+  // a network partition. A partitioned link is locally observable at its
+  // endpoints (unlike a remote crash), so link layers may consult this to
+  // suspend futile retransmission instead of burning retry attempts, and
+  // query routing may climb around an unreachable stop. The reliable
+  // default has no partitions.
+  virtual bool link_blocked(SimTime now, NodeId from, NodeId to) const {
+    (void)now;
+    (void)from;
+    (void)to;
+    return false;
+  }
 };
 
 // The reliable channel: exactly-once delivery after exactly `distance`

@@ -403,5 +403,362 @@ TEST(CrashRecovery, QueriesFromTheDeadNodeAreAborted) {
   dist.validate_quiescent();
 }
 
+// ---------------------------------------------------------------------------
+// Partitions
+// ---------------------------------------------------------------------------
+
+TEST(Partition, PlannedWindowCutsBothDirectionsAndHeals) {
+  FaultPlan plan;
+  plan.add_partition(10.0, 20.0, {0}, {1});
+  Simulator sim;
+  UnreliableChannel channel(plan, 1);
+  channel.arm(sim);
+
+  EXPECT_FALSE(channel.link_blocked(0.0, 0, 1));
+  int delivered = 0;
+  sim.schedule(15.0, [&] {
+    EXPECT_TRUE(channel.link_blocked(sim.now(), 0, 1));
+    EXPECT_TRUE(channel.link_blocked(sim.now(), 1, 0));
+    channel.transmit(sim, 0, 1, 1.0, [&delivered] { ++delivered; });
+  });
+  sim.run();
+  EXPECT_FALSE(channel.link_blocked(sim.now(), 0, 1));  // healed at 20
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(channel.stats().partition_blocked, 1u);
+  EXPECT_EQ(channel.stats().partitions_cut, 1u);
+  EXPECT_EQ(channel.stats().partitions_healed, 1u);
+}
+
+TEST(Partition, CutSeversInFlightCopiesAndTheLedgerStillBalances) {
+  FaultPlan plan;
+  Simulator sim;
+  UnreliableChannel channel(plan, 3);
+  int delivered = 0;
+  channel.transmit(sim, 0, 1, 8.0, [&delivered] { ++delivered; });
+  const std::uint64_t cut = channel.cut_now({0}, {1});
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(channel.stats().severed_in_flight, 1u);
+  EXPECT_TRUE(channel.stats().conserved());
+
+  channel.heal_now(cut);
+  channel.transmit(sim, 0, 1, 8.0, [&delivered] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(channel.stats().conserved());
+}
+
+TEST(ChannelStats, ConservationHoldsUnderHeavyDuplicationAndLoss) {
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.9, 1.0, 0.5, 4.0));
+  Simulator sim;
+  UnreliableChannel channel(plan, 17);
+  std::uint64_t delivered = 0;
+  for (int i = 0; i < 300; ++i) {
+    channel.transmit(sim, 0, 1, 1.0, [&delivered] { ++delivered; });
+  }
+  const ChannelStats& cs = channel.stats();
+  EXPECT_TRUE(cs.conserved());  // the identity holds mid-flight too
+  sim.run();
+  EXPECT_TRUE(cs.conserved());
+  EXPECT_EQ(cs.in_flight, 0u);
+  EXPECT_EQ(cs.transmissions, 300u);
+  EXPECT_GT(cs.duplicated, 0u);
+  EXPECT_GT(cs.dropped, 0u);
+  EXPECT_EQ(cs.delivered, delivered);
+}
+
+// Regression for retransmission behaviour across a long-lived cut: the
+// carrier-sense check parks resends instead of letting timeouts hammer a
+// severed link, and the parked backlog drains to completion once the
+// partition heals — thousands of ticks later.
+TEST(Partition, LongPartitionSuppressesResendsAndDrainsAfterHeal) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  UnreliableChannel channel(plan, 5);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  dist.publish(0, 0);
+  sim.run();
+
+  std::vector<NodeId> west;
+  std::vector<NodeId> east;
+  for (NodeId v = 0; v < 64; ++v) (v < 32 ? west : east).push_back(v);
+  const std::uint64_t cut = channel.cut_now(west, east);
+
+  bool moved = false;
+  dist.move(0, 63, [&moved](const MoveResult&) { moved = true; });
+  sim.run_until(sim.now() + 5000.0);
+  EXPECT_FALSE(moved);  // the destination is across the cut
+  EXPECT_GT(dist.stats().retransmits_suppressed, 0u);
+  // Suppressed resends never hit the wire: actual retransmissions stay
+  // bounded no matter how long the partition lasts.
+  EXPECT_LT(dist.stats().retransmissions, 100u);
+
+  channel.heal_now(cut);
+  sim.run();
+  EXPECT_TRUE(moved);
+  EXPECT_EQ(dist.physical_position(0), 63u);
+  dist.validate_quiescent();
+
+  bool answered = false;
+  dist.query(5, 0, [&answered](const QueryResult& r) {
+    answered = true;
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.proxy, 63u);
+  });
+  sim.run();
+  EXPECT_TRUE(answered);
+  EXPECT_TRUE(channel.stats().conserved());
+}
+
+// ---------------------------------------------------------------------------
+// Query resilience: crashes and partitions racing live queries
+// ---------------------------------------------------------------------------
+
+TEST(QueryResilience, CrashOnTheChainDuringAQueryStillTerminates) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.0, 0.0, 1.0, 16.0));  // slow every hop
+  UnreliableChannel channel(plan, 23);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  dist.publish(0, 0);
+  sim.run();
+
+  const NodeId root = fx.provider->root_stop().node;
+  NodeId victim = kInvalidNode;
+  for (NodeId v = 1; v < 64 && victim == kInvalidNode; ++v) {
+    if (v == root || v == 63) continue;
+    if (!dist.objects_through(v).empty()) victim = v;
+  }
+  ASSERT_NE(victim, kInvalidNode);
+
+  bool answered = false;
+  QueryResult result;
+  dist.query(63, 0, [&](const QueryResult& r) {
+    answered = true;
+    result = r;
+  });
+  sim.schedule(2.0, [&channel, victim] { channel.crash_now(victim); });
+  sim.run();
+
+  EXPECT_TRUE(answered);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.proxy, 0u);
+  EXPECT_EQ(dist.inflight_operations(), 0u);
+  dist.validate_quiescent();
+}
+
+// A query is issued, the network splits between its origin and the
+// object, and the proxy migrates while the cut is open. The query must
+// terminate after the heal with the object's settled position.
+TEST(QueryResilience, PartitionHealRaceWithSequentialIssue) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  UnreliableChannel channel(plan, 29);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  dist.publish(0, 4);  // west half
+  sim.run();
+
+  bool answered = false;
+  QueryResult result;
+  dist.query(60, 0, [&](const QueryResult& r) {  // east origin
+    answered = true;
+    result = r;
+  });
+  sim.run_until(sim.now() + 3.0);  // walker mid-flight when the cut lands
+
+  std::vector<NodeId> west;
+  std::vector<NodeId> east;
+  for (NodeId v = 0; v < 64; ++v) (v < 32 ? west : east).push_back(v);
+  const std::uint64_t cut = channel.cut_now(west, east);
+
+  bool moved = false;
+  dist.move(0, 9, [&moved](const MoveResult&) { moved = true; });
+  sim.run_until(sim.now() + 600.0);
+  channel.heal_now(cut);
+  sim.run();
+
+  EXPECT_TRUE(moved);
+  EXPECT_TRUE(answered);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.proxy, dist.physical_position(0));
+  dist.validate_quiescent();
+}
+
+TEST(QueryResilience, PartitionHealRaceWithOverlappedIssue) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  UnreliableChannel channel(plan, 37);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  dist.publish(0, 4);
+  sim.run();
+
+  // Query and move issued back-to-back — the concurrent shape — and the
+  // cut lands while both are in flight.
+  bool answered = false;
+  QueryResult result;
+  dist.query(60, 0, [&](const QueryResult& r) {
+    answered = true;
+    result = r;
+  });
+  bool moved = false;
+  dist.move(0, 9, [&moved](const MoveResult&) { moved = true; });
+  sim.run_until(sim.now() + 2.0);
+
+  std::vector<NodeId> west;
+  std::vector<NodeId> east;
+  for (NodeId v = 0; v < 64; ++v) (v < 32 ? west : east).push_back(v);
+  const std::uint64_t cut = channel.cut_now(west, east);
+  sim.run_until(sim.now() + 600.0);
+  channel.heal_now(cut);
+  sim.run();
+
+  EXPECT_TRUE(moved);
+  EXPECT_TRUE(answered);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.proxy, dist.physical_position(0));
+  dist.validate_quiescent();
+}
+
+// ---------------------------------------------------------------------------
+// Query policy: deadlines, retries, hedging, replica failover
+// ---------------------------------------------------------------------------
+
+TEST(QueryPolicy, DeadlineRetriesThenAbortsAcrossAnIsolation) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  UnreliableChannel channel(plan, 31);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+  proto::QueryPolicy policy;
+  policy.deadline = 50.0;
+  policy.max_attempts = 3;
+  policy.backoff = 2.0;
+  dist.set_query_policy(policy);
+
+  dist.publish(0, 0);
+  sim.run();
+
+  const NodeId origin = 63;
+  std::vector<NodeId> rest;
+  for (NodeId v = 0; v < 64; ++v) {
+    if (v != origin) rest.push_back(v);
+  }
+  const std::uint64_t cut = channel.cut_now({origin}, rest);
+
+  bool answered = false;
+  QueryResult result;
+  dist.query(origin, 0, [&](const QueryResult& r) {
+    answered = true;
+    result = r;
+  });
+  // Attempt deadlines 50 + 100 + 200 with slack: the budget exhausts
+  // while the origin is still cut off.
+  sim.run_until(sim.now() + 1000.0);
+  EXPECT_TRUE(answered);
+  EXPECT_FALSE(result.found);  // aborted explicitly, not hung
+  EXPECT_EQ(dist.stats().queries_retried, 2u);
+  EXPECT_EQ(dist.stats().queries_deadline_aborted, 1u);
+  EXPECT_GT(dist.stats().retransmits_suppressed, 0u);
+
+  channel.heal_now(cut);
+  sim.run();
+  dist.validate_quiescent();
+  EXPECT_TRUE(channel.stats().conserved());
+}
+
+TEST(QueryPolicy, HedgedDuplicateWalkerAnswersExactlyOnce) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.0, 0.0, 1.0, 8.0));  // slow enough to hedge
+  UnreliableChannel channel(plan, 43);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+  proto::QueryPolicy policy;
+  policy.hedge_delay = 2.0;
+  dist.set_query_policy(policy);
+
+  dist.publish(0, 0);
+  sim.run();
+
+  int answers = 0;
+  QueryResult result;
+  dist.query(63, 0, [&](const QueryResult& r) {
+    ++answers;
+    result = r;
+  });
+  sim.run();
+
+  // First reply wins; the loser's frames are garbage-collected at win
+  // time (or dropped as stale if one already landed) — either way the
+  // callback fires exactly once and nothing lingers.
+  EXPECT_EQ(answers, 1);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.proxy, 0u);
+  EXPECT_EQ(dist.stats().queries_hedged, 1u);
+  EXPECT_EQ(dist.inflight_operations(), 0u);
+  dist.validate_quiescent();
+}
+
+TEST(QueryPolicy, ReplicaFailoverAnswersAcrossAnIsolatedChainNode) {
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  UnreliableChannel channel(plan, 41);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+  dist.replicate_detection_lists(true);
+
+  dist.publish(0, 0);
+  sim.run();
+
+  const NodeId root = fx.provider->root_stop().node;
+  NodeId victim = kInvalidNode;
+  for (NodeId v = 1; v < 64 && victim == kInvalidNode; ++v) {
+    if (v == root || v == 63) continue;
+    if (!dist.objects_through(v).empty()) victim = v;
+  }
+  ASSERT_NE(victim, kInvalidNode);
+
+  std::vector<NodeId> rest;
+  for (NodeId v = 0; v < 64; ++v) {
+    if (v != victim) rest.push_back(v);
+  }
+  const std::uint64_t cut = channel.cut_now({victim}, rest);
+
+  bool answered = false;
+  QueryResult result;
+  dist.query(63, 0, [&](const QueryResult& r) {
+    answered = true;
+    result = r;
+  });
+  sim.run_until(sim.now() + 2000.0);
+
+  // The walker reads the isolated hop's replicated detection list and
+  // answers without waiting for the heal.
+  EXPECT_TRUE(answered);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.proxy, 0u);
+  EXPECT_GT(dist.stats().query_failovers, 0u);
+
+  channel.heal_now(cut);
+  sim.run();
+  dist.validate_quiescent();
+}
+
 }  // namespace
 }  // namespace mot

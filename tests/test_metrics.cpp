@@ -111,6 +111,32 @@ TEST(SummarizeReliability, ZeroDataSentWithOtherCountersStaysFinite) {
   EXPECT_DOUBLE_EQ(summary.transport_overhead, 0.0);  // no useful work
 }
 
+TEST(SummarizeReliability, ChannelConservationLedgerIdentity) {
+  // Every copy the channel mints (transmissions + duplications) must
+  // resolve exactly once: delivered, dropped, lost some other way, or
+  // still in flight. Pin the identity and its delivery-rate companion.
+  ReliabilityInputs in;
+  in.channel_copies_created = 100;
+  in.channel_delivered = 80;
+  in.channel_dropped = 12;
+  in.channel_lost_other = 5;
+  in.channel_in_flight = 3;
+  ReliabilitySummary summary = summarize_reliability(in);
+  EXPECT_TRUE(summary.channel_conserved);
+  EXPECT_DOUBLE_EQ(summary.channel_delivery_rate, 0.8);
+
+  in.channel_delivered = 81;  // one copy double-counted
+  EXPECT_FALSE(summarize_reliability(in).channel_conserved);
+
+  in.channel_delivered = 80;
+  in.channel_in_flight = 2;  // one copy leaked
+  EXPECT_FALSE(summarize_reliability(in).channel_conserved);
+
+  // Vacuously conserved with no channel traffic at all.
+  EXPECT_TRUE(summarize_reliability({}).channel_conserved);
+  EXPECT_DOUBLE_EQ(summarize_reliability({}).channel_delivery_rate, 0.0);
+}
+
 TEST(LoadHistogram, EmptyLoadVector) {
   EXPECT_EQ(load_histogram({}), "");
 }
