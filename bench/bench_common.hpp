@@ -13,7 +13,6 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
-#include <set>
 #include <sstream>
 #include <string>
 
@@ -71,6 +70,11 @@ inline std::string& emit_json_path() {
 inline std::unique_ptr<obs::JsonlFileSink>& trace_sink() {
   static std::unique_ptr<obs::JsonlFileSink> sink;
   return sink;
+}
+
+inline CsvStacker& csv_stacker() {
+  static CsvStacker stacker;
+  return stacker;
 }
 
 inline std::string bench_name_from(const char* argv0) {
@@ -180,6 +184,10 @@ inline CommonFlags parse_common(int argc, char** argv,
   obs::PhaseTimers::global();
   obs::MetricsRegistry::global();
   std::atexit(detail::finalize_telemetry);
+  // A fresh run truncates its CSV targets: without this, a process that
+  // parses twice (tests, embedded drivers) would append a second copy of
+  // every table to the file left by the first run.
+  detail::csv_stacker().reset();
   return common;
 }
 
@@ -207,15 +215,11 @@ inline void emit(const std::string& title, const Table& table,
   std::cout << std::flush;
   detail::run_record().add_table(title, table);
   if (!common.csv.empty()) {
-    // A bench emitting several tables used to rewrite the CSV on every
-    // emit, keeping only the last table. The first emit truncates; later
-    // ones append under a `# <title>` comment.
-    static std::set<std::string> csv_paths_written;
-    const bool append = !csv_paths_written.insert(common.csv).second;
-    std::ostringstream csv;
-    if (append) csv << "\n# " << title << "\n";
-    table.write_csv(csv);
-    write_text_file(common.csv, csv.str(), append);
+    // The first table truncates the CSV; later ones stack under a
+    // `# <title>` comment. The stacker keys paths canonically and is
+    // reset by parse_common, so neither spelling the path two ways nor
+    // re-running a bench in one process duplicates table blocks.
+    detail::csv_stacker().write(common.csv, title, table);
   }
 }
 

@@ -76,6 +76,8 @@ int main(int argc, char** argv) {
   std::uint64_t events = 5;
   bool inject_bug = false;
   bool churn = false;
+  bool overload = false;
+  std::uint64_t burst_events = 2;
   std::uint64_t replay_seed = UINT64_MAX;  // UINT64_MAX = explorer mode
   std::string keep;
 
@@ -92,6 +94,11 @@ int main(int argc, char** argv) {
                       "if the explorer catches and shrinks it");
   flags.register_flag("churn", &churn,
                       "also run the join/leave/crash churn driver");
+  flags.register_flag("overload", &overload,
+                      "attach the finite-capacity service model and add "
+                      "burst-traffic events to every schedule");
+  flags.register_flag("burst-events", &burst_events,
+                      "burst-traffic events per schedule (with --overload)");
   flags.register_flag("replay-seed", &replay_seed,
                       "replay one schedule by seed instead of exploring");
   flags.register_flag("keep", &keep,
@@ -124,12 +131,20 @@ int main(int argc, char** argv) {
       params.rounds = static_cast<int>(rounds);
       params.events_per_schedule = static_cast<int>(events);
       params.inject_recovery_bug = inject_bug;
+      params.overload = overload;
+      params.burst_events = overload ? static_cast<int>(burst_events) : 0;
+      if (overload) {
+        params.overload_config.service_rate = 0.5;
+        params.overload_config.queue_capacity = 8;
+        params.overload_config.degrade_fraction = 0.25;
+      }
       chaos::ChaosRunner runner(params);
 
       chaos::ScheduleParams sp;
       sp.rounds = params.rounds;
       sp.num_events = params.events_per_schedule;
       sp.num_nodes = runner.net().num_nodes();
+      sp.burst_events = params.burst_events;
       chaos::ChaosSchedule schedule =
           chaos::generate_schedule(replay_seed, sp);
       if (!keep.empty()) {
@@ -167,6 +182,13 @@ int main(int argc, char** argv) {
     params.rounds = static_cast<int>(rounds);
     params.events_per_schedule = static_cast<int>(events);
     params.inject_recovery_bug = inject_bug;
+    params.overload = overload;
+    params.burst_events = overload ? static_cast<int>(burst_events) : 0;
+    if (overload) {
+      params.overload_config.service_rate = 0.5;
+      params.overload_config.queue_capacity = 8;
+      params.overload_config.degrade_fraction = 0.25;
+    }
     chaos::ChaosRunner runner(params);
 
     // Green-path totals across seeds, for the table.
@@ -176,11 +198,15 @@ int main(int argc, char** argv) {
     std::size_t queries = 0;
     std::uint64_t failovers = 0;
     std::uint64_t retries = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t breaker_trips = 0;
     chaos::ExplorerOutcome outcome;
     chaos::ScheduleParams sp;
     sp.rounds = params.rounds;
     sp.num_events = params.events_per_schedule;
     sp.num_nodes = runner.net().num_nodes();
+    sp.burst_events = params.burst_events;
     for (std::uint64_t seed = seed_lo;; ++seed) {
       const chaos::ChaosSchedule schedule =
           chaos::generate_schedule(seed, sp);
@@ -192,6 +218,9 @@ int main(int argc, char** argv) {
       queries += report.queries_issued;
       failovers += report.proto_stats.query_failovers;
       retries += report.proto_stats.queries_retried;
+      shed += report.service_stats.shed_total();
+      degraded += report.proto_stats.queries_degraded;
+      breaker_trips += report.proto_stats.breaker_trips;
       if (!report.ok()) {
         outcome.violation_found = true;
         outcome.seed = seed;
@@ -203,6 +232,14 @@ int main(int argc, char** argv) {
       if (seed == seed_hi) break;
     }
     outcome.total_runs = runner.runs_executed();
+
+    if (overload) {
+      // Printed separately so the default table stays byte-identical to
+      // runs without the service model.
+      std::cout << "overload[" << chaos::topology_name(topo)
+                << "]: shed " << shed << ", degraded " << degraded
+                << ", breaker trips " << breaker_trips << "\n";
+    }
 
     table.begin_row()
         .cell(chaos::topology_name(topo))

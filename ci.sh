@@ -92,13 +92,28 @@ if ! ./build-asan/bench/chaos_runner --seeds 0..9 --topology grid \
 fi
 echo "chaos ok: 60 green schedules + churn; injected defect caught + shrunk"
 
+echo "== overload: tbl_overload sweep under asan =="
+cmake --build build-asan -j "${JOBS}" --target tbl_overload
+OVERLOAD_LOG="${SMOKE_DIR}/overload.log"
+# The sweep drives the 256-node grid at 1x..8x capacity; the bench exits
+# non-zero if any conservation ledger fails to reconcile, any query fails
+# to terminate, or goodput at 4x collapses below 60% of the 1x baseline.
+if ! ./build-asan/bench/tbl_overload --log-level error \
+    > "${OVERLOAD_LOG}" 2>&1; then
+  echo "overload sweep failed:"
+  cat "${OVERLOAD_LOG}"
+  exit 1
+fi
+echo "overload ok: 4x offered load shed/degraded with ledgers balanced"
+
 echo "== sanitizers: tsan pool/oracle/sweep tests =="
 cmake -B build-tsan -S . -DMOT_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
   > /dev/null
 cmake --build build-tsan -j "${JOBS}" --target mot_tests
-# The concurrency-bearing suites; the rest of mot_tests is single-threaded
-# and already covered by the asan stage.
+# The concurrency-bearing suites (plus the overload suites, whose bench
+# runs on the worker pool); the rest of mot_tests is single-threaded and
+# already covered by the asan stage.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/mot_tests --gtest_brief=1 \
-  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*'
+  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*:Overload*'
 
 echo "== ci green =="

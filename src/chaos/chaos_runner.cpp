@@ -1,6 +1,7 @@
 #include "chaos/chaos_runner.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "sim/event_sim.hpp"
@@ -43,6 +44,13 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
   dist.replicate_detection_lists(true);
   dist.set_query_policy(params_.query_policy);
   if (params_.inject_recovery_bug) dist.break_recovery_for_tests(true);
+  std::optional<ServiceModel> service;
+  if (params_.overload) {
+    overload::OverloadConfig cfg = params_.overload_config;
+    cfg.seed = seeds.seed_for("overload-red");
+    service.emplace(sim, n, cfg);
+    dist.use_overload(&*service);
+  }
 
   std::vector<bool> dead(n, false);
   std::size_t crashed = 0;
@@ -65,6 +73,10 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
   MOT_CHECK(sim.empty());
 
   std::vector<char> move_busy(params_.num_objects, 0);
+  // Completed moves per object; a degraded answer is only auditable
+  // against the staleness bound when the object held still across the
+  // query's lifetime (no completed move, none in flight at either end).
+  std::vector<std::uint64_t> move_epoch(params_.num_objects, 0);
   std::size_t moves_done = 0;
 
   struct OpenCut {
@@ -72,6 +84,35 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
     int heal_round = 0;
   };
   std::vector<OpenCut> open;
+
+  // kBurst events accumulate into a faults-layer plan; the runner reads
+  // it back each round to inject the focused extra traffic.
+  faults::FaultPlan traffic_plan;
+
+  auto issue_query = [&](ObjectId object, NodeId origin) {
+    ++report.queries_issued;
+    const std::uint64_t epoch = move_epoch[object];
+    const bool busy_at_issue = move_busy[object] != 0;
+    dist.query(origin, object,
+               [&, object, epoch, busy_at_issue](const QueryResult& r) {
+                 ++report.queries_terminated;
+                 if (r.found && r.degraded && !busy_at_issue &&
+                     move_busy[object] == 0 &&
+                     move_epoch[object] == epoch) {
+                   const Weight away = net_.oracle->distance(
+                       r.proxy, dist.physical_position(object));
+                   if (away > r.staleness_bound) {
+                     report.violations.push_back(
+                         "degraded answer for object " +
+                         std::to_string(object) + " named node " +
+                         std::to_string(r.proxy) + " at distance " +
+                         std::to_string(away) +
+                         " but promised staleness bound " +
+                         std::to_string(r.staleness_bound));
+                   }
+                 }
+               });
+  };
 
   // Quiescence audit; returns false (and fills the report) on violation.
   auto check_quiescent = [&](int round) {
@@ -97,6 +138,23 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
             std::to_string(cs.dead_on_arrival) + " dead + " +
             std::to_string(cs.severed_in_flight) + " severed + " +
             std::to_string(cs.in_flight) + " in flight");
+      }
+      if (service) {
+        const ServiceStats& ss = service->stats();
+        if (!service->conserved()) {
+          out.push_back(
+              "service conservation ledger violated: " +
+              std::to_string(ss.arrivals) + " arrivals vs " +
+              std::to_string(ss.admitted) + " admitted + " +
+              std::to_string(ss.shed_total()) + " shed, with " +
+              std::to_string(ss.serviced) + " serviced and " +
+              std::to_string(service->total_queued()) + " queued");
+        }
+        if (service->total_queued() != 0) {
+          out.push_back("service queues hold " +
+                        std::to_string(service->total_queued()) +
+                        " admitted messages at quiescence");
+        }
       }
       if (report.moves_issued != moves_done) {
         out.push_back("only " + std::to_string(moves_done) + " of " +
@@ -149,6 +207,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
   auto finalize = [&] {
     report.proto_stats = dist.stats();
     report.channel_stats = channel.stats();
+    if (service) report.service_stats = service->stats();
   };
 
   double round_end = sim.now();
@@ -212,6 +271,19 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
           ++report.faults_applied;
           break;
         }
+        case FaultKind::kBurst: {
+          // Round numbers double as the plan's time axis; the burst
+          // window [round, round + duration) is read back below when
+          // this round's traffic is issued.
+          traffic_plan.add_burst(
+              {static_cast<double>(round),
+               static_cast<double>(round + event.duration),
+               static_cast<std::uint32_t>(event.victim %
+                                          params_.num_objects),
+               params_.burst_multiplier});
+          ++report.faults_applied;
+          break;
+        }
       }
     }
 
@@ -227,15 +299,33 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
       ++report.moves_issued;
       dist.move(object, target, [&, object](const MoveResult&) {
         move_busy[object] = 0;
+        ++move_epoch[object];
         ++moves_done;
       });
     }
     for (int i = 0; i < params_.queries_per_round; ++i) {
       const ObjectId object = traffic.below(params_.num_objects);
       const NodeId origin = live_node(traffic);
-      ++report.queries_issued;
-      dist.query(origin, object,
-                 [&](const QueryResult&) { ++report.queries_terminated; });
+      issue_query(object, origin);
+    }
+
+    // Burst traffic: extra queries concentrated on each active burst's
+    // focus object, drawn from a separate substream so the baseline
+    // draws above replay bit-identically when no burst is live.
+    if (!traffic_plan.bursts().empty()) {
+      Rng burst_traffic = SeedTree(schedule.seed).stream(
+          "chaos-burst-traffic", static_cast<std::uint64_t>(round));
+      const double here = static_cast<double>(round);
+      for (const faults::TrafficBurst& burst : traffic_plan.bursts()) {
+        if (here < burst.start || here >= burst.end) continue;
+        const int extra = static_cast<int>(
+            (burst.multiplier - 1.0) *
+            static_cast<double>(params_.queries_per_round));
+        for (int i = 0; i < extra; ++i) {
+          issue_query(static_cast<ObjectId>(burst.focus),
+                      live_node(burst_traffic));
+        }
+      }
     }
 
     round_end += params_.round_time;
@@ -296,6 +386,7 @@ ExplorerOutcome ChaosRunner::explore(std::uint64_t first_seed,
   sp.rounds = params_.rounds;
   sp.num_events = params_.events_per_schedule;
   sp.num_nodes = net_.num_nodes();
+  sp.burst_events = params_.burst_events;
   for (std::uint64_t seed = first_seed; seed <= last_seed; ++seed) {
     ++out.seeds_run;
     ChaosSchedule schedule = generate_schedule(seed, sp);

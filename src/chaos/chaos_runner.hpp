@@ -25,7 +25,9 @@
 #include "chaos/topology.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/unreliable_channel.hpp"
+#include "overload/overload.hpp"
 #include "proto/distributed_mot.hpp"
+#include "sim/service_model.hpp"
 
 namespace mot::chaos {
 
@@ -51,6 +53,16 @@ struct RunnerParams {
   // explorer's detection + shrinking paths can be exercised against a
   // real, deterministic recovery defect.
   bool inject_recovery_bug = false;
+  // Overload resilience under chaos: attach a finite-capacity service
+  // model to every node and extend the quiescence audit with the
+  // service-conservation ledger and the degraded-staleness bound. Off by
+  // default — legacy schedules replay bit-identically.
+  bool overload = false;
+  overload::OverloadConfig overload_config;
+  // kBurst events multiply the round's query traffic, focused on one hot
+  // object. Only drawn into schedules when burst_events > 0.
+  int burst_events = 0;
+  double burst_multiplier = 6.0;
 };
 
 struct RunReport {
@@ -64,6 +76,8 @@ struct RunReport {
   std::size_t queries_terminated = 0;
   proto::ProtocolStats proto_stats;
   faults::ChannelStats channel_stats;
+  // All-zero unless RunnerParams::overload.
+  ServiceStats service_stats;
 
   bool ok() const { return violations.empty(); }
 };

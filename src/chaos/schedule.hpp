@@ -19,6 +19,9 @@ enum class FaultKind : std::uint8_t {
   kCrash,      // crash-stop one sensor (never heals)
   kPartition,  // cut {id < pivot} from {id >= pivot} for `duration` rounds
   kIsolate,    // cut {victim} from everyone else for `duration` rounds
+  kBurst,      // traffic burst on object (victim % num_objects) for
+               // `duration` rounds (only generated when
+               // ScheduleParams::burst_events > 0)
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -43,6 +46,11 @@ struct ScheduleParams {
   int rounds = 6;       // traffic rounds available to place events in
   int num_events = 5;   // fault events per schedule
   std::size_t num_nodes = 64;
+  // Extra burst-traffic events appended to the schedule, drawn from a
+  // separate SeedTree substream ("chaos-burst") so enabling them never
+  // perturbs the crash/partition/isolate draws of existing seeds. 0
+  // (the default) keeps legacy schedules bit-identical.
+  int burst_events = 0;
 };
 
 // Deterministic: the same (seed, params) always yields the same

@@ -79,6 +79,27 @@ FaultPlan& FaultPlan::add_partition(SimTime start, SimTime end,
   return *this;
 }
 
+FaultPlan& FaultPlan::add_burst(const TrafficBurst& burst) {
+  MOT_EXPECTS(burst.start >= 0.0);
+  MOT_EXPECTS(burst.end > burst.start);  // every burst subsides
+  MOT_EXPECTS(burst.multiplier >= 1.0);
+  bursts_.push_back(burst);
+  std::stable_sort(bursts_.begin(), bursts_.end(),
+                   [](const TrafficBurst& a, const TrafficBurst& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.end < b.end;
+                   });
+  return *this;
+}
+
+double FaultPlan::burst_multiplier(SimTime now) const {
+  double factor = 1.0;
+  for (const TrafficBurst& burst : bursts_) {
+    if (now >= burst.start && now < burst.end) factor *= burst.multiplier;
+  }
+  return factor;
+}
+
 const LinkFaults& FaultPlan::faults_for(NodeId from, NodeId to) const {
   const auto it = overrides_.find(link_key(from, to));
   return it == overrides_.end() ? defaults_ : it->second;

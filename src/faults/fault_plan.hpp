@@ -34,6 +34,22 @@ struct CrashEvent {
   NodeId node = kInvalidNode;
 };
 
+// A timed traffic burst / hot spot: over [start, end) the workload driver
+// multiplies its offered load, concentrating the extra traffic on the
+// `focus` object (its chain becomes the hot spot). Pure data like the
+// rest of the plan — the channel ignores bursts; workload drivers (the
+// chaos runner, bench/tbl_overload) read them and inject the traffic, so
+// the overload machinery under test sees organic message pressure rather
+// than synthetic queue poking.
+struct TrafficBurst {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  // The object drawing the extra queries (an ObjectId; plain uint32 here
+  // because this layer sits below tracking).
+  std::uint32_t focus = 0;
+  double multiplier = 1.0; // offered load factor while the burst is live
+};
+
 // A timed bidirectional partition: every link with one endpoint in
 // side_a and the other in side_b is severed for times in [start, end).
 // Sides need not cover the network; nodes in neither side keep all their
@@ -70,6 +86,10 @@ class FaultPlan {
                            std::vector<NodeId> side_a,
                            std::vector<NodeId> side_b);
 
+  // Schedules a traffic burst on `focus` over [start, end). Windows may
+  // overlap; burst_multiplier() reports the product of active windows.
+  FaultPlan& add_burst(const TrafficBurst& burst);
+
   const LinkFaults& faults_for(NodeId from, NodeId to) const;
 
   // Crash schedule sorted by time (ties broken by node id).
@@ -78,6 +98,11 @@ class FaultPlan {
   const std::vector<PartitionWindow>& partitions() const {
     return partitions_;
   }
+
+  const std::vector<TrafficBurst>& bursts() const { return bursts_; }
+
+  // Combined offered-load factor at `now` (1.0 outside every window).
+  double burst_multiplier(SimTime now) const;
 
   bool has_link_faults() const {
     return defaults_.faulty() || !overrides_.empty();
@@ -88,6 +113,7 @@ class FaultPlan {
   std::unordered_map<std::uint64_t, LinkFaults> overrides_;  // key (from,to)
   std::vector<CrashEvent> crashes_;
   std::vector<PartitionWindow> partitions_;
+  std::vector<TrafficBurst> bursts_;
 };
 
 }  // namespace mot::faults

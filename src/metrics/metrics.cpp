@@ -79,6 +79,31 @@ ReliabilitySummary summarize_reliability(const ReliabilityInputs& in) {
   return summary;
 }
 
+OverloadSummary summarize_overload(const OverloadInputs& in) {
+  MOT_EXPECTS(in.queries_degraded <= in.queries_answered);
+  MOT_EXPECTS(in.admitted + in.shed <= in.arrivals);
+  OverloadSummary summary;
+  if (in.queries_issued > 0) {
+    summary.goodput =
+        static_cast<double>(in.queries_answered - in.queries_degraded) /
+        static_cast<double>(in.queries_issued);
+  }
+  if (in.arrivals > 0) {
+    summary.shed_rate =
+        static_cast<double>(in.shed) / static_cast<double>(in.arrivals);
+  }
+  if (in.queries_answered > 0) {
+    summary.degraded_fraction =
+        static_cast<double>(in.queries_degraded) /
+        static_cast<double>(in.queries_answered);
+  }
+  if (in.queue_delays.count() > 0) {
+    summary.mean_queue_delay = in.queue_delays.mean();
+    summary.p99_queue_delay = in.queue_delays.quantile(0.99);
+  }
+  return summary;
+}
+
 std::string load_histogram(const std::vector<std::size_t>& load_per_node) {
   Histogram histogram;
   for (const std::size_t load : load_per_node) histogram.add(load);
@@ -157,6 +182,35 @@ void export_reliability(const ReliabilityInputs& in,
       .set(summary.channel_delivery_rate);
   registry.gauge("mot_channel_conserved", labels)
       .set(summary.channel_conserved ? 1.0 : 0.0);
+}
+
+void export_overload(const OverloadInputs& in,
+                     obs::MetricsRegistry& registry,
+                     const obs::Labels& labels) {
+  set_counter(registry, "mot_overload_queries_issued_total", labels,
+              in.queries_issued);
+  set_counter(registry, "mot_overload_queries_answered_total", labels,
+              in.queries_answered);
+  set_counter(registry, "mot_overload_queries_degraded_total", labels,
+              in.queries_degraded);
+  set_counter(registry, "mot_overload_arrivals_total", labels, in.arrivals);
+  set_counter(registry, "mot_overload_admitted_total", labels, in.admitted);
+  set_counter(registry, "mot_overload_shed_total", labels, in.shed);
+  set_counter(registry, "mot_overload_breaker_trips_total", labels,
+              in.breaker_trips);
+  set_counter(registry, "mot_overload_credit_stalls_total", labels,
+              in.credit_stalls);
+  registry.gauge("mot_overload_max_queue_depth", labels)
+      .set(static_cast<double>(in.max_queue_depth));
+  const OverloadSummary summary = summarize_overload(in);
+  registry.gauge("mot_overload_goodput", labels).set(summary.goodput);
+  registry.gauge("mot_overload_shed_rate", labels).set(summary.shed_rate);
+  registry.gauge("mot_overload_degraded_fraction", labels)
+      .set(summary.degraded_fraction);
+  registry.gauge("mot_overload_mean_queue_delay", labels)
+      .set(summary.mean_queue_delay);
+  registry.gauge("mot_overload_p99_queue_delay", labels)
+      .set(summary.p99_queue_delay);
 }
 
 }  // namespace mot

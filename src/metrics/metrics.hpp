@@ -111,6 +111,38 @@ struct ReliabilitySummary {
 
 ReliabilitySummary summarize_reliability(const ReliabilityInputs& in);
 
+// Overload-resilience accounting (src/overload + the per-node service
+// model). Plain counters again so metrics stays independent of the
+// protocol and sim layers; queue delays arrive as raw samples so callers
+// choose the quantiles.
+struct OverloadInputs {
+  std::uint64_t queries_issued = 0;
+  std::uint64_t queries_answered = 0;   // terminated with found == true
+  std::uint64_t queries_degraded = 0;   // subset of answered
+  std::uint64_t arrivals = 0;           // messages offered to service queues
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;               // all shed reasons combined
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t credit_stalls = 0;
+  std::size_t max_queue_depth = 0;
+  SampleSet queue_delays;               // admission -> service start
+};
+
+struct OverloadSummary {
+  // Fraction of issued queries answered at full fidelity (found and not
+  // degraded). The resilience headline: stays near 1.0 at 1x capacity
+  // and degrades gracefully - not to zero - at 4x and 8x.
+  double goodput = 0.0;
+  // Fraction of offered messages refused admission.
+  double shed_rate = 0.0;
+  // Fraction of answered queries that came back degraded.
+  double degraded_fraction = 0.0;
+  double mean_queue_delay = 0.0;
+  double p99_queue_delay = 0.0;
+};
+
+OverloadSummary summarize_overload(const OverloadInputs& in);
+
 // Registry bridges (see obs/metrics_registry.hpp): project a snapshot of
 // the plain structs above into named instruments. Idempotent — counters
 // are reset before being set, so re-exporting does not double-count.
@@ -121,5 +153,9 @@ void export_load(const std::vector<std::size_t>& load_per_node,
 void export_reliability(const ReliabilityInputs& in,
                         obs::MetricsRegistry& registry,
                         const obs::Labels& labels = {});
+
+void export_overload(const OverloadInputs& in,
+                     obs::MetricsRegistry& registry,
+                     const obs::Labels& labels = {});
 
 }  // namespace mot

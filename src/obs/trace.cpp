@@ -42,6 +42,13 @@ const char* ev_name(Ev type) {
     case Ev::kQueryHedge: return "query_hedge";
     case Ev::kQueryRetry: return "query_retry";
     case Ev::kQueryDeadlineAbort: return "query_deadline_abort";
+    case Ev::kShed: return "shed";
+    case Ev::kQueryDegraded: return "query_degraded";
+    case Ev::kSiblingRedirect: return "sibling_redirect";
+    case Ev::kCreditStall: return "credit_stall";
+    case Ev::kBreakerTrip: return "breaker_trip";
+    case Ev::kBreakerProbe: return "breaker_probe";
+    case Ev::kBreakerClose: return "breaker_close";
   }
   return "unknown";
 }

@@ -72,6 +72,14 @@ enum class Ev : std::uint8_t {
   kQueryHedge,         // hedged duplicate walker issued from the origin
   kQueryRetry,         // query re-issued after its deadline expired
   kQueryDeadlineAbort, // query aborted: retry budget exhausted
+  // Overload resilience (src/overload/ + sim/service_model).
+  kShed,            // admission control shed a message (label = reason)
+  kQueryDegraded,   // overloaded node answered from a stale entry
+  kSiblingRedirect, // hot next hop bypassed via its cluster sibling
+  kCreditStall,     // sender parked a frame: credit window exhausted
+  kBreakerTrip,     // circuit breaker opened on consecutive timeouts
+  kBreakerProbe,    // half-open probe elected after the cooldown
+  kBreakerClose,    // probe acked: breaker closed, parked frames resume
 };
 
 // Stable lowercase name used as the "ev" field of JSONL traces.

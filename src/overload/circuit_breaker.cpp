@@ -1,0 +1,52 @@
+#include "overload/circuit_breaker.hpp"
+
+namespace mot::overload {
+
+CircuitBreaker::Gate CircuitBreaker::gate(double now, std::uint64_t seq) {
+  if (!open_) return Gate::kPass;
+  if (probing_) {
+    // The elected probe retrying itself stays the probe; everyone else
+    // waits for its verdict.
+    return seq == probe_token_ ? Gate::kProbe : Gate::kBlocked;
+  }
+  if (now - opened_at_ >= cooldown_) {
+    probing_ = true;
+    probe_token_ = seq;
+    return Gate::kProbe;
+  }
+  return Gate::kBlocked;
+}
+
+bool CircuitBreaker::on_timeout(double now, std::uint64_t seq) {
+  if (open_) {
+    // Only the probe's fate matters while open; a straggler timeout from
+    // before the trip carries no fresh evidence.
+    if (probing_ && seq == probe_token_) {
+      probing_ = false;
+      opened_at_ = now;  // restart the cooldown clock
+      ++trips_;
+      return true;
+    }
+    return false;
+  }
+  if (++consecutive_ >= threshold_) {
+    open_ = true;
+    probing_ = false;
+    opened_at_ = now;
+    ++trips_;
+    return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::on_success() {
+  consecutive_ = 0;
+  if (open_) {
+    open_ = false;
+    probing_ = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mot::overload

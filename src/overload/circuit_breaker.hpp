@@ -1,0 +1,59 @@
+// Per-directed-link circuit breaker for the reliable link layer.
+//
+// Classic three-state machine adapted to a simulated network: kPass while
+// the link is healthy, kBlocked after `threshold` consecutive transfer
+// timeouts (retries toward the peer are parked instead of burning backoff
+// attempts), and a half-open probe after `cooldown` time units — exactly
+// one in-flight frame is elected the probe; its ack closes the breaker
+// and releases the parked frames, its timeout re-opens for another
+// cooldown. Timeouts of frames that were never transmitted (parked by the
+// breaker itself, or suppressed by partition carrier-sense) must not be
+// reported here — they carry no evidence about the link.
+#pragma once
+
+#include <cstdint>
+
+namespace mot::overload {
+
+class CircuitBreaker {
+ public:
+  enum class Gate : std::uint8_t {
+    kPass,     // closed breaker: transmit normally
+    kProbe,    // half-open: this frame is the elected probe
+    kBlocked,  // open breaker: park the frame, do not transmit
+  };
+
+  CircuitBreaker(int threshold, double cooldown)
+      : threshold_(threshold), cooldown_(cooldown) {}
+
+  // Called before (re)transmitting frame `seq` at time `now`. While open,
+  // the first caller after the cooldown elapses is elected the probe; the
+  // same seq asking again (its own retry) is re-elected so a lost probe
+  // cannot wedge the link.
+  Gate gate(double now, std::uint64_t seq);
+
+  // Report a genuine transfer timeout (the frame was actually on the
+  // wire). Returns true when this report trips the breaker open or
+  // re-opens it from half-open.
+  bool on_timeout(double now, std::uint64_t seq);
+
+  // Report an acked transfer. Returns true when this closes an open
+  // breaker (probe succeeded) so the caller can release parked frames.
+  bool on_success();
+
+  bool open() const { return open_; }
+  int consecutive_timeouts() const { return consecutive_; }
+  int trips() const { return trips_; }
+
+ private:
+  int threshold_;
+  double cooldown_;
+  int consecutive_ = 0;
+  int trips_ = 0;
+  bool open_ = false;
+  bool probing_ = false;
+  std::uint64_t probe_token_ = 0;
+  double opened_at_ = 0.0;
+};
+
+}  // namespace mot::overload

@@ -1,0 +1,37 @@
+#include "overload/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mot::overload {
+
+const char* priority_name(Priority cls) {
+  switch (cls) {
+    case Priority::kRecovery: return "recovery";
+    case Priority::kTransport: return "transport";
+    case Priority::kMaintenance: return "maintenance";
+    case Priority::kQuery: return "query";
+  }
+  return "unknown";
+}
+
+std::size_t OverloadConfig::admit_limit(Priority cls) const {
+  const double fraction = admit_fraction[static_cast<std::size_t>(cls)];
+  const double raw = fraction * static_cast<double>(queue_capacity);
+  const auto limit = static_cast<std::size_t>(std::floor(raw));
+  return std::max<std::size_t>(1, std::min(limit, queue_capacity));
+}
+
+std::size_t OverloadConfig::high_watermark() const {
+  const double raw = degrade_fraction * static_cast<double>(queue_capacity);
+  const auto mark = static_cast<std::size_t>(std::floor(raw));
+  return std::max<std::size_t>(1, std::min(mark, queue_capacity));
+}
+
+std::size_t OverloadConfig::red_threshold() const {
+  const double raw = red_fraction * static_cast<double>(queue_capacity);
+  const auto mark = static_cast<std::size_t>(std::floor(raw));
+  return std::min(mark, admit_limit(Priority::kQuery));
+}
+
+}  // namespace mot::overload

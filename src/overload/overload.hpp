@@ -1,0 +1,100 @@
+// Overload-resilience primitives for the distributed MOT runtime.
+//
+// Section 6 of the paper argues bounded per-node load: detection lists
+// are hashed across de Bruijn clusters precisely so no sensor saturates.
+// This module supplies the machinery that makes finite capacity real —
+// priority classes for admission control, bounded per-node queues with
+// deadline-aware load shedding, and a per-link circuit breaker — so the
+// runtime can be driven past capacity and observed shedding, redirecting
+// and degrading instead of queueing without bound.
+//
+// Everything here is deterministic: shed decisions that are probabilistic
+// (the RED-style early-drop ramp) draw from a SeedTree substream handed
+// in via OverloadConfig::seed, so the same seed + config replays the same
+// shed pattern bit for bit.
+//
+// Layering: this module sits below src/sim (the ServiceModel that
+// executes queues on the simulator lives there) and src/proto (which
+// wires admission, credits and breakers into the reliable link layer), so
+// it depends only on util. Times are plain doubles (simulator time).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mot::overload {
+
+// Admission classes, most protected first. The ordering is the paper's
+// operational hierarchy under stress: recovery traffic (replica mirrors
+// that keep failover possible) must survive any load that queries
+// survive; retransmitted frames carry work the sender already paid for;
+// maintenance keeps the structure converging; fresh query walkers are the
+// load that is safe to shed because the sender-side retransmission layer
+// (or the query deadline policy) retries them.
+enum class Priority : std::uint8_t {
+  kRecovery = 0,     // replica add/remove: the failover plane
+  kTransport = 1,    // retransmitted frames: already-paid-for work
+  kMaintenance = 2,  // publish / insert / delete / SDL bookkeeping
+  kQuery = 3,        // query walkers and replies
+};
+inline constexpr std::size_t kNumClasses = 4;
+
+const char* priority_name(Priority cls);
+
+// How a node's inbox orders service once messages are queued.
+enum class QueueDiscipline : std::uint8_t {
+  kPriority,  // strict class priority, FIFO within a class
+  kFifo,      // arrival order regardless of class
+};
+
+struct OverloadConfig {
+  // Messages one node services per simulator time unit.
+  double service_rate = 4.0;
+  // Bounded inbox: total messages a node may hold (waiting + in service).
+  std::size_t queue_capacity = 64;
+  QueueDiscipline discipline = QueueDiscipline::kPriority;
+  // Class admission thresholds as fractions of queue_capacity: class c is
+  // admitted only while the node's depth is below admit_fraction[c] *
+  // capacity. Monotone non-increasing from kRecovery to kQuery, which is
+  // what makes priority inversion structurally impossible — at any depth
+  // where recovery is shed, every other class is shed too.
+  double admit_fraction[kNumClasses] = {1.0, 0.9, 0.75, 0.5};
+  // RED-style early shedding for the query class: between red_fraction *
+  // capacity and the query admit limit, a fresh query is shed with
+  // probability ramping linearly 0 -> 1 (drawn from the seeded stream).
+  double red_fraction = 0.25;
+  // Deadline-aware admission: shed a class-c message whose estimated
+  // queueing delay (depth / service_rate) already exceeds this budget.
+  // 0 disables the budget for that class.
+  double delay_budget[kNumClasses] = {0.0, 0.0, 0.0, 0.0};
+  // Graceful query degradation: a node whose depth has reached
+  // high_watermark() answers queries from its (possibly stale) detection
+  // entry with an explicit degraded flag instead of forwarding.
+  bool degrade_queries = true;
+  double degrade_fraction = 0.5;  // high watermark as a capacity fraction
+  // Staleness bound attached to a degraded answer from a level-L entry:
+  // staleness_scale * 2^L (the chain hop below level L spans O(2^L)).
+  double staleness_scale = 8.0;
+  // Hot next hop on a query descent: redirect to the de Bruijn cluster
+  // sibling holding the replicated detection entry (requires
+  // replicate_detection_lists in the runtime).
+  bool sibling_redirect = true;
+  // Sender-side credit window: outstanding unacked frames toward one
+  // receiver are capped at the credit its last ack granted, clamped to
+  // [1, max_window]. Excess frames park untransmitted until credit frees.
+  std::size_t max_window = 8;
+  // Circuit breaker: consecutive timeouts on a directed link before it
+  // opens, and how long it stays open before probing half-open.
+  int breaker_threshold = 4;
+  double breaker_cooldown = 64.0;
+  // Seed for the RED early-drop stream (derive via SeedTree).
+  std::uint64_t seed = 0;
+
+  // Derived thresholds, in messages. Every limit admits at least one
+  // message so a completely idle node can always make progress.
+  std::size_t admit_limit(Priority cls) const;
+  std::size_t high_watermark() const;
+  std::size_t red_threshold() const;
+};
+
+}  // namespace mot::overload

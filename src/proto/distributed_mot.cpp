@@ -1,6 +1,7 @@
 #include "proto/distributed_mot.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -71,6 +72,58 @@ void DistributedMot::replicate_detection_lists(bool on) {
   MOT_EXPECTS(inflight_ == 0);  // enable before injecting traffic
   MOT_EXPECTS(proxies_.empty());
   replicate_ = on;
+}
+
+void DistributedMot::use_overload(ServiceModel* service) {
+  MOT_EXPECTS(service != nullptr);
+  // Backpressure rides the link layer: shed frames are recovered by the
+  // sender's retransmission, which only exists with a channel attached.
+  MOT_EXPECTS(channel_ != nullptr);
+  MOT_EXPECTS(inflight_ == 0);  // attach before injecting traffic
+  service_ = service;
+}
+
+overload::Priority DistributedMot::classify(MsgType type, int attempt) {
+  // Retransmitted frames carry work the sender already paid transport
+  // for; dropping them again multiplies the waste, so they escalate past
+  // fresh maintenance and query traffic.
+  if (attempt > 0) return overload::Priority::kTransport;
+  switch (type) {
+    case MsgType::kReplicaAdd:
+    case MsgType::kReplicaRemove:
+      return overload::Priority::kRecovery;
+    case MsgType::kPublish:
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+    case MsgType::kSdlAdd:
+    case MsgType::kSdlRemove:
+      return overload::Priority::kMaintenance;
+    case MsgType::kQueryUp:
+    case MsgType::kQueryDown:
+    case MsgType::kQueryDownReplica:
+    case MsgType::kQueryReply:
+      return overload::Priority::kQuery;
+  }
+  return overload::Priority::kQuery;
+}
+
+DistributedMot::LinkCredit& DistributedMot::credit_for(NodeId to) {
+  LinkCredit& credit = credit_[to];
+  if (credit.window == 0) credit.window = service_->config().max_window;
+  return credit;
+}
+
+overload::CircuitBreaker& DistributedMot::breaker_for(NodeId from,
+                                                      NodeId to) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | to;
+  const auto it = breakers_.find(key);
+  if (it != breakers_.end()) return it->second;
+  const overload::OverloadConfig& config = service_->config();
+  return breakers_
+      .emplace(key, overload::CircuitBreaker(config.breaker_threshold,
+                                             config.breaker_cooldown))
+      .first->second;
 }
 
 NodeId DistributedMot::replica_of(OverlayNode role, ObjectId object) const {
@@ -280,28 +333,177 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
   transfer.dist = hop;
   transfer.rto = 2.0 * hop + 1.0;  // round trip + processing slack
   transfer.first_send = sim_->now();
-  pending_.emplace(seq, std::move(transfer));
   ++stats_.data_sent;
+  if (service_ != nullptr) {
+    // Credit flow control: the destination's last ack granted a window of
+    // outstanding frames; beyond it the frame parks untransmitted — no
+    // timer, no wire traffic — until an ack or poisoning frees a slot.
+    LinkCredit& credit = credit_for(to);
+    if (credit.outstanding >= credit.window) {
+      pending_.emplace(seq, std::move(transfer));
+      credit.stalled.push_back(seq);
+      ++stats_.credit_stalls;
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kCreditStall,
+                   .t = sim_->now(),
+                   .object = message.object,
+                   .from = from,
+                   .to = to,
+                   .aux = seq,
+                   .label = msg_type_name(message.type)});
+      }
+      return;
+    }
+    transfer.counted_outstanding = true;
+    ++credit.outstanding;
+  }
+  pending_.emplace(seq, std::move(transfer));
   transmit_data(seq);
 }
 
 void DistributedMot::transmit_data(std::uint64_t seq) {
-  const PendingTransfer& transfer = pending_.at(seq);
+  PendingTransfer& transfer = pending_.at(seq);
   const Message message = transfer.message;
   const NodeId from = transfer.from;
   const NodeId to = transfer.to;
   const Weight dist = transfer.dist;
+  if (service_ != nullptr) {
+    // Circuit breaker: an open link parks the frame instead of burning a
+    // guaranteed-futile transmission. The parked frame keeps its wakeup
+    // timer (flagged so the timeout is not mistaken for link evidence)
+    // and re-consults the gate each round; after the cooldown the gate
+    // elects exactly one frame as the half-open probe.
+    switch (breaker_for(from, to).gate(sim_->now(), seq)) {
+      case overload::CircuitBreaker::Gate::kBlocked:
+        transfer.breaker_parked = true;
+        ++stats_.breaker_suppressed;
+        sim_->schedule(transfer.rto,
+                       [this, seq] { on_transfer_timeout(seq); });
+        return;
+      case overload::CircuitBreaker::Gate::kProbe:
+        ++stats_.breaker_probes;
+        if (obs::tracing()) {
+          obs::emit({.type = obs::Ev::kBreakerProbe,
+                     .t = sim_->now(),
+                     .object = message.object,
+                     .from = from,
+                     .to = to,
+                     .aux = seq});
+        }
+        break;
+      case overload::CircuitBreaker::Gate::kPass:
+        break;
+    }
+    if (transfer.attempts > 0) {
+      // With overload engaged, retransmission accounting moves here so a
+      // resend is charged exactly when it reaches the wire (a parked
+      // frame costs nothing until its gate opens).
+      ++stats_.retransmissions;
+      stats_.transport_distance += dist;
+      meter_.charge(dist);
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kRetransmit,
+                   .t = sim_->now(),
+                   .object = message.object,
+                   .from = from,
+                   .to = to,
+                   .dist = dist,
+                   .charged = dist,
+                   .aux = seq,
+                   .label = msg_type_name(message.type)});
+      }
+    }
+  }
+  const int attempt = transfer.attempts;
   channel_->transmit(*sim_, from, to, dist,
-                     [this, seq, message, from, to, dist] {
-                       deliver_data(seq, message, from, to, dist);
+                     [this, seq, message, from, to, dist, attempt] {
+                       deliver_data(seq, message, from, to, dist, attempt);
                      });
   sim_->schedule(transfer.rto,
                  [this, seq] { on_transfer_timeout(seq); });
 }
 
 void DistributedMot::deliver_data(std::uint64_t seq, const Message& message,
-                                  NodeId from, NodeId to, Weight dist) {
+                                  NodeId from, NodeId to, Weight dist,
+                                  int attempt) {
   if (poisoned_.count(seq) != 0) return;  // cancelled by crash recovery
+  if (service_ != nullptr) {
+    // Finite-capacity receiver: admission control runs BEFORE the ack.
+    // A shed frame was never acknowledged, so the sender's retransmission
+    // timer retries it later — shedding is backpressure, not loss — and
+    // an admitted frame is never evicted (its ack already told the sender
+    // to forget it). Duplicates of an admitted frame re-ack without
+    // consuming queue space.
+    const bool duplicate = delivered_.count(seq) != 0;
+    if (!duplicate) {
+      const overload::Priority cls = classify(message.type, attempt);
+      // Queued handlers outlive crashes and rebuilds, and unlike frames
+      // they cannot be poisoned by sequence number — so they carry the
+      // same guards as local handoffs (see send()) and drop themselves
+      // when the node died or recovery moved the operation on.
+      const bool maintenance = message.type == MsgType::kPublish ||
+                               message.type == MsgType::kInsert ||
+                               message.type == MsgType::kDelete ||
+                               message.type == MsgType::kSdlAdd ||
+                               message.type == MsgType::kSdlRemove;
+      const std::uint64_t epoch =
+          maintenance ? rebuild_epoch(message.object) : 0;
+      const overload::Admit outcome = service_->offer(
+          to, cls, [this, message, maintenance, epoch] {
+            if (is_node_dead(message.role.node)) return;
+            if (maintenance && epoch != rebuild_epoch(message.object)) {
+              ++stats_.stale_maintenance_drops;
+              return;
+            }
+            handle(message);
+          });
+      if (outcome != overload::Admit::kAdmit) {
+        ++stats_.messages_shed;
+        if (obs::tracing()) {
+          obs::emit({.type = obs::Ev::kShed,
+                     .t = sim_->now(),
+                     .object = message.object,
+                     .from = from,
+                     .to = to,
+                     .aux = seq,
+                     .label = overload::admit_name(outcome)});
+        }
+        return;
+      }
+      delivered_.insert(seq);
+    }
+    ++stats_.acks_sent;
+    stats_.transport_distance += dist;
+    meter_.charge(dist);
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kAck,
+                 .t = sim_->now(),
+                 .object = message.object,
+                 .from = to,
+                 .to = from,
+                 .dist = dist,
+                 .charged = dist,
+                 .aux = seq});
+    }
+    // The ack advertises the receiver's remaining admission headroom as a
+    // credit grant, capping how many frames the sender may keep in
+    // flight toward this node.
+    const std::size_t grant = service_->headroom(to);
+    channel_->transmit(*sim_, to, from, dist,
+                       [this, seq, grant] { on_ack_credit(seq, grant); });
+    if (duplicate) {
+      ++stats_.duplicates_suppressed;
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kDuplicate,
+                   .t = sim_->now(),
+                   .object = message.object,
+                   .from = from,
+                   .to = to,
+                   .aux = seq});
+      }
+    }
+    return;
+  }
   // Acknowledge every copy: a duplicate DATA regenerates the ack in case
   // the previous one was lost. The ack link is just as unreliable.
   ++stats_.acks_sent;
@@ -343,10 +545,70 @@ void DistributedMot::on_ack(std::uint64_t seq) {
   pending_.erase(it);
 }
 
+void DistributedMot::on_ack_credit(std::uint64_t seq, std::size_t grant) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // duplicate ack
+  const NodeId from = it->second.from;
+  const NodeId to = it->second.to;
+  const bool counted = it->second.counted_outstanding;
+  stats_.ack_rtt_sum += sim_->now() - it->second.first_send;
+  ++stats_.ack_rtt_count;
+  pending_.erase(it);
+  // Adopt the receiver's advertised headroom as the new window. The
+  // clamp to >= 1 guarantees progress: even a saturated receiver accepts
+  // one probe frame at a time, and shedding handles the rest.
+  LinkCredit& credit = credit_for(to);
+  credit.window = std::clamp<std::size_t>(grant, 1,
+                                          service_->config().max_window);
+  if (counted) {
+    MOT_CHECK(credit.outstanding > 0);
+    --credit.outstanding;
+  }
+  // Any ack is proof of life for the link: reset the breaker's failure
+  // streak, and close it if this was the half-open probe reporting back.
+  if (breaker_for(from, to).on_success()) {
+    ++stats_.breaker_closes;
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kBreakerClose,
+                 .t = sim_->now(),
+                 .from = from,
+                 .to = to,
+                 .aux = seq});
+    }
+  }
+  pump_stalled(to);
+}
+
+void DistributedMot::pump_stalled(NodeId to) {
+  const auto it = credit_.find(to);
+  if (it == credit_.end()) return;
+  LinkCredit& credit = it->second;
+  while (credit.outstanding < credit.window && !credit.stalled.empty()) {
+    const std::uint64_t seq = credit.stalled.front();
+    credit.stalled.pop_front();
+    const auto pending_it = pending_.find(seq);
+    if (pending_it == pending_.end()) continue;  // poisoned while parked
+    pending_it->second.counted_outstanding = true;
+    // The RTT clock starts when the frame actually reaches the wire, not
+    // when the sender first wished it had.
+    pending_it->second.first_send = sim_->now();
+    ++credit.outstanding;
+    transmit_data(seq);
+  }
+}
+
 void DistributedMot::on_transfer_timeout(std::uint64_t seq) {
   const auto it = pending_.find(seq);
   if (it == pending_.end()) return;  // acked (or recovered) in time
   PendingTransfer& transfer = it->second;
+  if (transfer.breaker_parked) {
+    // The frame never reached the wire this round — the breaker parked
+    // it — so this wakeup carries no evidence about the link. Re-consult
+    // the gate (which may elect it as the half-open probe by now).
+    transfer.breaker_parked = false;
+    transmit_data(seq);
+    return;
+  }
   if (channel_->link_blocked(sim_->now(), transfer.from, transfer.to)) {
     // Carrier sense: the link is partitioned, so a resend is guaranteed
     // to be refused at the sender. Hold the frame at its current timeout
@@ -364,6 +626,25 @@ void DistributedMot::on_transfer_timeout(std::uint64_t seq) {
   // unlucky frame from flooding the link.
   transfer.rto = std::min(transfer.rto * 2.0,
                           128.0 * (transfer.dist + 1.0));
+  if (service_ != nullptr) {
+    // A genuine timeout of a frame that was on the wire: feed the
+    // breaker's failure streak (retransmission accounting happens in
+    // transmit_data, if the gate lets the resend out).
+    if (breaker_for(transfer.from, transfer.to)
+            .on_timeout(sim_->now(), seq)) {
+      ++stats_.breaker_trips;
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kBreakerTrip,
+                   .t = sim_->now(),
+                   .object = transfer.message.object,
+                   .from = transfer.from,
+                   .to = transfer.to,
+                   .aux = seq});
+      }
+    }
+    transmit_data(seq);
+    return;
+  }
   ++stats_.retransmissions;
   stats_.transport_distance += transfer.dist;
   meter_.charge(transfer.dist);
@@ -383,6 +664,25 @@ void DistributedMot::on_transfer_timeout(std::uint64_t seq) {
 
 void DistributedMot::poison_transfer(std::uint64_t seq) {
   poisoned_.insert(seq);
+  if (service_ != nullptr) {
+    const auto it = pending_.find(seq);
+    if (it != pending_.end()) {
+      // Release the credit slot the frame held so stalled frames toward
+      // the same destination are not wedged by a cancelled transfer. A
+      // frame parked in `stalled` leaves a dangling seq there; the pump
+      // skips seqs that are no longer pending.
+      const NodeId to = it->second.to;
+      const bool counted = it->second.counted_outstanding;
+      pending_.erase(it);
+      if (counted) {
+        LinkCredit& credit = credit_for(to);
+        MOT_CHECK(credit.outstanding > 0);
+        --credit.outstanding;
+        pump_stalled(to);
+      }
+    }
+    return;
+  }
   pending_.erase(seq);
 }
 
@@ -865,6 +1165,39 @@ void DistributedMot::on_query_down(const Message& message) {
     sensor.parked[message.object].push_back({message.query_id});
     return;
   }
+  if (service_ != nullptr && service_->config().degrade_queries &&
+      service_->overloaded(self)) {
+    // Graceful degradation: past the high watermark this node answers
+    // from its last-known detection entry instead of forwarding the
+    // walker deeper into a saturated region. The answer is explicit
+    // about its quality — degraded, with a staleness bound derived from
+    // the chain geometry: the descent below a level-l entry spans
+    // O(2^l), so the object is within staleness_scale * 2^l of the
+    // reported position.
+    ++stats_.queries_degraded;
+    ctx.found_level = std::max(ctx.found_level, message.role.level);
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kQueryDegraded,
+                 .t = sim_->now(),
+                 .object = message.object,
+                 .from = self,
+                 .to = entry->child.node,
+                 .level = message.role.level,
+                 .aux = message.query_id});
+    }
+    Message reply;
+    reply.type = MsgType::kQueryReply;
+    reply.object = message.object;
+    reply.role = {0, ctx.origin};
+    reply.new_proxy = entry->child.node;
+    reply.query_id = message.query_id;
+    reply.degraded = true;
+    reply.staleness = service_->config().staleness_scale *
+                      std::ldexp(1.0, message.role.level);
+    Weight reply_cost = 0.0;
+    send(self, reply, &reply_cost);  // metered, not attributed to the op
+    return;
+  }
   const OverlayNode next_stop = entry->child;
   if (replicate_ && link_unreachable(self, next_stop.node)) {
     // The next chain hop is across a partition (or crashed): read its
@@ -886,6 +1219,34 @@ void DistributedMot::on_query_down(const Message& message) {
       failover.role = {next_stop.level, slot};
       failover.link = next_stop;  // the unreachable owner role
       send(self, failover, &ctx.cost);
+      return;
+    }
+  }
+  if (service_ != nullptr && service_->config().sibling_redirect &&
+      replicate_ && service_->overloaded(next_stop.node)) {
+    // Hot next hop: divert the descent to the de Bruijn cluster sibling
+    // hosting the replicated detection entry — the paper's hashed-cluster
+    // load balancing used as an active overload escape hatch. The
+    // sibling must itself have headroom (redirecting load onto another
+    // hot node just moves the queue) and be reachable.
+    const NodeId slot = replica_of(next_stop, message.object);
+    if (slot != kInvalidNode && !link_unreachable(self, slot) &&
+        !service_->overloaded(slot)) {
+      ++stats_.sibling_redirects;
+      if (obs::tracing()) {
+        obs::emit({.type = obs::Ev::kSiblingRedirect,
+                   .t = sim_->now(),
+                   .object = message.object,
+                   .from = self,
+                   .to = slot,
+                   .level = next_stop.level,
+                   .aux = message.query_id});
+      }
+      Message redirect = message;
+      redirect.type = MsgType::kQueryDownReplica;
+      redirect.role = {next_stop.level, slot};
+      redirect.link = next_stop;  // the overloaded owner role
+      send(self, redirect, &ctx.cost);
       return;
     }
   }
@@ -1018,6 +1379,8 @@ void DistributedMot::on_query_reply(const Message& message) {
     result.proxy = message.new_proxy;
     result.cost = ctx.cost;
     result.found_level = ctx.found_level;
+    result.degraded = message.degraded;
+    result.staleness_bound = message.staleness;
     ctx.done(result);
   }
 }
@@ -1438,6 +1801,38 @@ std::vector<std::string> DistributedMot::invariant_violations() const {
     out.push_back("unacknowledged transfers: " +
                   std::to_string(pending_.size()));
   }
+  if (service_ != nullptr) {
+    // Service-model conservation ledger: every arrival was admitted or
+    // shed, every admitted message was serviced or is still queued — and
+    // at quiescence nothing may still be queued.
+    if (!service_->conserved()) {
+      const ServiceStats& s = service_->stats();
+      out.push_back("service ledger does not reconcile: arrivals " +
+                    std::to_string(s.arrivals) + " != admitted " +
+                    std::to_string(s.admitted) + " + shed " +
+                    std::to_string(s.shed_total()) + ", or admitted != serviced " +
+                    std::to_string(s.serviced) + " + queued " +
+                    std::to_string(service_->total_queued()));
+    }
+    if (service_->total_queued() != 0) {
+      out.push_back("service queues not drained: " +
+                    std::to_string(service_->total_queued()) +
+                    " messages still queued");
+    }
+    std::size_t stalled = 0;
+    for (const auto& [to, credit] : credit_) {
+      (void)to;
+      stalled += credit.outstanding;
+      for (const std::uint64_t seq : credit.stalled) {
+        if (pending_.count(seq) != 0) ++stalled;
+      }
+    }
+    if (stalled != 0) {
+      out.push_back("credit windows not drained: " +
+                    std::to_string(stalled) +
+                    " frames outstanding or stalled");
+    }
+  }
   for (NodeId v = 0; v < sensors_.size(); ++v) {
     for (const auto& [level, role] : sensors_[v].roles) {
       if (!role.sdl_tombstones.empty()) {
@@ -1636,6 +2031,22 @@ void export_protocol_stats(const ProtocolStats& stats,
               stats.stale_maintenance_drops);
   set_counter(registry, "mot_proto_retransmits_suppressed_total", labels,
               stats.retransmits_suppressed);
+  set_counter(registry, "mot_proto_messages_shed_total", labels,
+              stats.messages_shed);
+  set_counter(registry, "mot_proto_queries_degraded_total", labels,
+              stats.queries_degraded);
+  set_counter(registry, "mot_proto_sibling_redirects_total", labels,
+              stats.sibling_redirects);
+  set_counter(registry, "mot_proto_credit_stalls_total", labels,
+              stats.credit_stalls);
+  set_counter(registry, "mot_proto_breaker_trips_total", labels,
+              stats.breaker_trips);
+  set_counter(registry, "mot_proto_breaker_probes_total", labels,
+              stats.breaker_probes);
+  set_counter(registry, "mot_proto_breaker_closes_total", labels,
+              stats.breaker_closes);
+  set_counter(registry, "mot_proto_breaker_suppressed_total", labels,
+              stats.breaker_suppressed);
 }
 
 }  // namespace mot::proto

@@ -34,6 +34,7 @@
 // bit-identical costs and placement versus the centralized engine.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -43,10 +44,12 @@
 
 #include "net/router.hpp"
 #include "obs/metrics_registry.hpp"
+#include "overload/circuit_breaker.hpp"
 #include "proto/messages.hpp"
 #include "sim/channel.hpp"
 #include "sim/cost_meter.hpp"
 #include "sim/event_sim.hpp"
+#include "sim/service_model.hpp"
 #include "tracking/chain_tracker.hpp"
 #include "tracking/path_provider.hpp"
 
@@ -89,6 +92,19 @@ struct ProtocolStats {
   std::uint64_t stale_query_drops = 0;         // losing-walker messages
   std::uint64_t stale_maintenance_drops = 0;   // handoffs gated by rebuild
   std::uint64_t retransmits_suppressed = 0;    // resends parked at a cut
+
+  // Overload-resilience counters (all zero unless use_overload engages a
+  // ServiceModel): receiver-side admission sheds, degraded answers,
+  // sibling redirects, sender-side credit stalls, and the per-link
+  // circuit-breaker lifecycle.
+  std::uint64_t messages_shed = 0;       // refused by admission (no ack)
+  std::uint64_t queries_degraded = 0;    // answered from a stale entry
+  std::uint64_t sibling_redirects = 0;   // descents diverted to siblings
+  std::uint64_t credit_stalls = 0;       // frames parked awaiting credit
+  std::uint64_t breaker_trips = 0;       // breakers opened (or re-opened)
+  std::uint64_t breaker_probes = 0;      // half-open probes elected
+  std::uint64_t breaker_closes = 0;      // probes that closed a breaker
+  std::uint64_t breaker_suppressed = 0;  // sends parked at an open breaker
 
   double mean_ack_rtt() const {
     return ack_rtt_count == 0 ? 0.0 : ack_rtt_sum / ack_rtt_count;
@@ -169,6 +185,19 @@ class DistributedMot {
 
   // Engage the end-to-end query deadline / retry / hedge policy.
   void set_query_policy(const QueryPolicy& policy) { policy_ = policy; }
+
+  // Attach a finite-capacity service model (see sim/service_model.hpp):
+  // delivered frames pass admission control and queue at the receiver
+  // instead of executing instantly, a shed frame is simply never acked
+  // (the sender's retransmission is the retry — backpressure, not loss),
+  // acks carry the receiver's headroom as a credit grant that caps the
+  // sender's outstanding window per destination, consecutive genuine
+  // timeouts trip a per-link circuit breaker, overloaded nodes answer
+  // queries degraded, and hot next hops are bypassed via their replica
+  // sibling. Requires a channel; attach before injecting traffic. The
+  // model must span provider.num_nodes() nodes and outlive the runtime.
+  void use_overload(ServiceModel* service);
+  const ServiceModel* service_model() const { return service_; }
 
   // Mirror every detection-list write to a deterministically rehashed
   // replica slot so queries whose next chain hop is unreachable (crashed
@@ -272,6 +301,22 @@ class DistributedMot {
     double rto = 0.0;  // current retransmission timeout
     int attempts = 0;
     SimTime first_send = 0.0;
+    // Overload bookkeeping: whether the frame occupies a slot of its
+    // destination's credit window, and whether its pending wakeup belongs
+    // to a frame the breaker parked (never on the wire that round, so the
+    // wakeup must not be reported to the breaker as a link failure).
+    bool counted_outstanding = false;
+    bool breaker_parked = false;
+  };
+
+  // Sender-side credit state toward one destination node. `window` is
+  // the receiver's last advertised headroom (clamped to [1, max_window]);
+  // frames beyond it park in `stalled` untransmitted, with no timer, and
+  // are released as acks or poisoning free slots.
+  struct LinkCredit {
+    std::size_t window = 0;  // 0 = not yet initialized from the config
+    std::size_t outstanding = 0;
+    std::deque<std::uint64_t> stalled;
   };
 
   // Locality-guarded access to a sensor's state: only legal for the node
@@ -329,9 +374,16 @@ class DistributedMot {
                                    std::size_t index) const;
   void transmit_data(std::uint64_t seq);
   void deliver_data(std::uint64_t seq, const Message& message, NodeId from,
-                    NodeId to, Weight dist);
+                    NodeId to, Weight dist, int attempt);
   void on_ack(std::uint64_t seq);
   void on_transfer_timeout(std::uint64_t seq);
+
+  // --- Overload resilience (engaged when service_ != nullptr). ---------
+  static overload::Priority classify(MsgType type, int attempt);
+  LinkCredit& credit_for(NodeId to);
+  overload::CircuitBreaker& breaker_for(NodeId from, NodeId to);
+  void on_ack_credit(std::uint64_t seq, std::size_t grant);
+  void pump_stalled(NodeId to);
   void poison_transfer(std::uint64_t seq);
   void poison_query_transfers(std::uint64_t query_id);
   void poison_object_transfers(ObjectId object);
@@ -365,6 +417,9 @@ class DistributedMot {
 
   const Router* router_ = nullptr;
   Channel* channel_ = nullptr;
+  ServiceModel* service_ = nullptr;
+  std::unordered_map<NodeId, LinkCredit> credit_;
+  std::unordered_map<std::uint64_t, overload::CircuitBreaker> breakers_;
   QueryPolicy policy_;
   bool replicate_ = false;
   bool break_recovery_ = false;

@@ -68,6 +68,12 @@ struct Message {
   // Querying: who asked, so the reply can travel home.
   NodeId requester = kInvalidNode;
   std::uint64_t query_id = 0;
+
+  // Graceful degradation (kQueryReply only): the answer came from an
+  // overloaded node's last-known detection entry instead of the proxy
+  // sentinel, and is stale by at most `staleness` distance.
+  bool degraded = false;
+  Weight staleness = 0.0;
 };
 
 // Per-message accounting record (for protocol traces and tests).

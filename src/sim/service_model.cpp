@@ -1,0 +1,130 @@
+#include "sim/service_model.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics_registry.hpp"
+#include "util/check.hpp"
+
+namespace mot {
+
+ServiceModel::ServiceModel(Simulator& sim, std::size_t num_nodes,
+                           const overload::OverloadConfig& config)
+    : sim_(sim), config_(config), busy_(num_nodes, false),
+      red_(config.seed) {
+  MOT_EXPECTS(config_.service_rate > 0.0);
+  MOT_EXPECTS(config_.queue_capacity > 0);
+  queues_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    queues_.emplace_back(&config_);
+  }
+}
+
+overload::Admit ServiceModel::offer(std::size_t node, overload::Priority cls,
+                                    std::function<void()> run) {
+  MOT_EXPECTS(node < queues_.size());
+  ++stats_.arrivals;
+  const overload::Admit outcome =
+      queues_[node].offer(sim_.now(), cls, std::move(run), red_);
+  switch (outcome) {
+    case overload::Admit::kAdmit:
+      ++stats_.admitted;
+      stats_.max_depth = std::max(stats_.max_depth, queues_[node].depth());
+      if (!busy_[node]) pump(node);
+      break;
+    case overload::Admit::kShedCapacity:
+      ++stats_.shed_capacity;
+      ++stats_.shed_by_class[static_cast<std::size_t>(cls)];
+      break;
+    case overload::Admit::kShedDeadline:
+      ++stats_.shed_deadline;
+      ++stats_.shed_by_class[static_cast<std::size_t>(cls)];
+      break;
+    case overload::Admit::kShedEarly:
+      ++stats_.shed_early;
+      ++stats_.shed_by_class[static_cast<std::size_t>(cls)];
+      break;
+  }
+  return outcome;
+}
+
+void ServiceModel::pump(std::size_t node) {
+  MOT_CHECK(!busy_[node]);
+  if (queues_[node].empty()) return;
+  busy_[node] = true;
+  // The next item is picked at service *start* so the measured delay is
+  // exactly its wait in the queue; the handler runs inside the
+  // service-completion event, one service interval later.
+  overload::QueueItem item = queues_[node].take();
+  queue_delays_.add(sim_.now() - item.arrival);
+  const double interval = 1.0 / config_.service_rate;
+  sim_.schedule(interval, [this, node, run = std::move(item.run)]() mutable {
+    ++stats_.serviced;
+    busy_[node] = false;
+    run();
+    // The handler may have enqueued locally or crashed the node's work
+    // away; either way, keep draining whatever remains.
+    if (!busy_[node]) pump(node);
+  });
+}
+
+std::size_t ServiceModel::depth(std::size_t node) const {
+  MOT_EXPECTS(node < queues_.size());
+  // The in-service message still occupies capacity until it completes.
+  return queues_[node].depth() + (busy_[node] ? 1 : 0);
+}
+
+std::size_t ServiceModel::headroom(std::size_t node) const {
+  const std::size_t limit = config_.admit_limit(overload::Priority::kQuery);
+  const std::size_t d = depth(node);
+  return d >= limit ? 0 : limit - d;
+}
+
+std::size_t ServiceModel::total_queued() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    total += depth(i);
+  }
+  return total;
+}
+
+bool ServiceModel::conserved() const {
+  if (stats_.arrivals != stats_.admitted + stats_.shed_total()) return false;
+  return stats_.admitted == stats_.serviced + total_queued();
+}
+
+void ServiceModel::export_metrics(obs::MetricsRegistry& registry) const {
+  auto set_counter = [&registry](const std::string& name,
+                                 const obs::Labels& labels,
+                                 std::uint64_t value) {
+    auto& counter = registry.counter(name, labels);
+    counter.reset();
+    counter.increment(value);
+  };
+  set_counter("mot_service_arrivals_total", {}, stats_.arrivals);
+  set_counter("mot_service_admitted_total", {}, stats_.admitted);
+  set_counter("mot_service_serviced_total", {}, stats_.serviced);
+  set_counter("mot_service_shed_total", {{"reason", "capacity"}},
+              stats_.shed_capacity);
+  set_counter("mot_service_shed_total", {{"reason", "deadline"}},
+              stats_.shed_deadline);
+  set_counter("mot_service_shed_total", {{"reason", "early"}},
+              stats_.shed_early);
+  for (std::size_t cls = 0; cls < overload::kNumClasses; ++cls) {
+    set_counter(
+        "mot_service_shed_by_class_total",
+        {{"class", overload::priority_name(
+                       static_cast<overload::Priority>(cls))}},
+        stats_.shed_by_class[cls]);
+  }
+  registry.gauge("mot_service_queued").set(
+      static_cast<double>(total_queued()));
+  registry.gauge("mot_service_max_depth").set(
+      static_cast<double>(stats_.max_depth));
+  auto& delays = registry.histogram(
+      "mot_service_queue_delay", {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  for (double sample : queue_delays_.samples()) delays.observe(sample);
+}
+
+}  // namespace mot

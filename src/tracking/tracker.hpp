@@ -32,6 +32,12 @@ struct QueryResult {
   NodeId proxy = kInvalidNode;  // proxy the query located
   Weight cost = 0.0;            // communication cost of the query
   int found_level = 0;          // level where the object was discovered
+  // Graceful degradation (overload resilience): an overloaded node may
+  // answer from its last-known detection entry instead of forwarding.
+  // The answer is then explicitly flagged and bounded — the object moved
+  // at most staleness_bound distance since the entry was written.
+  bool degraded = false;
+  Weight staleness_bound = 0.0;
 };
 
 class Tracker {

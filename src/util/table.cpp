@@ -132,4 +132,19 @@ bool write_text_file(const std::string& path, const std::string& contents,
   return static_cast<bool>(out);
 }
 
+bool CsvStacker::write(const std::string& path, const std::string& title,
+                       const Table& table) {
+  // weakly_canonical resolves dot segments and symlinks for the existing
+  // prefix without requiring the file itself to exist yet.
+  std::error_code ec;
+  std::filesystem::path canonical =
+      std::filesystem::weakly_canonical(path, ec);
+  const std::string key = ec ? path : canonical.string();
+  const bool append = !started_.insert(key).second;
+  std::ostringstream csv;
+  if (append) csv << "\n# " << title << "\n";
+  table.write_csv(csv);
+  return write_text_file(path, csv.str(), append);
+}
+
 }  // namespace mot

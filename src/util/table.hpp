@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,5 +49,26 @@ class Table {
 // must not abort a half-day experiment run.
 bool write_text_file(const std::string& path, const std::string& contents,
                      bool append = false);
+
+// Stacks several tables into one CSV file: the first table written to a
+// path truncates the file, later tables append under a `# <title>`
+// comment line. Paths are keyed canonically, so "out.csv", "./out.csv"
+// and "sub/../out.csv" name the same stack and cannot truncate it twice.
+// The guard is instance state, not a process-wide set: a fresh stacker
+// (or reset()) always starts by truncating, so re-running a multi-table
+// bench into an existing file can never duplicate its table blocks.
+class CsvStacker {
+ public:
+  // Appends `table` to the stack at `path` (truncating on the first
+  // write). Returns false on I/O failure, like write_text_file.
+  bool write(const std::string& path, const std::string& title,
+             const Table& table);
+
+  // Forgets every path: the next write to each truncates again.
+  void reset() { started_.clear(); }
+
+ private:
+  std::set<std::string> started_;  // canonical paths already truncated
+};
 
 }  // namespace mot

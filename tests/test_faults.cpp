@@ -14,7 +14,9 @@
 #include "core/mot.hpp"
 #include "graph/generators.hpp"
 #include "hier/doubling_hierarchy.hpp"
+#include "overload/overload.hpp"
 #include "proto/distributed_mot.hpp"
+#include "sim/service_model.hpp"
 #include "tracking/chain_tracker.hpp"
 
 namespace mot {
@@ -757,6 +759,134 @@ TEST(QueryPolicy, ReplicaFailoverAnswersAcrossAnIsolatedChainNode) {
 
   channel.heal_now(cut);
   sim.run();
+  dist.validate_quiescent();
+}
+
+// ---------------------------------------------------------------------------
+// Retransmission backoff edges
+// ---------------------------------------------------------------------------
+
+TEST(Retransmission, BackoffCapHoldsThroughALossyPartitionWindow) {
+  // A lossy wire drives per-frame backoff toward its cap before the cut
+  // lands; the cut then parks resends via carrier sense. Neither side of
+  // the combination may wedge the sender: the parked frames keep their
+  // capped (finite) timers and the move completes promptly after heal.
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.6, 0.0));
+  UnreliableChannel channel(plan, 21);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  dist.publish(0, 0);
+  sim.run();
+  const std::uint64_t warmup = dist.stats().retransmissions;
+  EXPECT_GT(warmup, 0u);  // the loss rate is biting
+
+  std::vector<NodeId> west;
+  std::vector<NodeId> east;
+  for (NodeId v = 0; v < 64; ++v) (v < 32 ? west : east).push_back(v);
+  const std::uint64_t cut = channel.cut_now(west, east);
+
+  bool moved = false;
+  dist.move(0, 63, [&moved](const MoveResult&) { moved = true; });
+  sim.run_until(sim.now() + 20000.0);
+  EXPECT_FALSE(moved);
+  EXPECT_GT(dist.stats().retransmits_suppressed, 0u);
+  // Suppressed wakeups burn no attempts: even a 20000-tick cut on a
+  // lossy wire stays far from the attempts cap (which MOT_CHECKs), and
+  // on-wire retransmissions stay bounded by the pre-cut traffic.
+  EXPECT_LT(dist.stats().retransmissions, warmup + 200u);
+
+  channel.heal_now(cut);
+  sim.run();
+  EXPECT_TRUE(moved);
+  EXPECT_EQ(dist.physical_position(0), 63u);
+  dist.validate_quiescent();
+  EXPECT_TRUE(channel.stats().conserved());
+}
+
+TEST(Retransmission, OpenBreakerParksFutileRetriesUntilItsProbeCloses) {
+  // With the service model attached, consecutive genuine timeouts trip
+  // the per-link breaker; while it is open, further resends toward that
+  // link are parked (breaker_suppressed) instead of hammering a wire
+  // that just demonstrated it is black-holing frames. Half-open probes
+  // eventually close the breaker and everything still completes.
+  const Fixture fx;
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.45, 0.0));
+  UnreliableChannel channel(plan, 11);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+  overload::OverloadConfig cfg;
+  cfg.service_rate = 8.0;
+  cfg.queue_capacity = 64;
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown = 8.0;
+  cfg.seed = 5;
+  ServiceModel service(sim, fx.graph.num_nodes(), cfg);
+  dist.use_overload(&service);
+
+  Rng rng(23);
+  for (ObjectId o = 0; o < 4; ++o) {
+    dist.publish(o, rng.below(fx.graph.num_nodes()));
+  }
+  sim.run();
+  std::size_t answered = 0;
+  for (int i = 0; i < 24; ++i) {
+    dist.query(rng.below(fx.graph.num_nodes()),
+               static_cast<ObjectId>(i % 4),
+               [&answered](const QueryResult& r) {
+                 ++answered;
+                 EXPECT_TRUE(r.found);
+               });
+  }
+  sim.run();
+  EXPECT_EQ(answered, 24u);
+  const ProtocolStats& stats = dist.stats();
+  EXPECT_GT(stats.breaker_trips, 0u);
+  EXPECT_GT(stats.breaker_suppressed, 0u);  // futile retries parked
+  EXPECT_GT(stats.breaker_closes, 0u);      // and the links came back
+  EXPECT_TRUE(dist.invariant_violations().empty());
+}
+
+TEST(Retransmission, RetransmitRacingItsOwnAckIsDeduplicated) {
+  // Every copy (data and ack alike) is delayed by up to 10 ticks while
+  // single-hop RTOs are ~3: frames routinely time out and resend while
+  // their original — or its ack — is still in flight. The receiver-side
+  // dedup window must make the race harmless: effects apply exactly
+  // once and costs match the centralized engine step for step.
+  const Fixture fx;
+  ChainTracker central("seq", *fx.provider, fx.chain_options);
+  Simulator sim;
+  FaultPlan plan;
+  plan.set_default_faults(lossy(0.0, 0.0, /*delay=*/1.0,
+                                /*max_extra_delay=*/10.0));
+  UnreliableChannel channel(plan, 31);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+
+  central.publish(0, 0);
+  dist.publish(0, 0);
+  sim.run();
+
+  Rng rng(9);
+  NodeId at = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto neighbors = fx.graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    const MoveResult expected = central.move(0, at);
+    MoveResult actual;
+    dist.move(0, at, [&actual](const MoveResult& r) { actual = r; });
+    sim.run();
+    ASSERT_DOUBLE_EQ(actual.cost, expected.cost) << "step " << i;
+  }
+  EXPECT_GT(dist.stats().retransmissions, 0u);       // the race happened
+  EXPECT_GT(dist.stats().duplicates_suppressed, 0u); // and was absorbed
+  EXPECT_EQ(dist.proxy_of(0), central.proxy_of(0));
+  EXPECT_EQ(dist.load_per_node(), central.load_per_node());
   dist.validate_quiescent();
 }
 
