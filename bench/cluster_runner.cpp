@@ -1,0 +1,293 @@
+// cluster_runner: shard a DistributedMot across N OS processes.
+//
+// The parent opens the coordinator's control listener, forks one worker
+// process per shard (each builds the identical world from the shared
+// seed, constructs its own Simulator + DistributedMot, and hands both to
+// a netio::ShardWorker), then drives a publish/move/query workload over
+// loopback TCP and checks every answer against a single-process
+// DistributedMot on the same SeedTree seed — the end-to-end parity the
+// wire subsystem promises. `--future-shard` makes every odd shard encode
+// at kWireVersionFuture, turning the run into a mixed-version interop
+// smoke: current peers must skip the unknown fields and parity must
+// still hold bit-for-bit.
+//
+//   cluster_runner --shards 4 --steps 50 --emit-json BENCH_cluster.json
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mot.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "netio/cluster.hpp"
+#include "netio/transport.hpp"
+#include "proto/distributed_mot.hpp"
+#include "sim/channel_factory.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using mot::NodeId;
+using mot::ObjectId;
+using mot::Weight;
+
+// The same deterministic world as tests/test_netio.cpp: every process
+// that builds it from these parameters gets byte-identical structure,
+// which the coordinator verifies via the world fingerprint at bootstrap.
+struct World {
+  explicit World(std::size_t side, std::uint64_t hierarchy_seed)
+      : graph(mot::make_grid(side, side)),
+        oracle(mot::make_distance_oracle(graph)) {
+    mot::DoublingHierarchy::Params hp;
+    hp.seed = hierarchy_seed;
+    hierarchy = mot::DoublingHierarchy::build(graph, *oracle, hp);
+    mot::MotOptions options;
+    options.use_parent_sets = false;
+    options.use_special_parents = true;
+    provider = std::make_unique<mot::MotPathProvider>(*hierarchy, options);
+    chain_options = mot::make_mot_chain_options(options);
+  }
+
+  mot::Graph graph;
+  std::unique_ptr<mot::DistanceOracle> oracle;
+  std::unique_ptr<mot::DoublingHierarchy> hierarchy;
+  std::unique_ptr<mot::MotPathProvider> provider;
+  mot::ChainOptions chain_options;
+};
+
+struct WorkloadStep {
+  NodeId move_to = mot::kInvalidNode;
+  NodeId query_from = mot::kInvalidNode;
+};
+
+std::vector<WorkloadStep> make_workload(const World& world, NodeId start,
+                                        int steps, std::uint64_t seed) {
+  mot::SeedTree seeds(seed);
+  mot::Rng rng = seeds.stream("cluster-workload");
+  std::vector<WorkloadStep> workload;
+  NodeId at = start;
+  for (int i = 0; i < steps; ++i) {
+    const auto neighbors = world.graph.neighbors(at);
+    at = neighbors[rng.below(neighbors.size())].to;
+    workload.push_back(
+        {.move_to = at,
+         .query_from =
+             static_cast<NodeId>(rng.below(world.graph.num_nodes()))});
+  }
+  return workload;
+}
+
+// Child-process body: build the world, attach a ShardWorker, serve until
+// Shutdown. The exit code is the worker's run() result, so the parent's
+// waitpid sweep surfaces any protocol failure.
+[[noreturn]] void run_worker(std::uint32_t shard, std::uint32_t num_shards,
+                             std::uint16_t port, std::size_t side,
+                             std::uint64_t hierarchy_seed,
+                             bool future_shard) {
+  const World world(side, hierarchy_seed);
+  mot::Simulator sim;
+  mot::proto::DistributedMot mot(*world.provider, sim, world.chain_options);
+  mot::netio::WorkerConfig config;
+  config.shard = shard;
+  config.num_shards = num_shards;
+  config.coordinator_port = port;
+  if (future_shard && shard % 2 == 1) {
+    config.encode_version = mot::wire::kWireVersionFuture;
+  }
+  mot::netio::ShardWorker worker(config, *world.provider, sim, mot);
+  std::_Exit(worker.run());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The socket transport registers like any other channel layer, so
+  // sweeps can request it by name (`--channel socket` style drivers).
+  mot::register_channel("socket", [] {
+    return std::make_unique<mot::netio::SocketTransport>();
+  });
+
+  std::uint64_t shards = 4;
+  std::uint64_t steps = 0;
+  bool future_shard = false;
+  mot::bench::CommonFlags common;
+  {
+    // parse_common consumes argv, so register the extra flags through
+    // the same parser pass by pre-scanning: Flags has no extension hook,
+    // hence the little strip-and-forward dance here.
+    std::vector<char*> forwarded;
+    forwarded.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--shards" && i + 1 < argc) {
+        shards = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--steps" && i + 1 < argc) {
+        steps = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--future-shard") {
+        future_shard = true;
+      } else {
+        forwarded.push_back(argv[i]);
+      }
+    }
+    int forwarded_argc = static_cast<int>(forwarded.size());
+    common = mot::bench::parse_common(
+        forwarded_argc, forwarded.data(),
+        "multi-process cluster: sharded DistributedMot vs single-process "
+        "parity [--shards N] [--steps N] [--future-shard]");
+  }
+  if (shards < 1 || shards > 16) {
+    std::fprintf(stderr, "--shards must be in [1, 16]\n");
+    return 1;
+  }
+  const auto num_shards = static_cast<std::uint32_t>(shards);
+  const std::size_t side = common.full ? 12 : 8;
+  const int num_steps =
+      steps != 0 ? static_cast<int>(steps) : (common.full ? 100 : 40);
+  constexpr NodeId kStart = 12;
+  constexpr ObjectId kObject = 0;
+
+  mot::netio::ClusterCoordinator coordinator(num_shards);
+  if (!coordinator.open()) {
+    std::fprintf(stderr, "cannot open the coordinator listener\n");
+    return 1;
+  }
+  const std::uint16_t port = coordinator.port();
+
+  std::vector<pid_t> children;
+  for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+    const pid_t pid = fork();
+    MOT_CHECK(pid >= 0);
+    if (pid == 0) {
+      run_worker(shard, num_shards, port, side, common.base_seed + 7,
+                 future_shard);
+    }
+    children.push_back(pid);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (!coordinator.bootstrap()) {
+    std::fprintf(stderr, "bootstrap failed (divergent worlds?)\n");
+    coordinator.shutdown();
+    for (const pid_t pid : children) waitpid(pid, nullptr, 0);
+    return 1;
+  }
+  std::printf("cluster up: %u shards, wire v%u%s\n", num_shards,
+              coordinator.negotiated_version(),
+              future_shard ? " (odd shards encode from the future)" : "");
+
+  // Single-process reference on the identical world and workload.
+  const World world(side, common.base_seed + 7);
+  mot::Simulator ref_sim;
+  mot::proto::DistributedMot reference(*world.provider, ref_sim,
+                                       world.chain_options);
+  reference.publish(kObject, kStart);
+  ref_sim.run();
+  if (!coordinator.publish(kObject, kStart)) {
+    std::fprintf(stderr, "cluster publish failed\n");
+    return 1;
+  }
+
+  int mismatches = 0;
+  Weight cluster_move_cost = 0.0;
+  Weight cluster_query_cost = 0.0;
+  int queries_found = 0;
+  const std::vector<WorkloadStep> workload =
+      make_workload(world, kStart, num_steps, common.base_seed ^ 0xc1u);
+  for (const WorkloadStep& step : workload) {
+    mot::MoveResult expected_move;
+    reference.move(kObject, step.move_to,
+                   [&](const mot::MoveResult& r) { expected_move = r; });
+    ref_sim.run();
+    const auto moved = coordinator.move(kObject, step.move_to);
+    if (!moved.has_value()) {
+      std::fprintf(stderr, "cluster move failed\n");
+      return 1;
+    }
+    cluster_move_cost += moved->cost;
+    if (moved->cost != expected_move.cost ||
+        moved->peak_level != expected_move.peak_level) {
+      ++mismatches;
+    }
+
+    mot::QueryResult expected_query;
+    reference.query(step.query_from, kObject,
+                    [&](const mot::QueryResult& r) { expected_query = r; });
+    ref_sim.run();
+    const auto answered = coordinator.query(step.query_from, kObject);
+    if (!answered.has_value()) {
+      std::fprintf(stderr, "cluster query failed\n");
+      return 1;
+    }
+    cluster_query_cost += answered->cost;
+    if (answered->found) ++queries_found;
+    if (answered->found != expected_query.found ||
+        answered->proxy != expected_query.proxy ||
+        answered->cost != expected_query.cost ||
+        answered->found_level != expected_query.found_level) {
+      ++mismatches;
+    }
+  }
+
+  // Global state parity: summed per-node storage and summed meters.
+  double cluster_meter = 0.0;
+  const std::vector<std::uint64_t> loads =
+      coordinator.collect_loads(&cluster_meter);
+  const std::vector<std::size_t> expected_loads = reference.load_per_node();
+  bool loads_match = loads.size() == expected_loads.size();
+  if (loads_match) {
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      if (loads[i] != expected_loads[i]) loads_match = false;
+    }
+  }
+  if (!loads_match) ++mismatches;
+  const double ref_meter = reference.meter().total_distance();
+  // Each charge is identical across runtimes; only the summation grouping
+  // differs per shard, so compare up to associativity rounding.
+  if (std::abs(cluster_meter - ref_meter) > 1e-6 * (1.0 + ref_meter)) {
+    ++mismatches;
+  }
+
+  coordinator.shutdown();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  int worker_failures = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++worker_failures;
+  }
+
+  mot::Table table({"shards", "steps", "wire", "moves cost", "queries cost",
+                    "found", "parity", "workers", "seconds"});
+  table.begin_row()
+      .cell(static_cast<std::uint64_t>(num_shards))
+      .cell(static_cast<std::uint64_t>(num_steps))
+      .cell(std::string(future_shard ? "mixed" : "uniform"))
+      .cell(cluster_move_cost, 3)
+      .cell(cluster_query_cost, 3)
+      .cell(static_cast<std::uint64_t>(queries_found))
+      .cell(std::string(mismatches == 0 ? "exact" : "BROKEN"))
+      .cell(std::string(worker_failures == 0 ? "clean" : "FAILED"))
+      .cell(wall.count(), 3);
+  mot::bench::emit("multi-process cluster parity", table, common);
+
+  if (mismatches != 0) {
+    std::fprintf(stderr, "%d parity mismatches vs the single-process run\n",
+                 mismatches);
+    return 1;
+  }
+  if (worker_failures != 0) {
+    std::fprintf(stderr, "%d workers exited nonzero\n", worker_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// micro_wire: encode/decode throughput of the versioned wire codec.
+//
+// For every proto::MsgType, builds a deterministic pool of
+// randomly-populated messages (the same default-omission mix the wire
+// fuzz tests use), then times tight encode and decode loops and reports
+// per-type throughput in messages/s and MB/s. A final "all-types" row
+// aggregates the mixed workload a real shard sees. Emits through the
+// common bench telemetry, so `--emit-json BENCH_wire.json` records the
+// run.
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "proto/messages.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "wire/message_codec.hpp"
+
+namespace {
+
+using mot::NodeId;
+using mot::ObjectId;
+using mot::Rng;
+
+// Same population mix as the round-trip fuzz in tests/test_wire.cpp:
+// every field present with its own probability, so the timed bytes show
+// the default-omission rule working (not maximally-dense frames).
+mot::proto::Message random_message(Rng& rng, mot::proto::MsgType type) {
+  mot::proto::Message m;
+  m.type = type;
+  if (rng.chance(0.9)) m.object = static_cast<ObjectId>(rng() % 10000);
+  if (rng.chance(0.9)) {
+    m.role = {static_cast<int>(rng.uniform_int(-2, 40)),
+              static_cast<NodeId>(rng() % 100000)};
+  }
+  if (rng.chance(0.7)) m.walk_source = static_cast<NodeId>(rng() % 100000);
+  if (rng.chance(0.7)) m.walk_index = static_cast<std::uint32_t>(rng() % 64);
+  if (rng.chance(0.6)) {
+    m.link = {static_cast<int>(rng.uniform_int(-2, 40)),
+              static_cast<NodeId>(rng() % 100000)};
+  }
+  if (rng.chance(0.5)) m.new_proxy = static_cast<NodeId>(rng() % 100000);
+  if (rng.chance(0.5)) m.requester = static_cast<NodeId>(rng() % 100000);
+  if (rng.chance(0.5)) m.query_id = rng() % 1000000;
+  if (rng.chance(0.3)) m.degraded = true;
+  if (rng.chance(0.3)) m.staleness = rng.uniform(0.0, 1e6);
+  if (rng.chance(0.5)) m.op_cost = rng.uniform(0.0, 1e6);
+  if (rng.chance(0.5)) {
+    m.op_peak = static_cast<std::int32_t>(rng.uniform_int(-1, 40));
+  }
+  return m;
+}
+
+struct Timed {
+  double seconds = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t frames = 0;
+};
+
+template <typename Body>
+Timed time_loop(int rounds, std::size_t frames_per_round, Body&& body) {
+  Timed timed;
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) timed.bytes += body();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  timed.seconds = elapsed.count();
+  timed.frames = static_cast<std::uint64_t>(rounds) * frames_per_round;
+  return timed;
+}
+
+void add_row(mot::Table& table, const std::string& label,
+             const Timed& encode, const Timed& decode) {
+  const double avg_bytes =
+      static_cast<double>(encode.bytes) / static_cast<double>(encode.frames);
+  table.begin_row()
+      .cell(label)
+      .cell(avg_bytes, 1)
+      .cell(static_cast<double>(encode.frames) / encode.seconds / 1e6, 2)
+      .cell(static_cast<double>(encode.bytes) / encode.seconds / 1e6, 1)
+      .cell(static_cast<double>(decode.frames) / decode.seconds / 1e6, 2)
+      .cell(static_cast<double>(decode.bytes) / decode.seconds / 1e6, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mot::bench::CommonFlags common = mot::bench::parse_common(
+      argc, argv,
+      "wire codec throughput: encode/decode per message type");
+
+  const std::size_t pool_size = common.full ? 4096 : 1024;
+  const int rounds = common.full ? 400 : 100;
+
+  mot::SeedTree seeds(common.base_seed);
+  mot::Table table({"type", "bytes/msg", "enc Mmsg/s", "enc MB/s",
+                    "dec Mmsg/s", "dec MB/s"});
+
+  // Mixed-type pool for the aggregate row, filled as we go.
+  std::vector<mot::wire::MessageFrame> mixed;
+
+  for (std::uint8_t t = 0; t < mot::proto::kNumMsgTypes; ++t) {
+    const auto type = static_cast<mot::proto::MsgType>(t);
+    Rng rng = seeds.stream("wire-bench", t);
+    std::vector<mot::wire::MessageFrame> pool(pool_size);
+    for (mot::wire::MessageFrame& frame : pool) {
+      frame.message = random_message(rng, type);
+      frame.from = static_cast<NodeId>(rng() % 100000);
+    }
+    mixed.insert(mixed.end(), pool.begin(),
+                 pool.begin() + static_cast<std::ptrdiff_t>(pool_size /
+                                                            mot::proto::
+                                                                kNumMsgTypes));
+
+    const Timed encode = time_loop(rounds, pool.size(), [&] {
+      std::uint64_t bytes = 0;
+      for (const mot::wire::MessageFrame& frame : pool) {
+        bytes += mot::wire::encode_message_frame(frame).size();
+      }
+      return bytes;
+    });
+
+    // Pre-encode once; the decode loop times split + decode only.
+    std::vector<std::vector<std::uint8_t>> encoded;
+    encoded.reserve(pool.size());
+    for (const mot::wire::MessageFrame& frame : pool) {
+      encoded.push_back(mot::wire::encode_message_frame(frame));
+    }
+    const Timed decode = time_loop(rounds, encoded.size(), [&] {
+      std::uint64_t bytes = 0;
+      for (const std::vector<std::uint8_t>& buffer : encoded) {
+        std::span<const std::uint8_t> payload;
+        std::size_t consumed = 0;
+        MOT_CHECK(mot::wire::split_frame(buffer, &payload, &consumed) ==
+                  mot::wire::DecodeError::kNone);
+        mot::wire::MessageFrame out;
+        MOT_CHECK(mot::wire::decode_message_frame(payload, &out) ==
+                  mot::wire::DecodeError::kNone);
+        bytes += buffer.size();
+      }
+      return bytes;
+    });
+
+    add_row(table, mot::proto::msg_type_name(type), encode, decode);
+  }
+
+  // The aggregate row mirrors a shard's real mix: every type interleaved.
+  {
+    const Timed encode = time_loop(rounds, mixed.size(), [&] {
+      std::uint64_t bytes = 0;
+      for (const mot::wire::MessageFrame& frame : mixed) {
+        bytes += mot::wire::encode_message_frame(frame).size();
+      }
+      return bytes;
+    });
+    std::vector<std::vector<std::uint8_t>> encoded;
+    encoded.reserve(mixed.size());
+    for (const mot::wire::MessageFrame& frame : mixed) {
+      encoded.push_back(mot::wire::encode_message_frame(frame));
+    }
+    const Timed decode = time_loop(rounds, encoded.size(), [&] {
+      std::uint64_t bytes = 0;
+      for (const std::vector<std::uint8_t>& buffer : encoded) {
+        std::span<const std::uint8_t> payload;
+        std::size_t consumed = 0;
+        MOT_CHECK(mot::wire::split_frame(buffer, &payload, &consumed) ==
+                  mot::wire::DecodeError::kNone);
+        mot::wire::MessageFrame out;
+        MOT_CHECK(mot::wire::decode_message_frame(payload, &out) ==
+                  mot::wire::DecodeError::kNone);
+        bytes += buffer.size();
+      }
+      return bytes;
+    });
+    add_row(table, "all-types", encode, decode);
+  }
+
+  mot::bench::emit("wire codec throughput", table, common);
+  return 0;
+}

@@ -59,6 +59,20 @@ diff "${SMOKE_DIR}/fig04_t1.csv" "${SMOKE_DIR}/fig04_t4.csv" \
   || { echo "fig04 output differs between 1 and 4 threads"; exit 1; }
 echo "parallel smoke ok: fig04 CSV byte-identical at 1 and 4 threads"
 
+echo "== cluster: 4-process loopback parity + mixed-version interop =="
+# cluster_runner forks four shard processes, serves the seeded move/query
+# workload over loopback TCP, and exits nonzero unless every answer,
+# per-node load, and meter matches the single-process simulator.
+./build/bench/cluster_runner --shards 4 --log-level error \
+  > "${SMOKE_DIR}/cluster.log" 2>&1 \
+  || { cat "${SMOKE_DIR}/cluster.log"; exit 1; }
+# Interop smoke: odd shards encode at kWireVersionFuture; current peers
+# must skip the unknown fields and parity must still hold.
+./build/bench/cluster_runner --shards 4 --future-shard --log-level error \
+  > "${SMOKE_DIR}/cluster_mixed.log" 2>&1 \
+  || { cat "${SMOKE_DIR}/cluster_mixed.log"; exit 1; }
+echo "cluster ok: 4-process parity exact, mixed-version interop exact"
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer stages (--fast) =="
   exit 0
@@ -68,6 +82,9 @@ echo "== sanitizers: asan+ubsan mot_tests =="
 cmake -B build-asan -S . -DMOT_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug > /dev/null
 cmake --build build-asan -j "${JOBS}" --target mot_tests
 # halt_on_error so UBSan findings fail the run rather than scroll past.
+# The full binary includes the wire hardening suites (truncation,
+# corruption, garbage decoding), so every typed-error path runs under
+# asan+ubsan here.
 UBSAN_OPTIONS=halt_on_error=1 ./build-asan/tests/mot_tests --gtest_brief=1
 
 echo "== chaos: bounded schedule exploration under asan =="

@@ -166,7 +166,7 @@ void UnreliableChannel::transmit(Simulator& sim, NodeId from, NodeId to,
     // Likewise a partition that closes behind a launched copy severs it:
     // physically the frame is still traveling when the cut happens, so it
     // never reaches the far side.
-    sim.schedule(distance + extra, [this, from, to, deliver] {
+    auto resolve = [this, from, to, deliver] {
       --stats_.in_flight;
       if (is_dead(to)) {
         ++stats_.dead_on_arrival;
@@ -178,7 +178,14 @@ void UnreliableChannel::transmit(Simulator& sim, NodeId from, NodeId to,
       }
       ++stats_.delivered;
       deliver();
-    });
+    };
+    if (inner_ != nullptr) {
+      // Layered delivery: this channel decided the copy's fate; the inner
+      // channel (e.g. a socket transport) moves it.
+      inner_->transmit(sim, from, to, distance + extra, std::move(resolve));
+    } else {
+      sim.schedule(distance + extra, std::move(resolve));
+    }
   }
 }
 

@@ -74,6 +74,14 @@ class UnreliableChannel final : public Channel {
                         std::vector<NodeId> side_b);
   void heal_now(std::uint64_t partition_id);
 
+  // Layer this channel over another delivery mechanism: surviving copies
+  // are handed to `inner` (at their full distance + extra delay) instead
+  // of being scheduled on the simulator directly. Lets the fault model
+  // ride a socket transport (src/netio/) — faults decided here, bytes
+  // moved there. nullptr restores direct scheduling; `inner` must
+  // outlive the channel.
+  void set_inner(Channel* inner) { inner_ = inner; }
+
   void transmit(Simulator& sim, NodeId from, NodeId to, Weight distance,
                 std::function<void()> deliver) override;
   bool is_dead(NodeId node) const override;
@@ -91,6 +99,7 @@ class UnreliableChannel final : public Channel {
   bool severed(NodeId from, NodeId to) const;
 
   const FaultPlan* plan_;
+  Channel* inner_ = nullptr;
   Rng rng_;
   std::vector<NodeId> dead_;  // small: linear scan beats hashing here
   std::vector<ActivePartition> active_partitions_;

@@ -1,0 +1,544 @@
+#include "netio/cluster.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace mot::netio {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t world_fingerprint(const PathProvider& provider) {
+  std::uint64_t hash = kFnvOffset;
+  const std::size_t n = provider.num_nodes();
+  fnv_mix(hash, n);
+  // Sample up to 64 upward sequences: enough to distinguish worlds built
+  // from different seeds/configs without hashing the whole hierarchy.
+  const std::size_t stride = std::max<std::size_t>(1, n / 64);
+  for (std::size_t u = 0; u < n; u += stride) {
+    const auto sequence = provider.upward_sequence(static_cast<NodeId>(u));
+    fnv_mix(hash, sequence.size());
+    for (const PathStop& stop : sequence) {
+      fnv_mix(hash, stop.node.node);
+      fnv_mix(hash, static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(stop.node.level)));
+    }
+  }
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// ShardWorker
+// ---------------------------------------------------------------------------
+
+ShardWorker::ShardWorker(const WorkerConfig& config,
+                         const PathProvider& provider, Simulator& sim,
+                         proto::DistributedMot& mot)
+    : config_(config), provider_(&provider), sim_(&sim), mot_(&mot) {
+  mot_->use_cluster(this);
+}
+
+bool ShardWorker::owns(NodeId node) const {
+  return shard_of(node, config_.num_shards) == config_.shard;
+}
+
+int ShardWorker::run() {
+  if (!bootstrap()) return 1;
+  return pump() ? 0 : 2;
+}
+
+bool ShardWorker::bootstrap() {
+  if (!mesh_listener_.open()) return false;
+  control_ = FrameStream(connect_loopback(config_.coordinator_port));
+  if (!control_.valid()) return false;
+
+  wire::HelloFrame hello;
+  hello.shard = config_.shard;
+  hello.num_shards = config_.num_shards;
+  hello.listen_port = mesh_listener_.port();
+  hello.node_map_hash = world_fingerprint(*provider_);
+  hello.num_nodes = provider_->num_nodes();
+  if (!control_.send(wire::encode_hello(hello))) return false;
+
+  std::vector<std::uint8_t> payload;
+  if (control_.recv(&payload, /*block=*/true) != wire::DecodeError::kNone) {
+    return false;
+  }
+  wire::HelloAckFrame ack;
+  if (wire::decode_hello_ack(payload, &ack) != wire::DecodeError::kNone) {
+    return false;
+  }
+  version_ = ack.version;
+  // The walker-context fields (op_cost / op_peak) entered in version 2;
+  // a cluster negotiated below that could not move contexts between
+  // shards.
+  if (version_ < 2) return false;
+  return wire_mesh(ack);
+}
+
+bool ShardWorker::wire_mesh(const wire::HelloAckFrame& ack) {
+  if (ack.peer_ports.size() != config_.num_shards) return false;
+  peers_.resize(config_.num_shards);
+  // Dial every lower shard; its listener already queues the connection
+  // even if it has not reached accept() yet.
+  for (std::uint32_t j = 0; j < config_.shard; ++j) {
+    Socket sock = connect_loopback(
+        static_cast<std::uint16_t>(ack.peer_ports[j]));
+    if (!sock.valid()) return false;
+    peers_[j] = FrameStream(std::move(sock));
+    wire::HelloFrame id;
+    id.shard = config_.shard;
+    id.num_shards = config_.num_shards;
+    if (!peers_[j].send(wire::encode_hello(id))) return false;
+  }
+  // Accept every higher shard; the first frame identifies the dialer.
+  for (std::uint32_t j = config_.shard + 1; j < config_.num_shards; ++j) {
+    Socket sock = mesh_listener_.accept();
+    if (!sock.valid()) return false;
+    FrameStream stream(std::move(sock));
+    std::vector<std::uint8_t> payload;
+    if (stream.recv(&payload, /*block=*/true) != wire::DecodeError::kNone) {
+      return false;
+    }
+    wire::HelloFrame id;
+    if (wire::decode_hello(payload, &id) != wire::DecodeError::kNone) {
+      return false;
+    }
+    if (id.shard <= config_.shard || id.shard >= config_.num_shards) {
+      return false;
+    }
+    peers_[id.shard] = std::move(stream);
+  }
+  return true;
+}
+
+bool ShardWorker::pump() {
+  while (!done_) {
+    sim_->run();
+    // Drain everything already readable before considering idleness.
+    bool progressed = false;
+    std::vector<std::uint8_t> payload;
+    if (control_.recv(&payload, /*block=*/false) ==
+        wire::DecodeError::kNone) {
+      if (!handle_control(payload)) return false;
+      progressed = true;
+    } else if (control_.closed()) {
+      return false;  // coordinator went away
+    }
+    for (std::uint32_t j = 0; j < peers_.size() && !progressed; ++j) {
+      if (!peers_[j].valid()) continue;
+      if (peers_[j].recv(&payload, /*block=*/false) ==
+          wire::DecodeError::kNone) {
+        if (!handle_peer(j, payload)) return false;
+        progressed = true;
+      }
+    }
+    if (progressed) continue;
+    maybe_answer_probe();
+    if (done_) break;
+    std::vector<int> fds;
+    fds.push_back(control_.fd());
+    for (FrameStream& peer : peers_) {
+      if (peer.valid()) fds.push_back(peer.fd());
+    }
+    poll_readable(fds, 200);
+  }
+  return true;
+}
+
+void ShardWorker::maybe_answer_probe() {
+  if (!probe_pending_ || !sim_->empty()) return;
+  wire::ProbeReplyFrame reply;
+  reply.token = *probe_pending_;
+  reply.forwarded = forwarded_;
+  reply.injected = injected_;
+  probe_pending_.reset();
+  control_.send(wire::encode_probe_reply(reply, version_));
+}
+
+bool ShardWorker::handle_control(std::span<const std::uint8_t> payload) {
+  wire::ByteReader reader(payload);
+  wire::FrameHeader header;
+  if (wire::read_frame_header(reader, &header) != wire::DecodeError::kNone) {
+    return false;
+  }
+  switch (header.kind) {
+    case wire::FrameKind::kControl: {
+      wire::ControlFrame control;
+      if (wire::decode_control(payload, &control) !=
+          wire::DecodeError::kNone) {
+        return false;
+      }
+      switch (control.op) {
+        case wire::ClusterOp::kNotePosition:
+          mot_->cluster_note_position(control.object, control.node);
+          send_complete({.op = wire::ClusterOp::kNotePosition,
+                         .object = control.object});
+          break;
+        case wire::ClusterOp::kPublish:
+          mot_->cluster_publish(control.object, control.node);
+          break;
+        case wire::ClusterOp::kMove:
+          mot_->cluster_move(control.object, control.node);
+          break;
+        case wire::ClusterOp::kQuery:
+          mot_->cluster_query(control.node, control.object,
+                              control.query_id);
+          break;
+        case wire::ClusterOp::kReportLoad: {
+          wire::LoadReportFrame report;
+          for (const std::size_t load : mot_->load_per_node()) {
+            report.loads.push_back(load);
+          }
+          report.meter_total = mot_->meter().total_distance();
+          control_.send(wire::encode_load_report(report, version_));
+          break;
+        }
+      }
+      return true;
+    }
+    case wire::FrameKind::kProbe: {
+      wire::ProbeFrame probe;
+      if (wire::decode_probe(payload, &probe) != wire::DecodeError::kNone) {
+        return false;
+      }
+      probe_pending_ = probe.token;
+      return true;
+    }
+    case wire::FrameKind::kShutdown:
+      done_ = true;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ShardWorker::handle_peer(std::uint32_t shard,
+                              std::span<const std::uint8_t> payload) {
+  wire::MessageFrame frame;
+  if (wire::decode_message_frame(payload, &frame) !=
+      wire::DecodeError::kNone) {
+    return false;
+  }
+  ++stats_.frames_received;
+  stats_.bytes_received += payload.size() + 4;
+  ++injected_;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kWireDecode,
+               .t = sim_->now(),
+               .object = frame.message.object,
+               .from = frame.from,
+               .to = frame.message.role.node,
+               .aux = payload.size() + 4,
+               .label = proto::msg_type_name(frame.message.type)});
+  }
+  (void)shard;
+  mot_->cluster_inject(frame.message, frame.from);
+  return true;
+}
+
+void ShardWorker::forward(const proto::Message& message, NodeId from) {
+  const std::uint32_t to_shard =
+      shard_of(message.role.node, config_.num_shards);
+  MOT_CHECK(to_shard != config_.shard);
+  MOT_CHECK(peers_[to_shard].valid());
+  const std::uint8_t version = std::max(version_, config_.encode_version);
+  const std::vector<std::uint8_t> frame =
+      wire::encode_message_frame({.message = message, .from = from},
+                                 version);
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  ++forwarded_;
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kWireEncode,
+               .t = sim_->now(),
+               .object = message.object,
+               .from = from,
+               .to = message.role.node,
+               .aux = frame.size(),
+               .label = proto::msg_type_name(message.type)});
+  }
+  MOT_CHECK(peers_[to_shard].send(frame));
+}
+
+void ShardWorker::send_complete(const wire::CompleteFrame& frame) {
+  control_.send(wire::encode_complete(frame, version_));
+}
+
+void ShardWorker::complete_publish(ObjectId object) {
+  send_complete({.op = wire::ClusterOp::kPublish, .object = object});
+}
+
+void ShardWorker::complete_move(ObjectId object, const MoveResult& result) {
+  wire::CompleteFrame frame;
+  frame.op = wire::ClusterOp::kMove;
+  frame.object = object;
+  frame.cost = result.cost;
+  frame.level = result.peak_level;
+  send_complete(frame);
+}
+
+void ShardWorker::complete_query(std::uint64_t query_id,
+                                 const QueryResult& result) {
+  wire::CompleteFrame frame;
+  frame.op = wire::ClusterOp::kQuery;
+  frame.query_id = query_id;
+  frame.found = result.found;
+  frame.proxy = result.proxy;
+  frame.cost = result.cost;
+  frame.level = result.found_level;
+  frame.degraded = result.degraded;
+  frame.staleness = result.staleness_bound;
+  send_complete(frame);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterCoordinator
+// ---------------------------------------------------------------------------
+
+ClusterCoordinator::ClusterCoordinator(std::uint32_t num_shards)
+    : num_shards_(num_shards), workers_(num_shards) {}
+
+bool ClusterCoordinator::open() { return listener_.open(); }
+
+bool ClusterCoordinator::bootstrap() {
+  std::vector<wire::HelloFrame> hellos(num_shards_);
+  for (std::uint32_t i = 0; i < num_shards_; ++i) {
+    Socket sock = listener_.accept();
+    if (!sock.valid()) return false;
+    FrameStream stream(std::move(sock));
+    std::vector<std::uint8_t> payload;
+    if (stream.recv(&payload, /*block=*/true) != wire::DecodeError::kNone) {
+      return false;
+    }
+    wire::HelloFrame hello;
+    if (wire::decode_hello(payload, &hello) != wire::DecodeError::kNone) {
+      return false;
+    }
+    if (hello.shard >= num_shards_ || hello.num_shards != num_shards_ ||
+        workers_[hello.shard].valid()) {
+      return false;
+    }
+    workers_[hello.shard] = std::move(stream);
+    hellos[hello.shard] = hello;
+  }
+  // Every shard must have built the same world: node-addressed messages
+  // are meaningless across divergent hierarchies.
+  std::uint8_t floor = 0;
+  std::uint8_t ceiling = 255;
+  for (const wire::HelloFrame& hello : hellos) {
+    if (hello.node_map_hash != hellos[0].node_map_hash ||
+        hello.num_nodes != hellos[0].num_nodes) {
+      return false;
+    }
+    floor = std::max(floor, hello.wire_min);
+    ceiling = std::min(ceiling, hello.wire_max);
+  }
+  if (ceiling < floor || ceiling < 2) return false;
+  version_ = ceiling;  // highest version every peer speaks
+
+  wire::HelloAckFrame ack;
+  ack.version = version_;
+  for (const wire::HelloFrame& hello : hellos) {
+    ack.peer_ports.push_back(hello.listen_port);
+  }
+  return broadcast(wire::encode_hello_ack(ack, version_));
+}
+
+bool ClusterCoordinator::broadcast(const std::vector<std::uint8_t>& frame) {
+  for (FrameStream& worker : workers_) {
+    if (!worker.send(frame)) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> ClusterCoordinator::next_frame(
+    std::uint32_t* shard) {
+  while (true) {
+    for (std::uint32_t i = 0; i < num_shards_; ++i) {
+      if (*shard != kAnyShard && i != *shard) continue;
+      std::vector<std::uint8_t> payload;
+      if (workers_[i].recv(&payload, /*block=*/false) ==
+          wire::DecodeError::kNone) {
+        *shard = i;
+        return payload;
+      }
+      if (workers_[i].closed()) return {};
+    }
+    std::vector<int> fds;
+    for (FrameStream& worker : workers_) fds.push_back(worker.fd());
+    poll_readable(fds, 1000);
+  }
+}
+
+bool ClusterCoordinator::note_position(ObjectId object, NodeId node) {
+  wire::ControlFrame control;
+  control.op = wire::ClusterOp::kNotePosition;
+  control.object = object;
+  control.node = node;
+  if (!broadcast(wire::encode_control(control, version_))) return false;
+  for (std::uint32_t acks = 0; acks < num_shards_; ++acks) {
+    std::uint32_t shard = kAnyShard;
+    const std::vector<std::uint8_t> payload = next_frame(&shard);
+    wire::CompleteFrame complete;
+    if (wire::decode_complete(payload, &complete) !=
+            wire::DecodeError::kNone ||
+        complete.op != wire::ClusterOp::kNotePosition) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ClusterCoordinator::publish(ObjectId object, NodeId proxy) {
+  if (!note_position(object, proxy)) return false;
+  wire::ControlFrame control;
+  control.op = wire::ClusterOp::kPublish;
+  control.object = object;
+  control.node = proxy;
+  if (!workers_[shard_of(proxy, num_shards_)].send(
+          wire::encode_control(control, version_))) {
+    return false;
+  }
+  std::uint32_t shard = kAnyShard;
+  const std::vector<std::uint8_t> payload = next_frame(&shard);
+  wire::CompleteFrame complete;
+  if (wire::decode_complete(payload, &complete) !=
+          wire::DecodeError::kNone ||
+      complete.op != wire::ClusterOp::kPublish ||
+      complete.object != object) {
+    return false;
+  }
+  return await_quiescence();
+}
+
+std::optional<ClusterMoveOutcome> ClusterCoordinator::move(
+    ObjectId object, NodeId new_proxy) {
+  if (!note_position(object, new_proxy)) return std::nullopt;
+  wire::ControlFrame control;
+  control.op = wire::ClusterOp::kMove;
+  control.object = object;
+  control.node = new_proxy;
+  if (!workers_[shard_of(new_proxy, num_shards_)].send(
+          wire::encode_control(control, version_))) {
+    return std::nullopt;
+  }
+  std::uint32_t shard = kAnyShard;
+  const std::vector<std::uint8_t> payload = next_frame(&shard);
+  wire::CompleteFrame complete;
+  if (wire::decode_complete(payload, &complete) !=
+          wire::DecodeError::kNone ||
+      complete.op != wire::ClusterOp::kMove || complete.object != object) {
+    return std::nullopt;
+  }
+  if (!await_quiescence()) return std::nullopt;
+  return ClusterMoveOutcome{.cost = complete.cost,
+                            .peak_level = complete.level};
+}
+
+std::optional<ClusterQueryOutcome> ClusterCoordinator::query(
+    NodeId origin, ObjectId object) {
+  wire::ControlFrame control;
+  control.op = wire::ClusterOp::kQuery;
+  control.object = object;
+  control.node = origin;
+  control.query_id = next_query_id_++;
+  if (!workers_[shard_of(origin, num_shards_)].send(
+          wire::encode_control(control, version_))) {
+    return std::nullopt;
+  }
+  std::uint32_t shard = kAnyShard;
+  const std::vector<std::uint8_t> payload = next_frame(&shard);
+  wire::CompleteFrame complete;
+  if (wire::decode_complete(payload, &complete) !=
+          wire::DecodeError::kNone ||
+      complete.op != wire::ClusterOp::kQuery ||
+      complete.query_id != control.query_id) {
+    return std::nullopt;
+  }
+  if (!await_quiescence()) return std::nullopt;
+  return ClusterQueryOutcome{.found = complete.found,
+                             .proxy = complete.proxy,
+                             .cost = complete.cost,
+                             .found_level = complete.level,
+                             .degraded = complete.degraded,
+                             .staleness = complete.staleness};
+}
+
+bool ClusterCoordinator::await_quiescence() {
+  // Mattern's four-counter method: two consecutive probe waves with
+  // identical per-shard counters and a globally balanced forwarded ==
+  // injected sum prove no kMessage frame is still in flight.
+  // Compare counters only: the token is fresh per wave by design (it
+  // pairs replies with their probe), so it must not enter the equality.
+  using Wave = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+  Wave previous;
+  while (true) {
+    wire::ProbeFrame probe;
+    probe.token = next_probe_token_++;
+    if (!broadcast(wire::encode_probe(probe, version_))) return false;
+    Wave wave(num_shards_);
+    for (std::uint32_t got = 0; got < num_shards_; ++got) {
+      std::uint32_t shard = kAnyShard;
+      const std::vector<std::uint8_t> payload = next_frame(&shard);
+      wire::ProbeReplyFrame reply;
+      if (wire::decode_probe_reply(payload, &reply) !=
+              wire::DecodeError::kNone ||
+          reply.token != probe.token) {
+        return false;
+      }
+      wave[shard] = {reply.forwarded, reply.injected};
+    }
+    std::uint64_t forwarded = 0;
+    std::uint64_t injected = 0;
+    for (const auto& [f, i] : wave) {
+      forwarded += f;
+      injected += i;
+    }
+    if (forwarded == injected && !previous.empty() && wave == previous) {
+      return true;
+    }
+    previous = std::move(wave);
+  }
+}
+
+std::vector<std::uint64_t> ClusterCoordinator::collect_loads(
+    double* meter_total) {
+  wire::ControlFrame control;
+  control.op = wire::ClusterOp::kReportLoad;
+  if (!broadcast(wire::encode_control(control, version_))) return {};
+  std::vector<std::uint64_t> totals;
+  for (std::uint32_t got = 0; got < num_shards_; ++got) {
+    std::uint32_t shard = kAnyShard;
+    const std::vector<std::uint8_t> payload = next_frame(&shard);
+    wire::LoadReportFrame report;
+    if (wire::decode_load_report(payload, &report) !=
+        wire::DecodeError::kNone) {
+      return {};
+    }
+    totals.resize(std::max(totals.size(), report.loads.size()), 0);
+    for (std::size_t i = 0; i < report.loads.size(); ++i) {
+      totals[i] += report.loads[i];
+    }
+    if (meter_total != nullptr) *meter_total += report.meter_total;
+  }
+  return totals;
+}
+
+void ClusterCoordinator::shutdown() {
+  broadcast(wire::encode_shutdown(version_));
+}
+
+}  // namespace mot::netio

@@ -1,0 +1,166 @@
+// Multi-process cluster runtime: one DistributedMot shard per OS
+// process, cross-shard walker messages over a loopback-TCP full mesh,
+// and a star-topology control plane to a coordinator that injects
+// operations one at a time and detects global quiescence.
+//
+// Bootstrap (per worker): connect to the coordinator, send Hello (shard
+// id, mesh listener port, supported wire versions, world fingerprint);
+// the coordinator verifies every shard built the same world, negotiates
+// the highest wire version all peers speak, and answers HelloAck with
+// the full port map. Workers then wire the mesh (shard i dials every
+// j < i, accepts every j > i) and enter the pump loop.
+//
+// Execution: the coordinator broadcasts the object's position before
+// each operation (so sentinel checks hold on every shard), injects the
+// operation at its owner shard, waits for the Complete frame, then runs
+// Mattern-style four-counter probe waves until two consecutive waves
+// return identical counters with sum(forwarded) == sum(injected) —
+// trailing SDL traffic is then provably drained.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netio/socket.hpp"
+#include "netio/transport.hpp"
+#include "proto/cluster_link.hpp"
+#include "proto/distributed_mot.hpp"
+#include "wire/frames.hpp"
+
+namespace mot::netio {
+
+// Node -> shard map shared by workers and coordinator: round-robin, so
+// every shard owns roles at every overlay level.
+inline std::uint32_t shard_of(NodeId node, std::uint32_t num_shards) {
+  return static_cast<std::uint32_t>(node % num_shards);
+}
+
+// Deterministic world fingerprint (FNV-1a over the node count and a
+// sample of upward sequences): shards built from different seeds or
+// configs disagree, and the coordinator aborts the bootstrap instead of
+// letting them exchange node-addressed messages.
+std::uint64_t world_fingerprint(const PathProvider& provider);
+
+struct WorkerConfig {
+  std::uint32_t shard = 0;
+  std::uint32_t num_shards = 1;
+  std::uint16_t coordinator_port = 0;
+  // Version this worker ENCODES at (decoding accepts anything >= the
+  // floor). The mixed-version interop test runs one worker at
+  // kWireVersionFuture: a "build from the future" whose extra fields
+  // every current peer must skip.
+  std::uint8_t encode_version = wire::kWireVersion;
+};
+
+// One shard of the cluster. Owns the control + mesh sockets; the
+// DistributedMot, simulator, and provider belong to the embedder (built
+// deterministically from the same seed in every process). Attaches
+// itself via use_cluster().
+class ShardWorker final : public proto::ClusterLink {
+ public:
+  ShardWorker(const WorkerConfig& config, const PathProvider& provider,
+              Simulator& sim, proto::DistributedMot& mot);
+
+  // Full lifecycle: bootstrap, pump until Shutdown. Returns 0 on clean
+  // shutdown, nonzero on a protocol/socket failure.
+  int run();
+
+  // proto::ClusterLink
+  bool owns(NodeId node) const override;
+  void forward(const proto::Message& message, NodeId from) override;
+  void complete_publish(ObjectId object) override;
+  void complete_move(ObjectId object, const MoveResult& result) override;
+  void complete_query(std::uint64_t query_id,
+                      const QueryResult& result) override;
+
+  std::uint8_t negotiated_version() const { return version_; }
+  const WireStats& wire_stats() const { return stats_; }
+
+ private:
+  bool bootstrap();
+  bool wire_mesh(const wire::HelloAckFrame& ack);
+  bool pump();
+  bool handle_control(std::span<const std::uint8_t> payload);
+  bool handle_peer(std::uint32_t shard,
+                   std::span<const std::uint8_t> payload);
+  void send_complete(const wire::CompleteFrame& frame);
+  void maybe_answer_probe();
+
+  WorkerConfig config_;
+  const PathProvider* provider_;
+  Simulator* sim_;
+  proto::DistributedMot* mot_;
+  Listener mesh_listener_;
+  FrameStream control_;
+  std::vector<FrameStream> peers_;  // indexed by shard; self unused
+  std::uint8_t version_ = wire::kWireVersion;
+  bool done_ = false;
+  std::optional<std::uint64_t> probe_pending_;
+  std::uint64_t forwarded_ = 0;  // kMessage frames shipped to peers
+  std::uint64_t injected_ = 0;   // kMessage frames accepted from peers
+  WireStats stats_;
+};
+
+// Per-operation outcome as reported over the control plane.
+struct ClusterQueryOutcome {
+  bool found = false;
+  NodeId proxy = kInvalidNode;
+  Weight cost = 0.0;
+  int found_level = 0;
+  bool degraded = false;
+  Weight staleness = 0.0;
+};
+
+struct ClusterMoveOutcome {
+  Weight cost = 0.0;
+  int peak_level = 0;
+};
+
+// The control-plane side: accepts worker Hellos, negotiates the wire
+// version, injects operations, and aggregates results. Lives in the
+// parent process (bench/cluster_runner) or a test thread.
+class ClusterCoordinator {
+ public:
+  explicit ClusterCoordinator(std::uint32_t num_shards);
+
+  // Opens the control listener; workers dial port().
+  bool open();
+  std::uint16_t port() const { return listener_.port(); }
+
+  // Accepts all workers, verifies their fingerprints agree, negotiates
+  // the version, and releases them into the pump loop. False on any
+  // mismatch (the cluster must not run on divergent worlds).
+  bool bootstrap();
+  std::uint8_t negotiated_version() const { return version_; }
+
+  // Operations: broadcast the position, inject at the owner shard, wait
+  // for completion, then drain the mesh via probe waves.
+  bool publish(ObjectId object, NodeId proxy);
+  std::optional<ClusterMoveOutcome> move(ObjectId object, NodeId new_proxy);
+  std::optional<ClusterQueryOutcome> query(NodeId origin, ObjectId object);
+
+  // Elementwise sum of every shard's per-node storage load; the meter
+  // total accumulates each shard's charged distance.
+  std::vector<std::uint64_t> collect_loads(double* meter_total);
+
+  void shutdown();
+
+ private:
+  bool broadcast(const std::vector<std::uint8_t>& frame);
+  // Blocks until one frame arrives from `shard` (any shard when
+  // kAnyShard); returns the payload, empty on socket failure.
+  static constexpr std::uint32_t kAnyShard = ~0u;
+  std::vector<std::uint8_t> next_frame(std::uint32_t* shard);
+  bool note_position(ObjectId object, NodeId node);
+  bool await_quiescence();
+
+  std::uint32_t num_shards_;
+  Listener listener_;
+  std::vector<FrameStream> workers_;  // indexed by shard
+  std::uint8_t version_ = 0;
+  std::uint64_t next_query_id_ = 1;
+  std::uint64_t next_probe_token_ = 1;
+};
+
+}  // namespace mot::netio

@@ -1,0 +1,71 @@
+#include "netio/transport.hpp"
+
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "wire/frames.hpp"
+
+namespace mot::netio {
+
+SocketTransport::SocketTransport() {
+  Listener listener;
+  if (!listener.open()) return;
+  Socket client = connect_loopback(listener.port());
+  if (!client.valid()) return;
+  Socket server = listener.accept();
+  if (!server.valid()) return;
+  out_ = FrameStream(std::move(client));
+  in_ = FrameStream(std::move(server));
+}
+
+void SocketTransport::transmit(Simulator& sim, NodeId from, NodeId to,
+                               Weight distance,
+                               std::function<void()> deliver) {
+  MOT_CHECK(ok());
+  const std::uint64_t seq = next_seq_++;
+  pending_.emplace(seq, std::move(deliver));
+  const std::vector<std::uint8_t> frame =
+      wire::encode_loopback({.seq = seq});
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  if (obs::tracing()) {
+    obs::emit({.type = obs::Ev::kWireEncode,
+               .t = sim.now(),
+               .from = from,
+               .to = to,
+               .dist = distance,
+               .aux = frame.size(),
+               .label = "loopback"});
+  }
+  MOT_CHECK(out_.send(frame));
+  sim.schedule(distance, [this, seq] { fire(seq); });
+}
+
+void SocketTransport::fire(std::uint64_t seq) {
+  // The frame was written before this anchor was scheduled, so blocking
+  // until it surfaces always terminates. Frames for other (longer) hops
+  // may surface first; park them for their own anchors.
+  while (received_.count(seq) == 0) {
+    std::vector<std::uint8_t> payload;
+    const wire::DecodeError err = in_.recv(&payload, /*block=*/true);
+    MOT_CHECK(err == wire::DecodeError::kNone);
+    wire::LoopbackFrame frame;
+    MOT_CHECK(wire::decode_loopback(payload, &frame) ==
+              wire::DecodeError::kNone);
+    ++stats_.frames_received;
+    stats_.bytes_received += payload.size() + 4;  // + length prefix
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kWireDecode,
+                 .aux = payload.size() + 4,
+                 .label = "loopback"});
+    }
+    received_.insert(frame.seq);
+  }
+  received_.erase(seq);
+  const auto it = pending_.find(seq);
+  MOT_CHECK(it != pending_.end());
+  std::function<void()> deliver = std::move(it->second);
+  pending_.erase(it);
+  deliver();
+}
+
+}  // namespace mot::netio

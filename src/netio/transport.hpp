@@ -1,0 +1,66 @@
+// SocketTransport: the sim::Channel interface realized over loopback
+// TCP. Every transmit() serializes a wire frame, pushes it through the
+// kernel's loopback stack, and the delivery fires only after the bytes
+// came back off the socket — so a "message hop" is physically a socket
+// round trip, not just a callback.
+//
+// Timing model: the delivery callback cannot travel through the socket
+// (it is process state), so it is keyed by a sequence number and the
+// frame carries the key. An anchor event scheduled at the hop's distance
+// keeps simulator timing bit-identical to ReliableChannel: when the
+// anchor fires it blocks until the frame has physically arrived, then
+// invokes the callback. Writes precede their anchors, so the wait always
+// terminates; out-of-order anchor firing (shorter hops overtaking longer
+// ones on the wire) is absorbed by a received-set.
+//
+// Composes under faults::UnreliableChannel::set_inner(): the fault model
+// decides each copy's fate, this transport moves the survivors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netio/socket.hpp"
+#include "sim/channel.hpp"
+
+namespace mot::netio {
+
+struct WireStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class SocketTransport final : public Channel {
+ public:
+  // Opens a loopback listener, connects to it, and keeps both ends: one
+  // to write transmit notifications into, one to read them back from.
+  SocketTransport();
+
+  // False if the loopback plumbing failed (no sockets available); a
+  // failed transport must not be used.
+  bool ok() const { return out_.valid() && in_.valid(); }
+
+  void transmit(Simulator& sim, NodeId from, NodeId to, Weight distance,
+                std::function<void()> deliver) override;
+
+  // Deliveries whose frame or anchor is still outstanding.
+  std::size_t pending() const { return pending_.size(); }
+
+  const WireStats& stats() const { return stats_; }
+
+ private:
+  void fire(std::uint64_t seq);
+
+  FrameStream out_;  // write end (connected client)
+  FrameStream in_;   // read end (accepted server side)
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void()>> pending_;
+  std::unordered_set<std::uint64_t> received_;  // arrived before anchor
+  WireStats stats_;
+};
+
+}  // namespace mot::netio

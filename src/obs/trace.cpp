@@ -49,6 +49,8 @@ const char* ev_name(Ev type) {
     case Ev::kBreakerTrip: return "breaker_trip";
     case Ev::kBreakerProbe: return "breaker_probe";
     case Ev::kBreakerClose: return "breaker_close";
+    case Ev::kWireEncode: return "wire_encode";
+    case Ev::kWireDecode: return "wire_decode";
   }
   return "unknown";
 }

@@ -80,6 +80,9 @@ enum class Ev : std::uint8_t {
   kBreakerTrip,     // circuit breaker opened on consecutive timeouts
   kBreakerProbe,    // half-open probe elected after the cooldown
   kBreakerClose,    // probe acked: breaker closed, parked frames resume
+  // Wire protocol + socket transport (src/wire/ + src/netio/).
+  kWireEncode,  // frame serialized for a socket (aux = bytes on wire)
+  kWireDecode,  // frame parsed off a socket (aux = bytes on wire)
 };
 
 // Stable lowercase name used as the "ev" field of JSONL traces.

@@ -1,0 +1,41 @@
+// The seam between DistributedMot and a multi-process cluster
+// (src/netio/): when a runtime shard holds only part of the node space,
+// a message addressed to a foreign node is handed to the link instead of
+// the simulator, and operation completions are reported back so the
+// coordinator (which injected the operation, possibly on another shard)
+// learns the result.
+//
+// The runtime embeds the walker's per-operation context (accumulated
+// cost, peak/found level) into the message before forwarding — see the
+// op_cost / op_peak fields of proto::Message — and the receiving shard
+// re-materializes it via cluster_inject(). Structure state never moves:
+// each detection-list entry lives on the shard owning its node.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/messages.hpp"
+#include "tracking/chain_tracker.hpp"
+
+namespace mot::proto {
+
+class ClusterLink {
+ public:
+  virtual ~ClusterLink() = default;
+
+  // Whether `node` belongs to this shard. Messages to foreign nodes are
+  // forwarded; everything else stays on the local simulator.
+  virtual bool owns(NodeId node) const = 0;
+
+  // Ship a message (walker context already embedded) to the owner shard
+  // of message.role.node. `from` is the physical sender of the hop.
+  virtual void forward(const Message& message, NodeId from) = 0;
+
+  // An operation reached its terminal handler on this shard.
+  virtual void complete_publish(ObjectId object) = 0;
+  virtual void complete_move(ObjectId object, const MoveResult& result) = 0;
+  virtual void complete_query(std::uint64_t query_id,
+                              const QueryResult& result) = 0;
+};
+
+}  // namespace mot::proto

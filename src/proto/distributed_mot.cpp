@@ -7,6 +7,7 @@
 
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
+#include "proto/cluster_link.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -294,6 +295,13 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
   }
   if (record_) {
     deliveries_.push_back({message, from, to, sim_->now(), hop});
+  }
+  if (cluster_ != nullptr && !cluster_->owns(to)) {
+    // The destination lives on another shard: the cost above is already
+    // charged (costs accrue at the sender), so the message leaves this
+    // process with the walker's remaining context embedded.
+    forward_remote(from, std::move(message));
+    return;
   }
   if (channel_ == nullptr) {
     sim_->schedule(hop, [this, message] { handle(message); });
@@ -828,6 +836,7 @@ void DistributedMot::on_publish(const Message& message) {
     ++stats_.publishes_completed;
     publishing_.erase(message.object);
     --inflight_;
+    if (cluster_ != nullptr) cluster_->complete_publish(message.object);
     return;
   }
   Message next = message;
@@ -967,12 +976,11 @@ void DistributedMot::finish_move(ObjectId object) {
   moves_.erase(it);
   --inflight_;
   ++stats_.moves_completed;
-  if (ctx.done) {
-    MoveResult result;
-    result.cost = ctx.cost;
-    result.peak_level = ctx.peak_level;
-    ctx.done(result);
-  }
+  MoveResult result;
+  result.cost = ctx.cost;
+  result.peak_level = ctx.peak_level;
+  if (ctx.done) ctx.done(result);
+  if (cluster_ != nullptr) cluster_->complete_move(object, result);
 }
 
 // ---------------------------------------------------------------------------
@@ -1373,15 +1381,16 @@ void DistributedMot::on_query_reply(const Message& message) {
     poison_query_transfers(message.query_id);
     erase_parked_records(message.query_id);
   }
-  if (ctx.done) {
-    QueryResult result;
-    result.found = true;
-    result.proxy = message.new_proxy;
-    result.cost = ctx.cost;
-    result.found_level = ctx.found_level;
-    result.degraded = message.degraded;
-    result.staleness_bound = message.staleness;
-    ctx.done(result);
+  QueryResult result;
+  result.found = true;
+  result.proxy = message.new_proxy;
+  result.cost = ctx.cost;
+  result.found_level = ctx.found_level;
+  result.degraded = message.degraded;
+  result.staleness_bound = message.staleness;
+  if (ctx.done) ctx.done(result);
+  if (cluster_ != nullptr) {
+    cluster_->complete_query(message.query_id, result);
   }
 }
 
@@ -1423,6 +1432,170 @@ void DistributedMot::on_sdl_remove(const Message& message) {
   // record (the previous MOT_CHECK lives on through this assert).
   MOT_CHECK(channel_ != nullptr);
   role.sdl_tombstones[message.object].push_back(message.link);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster mode (src/netio/): this runtime as one shard of N processes
+// ---------------------------------------------------------------------------
+//
+// Sharding invariant: a node's sensor state lives only on its owner
+// shard, and a handler only ever runs on the owner shard of its
+// destination node (send() forwards everything else). The cross-cutting
+// per-operation context (MoveCtx / QueryCtx) follows the walker: it is
+// embedded into the message at the shard boundary (forward_remote) and
+// re-materialized on arrival (cluster_inject), so at any instant exactly
+// one shard holds it. Operations execute one at a time (the coordinator
+// waits for completion + mesh quiescence), which is the paper's
+// one-by-one maintenance case — parking, hedging and walker races never
+// arise across shards.
+
+void DistributedMot::forward_remote(NodeId from, Message message) {
+  switch (message.type) {
+    case MsgType::kInsert:
+    case MsgType::kDelete: {
+      const auto it = moves_.find(message.object);
+      MOT_CHECK(it != moves_.end());
+      message.op_cost = it->second.cost;
+      message.op_peak = it->second.peak_level;
+      // message.new_proxy already carries ctx.to (set at move() for the
+      // climb, at the splice for the tear).
+      moves_.erase(it);
+      --inflight_;
+      break;
+    }
+    case MsgType::kQueryUp:
+    case MsgType::kQueryDown:
+    case MsgType::kQueryDownReplica:
+    case MsgType::kQueryReply: {
+      const auto it = queries_.find(message.query_id);
+      MOT_CHECK(it != queries_.end());
+      message.op_cost = it->second.cost;
+      message.op_peak = it->second.found_level;
+      queries_.erase(it);
+      --inflight_;
+      break;
+    }
+    case MsgType::kPublish:
+      // The climb leaves this shard; the in-flight marker travels along.
+      publishing_.erase(message.object);
+      --inflight_;
+      break;
+    default:
+      break;  // SDL / replica updates carry no walker context
+  }
+  cluster_->forward(message, from);
+}
+
+void DistributedMot::cluster_inject(const Message& message, NodeId from) {
+  MOT_CHECK(cluster_ != nullptr);
+  MOT_CHECK(cluster_->owns(message.role.node));
+  (void)from;
+  Message local = message;
+  local.op_cost = 0.0;  // context lives in the maps again, not the wire
+  local.op_peak = 0;
+  switch (message.type) {
+    case MsgType::kInsert:
+    case MsgType::kDelete: {
+      MOT_CHECK(moves_.count(message.object) == 0);
+      MoveCtx ctx;
+      ctx.to = message.new_proxy;
+      ctx.cost = message.op_cost;
+      ctx.peak_level = message.op_peak;
+      moves_.emplace(message.object, std::move(ctx));
+      ++inflight_;
+      break;
+    }
+    case MsgType::kQueryUp:
+    case MsgType::kQueryDown:
+    case MsgType::kQueryDownReplica: {
+      MOT_CHECK(queries_.count(message.query_id) == 0);
+      QueryCtx ctx;
+      ctx.origin = message.requester;
+      ctx.object = message.object;
+      ctx.cost = message.op_cost;
+      ctx.found_level = message.op_peak;
+      queries_.emplace(message.query_id, std::move(ctx));
+      ++inflight_;
+      break;
+    }
+    case MsgType::kQueryReply: {
+      // The reply came home to the origin's shard; the context it needs
+      // (final cost, found level) rides in the message.
+      MOT_CHECK(queries_.count(message.query_id) == 0);
+      QueryCtx ctx;
+      ctx.origin = message.role.node;
+      ctx.object = message.object;
+      ctx.cost = message.op_cost;
+      ctx.found_level = message.op_peak;
+      queries_.emplace(message.query_id, std::move(ctx));
+      ++inflight_;
+      break;
+    }
+    case MsgType::kPublish:
+      publishing_.insert(message.object);
+      ++inflight_;
+      break;
+    default:
+      break;
+  }
+  sim_->schedule(0.0, [this, local] { handle(local); });
+}
+
+void DistributedMot::cluster_note_position(ObjectId object,
+                                           NodeId position) {
+  physical_[object] = position;
+  // First sighting is the publish broadcast (proxy == position); moves
+  // leave the committed proxy to the splice on the meet shard.
+  proxies_.emplace(object, position);
+}
+
+void DistributedMot::cluster_publish(ObjectId object, NodeId proxy) {
+  MOT_CHECK(cluster_ != nullptr && cluster_->owns(proxy));
+  MOT_EXPECTS(physical_.at(object) == proxy);  // broadcast came first
+  ++inflight_;
+  publishing_.insert(object);
+  const auto sequence = provider_->upward_sequence(proxy);
+  Message message;
+  message.type = MsgType::kPublish;
+  message.object = object;
+  message.role = sequence.front().node;
+  message.walk_source = proxy;
+  message.walk_index = 0;
+  message.link = sequence.front().node;  // sentinel: child == self
+  send(proxy, message, nullptr);
+}
+
+void DistributedMot::cluster_move(ObjectId object, NodeId new_proxy) {
+  MOT_CHECK(cluster_ != nullptr && cluster_->owns(new_proxy));
+  MOT_EXPECTS(physical_.at(object) == new_proxy);  // broadcast came first
+  MOT_EXPECTS(moves_.count(object) == 0);
+  auto [it, inserted] =
+      moves_.emplace(object, MoveCtx{.to = new_proxy, .done = {}});
+  MOT_CHECK(inserted);
+  ++inflight_;
+  const auto sequence = provider_->upward_sequence(new_proxy);
+  Message message;
+  message.type = MsgType::kInsert;
+  message.object = object;
+  message.role = sequence.front().node;
+  message.walk_source = new_proxy;
+  message.walk_index = 0;
+  message.link = sequence.front().node;  // sentinel if installed fresh
+  message.new_proxy = new_proxy;
+  send(new_proxy, message, &it->second.cost);
+}
+
+void DistributedMot::cluster_query(NodeId origin, ObjectId object,
+                                   std::uint64_t query_id) {
+  MOT_CHECK(cluster_ != nullptr && cluster_->owns(origin));
+  MOT_EXPECTS(proxies_.count(object) != 0);
+  MOT_CHECK(queries_.count(query_id) == 0);
+  QueryCtx ctx;
+  ctx.origin = origin;
+  ctx.object = object;
+  queries_.emplace(query_id, std::move(ctx));
+  ++inflight_;
+  issue_query_walker(query_id);
 }
 
 // ---------------------------------------------------------------------------

@@ -55,6 +55,8 @@
 
 namespace mot::proto {
 
+class ClusterLink;
+
 struct ProtocolStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t physical_hops = 0;  // per-edge forwards when routed
@@ -199,6 +201,32 @@ class DistributedMot {
   void use_overload(ServiceModel* service);
   const ServiceModel* service_model() const { return service_; }
 
+  // --- Cluster mode (src/netio/): this runtime is one shard of a ------
+  // multi-process deployment. The link decides node ownership; messages
+  // to foreign nodes are forwarded with their walker context embedded
+  // (op_cost / op_peak in proto::Message) instead of being scheduled
+  // locally. Single-process behavior is bit-identical when no link is
+  // attached. The link must outlive the runtime.
+  void use_cluster(ClusterLink* link) { cluster_ = link; }
+
+  // Object-position broadcast: every shard mirrors proxies_/physical_
+  // bookkeeping before an operation is injected anywhere, so sentinel
+  // checks and preconditions hold on whichever shard the walker visits.
+  void cluster_note_position(ObjectId object, NodeId position);
+
+  // Operation injection on the shard owning the proxy / origin. These
+  // mirror publish()/move()/query() minus the position writes (already
+  // broadcast) and with coordinator-assigned query ids (per-shard
+  // counters would collide).
+  void cluster_publish(ObjectId object, NodeId proxy);
+  void cluster_move(ObjectId object, NodeId new_proxy);
+  void cluster_query(NodeId origin, ObjectId object,
+                     std::uint64_t query_id);
+
+  // Delivery of a forwarded message from a peer shard: re-materializes
+  // the walker context carried in the message and schedules the handler.
+  void cluster_inject(const Message& message, NodeId from);
+
   // Mirror every detection-list write to a deterministically rehashed
   // replica slot so queries whose next chain hop is unreachable (crashed
   // or across a partition) can fail over to the replica. Enable before
@@ -325,6 +353,7 @@ class DistributedMot {
 
   void send(NodeId from, Message message, Weight* op_cost);
   void handle(const Message& message);
+  void forward_remote(NodeId from, Message message);
 
   void on_publish(const Message& message);
   void on_insert(const Message& message);
@@ -417,6 +446,7 @@ class DistributedMot {
 
   const Router* router_ = nullptr;
   Channel* channel_ = nullptr;
+  ClusterLink* cluster_ = nullptr;
   ServiceModel* service_ = nullptr;
   std::unordered_map<NodeId, LinkCredit> credit_;
   std::unordered_map<std::uint64_t, overload::CircuitBreaker> breakers_;

@@ -74,7 +74,22 @@ struct Message {
   // sentinel, and is stale by at most `staleness` distance.
   bool degraded = false;
   Weight staleness = 0.0;
+
+  // Cluster mode (src/netio/): when a walker crosses a shard boundary its
+  // per-operation context travels with it — accumulated communication
+  // cost and the peak/found level — because no single process holds the
+  // MoveCtx/QueryCtx for a walk that spans OS processes. Always zero in
+  // single-process runs (the context lives in the runtime's maps).
+  Weight op_cost = 0.0;
+  std::int32_t op_peak = 0;
+
+  bool operator==(const Message&) const = default;
 };
+
+// Number of MsgType values (dense from kPublish), for wire fuzzing and
+// tag validation.
+inline constexpr std::uint8_t kNumMsgTypes =
+    static_cast<std::uint8_t>(MsgType::kQueryDownReplica) + 1;
 
 // Per-message accounting record (for protocol traces and tests).
 struct Delivery {

@@ -1,0 +1,33 @@
+#include "sim/channel_factory.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mot {
+namespace {
+
+std::map<std::string, ChannelFactory>& registry() {
+  static std::map<std::string, ChannelFactory> factories = {
+      {"reliable", [] { return std::make_unique<ReliableChannel>(); }},
+  };
+  return factories;
+}
+
+}  // namespace
+
+bool register_channel(const std::string& name, ChannelFactory factory) {
+  return registry().emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<Channel> make_channel(const std::string& name) {
+  const auto it = registry().find(name);
+  return it == registry().end() ? nullptr : it->second();
+}
+
+std::vector<std::string> channel_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace mot

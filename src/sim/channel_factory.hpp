@@ -1,0 +1,31 @@
+// Name-keyed registry of Channel constructors, so benches and the
+// cluster runner can pick a delivery layer from a command-line flag
+// ("reliable", "socket", ...) without linking against every
+// implementation's configuration surface. "reliable" is built in;
+// src/faults/ and src/netio/ register theirs at startup of whatever
+// binary wants them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+
+namespace mot {
+
+using ChannelFactory = std::function<std::unique_ptr<Channel>()>;
+
+// Registers `factory` under `name`. Returns false (and keeps the
+// original) if the name is already taken. Not thread-safe: register
+// during startup, before spawning workers.
+bool register_channel(const std::string& name, ChannelFactory factory);
+
+// Constructs the channel registered under `name`; nullptr if unknown.
+std::unique_ptr<Channel> make_channel(const std::string& name);
+
+// Registered names, sorted (for --help strings and error messages).
+std::vector<std::string> channel_names();
+
+}  // namespace mot

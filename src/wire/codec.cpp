@@ -1,0 +1,44 @@
+#include "wire/codec.hpp"
+
+#include <bit>
+
+namespace mot::wire {
+
+static_assert(sizeof(double) == sizeof(std::uint64_t),
+              "wire doubles are IEEE-754 binary64");
+
+const char* decode_error_name(DecodeError error) {
+  switch (error) {
+    case DecodeError::kNone:
+      return "none";
+    case DecodeError::kShortRead:
+      return "short-read";
+    case DecodeError::kOverlongVarint:
+      return "overlong-varint";
+    case DecodeError::kBadTag:
+      return "bad-tag";
+    case DecodeError::kBadLength:
+      return "bad-length";
+    case DecodeError::kBadVersion:
+      return "bad-version";
+    case DecodeError::kBadKind:
+      return "bad-kind";
+    case DecodeError::kBadValue:
+      return "bad-value";
+    case DecodeError::kTrailingBytes:
+      return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+void ByteWriter::f64(double value) {
+  fixed64(std::bit_cast<std::uint64_t>(value));
+}
+
+void ByteWriter::field_f64(std::uint32_t id, double value) {
+  field_fixed64(id, std::bit_cast<std::uint64_t>(value));
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(fixed64()); }
+
+}  // namespace mot::wire
