@@ -168,6 +168,18 @@ inline CommonFlags parse_common(int argc, char** argv,
                     static_cast<std::uint64_t>(par::default_workers()));
   if (!common.sizes.empty()) record.add_config("sizes", common.sizes);
   detail::emit_json_path() = common.emit_json;
+  // A re-parse in the same process (tests, embedded drivers) must not
+  // leave the previous run's trace stream installed: uninstall before
+  // destroying, or the global sink would dangle until the new install —
+  // and linger forever when the re-parse has no --trace-jsonl. Mirrors
+  // the CsvStacker reset below.
+  if (detail::trace_sink() != nullptr) {
+    detail::trace_sink()->flush();
+    if (obs::trace_sink() == detail::trace_sink().get()) {
+      obs::install_trace_sink(nullptr);
+    }
+    detail::trace_sink().reset();
+  }
   if (!common.trace_jsonl.empty()) {
     detail::trace_sink() =
         std::make_unique<obs::JsonlFileSink>(common.trace_jsonl);

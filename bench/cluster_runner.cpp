@@ -11,12 +11,23 @@
 // smoke: current peers must skip the unknown fields and parity must
 // still hold bit-for-bit.
 //
+// Observability (DESIGN.md §12): `--trace-dir <dir>` streams every
+// shard's causally-linked trace events to <dir>/shard-<i>.jsonl (merge
+// and check them with bench/trace_analyze) behind a flight-recorder
+// ring dumped to <dir>/flight-<i>.jsonl on abnormal exit;
+// `--status-json <path>` writes the cluster's merged telemetry registry
+// at quiescence; `--kill-shard K` SIGTERMs shard K mid-run and verifies
+// the survivors degrade gracefully and the flight dump is written.
+//
 //   cluster_runner --shards 4 --steps 50 --emit-json BENCH_cluster.json
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +38,7 @@
 #include "hier/doubling_hierarchy.hpp"
 #include "netio/cluster.hpp"
 #include "netio/transport.hpp"
+#include "obs/flight_recorder.hpp"
 #include "proto/distributed_mot.hpp"
 #include "sim/channel_factory.hpp"
 #include "util/check.hpp"
@@ -85,13 +97,23 @@ std::vector<WorkloadStep> make_workload(const World& world, NodeId start,
   return workload;
 }
 
+// SIGTERM lands while the worker sits in its poll loop (the coordinator
+// only kills between operations), so the non-async-signal-safe dump is
+// benign in practice — see obs/flight_recorder.hpp.
+extern "C" void dump_flight_on_term(int) {
+  if (mot::obs::FlightRecorder* recorder = mot::obs::flight_recorder()) {
+    recorder->dump("sigterm");
+  }
+  std::_Exit(3);
+}
+
 // Child-process body: build the world, attach a ShardWorker, serve until
 // Shutdown. The exit code is the worker's run() result, so the parent's
 // waitpid sweep surfaces any protocol failure.
 [[noreturn]] void run_worker(std::uint32_t shard, std::uint32_t num_shards,
                              std::uint16_t port, std::size_t side,
-                             std::uint64_t hierarchy_seed,
-                             bool future_shard) {
+                             std::uint64_t hierarchy_seed, bool future_shard,
+                             const std::string& trace_dir) {
   const World world(side, hierarchy_seed);
   mot::Simulator sim;
   mot::proto::DistributedMot mot(*world.provider, sim, world.chain_options);
@@ -99,11 +121,32 @@ std::vector<WorkloadStep> make_workload(const World& world, NodeId start,
   config.shard = shard;
   config.num_shards = num_shards;
   config.coordinator_port = port;
+  config.trace_dir = trace_dir;
   if (future_shard && shard % 2 == 1) {
     config.encode_version = mot::wire::kWireVersionFuture;
   }
+  if (!trace_dir.empty()) std::signal(SIGTERM, dump_flight_on_term);
   mot::netio::ShardWorker worker(config, *world.provider, sim, mot);
   std::_Exit(worker.run());
+}
+
+// Cluster status record: run shape, negotiated wire version, summed
+// meter, and the merged per-shard telemetry registry (each instrument
+// labeled {"shard","<i>"}) as one JSON object.
+bool write_status_json(const std::string& path, std::uint32_t shards,
+                       int steps, std::uint8_t wire_version,
+                       double meter_total,
+                       const mot::obs::MetricsRegistry& registry) {
+  std::ofstream out(path);
+  if (!out) return false;
+  char meter[64];
+  std::snprintf(meter, sizeof(meter), "%.17g", meter_total);
+  out << "{\"schema\":\"mot-cluster-status-v1\",\"shards\":" << shards
+      << ",\"steps\":" << steps
+      << ",\"wire_version\":" << static_cast<int>(wire_version)
+      << ",\"meter_total\":" << meter
+      << ",\"metrics\":" << registry.to_json() << "}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -118,6 +161,9 @@ int main(int argc, char** argv) {
   std::uint64_t shards = 4;
   std::uint64_t steps = 0;
   bool future_shard = false;
+  std::string trace_dir;
+  std::string status_json;
+  std::int64_t kill_shard = -1;
   mot::bench::CommonFlags common;
   {
     // parse_common consumes argv, so register the extra flags through
@@ -133,6 +179,12 @@ int main(int argc, char** argv) {
         steps = std::strtoull(argv[++i], nullptr, 10);
       } else if (arg == "--future-shard") {
         future_shard = true;
+      } else if (arg == "--trace-dir" && i + 1 < argc) {
+        trace_dir = argv[++i];
+      } else if (arg == "--status-json" && i + 1 < argc) {
+        status_json = argv[++i];
+      } else if (arg == "--kill-shard" && i + 1 < argc) {
+        kill_shard = std::strtoll(argv[++i], nullptr, 10);
       } else {
         forwarded.push_back(argv[i]);
       }
@@ -141,13 +193,23 @@ int main(int argc, char** argv) {
     common = mot::bench::parse_common(
         forwarded_argc, forwarded.data(),
         "multi-process cluster: sharded DistributedMot vs single-process "
-        "parity [--shards N] [--steps N] [--future-shard]");
+        "parity [--shards N] [--steps N] [--future-shard] "
+        "[--trace-dir D] [--status-json P] [--kill-shard K]");
   }
   if (shards < 1 || shards > 16) {
     std::fprintf(stderr, "--shards must be in [1, 16]\n");
     return 1;
   }
   const auto num_shards = static_cast<std::uint32_t>(shards);
+  if (kill_shard >= static_cast<std::int64_t>(num_shards)) {
+    std::fprintf(stderr, "--kill-shard must name an existing shard\n");
+    return 1;
+  }
+  if (kill_shard >= 0 && trace_dir.empty()) {
+    std::fprintf(stderr, "--kill-shard needs --trace-dir (the smoke "
+                         "verifies the flight dump)\n");
+    return 1;
+  }
   const std::size_t side = common.full ? 12 : 8;
   const int num_steps =
       steps != 0 ? static_cast<int>(steps) : (common.full ? 100 : 40);
@@ -167,7 +229,7 @@ int main(int argc, char** argv) {
     MOT_CHECK(pid >= 0);
     if (pid == 0) {
       run_worker(shard, num_shards, port, side, common.base_seed + 7,
-                 future_shard);
+                 future_shard, trace_dir);
     }
     children.push_back(pid);
   }
@@ -193,6 +255,41 @@ int main(int argc, char** argv) {
   if (!coordinator.publish(kObject, kStart)) {
     std::fprintf(stderr, "cluster publish failed\n");
     return 1;
+  }
+
+  if (kill_shard >= 0) {
+    // Flight-recorder smoke: SIGTERM one shard between operations (it
+    // sits in its poll loop, so the handler's dump is safe), then check
+    // three things — the victim exits through the handler, the next
+    // operation fails gracefully instead of hanging, and the victim
+    // left a decodable flight-<K>.jsonl behind.
+    const auto victim = static_cast<std::size_t>(kill_shard);
+    kill(children[victim], SIGTERM);
+    int status = 0;
+    waitpid(children[victim], &status, 0);
+    const bool handler_exit = WIFEXITED(status) && WEXITSTATUS(status) == 3;
+    const std::vector<WorkloadStep> probe_steps =
+        make_workload(world, kStart, 1, common.base_seed ^ 0xc1u);
+    const bool graceful =
+        !coordinator.move(kObject, probe_steps[0].move_to).has_value();
+    coordinator.shutdown();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (i == victim) continue;
+      waitpid(children[i], nullptr, 0);
+    }
+    const std::string flight_path =
+        trace_dir + "/flight-" + std::to_string(victim) + ".jsonl";
+    std::ifstream flight(flight_path);
+    std::string header;
+    const bool dump_ok =
+        static_cast<bool>(std::getline(flight, header)) &&
+        header.find("\"ev\":\"flight_dump\"") != std::string::npos &&
+        header.find("\"label\":\"sigterm\"") != std::string::npos;
+    std::printf("kill-shard %zu: handler-exit=%s graceful-failure=%s "
+                "flight-dump=%s\n",
+                victim, handler_exit ? "yes" : "NO",
+                graceful ? "yes" : "NO", dump_ok ? "yes" : "NO");
+    return handler_exit && graceful && dump_ok ? 0 : 1;
   }
 
   int mismatches = 0;
@@ -253,6 +350,37 @@ int main(int argc, char** argv) {
   // differs per shard, so compare up to associativity rounding.
   if (std::abs(cluster_meter - ref_meter) > 1e-6 * (1.0 + ref_meter)) {
     ++mismatches;
+  }
+
+  // Cluster-level telemetry: pull every shard's metrics snapshot into
+  // one registry (per-shard labels), cross-check its summed meter gauge
+  // against collect_loads, and optionally publish it as --status-json.
+  mot::obs::MetricsRegistry cluster_metrics;
+  if (!coordinator.collect_telemetry(&cluster_metrics)) {
+    std::fprintf(stderr, "telemetry collection failed\n");
+    ++mismatches;
+  } else {
+    double telemetry_meter = 0.0;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      telemetry_meter +=
+          cluster_metrics
+              .gauge("mot_cost_distance_total", {{"shard", std::to_string(s)}})
+              .value();
+    }
+    if (std::abs(telemetry_meter - cluster_meter) >
+        1e-6 * (1.0 + cluster_meter)) {
+      std::fprintf(stderr, "telemetry meter %.6f != load-report meter %.6f\n",
+                   telemetry_meter, cluster_meter);
+      ++mismatches;
+    }
+  }
+  if (!status_json.empty() &&
+      !write_status_json(status_json, num_shards, num_steps,
+                         coordinator.negotiated_version(), cluster_meter,
+                         cluster_metrics)) {
+    std::fprintf(stderr, "failed to write --status-json %s\n",
+                 status_json.c_str());
+    return 1;
   }
 
   coordinator.shutdown();

@@ -1,0 +1,169 @@
+// trace_analyze: merge per-shard trace JSONL back into causal span
+// trees and audit them (DESIGN.md §12).
+//
+// Feed it the shard-*.jsonl files a traced cluster run left behind (in
+// any order — traces are keyed by id, not by file): it re-joins every
+// cross-shard walk, then fails loudly if any tree is disconnected
+// (multiple roots, orphaned parents, duplicate span ids), if a wire
+// frame vanished between shards (encode/decode conservation), or if the
+// span-summed charged cost disagrees with the meter total recorded in a
+// cluster --status-json (or passed directly via --expect-meter).
+//
+//   cluster_runner --shards 4 --trace-dir T --status-json T/status.json
+//   trace_analyze --status-json T/status.json T/shard-*.jsonl
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+
+namespace {
+
+// Pulls "meter_total":<number> out of a cluster status JSON. A string
+// scan is enough: cluster_runner writes the key exactly once and the
+// value is a bare number (see write_status_json).
+bool meter_from_status(const std::string& path, double* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const char* key = "\"meter_total\":";
+  const auto at = text.find(key);
+  if (at == std::string::npos) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str() + at + std::strlen(key), &end);
+  return end != text.c_str() + at + std::strlen(key);
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--status-json P | --expect-meter X] [--verbose] "
+               "shard-*.jsonl\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string status_json;
+  double expect_meter = -1.0;
+  bool have_meter = false;
+  bool verbose = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--status-json" && i + 1 < argc) {
+      status_json = argv[++i];
+    } else if (arg == "--expect-meter" && i + 1 < argc) {
+      expect_meter = std::strtod(argv[++i], nullptr);
+      have_meter = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      usage(argv[0]);
+      return 1;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+  if (!status_json.empty()) {
+    if (!meter_from_status(status_json, &expect_meter)) {
+      std::fprintf(stderr, "cannot read meter_total from %s\n",
+                   status_json.c_str());
+      return 1;
+    }
+    have_meter = true;
+  }
+
+  mot::obs::TraceAnalyzer analyzer;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!analyzer.add_file(files[i], static_cast<int>(i))) {
+      std::fprintf(stderr, "cannot read %s\n", files[i].c_str());
+      return 1;
+    }
+  }
+  const mot::obs::TraceReport report = analyzer.report();
+
+  std::size_t max_critical_path = 0;
+  std::size_t cross_shard = 0;
+  for (const mot::obs::TraceSummary& trace : report.traces) {
+    max_critical_path = std::max(max_critical_path, trace.critical_path);
+    if (trace.shards > 1) ++cross_shard;
+    if (verbose || !trace.connected()) {
+      std::printf("trace %016llx  %-14s spans=%-4zu roots=%zu orphans=%zu "
+                  "dups=%zu crit=%-3zu shards=%zu cost=%.3f%s\n",
+                  static_cast<unsigned long long>(trace.trace_id),
+                  trace.root_label.empty() ? "?" : trace.root_label.c_str(),
+                  trace.spans, trace.roots, trace.orphans,
+                  trace.duplicate_spans, trace.critical_path, trace.shards,
+                  trace.cost, trace.connected() ? "" : "  DISCONNECTED");
+    }
+  }
+  std::printf("%zu events (%zu with spans) across %zu files -> %zu traces "
+              "(%zu cross-shard), %zu connected, max critical path %zu\n",
+              report.events, report.span_events, files.size(),
+              report.traces.size(), cross_shard, report.connected,
+              max_critical_path);
+  std::printf("wire conservation: %llu encodes / %llu decodes; span cost "
+              "%.3f + untraced %.3f\n",
+              static_cast<unsigned long long>(report.wire_encodes),
+              static_cast<unsigned long long>(report.wire_decodes),
+              report.span_cost, report.untraced_cost);
+
+  int failures = 0;
+  if (analyzer.parse_errors() != 0) {
+    std::fprintf(stderr, "FAIL: %zu unparseable lines\n",
+                 analyzer.parse_errors());
+    ++failures;
+  }
+  if (report.traces.empty()) {
+    std::fprintf(stderr, "FAIL: no traces found (was the run traced?)\n");
+    ++failures;
+  }
+  if (!report.all_connected()) {
+    std::fprintf(stderr, "FAIL: %zu of %zu traces disconnected\n",
+                 report.traces.size() - report.connected,
+                 report.traces.size());
+    ++failures;
+  }
+  if (!report.conserved()) {
+    std::fprintf(stderr,
+                 "FAIL: wire conservation broken (%llu encodes, %llu "
+                 "decodes)\n",
+                 static_cast<unsigned long long>(report.wire_encodes),
+                 static_cast<unsigned long long>(report.wire_decodes));
+    ++failures;
+  }
+  if (have_meter) {
+    // Every charged hop belongs to exactly one span (or is explicitly
+    // untraced, e.g. emitted outside any operation), so the two sums
+    // must reconcile up to per-shard summation rounding.
+    const double traced_total = report.span_cost + report.untraced_cost;
+    if (std::abs(traced_total - expect_meter) >
+        1e-6 * (1.0 + std::abs(expect_meter))) {
+      std::fprintf(stderr,
+                   "FAIL: span cost %.6f + untraced %.6f != meter %.6f\n",
+                   report.span_cost, report.untraced_cost, expect_meter);
+      ++failures;
+    } else {
+      std::printf("meter reconciliation: %.3f == %.3f OK\n", traced_total,
+                  expect_meter);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

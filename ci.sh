@@ -73,6 +73,39 @@ echo "== cluster: 4-process loopback parity + mixed-version interop =="
   || { cat "${SMOKE_DIR}/cluster_mixed.log"; exit 1; }
 echo "cluster ok: 4-process parity exact, mixed-version interop exact"
 
+echo "== observability: traced cluster -> trace_analyze + flight smoke =="
+# A traced 4-shard run leaves per-shard span streams plus a merged
+# telemetry registry; trace_analyze exits nonzero if any span tree is
+# disconnected, a wire frame vanished between shards, or the span-summed
+# cost disagrees with the meter recorded in the status JSON.
+OBS_DIR="${SMOKE_DIR}/obs"
+mkdir -p "${OBS_DIR}"
+./build/bench/cluster_runner --shards 4 --steps 25 --log-level error \
+  --trace-dir "${OBS_DIR}" --status-json "${OBS_DIR}/status.json" \
+  > "${SMOKE_DIR}/cluster_traced.log" 2>&1 \
+  || { cat "${SMOKE_DIR}/cluster_traced.log"; exit 1; }
+./build/bench/trace_analyze --status-json "${OBS_DIR}/status.json" \
+  "${OBS_DIR}"/shard-*.jsonl \
+  || { echo "trace_analyze rejected the traced cluster run"; exit 1; }
+# Flight-recorder smoke: SIGTERM one shard mid-run; the runner verifies
+# the graceful degradation and the handler's dump, python verifies the
+# dump file decodes as trace JSONL with the flight_dump header first.
+FLIGHT_DIR="${SMOKE_DIR}/flight"
+mkdir -p "${FLIGHT_DIR}"
+./build/bench/cluster_runner --shards 3 --kill-shard 1 --log-level error \
+  --trace-dir "${FLIGHT_DIR}" > "${SMOKE_DIR}/kill_shard.log" 2>&1 \
+  || { cat "${SMOKE_DIR}/kill_shard.log"; exit 1; }
+python3 - "${FLIGHT_DIR}/flight-1.jsonl" <<'PYEOF'
+import json, sys
+events = [json.loads(line) for line in open(sys.argv[1])]
+assert events, "flight dump is empty"
+head = events[0]
+assert head["ev"] == "flight_dump" and head["label"] == "sigterm", head
+assert head["aux"] == len(events) - 1, (head["aux"], len(events))
+print(f"flight dump ok: {len(events) - 1} events preserved at sigterm")
+PYEOF
+echo "observability ok: span trees connected, cost reconciled, flight dump decodable"
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer stages (--fast) =="
   exit 0

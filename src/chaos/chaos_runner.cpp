@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "sim/event_sim.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -200,7 +201,15 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
         }
       }
     }
-    if (!report.violations.empty()) report.violation_round = round;
+    if (!report.violations.empty()) {
+      report.violation_round = round;
+      // The last moments before the oracle tripped are usually the
+      // interesting ones: preserve the trace ring if a recorder is
+      // installed (bench drivers wrap explorations in one).
+      if (obs::FlightRecorder* recorder = obs::flight_recorder()) {
+        recorder->dump("chaos-oracle");
+      }
+    }
     return report.violations.empty();
   };
 

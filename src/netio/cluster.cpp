@@ -1,8 +1,12 @@
 #include "netio/cluster.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/trace.hpp"
+#include "sim/cost_meter.hpp"
 #include "util/check.hpp"
 
 namespace mot::netio {
@@ -55,8 +59,39 @@ bool ShardWorker::owns(NodeId node) const {
 }
 
 int ShardWorker::run() {
-  if (!bootstrap()) return 1;
-  return pump() ? 0 : 2;
+  // With a trace dir, every event this shard emits flows through a
+  // flight-recorder ring into the live per-shard JSONL stream; an
+  // abnormal exit preserves the ring's tail as flight-<shard>.jsonl.
+  std::unique_ptr<obs::JsonlFileSink> live;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  obs::TraceSink* previous_sink = nullptr;
+  obs::FlightRecorder* previous_recorder = nullptr;
+  if (!config_.trace_dir.empty()) {
+    const std::string base = config_.trace_dir + "/";
+    const std::string tag = std::to_string(config_.shard);
+    live = std::make_unique<obs::JsonlFileSink>(base + "shard-" + tag +
+                                                ".jsonl");
+    recorder = std::make_unique<obs::FlightRecorder>(
+        config_.flight_capacity, base + "flight-" + tag + ".jsonl");
+    recorder->set_chain(live.get());
+    previous_sink = obs::install_trace_sink(recorder.get());
+    previous_recorder = obs::install_flight_recorder(recorder.get());
+  }
+  int rc = 0;
+  if (!bootstrap()) {
+    rc = 1;
+  } else if (!pump()) {
+    rc = 2;
+  }
+  if (recorder != nullptr) {
+    if (rc != 0) {
+      recorder->dump(rc == 1 ? "bootstrap-failure" : "pump-failure");
+    }
+    obs::install_flight_recorder(previous_recorder);
+    obs::install_trace_sink(previous_sink);
+    recorder->flush();
+  }
+  return rc;
 }
 
 bool ShardWorker::bootstrap() {
@@ -206,6 +241,10 @@ bool ShardWorker::handle_control(std::span<const std::uint8_t> payload) {
           control_.send(wire::encode_load_report(report, version_));
           break;
         }
+        case wire::ClusterOp::kReportTelemetry:
+          control_.send(
+              wire::encode_telemetry_report(telemetry_snapshot(), version_));
+          break;
       }
       return true;
     }
@@ -230,6 +269,9 @@ bool ShardWorker::handle_peer(std::uint32_t shard,
   wire::MessageFrame frame;
   if (wire::decode_message_frame(payload, &frame) !=
       wire::DecodeError::kNone) {
+    if (obs::FlightRecorder* recorder = obs::flight_recorder()) {
+      recorder->dump("decode-error");
+    }
     return false;
   }
   ++stats_.frames_received;
@@ -242,6 +284,7 @@ bool ShardWorker::handle_peer(std::uint32_t shard,
                .from = frame.from,
                .to = frame.message.role.node,
                .aux = payload.size() + 4,
+               .trace = frame.message.trace_id,
                .label = proto::msg_type_name(frame.message.type)});
   }
   (void)shard;
@@ -268,6 +311,7 @@ void ShardWorker::forward(const proto::Message& message, NodeId from) {
                .from = from,
                .to = message.role.node,
                .aux = frame.size(),
+               .trace = message.trace_id,
                .label = proto::msg_type_name(message.type)});
   }
   MOT_CHECK(peers_[to_shard].send(frame));
@@ -302,6 +346,33 @@ void ShardWorker::complete_query(std::uint64_t query_id,
   frame.degraded = result.degraded;
   frame.staleness = result.staleness_bound;
   send_complete(frame);
+}
+
+wire::TelemetryReportFrame ShardWorker::telemetry_snapshot() const {
+  // Project every inline tally this shard keeps — the cost meter, the
+  // protocol's stat block (which carries the overload ledger), and the
+  // netio frame/byte counters — into one registry, then ship its
+  // value-typed snapshot. The registry is rebuilt per request, so a
+  // snapshot is always a consistent point-in-time view.
+  obs::MetricsRegistry registry;
+  export_cost_meter(mot_->meter(), registry);
+  proto::export_protocol_stats(mot_->stats(), registry);
+  registry.counter("mot_wire_frames_sent_total")
+      .increment(stats_.frames_sent);
+  registry.counter("mot_wire_frames_received_total")
+      .increment(stats_.frames_received);
+  registry.counter("mot_wire_bytes_sent_total")
+      .increment(stats_.bytes_sent);
+  registry.counter("mot_wire_bytes_received_total")
+      .increment(stats_.bytes_received);
+  registry.counter("mot_wire_messages_forwarded_total")
+      .increment(forwarded_);
+  registry.counter("mot_wire_messages_injected_total")
+      .increment(injected_);
+  wire::TelemetryReportFrame frame;
+  frame.shard = config_.shard;
+  frame.metrics = registry.snapshot();
+  return frame;
 }
 
 // ---------------------------------------------------------------------------
@@ -537,8 +608,34 @@ std::vector<std::uint64_t> ClusterCoordinator::collect_loads(
   return totals;
 }
 
+bool ClusterCoordinator::collect_telemetry(obs::MetricsRegistry* out) {
+  wire::ControlFrame control;
+  control.op = wire::ClusterOp::kReportTelemetry;
+  if (!broadcast(wire::encode_control(control, version_))) return false;
+  for (std::uint32_t got = 0; got < num_shards_; ++got) {
+    std::uint32_t shard = kAnyShard;
+    const std::vector<std::uint8_t> payload = next_frame(&shard);
+    wire::TelemetryReportFrame report;
+    if (wire::decode_telemetry_report(payload, &report) !=
+        wire::DecodeError::kNone) {
+      return false;
+    }
+    const obs::Labels extra = {{"shard", std::to_string(report.shard)}};
+    for (const obs::MetricSnapshot& metric : report.metrics) {
+      out->absorb(metric, extra);
+    }
+  }
+  return true;
+}
+
 void ClusterCoordinator::shutdown() {
-  broadcast(wire::encode_shutdown(version_));
+  // Best-effort, per worker: a shard that already died (e.g. the chaos
+  // harness or the kill-shard smoke took it down) must not keep its
+  // surviving peers from receiving the Shutdown frame.
+  const std::vector<std::uint8_t> frame = wire::encode_shutdown(version_);
+  for (FrameStream& worker : workers_) {
+    if (worker.valid()) worker.send(frame);
+  }
 }
 
 }  // namespace mot::netio

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "netio/socket.hpp"
@@ -51,6 +52,12 @@ struct WorkerConfig {
   // kWireVersionFuture: a "build from the future" whose extra fields
   // every current peer must skip.
   std::uint8_t encode_version = wire::kWireVersion;
+  // Observability: when non-empty, run() streams this shard's trace
+  // events to <trace_dir>/shard-<i>.jsonl behind a flight-recorder ring
+  // that dumps the last `flight_capacity` events to
+  // <trace_dir>/flight-<i>.jsonl on abnormal exit (DESIGN.md §12).
+  std::string trace_dir;
+  std::size_t flight_capacity = 4096;
 };
 
 // One shard of the cluster. Owns the control + mesh sockets; the
@@ -86,6 +93,9 @@ class ShardWorker final : public proto::ClusterLink {
                    std::span<const std::uint8_t> payload);
   void send_complete(const wire::CompleteFrame& frame);
   void maybe_answer_probe();
+  // Snapshot of this shard's observable state (cost meter, protocol
+  // stats, netio frame/byte counters) as one TelemetryReport frame.
+  wire::TelemetryReportFrame telemetry_snapshot() const;
 
   WorkerConfig config_;
   const PathProvider* provider_;
@@ -143,6 +153,11 @@ class ClusterCoordinator {
   // Elementwise sum of every shard's per-node storage load; the meter
   // total accumulates each shard's charged distance.
   std::vector<std::uint64_t> collect_loads(double* meter_total);
+
+  // Pulls every worker's metrics snapshot and merges it into `out`,
+  // each shard's instruments labeled {"shard", "<i>"}. False on a
+  // control-plane failure (out may then hold a partial merge).
+  bool collect_telemetry(obs::MetricsRegistry* out);
 
   void shutdown();
 

@@ -1,0 +1,63 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fstream>
+#include <utility>
+
+namespace mot::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity, std::string path)
+    : ring_(capacity), path_(std::move(path)) {}
+
+void FlightRecorder::on_event(const TraceEvent& event) {
+  ring_.on_event(event);
+  if (chain_ != nullptr) chain_->on_event(event);
+}
+
+void FlightRecorder::flush() {
+  if (chain_ != nullptr) chain_->flush();
+}
+
+bool FlightRecorder::dump(const char* reason) {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  if (dumped_) return false;
+  dumped_ = true;
+  std::ofstream out(path_);
+  if (!out) return false;
+  const std::vector<TraceEvent> retained = ring_.events();
+  TraceEvent header;
+  header.type = Ev::kFlightDump;
+  header.aux = retained.size();
+  header.label = reason;
+  std::uint64_t index = 0;
+  out << event_to_json(header, index++) << '\n';
+  for (const TraceEvent& event : retained) {
+    out << event_to_json(event, index++) << '\n';
+  }
+  out.flush();
+  events_dumped_ = retained.size();
+  return static_cast<bool>(out);
+}
+
+bool FlightRecorder::dumped() const {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  return dumped_;
+}
+
+std::uint64_t FlightRecorder::events_dumped() const {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  return events_dumped_;
+}
+
+namespace {
+FlightRecorder* g_flight_recorder = nullptr;
+}  // namespace
+
+FlightRecorder* install_flight_recorder(FlightRecorder* recorder) {
+  FlightRecorder* previous = g_flight_recorder;
+  g_flight_recorder = recorder;
+  return previous;
+}
+
+FlightRecorder* flight_recorder() { return g_flight_recorder; }
+
+}  // namespace mot::obs

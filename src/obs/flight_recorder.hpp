@@ -1,0 +1,65 @@
+// Crash flight recorder: a fixed-size ring of the most recent trace
+// events that is written out as JSONL only when something goes wrong —
+// abnormal shard-worker exit, a wire decode error, or a chaos-oracle
+// violation. During normal operation it costs one ring store per event
+// (plus the optional pass-through to a chained sink) and writes
+// nothing; after a failure the dump preserves the last moments of the
+// process that died with the evidence.
+//
+// Dump files are ordinary trace JSONL (parseable by trace_analyze and
+// the ci.sh smoke): one kFlightDump header line carrying the dump
+// reason and retained-event count, then the retained events oldest
+// first.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace mot::obs {
+
+class FlightRecorder final : public TraceSink {
+ public:
+  // `capacity` bounds the retained ring; `path` is where dump() writes.
+  FlightRecorder(std::size_t capacity, std::string path);
+
+  // Events are forwarded to `chain` after being recorded, so the
+  // recorder can wrap a live sink (e.g. a per-shard JSONL stream)
+  // without the embedder managing two installations.
+  void set_chain(TraceSink* chain) { chain_ = chain; }
+
+  void on_event(const TraceEvent& event) override;
+  void flush() override;
+
+  // Writes the retained events to `path`. First-dump-wins: later calls
+  // (e.g. a signal handler racing normal teardown) are no-ops, so the
+  // file always describes the first failure. Returns true if this call
+  // wrote the file. `reason` must be a static string.
+  bool dump(const char* reason);
+
+  bool dumped() const;
+  std::uint64_t events_dumped() const;
+  std::uint64_t events_seen() const { return ring_.total_events(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  RingBufferSink ring_;
+  TraceSink* chain_ = nullptr;
+  std::string path_;
+  mutable std::mutex dump_mutex_;
+  bool dumped_ = false;
+  std::uint64_t events_dumped_ = 0;
+};
+
+// Process-global recorder hook, so teardown paths that cannot carry a
+// pointer (signal handlers, the chaos oracle) can still trigger a dump.
+// Same contract as install_trace_sink: the recorder must outlive its
+// installation, and installation is not thread-safe. Note that dump()
+// is not async-signal-safe (it allocates and does buffered IO); the
+// cluster runner only invokes it from SIGTERM while the worker sits in
+// its poll loop, which is benign in practice.
+FlightRecorder* install_flight_recorder(FlightRecorder* recorder);
+FlightRecorder* flight_recorder();
+
+}  // namespace mot::obs

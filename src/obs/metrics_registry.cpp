@@ -19,6 +19,14 @@ void FixedHistogram::observe(double sample) {
   sum_ += sample;
 }
 
+void FixedHistogram::absorb(const std::vector<std::uint64_t>& counts,
+                            double sum, std::uint64_t count) {
+  MOT_CHECK(counts.size() == counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += counts[i];
+  sum_ += sum;
+  count_ += count;
+}
+
 namespace {
 
 std::string entry_key(const std::string& name, const Labels& labels) {
@@ -204,6 +212,53 @@ std::string MetricsRegistry::to_prometheus() const {
     }
   }
   return out;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSnapshot m;
+    m.name = entry->name;
+    m.labels = entry->labels;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        m.kind = MetricKind::kCounter;
+        m.counter_value = entry->counter->value();
+        break;
+      case Kind::kGauge:
+        m.kind = MetricKind::kGauge;
+        m.gauge_value = entry->gauge->value();
+        break;
+      case Kind::kHistogram:
+        m.kind = MetricKind::kHistogram;
+        m.bounds = entry->histogram->bounds();
+        m.buckets = entry->histogram->bucket_counts();
+        m.sum = entry->histogram->sum();
+        m.count = entry->histogram->count();
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+void MetricsRegistry::absorb(const MetricSnapshot& metric,
+                             const Labels& extra) {
+  Labels labels = metric.labels;
+  labels.insert(labels.end(), extra.begin(), extra.end());
+  switch (metric.kind) {
+    case MetricKind::kCounter:
+      counter(metric.name, labels).increment(metric.counter_value);
+      break;
+    case MetricKind::kGauge:
+      gauge(metric.name, labels).add(metric.gauge_value);
+      break;
+    case MetricKind::kHistogram:
+      histogram(metric.name, metric.bounds, labels)
+          .absorb(metric.buckets, metric.sum, metric.count);
+      break;
+  }
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -55,6 +55,12 @@ class FixedHistogram {
   explicit FixedHistogram(std::vector<double> bounds);
 
   void observe(double sample);
+  // Merges pre-bucketed samples (e.g. a remote shard's snapshot): adds
+  // `counts` elementwise — which observe() cannot reproduce, since the
+  // per-bucket placement is lost — plus the sample sum and count.
+  // `counts` must have bounds().size() + 1 entries.
+  void absorb(const std::vector<std::uint64_t>& counts, double sum,
+              std::uint64_t count);
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   const std::vector<double>& bounds() const { return bounds_; }
@@ -66,6 +72,25 @@ class FixedHistogram {
   std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 entries
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+};
+
+// Value-typed copy of one instrument, detached from any registry: what
+// a shard worker ships over the wire in a TelemetryReport frame and
+// what the coordinator absorbs into its cluster-level registry.
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1,
+                                       kHistogram = 2 };
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter_value = 0;       // kCounter
+  double gauge_value = 0.0;              // kGauge
+  std::vector<double> bounds;            // kHistogram
+  std::vector<std::uint64_t> buckets;    // kHistogram: bounds+1 entries
+  double sum = 0.0;                      // kHistogram
+  std::uint64_t count = 0;               // kHistogram
+
+  bool operator==(const MetricSnapshot&) const = default;
 };
 
 class MetricsRegistry {
@@ -86,6 +111,13 @@ class MetricsRegistry {
   // Snapshot exporters; instruments appear in registration order.
   std::string to_json() const;
   std::string to_prometheus() const;
+
+  // Value-typed copies of every instrument, in registration order.
+  std::vector<MetricSnapshot> snapshot() const;
+  // Merges one snapshot into this registry under labels + `extra`
+  // (e.g. {{"shard","2"}}): counters/histograms accumulate, gauges add —
+  // so absorbing N shards' snapshots yields cluster totals.
+  void absorb(const MetricSnapshot& metric, const Labels& extra = {});
 
   // Process-wide registry used by the bench telemetry layer.
   static MetricsRegistry& global();

@@ -51,6 +51,7 @@ const char* ev_name(Ev type) {
     case Ev::kBreakerClose: return "breaker_close";
     case Ev::kWireEncode: return "wire_encode";
     case Ev::kWireDecode: return "wire_decode";
+    case Ev::kFlightDump: return "flight_dump";
   }
   return "unknown";
 }
@@ -58,7 +59,9 @@ const char* ev_name(Ev type) {
 bool TraceEvent::operator==(const TraceEvent& other) const {
   if (type != other.type || t != other.t || object != other.object ||
       from != other.from || to != other.to || level != other.level ||
-      dist != other.dist || charged != other.charged || aux != other.aux) {
+      dist != other.dist || charged != other.charged || aux != other.aux ||
+      trace != other.trace || span != other.span ||
+      parent != other.parent) {
     return false;
   }
   if (label == other.label) return true;
@@ -157,6 +160,18 @@ std::string event_to_json(const TraceEvent& event, std::uint64_t index) {
   if (event.aux != 0) {
     w.key("aux");
     w.value(event.aux);
+  }
+  if (event.trace != 0) {
+    w.key("trace");
+    w.value(event.trace);
+  }
+  if (event.span != 0) {
+    w.key("span");
+    w.value(event.span);
+  }
+  if (event.parent != 0) {
+    w.key("parent");
+    w.value(event.parent);
   }
   if (event.label != nullptr) {
     w.key("label");

@@ -83,6 +83,10 @@ enum class Ev : std::uint8_t {
   // Wire protocol + socket transport (src/wire/ + src/netio/).
   kWireEncode,  // frame serialized for a socket (aux = bytes on wire)
   kWireDecode,  // frame parsed off a socket (aux = bytes on wire)
+  // Crash flight recorder (obs/flight_recorder): header record written
+  // at the top of a flight dump (label = dump reason, aux = events
+  // retained) so a dump file is self-describing.
+  kFlightDump,
 };
 
 // Stable lowercase name used as the "ev" field of JSONL traces.
@@ -104,6 +108,12 @@ struct TraceEvent {
   double dist = 0.0;                  // hop / route distance
   double charged = 0.0;               // amount charged to the CostMeter
   std::uint64_t aux = 0;              // seq number / query id / count
+  // Causal trace context: the walk's deterministic trace id, this hop's
+  // span id, and the span it hangs off (0 = untraced / root). Spans
+  // survive shard boundaries — see DESIGN.md §12.
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
   const char* label = nullptr;        // static string: span / msg type
 
   bool operator==(const TraceEvent& other) const;

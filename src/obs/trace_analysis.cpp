@@ -1,0 +1,259 @@
+#include "obs/trace_analysis.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace mot::obs {
+
+namespace {
+
+void skip_ws(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r' || s.front() == '\n')) {
+    s.remove_prefix(1);
+  }
+}
+
+bool take(std::string_view& s, char c) {
+  if (s.empty() || s.front() != c) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// JSON string with the escapes json_escape() can produce. \uXXXX is
+// only accepted for code points below 0x80 — the writer only emits it
+// for control characters, and labels are static ASCII identifiers.
+bool parse_string(std::string_view& s, std::string* out) {
+  if (!take(s, '"')) return false;
+  out->clear();
+  while (!s.empty()) {
+    const char c = s.front();
+    s.remove_prefix(1);
+    if (c == '"') return true;
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (s.empty()) return false;
+    const char e = s.front();
+    s.remove_prefix(1);
+    switch (e) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (s.size() < 4) return false;
+        int code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const int d = hex_digit(s[static_cast<std::size_t>(i)]);
+          if (d < 0) return false;
+          code = code * 16 + d;
+        }
+        s.remove_prefix(4);
+        if (code >= 0x80) return false;
+        out->push_back(static_cast<char>(code));
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+// One JSON number token, captured both ways; `is_int` is true when the
+// token has no fraction or exponent (safe to read as uint64).
+struct Number {
+  double as_double = 0.0;
+  std::uint64_t as_u64 = 0;
+  bool is_int = false;
+};
+
+bool parse_number(std::string_view& s, Number* out) {
+  std::size_t i = 0;
+  bool integral = true;
+  while (i < s.size()) {
+    const char c = s[i];
+    const bool digit = c >= '0' && c <= '9';
+    if (c == '.' || c == 'e' || c == 'E') integral = false;
+    if (!digit && c != '.' && c != 'e' && c != 'E' && c != '+' && c != '-') {
+      break;
+    }
+    ++i;
+  }
+  if (i == 0) return false;
+  const std::string token(s.substr(0, i));
+  s.remove_prefix(i);
+  char* end = nullptr;
+  out->as_double = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  out->is_int = integral && token.front() != '-';
+  if (out->is_int) out->as_u64 = std::strtoull(token.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+bool parse_trace_line(std::string_view line, ParsedEvent* out) {
+  *out = ParsedEvent{};
+  skip_ws(line);
+  if (!take(line, '{')) return false;
+  skip_ws(line);
+  bool first = true;
+  while (!take(line, '}')) {
+    if (!first && !take(line, ',')) return false;
+    first = false;
+    skip_ws(line);
+    std::string key;
+    if (!parse_string(line, &key)) return false;
+    skip_ws(line);
+    if (!take(line, ':')) return false;
+    skip_ws(line);
+    if (key == "ev" || key == "label") {
+      std::string value;
+      if (!parse_string(line, &value)) return false;
+      (key == "ev" ? out->ev : out->label) = std::move(value);
+    } else {
+      Number n;
+      if (!parse_number(line, &n)) return false;
+      if (key == "t") {
+        out->t = n.as_double;
+      } else if (key == "dist") {
+        out->dist = n.as_double;
+      } else if (key == "charged") {
+        out->charged = n.as_double;
+      } else if (n.is_int) {
+        if (key == "obj") out->object = n.as_u64;
+        else if (key == "from") out->from = static_cast<std::uint32_t>(n.as_u64);
+        else if (key == "to") out->to = static_cast<std::uint32_t>(n.as_u64);
+        else if (key == "level") out->level = static_cast<std::int32_t>(n.as_u64);
+        else if (key == "aux") out->aux = n.as_u64;
+        else if (key == "trace") out->trace = n.as_u64;
+        else if (key == "span") out->span = n.as_u64;
+        else if (key == "parent") out->parent = n.as_u64;
+        // "i" and unknown numeric keys are read and discarded, so the
+        // format can grow fields without breaking old analyzers.
+      }
+    }
+    skip_ws(line);
+  }
+  skip_ws(line);
+  return line.empty();
+}
+
+void TraceAnalyzer::add_event(const ParsedEvent& event) {
+  ++events_;
+  if (event.ev == "wire_encode") ++wire_encodes_;
+  if (event.ev == "wire_decode") ++wire_decodes_;
+  if (event.trace == 0 || event.span == 0) {
+    untraced_cost_ += event.charged;
+    return;
+  }
+  ++span_events_;
+  traces_[event.trace].push_back(SpanRec{event.span, event.parent,
+                                         event.charged, event.shard,
+                                         event.label});
+}
+
+bool TraceAnalyzer::add_line(std::string_view line, int shard) {
+  ParsedEvent event;
+  if (!parse_trace_line(line, &event)) {
+    ++parse_errors_;
+    return false;
+  }
+  event.shard = shard;
+  add_event(event);
+  return true;
+}
+
+bool TraceAnalyzer::add_file(const std::string& path, int shard) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) add_line(line, shard);
+  }
+  return true;
+}
+
+TraceReport TraceAnalyzer::report() const {
+  TraceReport report;
+  report.events = events_;
+  report.span_events = span_events_;
+  report.wire_encodes = wire_encodes_;
+  report.wire_decodes = wire_decodes_;
+  report.untraced_cost = untraced_cost_;
+  report.traces.reserve(traces_.size());
+  for (const auto& [trace_id, spans] : traces_) {
+    TraceSummary s;
+    s.trace_id = trace_id;
+    s.spans = spans.size();
+    std::unordered_map<std::uint64_t, const SpanRec*> by_id;
+    by_id.reserve(spans.size());
+    std::set<int> shards;
+    for (const SpanRec& rec : spans) {
+      if (!by_id.emplace(rec.span, &rec).second) ++s.duplicate_spans;
+      s.cost += rec.charged;
+      if (rec.shard >= 0) shards.insert(rec.shard);
+      if (rec.parent == 0) {
+        ++s.roots;
+        if (s.roots == 1) s.root_label = rec.label;
+      }
+    }
+    s.shards = shards.size();
+    for (const SpanRec& rec : spans) {
+      if (rec.parent != 0 && by_id.find(rec.parent) == by_id.end()) {
+        ++s.orphans;
+      }
+    }
+    // Depth of every span by walking parent chains once (memoized);
+    // the critical path is the deepest chain. Orphan parents count as
+    // depth-0 anchors so a broken trace still yields a finite answer.
+    std::unordered_map<std::uint64_t, std::size_t> depth;
+    depth.reserve(spans.size());
+    for (const SpanRec& rec : spans) {
+      std::vector<std::uint64_t> chain;
+      std::uint64_t cursor = rec.span;
+      std::size_t base = 0;
+      while (true) {
+        if (const auto d = depth.find(cursor); d != depth.end()) {
+          base = d->second;
+          break;
+        }
+        const auto it = by_id.find(cursor);
+        if (it == by_id.end()) break;  // orphaned parent
+        chain.push_back(cursor);
+        const std::uint64_t parent = it->second->parent;
+        if (parent == 0 || chain.size() > spans.size()) break;
+        cursor = parent;
+      }
+      for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+        depth[*rit] = ++base;
+      }
+    }
+    for (const auto& [span, d] : depth) {
+      (void)span;
+      if (d > s.critical_path) s.critical_path = d;
+    }
+    if (s.connected()) ++report.connected;
+    report.span_cost += s.cost;
+    report.traces.push_back(std::move(s));
+  }
+  return report;
+}
+
+}  // namespace mot::obs

@@ -1,0 +1,122 @@
+// Offline analysis of trace JSONL: merges per-shard span streams back
+// into one causally-ordered tree per trace id and audits them.
+//
+// A cross-shard walk emits its spans into whichever shard's sink was
+// active when each hop ran, so no single file holds a whole trace. The
+// analyzer re-joins them by trace id and checks the properties the
+// tracing design guarantees (DESIGN.md §12):
+//   - connectivity: every trace has exactly one root span (parent 0)
+//     and no orphans (a parent id that matches no span in the trace) —
+//     i.e. the context re-materialized correctly at every boundary;
+//   - uniqueness: span ids never repeat within a trace (the allocator
+//     cursor travels with the walk);
+//   - conservation: every wire_encode has a matching wire_decode across
+//     the merged files (no frame vanished between shards);
+//   - cost: the sum of `charged` over all spans reconciles with the
+//     cluster CostMeter total, extending PR 2's trace-vs-meter
+//     reconciliation across process boundaries.
+//
+// The JSONL parser here is deliberately minimal: it reads exactly the
+// flat one-line objects event_to_json() emits (string values only for
+// "ev"/"label", numeric everything else) — the repo's JsonWriter is
+// write-only by design, and depending on a general JSON parser for a
+// self-produced format would be dead weight.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mot::obs {
+
+// One record parsed back off a trace JSONL line. Defaults mirror
+// TraceEvent's (which event_to_json omits); `shard` tags which input
+// stream the line came from.
+struct ParsedEvent {
+  std::string ev;
+  double t = -1.0;
+  std::uint64_t object = kNoObject;
+  std::uint32_t from = kNoNode;
+  std::uint32_t to = kNoNode;
+  std::int32_t level = -1;
+  double dist = 0.0;
+  double charged = 0.0;
+  std::uint64_t aux = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::string label;
+  int shard = -1;
+};
+
+// Parses one event_to_json() line. Returns false (leaving `out` in an
+// unspecified state) on anything that is not a flat JSON object.
+bool parse_trace_line(std::string_view line, ParsedEvent* out);
+
+// Per-trace audit result.
+struct TraceSummary {
+  std::uint64_t trace_id = 0;
+  std::size_t spans = 0;           // span-carrying events in the trace
+  std::size_t roots = 0;           // spans with parent == 0
+  std::size_t orphans = 0;         // parent id matching no span
+  std::size_t duplicate_spans = 0; // span ids seen more than once
+  std::size_t critical_path = 0;   // spans on the longest root-to-leaf chain
+  std::size_t shards = 0;          // distinct input streams touched
+  double cost = 0.0;               // sum of `charged` over the spans
+  std::string root_label;          // message type of the root hop
+
+  bool connected() const {
+    return roots == 1 && orphans == 0 && duplicate_spans == 0;
+  }
+};
+
+struct TraceReport {
+  std::vector<TraceSummary> traces;  // ascending trace id
+  std::size_t events = 0;            // parsed events, all streams
+  std::size_t span_events = 0;       // events carrying a span id
+  std::size_t connected = 0;         // traces passing connected()
+  std::uint64_t wire_encodes = 0;
+  std::uint64_t wire_decodes = 0;
+  double span_cost = 0.0;            // sum of cost over all traces
+  double untraced_cost = 0.0;        // charged events without a trace id
+
+  bool all_connected() const { return connected == traces.size(); }
+  bool conserved() const { return wire_encodes == wire_decodes; }
+};
+
+class TraceAnalyzer {
+ public:
+  void add_event(const ParsedEvent& event);
+  // Returns false on a malformed line (also tallied in parse_errors()).
+  bool add_line(std::string_view line, int shard);
+  // Reads one JSONL file line by line; false if the file is unreadable.
+  bool add_file(const std::string& path, int shard);
+
+  std::size_t parse_errors() const { return parse_errors_; }
+  TraceReport report() const;
+
+ private:
+  struct SpanRec {
+    std::uint64_t span = 0;
+    std::uint64_t parent = 0;
+    double charged = 0.0;
+    int shard = -1;
+    std::string label;
+  };
+
+  // Ordered by trace id so reports are deterministic across input
+  // orderings (shard files can be passed in any order).
+  std::map<std::uint64_t, std::vector<SpanRec>> traces_;
+  std::size_t events_ = 0;
+  std::size_t span_events_ = 0;
+  std::size_t parse_errors_ = 0;
+  std::uint64_t wire_encodes_ = 0;
+  std::uint64_t wire_decodes_ = 0;
+  double untraced_cost_ = 0.0;
+};
+
+}  // namespace mot::obs

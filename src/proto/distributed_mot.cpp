@@ -264,6 +264,29 @@ DistributedMot::SensorState& DistributedMot::local(NodeId node) {
   return sensors_[node];
 }
 
+namespace {
+
+// Walker spine hops advance a trace's span cursor; everything else a
+// handler sends (SDL / replica bookkeeping) branches off the current
+// spine span without moving it, so a walk's spine reads as one chain
+// with leaf branches.
+bool is_spine_hop(MsgType type) {
+  switch (type) {
+    case MsgType::kPublish:
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+    case MsgType::kQueryUp:
+    case MsgType::kQueryDown:
+    case MsgType::kQueryDownReplica:
+    case MsgType::kQueryReply:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
   const NodeId to = message.role.node;
   const Weight hop = distance(from, to);
@@ -283,6 +306,19 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
     meter_.charge(0.0, 1);
   }
   if (obs::tracing()) {
+    std::uint64_t span_parent = 0;
+    if (TraceCtx* tctx = trace_ctx_for(message);
+        tctx != nullptr && tctx->trace_id != 0) {
+      // Stamp the hop's span onto the message itself: locally the copy
+      // is informational, but if this hop crosses a shard boundary the
+      // fields travel on the wire and the owning shard resumes the
+      // same span tree (span_seq re-seeds its allocator).
+      message.trace_id = tctx->trace_id;
+      message.span = tctx->next_span++;
+      span_parent = tctx->last_span;
+      if (is_spine_hop(message.type)) tctx->last_span = message.span;
+      message.span_seq = tctx->next_span;
+    }
     obs::emit({.type = obs::Ev::kMsgSend,
                .t = sim_->now(),
                .object = message.object,
@@ -291,6 +327,9 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
                .level = message.role.level,
                .dist = hop,
                .charged = op_cost != nullptr ? hop : 0.0,
+               .trace = message.trace_id,
+               .span = message.span,
+               .parent = span_parent,
                .label = msg_type_name(message.type)});
   }
   if (record_) {
@@ -811,6 +850,10 @@ void DistributedMot::publish(ObjectId object, NodeId proxy) {
   physical_[object] = proxy;
   ++inflight_;
   publishing_.insert(object);
+  if (obs::tracing()) {
+    publish_trace_[object] =
+        TraceCtx{make_op_trace_id(object, ++op_trace_seq_[object])};
+  }
 
   const auto sequence = provider_->upward_sequence(proxy);
   Message message;
@@ -835,6 +878,7 @@ void DistributedMot::on_publish(const Message& message) {
   if (next_index >= sequence.size()) {
     ++stats_.publishes_completed;
     publishing_.erase(message.object);
+    publish_trace_.erase(message.object);
     --inflight_;
     if (cluster_ != nullptr) cluster_->complete_publish(message.object);
     return;
@@ -867,6 +911,9 @@ void DistributedMot::move(ObjectId object, NodeId new_proxy,
   MoveCtx ctx;
   ctx.to = new_proxy;
   ctx.done = std::move(done);
+  if (obs::tracing()) {
+    ctx.trace.trace_id = make_op_trace_id(object, ++op_trace_seq_[object]);
+  }
   auto [it, inserted] = moves_.emplace(object, std::move(ctx));
   MOT_CHECK(inserted);
   ++inflight_;
@@ -997,6 +1044,7 @@ void DistributedMot::query(NodeId from, ObjectId object,
   ctx.origin = from;
   ctx.object = object;
   ctx.done = std::move(done);
+  if (obs::tracing()) ctx.trace.trace_id = make_query_trace_id(id);
   queries_.emplace(id, std::move(ctx));
   ++inflight_;
   issue_query_walker(id);
@@ -1449,6 +1497,69 @@ void DistributedMot::on_sdl_remove(const Message& message) {
 // one-by-one maintenance case — parking, hedging and walker races never
 // arise across shards.
 
+DistributedMot::TraceCtx* DistributedMot::trace_ctx_for(
+    const Message& message) {
+  switch (message.type) {
+    case MsgType::kPublish: {
+      const auto it = publish_trace_.find(message.object);
+      return it == publish_trace_.end() ? nullptr : &it->second;
+    }
+    case MsgType::kInsert:
+    case MsgType::kDelete: {
+      const auto it = moves_.find(message.object);
+      return it == moves_.end() ? nullptr : &it->second.trace;
+    }
+    case MsgType::kQueryUp:
+    case MsgType::kQueryDown:
+    case MsgType::kQueryDownReplica:
+    case MsgType::kQueryReply: {
+      const auto it = queries_.find(message.query_id);
+      return it == queries_.end() ? nullptr : &it->second.trace;
+    }
+    case MsgType::kSdlAdd:
+    case MsgType::kSdlRemove:
+    case MsgType::kReplicaAdd:
+    case MsgType::kReplicaRemove: {
+      // Side-branch bookkeeping of whichever walk over this object is
+      // executing here — a move if one is in flight, else a publish.
+      const auto mv = moves_.find(message.object);
+      if (mv != moves_.end()) return &mv->second.trace;
+      const auto pb = publish_trace_.find(message.object);
+      return pb == publish_trace_.end() ? nullptr : &pb->second;
+    }
+  }
+  return nullptr;
+}
+
+// Trace ids must be (a) nonzero, (b) unique per walk, and (c) derived
+// identically on every shard without coordination. Publishes and moves
+// hash (object, per-object op ordinal); the ordinal advances everywhere
+// because cluster mode broadcasts cluster_note_position to all shards
+// before each one. Queries hash the coordinator-assigned query id,
+// which the single-process runtime assigns in the same sequence.
+namespace {
+
+std::uint64_t mix_trace(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0x2545f4914f6cdd1dULL;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t DistributedMot::make_op_trace_id(ObjectId object,
+                                               std::uint64_t seq) const {
+  std::uint64_t h = mix_trace(mix_trace(mix_trace(0x6d6f74ULL, 1), object),
+                              seq);
+  return h == 0 ? 1 : h;
+}
+
+std::uint64_t DistributedMot::make_query_trace_id(
+    std::uint64_t query_id) const {
+  std::uint64_t h = mix_trace(mix_trace(0x6d6f74ULL, 2), query_id);
+  return h == 0 ? 1 : h;
+}
+
 void DistributedMot::forward_remote(NodeId from, Message message) {
   switch (message.type) {
     case MsgType::kInsert:
@@ -1478,6 +1589,7 @@ void DistributedMot::forward_remote(NodeId from, Message message) {
     case MsgType::kPublish:
       // The climb leaves this shard; the in-flight marker travels along.
       publishing_.erase(message.object);
+      publish_trace_.erase(message.object);
       --inflight_;
       break;
     default:
@@ -1493,6 +1605,15 @@ void DistributedMot::cluster_inject(const Message& message, NodeId from) {
   Message local = message;
   local.op_cost = 0.0;  // context lives in the maps again, not the wire
   local.op_peak = 0;
+  local.trace_id = 0;
+  local.span = 0;
+  local.span_seq = 0;
+  // The hop that crossed the boundary already holds span `message.span`
+  // (emitted by the sending shard), and the walk's allocator stands at
+  // `message.span_seq` — re-seed the context so the next hop here
+  // continues the same span tree with no gaps or reuse.
+  const TraceCtx arriving{message.trace_id, message.span_seq,
+                          message.span};
   switch (message.type) {
     case MsgType::kInsert:
     case MsgType::kDelete: {
@@ -1501,6 +1622,7 @@ void DistributedMot::cluster_inject(const Message& message, NodeId from) {
       ctx.to = message.new_proxy;
       ctx.cost = message.op_cost;
       ctx.peak_level = message.op_peak;
+      if (message.trace_id != 0) ctx.trace = arriving;
       moves_.emplace(message.object, std::move(ctx));
       ++inflight_;
       break;
@@ -1514,6 +1636,7 @@ void DistributedMot::cluster_inject(const Message& message, NodeId from) {
       ctx.object = message.object;
       ctx.cost = message.op_cost;
       ctx.found_level = message.op_peak;
+      if (message.trace_id != 0) ctx.trace = arriving;
       queries_.emplace(message.query_id, std::move(ctx));
       ++inflight_;
       break;
@@ -1527,12 +1650,16 @@ void DistributedMot::cluster_inject(const Message& message, NodeId from) {
       ctx.object = message.object;
       ctx.cost = message.op_cost;
       ctx.found_level = message.op_peak;
+      if (message.trace_id != 0) ctx.trace = arriving;
       queries_.emplace(message.query_id, std::move(ctx));
       ++inflight_;
       break;
     }
     case MsgType::kPublish:
       publishing_.insert(message.object);
+      if (message.trace_id != 0) {
+        publish_trace_[message.object] = arriving;
+      }
       ++inflight_;
       break;
     default:
@@ -1547,6 +1674,10 @@ void DistributedMot::cluster_note_position(ObjectId object,
   // First sighting is the publish broadcast (proxy == position); moves
   // leave the committed proxy to the splice on the meet shard.
   proxies_.emplace(object, position);
+  // Every shard sees this broadcast before the walker starts anywhere,
+  // so advancing the op ordinal here keeps trace-id derivation in sync
+  // across the whole cluster (and with a single-process reference run).
+  if (obs::tracing()) ++op_trace_seq_[object];
 }
 
 void DistributedMot::cluster_publish(ObjectId object, NodeId proxy) {
@@ -1554,6 +1685,11 @@ void DistributedMot::cluster_publish(ObjectId object, NodeId proxy) {
   MOT_EXPECTS(physical_.at(object) == proxy);  // broadcast came first
   ++inflight_;
   publishing_.insert(object);
+  if (obs::tracing()) {
+    // The note-position broadcast already advanced the ordinal; read it.
+    publish_trace_[object] =
+        TraceCtx{make_op_trace_id(object, op_trace_seq_[object])};
+  }
   const auto sequence = provider_->upward_sequence(proxy);
   Message message;
   message.type = MsgType::kPublish;
@@ -1569,8 +1705,12 @@ void DistributedMot::cluster_move(ObjectId object, NodeId new_proxy) {
   MOT_CHECK(cluster_ != nullptr && cluster_->owns(new_proxy));
   MOT_EXPECTS(physical_.at(object) == new_proxy);  // broadcast came first
   MOT_EXPECTS(moves_.count(object) == 0);
-  auto [it, inserted] =
-      moves_.emplace(object, MoveCtx{.to = new_proxy, .done = {}});
+  MoveCtx seed;
+  seed.to = new_proxy;
+  if (obs::tracing()) {
+    seed.trace.trace_id = make_op_trace_id(object, op_trace_seq_[object]);
+  }
+  auto [it, inserted] = moves_.emplace(object, std::move(seed));
   MOT_CHECK(inserted);
   ++inflight_;
   const auto sequence = provider_->upward_sequence(new_proxy);
@@ -1593,6 +1733,7 @@ void DistributedMot::cluster_query(NodeId origin, ObjectId object,
   QueryCtx ctx;
   ctx.origin = origin;
   ctx.object = object;
+  if (obs::tracing()) ctx.trace.trace_id = make_query_trace_id(query_id);
   queries_.emplace(query_id, std::move(ctx));
   ++inflight_;
   issue_query_walker(query_id);

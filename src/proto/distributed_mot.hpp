@@ -299,10 +299,21 @@ class DistributedMot {
     std::unordered_map<ObjectId, std::vector<ParkedQuery>> parked;
   };
 
+  // Causal trace state of one walk: the deterministic trace id plus the
+  // span allocator and the cursor the next spine hop hangs off. Travels
+  // with the walk's context across shard boundaries (span/span_seq wire
+  // fields) so a distributed walk emits one connected span tree. All
+  // zero — and never consulted — unless a trace sink is installed.
+  struct TraceCtx {
+    std::uint64_t trace_id = 0;
+    std::uint64_t next_span = 1;  // next span id to hand out
+    std::uint64_t last_span = 0;  // latest spine hop = parent of the next
+  };
   struct MoveCtx {
     NodeId to = kInvalidNode;
     Weight cost = 0.0;
     int peak_level = 0;
+    TraceCtx trace;
     MoveCallback done;
   };
   struct QueryCtx {
@@ -317,6 +328,7 @@ class DistributedMot {
     int attempt = 0;
     bool hedged = false;
     std::uint64_t watchdog_gen = 0;
+    TraceCtx trace;
     QueryCallback done;
   };
 
@@ -354,6 +366,15 @@ class DistributedMot {
   void send(NodeId from, Message message, Weight* op_cost);
   void handle(const Message& message);
   void forward_remote(NodeId from, Message message);
+
+  // Trace context of the walk `message` belongs to (nullptr when the
+  // walk is not traced or not resident on this shard), and the
+  // deterministic trace-id derivations — identical on every shard, see
+  // the definitions for how the per-object op counter stays in sync.
+  TraceCtx* trace_ctx_for(const Message& message);
+  std::uint64_t make_op_trace_id(ObjectId object,
+                                 std::uint64_t seq) const;
+  std::uint64_t make_query_trace_id(std::uint64_t query_id) const;
 
   void on_publish(const Message& message);
   void on_insert(const Message& message);
@@ -438,6 +459,14 @@ class DistributedMot {
   std::unordered_map<ObjectId, MoveCtx> moves_;  // at most one per object
   std::unordered_set<ObjectId> publishing_;      // publishes in flight
   std::unordered_map<std::uint64_t, QueryCtx> queries_;
+  // Trace state of in-flight publishes (publishes have no MoveCtx to
+  // embed it in) and the per-object operation counter trace ids derive
+  // from. The counter is bumped on every publish/move issue — in
+  // cluster mode via cluster_note_position, which reaches every shard
+  // before the walker starts, so all shards agree on it. Only
+  // maintained while a trace sink is installed.
+  std::unordered_map<ObjectId, TraceCtx> publish_trace_;
+  std::unordered_map<ObjectId, std::uint64_t> op_trace_seq_;
   // Bumped when crash recovery rebuilds an object, so queued local
   // handoffs of the torn operation drop themselves (see send()).
   std::unordered_map<ObjectId, std::uint64_t> rebuild_epoch_;

@@ -83,6 +83,15 @@ struct Message {
   Weight op_cost = 0.0;
   std::int32_t op_peak = 0;
 
+  // Causal trace context (src/obs/): the walk's deterministic trace id,
+  // this hop's span id, and the walk's span-allocator cursor, so the
+  // owning shard resumes the same span tree after a cross-process hop.
+  // Always zero when no trace sink is installed, keeping untraced wire
+  // bytes bit-identical (the fields are omitted-by-default on the wire).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span = 0;
+  std::uint64_t span_seq = 0;
+
   bool operator==(const Message&) const = default;
 };
 

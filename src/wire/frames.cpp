@@ -34,6 +34,36 @@ std::vector<std::uint64_t> read_packed_varints(ByteReader& in) {
   return values;
 }
 
+void field_string(ByteWriter& out, std::uint32_t id, const std::string& s) {
+  out.field_bytes(id, std::span<const std::uint8_t>(
+                          reinterpret_cast<const std::uint8_t*>(s.data()),
+                          s.size()));
+}
+
+std::string read_string(ByteReader& in) {
+  const std::span<const std::uint8_t> bytes = in.length_delimited();
+  if (!in.ok()) return {};
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+// Packed little-endian f64 list inside one length-delimited field.
+void field_packed_f64(ByteWriter& out, std::uint32_t id,
+                      std::span<const double> values) {
+  ByteWriter packed;
+  for (const double value : values) packed.f64(value);
+  out.field_bytes(id, packed.data());
+}
+
+std::vector<double> read_packed_f64(ByteReader& in) {
+  std::vector<double> values;
+  ByteReader packed(in.length_delimited());
+  if (!in.ok()) return values;
+  while (!packed.at_end()) values.push_back(packed.f64());
+  if (!packed.ok()) in.fail(packed.error());
+  return values;
+}
+
 }  // namespace
 
 const char* cluster_op_name(ClusterOp op) {
@@ -48,6 +78,8 @@ const char* cluster_op_name(ClusterOp op) {
       return "note-position";
     case ClusterOp::kReportLoad:
       return "report-load";
+    case ClusterOp::kReportTelemetry:
+      return "report-telemetry";
   }
   return "unknown";
 }
@@ -180,7 +212,7 @@ DecodeError decode_control(std::span<const std::uint8_t> payload,
         const std::uint64_t raw = in.varint();
         if (in.ok() &&
             (raw < 1 ||
-             raw > static_cast<std::uint64_t>(ClusterOp::kReportLoad))) {
+             raw > static_cast<std::uint64_t>(ClusterOp::kReportTelemetry))) {
           return DecodeError::kBadValue;
         }
         out->op = static_cast<ClusterOp>(raw);
@@ -368,6 +400,169 @@ DecodeError decode_load_report(std::span<const std::uint8_t> payload,
       case 2:
         out->meter_total = in.f64();
         break;
+      default:
+        in.skip(type);
+        break;
+    }
+    if (!in.ok()) break;
+  }
+  return in.error();
+}
+
+// --- TelemetryReport ------------------------------------------------------
+
+namespace {
+
+// Submessage field ids shared by the metric encoder/decoder below.
+enum MetricField : std::uint32_t {
+  kMKind = 1,     // varint  (obs::MetricKind)
+  kMName = 2,     // bytes
+  kMLabel = 3,    // bytes, repeated: nested {1: key, 2: value}
+  kMCounter = 4,  // varint
+  kMGauge = 5,    // fixed64 (f64)
+  kMBounds = 6,   // bytes: packed f64
+  kMBuckets = 7,  // bytes: packed varint
+  kMSum = 8,      // fixed64 (f64)
+  kMCount = 9,    // varint
+};
+
+void encode_metric(const obs::MetricSnapshot& metric, ByteWriter& out) {
+  ByteWriter m;
+  if (metric.kind != obs::MetricKind::kCounter) {
+    m.field_varint(kMKind, static_cast<std::uint64_t>(metric.kind));
+  }
+  if (!metric.name.empty()) field_string(m, kMName, metric.name);
+  for (const auto& [key, value] : metric.labels) {
+    ByteWriter label;
+    if (!key.empty()) field_string(label, 1, key);
+    if (!value.empty()) field_string(label, 2, value);
+    m.field_bytes(kMLabel, label.data());
+  }
+  if (metric.counter_value != 0) {
+    m.field_varint(kMCounter, metric.counter_value);
+  }
+  if (metric.gauge_value != 0.0) m.field_f64(kMGauge, metric.gauge_value);
+  if (!metric.bounds.empty()) field_packed_f64(m, kMBounds, metric.bounds);
+  if (!metric.buckets.empty()) {
+    field_packed_varints(m, kMBuckets, metric.buckets);
+  }
+  if (metric.sum != 0.0) m.field_f64(kMSum, metric.sum);
+  if (metric.count != 0) m.field_varint(kMCount, metric.count);
+  out.field_bytes(2, m.data());
+}
+
+DecodeError decode_metric(ByteReader& in, obs::MetricSnapshot* out) {
+  ByteReader m(in.length_delimited());
+  if (!in.ok()) return in.error();
+  *out = obs::MetricSnapshot{};
+  std::uint32_t id = 0;
+  WireType type = WireType::kVarint;
+  while (m.next_field(&id, &type)) {
+    switch (id) {
+      case kMKind: {
+        const std::uint64_t raw = m.varint();
+        if (m.ok() &&
+            raw > static_cast<std::uint64_t>(obs::MetricKind::kHistogram)) {
+          return DecodeError::kBadValue;
+        }
+        out->kind = static_cast<obs::MetricKind>(raw);
+        break;
+      }
+      case kMName:
+        out->name = read_string(m);
+        break;
+      case kMLabel: {
+        ByteReader label(m.length_delimited());
+        if (!m.ok()) break;
+        std::string key, value;
+        std::uint32_t lid = 0;
+        WireType ltype = WireType::kVarint;
+        while (label.next_field(&lid, &ltype)) {
+          if (lid == 1) key = read_string(label);
+          else if (lid == 2) value = read_string(label);
+          else label.skip(ltype);
+          if (!label.ok()) break;
+        }
+        if (!label.ok()) {
+          m.fail(label.error());
+          break;
+        }
+        out->labels.emplace_back(std::move(key), std::move(value));
+        break;
+      }
+      case kMCounter:
+        out->counter_value = m.varint();
+        break;
+      case kMGauge:
+        out->gauge_value = m.f64();
+        break;
+      case kMBounds:
+        out->bounds = read_packed_f64(m);
+        break;
+      case kMBuckets:
+        out->buckets = read_packed_varints(m);
+        break;
+      case kMSum:
+        out->sum = m.f64();
+        break;
+      case kMCount:
+        out->count = m.varint();
+        break;
+      default:
+        m.skip(type);
+        break;
+    }
+    if (!m.ok()) break;
+  }
+  if (m.error() != DecodeError::kNone) return m.error();
+  // A histogram's bucket list must line up with its bounds (one
+  // overflow bucket at the back) or the coordinator-side merge would
+  // be operating on garbage.
+  if (out->kind == obs::MetricKind::kHistogram &&
+      out->buckets.size() != out->bounds.size() + 1) {
+    return DecodeError::kBadValue;
+  }
+  return DecodeError::kNone;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_telemetry_report(
+    const TelemetryReportFrame& frame, std::uint8_t version) {
+  ByteWriter body;
+  if (frame.shard != 0) body.field_varint(1, frame.shard);
+  for (const obs::MetricSnapshot& metric : frame.metrics) {
+    encode_metric(metric, body);
+  }
+  return finish_frame(FrameKind::kTelemetryReport, version,
+                      std::move(body));
+}
+
+DecodeError decode_telemetry_report(std::span<const std::uint8_t> payload,
+                                    TelemetryReportFrame* out) {
+  ByteReader in({});
+  if (const DecodeError err =
+          open_body(payload, FrameKind::kTelemetryReport, &in);
+      err != DecodeError::kNone) {
+    return err;
+  }
+  *out = TelemetryReportFrame{};
+  std::uint32_t id = 0;
+  WireType type = WireType::kVarint;
+  while (in.next_field(&id, &type)) {
+    switch (id) {
+      case 1:
+        out->shard = static_cast<std::uint32_t>(in.varint());
+        break;
+      case 2: {
+        obs::MetricSnapshot metric;
+        if (const DecodeError err = decode_metric(in, &metric);
+            err != DecodeError::kNone) {
+          return err;
+        }
+        out->metrics.push_back(std::move(metric));
+        break;
+      }
       default:
         in.skip(type);
         break;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/metrics_registry.hpp"
 #include "tracking/tracker.hpp"
 #include "wire/message_codec.hpp"
 
@@ -47,6 +48,7 @@ enum class ClusterOp : std::uint8_t {
   kQuery = 3,
   kNotePosition = 4,  // object position broadcast (no walker injected)
   kReportLoad = 5,    // reply with a LoadReport
+  kReportTelemetry = 6,  // reply with a TelemetryReport
 };
 
 const char* cluster_op_name(ClusterOp op);
@@ -100,6 +102,19 @@ struct LoadReportFrame {
   bool operator==(const LoadReportFrame&) const = default;
 };
 
+// Worker -> coordinator reply to a kReportTelemetry control: the full
+// value-typed snapshot of the shard's metrics registry (counters,
+// gauges, histogram buckets — see obs::MetricSnapshot). Each metric is
+// a nested length-delimited submessage, so the list can grow new
+// per-metric fields under the same unknown-id-skip rules as every
+// other frame.
+struct TelemetryReportFrame {
+  std::uint32_t shard = 0;
+  std::vector<obs::MetricSnapshot> metrics;
+
+  bool operator==(const TelemetryReportFrame&) const = default;
+};
+
 // Self-delivery notification of the socket transport's Channel role: the
 // delivery callback stays in-process (keyed by seq); the frame makes the
 // hop physically traverse the kernel's loopback stack.
@@ -123,6 +138,8 @@ std::vector<std::uint8_t> encode_probe_reply(
     const ProbeReplyFrame& frame, std::uint8_t version = kWireVersion);
 std::vector<std::uint8_t> encode_load_report(
     const LoadReportFrame& frame, std::uint8_t version = kWireVersion);
+std::vector<std::uint8_t> encode_telemetry_report(
+    const TelemetryReportFrame& frame, std::uint8_t version = kWireVersion);
 std::vector<std::uint8_t> encode_shutdown(
     std::uint8_t version = kWireVersion);
 std::vector<std::uint8_t> encode_loopback(
@@ -142,6 +159,8 @@ DecodeError decode_probe_reply(std::span<const std::uint8_t> payload,
                                ProbeReplyFrame* out);
 DecodeError decode_load_report(std::span<const std::uint8_t> payload,
                                LoadReportFrame* out);
+DecodeError decode_telemetry_report(std::span<const std::uint8_t> payload,
+                                    TelemetryReportFrame* out);
 DecodeError decode_loopback(std::span<const std::uint8_t> payload,
                             LoopbackFrame* out);
 

@@ -23,6 +23,11 @@ enum MessageField : std::uint32_t {
   // --- added in version 2 (cluster walker context) ---
   kFOpCost = 14,     // fixed64 (f64)
   kFOpPeak = 15,     // svarint
+  // --- added in PR 7, still version 2 (causal trace context; zero and
+  //     therefore absent unless a trace sink is installed) ---
+  kFTraceId = 16,    // fixed64
+  kFSpan = 17,       // varint
+  kFSpanSeq = 18,    // varint
   // --- kMessage envelope (not part of proto::Message) ---
   kFFrom = 20,       // fixed32
 };
@@ -51,6 +56,8 @@ const char* frame_kind_name(FrameKind kind) {
       return "shutdown";
     case FrameKind::kLoopback:
       return "loopback";
+    case FrameKind::kTelemetryReport:
+      return "telemetry-report";
   }
   return "unknown";
 }
@@ -90,7 +97,7 @@ DecodeError read_frame_header(ByteReader& in, FrameHeader* out) {
   if (!in.ok()) return in.error();
   if (version < kWireVersionMin) return DecodeError::kBadVersion;
   if (kind < static_cast<std::uint8_t>(FrameKind::kMessage) ||
-      kind > static_cast<std::uint8_t>(FrameKind::kLoopback)) {
+      kind > static_cast<std::uint8_t>(FrameKind::kTelemetryReport)) {
     return DecodeError::kBadKind;
   }
   out->version = version;
@@ -139,6 +146,9 @@ void encode_message_fields(const proto::Message& message,
   if (version >= 2) {
     if (message.op_cost != 0.0) out.field_f64(kFOpCost, message.op_cost);
     if (message.op_peak != 0) out.field_svarint(kFOpPeak, message.op_peak);
+    if (message.trace_id != 0) out.field_fixed64(kFTraceId, message.trace_id);
+    if (message.span != 0) out.field_varint(kFSpan, message.span);
+    if (message.span_seq != 0) out.field_varint(kFSpanSeq, message.span_seq);
   }
 }
 
@@ -201,6 +211,15 @@ DecodeError decode_message_fields(ByteReader& in, MessageFrame* frame) {
         break;
       case kFOpPeak:
         m.op_peak = static_cast<std::int32_t>(in.svarint());
+        break;
+      case kFTraceId:
+        m.trace_id = in.fixed64();
+        break;
+      case kFSpan:
+        m.span = in.varint();
+        break;
+      case kFSpanSeq:
+        m.span_seq = in.varint();
         break;
       case kFFrom:
         frame->from = in.fixed32();

@@ -24,7 +24,9 @@ namespace mot::wire {
 
 // Version 1: message fields 1..13 (the PR-1 protocol vocabulary).
 // Version 2 (current): adds the traveling walker context (op_cost,
-// op_peak) that cluster mode ships between shards.
+// op_peak) that cluster mode ships between shards, plus the optional
+// causal trace context (trace_id, span, span_seq) — absent unless a
+// trace sink is installed, so untraced v2 bytes are unchanged.
 inline constexpr std::uint8_t kWireVersionMin = 1;
 inline constexpr std::uint8_t kWireVersion = 2;
 // Test shim: "a build from the future" — a valid encoder whose version
@@ -47,6 +49,7 @@ enum class FrameKind : std::uint8_t {
   kLoadReport = 8, // worker -> coordinator: per-node storage load
   kShutdown = 9,   // coordinator -> worker: exit cleanly
   kLoopback = 10,  // transport self-delivery notification (intra-shard)
+  kTelemetryReport = 11,  // worker -> coordinator: metrics snapshot
 };
 
 const char* frame_kind_name(FrameKind kind);

@@ -19,6 +19,9 @@
 #include "hier/doubling_hierarchy.hpp"
 #include "netio/socket.hpp"
 #include "netio/transport.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_analysis.hpp"
 #include "proto/distributed_mot.hpp"
 #include "sim/channel_factory.hpp"
 #include "util/rng.hpp"
@@ -341,6 +344,108 @@ TEST(NetCluster, MixedVersionInteropFutureEncoderAmongCurrentPeers) {
   // fields nobody else has shipped. Current decoders must skip the
   // unknown fields and the cluster must stay bit-exact on answers.
   run_cluster_parity(2, wire::kWireVersionFuture);
+}
+
+TEST(NetCluster, TracedRunYieldsConnectedSpanTreesAndMeterParity) {
+  // The observability contract (DESIGN.md §12): with a sink installed,
+  // every cross-shard walk re-joins into exactly one span tree (single
+  // root, no orphans, no duplicate span ids), and the span-summed
+  // charged cost equals the single-process CostMeter on the same seed.
+  constexpr std::uint32_t kShards = 3;
+  constexpr NodeId kStart = 12;
+  constexpr ObjectId kObject = 0;
+  const Fixture fx;
+  const std::vector<WorkloadStep> workload =
+      make_workload(fx, kStart, 25, 0xc1u);
+
+  // Reference first, with no sink: its spans reuse the cluster's
+  // deterministic trace ids by design, so capturing both runs would
+  // manufacture duplicate spans.
+  Simulator ref_sim;
+  DistributedMot reference(*fx.provider, ref_sim, fx.chain_options);
+  reference.publish(kObject, kStart);
+  ref_sim.run();
+  for (const WorkloadStep& step : workload) {
+    reference.move(kObject, step.move_to);
+    ref_sim.run();
+    reference.query(step.query_from, kObject);
+    ref_sim.run();
+  }
+  const double ref_meter = reference.meter().total_distance();
+
+  // One shared ring for the whole process: worker threads interleave
+  // into it (appends are mutex-guarded), which the analyzer must not
+  // care about — causality is reconstructed from ids, not order.
+  obs::RingBufferSink ring(1 << 16);
+  obs::TraceSink* previous = obs::install_trace_sink(&ring);
+
+  ClusterCoordinator coordinator(kShards);
+  ASSERT_TRUE(coordinator.open());
+  const std::uint16_t port = coordinator.port();
+  std::vector<std::thread> threads;
+  std::vector<int> rcs(kShards, -1);
+  for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+    threads.emplace_back([shard, port, &rcs] {
+      const Fixture worker_fx;
+      Simulator sim;
+      DistributedMot mot(*worker_fx.provider, sim, worker_fx.chain_options);
+      WorkerConfig config;
+      config.shard = shard;
+      config.num_shards = kShards;
+      config.coordinator_port = port;
+      ShardWorker worker(config, *worker_fx.provider, sim, mot);
+      rcs[shard] = worker.run();
+    });
+  }
+  ASSERT_TRUE(coordinator.bootstrap());
+  ASSERT_TRUE(coordinator.publish(kObject, kStart));
+  for (const WorkloadStep& step : workload) {
+    ASSERT_TRUE(coordinator.move(kObject, step.move_to).has_value());
+    ASSERT_TRUE(coordinator.query(step.query_from, kObject).has_value());
+  }
+
+  // Cluster telemetry rides the same control plane: the merged registry,
+  // summed over per-shard labels, must agree with the load-report meter.
+  double cluster_meter = 0.0;
+  coordinator.collect_loads(&cluster_meter);
+  obs::MetricsRegistry merged;
+  ASSERT_TRUE(coordinator.collect_telemetry(&merged));
+  double telemetry_meter = 0.0;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    telemetry_meter +=
+        merged.gauge("mot_cost_distance_total",
+                     {{"shard", std::to_string(s)}})
+            .value();
+  }
+  EXPECT_NEAR(telemetry_meter, cluster_meter, 1e-6 * (1.0 + cluster_meter));
+
+  coordinator.shutdown();
+  for (auto& thread : threads) thread.join();
+  obs::install_trace_sink(previous);
+  for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+    ASSERT_EQ(rcs[shard], 0) << "shard " << shard;
+  }
+  ASSERT_EQ(ring.dropped(), 0u) << "ring too small to audit the run";
+
+  // Round-trip through the JSONL text: the same path trace_analyze
+  // takes, so the parser is exercised against real emitted lines.
+  obs::TraceAnalyzer analyzer;
+  std::uint64_t index = 0;
+  for (const obs::TraceEvent& event : ring.events()) {
+    ASSERT_TRUE(analyzer.add_line(obs::event_to_json(event, index++), 0));
+  }
+  const obs::TraceReport report = analyzer.report();
+  // 1 publish + 25 moves + 25 queries, each one connected tree.
+  EXPECT_EQ(report.traces.size(), 1 + 2 * workload.size());
+  EXPECT_TRUE(report.all_connected())
+      << report.connected << " of " << report.traces.size() << " connected";
+  EXPECT_TRUE(report.conserved())
+      << report.wire_encodes << " encodes, " << report.wire_decodes
+      << " decodes";
+  EXPECT_EQ(report.untraced_cost, 0.0)
+      << "every charged hop must belong to a span";
+  EXPECT_NEAR(report.span_cost, ref_meter, 1e-6 * (1.0 + ref_meter));
+  EXPECT_NEAR(cluster_meter, ref_meter, 1e-6 * (1.0 + ref_meter));
 }
 
 TEST(NetCluster, BootstrapRejectsDivergentWorlds) {

@@ -1,0 +1,298 @@
+// Offline observability: the trace JSONL parser, the span-tree
+// analyzer behind bench/trace_analyze, the crash flight recorder, and
+// the metric snapshot/absorb bridge that TelemetryReport frames ride.
+#include "obs/trace_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace mot::obs {
+namespace {
+
+// --- parse_trace_line -----------------------------------------------------
+
+TEST(TraceParse, RoundTripsWhatEventToJsonEmits) {
+  const TraceEvent event{.type = Ev::kMsgSend,
+                         .t = 2.5,
+                         .object = 7,
+                         .from = 3,
+                         .to = 9,
+                         .level = 4,
+                         .dist = 1.25,
+                         .charged = 1.25,
+                         .aux = 42,
+                         .trace = 0xabcdef0012345678ULL,
+                         .span = 11,
+                         .parent = 10,
+                         .label = "insert"};
+  ParsedEvent parsed;
+  ASSERT_TRUE(parse_trace_line(event_to_json(event, 5), &parsed));
+  EXPECT_EQ(parsed.ev, "msg_send");
+  EXPECT_DOUBLE_EQ(parsed.t, 2.5);
+  EXPECT_EQ(parsed.object, 7u);
+  EXPECT_EQ(parsed.from, 3u);
+  EXPECT_EQ(parsed.to, 9u);
+  EXPECT_EQ(parsed.level, 4);
+  EXPECT_DOUBLE_EQ(parsed.dist, 1.25);
+  EXPECT_DOUBLE_EQ(parsed.charged, 1.25);
+  EXPECT_EQ(parsed.aux, 42u);
+  EXPECT_EQ(parsed.trace, 0xabcdef0012345678ULL);
+  EXPECT_EQ(parsed.span, 11u);
+  EXPECT_EQ(parsed.parent, 10u);
+  EXPECT_EQ(parsed.label, "insert");
+}
+
+TEST(TraceParse, OmittedFieldsKeepTheirDefaults) {
+  // event_to_json omits unset fields; the parser must restore the same
+  // defaults TraceEvent carries, including the all-important trace=0.
+  ParsedEvent parsed;
+  ASSERT_TRUE(parse_trace_line(R"({"i":0,"ev":"span_begin"})", &parsed));
+  EXPECT_EQ(parsed.ev, "span_begin");
+  EXPECT_EQ(parsed.trace, 0u);
+  EXPECT_EQ(parsed.span, 0u);
+  EXPECT_EQ(parsed.parent, 0u);
+  EXPECT_EQ(parsed.object, kNoObject);
+  EXPECT_DOUBLE_EQ(parsed.charged, 0.0);
+}
+
+TEST(TraceParse, AcceptsEscapesAndRejectsMalformedLines) {
+  ParsedEvent parsed;
+  ASSERT_TRUE(parse_trace_line(
+      R"({"ev":"msg_send","label":"a\"b\\cA\n"})", &parsed));
+  EXPECT_EQ(parsed.label, "a\"b\\cA\n");
+
+  EXPECT_FALSE(parse_trace_line("", &parsed));
+  EXPECT_FALSE(parse_trace_line("not json", &parsed));
+  EXPECT_FALSE(parse_trace_line(R"(["ev","msg_send"])", &parsed));
+  EXPECT_FALSE(parse_trace_line(R"({"ev":"x")", &parsed));       // unclosed
+  EXPECT_FALSE(parse_trace_line(R"({"ev":"x"} tail)", &parsed)); // garbage
+  EXPECT_FALSE(parse_trace_line(R"({"t":12..5,"ev":"x"})", &parsed));
+}
+
+// --- TraceAnalyzer --------------------------------------------------------
+
+ParsedEvent span(std::uint64_t trace, std::uint64_t id, std::uint64_t parent,
+                 double charged = 0.0, int shard = 0) {
+  ParsedEvent event;
+  event.ev = "msg_send";
+  event.trace = trace;
+  event.span = id;
+  event.parent = parent;
+  event.charged = charged;
+  event.shard = shard;
+  event.label = "insert";
+  return event;
+}
+
+TEST(TraceAnalysis, ConnectedTreeWithCriticalPathAndCost) {
+  TraceAnalyzer analyzer;
+  // root(1) -> 2 -> 3 -> 4 plus a side branch 1 -> 5: the critical
+  // path is the four-span chain.
+  analyzer.add_event(span(0xbeef, 1, 0, 1.0, 0));
+  analyzer.add_event(span(0xbeef, 2, 1, 2.0, 1));
+  analyzer.add_event(span(0xbeef, 3, 2, 4.0, 0));
+  analyzer.add_event(span(0xbeef, 4, 3, 8.0, 1));
+  analyzer.add_event(span(0xbeef, 5, 1, 16.0, 2));
+  const TraceReport report = analyzer.report();
+  ASSERT_EQ(report.traces.size(), 1u);
+  const TraceSummary& trace = report.traces[0];
+  EXPECT_TRUE(trace.connected());
+  EXPECT_EQ(trace.spans, 5u);
+  EXPECT_EQ(trace.roots, 1u);
+  EXPECT_EQ(trace.critical_path, 4u);
+  EXPECT_EQ(trace.shards, 3u);
+  EXPECT_DOUBLE_EQ(trace.cost, 31.0);
+  EXPECT_EQ(trace.root_label, "insert");
+  EXPECT_TRUE(report.all_connected());
+  EXPECT_DOUBLE_EQ(report.span_cost, 31.0);
+}
+
+TEST(TraceAnalysis, FlagsOrphansMultipleRootsAndDuplicates) {
+  TraceAnalyzer analyzer;
+  analyzer.add_event(span(1, 1, 0));
+  analyzer.add_event(span(1, 2, 99));  // orphan: parent 99 never seen
+  analyzer.add_event(span(2, 1, 0));
+  analyzer.add_event(span(2, 2, 0));   // second root
+  analyzer.add_event(span(3, 1, 0));
+  analyzer.add_event(span(3, 1, 1));   // duplicate span id
+  const TraceReport report = analyzer.report();
+  ASSERT_EQ(report.traces.size(), 3u);
+  EXPECT_EQ(report.traces[0].orphans, 1u);
+  EXPECT_EQ(report.traces[1].roots, 2u);
+  EXPECT_EQ(report.traces[2].duplicate_spans, 1u);
+  for (const TraceSummary& trace : report.traces) {
+    EXPECT_FALSE(trace.connected());
+  }
+  EXPECT_EQ(report.connected, 0u);
+  EXPECT_FALSE(report.all_connected());
+}
+
+TEST(TraceAnalysis, TracksConservationAndUntracedCost) {
+  TraceAnalyzer analyzer;
+  ParsedEvent encode;
+  encode.ev = "wire_encode";
+  analyzer.add_event(encode);
+  analyzer.add_event(encode);
+  ParsedEvent decode;
+  decode.ev = "wire_decode";
+  analyzer.add_event(decode);
+  ParsedEvent loose;
+  loose.ev = "msg_send";
+  loose.charged = 3.5;  // charged but no trace id: accounted separately
+  analyzer.add_event(loose);
+  const TraceReport report = analyzer.report();
+  EXPECT_EQ(report.wire_encodes, 2u);
+  EXPECT_EQ(report.wire_decodes, 1u);
+  EXPECT_FALSE(report.conserved());
+  EXPECT_DOUBLE_EQ(report.untraced_cost, 3.5);
+  EXPECT_DOUBLE_EQ(report.span_cost, 0.0);
+}
+
+TEST(TraceAnalysis, SurvivesAParentCycleWithoutSpinning) {
+  // Corrupt input where spans point at each other must terminate, not
+  // hang the analyzer (the chain walk is bounded by the span count).
+  TraceAnalyzer analyzer;
+  analyzer.add_event(span(7, 1, 2));
+  analyzer.add_event(span(7, 2, 1));
+  const TraceReport report = analyzer.report();
+  ASSERT_EQ(report.traces.size(), 1u);
+  EXPECT_FALSE(report.traces[0].connected());
+}
+
+TEST(TraceAnalysis, ReadsFilesAndCountsParseErrors) {
+  const std::string path = "trace_analysis_scratch.jsonl";
+  {
+    std::ofstream out(path);
+    out << event_to_json({.type = Ev::kMsgSend,
+                          .charged = 2.0,
+                          .trace = 5,
+                          .span = 1,
+                          .label = "insert"},
+                         0)
+        << "\n";
+    out << "this line is not json\n";
+    out << event_to_json({.type = Ev::kMsgSend,
+                          .charged = 3.0,
+                          .trace = 5,
+                          .span = 2,
+                          .parent = 1,
+                          .label = "insert"},
+                         1)
+        << "\n";
+  }
+  TraceAnalyzer analyzer;
+  ASSERT_TRUE(analyzer.add_file(path, 0));
+  EXPECT_EQ(analyzer.parse_errors(), 1u);
+  const TraceReport report = analyzer.report();
+  ASSERT_EQ(report.traces.size(), 1u);
+  EXPECT_TRUE(report.traces[0].connected());
+  EXPECT_DOUBLE_EQ(report.traces[0].cost, 5.0);
+  EXPECT_FALSE(analyzer.add_file("no/such/file.jsonl", 1));
+  std::remove(path.c_str());
+}
+
+// --- FlightRecorder -------------------------------------------------------
+
+TEST(FlightRecorder, DumpsTheRingTailOnceAndStaysDecodable) {
+  const std::string path = "flight_scratch.jsonl";
+  std::remove(path.c_str());
+  FlightRecorder recorder(4, path);
+  RingBufferSink chained(64);
+  recorder.set_chain(&chained);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recorder.on_event({.type = Ev::kMsgSend, .object = i, .label = "x"});
+  }
+  EXPECT_EQ(recorder.events_seen(), 10u);
+  EXPECT_EQ(chained.total_events(), 10u) << "chain must see every event";
+  EXPECT_FALSE(recorder.dumped());
+
+  ASSERT_TRUE(recorder.dump("test-reason"));
+  EXPECT_TRUE(recorder.dumped());
+  EXPECT_EQ(recorder.events_dumped(), 4u);  // capacity bounds the tail
+  EXPECT_FALSE(recorder.dump("second")) << "first dump wins";
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<ParsedEvent> parsed;
+  while (std::getline(in, line)) {
+    ParsedEvent event;
+    ASSERT_TRUE(parse_trace_line(line, &event)) << line;
+    parsed.push_back(event);
+  }
+  ASSERT_EQ(parsed.size(), 5u);  // header + 4 retained events
+  EXPECT_EQ(parsed[0].ev, "flight_dump");
+  EXPECT_EQ(parsed[0].label, "test-reason");
+  EXPECT_EQ(parsed[0].aux, 4u);  // retained-event count rides in aux
+  // Tail of the stream, oldest first: objects 6..9 survived.
+  for (std::size_t i = 1; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].object, 5 + i);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, GlobalInstallHookRoundTrips) {
+  EXPECT_EQ(flight_recorder(), nullptr);
+  FlightRecorder recorder(8, "unused.jsonl");
+  FlightRecorder* previous = install_flight_recorder(&recorder);
+  EXPECT_EQ(previous, nullptr);
+  EXPECT_EQ(flight_recorder(), &recorder);
+  EXPECT_EQ(install_flight_recorder(nullptr), &recorder);
+  EXPECT_EQ(flight_recorder(), nullptr);
+}
+
+// --- MetricSnapshot / absorb ----------------------------------------------
+
+TEST(MetricSnapshot, SnapshotAbsorbRoundTripsEveryKind) {
+  MetricsRegistry source;
+  source.counter("requests", {{"kind", "move"}}).increment(7);
+  source.gauge("meter").set(2.5);
+  FixedHistogram& histogram =
+      source.histogram("latency", {1.0, 10.0});
+  histogram.observe(0.5);
+  histogram.observe(5.0);
+  histogram.observe(50.0);
+
+  const std::vector<MetricSnapshot> snapshot = source.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+
+  // Absorb twice under different shard labels: instruments accumulate
+  // per label set, the way the coordinator merges worker reports.
+  MetricsRegistry merged;
+  for (const MetricSnapshot& metric : snapshot) {
+    merged.absorb(metric, {{"shard", "0"}});
+    merged.absorb(metric, {{"shard", "1"}});
+    merged.absorb(metric, {{"shard", "1"}});
+  }
+  EXPECT_EQ(
+      merged.counter("requests", {{"kind", "move"}, {"shard", "0"}}).value(),
+      7u);
+  EXPECT_EQ(
+      merged.counter("requests", {{"kind", "move"}, {"shard", "1"}}).value(),
+      14u);
+  EXPECT_DOUBLE_EQ(merged.gauge("meter", {{"shard", "0"}}).value(), 2.5);
+  EXPECT_DOUBLE_EQ(merged.gauge("meter", {{"shard", "1"}}).value(), 5.0);
+  const FixedHistogram& absorbed =
+      merged.histogram("latency", {1.0, 10.0}, {{"shard", "1"}});
+  EXPECT_EQ(absorbed.count(), 6u);
+  EXPECT_DOUBLE_EQ(absorbed.sum(), 111.0);
+  const std::vector<std::uint64_t> expected = {2, 2, 2};
+  EXPECT_EQ(absorbed.bucket_counts(), expected);
+
+  // The merged registry snapshots back out identically shaped metrics.
+  MetricsRegistry again;
+  for (const MetricSnapshot& metric : merged.snapshot()) {
+    again.absorb(metric);
+  }
+  EXPECT_EQ(again.snapshot(), merged.snapshot());
+}
+
+}  // namespace
+}  // namespace mot::obs

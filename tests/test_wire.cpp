@@ -205,6 +205,12 @@ proto::Message random_message(Rng& rng, proto::MsgType type) {
   if (rng.chance(0.5)) m.op_cost = rng.uniform(0.0, 1e6);
   if (rng.chance(0.5)) m.op_peak = static_cast<std::int32_t>(
       rng.uniform_int(-1, 40));
+  if (rng.chance(0.5)) {
+    // Trace context travels together: an id plus the span/cursor pair.
+    m.trace_id = rng();
+    m.span = rng() % 1000;
+    m.span_seq = m.span + 1 + rng() % 16;
+  }
   return m;
 }
 
@@ -245,6 +251,9 @@ TEST(WireMessage, VersionOneOmitsWalkerContext) {
   frame.message = random_message(rng, proto::MsgType::kInsert);
   frame.message.op_cost = 123.5;
   frame.message.op_peak = 7;
+  frame.message.trace_id = 0xfeedULL;
+  frame.message.span = 3;
+  frame.message.span_seq = 4;
 
   const Bytes v1 = wire::encode_message_frame(frame, 1);
   std::span<const std::uint8_t> payload;
@@ -256,9 +265,48 @@ TEST(WireMessage, VersionOneOmitsWalkerContext) {
   // Everything round-trips except the v2 fields, which v1 cannot carry.
   EXPECT_EQ(decoded.message.op_cost, 0.0);
   EXPECT_EQ(decoded.message.op_peak, 0);
+  EXPECT_EQ(decoded.message.trace_id, 0u);
+  EXPECT_EQ(decoded.message.span, 0u);
+  EXPECT_EQ(decoded.message.span_seq, 0u);
   decoded.message.op_cost = frame.message.op_cost;
   decoded.message.op_peak = frame.message.op_peak;
+  decoded.message.trace_id = frame.message.trace_id;
+  decoded.message.span = frame.message.span;
+  decoded.message.span_seq = frame.message.span_seq;
   EXPECT_EQ(decoded, frame);
+}
+
+TEST(WireMessage, UntracedMessagesEncodeIdenticallyToPreTracingBytes) {
+  // Tracing is omitted-by-default: a message with zero trace context
+  // must produce the same v2 bytes it did before the fields existed, so
+  // untraced clusters stay bit-identical (golden frames unchanged).
+  SeedTree seeds(0x0b5);
+  Rng rng = seeds.stream("untraced");
+  for (int i = 0; i < 100; ++i) {
+    MessageFrame frame;
+    frame.message = random_message(
+        rng, static_cast<proto::MsgType>(rng() % proto::kNumMsgTypes));
+    frame.from = static_cast<NodeId>(rng() % 100000);
+    MessageFrame untraced = frame;
+    untraced.message.trace_id = 0;
+    untraced.message.span = 0;
+    untraced.message.span_seq = 0;
+    const Bytes bytes = wire::encode_message_frame(untraced);
+    if (frame.message.trace_id != 0) {
+      EXPECT_LT(bytes.size(),
+                wire::encode_message_frame(frame).size());
+    }
+    // No tag in the 16..18 range survives zeroing: the decoded message
+    // equals a message that never had the fields.
+    std::span<const std::uint8_t> payload;
+    std::size_t consumed = 0;
+    ASSERT_EQ(wire::split_frame(bytes, &payload, &consumed),
+              DecodeError::kNone);
+    MessageFrame decoded;
+    ASSERT_EQ(wire::decode_message_frame(payload, &decoded),
+              DecodeError::kNone);
+    EXPECT_EQ(decoded, untraced);
+  }
 }
 
 TEST(WireMessage, CurrentDecoderSkipsFutureFields) {
@@ -476,7 +524,7 @@ TEST(WireFrames, ControlPlaneRoundTrips) {
     EXPECT_EQ(ack2, ack);
 
     wire::ControlFrame control;
-    control.op = static_cast<wire::ClusterOp>(1 + rng() % 5);
+    control.op = static_cast<wire::ClusterOp>(1 + rng() % 6);
     control.object = static_cast<ObjectId>(rng() % 10000);
     control.node = static_cast<NodeId>(rng() % 100000);
     control.query_id = rng() % 1000000;
@@ -541,6 +589,79 @@ TEST(WireFrames, ControlOpOutOfRangeIsBadValue) {
             DecodeError::kBadValue);
 }
 
+TEST(WireFrames, TelemetryReportRoundTripsEveryMetricKind) {
+  SeedTree seeds(0x7e1e);
+  Rng rng = seeds.stream("telemetry");
+  for (int i = 0; i < 100; ++i) {
+    wire::TelemetryReportFrame report;
+    report.shard = static_cast<std::uint32_t>(rng() % 16);
+    obs::MetricSnapshot counter;
+    counter.name = "mot_cost_messages_total";
+    counter.kind = obs::MetricKind::kCounter;
+    counter.counter_value = rng() % 1000000;
+    if (rng.chance(0.5)) counter.labels = {{"shard", "3"}, {"op", "move"}};
+    report.metrics.push_back(counter);
+    obs::MetricSnapshot gauge;
+    gauge.name = "mot_cost_distance_total";
+    gauge.kind = obs::MetricKind::kGauge;
+    gauge.gauge_value = rng.uniform(-1e6, 1e6);
+    report.metrics.push_back(gauge);
+    obs::MetricSnapshot histogram;
+    histogram.name = "mot_latency";
+    histogram.kind = obs::MetricKind::kHistogram;
+    for (std::uint64_t b = 1 + rng() % 5; b > 0; --b) {
+      histogram.bounds.push_back(rng.uniform(0.0, 1e3));
+    }
+    for (std::size_t b = 0; b <= histogram.bounds.size(); ++b) {
+      histogram.buckets.push_back(rng() % 100);
+    }
+    histogram.sum = rng.uniform(0.0, 1e6);
+    histogram.count = rng() % 100000;
+    report.metrics.push_back(histogram);
+    // Defaults must be omittable too: an all-zero counter.
+    obs::MetricSnapshot zero;
+    zero.name = "mot_zero";
+    report.metrics.push_back(zero);
+
+    const Bytes encoded = wire::encode_telemetry_report(report);
+    wire::TelemetryReportFrame decoded;
+    ASSERT_EQ(wire::decode_telemetry_report(body_of(encoded), &decoded),
+              DecodeError::kNone);
+    EXPECT_EQ(decoded, report);
+    EXPECT_EQ(wire::encode_telemetry_report(decoded), encoded);
+  }
+}
+
+TEST(WireFrames, TelemetryRejectsBadKindAndBucketMismatch) {
+  {
+    // Metric kind beyond kHistogram is out of domain.
+    ByteWriter metric;
+    metric.field_varint(1, 9);  // field 1 = MetricKind
+    ByteWriter body;
+    body.field_bytes(2, metric.take());  // field 2 = repeated metric
+    const Bytes frame = wire::finish_frame(FrameKind::kTelemetryReport,
+                                           wire::kWireVersion,
+                                           std::move(body));
+    wire::TelemetryReportFrame report;
+    EXPECT_EQ(wire::decode_telemetry_report(body_of(frame), &report),
+              DecodeError::kBadValue);
+  }
+  {
+    // A histogram must carry exactly bounds+1 buckets.
+    wire::TelemetryReportFrame report;
+    obs::MetricSnapshot histogram;
+    histogram.name = "h";
+    histogram.kind = obs::MetricKind::kHistogram;
+    histogram.bounds = {1.0, 2.0};
+    histogram.buckets = {1, 2};  // one short
+    report.metrics.push_back(histogram);
+    const Bytes frame = wire::encode_telemetry_report(report);
+    wire::TelemetryReportFrame decoded;
+    EXPECT_EQ(wire::decode_telemetry_report(body_of(frame), &decoded),
+              DecodeError::kBadValue);
+  }
+}
+
 TEST(WireFrames, ShutdownIsABareEnvelope) {
   const Bytes frame = wire::encode_shutdown();
   std::span<const std::uint8_t> payload;
@@ -557,8 +678,33 @@ TEST(WireFrames, ShutdownIsABareEnvelope) {
 TEST(WireFrames, NamesAreStable) {
   EXPECT_STREQ(wire::frame_kind_name(FrameKind::kMessage), "message");
   EXPECT_STREQ(wire::frame_kind_name(FrameKind::kLoopback), "loopback");
+  EXPECT_STREQ(wire::frame_kind_name(FrameKind::kTelemetryReport),
+               "telemetry-report");
   EXPECT_STREQ(wire::decode_error_name(DecodeError::kNone), "none");
   EXPECT_STREQ(wire::cluster_op_name(wire::ClusterOp::kQuery), "query");
+  EXPECT_STREQ(wire::cluster_op_name(wire::ClusterOp::kReportTelemetry),
+               "report-telemetry");
+}
+
+TEST(WireFrames, EveryFrameKindAndClusterOpHasAName) {
+  // The name tables are switch-based and the wire library compiles with
+  // -Wswitch-enum, so a new enumerator that misses a case fails the
+  // build; this guards the complementary property that no enumerator
+  // falls back to the catch-all.
+  for (std::uint8_t k = 1; k <= static_cast<std::uint8_t>(
+                                    FrameKind::kTelemetryReport);
+       ++k) {
+    EXPECT_STRNE(wire::frame_kind_name(static_cast<FrameKind>(k)),
+                 "unknown")
+        << "FrameKind " << int(k);
+  }
+  for (std::uint8_t op = 1; op <= static_cast<std::uint8_t>(
+                                      wire::ClusterOp::kReportTelemetry);
+       ++op) {
+    EXPECT_STRNE(wire::cluster_op_name(static_cast<wire::ClusterOp>(op)),
+                 "unknown")
+        << "ClusterOp " << int(op);
+  }
 }
 
 TEST(WireFrames, SplitFrameCarvesBackToBackFrames) {
