@@ -1,49 +1,68 @@
-// Main() shim for the Google Benchmark micro benches: strips the
-// repo-wide --log-level flag (benchmark::Initialize rejects flags it
-// does not know) and applies it before running the registered benches.
+// Shared measurement statistics for the micro benches: the trimmed-mean
+// estimator and the interleaved order-rotated variant harness that
+// micro_obs introduced, hoisted here so micro_wire, micro_par, and
+// micro_throughput report figures through the same estimator instead of
+// each hand-rolling its own.
+//
+// Deliberately dependency-free (standard library only): the Google
+// Benchmark main() shim lives in micro_gbench.hpp, so benches that do
+// not link benchmark::benchmark can still include this header.
 #pragma once
 
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-#include <string>
-
-#include "util/log.hpp"
+#include <algorithm>
+#include <cstddef>
+#include <vector>
 
 namespace mot::bench {
 
-inline int micro_main(int argc, char** argv) {
-  set_log_level(LogLevel::kWarn);
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::string value;
-    if (arg.rfind("--log-level=", 0) == 0) {
-      value = arg.substr(std::string("--log-level=").size());
-    } else if (arg == "--log-level" && i + 1 < argc) {
-      value = argv[++i];
-    } else {
-      argv[kept++] = argv[i];
-      continue;
+// Mean of the middle 60%: run wall times on a shared machine are a
+// tight base distribution plus occasional positive scheduler spikes,
+// and trimming both tails discards the spikes without letting one
+// lucky minimum define the figure the way best-of does.
+inline double trimmed_mean(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t cut = xs.size() / 5;
+  double sum = 0.0;
+  for (std::size_t i = cut; i < xs.size() - cut; ++i) sum += xs[i];
+  return sum / static_cast<double>(xs.size() - 2 * cut);
+}
+
+// Trimmed mean of `reps` runs of one body; run(rep) returns wall
+// seconds. The single-variant shape of measure_interleaved below.
+template <typename RunFn>
+double repeat_trimmed(int reps, RunFn&& run) {
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) walls.push_back(run(r));
+  return trimmed_mean(walls);
+}
+
+struct VariantStats {
+  double seconds = 0.0;   // trimmed-mean wall seconds across reps
+  double overhead = 0.0;  // trimmed-mean % slowdown vs variant 0
+};
+
+// Variant 0 is the baseline. Reps interleave the variants and rotate
+// which one runs first, so machine drift within and across reps lands
+// on all variants equally instead of biasing whichever is measured
+// later. run(variant, rep) returns wall seconds for one run.
+template <typename RunFn>
+std::vector<VariantStats> measure_interleaved(std::size_t variants,
+                                              int reps, RunFn&& run) {
+  std::vector<std::vector<double>> walls(variants);
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t k = 0; k < variants; ++k) {
+      const std::size_t v = (k + static_cast<std::size_t>(r)) % variants;
+      walls[v].push_back(run(v, r));
     }
-    const std::optional<LogLevel> level = parse_log_level(value);
-    if (!level.has_value()) {
-      std::fprintf(stderr, "unknown --log-level '%s'\n", value.c_str());
-      return 1;
-    }
-    set_log_level(*level);
   }
-  argc = kept;
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  std::vector<VariantStats> stats(variants);
+  const double baseline = trimmed_mean(walls[0]);
+  for (std::size_t v = 0; v < variants; ++v) {
+    stats[v].seconds = trimmed_mean(walls[v]);
+    stats[v].overhead = (stats[v].seconds / baseline - 1.0) * 100.0;
+  }
+  return stats;
 }
 
 }  // namespace mot::bench
-
-#define MOT_MICRO_MAIN()                        \
-  int main(int argc, char** argv) {             \
-    return ::mot::bench::micro_main(argc, argv); \
-  }

@@ -1,0 +1,49 @@
+// Main() shim for the Google Benchmark micro benches: strips the
+// repo-wide --log-level flag (benchmark::Initialize rejects flags it
+// does not know) and applies it before running the registered benches.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace mot::bench {
+
+inline int micro_main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg.rfind("--log-level=", 0) == 0) {
+      value = arg.substr(std::string("--log-level=").size());
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    const std::optional<LogLevel> level = parse_log_level(value);
+    if (!level.has_value()) {
+      std::fprintf(stderr, "unknown --log-level '%s'\n", value.c_str());
+      return 1;
+    }
+    set_log_level(*level);
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mot::bench
+
+#define MOT_MICRO_MAIN()                        \
+  int main(int argc, char** argv) {             \
+    return ::mot::bench::micro_main(argc, argv); \
+  }

@@ -1,7 +1,7 @@
 // Micro-benchmarks for the graph substrate: SSSP, oracles, generators.
 #include <benchmark/benchmark.h>
 
-#include "micro_common.hpp"
+#include "micro_gbench.hpp"
 
 #include "graph/distance_oracle.hpp"
 #include "graph/generators.hpp"

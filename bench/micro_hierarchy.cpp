@@ -2,7 +2,7 @@
 // cluster embeddings.
 #include <benchmark/benchmark.h>
 
-#include "micro_common.hpp"
+#include "micro_gbench.hpp"
 
 #include "debruijn/debruijn.hpp"
 #include "graph/generators.hpp"

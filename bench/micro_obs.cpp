@@ -27,6 +27,7 @@
 
 #include "bench_common.hpp"
 #include "core/mot.hpp"
+#include "micro_common.hpp"
 #include "graph/generators.hpp"
 #include "hier/doubling_hierarchy.hpp"
 #include "netio/cluster.hpp"
@@ -111,49 +112,6 @@ double run_cluster(const World& world, std::uint32_t num_shards, int steps,
   return wall.count();
 }
 
-struct VariantStats {
-  double seconds = 0.0;     // 20%-trimmed mean wall seconds across reps
-  double overhead = 0.0;    // trimmed-mean ratio vs the untraced baseline
-};
-
-// Mean of the middle 60%: the run wall times on a shared machine are a
-// tight base distribution plus occasional positive scheduler spikes,
-// and trimming both tails discards the spikes without letting one
-// lucky minimum define the figure the way best-of does.
-double trimmed_mean(std::vector<double> xs) {
-  std::sort(xs.begin(), xs.end());
-  const std::size_t cut = xs.size() / 5;
-  double sum = 0.0;
-  for (std::size_t i = cut; i < xs.size() - cut; ++i) sum += xs[i];
-  return sum / static_cast<double>(xs.size() - 2 * cut);
-}
-
-// Variant 0 is the untraced baseline. Reps interleave the variants and
-// rotate which one runs first, so machine drift within and across reps
-// lands on all variants equally instead of biasing whichever is
-// measured later.
-std::vector<VariantStats> measure_interleaved(
-    const World& world, std::uint32_t num_shards, int steps,
-    std::uint64_t seed, int reps,
-    const std::vector<mot::obs::TraceSink*>& sinks) {
-  std::vector<std::vector<double>> walls(sinks.size());
-  for (int r = 0; r < reps; ++r) {
-    for (std::size_t k = 0; k < sinks.size(); ++k) {
-      const std::size_t v = (k + static_cast<std::size_t>(r)) % sinks.size();
-      mot::obs::TraceSink* previous = mot::obs::install_trace_sink(sinks[v]);
-      walls[v].push_back(run_cluster(world, num_shards, steps, seed + r));
-      mot::obs::install_trace_sink(previous);
-    }
-  }
-  std::vector<VariantStats> stats(sinks.size());
-  const double baseline = trimmed_mean(walls[0]);
-  for (std::size_t v = 0; v < sinks.size(); ++v) {
-    stats[v].seconds = trimmed_mean(walls[v]);
-    stats[v].overhead = (stats[v].seconds / baseline - 1.0) * 100.0;
-  }
-  return stats;
-}
-
 // Nanoseconds per unsinked emission guard. The barrier forces the
 // g_sink load every iteration; without it the loop folds away entirely
 // (which is the honest hot-loop number: zero).
@@ -216,9 +174,21 @@ int main(int argc, char** argv) {
   const std::string jsonl_path = "micro_obs_scratch.jsonl";
   mot::obs::RingBufferSink ring(1 << 18);
   auto jsonl = std::make_unique<mot::obs::JsonlFileSink>(jsonl_path);
-  const std::vector<VariantStats> stats = measure_interleaved(
-      world, kShards, steps, common.base_seed, reps,
-      {nullptr, &ring, jsonl.get()});
+  // Variant 0 is the untraced baseline; the harness interleaves and
+  // rotates the order so drift lands on every sink equally.
+  const std::vector<mot::obs::TraceSink*> sinks{nullptr, &ring,
+                                                jsonl.get()};
+  const std::vector<mot::bench::VariantStats> stats =
+      mot::bench::measure_interleaved(
+          sinks.size(), reps, [&](std::size_t v, int r) {
+            mot::obs::TraceSink* previous =
+                mot::obs::install_trace_sink(sinks[v]);
+            const double wall = run_cluster(
+                world, kShards, steps,
+                common.base_seed + static_cast<std::uint64_t>(r));
+            mot::obs::install_trace_sink(previous);
+            return wall;
+          });
   jsonl->flush();
   const std::uint64_t events_written = jsonl->events_written();
   jsonl.reset();

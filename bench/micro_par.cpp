@@ -9,6 +9,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "micro_common.hpp"
 #include "par/thread_pool.hpp"
 
 namespace {
@@ -35,14 +36,19 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t saved_workers = mot::par::default_workers();
+  const int reps = common.full ? 5 : 3;
 
   mot::Table table({"threads", "seconds", "speedup", "identical"});
   std::string serial_rendered;
   double serial_seconds = 0.0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     mot::par::set_default_workers(threads);
+    // Trimmed mean over reps through the shared estimator; every rep
+    // must render the identical table for the determinism contract.
     std::string rendered;
-    const double seconds = run_once(params, &rendered);
+    const double seconds = mot::bench::repeat_trimmed(reps, [&](int) {
+      return run_once(params, &rendered);
+    });
     if (threads == 1) {
       serial_rendered = rendered;
       serial_seconds = seconds;

@@ -2,7 +2,7 @@
 // simulated operations (events/sec matters for large --full sweeps).
 #include <benchmark/benchmark.h>
 
-#include "micro_common.hpp"
+#include "micro_gbench.hpp"
 
 #include "core/concurrent.hpp"
 #include "core/mot.hpp"

@@ -2,7 +2,7 @@
 // baselines, per operation, on a 16x16 grid.
 #include <benchmark/benchmark.h>
 
-#include "micro_common.hpp"
+#include "micro_gbench.hpp"
 
 #include "core/mot.hpp"
 #include "expt/experiment.hpp"

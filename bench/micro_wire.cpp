@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "micro_common.hpp"
 #include "proto/messages.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -54,20 +55,25 @@ mot::proto::Message random_message(Rng& rng, mot::proto::MsgType type) {
 }
 
 struct Timed {
-  double seconds = 0.0;
-  std::uint64_t bytes = 0;
-  std::uint64_t frames = 0;
+  double seconds = 0.0;  // trimmed-mean wall seconds for one round
+  std::uint64_t bytes = 0;   // bytes through one round
+  std::uint64_t frames = 0;  // frames through one round
 };
 
+// Times each round separately and reports the shared trimmed-mean
+// estimator over rounds, so a scheduler spike mid-run cannot smear the
+// whole figure the way one aggregate stopwatch would.
 template <typename Body>
 Timed time_loop(int rounds, std::size_t frames_per_round, Body&& body) {
   Timed timed;
-  const auto start = std::chrono::steady_clock::now();
-  for (int round = 0; round < rounds; ++round) timed.bytes += body();
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
-  timed.seconds = elapsed.count();
-  timed.frames = static_cast<std::uint64_t>(rounds) * frames_per_round;
+  timed.seconds = mot::bench::repeat_trimmed(rounds, [&](int) {
+    const auto start = std::chrono::steady_clock::now();
+    timed.bytes = body();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+  });
+  timed.frames = frames_per_round;
   return timed;
 }
 

@@ -59,6 +59,22 @@ diff "${SMOKE_DIR}/fig04_t1.csv" "${SMOKE_DIR}/fig04_t4.csv" \
   || { echo "fig04 output differs between 1 and 4 threads"; exit 1; }
 echo "parallel smoke ok: fig04 CSV byte-identical at 1 and 4 threads"
 
+echo "== throughput: batched >= unbatched + worker-count byte-identity =="
+# Short sustained run; the bench exits nonzero if the batched engine is
+# slower than the unbatched baseline, if batching changes any locate
+# answer (digest parity), or if the per-shard figure table differs
+# across 1/2/4 workers. The committed BENCH_throughput.json tracks the
+# full-size figure; this stage only guards the direction of the win.
+THROUGHPUT_LOG="${SMOKE_DIR}/throughput.log"
+if ! ./build/bench/micro_throughput --objects 32 --moves 40 --seeds 5 \
+    --assert-speedup 1.0 --log-level error \
+    > "${THROUGHPUT_LOG}" 2>&1; then
+  echo "throughput stage failed:"
+  cat "${THROUGHPUT_LOG}"
+  exit 1
+fi
+echo "throughput ok: batched >= unbatched, shard tables worker-count invariant"
+
 echo "== cluster: 4-process loopback parity + mixed-version interop =="
 # cluster_runner forks four shard processes, serves the seeded move/query
 # workload over loopback TCP, and exits nonzero unless every answer,
@@ -161,9 +177,10 @@ cmake -B build-tsan -S . -DMOT_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
   > /dev/null
 cmake --build build-tsan -j "${JOBS}" --target mot_tests
 # The concurrency-bearing suites (plus the overload suites, whose bench
-# runs on the worker pool); the rest of mot_tests is single-threaded and
-# already covered by the asan stage.
+# runs on the worker pool, and the batching/flat-map suites, whose
+# worker-count test fans batched shards across the pool); the rest of
+# mot_tests is single-threaded and already covered by the asan stage.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/mot_tests --gtest_brief=1 \
-  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*:Overload*'
+  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*:Overload*:Batch*:FlatMap*'
 
 echo "== ci green =="

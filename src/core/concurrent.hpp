@@ -35,6 +35,7 @@
 #include "sim/event_sim.hpp"
 #include "tracking/chain_tracker.hpp"
 #include "tracking/path_provider.hpp"
+#include "util/flat_map.hpp"
 
 namespace mot {
 
@@ -93,7 +94,9 @@ class ConcurrentEngine {
     std::optional<OverlayNode> sp;
   };
   struct NodeState {
-    std::unordered_map<ObjectId, Entry> dl;
+    // Flat open-addressed storage (util/flat_map.hpp), shared with the
+    // chain and distributed engines' detection lists.
+    FlatMap<ObjectId, Entry> dl;
     std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl;
     // Forwarding pointers left by deletes (Section 3's improved query
     // handling), only populated when options.forwarding_pointers is on.

@@ -88,26 +88,42 @@ PathProvider::DelegateAccess MotPathProvider::delegate(
   if (!options_.charge_debruijn_routing) {
     return {storage, dist.distance(owner.node, storage)};
   }
-  const std::int64_t from = cluster.label_of(owner.node);
-  MOT_CHECK(from >= 0);  // the center is always a member of its cluster
-  const std::vector<NodeId> hops =
-      cluster.route(static_cast<std::uint32_t>(from), target);
-  Weight cost = 0.0;
-  for (std::size_t i = 1; i < hops.size(); ++i) {
-    cost += dist.distance(hops[i - 1], hops[i]);
+  // The route (and its summed oracle cost) depends only on the owner and
+  // the target label, so compute it once and replay from the cache on
+  // every later access to this delegate.
+  std::vector<CachedRoute>& slots = route_cache_[owner];
+  if (slots.empty()) slots.resize(cluster.size());
+  CachedRoute& slot = slots[target];
+  if (!slot.filled) {
+    const std::int64_t from = cluster.label_of(owner.node);
+    MOT_CHECK(from >= 0);  // the center is always a member of its cluster
+    slot.hops = cluster.route_hops(static_cast<std::uint32_t>(from), target);
+    slot.cost = 0.0;
+    for (std::size_t i = 1; i < slot.hops.size(); ++i) {
+      slot.cost += dist.distance(slot.hops[i - 1], slot.hops[i]);
+    }
+    slot.storage = storage;
+    slot.filled = true;
   }
   if (obs::tracing()) {
-    // Summarize the cluster route (the per-hop kRouteHop events came from
-    // ClusterEmbedding::route); the caller charges `cost` to its meter.
+    // Cached and fresh lookups must trace identically: re-emit the
+    // per-hop kRouteHop events and the summary here rather than inside
+    // ClusterEmbedding::route.
+    for (std::size_t i = 1; i < slot.hops.size(); ++i) {
+      obs::emit({.type = obs::Ev::kRouteHop,
+                 .from = slot.hops[i - 1],
+                 .to = slot.hops[i],
+                 .aux = i});
+    }
     obs::emit({.type = obs::Ev::kRouteComputed,
                .object = object,
                .from = owner.node,
                .to = storage,
                .level = owner.level,
-               .dist = cost,
-               .aux = hops.empty() ? 0 : hops.size() - 1});
+               .dist = slot.cost,
+               .aux = slot.hops.empty() ? 0 : slot.hops.size() - 1});
   }
-  return {storage, cost};
+  return {storage, slot.cost};
 }
 
 OverlayNode MotPathProvider::root_stop() const {

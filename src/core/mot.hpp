@@ -80,12 +80,28 @@ class MotPathProvider final : public PathProvider {
   const ClusterEmbedding& embedding(OverlayNode owner) const;
 
  private:
+  // Memoized de Bruijn route from a cluster's center to one target label:
+  // the physical hop sequence (kept so cached lookups replay the same
+  // kRouteHop trace events as a fresh computation) plus the summed oracle
+  // cost. Routes depend only on (owner, target label), both fixed for the
+  // lifetime of the embedding, so entries never invalidate.
+  struct CachedRoute {
+    bool filled = false;
+    NodeId storage = kInvalidNode;
+    Weight cost = 0.0;
+    std::vector<NodeId> hops;
+  };
+
   const Hierarchy* hierarchy_;
   MotOptions options_;
 
   mutable std::unordered_map<NodeId, std::vector<PathStop>> sequence_cache_;
   mutable std::unordered_map<OverlayNode, ClusterEmbedding, OverlayNodeHash>
       embedding_cache_;
+  // owner -> per-target-label route cache, sized on first delegate access.
+  mutable std::unordered_map<OverlayNode, std::vector<CachedRoute>,
+                             OverlayNodeHash>
+      route_cache_;
 };
 
 // MOT as a Tracker: owns the provider and the chain engine.

@@ -21,25 +21,25 @@ std::uint32_t DeBruijnGraph::successor(std::uint32_t label, int bit) const {
   return ((label << 1) | static_cast<std::uint32_t>(bit)) & mask_;
 }
 
-std::vector<std::uint32_t> DeBruijnGraph::shortest_path(
-    std::uint32_t from, std::uint32_t to) const {
+int DeBruijnGraph::overlap(std::uint32_t from, std::uint32_t to) const {
   MOT_EXPECTS(from <= mask_ && to <= mask_);
-  // Longest k such that the last k bits of `from` equal the first k bits
-  // of `to` (as d-bit strings). The remaining d-k bits of `to` are shifted
-  // in one at a time.
-  int overlap = 0;
   for (int k = dimension_; k >= 0; --k) {
     const std::uint32_t from_suffix =
         k == 0 ? 0u : (from & ((1u << k) - 1u));
     const std::uint32_t to_prefix = k == 0 ? 0u : (to >> (dimension_ - k));
-    if (from_suffix == to_prefix) {
-      overlap = k;
-      break;
-    }
+    if (from_suffix == to_prefix) return k;
   }
+  return 0;  // unreachable: k == 0 always matches
+}
+
+std::vector<std::uint32_t> DeBruijnGraph::shortest_path(
+    std::uint32_t from, std::uint32_t to) const {
+  MOT_EXPECTS(from <= mask_ && to <= mask_);
+  // The remaining d-k bits of `to` are shifted in one at a time, k being
+  // the suffix/prefix overlap.
   std::vector<std::uint32_t> path{from};
   std::uint32_t at = from;
-  for (int step = overlap; step < dimension_; ++step) {
+  for (int step = overlap(from, to); step < dimension_; ++step) {
     const int bit =
         static_cast<int>((to >> (dimension_ - 1 - step)) & 1u);
     at = successor(at, bit);
@@ -83,21 +83,40 @@ ClusterEmbedding::ClusterEmbedding(std::vector<NodeId> members,
       debruijn_(dimension_for(std::max<std::size_t>(members_.size(), 1))),
       hash_(hash_salt) {
   MOT_EXPECTS(!members_.empty());
+  rebuild_tables();
 }
 
 void ClusterEmbedding::rebuild_dimension() {
   debruijn_ = DeBruijnGraph(dimension_for(members_.size()));
 }
 
+void ClusterEmbedding::rebuild_tables() {
+  const std::uint32_t n = debruijn_.num_vertices();
+  hosts_.resize(n);
+  for (std::uint32_t label = 0; label < n; ++label) {
+    if (label < members_.size()) {
+      hosts_[label] = members_[label];
+      continue;
+    }
+    // Labels beyond |X| are emulated by the member whose label matches
+    // with the most significant bit cleared (paper, Section 5).
+    const std::uint32_t msb = 1u << (debruijn_.dimension() - 1);
+    const std::uint32_t folded = label & ~msb;
+    MOT_CHECK(folded < members_.size());
+    hosts_[label] = members_[folded];
+  }
+  next_hosts_.resize(2 * static_cast<std::size_t>(n));
+  for (std::uint32_t label = 0; label < n; ++label) {
+    for (const int bit : {0, 1}) {
+      next_hosts_[2 * label + static_cast<std::uint32_t>(bit)] =
+          hosts_[debruijn_.successor(label, bit)];
+    }
+  }
+}
+
 NodeId ClusterEmbedding::host(std::uint32_t label) const {
   MOT_EXPECTS(label < debruijn_.num_vertices());
-  if (label < members_.size()) return members_[label];
-  // Labels beyond |X| are emulated by the member whose label matches with
-  // the most significant bit cleared (paper, Section 5).
-  const std::uint32_t msb = 1u << (debruijn_.dimension() - 1);
-  const std::uint32_t folded = label & ~msb;
-  MOT_CHECK(folded < members_.size());
-  return members_[folded];
+  return hosts_[label];
 }
 
 std::uint32_t ClusterEmbedding::label_for_key(std::uint64_t key) const {
@@ -108,17 +127,28 @@ NodeId ClusterEmbedding::node_for_key(std::uint64_t key) const {
   return members_[label_for_key(key)];
 }
 
+std::vector<NodeId> ClusterEmbedding::route_hops(
+    std::uint32_t from_label, std::uint32_t to_label) const {
+  MOT_EXPECTS(from_label < members_.size() && to_label < members_.size());
+  // Walk the shift-in path through the precomputed next-hop tables: no
+  // intermediate label vector, no per-hop MSB fold.
+  const int d = debruijn_.dimension();
+  std::vector<NodeId> hops;
+  hops.reserve(static_cast<std::size_t>(d) + 1);
+  hops.push_back(hosts_[from_label]);
+  std::uint32_t at = from_label;
+  for (int step = debruijn_.overlap(from_label, to_label); step < d; ++step) {
+    const int bit = static_cast<int>((to_label >> (d - 1 - step)) & 1u);
+    const NodeId node = next_host(at, bit);
+    at = debruijn_.successor(at, bit);
+    if (hops.back() != node) hops.push_back(node);
+  }
+  return hops;
+}
+
 std::vector<NodeId> ClusterEmbedding::route(std::uint32_t from_label,
                                             std::uint32_t to_label) const {
-  MOT_EXPECTS(from_label < members_.size() && to_label < members_.size());
-  const std::vector<std::uint32_t> labels =
-      debruijn_.shortest_path(from_label, to_label);
-  std::vector<NodeId> hops;
-  hops.reserve(labels.size());
-  for (const std::uint32_t label : labels) {
-    const NodeId node = host(label);
-    if (hops.empty() || hops.back() != node) hops.push_back(node);
-  }
+  std::vector<NodeId> hops = route_hops(from_label, to_label);
   if (obs::tracing()) {
     // One event per physical hop of the cluster route; distances are not
     // known at this layer, the caller's access event carries the cost.
@@ -138,7 +168,7 @@ std::vector<NodeId> ClusterEmbedding::neighbor_table(
   std::vector<NodeId> table;
   const NodeId self = host(label);
   for (const int bit : {0, 1}) {
-    const NodeId next = host(debruijn_.successor(label, bit));
+    const NodeId next = next_host(label, bit);
     if (next == self) continue;
     if (std::find(table.begin(), table.end(), next) == table.end()) {
       table.push_back(next);
@@ -162,10 +192,14 @@ std::size_t ClusterEmbedding::add_member(NodeId node) {
     // current dimension: it grows by one and every member re-derives its
     // emulated second label (Section 7).
     rebuild_dimension();
+    rebuild_tables();
     return members_.size();
   }
   // Otherwise only the new node and the hosts of its de Bruijn in/out
-  // neighbors update their tables: O(1) nodes.
+  // neighbors update their tables: O(1) nodes. (The centralized host
+  // tables are still refreshed wholesale; the returned count models the
+  // distributed cost, not this process-local rebuild.)
+  rebuild_tables();
   return 3;
 }
 
@@ -182,8 +216,10 @@ std::size_t ClusterEmbedding::remove_member(NodeId node) {
     // |X| - 1 is a power of two: the dimension shrinks and every member
     // merges the bookkeeping of its two labels (Section 7).
     rebuild_dimension();
+    rebuild_tables();
     return members_.size();
   }
+  rebuild_tables();
   return 3;
 }
 

@@ -28,6 +28,10 @@ class DeBruijnGraph {
   // The two out-neighbors of `label`: (label << 1 | b) mod 2^d.
   std::uint32_t successor(std::uint32_t label, int bit) const;
 
+  // Longest k such that the last k bits of `from` equal the first k bits
+  // of `to` (as d-bit strings) — the shift-in walk length is d - k.
+  int overlap(std::uint32_t from, std::uint32_t to) const;
+
   // Shortest shift-in path from `from` to `to`, inclusive of both ends.
   // Length (hop count) is dimension - overlap <= dimension.
   std::vector<std::uint32_t> shortest_path(std::uint32_t from,
@@ -82,8 +86,22 @@ class ClusterEmbedding {
   // Physical hop sequence (hosts of successive de Bruijn vertices) from
   // member `from_label` to member `to_label`, both ends included.
   // Consecutive duplicate hosts (labels emulated by one node) collapse.
+  // Emits one kRouteHop trace event per physical hop when tracing.
   std::vector<NodeId> route(std::uint32_t from_label,
                             std::uint32_t to_label) const;
+
+  // Same hop sequence, computed from the precomputed next-hop tables and
+  // with no trace emission — the hot-path form route caches are built
+  // from (callers replay the kRouteHop events themselves).
+  std::vector<NodeId> route_hops(std::uint32_t from_label,
+                                 std::uint32_t to_label) const;
+
+  // Host of successor(label, bit), from the per-node next-hop table
+  // built at construction (the paper's constant-size routing state,
+  // materialized once instead of re-derived per hop).
+  NodeId next_host(std::uint32_t label, int bit) const {
+    return next_hosts_[2 * label + static_cast<std::uint32_t>(bit)];
+  }
 
   // Label of a physical member, or -1 if not a member.
   std::int64_t label_of(NodeId node) const;
@@ -101,10 +119,17 @@ class ClusterEmbedding {
 
  private:
   void rebuild_dimension();
+  // Rebuilds hosts_/next_hosts_ from members_; every membership change
+  // funnels through here.
+  void rebuild_tables();
 
   std::vector<NodeId> members_;  // label -> physical node
   DeBruijnGraph debruijn_;
   UniversalHash hash_;
+  // Route precomputation: physical host per label (the MSB fold applied
+  // once) and the host of each label's two out-neighbors.
+  std::vector<NodeId> hosts_;       // label -> host
+  std::vector<NodeId> next_hosts_;  // 2 * label + bit -> successor host
 };
 
 }  // namespace mot

@@ -162,25 +162,29 @@ bool ShardWorker::wire_mesh(const wire::HelloAckFrame& ack) {
 bool ShardWorker::pump() {
   while (!done_) {
     sim_->run();
-    // Drain everything already readable before considering idleness.
+    // Drain everything already readable before considering idleness —
+    // every buffered control and peer frame, not one per wakeup, so a
+    // burst of cross-shard traffic is absorbed in one iteration.
     bool progressed = false;
     std::vector<std::uint8_t> payload;
-    if (control_.recv(&payload, /*block=*/false) ==
-        wire::DecodeError::kNone) {
+    while (!done_ && control_.recv(&payload, /*block=*/false) ==
+                         wire::DecodeError::kNone) {
       if (!handle_control(payload)) return false;
       progressed = true;
-    } else if (control_.closed()) {
-      return false;  // coordinator went away
     }
-    for (std::uint32_t j = 0; j < peers_.size() && !progressed; ++j) {
+    if (control_.closed()) return false;  // coordinator went away
+    for (std::uint32_t j = 0; j < peers_.size() && !done_; ++j) {
       if (!peers_[j].valid()) continue;
-      if (peers_[j].recv(&payload, /*block=*/false) ==
-          wire::DecodeError::kNone) {
+      while (peers_[j].recv(&payload, /*block=*/false) ==
+             wire::DecodeError::kNone) {
         if (!handle_peer(j, payload)) return false;
         progressed = true;
       }
     }
     if (progressed) continue;
+    // Idle: everything forward() staged this iteration goes out now, one
+    // write per peer, before any probe reply claims the counters final.
+    if (!flush_peers()) return false;
     maybe_answer_probe();
     if (done_) break;
     std::vector<int> fds;
@@ -189,6 +193,15 @@ bool ShardWorker::pump() {
       if (peer.valid()) fds.push_back(peer.fd());
     }
     poll_readable(fds, 200);
+  }
+  return flush_peers();
+}
+
+bool ShardWorker::flush_peers() {
+  for (FrameStream& peer : peers_) {
+    if (!peer.valid() || peer.queued_bytes() == 0) continue;
+    ++stats_.frame_flushes;
+    if (!peer.flush()) return false;
   }
   return true;
 }
@@ -314,7 +327,10 @@ void ShardWorker::forward(const proto::Message& message, NodeId from) {
                .trace = message.trace_id,
                .label = proto::msg_type_name(message.type)});
   }
-  MOT_CHECK(peers_[to_shard].send(frame));
+  // Staged, not sent: pump() flushes every peer's queue in one write
+  // when the shard goes idle. forwarded_ counts at staging time, which
+  // is safe because the probe reply is only sent after flush_peers().
+  peers_[to_shard].queue(frame);
 }
 
 void ShardWorker::send_complete(const wire::CompleteFrame& frame) {

@@ -132,6 +132,17 @@ bool FrameStream::send(std::span<const std::uint8_t> frame) {
   return true;
 }
 
+void FrameStream::queue(std::span<const std::uint8_t> frame) {
+  out_buffer_.insert(out_buffer_.end(), frame.begin(), frame.end());
+}
+
+bool FrameStream::flush() {
+  if (out_buffer_.empty()) return true;
+  const bool ok = send(out_buffer_);
+  out_buffer_.clear();
+  return ok;
+}
+
 bool FrameStream::frame_buffered() const {
   std::span<const std::uint8_t> payload;
   std::size_t consumed = 0;

@@ -83,6 +83,20 @@ class FrameStream {
   // the peer is gone.
   bool send(std::span<const std::uint8_t> frame);
 
+  // Stages one encoded frame in the outgoing buffer without touching the
+  // socket. Frames are length-prefixed, so the concatenation flush()
+  // writes is exactly what back-to-back send() calls would have put on
+  // the wire — the receiver cannot tell the difference.
+  void queue(std::span<const std::uint8_t> frame);
+
+  // Writes every queued frame in one blocking-complete send. True when
+  // nothing was queued or the write completed; false if the peer is
+  // gone. Counts toward bytes_sent() only here, once the bytes actually
+  // leave the process.
+  bool flush();
+
+  std::size_t queued_bytes() const { return out_buffer_.size(); }
+
   // True when a whole frame is already buffered (no syscall).
   bool frame_buffered() const;
 
@@ -108,6 +122,7 @@ class FrameStream {
 
   Socket socket_;
   std::vector<std::uint8_t> buffer_;
+  std::vector<std::uint8_t> out_buffer_;  // queued frames awaiting flush()
   std::size_t buffer_pos_ = 0;  // consumed prefix (compacted lazily)
   bool closed_ = false;
   std::uint64_t bytes_sent_ = 0;

@@ -32,6 +32,9 @@ struct WireStats {
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  // Writev-style peer flushes that carried at least one frame; with
+  // frame batching, frames_sent / frame_flushes is the coalescing rate.
+  std::uint64_t frame_flushes = 0;
 };
 
 class SocketTransport final : public Channel {

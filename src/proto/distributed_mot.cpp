@@ -22,6 +22,21 @@ constexpr int kMaxQueryRestarts = 1000;
 // protocol bug — crashes cancel their transfers during recovery).
 constexpr int kMaxTransferAttempts = 100;
 
+// Detection-list maintenance traffic: the message kinds the batching
+// window may stage and that crash recovery / rebuild epochs gate.
+bool is_maintenance_type(MsgType type) {
+  switch (type) {
+    case MsgType::kPublish:
+    case MsgType::kInsert:
+    case MsgType::kDelete:
+    case MsgType::kSdlAdd:
+    case MsgType::kSdlRemove:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 const char* msg_type_name(MsgType type) {
@@ -64,6 +79,7 @@ DistributedMot::DistributedMot(const PathProvider& provider, Simulator& sim,
 void DistributedMot::use_channel(Channel* channel) {
   MOT_EXPECTS(channel != nullptr);
   MOT_EXPECTS(inflight_ == 0);  // attach before injecting traffic
+  MOT_EXPECTS(!batching_);      // frames own their delivery path
   channel_ = channel;
   channel->subscribe_crashes(
       [this](NodeId node) { recover_from_crash(node); });
@@ -82,6 +98,18 @@ void DistributedMot::use_overload(ServiceModel* service) {
   MOT_EXPECTS(channel_ != nullptr);
   MOT_EXPECTS(inflight_ == 0);  // attach before injecting traffic
   service_ = service;
+}
+
+void DistributedMot::use_batching(bool on) {
+  MOT_EXPECTS(inflight_ == 0);  // enable before injecting traffic
+  MOT_EXPECTS(staged_.empty());
+  // Batching coalesces simulator deliveries; the reliable link layer,
+  // overload model, and cluster transport each own their own delivery
+  // path (frames, admission queues, shard forwarding), so they are
+  // mutually exclusive with it.
+  MOT_EXPECTS(!on || (channel_ == nullptr && service_ == nullptr &&
+                      cluster_ == nullptr));
+  batching_ = on;
 }
 
 overload::Priority DistributedMot::classify(MsgType type, int attempt) {
@@ -288,6 +316,22 @@ bool is_spine_hop(MsgType type) {
 }  // namespace
 
 void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
+  if (batching_ && is_maintenance_type(message.type)) {
+    // Batched maintenance: stage the update instead of scheduling it.
+    // All metering / tracing / stats run at flush time, where updates
+    // sharing a directed edge collapse into one charged message. The
+    // op-cost sink is NOT captured (it may point into a caller's stack
+    // frame); the flush re-resolves it against the move in flight.
+    staged_.push_back({message, from, op_cost != nullptr});
+    if (!flush_scheduled_) {
+      flush_scheduled_ = true;
+      // The window closes at the current instant: one zero-delay event
+      // drains everything staged "now", including the follow-up hops
+      // handlers stage while it runs.
+      sim_->schedule(0.0, [this] { flush_batches(); });
+    }
+    return;
+  }
   const NodeId to = message.role.node;
   const Weight hop = distance(from, to);
   ++stats_.messages_sent;
@@ -353,11 +397,7 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
     // are cancelled by poisoning their sequence number; a handoff has no
     // frame, so maintenance handoffs carry the object's rebuild epoch
     // instead and drop themselves when recovery has moved on.
-    const bool maintenance = message.type == MsgType::kPublish ||
-                             message.type == MsgType::kInsert ||
-                             message.type == MsgType::kDelete ||
-                             message.type == MsgType::kSdlAdd ||
-                             message.type == MsgType::kSdlRemove;
+    const bool maintenance = is_maintenance_type(message.type);
     const std::uint64_t epoch =
         maintenance ? rebuild_epoch(message.object) : 0;
     sim_->schedule(hop, [this, message, maintenance, epoch] {
@@ -406,6 +446,123 @@ void DistributedMot::send(NodeId from, Message message, Weight* op_cost) {
   }
   pending_.emplace(seq, std::move(transfer));
   transmit_data(seq);
+}
+
+void DistributedMot::flush_batches() {
+  ++stats_.batch_flushes;
+  // Drain the window in rounds: group everything staged so far by
+  // directed (from, to) edge, deliver group by group — edges in
+  // first-staged order, FIFO within a group — and let the handlers
+  // stage the follow-up hops that form the next round. The order
+  // depends only on the staging sequence, so the flush is fully
+  // deterministic. All scratch (the round copy, the chaining tables)
+  // lives in the batch arena, retired wholesale once the window drains.
+  constexpr std::uint32_t kNoNext = 0xffffffffu;
+  struct EdgeGroup {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    std::uint32_t head = 0;
+    std::uint32_t tail = 0;
+    std::uint32_t size = 0;
+  };
+  while (!staged_.empty()) {
+    const std::span<const StagedUpdate> round =
+        batch_arena_.copy<StagedUpdate>(staged_);
+    staged_.clear();
+    const std::span<std::uint32_t> next =
+        batch_arena_.make_span<std::uint32_t>(round.size());
+    const std::span<EdgeGroup> groups =
+        batch_arena_.make_span<EdgeGroup>(round.size());
+    std::size_t num_groups = 0;
+    for (std::uint32_t i = 0; i < round.size(); ++i) {
+      const NodeId from = round[i].from;
+      const NodeId to = round[i].message.role.node;
+      next[i] = kNoNext;
+      std::size_t g = 0;
+      while (g < num_groups &&
+             !(groups[g].from == from && groups[g].to == to)) {
+        ++g;
+      }
+      if (g == num_groups) {
+        groups[num_groups++] = {from, to, i, i, 1};
+      } else {
+        next[groups[g].tail] = i;
+        groups[g].tail = i;
+        ++groups[g].size;
+      }
+    }
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const EdgeGroup& group = groups[g];
+      const Weight hop = distance(group.from, group.to);
+      // One metered message carries the whole group; its co-riders are
+      // the coalescing win.
+      ++stats_.messages_sent;
+      stats_.messages_coalesced += group.size - 1;
+      if (router_ != nullptr && group.from != group.to) {
+        const std::vector<NodeId> route =
+            router_->route(group.from, group.to);
+        MOT_CHECK(!route.empty());
+        stats_.physical_hops += route.size() - 1;
+      }
+      bool edge_paid = false;
+      for (std::uint32_t i = group.head; i != kNoNext; i = next[i]) {
+        Message message = round[i].message;  // trace stamping mutates it
+        Weight scratch = 0.0;
+        Weight* sink = nullptr;
+        if (round[i].billable) {
+          // Re-resolve the cost sink: inserts / deletes / SDL updates
+          // bill the move in flight; a publish hop (or an update whose
+          // move completed earlier this window) is metered but not
+          // attributed to an operation — exactly the unbatched split.
+          sink = move_cost(message.object);
+          if (sink == nullptr) sink = &scratch;
+        }
+        Weight charged = 0.0;
+        if (sink != nullptr) {
+          if (!edge_paid && hop > 0.0) {
+            // The first billable update on the edge pays the hop; the
+            // riders travel free but still count as meter messages.
+            meter_.charge(hop);
+            *sink += hop;
+            charged = hop;
+            edge_paid = true;
+          } else {
+            meter_.charge(0.0, 1);
+          }
+        }
+        if (obs::tracing()) {
+          std::uint64_t span_parent = 0;
+          if (TraceCtx* tctx = trace_ctx_for(message);
+              tctx != nullptr && tctx->trace_id != 0) {
+            message.trace_id = tctx->trace_id;
+            message.span = tctx->next_span++;
+            span_parent = tctx->last_span;
+            if (is_spine_hop(message.type)) tctx->last_span = message.span;
+            message.span_seq = tctx->next_span;
+          }
+          obs::emit({.type = obs::Ev::kMsgSend,
+                     .t = sim_->now(),
+                     .object = message.object,
+                     .from = group.from,
+                     .to = group.to,
+                     .level = message.role.level,
+                     .dist = hop,
+                     .charged = charged,
+                     .trace = message.trace_id,
+                     .span = message.span,
+                     .parent = span_parent,
+                     .label = msg_type_name(message.type)});
+        }
+        if (record_) {
+          deliveries_.push_back(
+              {message, group.from, group.to, sim_->now(), hop});
+        }
+        handle(message);
+      }
+    }
+  }
+  batch_arena_.reset();
+  flush_scheduled_ = false;
 }
 
 void DistributedMot::transmit_data(std::uint64_t seq) {
@@ -488,11 +645,7 @@ void DistributedMot::deliver_data(std::uint64_t seq, const Message& message,
       // they cannot be poisoned by sequence number — so they carry the
       // same guards as local handoffs (see send()) and drop themselves
       // when the node died or recovery moved the operation on.
-      const bool maintenance = message.type == MsgType::kPublish ||
-                               message.type == MsgType::kInsert ||
-                               message.type == MsgType::kDelete ||
-                               message.type == MsgType::kSdlAdd ||
-                               message.type == MsgType::kSdlRemove;
+      const bool maintenance = is_maintenance_type(message.type);
       const std::uint64_t epoch =
           maintenance ? rebuild_epoch(message.object) : 0;
       const overload::Admit outcome = service_->offer(
@@ -2267,6 +2420,9 @@ std::vector<std::string> DistributedMot::invariant_violations() const {
 }
 
 void DistributedMot::validate_quiescent() const {
+  // A drained simulator implies a drained batch window: the flush event
+  // was scheduled when the first update was staged.
+  MOT_CHECK(staged_.empty());
   const std::vector<std::string> violations = invariant_violations();
   for (const std::string& violation : violations) {
     std::fprintf(stderr, "[mot] invariant violation: %s\n",
@@ -2293,6 +2449,10 @@ void export_protocol_stats(const ProtocolStats& stats,
               stats.messages_sent);
   set_counter(registry, "mot_proto_physical_hops_total", labels,
               stats.physical_hops);
+  set_counter(registry, "mot_proto_messages_coalesced_total", labels,
+              stats.messages_coalesced);
+  set_counter(registry, "mot_proto_batch_flushes_total", labels,
+              stats.batch_flushes);
   set_counter(registry, "mot_proto_publishes_total", labels,
               stats.publishes_completed);
   set_counter(registry, "mot_proto_moves_total", labels,

@@ -52,6 +52,8 @@
 #include "sim/service_model.hpp"
 #include "tracking/chain_tracker.hpp"
 #include "tracking/path_provider.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 
 namespace mot::proto {
 
@@ -60,6 +62,11 @@ class ClusterLink;
 struct ProtocolStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t physical_hops = 0;  // per-edge forwards when routed
+  // Batched-maintenance counters (zero unless use_batching is on):
+  // maintenance updates that rode an edge frame another update already
+  // paid for, and the number of flush windows executed.
+  std::uint64_t messages_coalesced = 0;
+  std::uint64_t batch_flushes = 0;
   std::uint64_t publishes_completed = 0;
   std::uint64_t moves_completed = 0;
   std::uint64_t queries_completed = 0;
@@ -188,6 +195,19 @@ class DistributedMot {
   // Engage the end-to-end query deadline / retry / hedge policy.
   void set_query_policy(const QueryPolicy& policy) { policy_ = policy; }
 
+  // Batched maintenance (opt-in): detection-list updates staged by
+  // maintenance walkers (publish / insert / delete / SDL bookkeeping)
+  // are coalesced per directed edge per batch window — one metered
+  // message per edge carries every update staged toward that neighbor,
+  // the co-riders travel free (stats().messages_coalesced) — and the
+  // window flushes in one deterministic sweep of rounds, so climbs of
+  // different objects that share tree-path prefixes merge their traffic.
+  // Queries are never staged. Only meaningful in single-process,
+  // non-channel mode; enable before injecting traffic. Costs still
+  // reconcile: the sum of traced `charged` equals the meter total.
+  void use_batching(bool on);
+  bool batching() const { return batching_; }
+
   // Attach a finite-capacity service model (see sim/service_model.hpp):
   // delivered frames pass admission control and queue at the receiver
   // instead of executing instantly, a shed frame is simply never acked
@@ -207,7 +227,10 @@ class DistributedMot {
   // (op_cost / op_peak in proto::Message) instead of being scheduled
   // locally. Single-process behavior is bit-identical when no link is
   // attached. The link must outlive the runtime.
-  void use_cluster(ClusterLink* link) { cluster_ = link; }
+  void use_cluster(ClusterLink* link) {
+    MOT_EXPECTS(!batching_);  // the shard transport owns delivery
+    cluster_ = link;
+  }
 
   // Object-position broadcast: every shard mirrors proxies_/physical_
   // bookkeeping before an operation is injected anywhere, so sentinel
@@ -276,7 +299,9 @@ class DistributedMot {
     bool present = false;
   };
   struct RoleState {
-    std::unordered_map<ObjectId, Entry> dl;
+    // Flat open-addressed storage (util/flat_map.hpp): the hot-path map
+    // every climb hop probes.
+    FlatMap<ObjectId, Entry> dl;
     std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl;
     // Reordering guard: an SdlRemove that overtakes its SdlAdd leaves a
     // tombstone the late add annihilates against (empty at quiescence).
@@ -366,6 +391,18 @@ class DistributedMot {
   void send(NodeId from, Message message, Weight* op_cost);
   void handle(const Message& message);
   void forward_remote(NodeId from, Message message);
+
+  // --- Batched maintenance (engaged when batching_ is on). -------------
+  // One staged detection-list update: the message plus whether an
+  // op-cost sink was attached at send time. The sink itself is NOT
+  // stored (it may point at a caller's stack frame); it is re-resolved
+  // against moves_ when the flush delivers the message.
+  struct StagedUpdate {
+    Message message;
+    NodeId from = kInvalidNode;
+    bool billable = false;
+  };
+  void flush_batches();
 
   // Trace context of the walk `message` belongs to (nullptr when the
   // walk is not traced or not resident on this shard), and the
@@ -482,6 +519,13 @@ class DistributedMot {
   QueryPolicy policy_;
   bool replicate_ = false;
   bool break_recovery_ = false;
+  // Batching state: staged maintenance updates of the open window, the
+  // pending-flush latch, and the arena the flush's round copies and
+  // group tables live in (reset when the window drains — quiescence).
+  bool batching_ = false;
+  bool flush_scheduled_ = false;
+  std::vector<StagedUpdate> staged_;
+  Arena batch_arena_;
   std::uint64_t next_seq_ = 1;
   std::unordered_map<std::uint64_t, PendingTransfer> pending_;
   std::unordered_set<std::uint64_t> delivered_;  // receiver-side dedup

@@ -20,6 +20,7 @@
 #include "obs/trace.hpp"
 #include "tracking/path_provider.hpp"
 #include "tracking/tracker.hpp"
+#include "util/flat_map.hpp"
 
 namespace mot {
 
@@ -106,7 +107,9 @@ class ChainTracker final : public Tracker {
     std::optional<OverlayNode> sp;     // special parent holding our SDL record
   };
   struct NodeState {
-    std::unordered_map<ObjectId, DlEntry> dl;
+    // Flat open-addressed storage: the dl is probed on every climb hop,
+    // so entries live densely (see util/flat_map.hpp).
+    FlatMap<ObjectId, DlEntry> dl;
     // SDL: object -> special children (DL holders) that registered here.
     std::unordered_map<ObjectId, std::vector<OverlayNode>> sdl;
   };

@@ -1,0 +1,111 @@
+// Bump-pointer arena for per-operation scratch (message batches, group
+// tables). Allocation is a pointer increment into geometrically growing
+// blocks; nothing is freed individually — reset() retires the whole
+// batch at a quiescence point and keeps the largest block for reuse, so
+// a steady-state workload stops touching the system allocator entirely.
+//
+// Only trivially destructible element types are supported: reset() does
+// not run destructors, which is exactly what makes it O(1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 4096)
+      : initial_bytes_(initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw bump allocation. `align` must be a power of two.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    MOT_EXPECTS(align != 0 && (align & (align - 1)) == 0);
+    std::uintptr_t at =
+        reinterpret_cast<std::uintptr_t>(cursor_) + align - 1;
+    at &= ~static_cast<std::uintptr_t>(align - 1);
+    if (blocks_.empty() ||
+        at + bytes > reinterpret_cast<std::uintptr_t>(block_end_)) {
+      grow(bytes + align);
+      at = reinterpret_cast<std::uintptr_t>(cursor_) + align - 1;
+      at &= ~static_cast<std::uintptr_t>(align - 1);
+    }
+    cursor_ = reinterpret_cast<std::byte*>(at + bytes);
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(at);
+  }
+
+  // Uninitialized span of n elements.
+  template <typename T>
+  std::span<T> make_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena reset() never runs destructors");
+    if (n == 0) return {};
+    T* data = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    return {data, n};
+  }
+
+  // Arena-resident copy of an existing range.
+  template <typename T>
+  std::span<T> copy(std::span<const T> source) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::span<T> out = make_span<T>(source.size());
+    if (!source.empty()) {
+      std::memcpy(out.data(), source.data(), source.size_bytes());
+    }
+    return out;
+  }
+
+  // Retires every live allocation at once. The largest block is kept so
+  // the next batch of the same shape allocates without new memory.
+  void reset() {
+    if (blocks_.size() > 1) {
+      // Keep only the newest (largest) block; capacities grow
+      // geometrically, so one generation of churn reaches steady state.
+      Block keep = std::move(blocks_.back());
+      blocks_.clear();
+      blocks_.push_back(std::move(keep));
+    }
+    if (!blocks_.empty()) {
+      cursor_ = blocks_.back().data.get();
+      block_end_ = cursor_ + blocks_.back().size;
+    }
+    bytes_used_ = 0;
+  }
+
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t size =
+        blocks_.empty() ? initial_bytes_ : blocks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    blocks_.push_back({std::make_unique<std::byte[]>(size), size});
+    cursor_ = blocks_.back().data.get();
+    block_end_ = cursor_ + size;
+  }
+
+  std::size_t initial_bytes_;
+  std::vector<Block> blocks_;
+  std::byte* cursor_ = nullptr;
+  std::byte* block_end_ = nullptr;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace mot

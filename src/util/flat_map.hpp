@@ -1,0 +1,194 @@
+// Open-addressed flat hash map for the per-node detection lists.
+//
+// The chain/concurrent/distributed engines keep one dl map per overlay
+// role, almost always holding a handful of entries that are probed on
+// every climb hop. std::unordered_map pays a heap node plus a pointer
+// chase per probe; this map keeps the entries in one dense
+// std::vector<std::pair<Key, T>> (the iteration surface) and resolves
+// keys through a power-of-two open-addressed slot table with linear
+// probing and backward-shift deletion — one cache line for the common
+// one-probe hit, in the spirit of the CSR parent-set refactor.
+//
+// Determinism contract: iteration order is the insertion order, except
+// that erasing swaps the last entry into the vacated dense slot — a rule
+// that depends only on the operation sequence, never on addresses or
+// hashing salt, so replays and parallel sweeps observe identical orders.
+//
+// Surface: the subset of std::unordered_map the engines use — find /
+// count / contains / at / operator[] / emplace / erase(key) /
+// erase(iterator) / size / empty / clear / begin / end. Iterators are
+// std::vector iterators over std::pair<Key, T>; like unordered_map,
+// any insert may invalidate them (here: by reallocation), and erase
+// invalidates iterators at or past the erased position.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mot {
+
+template <class Key, class T>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, T>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  FlatMap() = default;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  void clear() {
+    entries_.clear();
+    slots_.assign(slots_.size(), kEmpty);
+  }
+
+  iterator find(const Key& key) {
+    const std::size_t slot = find_slot(key);
+    return slot == kNotFound ? entries_.end()
+                             : entries_.begin() + slots_[slot];
+  }
+  const_iterator find(const Key& key) const {
+    const std::size_t slot = find_slot(key);
+    return slot == kNotFound ? entries_.end()
+                             : entries_.begin() + slots_[slot];
+  }
+
+  std::size_t count(const Key& key) const {
+    return find_slot(key) == kNotFound ? 0 : 1;
+  }
+  bool contains(const Key& key) const { return count(key) != 0; }
+
+  T& at(const Key& key) {
+    const std::size_t slot = find_slot(key);
+    MOT_CHECK(slot != kNotFound);
+    return entries_[slots_[slot]].second;
+  }
+  const T& at(const Key& key) const {
+    const std::size_t slot = find_slot(key);
+    MOT_CHECK(slot != kNotFound);
+    return entries_[slots_[slot]].second;
+  }
+
+  T& operator[](const Key& key) {
+    return emplace(key, T{}).first->second;
+  }
+
+  // Inserts {key, value} if the key is absent; returns the entry's
+  // iterator and whether an insert happened (unordered_map::emplace for
+  // the two-argument form the engines use).
+  std::pair<iterator, bool> emplace(const Key& key, T value) {
+    reserve_slot();
+    std::size_t slot = probe_start(key);
+    while (slots_[slot] != kEmpty) {
+      if (entries_[slots_[slot]].first == key) {
+        return {entries_.begin() + slots_[slot], false};
+      }
+      slot = (slot + 1) & mask();
+    }
+    slots_[slot] = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back(key, std::move(value));
+    return {entries_.end() - 1, true};
+  }
+
+  std::size_t erase(const Key& key) {
+    const std::size_t slot = find_slot(key);
+    if (slot == kNotFound) return 0;
+    erase_at(slot);
+    return 1;
+  }
+
+  iterator erase(iterator pos) {
+    const std::size_t dense = static_cast<std::size_t>(
+        pos - entries_.begin());
+    const std::size_t slot = find_slot(entries_[dense].first);
+    MOT_CHECK(slot != kNotFound);
+    erase_at(slot);
+    return entries_.begin() + dense;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = ~0u;
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+  static constexpr std::size_t kMinSlots = 8;
+
+  std::size_t mask() const { return slots_.size() - 1; }
+
+  // splitmix64 finalizer: integral keys (ObjectId) are near-sequential,
+  // which linear probing would clump without a full-avalanche mix.
+  std::size_t probe_start(const Key& key) const {
+    std::uint64_t x =
+        static_cast<std::uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31)) & mask();
+  }
+
+  std::size_t find_slot(const Key& key) const {
+    if (entries_.empty()) return kNotFound;
+    std::size_t slot = probe_start(key);
+    while (slots_[slot] != kEmpty) {
+      if (entries_[slots_[slot]].first == key) return slot;
+      slot = (slot + 1) & mask();
+    }
+    return kNotFound;
+  }
+
+  void reserve_slot() {
+    if (slots_.empty()) {
+      slots_.assign(kMinSlots, kEmpty);
+      return;
+    }
+    // Rehash above 3/4 load so probe chains stay short.
+    if ((entries_.size() + 1) * 4 <= slots_.size() * 3) return;
+    std::vector<std::uint32_t> grown(slots_.size() * 2, kEmpty);
+    slots_.swap(grown);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t slot = probe_start(entries_[i].first);
+      while (slots_[slot] != kEmpty) slot = (slot + 1) & mask();
+      slots_[slot] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  void erase_at(std::size_t slot) {
+    const std::uint32_t dense = slots_[slot];
+    // Backward-shift deletion: pull every displaced follower of the probe
+    // chain one step back so lookups never need tombstones.
+    std::size_t hole = slot;
+    std::size_t next = (hole + 1) & mask();
+    while (slots_[next] != kEmpty) {
+      const std::size_t ideal = probe_start(entries_[slots_[next]].first);
+      if (((next - ideal) & mask()) >= ((next - hole) & mask())) {
+        slots_[hole] = slots_[next];
+        hole = next;
+      }
+      next = (next + 1) & mask();
+    }
+    slots_[hole] = kEmpty;
+    // Dense storage: swap the last entry into the vacated index (the
+    // deterministic-iteration rule documented above) and repoint its slot.
+    const std::uint32_t last = static_cast<std::uint32_t>(
+        entries_.size() - 1);
+    if (dense != last) {
+      entries_[dense] = std::move(entries_[last]);
+      const std::size_t moved_slot = find_slot(entries_[dense].first);
+      MOT_CHECK(moved_slot != kNotFound);
+      slots_[moved_slot] = dense;
+    }
+    entries_.pop_back();
+  }
+
+  std::vector<value_type> entries_;     // dense, iteration order
+  std::vector<std::uint32_t> slots_;    // open-addressed index (or kEmpty)
+};
+
+}  // namespace mot

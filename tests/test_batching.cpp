@@ -1,0 +1,266 @@
+// Batched maintenance (use_batching): coalescing detection-list updates
+// per edge per window must never change what the structure computes —
+// identical placement, identical proxies, identical locate answers —
+// while strictly reducing metered messages, and the traced charges must
+// still reconcile against the cost meter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/mot.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "obs/trace.hpp"
+#include "par/thread_pool.hpp"
+#include "proto/distributed_mot.hpp"
+#include "util/arena.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace mot {
+namespace {
+
+using proto::DistributedMot;
+
+struct Fixture {
+  explicit Fixture(std::size_t side = 8)
+      : graph(make_grid(side, side)), oracle(make_distance_oracle(graph)) {
+    DoublingHierarchy::Params hp;
+    hp.seed = 7;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, hp);
+    MotOptions options;
+    options.use_parent_sets = false;
+    provider = std::make_unique<MotPathProvider>(*hierarchy, options);
+    chain_options = make_mot_chain_options(options);
+  }
+
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+  std::unique_ptr<MotPathProvider> provider;
+  ChainOptions chain_options;
+};
+
+// Runs the same multi-object workload against one runtime: publish a
+// fleet, then rounds of correlated short moves (shared tree-path
+// prefixes) followed by a sweep of locates. Returns the query answers
+// in issue order.
+std::vector<NodeId> run_workload(const Fixture& fx, DistributedMot& mot,
+                                 Simulator& sim, int objects, int rounds) {
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects); ++o) {
+    mot.publish(o, static_cast<NodeId>(o % fx.graph.num_nodes()));
+  }
+  sim.run();
+
+  std::vector<NodeId> answers;
+  Rng rng(41);
+  std::vector<NodeId> at(objects);
+  for (ObjectId o = 0; o < static_cast<ObjectId>(objects); ++o) {
+    at[o] = static_cast<NodeId>(o % fx.graph.num_nodes());
+  }
+  for (int r = 0; r < rounds; ++r) {
+    // Every object steps in the same window, so climbs overlap.
+    for (ObjectId o = 0; o < static_cast<ObjectId>(objects); ++o) {
+      const auto neighbors = fx.graph.neighbors(at[o]);
+      at[o] = neighbors[rng.below(neighbors.size())].to;
+      mot.move(o, at[o]);
+    }
+    sim.run();
+    for (ObjectId o = 0; o < static_cast<ObjectId>(objects); ++o) {
+      mot.query(static_cast<NodeId>((o * 7 + r) % fx.graph.num_nodes()), o,
+                [&answers](const QueryResult& result) {
+                  ASSERT_TRUE(result.found);
+                  answers.push_back(result.proxy);
+                });
+      sim.run();
+    }
+  }
+  mot.validate_quiescent();
+  return answers;
+}
+
+TEST(Batching, LocateAnswersAndPlacementMatchUnbatched) {
+  const Fixture fx;
+  Simulator plain_sim;
+  DistributedMot plain(*fx.provider, plain_sim, fx.chain_options);
+  const std::vector<NodeId> plain_answers =
+      run_workload(fx, plain, plain_sim, /*objects=*/12, /*rounds=*/6);
+
+  Simulator batched_sim;
+  DistributedMot batched(*fx.provider, batched_sim, fx.chain_options);
+  batched.use_batching(true);
+  const std::vector<NodeId> batched_answers =
+      run_workload(fx, batched, batched_sim, /*objects=*/12, /*rounds=*/6);
+
+  // Batching changes when messages travel, never what they do: the
+  // structure (placement, proxies) and every locate answer is identical.
+  EXPECT_EQ(batched_answers, plain_answers);
+  EXPECT_EQ(batched.load_per_node(), plain.load_per_node());
+  for (ObjectId o = 0; o < 12; ++o) {
+    EXPECT_EQ(batched.proxy_of(o), plain.proxy_of(o));
+  }
+  EXPECT_GT(batched.stats().batch_flushes, 0u);
+  EXPECT_EQ(plain.stats().batch_flushes, 0u);
+}
+
+TEST(Batching, CoalescesSharedPrefixClimbs) {
+  const Fixture fx;
+  Simulator plain_sim;
+  DistributedMot plain(*fx.provider, plain_sim, fx.chain_options);
+  Simulator batched_sim;
+  DistributedMot batched(*fx.provider, batched_sim, fx.chain_options);
+  batched.use_batching(true);
+
+  // A fleet published at the same proxy: the climbs run the same upward
+  // sequence, so per-edge coalescing collapses them hard.
+  for (ObjectId o = 0; o < 32; ++o) {
+    plain.publish(o, 20);
+    batched.publish(o, 20);
+  }
+  plain_sim.run();
+  batched_sim.run();
+  // All step to the same neighbor in one window.
+  for (ObjectId o = 0; o < 32; ++o) {
+    plain.move(o, 21);
+    batched.move(o, 21);
+  }
+  plain_sim.run();
+  batched_sim.run();
+  plain.validate_quiescent();
+  batched.validate_quiescent();
+
+  EXPECT_GT(batched.stats().messages_coalesced, 0u);
+  EXPECT_LT(batched.stats().messages_sent, plain.stats().messages_sent);
+  EXPECT_EQ(batched.stats().messages_sent +
+                batched.stats().messages_coalesced,
+            plain.stats().messages_sent);
+  // Fewer metered messages means strictly less metered distance.
+  EXPECT_LT(batched.meter().total_distance(),
+            plain.meter().total_distance());
+  EXPECT_EQ(batched.load_per_node(), plain.load_per_node());
+}
+
+TEST(Batching, TraceChargesReconcileWithMeter) {
+  const Fixture fx;
+  obs::RingBufferSink sink(1 << 20);
+  obs::TraceSink* previous = obs::install_trace_sink(&sink);
+  Simulator sim;
+  DistributedMot mot(*fx.provider, sim, fx.chain_options);
+  mot.use_batching(true);
+  run_workload(fx, mot, sim, /*objects=*/8, /*rounds=*/5);
+  obs::install_trace_sink(previous);
+
+  ASSERT_EQ(sink.dropped(), 0u);
+  ASSERT_GT(mot.stats().messages_coalesced, 0u);
+  double charged = 0.0;
+  for (const obs::TraceEvent& event : sink.events()) {
+    charged += event.charged;
+  }
+  const double metered = mot.meter().total_distance();
+  ASSERT_GT(metered, 0.0);
+  EXPECT_NEAR(charged, metered, 1e-6 * metered);
+}
+
+TEST(Batching, MoveCallbacksStillReportCosts) {
+  const Fixture fx;
+  Simulator sim;
+  DistributedMot mot(*fx.provider, sim, fx.chain_options);
+  mot.use_batching(true);
+  mot.publish(0, 0);
+  sim.run();
+  MoveResult result;
+  mot.move(0, 1, [&](const MoveResult& r) { result = r; });
+  sim.run();
+  mot.validate_quiescent();
+  EXPECT_GT(result.cost, 0.0);
+  // The move's attributed cost is part of the metered total.
+  EXPECT_LE(result.cost, mot.meter().total_distance() + 1e-9);
+}
+
+TEST(Batching, FigureTablesBitIdenticalAcrossWorkerCounts) {
+  // The PR 3 determinism contract extended to the batched fast path:
+  // independent batched shards driven through the par pool must render
+  // the same figure table no matter how many workers execute them.
+  const Fixture fx;
+  const auto render_shards = [&fx] {
+    const auto outcomes =
+        par::parallel_map(4, [&fx](std::size_t shard) {
+          Simulator sim;
+          DistributedMot mot(*fx.provider, sim, fx.chain_options);
+          mot.use_batching(true);
+          std::vector<NodeId> answers =
+              run_workload(fx, mot, sim, /*objects=*/6, /*rounds=*/4);
+          std::uint64_t digest = 1469598103934665603ULL;
+          for (const NodeId answer : answers) {
+            digest = (digest ^ static_cast<std::uint64_t>(answer)) *
+                     1099511628211ULL;
+          }
+          return std::tuple{digest, mot.meter().total_distance(),
+                            mot.stats().messages_sent,
+                            mot.stats().messages_coalesced, shard};
+        });
+    Table table({"shard", "digest", "meter", "sent", "coalesced"});
+    for (const auto& [digest, meter, sent, coalesced, shard] : outcomes) {
+      table.begin_row()
+          .cell(static_cast<std::uint64_t>(shard))
+          .cell(digest)
+          .cell(meter, 6)
+          .cell(sent)
+          .cell(coalesced);
+    }
+    return table.to_string();
+  };
+
+  const std::size_t saved = par::default_workers();
+  par::set_default_workers(1);
+  const std::string serial = render_shards();
+  par::set_default_workers(4);
+  const std::string parallel = render_shards();
+  par::set_default_workers(saved);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(BatchArena, BumpAllocatesAlignedAndResets) {
+  Arena arena(64);
+  const std::span<std::uint64_t> a = arena.make_span<std::uint64_t>(4);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) %
+                alignof(std::uint64_t),
+            0u);
+  a[0] = 7;
+  a[3] = 9;
+  // Force growth past the initial block.
+  const std::span<std::uint64_t> b = arena.make_span<std::uint64_t>(64);
+  ASSERT_EQ(b.size(), 64u);
+  EXPECT_GT(arena.blocks(), 1u);
+  EXPECT_EQ(a[0], 7u);  // earlier block untouched by growth
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.blocks(), 1u);  // largest block retained
+}
+
+TEST(BatchArena, CopyRoundTrips) {
+  Arena arena;
+  const std::vector<int> source{3, 1, 4, 1, 5, 9, 2, 6};
+  const std::span<int> copy = arena.copy<int>(source);
+  EXPECT_TRUE(std::equal(source.begin(), source.end(), copy.begin(),
+                         copy.end()));
+}
+
+TEST(BatchArena, SteadyStateStopsGrowing) {
+  Arena arena(32);
+  for (int round = 0; round < 10; ++round) {
+    arena.make_span<std::uint32_t>(500);
+    arena.make_span<std::uint8_t>(123);
+    arena.reset();
+  }
+  // After the first generations of geometric growth, one block serves
+  // every subsequent batch of the same shape.
+  EXPECT_EQ(arena.blocks(), 1u);
+}
+
+}  // namespace
+}  // namespace mot

@@ -236,6 +236,70 @@ TEST(ClusterEmbedding, NeighborTablesSufficeForRouting) {
   }
 }
 
+// Reference route: map the label shortest path through host() and
+// collapse consecutive duplicates — what route() did before the next-hop
+// tables were precomputed.
+std::vector<NodeId> reference_route(const ClusterEmbedding& embedding,
+                                    std::uint32_t from, std::uint32_t to) {
+  const DeBruijnGraph g(embedding.dimension());
+  std::vector<NodeId> hops;
+  for (const std::uint32_t label : g.shortest_path(from, to)) {
+    const NodeId node = embedding.host(label);
+    if (hops.empty() || hops.back() != node) hops.push_back(node);
+  }
+  return hops;
+}
+
+TEST(ClusterEmbedding, PrecomputedRoutesMatchReference) {
+  for (const std::size_t size : {2u, 5u, 13u, 32u, 49u}) {
+    std::vector<NodeId> members(size);
+    std::iota(members.begin(), members.end(), 7);
+    const ClusterEmbedding embedding(members, 17);
+    for (std::uint32_t from = 0; from < size; ++from) {
+      for (std::uint32_t to = 0; to < size; ++to) {
+        EXPECT_EQ(embedding.route_hops(from, to),
+                  reference_route(embedding, from, to))
+            << "size=" << size << " " << from << "->" << to;
+      }
+    }
+  }
+}
+
+TEST(ClusterEmbedding, NextHostTableMatchesSuccessorHosts) {
+  std::vector<NodeId> members(21);
+  std::iota(members.begin(), members.end(), 300);
+  const ClusterEmbedding embedding(members, 9);
+  const DeBruijnGraph g(embedding.dimension());
+  for (std::uint32_t label = 0; label < g.num_vertices(); ++label) {
+    for (const int bit : {0, 1}) {
+      EXPECT_EQ(embedding.next_host(label, bit),
+                embedding.host(g.successor(label, bit)));
+    }
+  }
+}
+
+TEST(ClusterEmbedding, TablesTrackMembershipChanges) {
+  ClusterEmbedding embedding({1, 2, 3}, 1);
+  // Grow across a power-of-two boundary (dimension 2 -> 3), then shrink
+  // back; routes must stay consistent with the reference at every step.
+  embedding.add_member(4);
+  embedding.add_member(5);
+  embedding.remove_member(2);
+  for (std::uint32_t from = 0; from < embedding.size(); ++from) {
+    for (std::uint32_t to = 0; to < embedding.size(); ++to) {
+      EXPECT_EQ(embedding.route_hops(from, to),
+                reference_route(embedding, from, to));
+    }
+  }
+  const DeBruijnGraph g(embedding.dimension());
+  for (std::uint32_t label = 0; label < g.num_vertices(); ++label) {
+    for (const int bit : {0, 1}) {
+      EXPECT_EQ(embedding.next_host(label, bit),
+                embedding.host(g.successor(label, bit)));
+    }
+  }
+}
+
 TEST(ClusterEmbedding, SingleMemberCluster) {
   ClusterEmbedding embedding({42}, 1);
   EXPECT_EQ(embedding.size(), 1u);

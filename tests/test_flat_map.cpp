@@ -1,0 +1,174 @@
+// FlatMap (util/flat_map.hpp): randomized fuzz against an
+// std::unordered_map reference model, plus the determinism and
+// iteration-order rules the engines rely on.
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using mot::FlatMap;
+using mot::Rng;
+
+TEST(FlatMap, BasicSurface) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), map.end());
+  EXPECT_EQ(map.count(7), 0u);
+
+  auto [it, inserted] = map.emplace(7, 70);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->first, 7u);
+  EXPECT_EQ(it->second, 70);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(7));
+  EXPECT_EQ(map.at(7), 70);
+
+  auto [again, fresh] = map.emplace(7, 99);
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(again->second, 70);  // emplace on a present key is a no-op
+
+  map[7] = 71;
+  EXPECT_EQ(map.at(7), 71);
+  map[8] = 80;  // operator[] default-constructs missing entries
+  EXPECT_EQ(map.size(), 2u);
+
+  EXPECT_EQ(map.erase(7), 1u);
+  EXPECT_EQ(map.erase(7), 0u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(8), 80);
+
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(8), map.end());
+}
+
+TEST(FlatMap, EraseByIterator) {
+  FlatMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 10; ++k) map.emplace(k, static_cast<int>(k));
+  auto it = map.find(4);
+  ASSERT_NE(it, map.end());
+  map.erase(it);
+  EXPECT_EQ(map.size(), 9u);
+  EXPECT_FALSE(map.contains(4));
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    if (k == 4) continue;
+    ASSERT_TRUE(map.contains(k)) << k;
+    EXPECT_EQ(map.at(k), static_cast<int>(k));
+  }
+}
+
+TEST(FlatMap, IterationIsInsertionOrderedUntilErase) {
+  FlatMap<std::uint64_t, int> map;
+  const std::vector<std::uint64_t> keys = {901, 3, 47, 1024, 12, 500};
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    map.emplace(keys[i], static_cast<int>(i));
+  }
+  std::vector<std::uint64_t> seen;
+  for (const auto& [k, v] : map) {
+    (void)v;
+    seen.push_back(k);
+  }
+  EXPECT_EQ(seen, keys);
+
+  // Erase swaps the last dense entry into the hole: 3 -> 500.
+  map.erase(3);
+  seen.clear();
+  for (const auto& [k, v] : map) {
+    (void)v;
+    seen.push_back(k);
+  }
+  const std::vector<std::uint64_t> expected = {901, 500, 47, 1024, 12};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(FlatMap, RandomizedFuzzAgainstUnorderedMap) {
+  Rng rng(20260809);
+  for (int round = 0; round < 50; ++round) {
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> reference;
+    const std::uint64_t key_space = 1 + rng() % 400;
+    const int steps = 800;
+    for (int step = 0; step < steps; ++step) {
+      const std::uint64_t key = rng() % key_space;
+      switch (rng() % 4) {
+        case 0: {  // emplace
+          const std::uint64_t value = rng();
+          const auto [it, inserted] = map.emplace(key, value);
+          const auto [ref_it, ref_inserted] = reference.emplace(key, value);
+          ASSERT_EQ(inserted, ref_inserted);
+          ASSERT_EQ(it->second, ref_it->second);
+          break;
+        }
+        case 1: {  // erase by key
+          ASSERT_EQ(map.erase(key), reference.erase(key));
+          break;
+        }
+        case 2: {  // find
+          const auto it = map.find(key);
+          const auto ref_it = reference.find(key);
+          ASSERT_EQ(it == map.end(), ref_it == reference.end());
+          if (it != map.end()) {
+            ASSERT_EQ(it->first, ref_it->first);
+            ASSERT_EQ(it->second, ref_it->second);
+          }
+          break;
+        }
+        case 3: {  // mutate through operator[]
+          const std::uint64_t value = rng();
+          map[key] = value;
+          reference[key] = value;
+          break;
+        }
+      }
+      ASSERT_EQ(map.size(), reference.size());
+    }
+    // Full-content sweep: both directions.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> flat(map.begin(),
+                                                              map.end());
+    std::sort(flat.begin(), flat.end());
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ref(
+        reference.begin(), reference.end());
+    std::sort(ref.begin(), ref.end());
+    ASSERT_EQ(flat, ref);
+  }
+}
+
+TEST(FlatMap, DeterministicAcrossInstances) {
+  // The same operation sequence must produce the same iteration order in
+  // every instance — the engines' replay / any-worker-count contract.
+  auto build = [] {
+    FlatMap<std::uint64_t, int> map;
+    Rng rng(42);
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t key = rng() % 128;
+      if (rng() % 3 == 0) {
+        map.erase(key);
+      } else {
+        map.emplace(key, static_cast<int>(step));
+      }
+    }
+    return std::vector<std::pair<std::uint64_t, int>>(map.begin(),
+                                                      map.end());
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(FlatMap, GrowthKeepsAllEntries) {
+  FlatMap<std::uint64_t, std::uint64_t> map;
+  const std::uint64_t n = 10000;
+  for (std::uint64_t k = 0; k < n; ++k) map.emplace(k * 2654435761u, k);
+  ASSERT_EQ(map.size(), n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    ASSERT_EQ(map.at(k * 2654435761u), k);
+  }
+}
+
+}  // namespace
