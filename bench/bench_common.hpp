@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "durable/journal.hpp"
 #include "expt/fig_runners.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/phase_timer.hpp"
@@ -40,6 +41,11 @@ struct CommonFlags {
   std::string emit_json;       // optional run-record JSON path
   std::string trace_jsonl;     // optional trace event stream path
   std::string log_level = "warn";
+  // Durability knobs, shared by every bench that attaches a
+  // DurableStore (chaos_runner, micro_durable). Empty dir = off.
+  std::string snapshot_dir;
+  std::string journal_fsync = "group";
+  durable::FsyncMode fsync_mode = durable::FsyncMode::kGroup;
 };
 
 // Parses a comma-separated size list ("16,64,256"). Empty input yields
@@ -145,7 +151,17 @@ inline CommonFlags parse_common(int argc, char** argv,
                       "stream structured trace events to this JSONL file");
   flags.register_flag("log-level", &common.log_level,
                       "stderr log level: debug|info|warn|error");
+  flags.register_flag("snapshot-dir", &common.snapshot_dir,
+                      "durability: directory for snapshot + journal");
+  flags.register_flag("journal-fsync", &common.journal_fsync,
+                      "durability fsync policy: none|group|always");
   if (!flags.parse(argc, argv)) std::exit(1);
+  if (!durable::parse_fsync_mode(common.journal_fsync,
+                                 &common.fsync_mode)) {
+    std::fprintf(stderr, "unknown --journal-fsync '%s'\n",
+                 common.journal_fsync.c_str());
+    std::exit(1);
+  }
   const std::optional<LogLevel> level = parse_log_level(common.log_level);
   if (!level.has_value()) {
     std::fprintf(stderr, "unknown --log-level '%s'\n",
@@ -167,6 +183,10 @@ inline CommonFlags parse_common(int argc, char** argv,
   record.add_config("threads",
                     static_cast<std::uint64_t>(par::default_workers()));
   if (!common.sizes.empty()) record.add_config("sizes", common.sizes);
+  if (!common.snapshot_dir.empty()) {
+    record.add_config("snapshot_dir", common.snapshot_dir);
+    record.add_config("journal_fsync", common.journal_fsync);
+  }
   detail::emit_json_path() = common.emit_json;
   // A re-parse in the same process (tests, embedded drivers) must not
   // leave the previous run's trace stream installed: uninstall before

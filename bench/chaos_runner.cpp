@@ -80,6 +80,11 @@ int main(int argc, char** argv) {
   std::uint64_t burst_events = 2;
   std::uint64_t replay_seed = UINT64_MAX;  // UINT64_MAX = explorer mode
   std::string keep;
+  bool durability = false;
+  std::uint64_t restart_events = 2;
+  std::string snapshot_dir = "chaos_durable_store";
+  std::string journal_fsync = "group";
+  bool inject_corruption = false;
 
   Flags flags(
       "Chaos explorer: seeded fault schedules vs the distributed MOT "
@@ -104,7 +109,29 @@ int main(int argc, char** argv) {
   flags.register_flag("keep", &keep,
                       "comma-separated event indices kept on replay "
                       "(empty = all)");
+  flags.register_flag("durability", &durability,
+                      "crash-restart-replay audit: run every seed once "
+                      "with a DurableStore + restart events and once as "
+                      "a restart-free-restore reference, and require "
+                      "identical answer digests");
+  flags.register_flag("restart-events", &restart_events,
+                      "crash-restart events per schedule (with "
+                      "--durability)");
+  flags.register_flag("snapshot-dir", &snapshot_dir,
+                      "durability: directory for snapshot + journal");
+  flags.register_flag("journal-fsync", &journal_fsync,
+                      "durability fsync policy: none|group|always");
+  flags.register_flag("inject-corruption", &inject_corruption,
+                      "flip a journal byte before every restore; succeed "
+                      "only if the typed fallback path fires and the run "
+                      "stays green");
   if (!flags.parse(argc, argv)) return 1;
+  durable::FsyncMode fsync_mode = durable::FsyncMode::kGroup;
+  if (!durable::parse_fsync_mode(journal_fsync, &fsync_mode)) {
+    std::fprintf(stderr, "bad --journal-fsync '%s'\n",
+                 journal_fsync.c_str());
+    return 1;
+  }
 
   std::uint64_t seed_lo = 0;
   std::uint64_t seed_hi = 0;
@@ -170,6 +197,110 @@ int main(int argc, char** argv) {
         }
       }
     }
+    return all_ok ? 0 : 1;
+  }
+
+  if (durability) {
+    // Crash-restart-replay audit: each seed runs twice on identical
+    // schedules — once durable (kRestart events tear the runtime down
+    // and restore it from snapshot + journal) and once as the timing
+    // reference (kRestart only drains). Identical worlds must answer
+    // identically, digest for digest.
+    Table table({"topology", "seeds", "restarts", "restores", "fallbacks",
+                 "replayed", "digest_mismatches", "violations"});
+    for (const chaos::Topology topo : topologies) {
+      chaos::RunnerParams base;
+      base.topology = topo;
+      base.num_objects = objects;
+      base.rounds = static_cast<int>(rounds);
+      base.events_per_schedule = static_cast<int>(events);
+      base.restart_events = static_cast<int>(restart_events);
+      chaos::RunnerParams dparams = base;
+      dparams.durability = true;
+      dparams.snapshot_dir = snapshot_dir;
+      dparams.journal_fsync = fsync_mode;
+      dparams.corrupt_journal = inject_corruption;
+      chaos::ChaosRunner durable_runner(dparams);
+      chaos::ChaosRunner reference_runner(base);
+
+      chaos::ScheduleParams sp;
+      sp.rounds = base.rounds;
+      sp.num_events = base.events_per_schedule;
+      sp.num_nodes = durable_runner.net().num_nodes();
+      sp.restart_events = base.restart_events;
+
+      std::size_t restarts = 0;
+      std::size_t restores = 0;
+      std::size_t fallbacks = 0;
+      std::uint64_t replayed = 0;
+      std::size_t digest_mismatches = 0;
+      std::size_t violations = 0;
+      for (std::uint64_t seed = seed_lo;; ++seed) {
+        const chaos::ChaosSchedule schedule =
+            chaos::generate_schedule(seed, sp);
+        const chaos::RunReport durable_report =
+            durable_runner.run(schedule);
+        const chaos::RunReport reference_report =
+            reference_runner.run(schedule);
+        restarts += durable_report.restarts;
+        restores += durable_report.restores;
+        fallbacks += durable_report.restore_fallbacks;
+        replayed += durable_report.journal_replayed;
+        for (const chaos::RunReport* report :
+             {&durable_report, &reference_report}) {
+          if (report->ok()) continue;
+          ++violations;
+          std::cout << "!! "
+                    << (report == &durable_report ? "durable"
+                                                  : "reference")
+                    << " run violation on " << chaos::topology_name(topo)
+                    << " at seed " << seed << " (round "
+                    << report->violation_round << "):\n";
+          for (const std::string& line : report->violations) {
+            std::cout << "  " << line << "\n";
+          }
+        }
+        // Corrupted journals rebuild from ground truth, which legally
+        // changes downstream chaos draws — digests only bind when the
+        // restore path itself is intact.
+        if (!inject_corruption && durable_report.answer_digest !=
+                                      reference_report.answer_digest) {
+          ++digest_mismatches;
+          std::cout << "!! answer digest mismatch on "
+                    << chaos::topology_name(topo) << " at seed " << seed
+                    << ": durable " << durable_report.answer_digest
+                    << " vs reference " << reference_report.answer_digest
+                    << "\n";
+        }
+        if (seed == seed_hi) break;
+      }
+      table.begin_row()
+          .cell(chaos::topology_name(topo))
+          .cell(seeds)
+          .cell(static_cast<std::uint64_t>(restarts))
+          .cell(static_cast<std::uint64_t>(restores))
+          .cell(static_cast<std::uint64_t>(fallbacks))
+          .cell(replayed)
+          .cell(static_cast<std::uint64_t>(digest_mismatches))
+          .cell(static_cast<std::uint64_t>(violations));
+      if (violations != 0 || digest_mismatches != 0) all_ok = false;
+      if (inject_corruption) {
+        // The self-check: corruption must actually force the fallback.
+        if (restarts != 0 && fallbacks == 0) {
+          std::cout << "!! --inject-corruption set but no restore fell "
+                       "back on "
+                    << chaos::topology_name(topo) << "\n";
+          all_ok = false;
+        }
+      } else if (restarts != restores) {
+        std::cout << "!! only " << restores << " of " << restarts
+                  << " restarts restored from disk on "
+                  << chaos::topology_name(topo) << "\n";
+        all_ok = false;
+      }
+    }
+    std::cout << "== chaos durability audit ==\n";
+    table.print(std::cout);
     return all_ok ? 0 : 1;
   }
 

@@ -33,7 +33,8 @@ assert len(records) == 3, f"expected 3 run records, got {records}"
 for path in records:
     with open(path) as f:
         doc = json.load(f)
-    for key in ("schema", "bench", "git_rev", "config", "tables", "phases"):
+    for key in ("schema", "bench", "git_rev", "snapshot_format", "config",
+                "tables", "phases"):
         assert key in doc, f"{path}: missing key {key!r}"
     assert doc["tables"], f"{path}: no tables recorded"
     if doc["bench"] in ("tbl_publish_cost", "tbl_faults"):
@@ -158,6 +159,33 @@ if ! ./build-asan/bench/chaos_runner --seeds 0..9 --topology grid \
 fi
 echo "chaos ok: 60 green schedules + churn; injected defect caught + shrunk"
 
+echo "== durability: crash-restart-replay audit under asan =="
+DURABLE_LOG="${SMOKE_DIR}/durable.log"
+DURABLE_DIR="${SMOKE_DIR}/durable_store"
+# Every seed runs twice on the identical schedule: once durable (kRestart
+# tears the runtime down and restores snapshot + journal from disk) and
+# once as the reference. The runner exits nonzero on any invariant
+# violation, any restart that failed to restore, or any answer-digest
+# divergence between the durable run and its uninterrupted reference.
+if ! ./build-asan/bench/chaos_runner --durability --seeds 0..9 \
+    --topology all --snapshot-dir "${DURABLE_DIR}" \
+    > "${DURABLE_LOG}" 2>&1; then
+  echo "durability audit failed:"
+  cat "${DURABLE_LOG}"
+  exit 1
+fi
+# Self-check: a bit flipped in a journal payload must be caught by the
+# per-record CRC and force the typed fallback-to-rebuild path — if no
+# restore falls back, the corruption detection is broken.
+if ! ./build-asan/bench/chaos_runner --durability --inject-corruption \
+    --seeds 0..4 --topology grid --snapshot-dir "${DURABLE_DIR}" \
+    > "${DURABLE_LOG}" 2>&1; then
+  echo "durability corruption self-check failed:"
+  cat "${DURABLE_LOG}"
+  exit 1
+fi
+echo "durability ok: restores byte-identical to reference; corruption falls back typed"
+
 echo "== overload: tbl_overload sweep under asan =="
 cmake --build build-asan -j "${JOBS}" --target tbl_overload
 OVERLOAD_LOG="${SMOKE_DIR}/overload.log"
@@ -181,6 +209,6 @@ cmake --build build-tsan -j "${JOBS}" --target mot_tests
 # worker-count test fans batched shards across the pool); the rest of
 # mot_tests is single-threaded and already covered by the asan stage.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/mot_tests --gtest_brief=1 \
-  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*:Overload*:Batch*:FlatMap*'
+  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*:Overload*:Batch*:FlatMap*:Durable*:Journal*:Snapshot*'
 
 echo "== ci green =="

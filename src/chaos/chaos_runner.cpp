@@ -1,6 +1,8 @@
 #include "chaos/chaos_runner.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -17,6 +19,50 @@ std::vector<NodeId> id_range(NodeId first, NodeId last_exclusive) {
   ids.reserve(last_exclusive - first);
   for (NodeId v = first; v < last_exclusive; ++v) ids.push_back(v);
   return ids;
+}
+
+// Flips one bit in the middle of the file's record region (past the
+// 5-byte header), simulating bit rot for the corruption fallback path.
+// Flips one bit inside the payload of the journal's middle record. The
+// flip must land in a payload, not a frame length: corrupting a length
+// can inflate the frame past EOF, which is byte-for-byte identical to a
+// genuine torn tail and is (by design) silently truncated rather than
+// detected. A payload flip always trips the per-record CRC, so the
+// audit can insist the restore falls back.
+bool flip_one_journal_byte(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) return false;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  constexpr long kHeader = 5;       // magic + version
+  constexpr long kFrame = 8;        // u32 length + u32 crc
+  // Walk the frames, remembering each payload's extent.
+  std::vector<std::pair<long, long>> payloads;  // (offset, length)
+  long pos = kHeader;
+  while (pos + kFrame <= size) {
+    std::fseek(file, pos, SEEK_SET);
+    std::uint8_t len_bytes[4];
+    if (std::fread(len_bytes, 1, 4, file) != 4) break;
+    const long length = static_cast<long>(len_bytes[0]) |
+                        static_cast<long>(len_bytes[1]) << 8 |
+                        static_cast<long>(len_bytes[2]) << 16 |
+                        static_cast<long>(len_bytes[3]) << 24;
+    if (length <= 0 || pos + kFrame + length > size) break;
+    payloads.emplace_back(pos + kFrame, length);
+    pos += kFrame + length;
+  }
+  if (payloads.empty()) {
+    std::fclose(file);
+    return false;
+  }
+  const auto [offset, length] = payloads[payloads.size() / 2];
+  const long at = offset + length / 2;
+  std::fseek(file, at, SEEK_SET);
+  const int byte = std::fgetc(file);
+  std::fseek(file, at, SEEK_SET);
+  std::fputc(byte ^ 0x40, file);
+  std::fclose(file);
+  return true;
 }
 
 }  // namespace
@@ -40,18 +86,38 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
   }
   faults::UnreliableChannel channel(plan, seeds.seed_for("chaos-channel"));
   Simulator sim;
-  proto::DistributedMot dist(*net_.provider, sim, net_.chain_options);
-  dist.use_channel(&channel);
-  dist.replicate_detection_lists(true);
-  dist.set_query_policy(params_.query_policy);
-  if (params_.inject_recovery_bug) dist.break_recovery_for_tests(true);
   std::optional<ServiceModel> service;
   if (params_.overload) {
     overload::OverloadConfig cfg = params_.overload_config;
     cfg.seed = seeds.seed_for("overload-red");
     service.emplace(sim, n, cfg);
-    dist.use_overload(&*service);
   }
+  std::optional<durable::DurableStore> store;
+  if (params_.durability) {
+    MOT_EXPECTS(!params_.snapshot_dir.empty());
+    store.emplace(durable::DurableStore::Options{params_.snapshot_dir,
+                                                 params_.journal_fsync});
+    MOT_CHECK(store->ok());
+  }
+  // The runtime is rebuilt from scratch on every kRestart event, with
+  // the same attachments, so construction lives in a factory. The
+  // channel, simulator, service model and store all survive a restart —
+  // they are the network and the disk, not the node software.
+  auto make_engine = [&] {
+    auto engine = std::make_unique<proto::DistributedMot>(
+        *net_.provider, sim, net_.chain_options);
+    engine->use_channel(&channel);
+    engine->replicate_detection_lists(true);
+    engine->set_query_policy(params_.query_policy);
+    if (params_.inject_recovery_bug) engine->break_recovery_for_tests(true);
+    if (service) engine->use_overload(&*service);
+    if (store) engine->use_durability(&*store);
+    return engine;
+  };
+  std::unique_ptr<proto::DistributedMot> dist = make_engine();
+  // Aborted-query counts of runtimes already torn down by a restart:
+  // the termination audit must see the whole run, not just the tail.
+  std::uint64_t aborted_before_restart = 0;
 
   std::vector<bool> dead(n, false);
   std::size_t crashed = 0;
@@ -68,10 +134,18 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
   // Publish everything and settle before the first fault.
   Rng publish_rng = SeedTree(schedule.seed).stream("chaos-publish");
   for (ObjectId object = 0; object < params_.num_objects; ++object) {
-    dist.publish(object, publish_rng.below(n));
+    dist->publish(object, publish_rng.below(n));
   }
   sim.run(params_.max_sim_events);
   MOT_CHECK(sim.empty());
+  // Ground the store on this run's settled world: overwrites whatever a
+  // previous seed left in the directory and compacts the journal, so a
+  // later restore can never alias stale state.
+  if (store) {
+    store->commit();
+    store->write_snapshot(*net_.graph, *net_.hierarchy,
+                          dist->export_durable_image());
+  }
 
   std::vector<char> move_busy(params_.num_objects, 0);
   // Completed moves per object; a degraded answer is only auditable
@@ -90,18 +164,32 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
   // it back each round to inject the focused extra traffic.
   faults::FaultPlan traffic_plan;
 
+  // FNV-1a fold over query answers, in callback order (deterministic:
+  // the simulator is). The digest is the cross-run parity oracle — a
+  // durable run with restarts must answer exactly like its reference.
+  auto fold_answer = [&report](ObjectId object, const QueryResult& r) {
+    const auto fold = [&report](std::uint64_t x) {
+      report.answer_digest ^= x;
+      report.answer_digest *= 1099511628211ull;
+    };
+    fold(object);
+    fold(r.found ? 1 : 0);
+    fold(r.found ? r.proxy : 0);
+  };
+
   auto issue_query = [&](ObjectId object, NodeId origin) {
     ++report.queries_issued;
     const std::uint64_t epoch = move_epoch[object];
     const bool busy_at_issue = move_busy[object] != 0;
-    dist.query(origin, object,
+    dist->query(origin, object,
                [&, object, epoch, busy_at_issue](const QueryResult& r) {
                  ++report.queries_terminated;
+                 fold_answer(object, r);
                  if (r.found && r.degraded && !busy_at_issue &&
                      move_busy[object] == 0 &&
                      move_epoch[object] == epoch) {
                    const Weight away = net_.oracle->distance(
-                       r.proxy, dist.physical_position(object));
+                       r.proxy, dist->physical_position(object));
                    if (away > r.staleness_bound) {
                      report.violations.push_back(
                          "degraded answer for object " +
@@ -121,7 +209,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
     if (!sim.empty()) {
       out.push_back("did not quiesce within the event budget");
     } else {
-      for (std::string& line : dist.invariant_violations()) {
+      for (std::string& line : dist->invariant_violations()) {
         out.push_back(std::move(line));
       }
       const faults::ChannelStats& cs = channel.stats();
@@ -164,9 +252,11 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
       }
       // Crash-aborted queries die with their requester (no callback to a
       // dead node); every other query must have answered or aborted
-      // through its callback.
-      const std::uint64_t terminated =
-          report.queries_terminated + dist.stats().queries_aborted;
+      // through its callback. Restarts reset the tail runtime's stats,
+      // so aborts of torn-down runtimes ride the accumulated baseline.
+      const std::uint64_t terminated = report.queries_terminated +
+                                       aborted_before_restart +
+                                       dist->stats().queries_aborted;
       if (report.queries_issued != terminated) {
         out.push_back("only " + std::to_string(terminated) + " of " +
                       std::to_string(report.queries_issued) +
@@ -180,7 +270,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
         const NodeId origin = live_node(verify_rng);
         bool answered = false;
         QueryResult result;
-        dist.query(origin, object, [&](const QueryResult& r) {
+        dist->query(origin, object, [&](const QueryResult& r) {
           answered = true;
           result = r;
         });
@@ -190,14 +280,15 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
                         std::to_string(object) + " never terminated");
           break;
         }
+        fold_answer(object, result);
         if (!result.found ||
-            result.proxy != dist.physical_position(object)) {
+            result.proxy != dist->physical_position(object)) {
           out.push_back(
               "verification query for object " + std::to_string(object) +
               " answered node " +
               std::to_string(result.found ? result.proxy : kInvalidNode) +
               " but the object is at node " +
-              std::to_string(dist.physical_position(object)));
+              std::to_string(dist->physical_position(object)));
         }
       }
     }
@@ -214,7 +305,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
   };
 
   auto finalize = [&] {
-    report.proto_stats = dist.stats();
+    report.proto_stats = dist->stats();
     report.channel_stats = channel.stats();
     if (service) report.service_stats = service->stats();
   };
@@ -243,7 +334,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
           bool hosts = false;
           for (ObjectId object = 0; object < params_.num_objects;
                ++object) {
-            if (dist.physical_position(object) == victim) hosts = true;
+            if (dist->physical_position(object) == victim) hosts = true;
           }
           if (dead[victim] || victim == net_.root() || hosts ||
               crashed >= crash_cap) {
@@ -293,6 +384,87 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
           ++report.faults_applied;
           break;
         }
+        case FaultKind::kRestart: {
+          // A runtime cannot restart into a mid-operation world: heal
+          // every open cut and drain to a quiescence point first. The
+          // durable run and its timing reference both execute this
+          // part, so their traffic schedules stay aligned.
+          for (const OpenCut& cut : open) channel.heal_now(cut.id);
+          open.clear();
+          sim.run(params_.max_sim_events);
+          if (!check_quiescent(round)) {
+            finalize();
+            return report;
+          }
+          round_end = std::max(round_end, sim.now());
+          ++report.restarts;
+          if (store) {
+            store->commit();
+            const durable::StateImage before = dist->export_durable_image();
+            aborted_before_restart += dist->stats().queries_aborted;
+            // The dying runtime's crash subscription captures it;
+            // detach before destruction or the channel would call into
+            // freed memory on the next crash event. make_engine()'s
+            // use_channel re-subscribes the successor.
+            channel.clear_crash_subscribers();
+            dist.reset();
+            if (params_.corrupt_journal) {
+              flip_one_journal_byte(store->journal_path());
+            }
+            const durable::DurableStore::RestoreResult restored =
+                store->restore(*net_.graph);
+            dist = make_engine();
+            if (restored.restored()) {
+              ++report.restores;
+              report.journal_replayed += restored.journal_replayed;
+              if (!(restored.image == before)) {
+                report.violations.push_back(
+                    "restart in round " + std::to_string(round) +
+                    ": restored image differs from the pre-restart "
+                    "image (digest " +
+                    std::to_string(restored.image.digest()) + " vs " +
+                    std::to_string(before.digest()) + ")");
+              }
+              if (!(restored.hierarchy == net_.hierarchy->export_state())) {
+                report.violations.push_back(
+                    "restart in round " + std::to_string(round) +
+                    ": restored hierarchy state differs from the live "
+                    "hierarchy");
+              }
+              dist->restore_durable_image(restored.image);
+            } else {
+              // Typed restore failure (e.g. injected corruption):
+              // rebuild from ground truth — republish every object at
+              // its pre-restart physical position — then re-ground the
+              // store with a fresh snapshot.
+              ++report.restore_fallbacks;
+              for (const auto& [object, at] : before.physical) {
+                dist->publish(object, at);
+              }
+              sim.run(params_.max_sim_events);
+              MOT_CHECK(sim.empty());
+              round_end = std::max(round_end, sim.now());
+              store->write_snapshot(*net_.graph, *net_.hierarchy,
+                                    dist->export_durable_image());
+            }
+            // Message-free post-restore audit: structural invariants
+            // must hold before any new traffic touches the restored
+            // state. (Queries would perturb the channel stream the
+            // reference run consumes identically.)
+            for (std::string& line : dist->invariant_violations()) {
+              report.violations.push_back("post-restore: " +
+                                          std::move(line));
+            }
+            if (!report.violations.empty()) {
+              report.violation_round = round;
+              finalize();
+              return report;
+            }
+          }
+          round_end += event.delay;  // downtime before traffic resumes
+          ++report.faults_applied;
+          break;
+        }
       }
     }
 
@@ -306,7 +478,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
       const NodeId target = live_node(traffic);
       move_busy[object] = 1;
       ++report.moves_issued;
-      dist.move(object, target, [&, object](const MoveResult&) {
+      dist->move(object, target, [&, object](const MoveResult&) {
         move_busy[object] = 0;
         ++move_epoch[object];
         ++moves_done;
@@ -339,6 +511,8 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
 
     round_end += params_.round_time;
     sim.run_until(round_end);
+    // Group-commit point: one fsync covers the whole round's records.
+    if (store) store->commit();
 
     // Mid-run quiescence point: once the schedule leaves no cut open at
     // the halfway mark, drain and audit before resuming the storm.
@@ -347,6 +521,12 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
       if (!check_quiescent(round)) {
         finalize();
         return report;
+      }
+      // Snapshot-triggered compaction at a settled point: the journal
+      // shrinks back to the suffix since here.
+      if (store) {
+        store->write_snapshot(*net_.graph, *net_.hierarchy,
+                              dist->export_durable_image());
       }
       // The drain ran arbitrarily far past the round grid (long
       // retransmission backoffs); re-base so later rounds still execute.
@@ -396,6 +576,7 @@ ExplorerOutcome ChaosRunner::explore(std::uint64_t first_seed,
   sp.num_events = params_.events_per_schedule;
   sp.num_nodes = net_.num_nodes();
   sp.burst_events = params_.burst_events;
+  sp.restart_events = params_.restart_events;
   for (std::uint64_t seed = first_seed; seed <= last_seed; ++seed) {
     ++out.seeds_run;
     ChaosSchedule schedule = generate_schedule(seed, sp);

@@ -23,6 +23,7 @@
 
 #include "chaos/schedule.hpp"
 #include "chaos/topology.hpp"
+#include "durable/store.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/unreliable_channel.hpp"
 #include "overload/overload.hpp"
@@ -63,6 +64,22 @@ struct RunnerParams {
   // object. Only drawn into schedules when burst_events > 0.
   int burst_events = 0;
   double burst_multiplier = 6.0;
+  // Crash-restart-replay (the durability audit): each kRestart event
+  // heals every open cut, drains to a quiescence point, then tears the
+  // whole runtime down and rebuilds it. With `durability` on the
+  // rebuilt runtime is restored from the DurableStore in `snapshot_dir`
+  // (snapshot + journal-suffix replay) and the restored image is
+  // audited bit-for-bit against the pre-teardown image; with it off the
+  // event only drains and waits out `delay` — the timing reference a
+  // durable run's answer digest is compared against.
+  int restart_events = 0;
+  bool durability = false;
+  std::string snapshot_dir;  // required when durability is on
+  durable::FsyncMode journal_fsync = durable::FsyncMode::kGroup;
+  // Flips one journal byte before every restore, forcing the typed
+  // corruption error -> rebuild-from-ground-truth fallback (the ci
+  // self-check). Answer digests are meaningless in this mode.
+  bool corrupt_journal = false;
 };
 
 struct RunReport {
@@ -74,6 +91,16 @@ struct RunReport {
   std::size_t moves_issued = 0;
   std::size_t queries_issued = 0;
   std::size_t queries_terminated = 0;
+  // FNV-1a fold of every query answer (object, found, proxy), audit
+  // queries included. Two runs that answered every query identically
+  // end with equal digests; costs and meters are deliberately excluded
+  // (floating-point sums may differ in the last ulp across a rebuild).
+  std::uint64_t answer_digest = 0xcbf29ce484222325ull;
+  // Crash-restart-replay accounting (zero unless restart events fired).
+  std::size_t restarts = 0;
+  std::size_t restores = 0;           // snapshot + journal replays
+  std::size_t restore_fallbacks = 0;  // fell back to full rebuild
+  std::uint64_t journal_replayed = 0; // records replayed across restores
   proto::ProtocolStats proto_stats;
   faults::ChannelStats channel_stats;
   // All-zero unless RunnerParams::overload.

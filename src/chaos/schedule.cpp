@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "isolate";
     case FaultKind::kBurst:
       return "burst";
+    case FaultKind::kRestart:
+      return "restart";
   }
   MOT_CHECK(false);
   return "?";
@@ -42,6 +44,9 @@ std::string ChaosSchedule::describe() const {
       case FaultKind::kBurst:
         out += " focus-draw " + std::to_string(event.victim) + " for " +
                std::to_string(event.duration) + " round(s)";
+        break;
+      case FaultKind::kRestart:
+        out += " after delay " + std::to_string(event.delay);
         break;
     }
   }
@@ -87,6 +92,19 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
       // drawing a node-range value keeps the event shape uniform.
       event.victim = burst_rng.below(params.num_nodes);
       event.duration = 1 + static_cast<int>(burst_rng.below(2));
+      schedule.events.push_back(event);
+    }
+  }
+  // Restart events likewise: their own substream, appended before the
+  // sort, so legacy and burst-only schedules replay untouched.
+  if (params.restart_events > 0) {
+    Rng restart_rng = SeedTree(seed).stream("chaos-restart");
+    for (int i = 0; i < params.restart_events; ++i) {
+      FaultEvent event;
+      event.kind = FaultKind::kRestart;
+      event.round = static_cast<int>(
+          restart_rng.below(static_cast<std::uint64_t>(params.rounds)));
+      event.delay = 1.0 + static_cast<double>(restart_rng.below(16));
       schedule.events.push_back(event);
     }
   }

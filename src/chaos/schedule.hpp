@@ -22,6 +22,10 @@ enum class FaultKind : std::uint8_t {
   kBurst,      // traffic burst on object (victim % num_objects) for
                // `duration` rounds (only generated when
                // ScheduleParams::burst_events > 0)
+  kRestart,    // drain to quiescence, then crash-restart the whole
+               // runtime: persist, destroy, restore from snapshot +
+               // journal, resume after `delay` simulator time (only
+               // generated when ScheduleParams::restart_events > 0)
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -32,6 +36,7 @@ struct FaultEvent {
   NodeId victim = kInvalidNode;  // kCrash / kIsolate target
   NodeId pivot = 1;              // kPartition cut line
   int duration = 1;              // rounds until a cut heals (>= 1)
+  double delay = 0.0;            // kRestart downtime before resuming
 };
 
 struct ChaosSchedule {
@@ -51,6 +56,11 @@ struct ScheduleParams {
   // perturbs the crash/partition/isolate draws of existing seeds. 0
   // (the default) keeps legacy schedules bit-identical.
   int burst_events = 0;
+  // Crash-restart-replay events, drawn from their own substream
+  // ("chaos-restart") under the same contract: 0 keeps every existing
+  // schedule bit-identical, and enabling restarts never perturbs the
+  // crash / partition / burst draws.
+  int restart_events = 0;
 };
 
 // Deterministic: the same (seed, params) always yields the same

@@ -1,0 +1,357 @@
+#include "durable/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "durable/version.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "wire/codec.hpp"
+
+namespace mot::durable {
+
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x4a544f4du;  // 'MOTJ' LE
+constexpr std::size_t kHeaderBytes = 5;               // magic + version
+constexpr std::size_t kFrameHeaderBytes = 8;          // len + crc
+// No single semantic op comes close to this; a longer length prefix is
+// corruption, not a big record.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 16;
+
+// Payload field ids (tagged; unknown ids are skipped by old readers).
+enum Field : std::uint32_t {
+  kFieldOp = 1,
+  kFieldObject = 2,
+  kFieldRoleLevel = 3,
+  kFieldRoleNode = 4,
+  kFieldChildLevel = 5,
+  kFieldChildNode = 6,
+  kFieldHasSp = 7,
+  kFieldSpLevel = 8,
+  kFieldSpNode = 9,
+  kFieldNode = 10,
+};
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t value) {
+  out[0] = static_cast<std::uint8_t>(value);
+  out[1] = static_cast<std::uint8_t>(value >> 8);
+  out[2] = static_cast<std::uint8_t>(value >> 16);
+  out[3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+const char* journal_op_name(JournalOp op) {
+  switch (op) {
+    case JournalOp::kPublish: return "publish";
+    case JournalOp::kInsert: return "insert";
+    case JournalOp::kDelete: return "delete";
+    case JournalOp::kSdlAdd: return "sdl_add";
+    case JournalOp::kSdlRemove: return "sdl_remove";
+    case JournalOp::kSplice: return "splice";
+    case JournalOp::kSpClear: return "sp_clear";
+    case JournalOp::kProxy: return "proxy";
+    case JournalOp::kPhysical: return "physical";
+    case JournalOp::kWipeObject: return "wipe_object";
+    case JournalOp::kWipeRole: return "wipe_role";
+    case JournalOp::kWipeNode: return "wipe_node";
+  }
+  return "?";
+}
+
+const char* journal_error_name(JournalError error) {
+  switch (error) {
+    case JournalError::kNone: return "none";
+    case JournalError::kIoError: return "io_error";
+    case JournalError::kBadMagic: return "bad_magic";
+    case JournalError::kBadVersion: return "bad_version";
+    case JournalError::kCrcMismatch: return "crc_mismatch";
+    case JournalError::kBadRecord: return "bad_record";
+  }
+  return "?";
+}
+
+bool parse_fsync_mode(const std::string& text, FsyncMode* mode) {
+  if (text == "none") {
+    *mode = FsyncMode::kNone;
+  } else if (text == "group") {
+    *mode = FsyncMode::kGroup;
+  } else if (text == "always") {
+    *mode = FsyncMode::kAlways;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* fsync_mode_name(FsyncMode mode) {
+  switch (mode) {
+    case FsyncMode::kNone: return "none";
+    case FsyncMode::kGroup: return "group";
+    case FsyncMode::kAlways: return "always";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_record(const JournalRecord& record) {
+  wire::ByteWriter writer;
+  writer.field_varint(kFieldOp, static_cast<std::uint64_t>(record.op));
+  writer.field_varint(kFieldObject, record.object);
+  writer.field_svarint(kFieldRoleLevel, record.role.level);
+  writer.field_varint(kFieldRoleNode, record.role.node);
+  writer.field_svarint(kFieldChildLevel, record.child.level);
+  writer.field_varint(kFieldChildNode, record.child.node);
+  if (record.sp.has_value()) {
+    writer.field_varint(kFieldHasSp, 1);
+    writer.field_svarint(kFieldSpLevel, record.sp->level);
+    writer.field_varint(kFieldSpNode, record.sp->node);
+  }
+  writer.field_varint(kFieldNode, record.node);
+  return writer.take();
+}
+
+bool decode_record(std::span<const std::uint8_t> payload,
+                   JournalRecord* record) {
+  wire::ByteReader reader(payload);
+  JournalRecord out;
+  OverlayNode sp;
+  bool has_sp = false;
+  std::uint32_t field_id = 0;
+  wire::WireType type{};
+  while (reader.next_field(&field_id, &type)) {
+    switch (field_id) {
+      case kFieldOp: {
+        const std::uint64_t op = reader.varint();
+        if (op >= kNumJournalOps) reader.fail(wire::DecodeError::kBadValue);
+        out.op = static_cast<JournalOp>(op);
+        break;
+      }
+      case kFieldObject:
+        out.object = static_cast<std::uint32_t>(reader.varint());
+        break;
+      case kFieldRoleLevel:
+        out.role.level = static_cast<int>(reader.svarint());
+        break;
+      case kFieldRoleNode:
+        out.role.node = static_cast<NodeId>(reader.varint());
+        break;
+      case kFieldChildLevel:
+        out.child.level = static_cast<int>(reader.svarint());
+        break;
+      case kFieldChildNode:
+        out.child.node = static_cast<NodeId>(reader.varint());
+        break;
+      case kFieldHasSp:
+        has_sp = reader.varint() != 0;
+        break;
+      case kFieldSpLevel:
+        sp.level = static_cast<int>(reader.svarint());
+        break;
+      case kFieldSpNode:
+        sp.node = static_cast<NodeId>(reader.varint());
+        break;
+      case kFieldNode:
+        out.node = static_cast<NodeId>(reader.varint());
+        break;
+      default:
+        reader.skip(type);  // future field: step over, keep decoding
+        break;
+    }
+  }
+  if (!reader.ok()) return false;
+  if (has_sp) out.sp = sp;
+  *record = out;
+  return true;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+bool JournalWriter::open(const std::string& path, FsyncMode mode) {
+  close();
+  mode_ = mode;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    MOT_LOG_WARN("journal: open(%s) failed: errno=%d", path.c_str(), errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    close();
+    return false;
+  }
+  if (st.st_size == 0) {
+    std::array<std::uint8_t, kHeaderBytes> header{};
+    put_u32(header.data(), kJournalMagic);
+    header[4] = static_cast<std::uint8_t>(kJournalFormatVersion);
+    if (!write_all(header)) {
+      close();
+      return false;
+    }
+    if (mode_ != FsyncMode::kNone) ::fsync(fd_);
+  }
+  return true;
+}
+
+bool JournalWriter::append(const JournalRecord& record) {
+  MOT_EXPECTS(is_open());
+  const std::vector<std::uint8_t> payload = encode_record(record);
+  std::vector<std::uint8_t> frame(kFrameHeaderBytes + payload.size());
+  put_u32(frame.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame.data() + 4, crc32(payload));
+  std::copy(payload.begin(), payload.end(),
+            frame.begin() + kFrameHeaderBytes);
+  if (!write_all(frame)) return false;
+  ++records_written_;
+  if (mode_ == FsyncMode::kAlways && ::fsync(fd_) != 0) return false;
+  return true;
+}
+
+bool JournalWriter::commit() {
+  if (!is_open()) return true;
+  if (mode_ != FsyncMode::kGroup) return true;
+  return ::fsync(fd_) == 0;
+}
+
+bool JournalWriter::reset() {
+  MOT_EXPECTS(is_open());
+  if (::ftruncate(fd_, 0) != 0) return false;
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  put_u32(header.data(), kJournalMagic);
+  header[4] = static_cast<std::uint8_t>(kJournalFormatVersion);
+  if (!write_all(header)) return false;
+  if (mode_ != FsyncMode::kNone && ::fsync(fd_) != 0) return false;
+  return true;
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    if (mode_ != FsyncMode::kNone) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool JournalWriter::write_all(std::span<const std::uint8_t> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      MOT_LOG_WARN("journal: write failed: errno=%d", errno);
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  bytes_written_ += data.size();
+  return true;
+}
+
+JournalReadResult read_journal(const std::string& path) {
+  JournalReadResult result;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return result;  // no journal == empty journal
+    result.error = JournalError::kIoError;
+    return result;
+  }
+  std::vector<std::uint8_t> data;
+  std::array<std::uint8_t, 65536> chunk;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      result.error = JournalError::kIoError;
+      return result;
+    }
+    if (n == 0) break;
+    data.insert(data.end(), chunk.data(), chunk.data() + n);
+  }
+  ::close(fd);
+
+  if (data.empty()) return result;  // torn creation: nothing to replay
+  if (data.size() < kHeaderBytes) {
+    result.truncated_bytes = data.size();  // torn mid-header
+    return result;
+  }
+  if (get_u32(data.data()) != kJournalMagic) {
+    result.error = JournalError::kBadMagic;
+    return result;
+  }
+  const unsigned version = data[4];
+  if (version < kJournalFormatFloor || version > kJournalFormatVersion) {
+    result.error = JournalError::kBadVersion;
+    return result;
+  }
+
+  std::size_t pos = kHeaderBytes;
+  while (pos < data.size()) {
+    const std::size_t remaining = data.size() - pos;
+    if (remaining < kFrameHeaderBytes) {
+      result.truncated_bytes = remaining;  // torn frame header
+      break;
+    }
+    const std::uint32_t length = get_u32(data.data() + pos);
+    if (length > kMaxRecordBytes) {
+      result.error = JournalError::kBadRecord;
+      break;
+    }
+    const std::uint32_t expected_crc = get_u32(data.data() + pos + 4);
+    if (remaining - kFrameHeaderBytes < length) {
+      result.truncated_bytes = remaining;  // torn payload
+      break;
+    }
+    const std::span<const std::uint8_t> payload(
+        data.data() + pos + kFrameHeaderBytes, length);
+    if (crc32(payload) != expected_crc) {
+      result.error = JournalError::kCrcMismatch;
+      break;
+    }
+    JournalRecord record;
+    if (!decode_record(payload, &record)) {
+      result.error = JournalError::kBadRecord;
+      break;
+    }
+    result.records.push_back(record);
+    pos += kFrameHeaderBytes + length;
+  }
+  return result;
+}
+
+}  // namespace mot::durable

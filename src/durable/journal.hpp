@@ -1,0 +1,236 @@
+// Append-only semantic operation journal (DESIGN.md §14).
+//
+// The journal records *operations* — publish, detection-list insert and
+// delete, SDL add/remove, chain splice — not pages or byte diffs, the
+// pronto-style logging the ROADMAP calls for. Replay applies each op to
+// a MutableState (snapshot.hpp); because every record describes one
+// effective mutation the engines actually performed, replay is strict:
+// an op that does not apply cleanly means the journal and snapshot
+// disagree, and restore falls back to a full rebuild.
+//
+// On-disk layout:
+//   [u32 magic 'MOTJ'][u8 version]            file header
+//   ( [u32 len][u32 crc32][payload] )*        one frame per record
+// All integers little-endian. `crc32` covers the payload only. The
+// payload is a tagged-field encoding (wire/codec.hpp primitives), so a
+// v(N) reader steps over fields a v(N+1) writer added.
+//
+// Failure model on open/read:
+//   * torn tail (file ends inside a frame header or payload): the tail
+//     is dropped — exactly what a crash mid-append leaves behind;
+//   * CRC mismatch on a *complete* frame: typed kCrcMismatch — bytes
+//     rotted, the suffix cannot be trusted;
+//   * oversized length prefix or undecodable payload: typed kBadRecord.
+// Nothing in this path can crash or read out of bounds: all decoding is
+// through the latching ByteReader.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+
+namespace mot::durable {
+
+// CRC-32 (IEEE 802.3, poly 0xEDB88320, reflected) over `data`.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// The semantic op vocabulary — the same mutations the proto batcher
+// stages, plus the wipe ops recovery paths use. Values are the wire
+// encoding; append only.
+enum class JournalOp : std::uint8_t {
+  kPublish = 0,     // object published at node: proxy + physical = node
+  kInsert = 1,      // role's DL gains object -> (child, sp?)
+  kDelete = 2,      // role's DL drops object
+  kSdlAdd = 3,      // role's SDL for object gains child (append order)
+  kSdlRemove = 4,   // role's SDL for object drops child
+  kSplice = 5,      // role's DL entry for object retargets child
+  kSpClear = 6,     // role's DL entry for object clears its sp
+  kProxy = 7,       // proxy map: object -> node
+  kPhysical = 8,    // physical map: object -> node
+  kWipeObject = 9,  // drop object from every DL and SDL (rebuild sweep)
+  kWipeRole = 10,   // drop a role's whole DL + SDL (crash/evacuate)
+  kWipeNode = 11,   // drop every role hosted at node (crash recovery)
+};
+inline constexpr std::uint8_t kNumJournalOps = 12;
+
+const char* journal_op_name(JournalOp op);
+
+// One journaled mutation. Which fields are meaningful depends on `op`;
+// unused fields stay at their defaults and encode compactly.
+struct JournalRecord {
+  JournalOp op = JournalOp::kPublish;
+  std::uint32_t object = 0;            // ObjectId (tracking layer)
+  OverlayNode role;                    // owning overlay role
+  OverlayNode child;                   // DL child / SDL registrant
+  std::optional<OverlayNode> sp;       // special parent (kInsert)
+  NodeId node = kInvalidNode;          // proxy / physical / wiped node
+
+  bool operator==(const JournalRecord&) const = default;
+
+  // Factories, one per op, so call sites name only the fields the op
+  // uses (and cannot forget one).
+  static JournalRecord make_publish(std::uint32_t object, NodeId node) {
+    JournalRecord r;
+    r.op = JournalOp::kPublish;
+    r.object = object;
+    r.node = node;
+    return r;
+  }
+  static JournalRecord make_insert(OverlayNode role, std::uint32_t object,
+                                   OverlayNode child,
+                                   std::optional<OverlayNode> sp) {
+    JournalRecord r;
+    r.op = JournalOp::kInsert;
+    r.object = object;
+    r.role = role;
+    r.child = child;
+    r.sp = sp;
+    return r;
+  }
+  static JournalRecord make_delete(OverlayNode role, std::uint32_t object) {
+    JournalRecord r;
+    r.op = JournalOp::kDelete;
+    r.object = object;
+    r.role = role;
+    return r;
+  }
+  static JournalRecord make_sdl_add(OverlayNode role, std::uint32_t object,
+                                    OverlayNode child) {
+    JournalRecord r;
+    r.op = JournalOp::kSdlAdd;
+    r.object = object;
+    r.role = role;
+    r.child = child;
+    return r;
+  }
+  static JournalRecord make_sdl_remove(OverlayNode role, std::uint32_t object,
+                                       OverlayNode child) {
+    JournalRecord r = make_sdl_add(role, object, child);
+    r.op = JournalOp::kSdlRemove;
+    return r;
+  }
+  static JournalRecord make_splice(OverlayNode role, std::uint32_t object,
+                                   OverlayNode child) {
+    JournalRecord r = make_sdl_add(role, object, child);
+    r.op = JournalOp::kSplice;
+    return r;
+  }
+  static JournalRecord make_sp_clear(OverlayNode role, std::uint32_t object) {
+    JournalRecord r = make_delete(role, object);
+    r.op = JournalOp::kSpClear;
+    return r;
+  }
+  static JournalRecord make_proxy(std::uint32_t object, NodeId node) {
+    JournalRecord r = make_publish(object, node);
+    r.op = JournalOp::kProxy;
+    return r;
+  }
+  static JournalRecord make_physical(std::uint32_t object, NodeId node) {
+    JournalRecord r = make_publish(object, node);
+    r.op = JournalOp::kPhysical;
+    return r;
+  }
+  static JournalRecord make_wipe_object(std::uint32_t object) {
+    JournalRecord r;
+    r.op = JournalOp::kWipeObject;
+    r.object = object;
+    return r;
+  }
+  static JournalRecord make_wipe_role(OverlayNode role) {
+    JournalRecord r;
+    r.op = JournalOp::kWipeRole;
+    r.role = role;
+    return r;
+  }
+  static JournalRecord make_wipe_node(NodeId node) {
+    JournalRecord r;
+    r.op = JournalOp::kWipeNode;
+    r.node = node;
+    return r;
+  }
+};
+
+// Tagged-field payload codec (no framing). decode() returns false with
+// no side effects on malformed input.
+std::vector<std::uint8_t> encode_record(const JournalRecord& record);
+bool decode_record(std::span<const std::uint8_t> payload,
+                   JournalRecord* record);
+
+// Where engines hand off journal records. Engines only ever see this
+// interface; the store behind it owns files and fsync policy.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void record(const JournalRecord& record) = 0;
+};
+
+enum class FsyncMode : std::uint8_t {
+  kNone = 0,   // never fsync (fastest; crash may lose the buffered tail)
+  kGroup = 1,  // fsync at commit points (group commit; default)
+  kAlways = 2  // fsync after every record
+};
+
+// Parses "none" / "group" / "always". Returns false on anything else.
+bool parse_fsync_mode(const std::string& text, FsyncMode* mode);
+const char* fsync_mode_name(FsyncMode mode);
+
+enum class JournalError : std::uint8_t {
+  kNone = 0,
+  kIoError,      // open/read/write syscall failure
+  kBadMagic,     // header magic is not 'MOTJ'
+  kBadVersion,   // header version 0 or outside [floor, current]
+  kCrcMismatch,  // complete frame whose payload fails its CRC
+  kBadRecord,    // absurd length prefix or undecodable payload
+};
+
+const char* journal_error_name(JournalError error);
+
+// Appends framed records to a journal file via an unbuffered POSIX fd —
+// unbuffered so tests (and operators) can corrupt bytes underneath us
+// and the reader sees exactly what hit the disk.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Opens (creating + writing the header if new/empty) for append.
+  bool open(const std::string& path, FsyncMode mode);
+  bool is_open() const { return fd_ >= 0; }
+
+  // Appends one framed record; fsyncs when mode is kAlways.
+  bool append(const JournalRecord& record);
+  // Group-commit point: fsync when mode is kGroup. No-op otherwise.
+  bool commit();
+  // Truncates the journal back to a bare header (snapshot compaction).
+  bool reset();
+  void close();
+
+  std::uint64_t records_written() const { return records_written_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  bool write_all(std::span<const std::uint8_t> data);
+
+  int fd_ = -1;
+  FsyncMode mode_ = FsyncMode::kGroup;
+  std::uint64_t records_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+struct JournalReadResult {
+  JournalError error = JournalError::kNone;
+  std::vector<JournalRecord> records;  // valid prefix (even on error)
+  std::size_t truncated_bytes = 0;     // torn tail dropped on open
+};
+
+// Reads every decodable record. A missing file is an empty journal
+// (kNone, no records): compaction legitimately leaves none.
+JournalReadResult read_journal(const std::string& path);
+
+}  // namespace mot::durable

@@ -1,0 +1,141 @@
+// Versioned binary snapshot of the tracking world (DESIGN.md §14):
+// the DoublingHierarchy CSR state plus a canonical image of the chain /
+// detection-list state either engine (ChainTracker, DistributedMot)
+// exports. Restore = decode snapshot + replay the journal suffix onto a
+// MutableState, then hand the resulting image back to a fresh engine.
+//
+// The StateImage is *canonical*: roles sorted by (node, level), DL
+// entries sorted by object, proxy/physical maps sorted by object, empty
+// roles omitted. Two engines whose observable state is equal export
+// byte-equal images regardless of hash-map iteration history, which is
+// what makes image equality a usable parity oracle in tests and the
+// chaos harness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "durable/journal.hpp"
+#include "hier/doubling_hierarchy.hpp"
+
+namespace mot::durable {
+
+enum class RestoreError : std::uint8_t {
+  kNone = 0,
+  kNoSnapshot,     // snapshot file absent
+  kIoError,        // open/read syscall failure
+  kBadMagic,       // not a snapshot file
+  kBadVersion,     // format version 0 or outside [floor, current]
+  kCrcMismatch,    // payload bytes fail the whole-file CRC
+  kBadRecord,      // payload undecodable despite a good CRC
+  kWorldMismatch,  // snapshot was taken over a different graph
+  kBadSnapshot,    // decoded but structurally invalid (from_state, image)
+  kReplayFailed,   // a journal record did not apply cleanly
+  kJournalError,   // journal unreadable (see JournalError)
+};
+
+const char* restore_error_name(RestoreError error);
+
+// One overlay role's durable state.
+struct RoleImage {
+  struct DlEntry {
+    std::uint32_t object = 0;
+    OverlayNode child;
+    std::optional<OverlayNode> sp;
+
+    bool operator==(const DlEntry&) const = default;
+  };
+  struct SdlEntry {
+    std::uint32_t object = 0;
+    // Registration order, not sorted: engines append and scan in
+    // arrival order, and replayed SdlAdds must reproduce it.
+    std::vector<OverlayNode> children;
+
+    bool operator==(const SdlEntry&) const = default;
+  };
+
+  OverlayNode role;
+  std::vector<DlEntry> dl;    // sorted by object
+  std::vector<SdlEntry> sdl;  // sorted by object
+
+  bool operator==(const RoleImage&) const = default;
+};
+
+struct StateImage {
+  std::vector<RoleImage> roles;  // sorted by (node, level); empties omitted
+  // object -> node maps, sorted by object.
+  std::vector<std::pair<std::uint32_t, NodeId>> proxies;
+  std::vector<std::pair<std::uint32_t, NodeId>> physical;
+
+  // FNV-1a over the canonical encoding: equal images, equal digests.
+  std::uint64_t digest() const;
+
+  bool operator==(const StateImage&) const = default;
+};
+
+// Indexed, mutable form of a StateImage that journal replay applies to.
+// apply() is strict for point ops — a publish/insert/delete/splice that
+// does not match the current state returns false (snapshot and journal
+// disagree; the caller falls back to rebuild) — and tolerant for the
+// wipe ops, which erase whatever is present (their engine counterparts
+// are sweeps over possibly-already-empty state).
+class MutableState {
+ public:
+  MutableState() = default;
+  explicit MutableState(const StateImage& image);
+
+  bool apply(const JournalRecord& record);
+  StateImage to_image() const;
+
+ private:
+  struct Entry {
+    OverlayNode child;
+    std::optional<OverlayNode> sp;
+  };
+  struct Role {
+    std::map<std::uint32_t, Entry> dl;
+    std::map<std::uint32_t, std::vector<OverlayNode>> sdl;
+  };
+  // Keyed (node, level): the canonical role order of StateImage.
+  std::map<std::pair<NodeId, int>, Role> roles_;
+  std::map<std::uint32_t, NodeId> proxies_;
+  std::map<std::uint32_t, NodeId> physical_;
+};
+
+// Fingerprint of the network the state lives over (node count plus the
+// weighted adjacency). A snapshot only restores onto the same world.
+std::uint64_t world_fingerprint(const Graph& graph);
+
+// --- Snapshot file codec ---------------------------------------------
+//
+//   [u32 magic 'MOTS'][u32 crc32 over payload][payload]
+//   payload = u8 version, then tagged fields:
+//     1 varint num_nodes           2 fixed64 world_fingerprint
+//     3 bytes  hierarchy section   4 bytes  state-image section
+// Unknown payload fields are skipped, so additive format growth keeps
+// old snapshots loadable (same contract as the wire frames).
+
+std::vector<std::uint8_t> encode_snapshot(
+    std::uint64_t fingerprint, const DoublingHierarchy::State& hierarchy,
+    const StateImage& image);
+
+struct SnapshotDecodeResult {
+  RestoreError error = RestoreError::kNone;
+  std::uint64_t fingerprint = 0;
+  DoublingHierarchy::State hierarchy;
+  StateImage image;
+};
+
+SnapshotDecodeResult decode_snapshot(std::span<const std::uint8_t> bytes);
+
+// Whole-file helpers. write_snapshot_file() writes tmp + fsync + rename
+// so a crash never leaves a half-written snapshot under the real name.
+bool write_snapshot_file(const std::string& path,
+                         std::span<const std::uint8_t> bytes);
+SnapshotDecodeResult read_snapshot_file(const std::string& path);
+
+}  // namespace mot::durable

@@ -1,0 +1,19 @@
+// Snapshot format version, in its own dependency-free header so the
+// bench telemetry layer (obs/run_record) can stamp run records with the
+// format it was built against without pulling in the durable library.
+#pragma once
+
+namespace mot::durable {
+
+// Bump when the snapshot payload grows fields old decoders must not
+// silently misread. Decoders skip unknown tagged fields, so additive
+// changes keep old snapshots loadable; the floor below is the oldest
+// version the current decoder still understands.
+inline constexpr unsigned kSnapshotFormatVersion = 1;
+inline constexpr unsigned kSnapshotFormatFloor = 1;
+
+// Journal file format version (header byte after the magic).
+inline constexpr unsigned kJournalFormatVersion = 1;
+inline constexpr unsigned kJournalFormatFloor = 1;
+
+}  // namespace mot::durable

@@ -86,6 +86,11 @@ class UnreliableChannel final : public Channel {
                 std::function<void()> deliver) override;
   bool is_dead(NodeId node) const override;
   void subscribe_crashes(std::function<void(NodeId)> on_crash) override;
+
+  // Detaches every crash subscriber. A runtime that is being torn down
+  // and rebuilt (the chaos restart path) must detach first: its
+  // subscription captures `this`, which would dangle after destruction.
+  void clear_crash_subscribers() { on_crash_.clear(); }
   bool link_blocked(SimTime now, NodeId from, NodeId to) const override;
 
   const ChannelStats& stats() const { return stats_; }

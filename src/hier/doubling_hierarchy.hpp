@@ -41,6 +41,37 @@ class DoublingHierarchy final : public Hierarchy {
   static std::unique_ptr<DoublingHierarchy> build(
       const Graph& graph, const DistanceOracle& oracle, const Params& params);
 
+  // Value-typed image of the built overlay: exactly the per-level CSR
+  // arrays (members, parent sets, default parents) that build() derives
+  // from the MIS refinement — the expensive part of construction. The
+  // derived indexes (membership bitmaps, dense slots, cluster cache) are
+  // recomputed on restore. This is what the durable snapshot persists.
+  struct LevelState {
+    std::vector<NodeId> member_list;
+    std::vector<std::size_t> parent_offsets;
+    std::vector<NodeId> parent_data;
+    std::vector<NodeId> default_parents;
+
+    bool operator==(const LevelState&) const = default;
+  };
+  struct State {
+    std::size_t num_nodes = 0;
+    std::size_t total_mis_rounds = 0;
+    std::vector<LevelState> levels;  // levels[0] = bottom
+
+    bool operator==(const State&) const = default;
+  };
+
+  State export_state() const;
+
+  // Reconstructs a hierarchy from an exported state without re-running
+  // the MIS refinement. The state is untrusted (it crossed a disk):
+  // structural validation failures return nullptr, never abort. `graph`
+  // and `oracle` must describe the same network the state was exported
+  // from (the durable layer checks a world fingerprint before calling).
+  static std::unique_ptr<DoublingHierarchy> from_state(
+      const Graph& graph, const DistanceOracle& oracle, const State& state);
+
   int height() const override { return static_cast<int>(levels_.size()) - 1; }
   NodeId root() const override;
   std::span<const NodeId> group(NodeId u, int level) const override;

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "durable/version.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/phase_timer.hpp"
@@ -94,6 +95,11 @@ std::string RunRecord::to_json() const {
   }
   w.key("git_rev");
   w.value(read_git_rev());
+  // Durable-format provenance next to the code provenance: a consumer
+  // holding a snapshot knows which build wrote it (header-only
+  // constant; obs deliberately does not link the durable library).
+  w.key("snapshot_format");
+  w.value(static_cast<std::uint64_t>(durable::kSnapshotFormatVersion));
 
   w.key("config");
   w.begin_object();

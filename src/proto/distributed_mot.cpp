@@ -979,6 +979,8 @@ void DistributedMot::install_entry(const Message& message, NodeId self,
   RoleState& role = local(self).roles[message.role.level];
   MOT_CHECK(role.dl.count(message.object) == 0);
   role.dl.emplace(message.object, Entry{message.link, sp});
+  journal(durable::JournalRecord::make_insert(message.role, message.object,
+                                              message.link, sp));
   send_replica_update(self, message.role.level, message.object,
                       message.link, /*present=*/true);
   if (sp) {
@@ -1001,6 +1003,7 @@ void DistributedMot::publish(ObjectId object, NodeId proxy) {
   MOT_EXPECTS(proxies_.count(object) == 0);
   proxies_[object] = proxy;
   physical_[object] = proxy;
+  journal(durable::JournalRecord::make_publish(object, proxy));
   ++inflight_;
   publishing_.insert(object);
   if (obs::tracing()) {
@@ -1061,6 +1064,7 @@ void DistributedMot::move(ObjectId object, NodeId new_proxy,
   }
   // The object moves now; the structure catches up asynchronously.
   physical_[object] = new_proxy;
+  journal(durable::JournalRecord::make_physical(object, new_proxy));
   MoveCtx ctx;
   ctx.to = new_proxy;
   ctx.done = std::move(done);
@@ -1098,6 +1102,9 @@ void DistributedMot::on_insert(const Message& message) {
         message.walk_index == 0 ? message.role : message.link;
     ctx.peak_level = message.role.level;
     proxies_[object] = ctx.to;  // the move commits at the splice
+    journal(durable::JournalRecord::make_splice(message.role, object,
+                                                entry->child));
+    journal(durable::JournalRecord::make_proxy(object, ctx.to));
     send_replica_update(self, message.role.level, object, entry->child,
                         /*present=*/true);
     if (first_victim == message.role) {
@@ -1145,6 +1152,7 @@ void DistributedMot::on_delete(const Message& message) {
   MOT_CHECK(dl_it != role_it->second.dl.end());
   const Entry entry = dl_it->second;
   role_it->second.dl.erase(dl_it);
+  journal(durable::JournalRecord::make_delete(message.role, object));
   send_replica_update(self, message.role.level, object, OverlayNode{},
                       /*present=*/false);
 
@@ -1614,6 +1622,8 @@ void DistributedMot::on_sdl_add(const Message& message) {
     }
   }
   role.sdl[message.object].push_back(message.link);
+  journal(durable::JournalRecord::make_sdl_add(message.role, message.object,
+                                               message.link));
 }
 
 void DistributedMot::on_sdl_remove(const Message& message) {
@@ -1625,6 +1635,8 @@ void DistributedMot::on_sdl_remove(const Message& message) {
     if (pos != sdl_it->second.end()) {
       sdl_it->second.erase(pos);
       if (sdl_it->second.empty()) role.sdl.erase(sdl_it);
+      journal(durable::JournalRecord::make_sdl_remove(
+          message.role, message.object, message.link));
       return;
     }
   }
@@ -2007,6 +2019,7 @@ void DistributedMot::recover_from_crash(NodeId victim) {
   }
   if (!break_recovery_) {
     sensors_[victim] = SensorState{};
+    journal(durable::JournalRecord::make_wipe_node(victim));
   }
   // The victim's detection-list entries are now (supposed to be) gone
   // and its chains spliced, so the ground truth is stable: cancel every
@@ -2027,18 +2040,31 @@ void DistributedMot::recover_from_crash(NodeId victim) {
   }
   for (NodeId v = 0; v < sensors_.size(); ++v) {
     for (auto& [level, role] : sensors_[v].roles) {
-      (void)level;
       for (auto& [object, entry] : role.dl) {
-        (void)object;
-        if (entry.sp && entry.sp->node == victim) entry.sp.reset();
-      }
-      for (auto* lists : {&role.sdl, &role.sdl_tombstones}) {
-        for (auto it = lists->begin(); it != lists->end();) {
-          std::erase_if(it->second, [victim](const OverlayNode& child) {
-            return child.node == victim;
-          });
-          it = it->second.empty() ? lists->erase(it) : std::next(it);
+        if (entry.sp && entry.sp->node == victim) {
+          entry.sp.reset();
+          journal(durable::JournalRecord::make_sp_clear(
+              OverlayNode{level, v}, object));
         }
+      }
+      for (auto it = role.sdl.begin(); it != role.sdl.end();) {
+        std::erase_if(it->second, [&](const OverlayNode& child) {
+          if (child.node != victim) return false;
+          journal(durable::JournalRecord::make_sdl_remove(
+              OverlayNode{level, v}, it->first, child));
+          return true;
+        });
+        it = it->second.empty() ? role.sdl.erase(it) : std::next(it);
+      }
+      // Tombstones are transient reordering state, not durable state: a
+      // crash-cut tombstone entry is never journaled.
+      for (auto it = role.sdl_tombstones.begin();
+           it != role.sdl_tombstones.end();) {
+        std::erase_if(it->second, [victim](const OverlayNode& child) {
+          return child.node == victim;
+        });
+        it = it->second.empty() ? role.sdl_tombstones.erase(it)
+                                : std::next(it);
       }
     }
   }
@@ -2088,13 +2114,14 @@ void DistributedMot::splice_around(NodeId victim) {
     for (NodeId v = 0; v < sensors_.size(); ++v) {
       if (v == victim) continue;
       for (auto& [level, role] : sensors_[v].roles) {
-        (void)level;
         const auto dl_it = role.dl.find(object);
         if (dl_it == role.dl.end() || dl_it->second.child.node != victim) {
           continue;
         }
         const OverlayNode target = resolve(dl_it->second.child);
         dl_it->second.child = target;
+        journal(durable::JournalRecord::make_splice(OverlayNode{level, v},
+                                                    object, target));
         // The repair message: parent tells the bypassed child directly.
         const Weight hop = distance(v, target.node);
         stats_.recovery_distance += hop;
@@ -2130,6 +2157,7 @@ void DistributedMot::rebuild_object(
   // Tear every trace of the object: its chain may be mid-splice with
   // fragments on both the old and new paths, so surgical repair is not
   // worth the case analysis — re-publishing costs O(D) like any publish.
+  journal(durable::JournalRecord::make_wipe_object(object));
   for (NodeId v = 0; v < sensors_.size(); ++v) {
     for (auto& [level, role] : sensors_[v].roles) {
       (void)level;
@@ -2176,8 +2204,10 @@ void DistributedMot::rebuild_object(
     }
     MOT_CHECK(role.dl.count(object) == 0);
     role.dl.emplace(object, Entry{child, sp});
+    journal(durable::JournalRecord::make_insert(stop, object, child, sp));
     if (sp) {
       sensors_[sp->node].roles[sp->level].sdl[object].push_back(stop);
+      journal(durable::JournalRecord::make_sdl_add(*sp, object, stop));
       const Weight sp_hop = distance(stop.node, sp->node);
       stats_.recovery_distance += sp_hop;
       meter_.charge(sp_hop);
@@ -2196,6 +2226,7 @@ void DistributedMot::rebuild_object(
     index = next_alive_index(sequence, index + 1);
   }
   proxies_[object] = at;
+  journal(durable::JournalRecord::make_proxy(object, at));
   ++stats_.objects_rebuilt;
   if (obs::tracing()) {
     obs::emit({.type = obs::Ev::kRecoveryRebuild,
@@ -2257,6 +2288,79 @@ std::vector<ObjectId> DistributedMot::objects_through(NodeId node) const {
   std::sort(objects.begin(), objects.end());
   objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
   return objects;
+}
+
+durable::StateImage DistributedMot::export_durable_image() const {
+  durable::StateImage image;
+  for (NodeId v = 0; v < sensors_.size(); ++v) {
+    for (const auto& [level, role_state] : sensors_[v].roles) {
+      durable::RoleImage role;
+      role.role = OverlayNode{level, v};
+      for (const auto& [object, entry] : role_state.dl) {
+        role.dl.push_back({object, entry.child, entry.sp});
+      }
+      for (const auto& [object, children] : role_state.sdl) {
+        if (children.empty()) continue;
+        role.sdl.push_back({object, children});
+      }
+      if (role.dl.empty() && role.sdl.empty()) continue;
+      // Canonical order: FlatMap / hash-map iteration order above depends
+      // on insertion history, which is not observable state.
+      std::sort(role.dl.begin(), role.dl.end(), [](const auto& a,
+                                                   const auto& b) {
+        return a.object < b.object;
+      });
+      std::sort(role.sdl.begin(), role.sdl.end(), [](const auto& a,
+                                                     const auto& b) {
+        return a.object < b.object;
+      });
+      image.roles.push_back(std::move(role));
+    }
+  }
+  std::sort(image.roles.begin(), image.roles.end(),
+            [](const durable::RoleImage& a, const durable::RoleImage& b) {
+              return std::pair(a.role.node, a.role.level) <
+                     std::pair(b.role.node, b.role.level);
+            });
+  for (const auto& [object, proxy] : proxies_) {
+    image.proxies.emplace_back(object, proxy);
+  }
+  std::sort(image.proxies.begin(), image.proxies.end());
+  for (const auto& [object, at] : physical_) {
+    image.physical.emplace_back(object, at);
+  }
+  std::sort(image.physical.begin(), image.physical.end());
+  return image;
+}
+
+void DistributedMot::restore_durable_image(const durable::StateImage& image) {
+  // Restore replaces quiescent state only: nothing in flight, nothing
+  // unacknowledged, no staged batches.
+  MOT_EXPECTS(inflight_ == 0);
+  MOT_EXPECTS(pending_.empty());
+  MOT_EXPECTS(staged_.empty());
+  for (SensorState& sensor : sensors_) sensor = SensorState{};
+  proxies_.clear();
+  physical_.clear();
+  for (const durable::RoleImage& role : image.roles) {
+    MOT_CHECK(role.role.node < sensors_.size());
+    RoleState& state = sensors_[role.role.node].roles[role.role.level];
+    for (const auto& entry : role.dl) {
+      state.dl.emplace(entry.object, Entry{entry.child, entry.sp});
+    }
+    for (const auto& entry : role.sdl) {
+      state.sdl.emplace(entry.object, entry.children);
+    }
+  }
+  for (const auto& [object, proxy] : image.proxies) {
+    proxies_[object] = proxy;
+  }
+  for (const auto& [object, at] : image.physical) {
+    physical_[object] = at;
+  }
+  // Replica stores are runtime state re-derived from the lists (the same
+  // re-homing sweep crash recovery uses).
+  if (replicate_) rebuild_replicas();
 }
 
 std::vector<std::string> DistributedMot::invariant_violations() const {

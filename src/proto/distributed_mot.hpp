@@ -256,6 +256,30 @@ class DistributedMot {
   // injecting any traffic.
   void replicate_detection_lists(bool on);
 
+  // Opt-in durability (src/durable/): every effective DL/SDL/proxy
+  // mutation a handler performs is forwarded to `sink` as one semantic
+  // journal record, in execution order. Off by default; a null sink
+  // detaches. The hook is a single branch per mutation, so disabled
+  // runs are bit-identical to pre-durability builds. `sink` must
+  // outlive the runtime (or be detached first). Not supported in
+  // cluster mode (each shard would need its own store).
+  void use_durability(durable::Sink* sink) {
+    MOT_EXPECTS(inflight_ == 0);
+    MOT_EXPECTS(cluster_ == nullptr);
+    durable_ = sink;
+  }
+
+  // Canonical image of the durable state: detection lists, SDLs, proxy
+  // and physical maps. Replica stores, tombstones (empty at quiescence)
+  // and parked queries are runtime state, not durable state — replicas
+  // are re-derived on restore. Call at quiescence only.
+  durable::StateImage export_durable_image() const;
+
+  // Replaces all tracking state with `image` (restore path). Stats and
+  // the meter are not durable state and are left untouched; replica
+  // stores are rebuilt from the restored lists when replication is on.
+  void restore_durable_image(const durable::StateImage& image);
+
   // Non-aborting quiescent invariant audit: returns one human-readable
   // line per violated invariant (empty = healthy). Checks what
   // validate_quiescent() asserts plus orphaned-entry and replica
@@ -452,6 +476,11 @@ class DistributedMot {
 
   Weight distance(NodeId a, NodeId b) const;
 
+  // Forwards one semantic op to the durability sink, if attached.
+  void journal(const durable::JournalRecord& record) {
+    if (durable_ != nullptr) durable_->record(record);
+  }
+
   // --- Reliable link layer (engaged when channel_ != nullptr). ---------
   bool is_node_dead(NodeId node) const;
   std::size_t next_alive_index(std::span<const PathStop> sequence,
@@ -517,6 +546,7 @@ class DistributedMot {
   std::unordered_map<NodeId, LinkCredit> credit_;
   std::unordered_map<std::uint64_t, overload::CircuitBreaker> breakers_;
   QueryPolicy policy_;
+  durable::Sink* durable_ = nullptr;
   bool replicate_ = false;
   bool break_recovery_ = false;
   // Batching state: staged maintenance updates of the open window, the

@@ -54,12 +54,14 @@ void ChainTracker::add_entry(OverlayNode owner, ObjectId object,
   NodeState& node = state_[owner];
   MOT_CHECK(node.dl.count(object) == 0);
   node.dl.emplace(object, DlEntry{child, sp});
+  journal(durable::JournalRecord::make_insert(owner, object, child, sp));
   if (sp) {
     if (options_.charge_special_updates) {
       charge_hop(owner.node, sp->node, object, obs::Ev::kSpHop, sp->level);
       charge_access(*sp, object);
     }
     state_[*sp].sdl[object].push_back(owner);
+    journal(durable::JournalRecord::make_sdl_add(*sp, object, owner));
   }
 }
 
@@ -74,6 +76,7 @@ void ChainTracker::remove_sdl_record(OverlayNode sp, ObjectId object,
   MOT_CHECK(pos != children.end());
   children.erase(pos);
   if (children.empty()) node_it->second.sdl.erase(list_it);
+  journal(durable::JournalRecord::make_sdl_remove(sp, object, child));
 }
 
 void ChainTracker::publish(ObjectId object, NodeId proxy) {
@@ -98,6 +101,7 @@ void ChainTracker::publish(ObjectId object, NodeId proxy) {
     previous = stop;
   }
   proxies_[object] = proxy;
+  journal(durable::JournalRecord::make_publish(object, proxy));
 }
 
 MoveResult ChainTracker::move(ObjectId object, NodeId new_proxy) {
@@ -123,6 +127,7 @@ MoveResult ChainTracker::move(ObjectId object, NodeId new_proxy) {
       MOT_CHECK(dl_it->second.child != bottom);  // to != old proxy
       const OverlayNode first_victim = dl_it->second.child;
       dl_it->second.child = bottom;
+      journal(durable::JournalRecord::make_splice(bottom, object, bottom));
       result.peak_level = bottom.level;
       if (obs::tracing()) {
         obs::emit({.type = obs::Ev::kSplice,
@@ -154,6 +159,7 @@ MoveResult ChainTracker::move(ObjectId object, NodeId new_proxy) {
         // there is no fragment to tear.
         const OverlayNode first_victim = dl_it->second.child;
         dl_it->second.child = previous;
+        journal(durable::JournalRecord::make_splice(stop, object, previous));
         result.peak_level = stop.level;
         if (obs::tracing()) {
           obs::emit({.type = obs::Ev::kSplice,
@@ -176,6 +182,9 @@ MoveResult ChainTracker::move(ObjectId object, NodeId new_proxy) {
   // The root always holds every published object, so the walk must meet.
   MOT_CHECK(met);
   proxies_[object] = new_proxy;
+  // kPublish rather than kProxy: in this engine the proxy map is also
+  // the physical position map, and kPublish updates both on replay.
+  journal(durable::JournalRecord::make_publish(object, new_proxy));
   result.cost = window.cost();
   return result;
 }
@@ -194,6 +203,7 @@ void ChainTracker::delete_fragment(OverlayNode meet, OverlayNode first_victim,
     MOT_CHECK(dl_it != node_it->second.dl.end());
     const DlEntry entry = dl_it->second;
     node_it->second.dl.erase(dl_it);
+    journal(durable::JournalRecord::make_delete(current, object));
     if (entry.sp) {
       if (options_.charge_special_updates) {
         charge_hop(current.node, entry.sp->node, object, obs::Ev::kSpHop,
@@ -361,6 +371,8 @@ std::size_t ChainTracker::evacuate_node(NodeId node) {
           found_parent = true;
           // The parent's repair message travels to the bypassed child.
           it->second.child = entry.child;
+          journal(durable::JournalRecord::make_splice(owner, object,
+                                                      entry.child));
           charge_hop(owner.node, entry.child.node, object, obs::Ev::kRepairHop,
                      entry.child.level);
           break;
@@ -386,11 +398,13 @@ std::size_t ChainTracker::evacuate_node(NodeId node) {
         MOT_CHECK(dl_it != child_state->second.dl.end());
         MOT_CHECK(dl_it->second.sp.has_value() && *dl_it->second.sp == role);
         dl_it->second.sp.reset();
+        journal(durable::JournalRecord::make_sp_clear(child, object));
         charge_hop(role.node, child.node, object, obs::Ev::kRepairHop,
                    child.level);
       }
     }
     state_.erase(role);
+    journal(durable::JournalRecord::make_wipe_role(role));
   }
   return evacuated;
 }
@@ -420,6 +434,8 @@ std::size_t ChainTracker::crash_node(NodeId node) {
         if (it != other.dl.end() && it->second.child == role) {
           found_parent = true;
           it->second.child = entry.child;
+          journal(durable::JournalRecord::make_splice(owner, object,
+                                                      entry.child));
           // The surviving parent pays the repair hop to the bypassed
           // child; the dead node itself sends nothing.
           charge_hop(owner.node, entry.child.node, object, obs::Ev::kRepairHop,
@@ -441,11 +457,65 @@ std::size_t ChainTracker::crash_node(NodeId node) {
         MOT_CHECK(dl_it != child_state->second.dl.end());
         MOT_CHECK(dl_it->second.sp.has_value() && *dl_it->second.sp == role);
         dl_it->second.sp.reset();
+        journal(durable::JournalRecord::make_sp_clear(child, object));
       }
     }
     state_.erase(role);
+    journal(durable::JournalRecord::make_wipe_role(role));
   }
   return repaired;
+}
+
+durable::StateImage ChainTracker::export_durable_image() const {
+  durable::StateImage image;
+  image.roles.reserve(state_.size());
+  for (const auto& [owner, node] : state_) {
+    durable::RoleImage role;
+    role.role = owner;
+    for (const auto& [object, entry] : node.dl) {
+      role.dl.push_back({object, entry.child, entry.sp});
+    }
+    for (const auto& [object, children] : node.sdl) {
+      if (children.empty()) continue;
+      role.sdl.push_back({object, children});
+    }
+    if (role.dl.empty() && role.sdl.empty()) continue;
+    // Canonical order: the FlatMap / hash-map iteration order above
+    // depends on insertion history, which is not observable state.
+    std::sort(role.dl.begin(), role.dl.end(),
+              [](const auto& a, const auto& b) { return a.object < b.object; });
+    std::sort(role.sdl.begin(), role.sdl.end(),
+              [](const auto& a, const auto& b) { return a.object < b.object; });
+    image.roles.push_back(std::move(role));
+  }
+  std::sort(image.roles.begin(), image.roles.end(),
+            [](const durable::RoleImage& a, const durable::RoleImage& b) {
+              return std::pair(a.role.node, a.role.level) <
+                     std::pair(b.role.node, b.role.level);
+            });
+  for (const auto& [object, proxy] : proxies_) {
+    image.proxies.emplace_back(object, proxy);
+  }
+  std::sort(image.proxies.begin(), image.proxies.end());
+  image.physical = image.proxies;  // sequential engine: no in-flight moves
+  return image;
+}
+
+void ChainTracker::restore_durable_image(const durable::StateImage& image) {
+  state_.clear();
+  proxies_.clear();
+  for (const durable::RoleImage& role : image.roles) {
+    NodeState& node = state_[role.role];
+    for (const auto& entry : role.dl) {
+      node.dl.emplace(entry.object, DlEntry{entry.child, entry.sp});
+    }
+    for (const auto& entry : role.sdl) {
+      node.sdl.emplace(entry.object, entry.children);
+    }
+  }
+  for (const auto& [object, proxy] : image.proxies) {
+    proxies_[object] = proxy;
+  }
 }
 
 void ChainTracker::validate(ObjectId object) const {

@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "durable/journal.hpp"
+#include "durable/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "tracking/path_provider.hpp"
 #include "tracking/tracker.hpp"
@@ -94,6 +96,22 @@ class ChainTracker final : public Tracker {
   std::size_t sdl_entries(ObjectId object) const;
   bool node_has_dl(OverlayNode owner, ObjectId object) const;
 
+  // Opt-in durability: every effective DL/SDL/chain mutation is handed
+  // to `sink` as a semantic journal record. Off by default; a null sink
+  // switches it off again. The journaling path does no work besides the
+  // sink call, so disabled runs are bit-identical to pre-durability
+  // builds. `sink` must outlive the tracker (or be detached first).
+  void use_durability(durable::Sink* sink) { durable_ = sink; }
+
+  // Canonical image of the DL/SDL/proxy state (durable/snapshot.hpp).
+  // physical == proxies for this engine: the sequential tracker has no
+  // in-flight moves, so the proxy map *is* the physical position map.
+  durable::StateImage export_durable_image() const;
+
+  // Replaces all tracking state with `image` (restore path). Meter and
+  // query stats are not part of durable state and are left untouched.
+  void restore_durable_image(const durable::StateImage& image);
+
   // How queries discovered their objects (ablation A2 reporting).
   struct QueryStats {
     std::uint64_t dl_hits = 0;   // found via a detection list
@@ -135,10 +153,16 @@ class ChainTracker final : public Tracker {
   // `object`) down to the proxy. Charges per-hop unless shortcutting.
   NodeId descend(OverlayNode start, ObjectId object);
 
+  // Forwards one semantic op to the durability sink, if attached.
+  void journal(const durable::JournalRecord& record) {
+    if (durable_ != nullptr) durable_->record(record);
+  }
+
   std::string name_;
   const PathProvider* provider_;
   ChainOptions options_;
   CostMeter meter_;
+  durable::Sink* durable_ = nullptr;
 
   std::unordered_map<OverlayNode, NodeState, OverlayNodeHash> state_;
   std::unordered_map<ObjectId, NodeId> proxies_;

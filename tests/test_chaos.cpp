@@ -49,6 +49,55 @@ TEST(ChaosSchedule, GenerationIsDeterministicAndSortedByRound) {
   EXPECT_FALSE(same_events(a, generate_schedule(43, sp)));
 }
 
+TEST(ChaosSchedule, RestartEventsLeaveLegacySchedulesUnperturbed) {
+  ScheduleParams sp;
+  sp.rounds = 8;
+  sp.num_events = 12;
+  sp.num_nodes = 64;
+  const ChaosSchedule legacy = generate_schedule(42, sp);
+  // Restart events draw from their own substream and are appended
+  // before the stable round sort: stripping them out of an augmented
+  // schedule must recover the legacy schedule event for event, so old
+  // seed corpora keep reproducing the same runs.
+  sp.restart_events = 3;
+  const ChaosSchedule augmented = generate_schedule(42, sp);
+  ASSERT_EQ(augmented.events.size(), legacy.events.size() + 3u);
+  ChaosSchedule stripped = augmented;
+  std::erase_if(stripped.events, [](const FaultEvent& event) {
+    return event.kind == FaultKind::kRestart;
+  });
+  EXPECT_TRUE(same_events(stripped, legacy));
+  for (const FaultEvent& event : augmented.events) {
+    if (event.kind != FaultKind::kRestart) continue;
+    EXPECT_LT(event.round, sp.rounds);
+    EXPECT_GE(event.delay, 1.0);
+  }
+}
+
+TEST(ChaosRunner, DurableRestartReplayIsDeterministic) {
+  RunnerParams params;
+  params.restart_events = 2;
+  params.durability = true;
+  params.snapshot_dir = ::testing::TempDir() + "mot_chaos_durable_replay";
+  ChaosRunner runner(params);
+  ScheduleParams sp;
+  sp.num_nodes = runner.net().num_nodes();
+  sp.restart_events = params.restart_events;
+  const ChaosSchedule schedule = generate_schedule(3, sp);
+  const RunReport a = runner.run(schedule);
+  // The second run starts over the first run's on-disk store; the
+  // initial snapshot re-grounds it, so stale state cannot leak in.
+  const RunReport b = runner.run(schedule);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_TRUE(a.ok()) << (a.violations.empty() ? "" : a.violations[0]);
+  EXPECT_GT(a.restarts, 0u);
+  EXPECT_EQ(a.restarts, a.restores);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.restores, b.restores);
+  EXPECT_EQ(a.journal_replayed, b.journal_replayed);
+  EXPECT_EQ(a.answer_digest, b.answer_digest);
+}
+
 TEST(ChaosRunner, SameScheduleReplaysIdentically) {
   ChaosRunner runner(RunnerParams{});
   ScheduleParams sp;
