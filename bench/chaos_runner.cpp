@@ -78,6 +78,8 @@ int main(int argc, char** argv) {
   bool churn = false;
   bool overload = false;
   std::uint64_t burst_events = 2;
+  bool adaptive = false;
+  std::uint64_t correlated_events = 2;
   std::uint64_t replay_seed = UINT64_MAX;  // UINT64_MAX = explorer mode
   std::string keep;
   bool durability = false;
@@ -104,6 +106,13 @@ int main(int argc, char** argv) {
                       "burst-traffic events to every schedule");
   flags.register_flag("burst-events", &burst_events,
                       "burst-traffic events per schedule (with --overload)");
+  flags.register_flag("adaptive", &adaptive,
+                      "attach the self-tuning control plane (implies "
+                      "--overload): AIMD credit windows, RED/admission "
+                      "tuning, load-aware replica placement");
+  flags.register_flag("correlated-events", &correlated_events,
+                      "correlated burst+crash+partition groups per "
+                      "schedule (with --adaptive)");
   flags.register_flag("replay-seed", &replay_seed,
                       "replay one schedule by seed instead of exploring");
   flags.register_flag("keep", &keep,
@@ -126,6 +135,7 @@ int main(int argc, char** argv) {
                       "only if the typed fallback path fires and the run "
                       "stays green");
   if (!flags.parse(argc, argv)) return 1;
+  if (adaptive) overload = true;  // the controller needs the load signals
   durable::FsyncMode fsync_mode = durable::FsyncMode::kGroup;
   if (!durable::parse_fsync_mode(journal_fsync, &fsync_mode)) {
     std::fprintf(stderr, "bad --journal-fsync '%s'\n",
@@ -160,6 +170,9 @@ int main(int argc, char** argv) {
       params.inject_recovery_bug = inject_bug;
       params.overload = overload;
       params.burst_events = overload ? static_cast<int>(burst_events) : 0;
+      params.adaptive = adaptive;
+      params.correlated_events =
+          adaptive ? static_cast<int>(correlated_events) : 0;
       if (overload) {
         params.overload_config.service_rate = 0.5;
         params.overload_config.queue_capacity = 8;
@@ -172,6 +185,7 @@ int main(int argc, char** argv) {
       sp.num_events = params.events_per_schedule;
       sp.num_nodes = runner.net().num_nodes();
       sp.burst_events = params.burst_events;
+      sp.correlated_events = params.correlated_events;
       chaos::ChaosSchedule schedule =
           chaos::generate_schedule(replay_seed, sp);
       if (!keep.empty()) {
@@ -315,6 +329,9 @@ int main(int argc, char** argv) {
     params.inject_recovery_bug = inject_bug;
     params.overload = overload;
     params.burst_events = overload ? static_cast<int>(burst_events) : 0;
+    params.adaptive = adaptive;
+    params.correlated_events =
+        adaptive ? static_cast<int>(correlated_events) : 0;
     if (overload) {
       params.overload_config.service_rate = 0.5;
       params.overload_config.queue_capacity = 8;
@@ -332,12 +349,17 @@ int main(int argc, char** argv) {
     std::uint64_t shed = 0;
     std::uint64_t degraded = 0;
     std::uint64_t breaker_trips = 0;
+    std::uint64_t window_moves = 0;
+    std::uint64_t tuner_steps = 0;
+    std::uint64_t replicas_placed = 0;
+    std::uint64_t replicas_retired = 0;
     chaos::ExplorerOutcome outcome;
     chaos::ScheduleParams sp;
     sp.rounds = params.rounds;
     sp.num_events = params.events_per_schedule;
     sp.num_nodes = runner.net().num_nodes();
     sp.burst_events = params.burst_events;
+    sp.correlated_events = params.correlated_events;
     for (std::uint64_t seed = seed_lo;; ++seed) {
       const chaos::ChaosSchedule schedule =
           chaos::generate_schedule(seed, sp);
@@ -352,6 +374,11 @@ int main(int argc, char** argv) {
       shed += report.service_stats.shed_total();
       degraded += report.proto_stats.queries_degraded;
       breaker_trips += report.proto_stats.breaker_trips;
+      window_moves += report.proto_stats.window_increases +
+                      report.proto_stats.window_decreases;
+      tuner_steps += report.proto_stats.tuner_steps;
+      replicas_placed += report.proto_stats.replicas_placed;
+      replicas_retired += report.proto_stats.replicas_retired;
       if (!report.ok()) {
         outcome.violation_found = true;
         outcome.seed = seed;
@@ -370,6 +397,12 @@ int main(int argc, char** argv) {
       std::cout << "overload[" << chaos::topology_name(topo)
                 << "]: shed " << shed << ", degraded " << degraded
                 << ", breaker trips " << breaker_trips << "\n";
+    }
+    if (adaptive) {
+      std::cout << "adaptive[" << chaos::topology_name(topo)
+                << "]: window moves " << window_moves << ", tuner steps "
+                << tuner_steps << ", replicas placed " << replicas_placed
+                << ", retired " << replicas_retired << "\n";
     }
 
     table.begin_row()
@@ -415,6 +448,8 @@ int main(int argc, char** argv) {
                 << chaos::topology_name(topo) << " --objects " << objects
                 << " --rounds " << rounds << " --events " << events
                 << " --replay-seed " << outcome.seed << " --keep " << kept
+                << (adaptive ? " --adaptive"
+                             : (overload ? " --overload" : ""))
                 << (inject_bug ? " --inject-bug" : "") << "\n";
       const bool expected =
           inject_bug && outcome.shrunk.events.size() <= 10;

@@ -10,9 +10,19 @@
 // Each load cell is fully self-contained (its own network, simulator,
 // channel, service model and seed streams), so cells can run on the
 // worker pool and the table is identical for --threads 1 and N.
+//
+// The moving-saturation sweep re-runs the load ladder with the hotspot
+// MOVING (a new hot object every epoch) and compares the static
+// operating point against the adaptive control plane (AIMD credit
+// windows, RED/admission tuning, load-aware replica placement stepping
+// at epoch drains). The hotspot-migration table shows the 4x adaptive
+// cell epoch by epoch: divert demand rises, the controller places
+// replicas on the hot chain, and the demand it measured drains away.
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "adapt/adaptive.hpp"
 #include "bench_common.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/unreliable_channel.hpp"
@@ -180,6 +190,186 @@ CellResult run_cell(const CellParams& cp, double multiplier) {
   return out;
 }
 
+// One moving-saturation cell: the burst focus hops to a fresh hot object
+// every epoch (kEpochRounds rounds), and both variants drain to a
+// quiescence point at each epoch boundary — the adaptive variant steps
+// its controller there, the static variant just pauses, so the two see
+// identical offered load. `stamp` (main thread only) receives the final
+// controller operating point for the run record.
+struct MovingCellResult {
+  double multiplier = 1.0;
+  bool adaptive = false;
+  std::uint64_t issued = 0;
+  double goodput = 0.0;
+  std::uint64_t shed = 0;
+  std::uint64_t diverts = 0;
+  std::uint64_t redirects = 0;
+  std::uint64_t window_moves = 0;
+  std::uint64_t tuner_steps = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t retired = 0;
+  std::vector<ObjectId> epoch_hot;
+  std::vector<std::uint64_t> epoch_diverts;
+  std::vector<std::uint64_t> epoch_redirects;
+  std::vector<std::size_t> epoch_placed;
+  std::vector<std::string> violations;
+};
+
+constexpr int kEpochRounds = 2;
+
+MovingCellResult run_moving_cell(const CellParams& cp, double multiplier,
+                                 bool adaptive,
+                                 obs::MetricsRegistry* stamp) {
+  MovingCellResult out;
+  out.multiplier = multiplier;
+  out.adaptive = adaptive;
+  const SeedTree seeds(cp.base_seed);
+
+  const Network net =
+      build_grid_network(cp.grid_side * cp.grid_side, cp.base_seed);
+  MotOptions options;
+  options.use_parent_sets = false;
+  options.seed = cp.base_seed;
+  const MotPathProvider provider(*net.hierarchy, options);
+
+  faults::FaultPlan plan;
+  faults::UnreliableChannel channel(plan, seeds.seed_for("channel"));
+  Simulator sim;
+  // The controller must outlive the runtime it is attached to.
+  std::optional<adapt::AdaptiveController> tuner;
+  if (adaptive) {
+    adapt::AdaptiveConfig acfg;
+    acfg.seed = seeds.seed_for("adaptive",
+                               static_cast<std::uint64_t>(multiplier));
+    tuner.emplace(acfg);
+  }
+  proto::DistributedMot dist(provider, sim,
+                             make_mot_chain_options(options));
+  dist.use_channel(&channel);
+  if (adaptive) {
+    dist.replicate_placed();
+  } else {
+    dist.replicate_detection_lists(true);
+  }
+  dist.set_query_policy({/*deadline=*/256.0, /*max_attempts=*/4,
+                         /*backoff=*/2.0, /*hedge_delay=*/48.0});
+
+  overload::OverloadConfig cfg;
+  cfg.service_rate = 1.0;
+  cfg.queue_capacity = 12;
+  cfg.degrade_fraction = 0.25;
+  cfg.red_fraction = 0.15;
+  cfg.seed = seeds.seed_for("overload-red-moving",
+                            static_cast<std::uint64_t>(multiplier));
+  ServiceModel service(sim, net.num_nodes(), cfg);
+  dist.use_overload(&service);
+  if (adaptive) dist.use_adaptive(&*tuner);
+
+  Rng place_rng = seeds.stream("placement");
+  for (ObjectId o = 0; o < cp.num_objects; ++o) {
+    dist.publish(o, place_rng.below(net.num_nodes()));
+  }
+  sim.run();
+  MOT_CHECK(sim.empty());
+
+  std::vector<char> move_busy(cp.num_objects, 0);
+  std::uint64_t callbacks = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t degraded = 0;
+  auto issue_query = [&](ObjectId object, NodeId origin) {
+    ++out.issued;
+    dist.query(origin, object, [&](const QueryResult& r) {
+      ++callbacks;
+      if (r.found) {
+        ++answered;
+        if (r.degraded) ++degraded;
+      }
+    });
+  };
+
+  Rng hot_rng = seeds.stream("hotspot");
+  double round_end = sim.now();
+  const int epochs = cp.rounds / kEpochRounds;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const ObjectId hot =
+        static_cast<ObjectId>(hot_rng.below(cp.num_objects));
+    out.epoch_hot.push_back(hot);
+    const std::uint64_t redirects_before = dist.stats().sibling_redirects;
+    for (int r = 0; r < kEpochRounds; ++r) {
+      const int round = epoch * kEpochRounds + r;
+      Rng traffic = seeds.stream("moving-traffic",
+                                 static_cast<std::uint64_t>(round));
+      for (int i = 0; i < cp.moves_per_round; ++i) {
+        const ObjectId object = traffic.below(cp.num_objects);
+        if (move_busy[object] != 0) continue;
+        move_busy[object] = 1;
+        dist.move(object, traffic.below(net.num_nodes()),
+                  [&move_busy, object](const MoveResult&) {
+                    move_busy[object] = 0;
+                  });
+      }
+      for (int i = 0; i < cp.queries_per_round; ++i) {
+        issue_query(traffic.below(cp.num_objects),
+                    traffic.below(net.num_nodes()));
+      }
+      const int extra = static_cast<int>((multiplier - 1.0) *
+                                         cp.queries_per_round);
+      for (int i = 0; i < extra; ++i) {
+        issue_query(hot, traffic.below(net.num_nodes()));
+      }
+      round_end += cp.round_time;
+      sim.run_until(round_end);
+    }
+    // Epoch boundary: drain to a quiescence point. Both variants drain
+    // (identical offered load); only the adaptive one steps.
+    sim.run();
+    std::uint64_t epoch_diverts = 0;
+    for (const std::uint64_t v : dist.divert_attempts_by_node()) {
+      epoch_diverts += v;
+    }
+    out.epoch_diverts.push_back(epoch_diverts);
+    out.diverts += epoch_diverts;
+    out.epoch_redirects.push_back(dist.stats().sibling_redirects -
+                                  redirects_before);
+    if (adaptive) dist.adaptive_step();
+    out.epoch_placed.push_back(dist.placed_replica_count());
+    round_end = std::max(round_end, sim.now());
+  }
+  sim.run();
+
+  out.violations = dist.invariant_violations();
+  const proto::ProtocolStats& ps = dist.stats();
+  const ServiceStats& ss = service.stats();
+  const std::uint64_t terminated = callbacks + ps.queries_aborted;
+  if (terminated < out.issued) {
+    out.violations.push_back(
+        "only " + std::to_string(terminated) + " of " +
+        std::to_string(out.issued) + " queries terminated");
+  }
+  if (tuner) {
+    for (std::string& line : tuner->violations(cfg)) {
+      out.violations.push_back("controller: " + std::move(line));
+    }
+  }
+  if (!service.node_ledgers_conserved()) {
+    out.violations.push_back(
+        "per-node service ledgers do not reconcile with the global stats");
+  }
+  const std::uint64_t good = answered - degraded;
+  out.goodput = out.issued != 0
+                    ? static_cast<double>(good) /
+                          static_cast<double>(out.issued)
+                    : 0.0;
+  out.shed = ss.shed_total();
+  out.redirects = ps.sibling_redirects;
+  out.window_moves = ps.window_increases + ps.window_decreases;
+  out.tuner_steps = ps.tuner_steps;
+  out.placed = ps.replicas_placed;
+  out.retired = ps.replicas_retired;
+  if (stamp != nullptr) dist.export_adaptive_state(*stamp);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,6 +423,121 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "!! goodput at 4x (%.3f) fell below 60%% of the "
                  "1x baseline (%.3f)\n", at4x, base);
     all_ok = false;
+  }
+
+  // --- Moving-saturation sweep: static operating point vs the adaptive
+  // control plane on the same rotating-hotspot workload. Cells are
+  // self-contained, so the 8 (multiplier, mode) pairs run on the pool.
+  CellParams mp = cp;
+  mp.rounds = common.full ? 32 : 16;
+  struct MovingSpec {
+    double mult;
+    bool adaptive;
+  };
+  const std::vector<MovingSpec> specs = {
+      {1.0, false}, {1.0, true}, {2.0, false}, {2.0, true},
+      {4.0, false}, {4.0, true}, {8.0, false}, {8.0, true}};
+  const std::vector<MovingCellResult> moving = par::parallel_map(
+      specs.size(), [&](std::size_t i) {
+        return run_moving_cell(mp, specs[i].mult, specs[i].adaptive,
+                               nullptr);
+      });
+
+  Table moving_table({"mult", "mode", "queries", "goodput", "shed",
+                      "diverts", "redirects", "window_moves",
+                      "tuner_steps", "placed", "retired", "ok"});
+  for (const MovingCellResult& cell : moving) {
+    for (const std::string& line : cell.violations) {
+      std::fprintf(stderr, "!! moving %gx %s: %s\n", cell.multiplier,
+                   cell.adaptive ? "adaptive" : "static", line.c_str());
+      all_ok = false;
+    }
+    moving_table.begin_row()
+        .cell(cell.multiplier, 0)
+        .cell(cell.adaptive ? "adaptive" : "static")
+        .cell(cell.issued)
+        .cell(cell.goodput, 3)
+        .cell(cell.shed)
+        .cell(cell.diverts)
+        .cell(cell.redirects)
+        .cell(cell.window_moves)
+        .cell(cell.tuner_steps)
+        .cell(cell.placed)
+        .cell(cell.retired)
+        .cell(cell.violations.empty() ? "yes" : "NO");
+  }
+  bench::emit("Moving saturation: static config vs adaptive control plane",
+              moving_table, common);
+
+  // Acceptance: past saturation the tuned runtime must do no worse than
+  // the static operating point on the identical workload.
+  for (const std::size_t at : {std::size_t{4}, std::size_t{6}}) {
+    const MovingCellResult& stat = moving[at];
+    const MovingCellResult& adap = moving[at + 1];
+    if (adap.goodput < stat.goodput) {
+      std::fprintf(stderr,
+                   "!! adaptive goodput at %gx (%.3f) fell below the "
+                   "static operating point (%.3f)\n",
+                   adap.multiplier, adap.goodput, stat.goodput);
+      all_ok = false;
+    }
+  }
+
+  // --- Hotspot migration, epoch by epoch: the 4x adaptive cell replayed
+  // on the main thread (the pool cells must match it bit for bit — a
+  // determinism self-check) so the controller's final operating point
+  // can be stamped into the process-wide metrics registry, and with it
+  // the run record.
+  const MovingCellResult hotspot =
+      run_moving_cell(mp, 4.0, true, &obs::MetricsRegistry::global());
+  if (hotspot.issued != moving[5].issued ||
+      hotspot.goodput != moving[5].goodput ||
+      hotspot.epoch_placed != moving[5].epoch_placed) {
+    std::fprintf(stderr, "!! 4x adaptive cell replayed on the main thread "
+                 "differs from the pooled cell\n");
+    all_ok = false;
+  }
+  Table migration_table(
+      {"epoch", "hot_obj", "diverts", "redirects", "placed"});
+  for (std::size_t e = 0; e < hotspot.epoch_hot.size(); ++e) {
+    migration_table.begin_row()
+        .cell(static_cast<std::uint64_t>(e))
+        .cell(static_cast<std::uint64_t>(hotspot.epoch_hot[e]))
+        .cell(hotspot.epoch_diverts[e])
+        .cell(hotspot.epoch_redirects[e])
+        .cell(static_cast<std::uint64_t>(hotspot.epoch_placed[e]));
+  }
+  bench::emit("Hotspot migration: 4x adaptive cell, per epoch",
+              migration_table, common);
+
+  // Acceptance: placement must actually fire, and the divert demand the
+  // controller placed against must drop in a later epoch.
+  std::size_t first_placed = hotspot.epoch_placed.size();
+  for (std::size_t e = 0; e < hotspot.epoch_placed.size(); ++e) {
+    if (hotspot.epoch_placed[e] > 0) {
+      first_placed = e;
+      break;
+    }
+  }
+  if (first_placed == hotspot.epoch_placed.size()) {
+    std::fprintf(stderr,
+                 "!! 4x adaptive cell never placed a replica\n");
+    all_ok = false;
+  } else {
+    bool dropped = false;
+    for (std::size_t e = first_placed + 1;
+         e < hotspot.epoch_diverts.size(); ++e) {
+      if (hotspot.epoch_diverts[e] < hotspot.epoch_diverts[first_placed]) {
+        dropped = true;
+        break;
+      }
+    }
+    if (!dropped) {
+      std::fprintf(stderr,
+                   "!! divert demand never dropped below its level at the "
+                   "first placement epoch\n");
+      all_ok = false;
+    }
   }
   return all_ok ? 0 : 1;
 }

@@ -200,6 +200,26 @@ if ! ./build-asan/bench/tbl_overload --log-level error \
 fi
 echo "overload ok: 4x offered load shed/degraded with ledgers balanced"
 
+echo "== adaptive: controller suites + correlated chaos under asan =="
+# The tbl_overload run above already enforces the moving-saturation
+# gates (adaptive goodput >= the static operating point at 4x and 8x,
+# and the hotspot-migration divert drop). This stage adds the controller
+# unit/integration suites — including the oscillation self-check, where
+# an injected alternating gradient must be caught by the hysteresis
+# guard (tuner_freezes > 0) and snapped back to the static base — plus
+# the correlated burst+crash+partition schedules with the overload-aware
+# oracle armed.
+UBSAN_OPTIONS=halt_on_error=1 ./build-asan/tests/mot_tests --gtest_brief=1 \
+  --gtest_filter='Adaptive*'
+ADAPT_LOG="${SMOKE_DIR}/adaptive.log"
+if ! ./build-asan/bench/chaos_runner --adaptive --correlated-events 2 \
+    --seeds 0..9 --topology all > "${ADAPT_LOG}" 2>&1; then
+  echo "adaptive chaos run found a violation:"
+  cat "${ADAPT_LOG}"
+  exit 1
+fi
+echo "adaptive ok: controller suites green; correlated chaos oracles green"
+
 echo "== sanitizers: tsan pool/oracle/sweep tests =="
 cmake -B build-tsan -S . -DMOT_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug \
   > /dev/null
@@ -209,6 +229,6 @@ cmake --build build-tsan -j "${JOBS}" --target mot_tests
 # worker-count test fans batched shards across the pool); the rest of
 # mot_tests is single-threaded and already covered by the asan stage.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/mot_tests --gtest_brief=1 \
-  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*:Overload*:Batch*:FlatMap*:Durable*:Journal*:Snapshot*'
+  --gtest_filter='ThreadPool.*:ShardedOracle.*:ParallelSweep.*:Overload*:Batch*:FlatMap*:Durable*:Journal*:Snapshot*:Adaptive*'
 
 echo "== ci green =="

@@ -1,0 +1,339 @@
+#include "adapt/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "obs/metrics_registry.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace mot::adapt {
+
+namespace {
+
+// One bounded step of `at` toward `goal`; lands exactly on the goal so
+// idle decay terminates instead of dithering around it.
+double move_toward(double at, double goal, double step) {
+  if (at < goal) return std::min(goal, at + step);
+  if (at > goal) return std::max(goal, at - step);
+  return at;
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(const AdaptiveConfig& config)
+    : config_(config) {
+  MOT_EXPECTS(config_.min_window >= 1);
+  MOT_EXPECTS(config_.epoch_acks >= 1);
+  MOT_EXPECTS(config_.decrease > 0.0 && config_.decrease < 1.0);
+  MOT_EXPECTS(config_.step > 0.0);
+  MOT_EXPECTS(config_.tighten_boost >= 1.0);
+  MOT_EXPECTS(config_.admit_min > 0.0);
+  MOT_EXPECTS(config_.red_min > 0.0);
+  MOT_EXPECTS(config_.deadband >= 0.0);
+  MOT_EXPECTS(config_.freeze_after_flips >= 1);
+  MOT_EXPECTS(config_.freeze_steps >= 1);
+  MOT_EXPECTS(config_.retire_after >= 1);
+}
+
+std::size_t AdaptiveController::window_cap(std::uint32_t to,
+                                           std::size_t max_window) const {
+  if (!config_.aimd) return max_window;
+  const auto it = links_.find(to);
+  if (it == links_.end()) return max_window;
+  return std::min(it->second.cap, max_window);
+}
+
+bool AdaptiveController::on_clean_ack(std::uint32_t to,
+                                      std::size_t max_window) {
+  if (!config_.aimd) return false;
+  auto [it, inserted] = links_.try_emplace(to, LinkState{max_window, 0});
+  LinkState& link = it->second;
+  if (++link.clean_acks < config_.epoch_acks) return false;
+  link.clean_acks = 0;
+  if (link.cap >= max_window) {
+    link.cap = max_window;  // already at the ceiling: the epoch still resets
+    return false;
+  }
+  link.cap = std::min(link.cap + config_.increase, max_window);
+  ++stats_.window_raises;
+  return true;
+}
+
+bool AdaptiveController::on_link_loss(std::uint32_t to,
+                                      std::size_t max_window) {
+  if (!config_.aimd) return false;
+  auto [it, inserted] = links_.try_emplace(to, LinkState{max_window, 0});
+  LinkState& link = it->second;
+  link.clean_acks = 0;  // a loss ends the clean epoch
+  link.cap = std::min(link.cap, max_window);
+  const auto shrunk = static_cast<std::size_t>(
+      std::floor(static_cast<double>(link.cap) * config_.decrease));
+  const std::size_t next = std::max(config_.min_window, shrunk);
+  if (next >= link.cap) return false;
+  link.cap = next;
+  ++stats_.window_shrinks;
+  return true;
+}
+
+double AdaptiveController::target_delay_for(
+    const overload::OverloadConfig& base) const {
+  if (config_.target_delay > 0.0) return config_.target_delay;
+  // Queueing past the degrade watermark turns full-fidelity answers into
+  // degraded ones, so that onset is the natural goodput-preserving
+  // target; a configured query-class deadline budget tightens it.
+  double target =
+      static_cast<double>(base.high_watermark()) / base.service_rate;
+  const double budget = base.delay_budget[static_cast<std::size_t>(
+      overload::Priority::kQuery)];
+  if (budget > 0.0) target = std::min(target, budget);
+  return target;
+}
+
+double AdaptiveController::admit_ceiling_for(
+    const overload::OverloadConfig& base) const {
+  if (config_.admit_max > 0.0) return config_.admit_max;
+  // Cap at the maintenance-class fraction so the tuned query fraction
+  // never breaks the class ladder's monotonicity.
+  return base.admit_fraction[static_cast<std::size_t>(
+      overload::Priority::kMaintenance)];
+}
+
+std::vector<TuneAction> AdaptiveController::tune(
+    const std::vector<NodeSignal>& signals,
+    const overload::OverloadConfig& base) {
+  std::vector<TuneAction> actions;
+  if (!config_.tune_admission) return actions;
+  const double target = target_delay_for(base);
+  const double ceiling = admit_ceiling_for(base);
+  const double base_admit =
+      base.admit_fraction[static_cast<std::size_t>(overload::Priority::kQuery)];
+  const double base_red = base.red_fraction;
+  // The goodput-delta gate is global: an admitted query descends a chain
+  // of nodes, so the degradation it causes often lands downstream of the
+  // node that opened. Any degraded answer anywhere this epoch means the
+  // system is at the degrade edge, and no node may open into it.
+  std::uint64_t total_degrades = 0;
+  for (const NodeSignal& sig : signals) total_degrades += sig.degrades;
+  for (const NodeSignal& sig : signals) {
+    const bool idle =
+        sig.delay_samples == 0 && sig.sheds == 0 && sig.degrades == 0;
+    auto it = nodes_.find(sig.node);
+    if (idle) {
+      // Hotspot moved away: decay one step back toward the static
+      // operating point, and forget the node once it arrives.
+      if (it == nodes_.end()) continue;
+      NodeState& st = it->second;
+      if (st.frozen_for > 0) {
+        --st.frozen_for;
+        continue;
+      }
+      st.admit = move_toward(st.admit, base_admit, config_.step);
+      st.red = move_toward(st.red, base_red, config_.step);
+      st.last_dir = 0;
+      st.flips = 0;
+      ++stats_.tuner_reverts;
+      actions.push_back({sig.node, st.admit, st.red});
+      if (st.admit == base_admit && st.red == base_red) nodes_.erase(it);
+      continue;
+    }
+    int dir = 0;
+    if (sig.degrades > 0 ||
+        (sig.delay_samples > 0 &&
+         sig.mean_delay > (1.0 + config_.deadband) * target)) {
+      // Queues deep enough to degrade answers (or to blow the delay
+      // target): tighten admission so excess load is shed early — a
+      // shed query retries at full fidelity, a degraded answer is
+      // goodput already lost.
+      dir = -1;
+    } else if (total_degrades == 0 && sig.sheds > 0 &&
+               sig.depth_ewma <
+                   static_cast<double>(base.high_watermark()) &&
+               sig.delay_samples > 0 &&
+               sig.mean_delay < (1.0 - config_.deadband) * target) {
+      // Shedding with depth headroom below the degrade watermark and
+      // delay under target: open admission. Without the headroom check
+      // the tuner would trade sheds for degraded answers.
+      dir = +1;
+    }
+    if (dir == 0) continue;  // inside the deadband: hysteresis holds fire
+    NodeState& st =
+        (it != nodes_.end())
+            ? it->second
+            : nodes_.emplace(sig.node, NodeState{base_admit, base_red, 0, 0, 0})
+                  .first->second;
+    if (st.frozen_for > 0) {
+      --st.frozen_for;
+      continue;
+    }
+    if (st.last_dir != 0 && dir != st.last_dir) {
+      if (++st.flips >= config_.freeze_after_flips) {
+        // The gradient keeps reversing around the target: no stable
+        // improvement exists here, so snap the node back to the static
+        // operating point and freeze it there. Freezing at the point
+        // the oscillation happened to land on would pin in whatever
+        // half-wrong thresholds the last flip left behind.
+        st.admit = base_admit;
+        st.red = base_red;
+        st.frozen_for = config_.freeze_steps;
+        st.flips = 0;
+        st.last_dir = 0;
+        ++stats_.tuner_freezes;
+        actions.push_back({sig.node, st.admit, st.red});
+        continue;
+      }
+    } else {
+      st.flips = 0;
+    }
+    st.last_dir = dir;
+    const double delta =
+        static_cast<double>(dir) * config_.step *
+        (dir < 0 ? config_.tighten_boost : 1.0);
+    st.admit = std::clamp(st.admit + delta, config_.admit_min, ceiling);
+    st.red = std::clamp(st.red + delta, config_.red_min, ceiling);
+    ++stats_.tuner_steps;
+    if (dir > 0) {
+      ++stats_.tuner_raises;
+    } else {
+      ++stats_.tuner_tightens;
+    }
+    actions.push_back({sig.node, st.admit, st.red});
+  }
+  return actions;
+}
+
+bool AdaptiveController::frozen(std::uint32_t node) const {
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.frozen_for > 0;
+}
+
+PlacementPlan AdaptiveController::plan_placements(
+    const std::vector<LoadGauge>& gauges) {
+  PlacementPlan plan;
+  if (!config_.place_replicas) return plan;
+  struct Candidate {
+    double score;
+    std::uint64_t tie;
+    std::uint32_t node;
+  };
+  std::vector<Candidate> hot;
+  std::set<std::uint32_t> alive;
+  for (const LoadGauge& gauge : gauges) {
+    alive.insert(gauge.node);
+    const double score = static_cast<double>(gauge.diverts) +
+                         0.25 * static_cast<double>(gauge.sheds) +
+                         gauge.depth_ewma;
+    const auto it = placed_.find(gauge.node);
+    if (it != placed_.end()) {
+      if (score < 0.5 * config_.hot_score) {
+        if (++it->second.cold_streak >= config_.retire_after) {
+          plan.retire.push_back(gauge.node);
+        }
+      } else {
+        it->second.cold_streak = 0;
+      }
+    } else if (score >= config_.hot_score) {
+      std::uint64_t mix = config_.seed ^ gauge.node;
+      hot.push_back({score, splitmix64(mix), gauge.node});
+    }
+  }
+  // A placed owner absent from the gauges no longer exists as a
+  // candidate (it died); its replicas are already gone, drop the claim.
+  for (const auto& [node, state] : placed_) {
+    if (alive.find(node) == alive.end()) plan.retire.push_back(node);
+  }
+  std::sort(plan.retire.begin(), plan.retire.end());
+  // Hottest first; the seeded mix breaks score ties without biasing
+  // toward low node ids.
+  std::sort(hot.begin(), hot.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.tie != b.tie) return a.tie < b.tie;
+    return a.node < b.node;
+  });
+  const std::size_t keeping = placed_.size() - plan.retire.size();
+  std::size_t budget =
+      config_.max_replicas > keeping ? config_.max_replicas - keeping : 0;
+  for (const Candidate& cand : hot) {
+    if (budget == 0) break;
+    plan.place.push_back(cand.node);
+    --budget;
+  }
+  for (const std::uint32_t node : plan.retire) {
+    placed_.erase(node);
+    ++stats_.replicas_retired;
+  }
+  for (const std::uint32_t node : plan.place) {
+    placed_.emplace(node, PlacedState{0});
+    ++stats_.replicas_placed;
+  }
+  rebuild_placed_sorted();
+  return plan;
+}
+
+void AdaptiveController::rebuild_placed_sorted() {
+  placed_sorted_.clear();
+  placed_sorted_.reserve(placed_.size());
+  for (const auto& [node, state] : placed_) placed_sorted_.push_back(node);
+}
+
+std::vector<std::string> AdaptiveController::violations(
+    const overload::OverloadConfig& base) const {
+  std::vector<std::string> found;
+  const double ceiling = admit_ceiling_for(base);
+  constexpr double kEps = 1e-9;
+  for (const auto& [node, st] : nodes_) {
+    const std::string tag = "node " + std::to_string(node);
+    if (st.admit < config_.admit_min - kEps || st.admit > ceiling + kEps) {
+      found.push_back(tag + ": tuned admit fraction " +
+                      std::to_string(st.admit) + " escaped its clamps");
+    }
+    if (st.red < config_.red_min - kEps || st.red > ceiling + kEps) {
+      found.push_back(tag + ": tuned red fraction " + std::to_string(st.red) +
+                      " escaped its clamps");
+    }
+    if (st.frozen_for > config_.freeze_steps) {
+      found.push_back(tag + ": freeze counter " +
+                      std::to_string(st.frozen_for) + " exceeds freeze_steps");
+    }
+  }
+  if (placed_.size() > config_.max_replicas) {
+    found.push_back("placed replica set " + std::to_string(placed_.size()) +
+                    " exceeds budget " + std::to_string(config_.max_replicas));
+  }
+  for (std::size_t i = 0; i + 1 < placed_sorted_.size(); ++i) {
+    if (placed_sorted_[i] >= placed_sorted_[i + 1]) {
+      found.push_back("placed owner list is not strictly sorted");
+      break;
+    }
+  }
+  return found;
+}
+
+void AdaptiveController::export_metrics(obs::MetricsRegistry& registry,
+                                        std::size_t max_window) const {
+  for (const auto& [to, link] : links_) {
+    registry.gauge("mot_adapt_credit_window", {{"link", std::to_string(to)}})
+        .set(static_cast<double>(std::min(link.cap, max_window)));
+  }
+  for (const auto& [node, st] : nodes_) {
+    const obs::Labels labels = {{"node", std::to_string(node)}};
+    registry.gauge("mot_adapt_admit_fraction", labels).set(st.admit);
+    registry.gauge("mot_adapt_red_fraction", labels).set(st.red);
+  }
+  registry.gauge("mot_adapt_replica_count")
+      .set(static_cast<double>(placed_.size()));
+  auto set_counter = [&registry](const char* name, std::uint64_t value) {
+    auto& counter = registry.counter(name);
+    counter.reset();
+    counter.increment(value);
+  };
+  set_counter("mot_adapt_window_raises_total", stats_.window_raises);
+  set_counter("mot_adapt_window_shrinks_total", stats_.window_shrinks);
+  set_counter("mot_adapt_tuner_steps_total", stats_.tuner_steps);
+  set_counter("mot_adapt_tuner_freezes_total", stats_.tuner_freezes);
+  set_counter("mot_adapt_replicas_placed_total", stats_.replicas_placed);
+  set_counter("mot_adapt_replicas_retired_total", stats_.replicas_retired);
+}
+
+}  // namespace mot::adapt

@@ -1,0 +1,214 @@
+// Self-tuning overload control plane.
+//
+// PR 5's defenses — credit windows, RED thresholds, class admit
+// fractions, sibling replicas — are static configuration: one operating
+// point chosen before the run. This layer drives them from signals the
+// system already measures, with three deterministic controllers:
+//
+//   1. AIMD credit-window caps per destination link: additive increase
+//      after every epoch of clean acks, multiplicative decrease on
+//      breaker/timeout feedback, clamped to [min_window, max_window].
+//      The reliable link layer consults `window_cap()` wherever it used
+//      to clamp grants to the static `max_window`.
+//   2. Gradient steps on per-node RED thresholds and query admit
+//      fractions, from observed queueing delay vs. a delay target and
+//      from shed counts. A deadband plus a direction-flip freeze give
+//      hysteresis: the tuner cannot oscillate around the target.
+//   3. Load-aware replica placement: detection-list replicas are placed
+//      on owners whose divert/shed gauges run hot and retired after
+//      consecutive cold epochs, reusing the sibling-redirect machinery.
+//
+// Determinism: the controller holds no clock and draws no randomness of
+// its own (the only "random" bits are a splitmix64 tie-break keyed by
+// the configured seed). Tuner and placement state advance only when the
+// host explicitly steps them at quiescence points; AIMD advances on
+// ack/loss events inside the already-deterministic simulator loop. Runs
+// are therefore bit-identical across reruns and worker counts, and with
+// no controller attached the data path is byte-identical to the static
+// configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "overload/overload.hpp"
+
+namespace mot::obs {
+class MetricsRegistry;
+}
+
+namespace mot::adapt {
+
+struct AdaptiveConfig {
+  // --- AIMD credit-window caps --------------------------------------
+  bool aimd = true;
+  std::size_t min_window = 1;    // multiplicative decrease floor
+  std::size_t epoch_acks = 8;    // clean acks per additive-increase epoch
+  std::size_t increase = 1;      // window gain per clean epoch
+  double decrease = 0.5;         // window factor on loss/breaker feedback
+
+  // --- RED / admission gradient tuner -------------------------------
+  bool tune_admission = true;
+  // Mean queueing-delay target per node; 0 picks the delay at which
+  // query degradation begins (high_watermark / service_rate), capped by
+  // the query-class delay budget when one is configured — admission
+  // opens only while answers stay full-fidelity and inside the budget.
+  double target_delay = 0.0;
+  double deadband = 0.25;   // relative no-op band around the target
+  double step = 0.05;       // gradient step applied to both fractions
+  // Tighten steps are this multiple of `step`: a degraded answer is
+  // goodput already lost, a missed opening is merely goodput deferred,
+  // so the controller backs off faster than it opens up.
+  double tighten_boost = 2.0;
+  double admit_min = 0.25;  // query admit fraction floor
+  double red_min = 0.05;    // RED onset fraction floor
+  // Ceiling for both fractions; 0 picks the base maintenance-class
+  // fraction so the class ladder stays monotone under tuning.
+  double admit_max = 0.0;
+  // Hysteresis guard: this many direction flips in a row freeze the
+  // node's tuner for freeze_steps quiescence epochs.
+  int freeze_after_flips = 3;
+  int freeze_steps = 4;
+
+  // --- load-aware replica placement ----------------------------------
+  bool place_replicas = true;
+  double hot_score = 4.0;        // gauge score at/above which to place
+  std::size_t max_replicas = 8;  // placement budget across the run
+  int retire_after = 2;          // consecutive cold epochs before retire
+  std::uint64_t seed = 0;        // placement tie-break substream key
+};
+
+// One node's epoch-aggregated load signal, collected at a quiescence
+// point (mean queueing delay over the epoch plus admission sheds).
+struct NodeSignal {
+  std::uint32_t node = 0;
+  double mean_delay = 0.0;
+  std::uint64_t delay_samples = 0;
+  std::uint64_t sheds = 0;
+  // Queue-depth EWMA: admission only opens while this sits below the
+  // degrade watermark, so sheds are never traded for degraded answers.
+  double depth_ewma = 0.0;
+  // Degraded answers the node issued this epoch — the goodput-delta
+  // feedback. Any degradation tightens; opening requires none.
+  std::uint64_t degrades = 0;
+};
+
+// The tuned per-node operating point the host must apply.
+struct TuneAction {
+  std::uint32_t node = 0;
+  double admit_fraction = 0.0;  // query-class admit fraction
+  double red_fraction = 0.0;    // RED onset fraction
+};
+
+// One candidate owner's placement gauge for an epoch. `diverts` counts
+// query descents that found the owner overloaded — the demand the
+// replica would absorb.
+struct LoadGauge {
+  std::uint32_t node = 0;
+  std::uint64_t diverts = 0;
+  std::uint64_t sheds = 0;
+  double depth_ewma = 0.0;
+};
+
+struct PlacementPlan {
+  std::vector<std::uint32_t> place;
+  std::vector<std::uint32_t> retire;
+};
+
+struct ControllerStats {
+  std::uint64_t window_raises = 0;
+  std::uint64_t window_shrinks = 0;
+  std::uint64_t tuner_steps = 0;
+  std::uint64_t tuner_raises = 0;    // opened admission (underload + sheds)
+  std::uint64_t tuner_tightens = 0;  // lowered thresholds (delay over target)
+  std::uint64_t tuner_reverts = 0;   // idle nodes decayed toward base
+  std::uint64_t tuner_freezes = 0;   // hysteresis guard firings
+  std::uint64_t replicas_placed = 0;
+  std::uint64_t replicas_retired = 0;
+
+  bool operator==(const ControllerStats&) const = default;
+};
+
+class AdaptiveController {
+ public:
+  explicit AdaptiveController(const AdaptiveConfig& config);
+
+  const AdaptiveConfig& config() const { return config_; }
+
+  // --- AIMD -----------------------------------------------------------
+  // Current window cap for `to`; an untracked link sits at max_window.
+  std::size_t window_cap(std::uint32_t to, std::size_t max_window) const;
+  // A clean (non-retransmitted credit) ack on the link; returns true
+  // when a full epoch completed and the cap rose.
+  bool on_clean_ack(std::uint32_t to, std::size_t max_window);
+  // Timeout/breaker feedback; returns true when the cap shrank. A fresh
+  // link starts its cap at max_window, so the very first loss halves it.
+  bool on_link_loss(std::uint32_t to, std::size_t max_window);
+
+  // --- gradient tuner -------------------------------------------------
+  // One quiescence-point step over per-node signals against the static
+  // base config. Returns the operating points the host must apply;
+  // internal direction/freeze state advances here and nowhere else.
+  std::vector<TuneAction> tune(const std::vector<NodeSignal>& signals,
+                               const overload::OverloadConfig& base);
+  bool frozen(std::uint32_t node) const;
+  double target_delay_for(const overload::OverloadConfig& base) const;
+  double admit_ceiling_for(const overload::OverloadConfig& base) const;
+
+  // --- replica placement ----------------------------------------------
+  // One quiescence-point placement step. Gauges must cover exactly the
+  // live candidate owners: a placed owner missing from the gauges (it
+  // died) is retired. Returns owners to place/retire; the internal
+  // placed set advances here.
+  PlacementPlan plan_placements(const std::vector<LoadGauge>& gauges);
+  // Currently placed owners, sorted ascending.
+  const std::vector<std::uint32_t>& placed_owners() const {
+    return placed_sorted_;
+  }
+
+  const ControllerStats& stats() const { return stats_; }
+
+  // Self-audit for the chaos oracle: every tuned operating point must
+  // sit inside the configured clamps (and under the class-monotonicity
+  // ceiling), every frozen node must thaw, and the placed set must fit
+  // the budget. Returns human-readable violations; empty when sound.
+  std::vector<std::string> violations(
+      const overload::OverloadConfig& base) const;
+
+  // Labeled gauges for the operating point: credit_window{link=...},
+  // admit/red fractions per tuned node, replica_count, and the
+  // controller counters.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      std::size_t max_window) const;
+
+ private:
+  struct LinkState {
+    std::size_t cap = 0;
+    std::uint64_t clean_acks = 0;
+  };
+  struct NodeState {
+    double admit = 0.0;
+    double red = 0.0;
+    int last_dir = 0;
+    int flips = 0;
+    int frozen_for = 0;
+  };
+  struct PlacedState {
+    int cold_streak = 0;
+  };
+
+  void rebuild_placed_sorted();
+
+  AdaptiveConfig config_;
+  // Ordered maps so exports and audits iterate deterministically.
+  std::map<std::uint32_t, LinkState> links_;
+  std::map<std::uint32_t, NodeState> nodes_;
+  std::map<std::uint32_t, PlacedState> placed_;
+  std::vector<std::uint32_t> placed_sorted_;
+  ControllerStats stats_;
+};
+
+}  // namespace mot::adapt

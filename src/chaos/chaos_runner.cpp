@@ -72,6 +72,9 @@ ChaosRunner::ChaosRunner(const RunnerParams& params)
       net_(build_chaos_net(params.topology, params.build_seed)) {
   MOT_EXPECTS(params_.rounds > 0);
   MOT_EXPECTS(params_.num_objects > 0);
+  // The control plane is driven by the service model's load signals;
+  // without an overload model there is nothing to adapt to.
+  MOT_EXPECTS(!params_.adaptive || params_.overload);
 }
 
 RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
@@ -92,6 +95,12 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
     cfg.seed = seeds.seed_for("overload-red");
     service.emplace(sim, n, cfg);
   }
+  std::optional<adapt::AdaptiveController> tuner;
+  if (params_.adaptive) {
+    adapt::AdaptiveConfig acfg = params_.adaptive_config;
+    acfg.seed = seeds.seed_for("adapt-placement");
+    tuner.emplace(acfg);
+  }
   std::optional<durable::DurableStore> store;
   if (params_.durability) {
     MOT_EXPECTS(!params_.snapshot_dir.empty());
@@ -107,10 +116,15 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
     auto engine = std::make_unique<proto::DistributedMot>(
         *net_.provider, sim, net_.chain_options);
     engine->use_channel(&channel);
-    engine->replicate_detection_lists(true);
+    if (tuner) {
+      engine->replicate_placed();
+    } else {
+      engine->replicate_detection_lists(true);
+    }
     engine->set_query_policy(params_.query_policy);
     if (params_.inject_recovery_bug) engine->break_recovery_for_tests(true);
     if (service) engine->use_overload(&*service);
+    if (tuner) engine->use_adaptive(&*tuner);
     if (store) engine->use_durability(&*store);
     return engine;
   };
@@ -244,6 +258,49 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
                         std::to_string(service->total_queued()) +
                         " admitted messages at quiescence");
         }
+        if (!service->node_ledgers_conserved()) {
+          out.push_back(
+              "per-node service ledgers do not reconcile with the "
+              "global service stats");
+        }
+        if (tuner) {
+          // The controller's own clamp audit, plus: every tuned
+          // operating point must still describe a valid RED ramp and a
+          // monotone class ladder, and the engine's placed replica set
+          // must fit the controller's budget.
+          for (std::string& line : tuner->violations(service->config())) {
+            out.push_back("controller: " + std::move(line));
+          }
+          for (std::size_t v = 0; v < service->num_nodes(); ++v) {
+            const overload::OverloadConfig& oc = service->node_config(v);
+            const std::size_t lo = oc.red_threshold();
+            const std::size_t query =
+                oc.admit_limit(overload::Priority::kQuery);
+            const std::size_t maint =
+                oc.admit_limit(overload::Priority::kMaintenance);
+            if (lo > query) {
+              out.push_back("node " + std::to_string(v) +
+                            ": tuned RED onset " + std::to_string(lo) +
+                            " sits above the query admit limit " +
+                            std::to_string(query));
+            }
+            if (query > maint) {
+              out.push_back("node " + std::to_string(v) +
+                            ": tuned query admit limit " +
+                            std::to_string(query) +
+                            " breaks the class ladder (maintenance " +
+                            std::to_string(maint) + ")");
+            }
+          }
+          if (dist->placed_replica_count() >
+              tuner->config().max_replicas) {
+            out.push_back(
+                "engine holds " +
+                std::to_string(dist->placed_replica_count()) +
+                " placed replica slots but the budget is " +
+                std::to_string(tuner->config().max_replicas));
+          }
+        }
       }
       if (report.moves_issued != moves_done) {
         out.push_back("only " + std::to_string(moves_done) + " of " +
@@ -308,6 +365,28 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
     report.proto_stats = dist->stats();
     report.channel_stats = channel.stats();
     if (service) report.service_stats = service->stats();
+  };
+
+  // One control-plane epoch, taken only after a PASSING quiescence
+  // audit: the tuner must never advance on signals from a run that is
+  // already in violation. The step retires placements whose owners died
+  // (they vanish from the live-gauge set), so right after it the placed
+  // set naming a dead owner is a controller bug, not a race.
+  auto adaptive_epoch = [&](int round) {
+    if (!tuner) return true;
+    dist->adaptive_step();
+    for (const std::uint32_t owner : tuner->placed_owners()) {
+      if (owner >= n || dead[owner]) {
+        report.violations.push_back(
+            "controller kept replicas placed on dead owner " +
+            std::to_string(owner) + " across a quiescence step");
+      }
+    }
+    if (!report.violations.empty()) {
+      report.violation_round = round;
+      return false;
+    }
+    return true;
   };
 
   double round_end = sim.now();
@@ -392,7 +471,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
           for (const OpenCut& cut : open) channel.heal_now(cut.id);
           open.clear();
           sim.run(params_.max_sim_events);
-          if (!check_quiescent(round)) {
+          if (!check_quiescent(round) || !adaptive_epoch(round)) {
             finalize();
             return report;
           }
@@ -446,6 +525,12 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
               round_end = std::max(round_end, sim.now());
               store->write_snapshot(*net_.graph, *net_.hierarchy,
                                     dist->export_durable_image());
+            }
+            if (tuner) {
+              // The successor runtime rebuilt with an empty placed set;
+              // re-mirror the controller's placements before any new
+              // traffic touches the restored state.
+              dist->apply_replica_placements(tuner->placed_owners(), {});
             }
             // Message-free post-restore audit: structural invariants
             // must hold before any new traffic touches the restored
@@ -518,7 +603,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule) {
     // the halfway mark, drain and audit before resuming the storm.
     if (open.empty() && round == params_.rounds / 2) {
       sim.run(params_.max_sim_events);
-      if (!check_quiescent(round)) {
+      if (!check_quiescent(round) || !adaptive_epoch(round)) {
         finalize();
         return report;
       }
@@ -577,6 +662,7 @@ ExplorerOutcome ChaosRunner::explore(std::uint64_t first_seed,
   sp.num_nodes = net_.num_nodes();
   sp.burst_events = params_.burst_events;
   sp.restart_events = params_.restart_events;
+  sp.correlated_events = params_.correlated_events;
   for (std::uint64_t seed = first_seed; seed <= last_seed; ++seed) {
     ++out.seeds_run;
     ChaosSchedule schedule = generate_schedule(seed, sp);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adaptive.hpp"
 #include "chaos/schedule.hpp"
 #include "chaos/topology.hpp"
 #include "durable/store.hpp"
@@ -80,6 +81,18 @@ struct RunnerParams {
   // corruption error -> rebuild-from-ground-truth fallback (the ci
   // self-check). Answer digests are meaningless in this mode.
   bool corrupt_journal = false;
+  // Adaptive control plane under chaos (requires `overload`): attach an
+  // AdaptiveController, switch replication to load-aware placement, and
+  // step the controller at every PASSING quiescence audit. The oracle
+  // then additionally checks that the per-node service ledgers reconcile
+  // with the global stats, that every tuned operating point sits inside
+  // its clamps with a valid RED ramp, and that the placed replica set
+  // respects its budget and only names live owners.
+  bool adaptive = false;
+  adapt::AdaptiveConfig adaptive_config;
+  // Correlated burst+crash+partition groups per schedule (their own
+  // substream; legacy schedules replay untouched).
+  int correlated_events = 0;
 };
 
 struct RunReport {

@@ -108,6 +108,35 @@ ChaosSchedule generate_schedule(std::uint64_t seed,
       schedule.events.push_back(event);
     }
   }
+  // Correlated groups: burst + crash + partition on one round, from
+  // their own substream, appended before the sort like the rest — so
+  // every pre-existing schedule shape replays untouched, and a group is
+  // just three ordinary events the shrinker can take apart.
+  if (params.correlated_events > 0) {
+    Rng correlated_rng = SeedTree(seed).stream("chaos-correlated");
+    for (int i = 0; i < params.correlated_events; ++i) {
+      const int round = static_cast<int>(
+          correlated_rng.below(static_cast<std::uint64_t>(params.rounds)));
+      const int duration = 1 + static_cast<int>(correlated_rng.below(2));
+      FaultEvent burst;
+      burst.kind = FaultKind::kBurst;
+      burst.round = round;
+      burst.victim = correlated_rng.below(params.num_nodes);
+      burst.duration = duration;
+      schedule.events.push_back(burst);
+      FaultEvent crash;
+      crash.kind = FaultKind::kCrash;
+      crash.round = round;
+      crash.victim = correlated_rng.below(params.num_nodes);
+      schedule.events.push_back(crash);
+      FaultEvent partition;
+      partition.kind = FaultKind::kPartition;
+      partition.round = round;
+      partition.pivot = 1 + correlated_rng.below(params.num_nodes - 1);
+      partition.duration = duration;
+      schedule.events.push_back(partition);
+    }
+  }
   std::stable_sort(schedule.events.begin(), schedule.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.round < b.round;

@@ -61,6 +61,14 @@ struct ScheduleParams {
   // schedule bit-identical, and enabling restarts never perturbs the
   // crash / partition / burst draws.
   int restart_events = 0;
+  // Correlated failure groups, drawn from the "chaos-correlated"
+  // substream. Each group lands a burst + a crash + a partition on the
+  // SAME round — the compound condition the adaptive control plane
+  // exists for (load spike while capacity and connectivity drop). The
+  // group decomposes into three plain events, so describe/replay work
+  // unchanged and the shrinker can delete the components independently.
+  // 0 keeps every existing schedule bit-identical.
+  int correlated_events = 0;
 };
 
 // Deterministic: the same (seed, params) always yields the same

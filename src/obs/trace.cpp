@@ -52,6 +52,11 @@ const char* ev_name(Ev type) {
     case Ev::kWireEncode: return "wire_encode";
     case Ev::kWireDecode: return "wire_decode";
     case Ev::kFlightDump: return "flight_dump";
+    case Ev::kWindowRaise: return "window_raise";
+    case Ev::kWindowShrink: return "window_shrink";
+    case Ev::kTunerStep: return "tuner_step";
+    case Ev::kReplicaPlace: return "replica_place";
+    case Ev::kReplicaRetire: return "replica_retire";
   }
   return "unknown";
 }

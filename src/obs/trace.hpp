@@ -87,6 +87,12 @@ enum class Ev : std::uint8_t {
   // at the top of a flight dump (label = dump reason, aux = events
   // retained) so a dump file is self-describing.
   kFlightDump,
+  // Adaptive control plane (src/adapt/).
+  kWindowRaise,    // AIMD cap rose after a clean ack epoch (aux = cap)
+  kWindowShrink,   // AIMD cap cut on loss/breaker feedback (aux = cap)
+  kTunerStep,      // gradient step applied to a node's thresholds
+  kReplicaPlace,   // load-aware replica placed on a hot owner
+  kReplicaRetire,  // placed replica retired after cold epochs
 };
 
 // Stable lowercase name used as the "ev" field of JSONL traces.

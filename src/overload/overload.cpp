@@ -29,9 +29,18 @@ std::size_t OverloadConfig::high_watermark() const {
 }
 
 std::size_t OverloadConfig::red_threshold() const {
+  // The ramp is only a valid probability when the onset sits at or below
+  // the query admit limit; a threshold exactly at the limit disables RED
+  // (the queue requires onset < limit to ramp). Misconfigs must land in
+  // that range too: red_fraction > 1 clamps to the limit (ramp off, like
+  // red_fraction == 1), and a negative or NaN fraction — which would be
+  // undefined behavior if the raw product were cast to unsigned — also
+  // disables the ramp instead of wrapping to a huge threshold.
+  const std::size_t limit = admit_limit(Priority::kQuery);
   const double raw = red_fraction * static_cast<double>(queue_capacity);
-  const auto mark = static_cast<std::size_t>(std::floor(raw));
-  return std::min(mark, admit_limit(Priority::kQuery));
+  if (!(raw >= 0.0)) return limit;
+  if (raw >= static_cast<double>(limit)) return limit;
+  return static_cast<std::size_t>(std::floor(raw));
 }
 
 }  // namespace mot::overload

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <string>
 
+#include "adapt/adaptive.hpp"
 #include "obs/phase_timer.hpp"
 #include "obs/trace.hpp"
 #include "proto/cluster_link.hpp"
@@ -88,7 +89,24 @@ void DistributedMot::use_channel(Channel* channel) {
 void DistributedMot::replicate_detection_lists(bool on) {
   MOT_EXPECTS(inflight_ == 0);  // enable before injecting traffic
   MOT_EXPECTS(proxies_.empty());
-  replicate_ = on;
+  replica_mode_ = on ? ReplicaMode::kAll : ReplicaMode::kOff;
+}
+
+void DistributedMot::replicate_placed() {
+  MOT_EXPECTS(inflight_ == 0);  // enable before injecting traffic
+  MOT_EXPECTS(proxies_.empty());
+  replica_mode_ = ReplicaMode::kPlaced;
+}
+
+void DistributedMot::use_adaptive(adapt::AdaptiveController* controller) {
+  MOT_EXPECTS(controller != nullptr);
+  // The AIMD loop rides ack/timeout feedback and the tuner reads the
+  // service model's load gauges; both only exist with overload engaged.
+  MOT_EXPECTS(service_ != nullptr);
+  MOT_EXPECTS(inflight_ == 0);  // attach before injecting traffic
+  adapt_ = controller;
+  divert_attempts_.assign(sensors_.size(), 0);
+  degraded_by_node_.assign(sensors_.size(), 0);
 }
 
 void DistributedMot::use_overload(ServiceModel* service) {
@@ -136,9 +154,15 @@ overload::Priority DistributedMot::classify(MsgType type, int attempt) {
   return overload::Priority::kQuery;
 }
 
+std::size_t DistributedMot::window_cap(NodeId to) const {
+  const std::size_t max = service_->config().max_window;
+  if (adapt_ != nullptr) return adapt_->window_cap(to, max);
+  return max;
+}
+
 DistributedMot::LinkCredit& DistributedMot::credit_for(NodeId to) {
   LinkCredit& credit = credit_[to];
-  if (credit.window == 0) credit.window = service_->config().max_window;
+  if (credit.window == 0) credit.window = window_cap(to);
   return credit;
 }
 
@@ -179,7 +203,7 @@ NodeId DistributedMot::replica_of(OverlayNode role, ObjectId object) const {
 void DistributedMot::send_replica_update(NodeId self, int level,
                                          ObjectId object, OverlayNode child,
                                          bool present) {
-  if (!replicate_) return;
+  if (!replica_owner_active(self)) return;
   const NodeId slot = replica_of({level, self}, object);
   if (slot == kInvalidNode) return;
   RoleState& role = local(self).roles[level];
@@ -196,7 +220,7 @@ void DistributedMot::send_replica_update(NodeId self, int level,
 }
 
 void DistributedMot::rebuild_replicas() {
-  if (!replicate_) return;
+  if (!replicating()) return;
   // Ground truth wins: wipe every hosted replica and re-derive from the
   // live detection lists. Runs in the recovery control plane, so slots
   // are recomputed against the post-crash liveness set — replicas whose
@@ -209,7 +233,7 @@ void DistributedMot::rebuild_replicas() {
     }
   }
   for (NodeId v = 0; v < sensors_.size(); ++v) {
-    if (is_node_dead(v)) continue;
+    if (is_node_dead(v) || !replica_owner_active(v)) continue;
     for (auto& [level, role] : sensors_[v].roles) {
       for (const auto& [object, entry] : role.dl) {
         const NodeId slot = replica_of({level, v}, object);
@@ -223,8 +247,144 @@ void DistributedMot::rebuild_replicas() {
   }
 }
 
+void DistributedMot::apply_replica_placements(
+    const std::vector<NodeId>& place, const std::vector<NodeId>& retire) {
+  MOT_EXPECTS(replica_mode_ == ReplicaMode::kPlaced);
+  // Placement is control-plane state and moves only at quiescence: with
+  // nothing in flight and nothing unacked there is no message to race.
+  MOT_EXPECTS(inflight_ == 0);
+  MOT_EXPECTS(pending_.empty());
+  for (const NodeId owner : retire) {
+    if (placed_.erase(owner) == 0) continue;
+    ++stats_.replicas_retired;
+    for (SensorState& sensor : sensors_) {
+      for (auto& [level, role] : sensor.roles) {
+        (void)level;
+        for (auto it = role.replicas.begin(); it != role.replicas.end();) {
+          it->second.erase(owner);
+          it = it->second.empty() ? role.replicas.erase(it) : std::next(it);
+        }
+      }
+    }
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kReplicaRetire,
+                 .t = sim_->now(),
+                 .from = owner,
+                 .aux = placed_.size()});
+    }
+  }
+  for (const NodeId owner : place) {
+    if (is_node_dead(owner)) continue;
+    if (!placed_.insert(owner).second) continue;
+    ++stats_.replicas_placed;
+    // Mirror the owner's live detection lists into their slots with
+    // fresh versions, so an in-flight pre-placement update (there are
+    // none at quiescence, but restarts replay through here too) could
+    // never supersede the mirrored ground truth.
+    for (auto& [level, role] : sensors_[owner].roles) {
+      for (const auto& [object, entry] : role.dl) {
+        const NodeId slot = replica_of({level, owner}, object);
+        if (slot == kInvalidNode) continue;
+        const std::uint32_t version = ++role.replica_versions[object];
+        sensors_[slot].roles[level].replicas[object][owner] = {entry.child,
+                                                               version, true};
+        ++stats_.replica_updates;
+      }
+    }
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kReplicaPlace,
+                 .t = sim_->now(),
+                 .from = owner,
+                 .aux = placed_.size()});
+    }
+  }
+}
+
+void DistributedMot::adaptive_step() {
+  if (adapt_ == nullptr || service_ == nullptr) return;
+  MOT_EXPECTS(inflight_ == 0);
+  // 1. Gradient tuner: the epoch's per-node load signals go in, tuned
+  //    operating points come out and are applied to the service model.
+  std::vector<adapt::NodeSignal> signals;
+  signals.reserve(service_->num_nodes());
+  for (std::size_t v = 0; v < service_->num_nodes(); ++v) {
+    const NodeLoad& load = service_->load(v);
+    adapt::NodeSignal sig;
+    sig.node = static_cast<std::uint32_t>(v);
+    sig.delay_samples = load.delay_count;
+    sig.mean_delay = load.delay_count == 0
+                         ? 0.0
+                         : load.delay_sum /
+                               static_cast<double>(load.delay_count);
+    sig.sheds = load.sheds;
+    sig.depth_ewma = load.depth_ewma;
+    sig.degrades = degraded_by_node_[v];
+    signals.push_back(sig);
+  }
+  const std::vector<adapt::TuneAction> actions =
+      adapt_->tune(signals, service_->config());
+  for (const adapt::TuneAction& action : actions) {
+    service_->set_red_fraction(action.node, action.red_fraction);
+    service_->set_query_admit_fraction(action.node, action.admit_fraction);
+    ++stats_.tuner_steps;
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kTunerStep,
+                 .t = sim_->now(),
+                 .to = action.node,
+                 .aux = service_->node_config(action.node).red_threshold()});
+    }
+  }
+  // 2. Load-aware replica placement from the epoch's divert gauges.
+  if (replica_mode_ == ReplicaMode::kPlaced &&
+      adapt_->config().place_replicas) {
+    std::vector<adapt::LoadGauge> gauges;
+    gauges.reserve(sensors_.size());
+    for (std::size_t v = 0; v < sensors_.size(); ++v) {
+      if (is_node_dead(static_cast<NodeId>(v))) continue;
+      const NodeLoad& load = service_->load(v);
+      gauges.push_back({static_cast<std::uint32_t>(v), divert_attempts_[v],
+                        load.sheds, load.depth_ewma});
+    }
+    const adapt::PlacementPlan plan = adapt_->plan_placements(gauges);
+    apply_replica_placements(plan.place, plan.retire);
+  }
+  // 3. A fresh epoch for the next quiescence window.
+  service_->reset_load_epoch();
+  std::fill(divert_attempts_.begin(), divert_attempts_.end(), 0);
+  std::fill(degraded_by_node_.begin(), degraded_by_node_.end(), 0);
+}
+
+void DistributedMot::export_adaptive_state(
+    obs::MetricsRegistry& registry) const {
+  if (adapt_ == nullptr || service_ == nullptr) return;
+  adapt_->export_metrics(registry, service_->config().max_window);
+  const overload::OverloadConfig& base = service_->config();
+  for (std::size_t v = 0; v < service_->num_nodes(); ++v) {
+    const overload::OverloadConfig& tuned = service_->node_config(v);
+    // Only nodes moved off the base operating point get a labeled gauge;
+    // hundreds of untouched nodes would be noise.
+    if (tuned.red_fraction == base.red_fraction &&
+        tuned.admit_fraction[static_cast<std::size_t>(
+            overload::Priority::kQuery)] ==
+            base.admit_fraction[static_cast<std::size_t>(
+                overload::Priority::kQuery)]) {
+      continue;
+    }
+    registry
+        .gauge("mot_adapt_red_threshold", {{"node", std::to_string(v)}})
+        .set(static_cast<double>(tuned.red_threshold()));
+  }
+  registry.gauge("mot_adapt_placed_replicas")
+      .set(static_cast<double>(placed_.size()));
+}
+
 void DistributedMot::on_replica_add(const Message& message) {
   RoleState& role = local(message.role.node).roles[message.role.level];
+  // A placement retirement may race an in-flight add from before the
+  // owner was retired; installing it would orphan the record, so adds
+  // from no-longer-active owners are dropped (their versions are owner
+  // state and keep climbing, so a re-placement still supersedes).
+  if (!replica_owner_active(message.walk_source)) return;
   ReplicaRecord& record = role.replicas[message.object][message.walk_source];
   if (message.walk_index > record.version) {
     record = {message.link, message.walk_index, true};
@@ -751,15 +911,30 @@ void DistributedMot::on_ack_credit(std::uint64_t seq, std::size_t grant) {
   const NodeId from = it->second.from;
   const NodeId to = it->second.to;
   const bool counted = it->second.counted_outstanding;
+  const bool clean = it->second.attempts == 0;  // acked without a resend
   stats_.ack_rtt_sum += sim_->now() - it->second.first_send;
   ++stats_.ack_rtt_count;
   pending_.erase(it);
+  // AIMD additive increase: a first-transmission ack is a clean epoch
+  // sample; a full epoch of them raises the per-link cap one notch.
+  if (adapt_ != nullptr && clean &&
+      adapt_->on_clean_ack(to, service_->config().max_window)) {
+    ++stats_.window_increases;
+    if (obs::tracing()) {
+      obs::emit({.type = obs::Ev::kWindowRaise,
+                 .t = sim_->now(),
+                 .from = from,
+                 .to = to,
+                 .aux = window_cap(to)});
+    }
+  }
   // Adopt the receiver's advertised headroom as the new window. The
   // clamp to >= 1 guarantees progress: even a saturated receiver accepts
-  // one probe frame at a time, and shedding handles the rest.
+  // one probe frame at a time, and shedding handles the rest. With the
+  // adaptive controller attached, the ceiling is its per-link AIMD cap
+  // instead of the static max_window.
   LinkCredit& credit = credit_for(to);
-  credit.window = std::clamp<std::size_t>(grant, 1,
-                                          service_->config().max_window);
+  credit.window = std::clamp<std::size_t>(grant, 1, window_cap(to));
   if (counted) {
     MOT_CHECK(credit.outstanding > 0);
     --credit.outstanding;
@@ -840,6 +1015,27 @@ void DistributedMot::on_transfer_timeout(std::uint64_t seq) {
                    .from = transfer.from,
                    .to = transfer.to,
                    .aux = seq});
+      }
+      // AIMD multiplicative decrease, keyed to the breaker trip rather
+      // than the raw timeout: under deep receiver queues a single RTO is
+      // mostly delay evidence, and halving on every one collapses the
+      // window spuriously. A trip means a whole failure streak — real
+      // congestion. The live window shrinks with the cap immediately
+      // (never below 1; outstanding frames above it drain without
+      // replacement — the pump only releases while outstanding < window).
+      if (adapt_ != nullptr &&
+          adapt_->on_link_loss(transfer.to, service_->config().max_window)) {
+        ++stats_.window_decreases;
+        LinkCredit& credit = credit_for(transfer.to);
+        credit.window = std::max<std::size_t>(
+            1, std::min(credit.window, window_cap(transfer.to)));
+        if (obs::tracing()) {
+          obs::emit({.type = obs::Ev::kWindowShrink,
+                     .t = sim_->now(),
+                     .from = transfer.from,
+                     .to = transfer.to,
+                     .aux = window_cap(transfer.to)});
+        }
       }
     }
     transmit_data(seq);
@@ -1392,6 +1588,7 @@ void DistributedMot::on_query_down(const Message& message) {
     // O(2^l), so the object is within staleness_scale * 2^l of the
     // reported position.
     ++stats_.queries_degraded;
+    if (adapt_ != nullptr) ++degraded_by_node_[self];
     ctx.found_level = std::max(ctx.found_level, message.role.level);
     if (obs::tracing()) {
       obs::emit({.type = obs::Ev::kQueryDegraded,
@@ -1416,7 +1613,17 @@ void DistributedMot::on_query_down(const Message& message) {
     return;
   }
   const OverlayNode next_stop = entry->child;
-  if (replicate_ && link_unreachable(self, next_stop.node)) {
+  // Placement demand gauge: a descent whose next chain hop is running
+  // hot is exactly the load a placed replica would absorb. Counted
+  // whether or not a redirect is possible yet, so the controller sees
+  // demand before the first placement exists.
+  if (adapt_ != nullptr && service_ != nullptr &&
+      service_->overloaded(next_stop.node)) {
+    ++divert_attempts_[next_stop.node];
+    ++stats_.divert_attempts;
+  }
+  if (replicating() && replica_owner_active(next_stop.node) &&
+      link_unreachable(self, next_stop.node)) {
     // The next chain hop is across a partition (or crashed): read its
     // replicated detection list instead of waiting for the heal.
     const NodeId slot = replica_of(next_stop, message.object);
@@ -1440,7 +1647,8 @@ void DistributedMot::on_query_down(const Message& message) {
     }
   }
   if (service_ != nullptr && service_->config().sibling_redirect &&
-      replicate_ && service_->overloaded(next_stop.node)) {
+      replicating() && replica_owner_active(next_stop.node) &&
+      service_->overloaded(next_stop.node)) {
     // Hot next hop: divert the descent to the de Bruijn cluster sibling
     // hosting the replicated detection entry — the paper's hashed-cluster
     // load balancing used as an active overload escape hatch. The
@@ -2026,7 +2234,7 @@ void DistributedMot::recover_from_crash(NodeId victim) {
   // in-flight replica update (a late write could only clobber fresher
   // state) and re-derive the replica stores from the live lists. This
   // also re-homes replicas whose host just died.
-  if (replicate_) {
+  if (replicating()) {
     std::vector<std::uint64_t> replica_frames;
     for (const auto& [seq, transfer] : pending_) {
       const MsgType type = transfer.message.type;
@@ -2360,7 +2568,7 @@ void DistributedMot::restore_durable_image(const durable::StateImage& image) {
   }
   // Replica stores are runtime state re-derived from the lists (the same
   // re-homing sweep crash recovery uses).
-  if (replicate_) rebuild_replicas();
+  if (replicating()) rebuild_replicas();
 }
 
 std::vector<std::string> DistributedMot::invariant_violations() const {
@@ -2468,10 +2676,12 @@ std::vector<std::string> DistributedMot::invariant_violations() const {
                     ")");
     }
   }
-  if (replicate_) {
-    // Every live detection-list entry must be mirrored at its slot...
+  if (replicating()) {
+    // Every live detection-list entry of an actively replicated owner
+    // must be mirrored at its slot... (in placed mode only the placed
+    // owners replicate, so only they are audited here)
     for (NodeId v = 0; v < sensors_.size(); ++v) {
-      if (is_node_dead(v)) continue;
+      if (is_node_dead(v) || !replica_owner_active(v)) continue;
       for (const auto& [level, role] : sensors_[v].roles) {
         for (const auto& [object, entry] : role.dl) {
           const NodeId slot = replica_of({level, v}, object);
@@ -2495,14 +2705,15 @@ std::vector<std::string> DistributedMot::invariant_violations() const {
         }
       }
     }
-    // ...and no replica may outlive its detection-list entry.
+    // ...and no replica may outlive its detection-list entry — or its
+    // owner's placement: a retired owner's records must all be gone.
     for (NodeId host = 0; host < sensors_.size(); ++host) {
       for (const auto& [level, role] : sensors_[host].roles) {
         for (const auto& [object, owners] : role.replicas) {
           for (const auto& [owner, record] : owners) {
             if (!record.present) continue;
             bool backed = false;
-            if (!is_node_dead(owner)) {
+            if (!is_node_dead(owner) && replica_owner_active(owner)) {
               const auto& roles = sensors_[owner].roles;
               const auto role_it = roles.find(level);
               backed = role_it != roles.end() &&
@@ -2625,6 +2836,18 @@ void export_protocol_stats(const ProtocolStats& stats,
               stats.breaker_closes);
   set_counter(registry, "mot_proto_breaker_suppressed_total", labels,
               stats.breaker_suppressed);
+  set_counter(registry, "mot_proto_window_increases_total", labels,
+              stats.window_increases);
+  set_counter(registry, "mot_proto_window_decreases_total", labels,
+              stats.window_decreases);
+  set_counter(registry, "mot_proto_divert_attempts_total", labels,
+              stats.divert_attempts);
+  set_counter(registry, "mot_proto_tuner_steps_total", labels,
+              stats.tuner_steps);
+  set_counter(registry, "mot_proto_replicas_placed_total", labels,
+              stats.replicas_placed);
+  set_counter(registry, "mot_proto_replicas_retired_total", labels,
+              stats.replicas_retired);
 }
 
 }  // namespace mot::proto

@@ -55,6 +55,10 @@
 #include "util/arena.hpp"
 #include "util/flat_map.hpp"
 
+namespace mot::adapt {
+class AdaptiveController;
+}
+
 namespace mot::proto {
 
 class ClusterLink;
@@ -114,6 +118,17 @@ struct ProtocolStats {
   std::uint64_t breaker_probes = 0;      // half-open probes elected
   std::uint64_t breaker_closes = 0;      // probes that closed a breaker
   std::uint64_t breaker_suppressed = 0;  // sends parked at an open breaker
+
+  // Adaptive control-plane counters (all zero unless use_adaptive):
+  // AIMD credit-window moves, query descents that found their next hop
+  // overloaded (the placement demand gauge), applied tuner steps, and
+  // the load-aware replica placement lifecycle.
+  std::uint64_t window_increases = 0;
+  std::uint64_t window_decreases = 0;
+  std::uint64_t divert_attempts = 0;
+  std::uint64_t tuner_steps = 0;
+  std::uint64_t replicas_placed = 0;
+  std::uint64_t replicas_retired = 0;
 
   double mean_ack_rtt() const {
     return ack_rtt_count == 0 ? 0.0 : ack_rtt_sum / ack_rtt_count;
@@ -255,6 +270,53 @@ class DistributedMot {
   // or across a partition) can fail over to the replica. Enable before
   // injecting any traffic.
   void replicate_detection_lists(bool on);
+
+  // Load-aware placed replication: the replica machinery (same slots,
+  // same versioned updates, same failover/sibling-redirect paths) is
+  // armed, but replicas exist only for owners the adaptive controller
+  // has placed — apply_replica_placements() mirrors an owner's live
+  // entries into its slot and retirement retracts them. Enable before
+  // injecting any traffic; mutually exclusive with full replication.
+  void replicate_placed();
+
+  // Attach the adaptive control plane (src/adapt/). Requires an attached
+  // ServiceModel; the controller must outlive the runtime. With a
+  // controller attached the reliable link layer clamps credit grants to
+  // the controller's per-link AIMD cap instead of the static max_window,
+  // and adaptive_step() advances the tuner/placement state. Without this
+  // call the runtime is byte-identical to the static configuration.
+  void use_adaptive(adapt::AdaptiveController* controller);
+  const adapt::AdaptiveController* adaptive() const { return adapt_; }
+
+  // One control-plane step, legal only at a quiescence point (no
+  // in-flight operations or unacked frames): feeds the epoch's per-node
+  // load signals to the gradient tuner and applies the returned
+  // operating points, plans replica placement/retirement from the
+  // divert gauges, and resets the epoch accumulators.
+  void adaptive_step();
+
+  // Applies a placement plan directly (also the restart-restore path:
+  // the chaos runner re-applies the controller's placed set after a
+  // teardown). Place mirrors every live detection-list entry of the
+  // owner into its replica slot; retire retracts the slot's records.
+  void apply_replica_placements(const std::vector<NodeId>& place,
+                                const std::vector<NodeId>& retire);
+  std::size_t placed_replica_count() const { return placed_.size(); }
+
+  // Per-node divert gauge for the current epoch: query descents whose
+  // next chain hop was overloaded when they reached it.
+  const std::vector<std::uint64_t>& divert_attempts_by_node() const {
+    return divert_attempts_;
+  }
+  // Per-node degraded-answer gauge for the current epoch: the goodput
+  // the tuner must not trade sheds against.
+  const std::vector<std::uint64_t>& degraded_by_node() const {
+    return degraded_by_node_;
+  }
+
+  // Controller operating point -> labeled gauges (credit_window{link},
+  // red_threshold{node}, replica_count), plus the controller counters.
+  void export_adaptive_state(obs::MetricsRegistry& registry) const;
 
   // Opt-in durability (src/durable/): every effective DL/SDL/proxy
   // mutation a handler performs is forwarded to `sink` as one semantic
@@ -496,6 +558,9 @@ class DistributedMot {
 
   // --- Overload resilience (engaged when service_ != nullptr). ---------
   static overload::Priority classify(MsgType type, int attempt);
+  // The sender-side credit-window ceiling toward `to`: the static
+  // max_window, or the AIMD controller's current per-link cap.
+  std::size_t window_cap(NodeId to) const;
   LinkCredit& credit_for(NodeId to);
   overload::CircuitBreaker& breaker_for(NodeId from, NodeId to);
   void on_ack_credit(std::uint64_t seq, std::size_t grant);
@@ -547,7 +612,21 @@ class DistributedMot {
   std::unordered_map<std::uint64_t, overload::CircuitBreaker> breakers_;
   QueryPolicy policy_;
   durable::Sink* durable_ = nullptr;
-  bool replicate_ = false;
+  // Replication can mirror every owner (kAll, the PR 5 behavior) or only
+  // the owners the adaptive controller placed (kPlaced).
+  enum class ReplicaMode { kOff, kAll, kPlaced };
+  bool replicating() const { return replica_mode_ != ReplicaMode::kOff; }
+  // Whether `owner`'s detection-list writes are mirrored to its slot.
+  bool replica_owner_active(NodeId owner) const {
+    return replica_mode_ == ReplicaMode::kAll ||
+           (replica_mode_ == ReplicaMode::kPlaced &&
+            placed_.find(owner) != placed_.end());
+  }
+  ReplicaMode replica_mode_ = ReplicaMode::kOff;
+  std::unordered_set<NodeId> placed_;
+  adapt::AdaptiveController* adapt_ = nullptr;
+  std::vector<std::uint64_t> divert_attempts_;
+  std::vector<std::uint64_t> degraded_by_node_;
   bool break_recovery_ = false;
   // Batching state: staged maintenance updates of the open window, the
   // pending-flush latch, and the arena the flush's round copies and

@@ -11,13 +11,13 @@ namespace mot {
 
 ServiceModel::ServiceModel(Simulator& sim, std::size_t num_nodes,
                            const overload::OverloadConfig& config)
-    : sim_(sim), config_(config), busy_(num_nodes, false),
-      red_(config.seed) {
+    : sim_(sim), config_(config), node_configs_(num_nodes, config),
+      busy_(num_nodes, false), loads_(num_nodes), red_(config.seed) {
   MOT_EXPECTS(config_.service_rate > 0.0);
   MOT_EXPECTS(config_.queue_capacity > 0);
   queues_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
-    queues_.emplace_back(&config_);
+    queues_.emplace_back(&node_configs_[i]);
   }
 }
 
@@ -27,25 +27,35 @@ overload::Admit ServiceModel::offer(std::size_t node, overload::Priority cls,
   ++stats_.arrivals;
   const overload::Admit outcome =
       queues_[node].offer(sim_.now(), cls, std::move(run), red_);
+  NodeLoad& load = loads_[node];
   switch (outcome) {
     case overload::Admit::kAdmit:
       ++stats_.admitted;
+      ++load.admitted_total;
       stats_.max_depth = std::max(stats_.max_depth, queues_[node].depth());
       if (!busy_[node]) pump(node);
       break;
     case overload::Admit::kShedCapacity:
       ++stats_.shed_capacity;
       ++stats_.shed_by_class[static_cast<std::size_t>(cls)];
+      ++load.sheds;
+      ++load.sheds_total;
       break;
     case overload::Admit::kShedDeadline:
       ++stats_.shed_deadline;
       ++stats_.shed_by_class[static_cast<std::size_t>(cls)];
+      ++load.sheds;
+      ++load.sheds_total;
       break;
     case overload::Admit::kShedEarly:
       ++stats_.shed_early;
       ++stats_.shed_by_class[static_cast<std::size_t>(cls)];
+      ++load.sheds;
+      ++load.sheds_total;
       break;
   }
+  load.depth_ewma += 0.125 * (static_cast<double>(depth(node)) -
+                              load.depth_ewma);
   return outcome;
 }
 
@@ -57,10 +67,14 @@ void ServiceModel::pump(std::size_t node) {
   // exactly its wait in the queue; the handler runs inside the
   // service-completion event, one service interval later.
   overload::QueueItem item = queues_[node].take();
-  queue_delays_.add(sim_.now() - item.arrival);
+  const double waited = sim_.now() - item.arrival;
+  queue_delays_.add(waited);
+  loads_[node].delay_sum += waited;
+  ++loads_[node].delay_count;
   const double interval = 1.0 / config_.service_rate;
   sim_.schedule(interval, [this, node, run = std::move(item.run)]() mutable {
     ++stats_.serviced;
+    ++loads_[node].serviced_total;
     busy_[node] = false;
     run();
     // The handler may have enqueued locally or crashed the node's work
@@ -76,9 +90,50 @@ std::size_t ServiceModel::depth(std::size_t node) const {
 }
 
 std::size_t ServiceModel::headroom(std::size_t node) const {
-  const std::size_t limit = config_.admit_limit(overload::Priority::kQuery);
+  const std::size_t limit =
+      node_configs_[node].admit_limit(overload::Priority::kQuery);
   const std::size_t d = depth(node);
   return d >= limit ? 0 : limit - d;
+}
+
+bool ServiceModel::node_ledgers_conserved() const {
+  std::uint64_t admitted = 0;
+  std::uint64_t serviced = 0;
+  std::uint64_t shed = 0;
+  for (const NodeLoad& load : loads_) {
+    admitted += load.admitted_total;
+    serviced += load.serviced_total;
+    shed += load.sheds_total;
+  }
+  return admitted == stats_.admitted && serviced == stats_.serviced &&
+         shed == stats_.shed_total();
+}
+
+void ServiceModel::reset_load_epoch() {
+  for (NodeLoad& load : loads_) {
+    load.delay_sum = 0.0;
+    load.delay_count = 0;
+    load.sheds = 0;
+  }
+}
+
+void ServiceModel::set_red_fraction(std::size_t node, double fraction) {
+  MOT_EXPECTS(node < node_configs_.size());
+  MOT_EXPECTS(fraction > 0.0);
+  node_configs_[node].red_fraction = fraction;
+}
+
+void ServiceModel::set_query_admit_fraction(std::size_t node,
+                                            double fraction) {
+  MOT_EXPECTS(node < node_configs_.size());
+  MOT_EXPECTS(fraction > 0.0 && fraction <= 1.0);
+  // The class ladder must stay monotone: the query fraction may not
+  // exceed the maintenance fraction of the same node.
+  MOT_EXPECTS(fraction <=
+              node_configs_[node].admit_fraction[static_cast<std::size_t>(
+                  overload::Priority::kMaintenance)]);
+  node_configs_[node].admit_fraction[static_cast<std::size_t>(
+      overload::Priority::kQuery)] = fraction;
 }
 
 std::size_t ServiceModel::total_queued() const {

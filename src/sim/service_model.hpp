@@ -47,6 +47,23 @@ struct ServiceStats {
   bool operator==(const ServiceStats&) const = default;
 };
 
+// Per-node load accumulators feeding the adaptive control plane. The
+// epoch fields reset at every controller step; the *_total ledgers never
+// reset, so the chaos oracle can reconcile their sums against the global
+// ServiceStats at any quiescence point.
+struct NodeLoad {
+  // Epoch accumulators (cleared by reset_load_epoch()).
+  double delay_sum = 0.0;
+  std::uint64_t delay_count = 0;
+  std::uint64_t sheds = 0;
+  // Cumulative ledgers (never cleared).
+  std::uint64_t admitted_total = 0;
+  std::uint64_t serviced_total = 0;
+  std::uint64_t sheds_total = 0;
+  // Exponentially weighted queue depth sampled at every admission.
+  double depth_ewma = 0.0;
+};
+
 class ServiceModel {
  public:
   ServiceModel(Simulator& sim, std::size_t num_nodes,
@@ -61,7 +78,7 @@ class ServiceModel {
   // Depth including the in-service slot, i.e. what admission sees.
   std::size_t depth(std::size_t node) const;
   bool overloaded(std::size_t node) const {
-    return depth(node) >= config_.high_watermark();
+    return depth(node) >= node_configs_[node].high_watermark();
   }
   // Remaining admission headroom for the lowest class — what an ack
   // advertises to the sender as credit.
@@ -69,8 +86,26 @@ class ServiceModel {
 
   std::size_t total_queued() const;
   bool conserved() const;
+  // Per-node ledgers must sum to the global ServiceStats at all times.
+  bool node_ledgers_conserved() const;
 
   const overload::OverloadConfig& config() const { return config_; }
+  // The node's current operating point. Identical to config() until an
+  // adaptive controller moves it.
+  const overload::OverloadConfig& node_config(std::size_t node) const {
+    return node_configs_[node];
+  }
+  std::size_t num_nodes() const { return queues_.size(); }
+  const NodeLoad& load(std::size_t node) const { return loads_[node]; }
+  void reset_load_epoch();
+
+  // Adaptive control-plane hooks: retune one node's RED onset or
+  // query-class admit fraction. Admission sees the new thresholds on the
+  // next offer; nothing already queued is touched, so calling this at a
+  // quiescence point cannot unbalance the ledger.
+  void set_red_fraction(std::size_t node, double fraction);
+  void set_query_admit_fraction(std::size_t node, double fraction);
+
   const ServiceStats& stats() const { return stats_; }
   const SampleSet& queue_delays() const { return queue_delays_; }
 
@@ -80,9 +115,14 @@ class ServiceModel {
   void pump(std::size_t node);
 
   Simulator& sim_;
-  overload::OverloadConfig config_;
+  overload::OverloadConfig config_;  // the static base operating point
+  // One config per node so the controller can move a single hotspot.
+  // Sized once in the constructor and never resized: the queues hold
+  // pointers into this vector.
+  std::vector<overload::OverloadConfig> node_configs_;
   std::vector<overload::BoundedNodeQueue> queues_;
   std::vector<bool> busy_;  // a service-completion event is outstanding
+  std::vector<NodeLoad> loads_;
   Rng red_;                 // shared deterministic RED stream
   ServiceStats stats_;
   SampleSet queue_delays_;  // time from arrival to service start

@@ -1,0 +1,760 @@
+// The adaptive control plane: AIMD credit-window caps, the RED/admission
+// gradient tuner with hysteresis, load-aware replica placement, the
+// misconfiguration clamp on RED thresholds, labeled gauge export, and
+// the integration contracts — bit-identical adaptive runs across reruns
+// and worker counts, breaker recovery under a shrinking window, a
+// disabled controller leaving the run byte-identical, and correlated
+// burst+crash+partition chaos staying green and shrinkable.
+#include "adapt/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "chaos/chaos_runner.hpp"
+#include "chaos/schedule.hpp"
+#include "core/mot.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/unreliable_channel.hpp"
+#include "graph/generators.hpp"
+#include "hier/doubling_hierarchy.hpp"
+#include "obs/metrics_registry.hpp"
+#include "overload/overload.hpp"
+#include "par/thread_pool.hpp"
+#include "proto/distributed_mot.hpp"
+#include "sim/service_model.hpp"
+
+namespace mot {
+namespace {
+
+using adapt::AdaptiveConfig;
+using adapt::AdaptiveController;
+using adapt::LoadGauge;
+using adapt::NodeSignal;
+using adapt::PlacementPlan;
+using adapt::TuneAction;
+using overload::OverloadConfig;
+using overload::Priority;
+using proto::DistributedMot;
+
+// ---------------------------------------------------------------------------
+// AIMD credit-window caps
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveAimd, FirstLossOnAFreshLinkHalvesFromMaxWindow) {
+  AdaptiveController ctl(AdaptiveConfig{});
+  EXPECT_EQ(ctl.window_cap(7, 8), 8u);  // untracked link sits at the max
+  // The very first loss must bite: the fresh link's cap starts at the
+  // caller's max_window, not at some unbounded sentinel.
+  EXPECT_TRUE(ctl.on_link_loss(7, 8));
+  EXPECT_EQ(ctl.window_cap(7, 8), 4u);
+  EXPECT_EQ(ctl.stats().window_shrinks, 1u);
+}
+
+TEST(AdaptiveAimd, DecreasesMultiplicativelyToTheFloorThenRecovers) {
+  AdaptiveConfig config;
+  config.epoch_acks = 4;
+  AdaptiveController ctl(config);
+  // 8 -> 4 -> 2 -> 1, then the floor holds.
+  EXPECT_TRUE(ctl.on_link_loss(3, 8));
+  EXPECT_TRUE(ctl.on_link_loss(3, 8));
+  EXPECT_TRUE(ctl.on_link_loss(3, 8));
+  EXPECT_EQ(ctl.window_cap(3, 8), 1u);
+  EXPECT_FALSE(ctl.on_link_loss(3, 8));
+  EXPECT_EQ(ctl.window_cap(3, 8), 1u);
+  // Additive increase: one notch per full epoch of clean acks.
+  for (std::size_t raise = 1; raise <= 3; ++raise) {
+    for (std::size_t ack = 1; ack < config.epoch_acks; ++ack) {
+      EXPECT_FALSE(ctl.on_clean_ack(3, 8));
+    }
+    EXPECT_TRUE(ctl.on_clean_ack(3, 8));
+    EXPECT_EQ(ctl.window_cap(3, 8), 1u + raise);
+  }
+  EXPECT_EQ(ctl.stats().window_raises, 3u);
+}
+
+TEST(AdaptiveAimd, LossResetsTheCleanAckEpoch) {
+  AdaptiveConfig config;
+  config.epoch_acks = 4;
+  AdaptiveController ctl(config);
+  ASSERT_TRUE(ctl.on_link_loss(0, 8));  // cap 4: leave room to raise
+  for (int ack = 0; ack < 3; ++ack) EXPECT_FALSE(ctl.on_clean_ack(0, 8));
+  ASSERT_TRUE(ctl.on_link_loss(0, 8));  // cap 2, epoch progress wiped
+  for (int ack = 0; ack < 3; ++ack) EXPECT_FALSE(ctl.on_clean_ack(0, 8));
+  EXPECT_TRUE(ctl.on_clean_ack(0, 8));  // only a full fresh epoch raises
+  EXPECT_EQ(ctl.window_cap(0, 8), 3u);
+}
+
+TEST(AdaptiveAimd, CapNeverExceedsAShrunkenMaxWindow) {
+  AdaptiveController ctl(AdaptiveConfig{});
+  ASSERT_TRUE(ctl.on_link_loss(1, 16));  // cap 8
+  // The host's max_window governs even when the stored cap is larger.
+  EXPECT_EQ(ctl.window_cap(1, 4), 4u);
+  EXPECT_TRUE(ctl.on_link_loss(1, 4));  // clamps to 4 first, then halves
+  EXPECT_EQ(ctl.window_cap(1, 16), 2u);
+}
+
+TEST(AdaptiveAimd, DisabledAimdIsInert) {
+  AdaptiveConfig config;
+  config.aimd = false;
+  AdaptiveController ctl(config);
+  EXPECT_FALSE(ctl.on_link_loss(0, 8));
+  EXPECT_FALSE(ctl.on_clean_ack(0, 8));
+  EXPECT_EQ(ctl.window_cap(0, 8), 8u);
+  EXPECT_EQ(ctl.stats().window_shrinks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient tuner with hysteresis
+// ---------------------------------------------------------------------------
+
+OverloadConfig tuner_base() {
+  OverloadConfig base;
+  base.queue_capacity = 12;
+  base.service_rate = 1.0;
+  base.degrade_fraction = 0.25;  // high_watermark 3
+  base.red_fraction = 0.15;
+  return base;
+}
+
+NodeSignal degraded_signal(std::uint32_t node) {
+  NodeSignal sig;
+  sig.node = node;
+  sig.delay_samples = 10;
+  sig.mean_delay = 1.0;
+  sig.degrades = 4;
+  return sig;
+}
+
+NodeSignal open_eligible_signal(std::uint32_t node) {
+  NodeSignal sig;
+  sig.node = node;
+  sig.delay_samples = 10;
+  sig.mean_delay = 0.5;  // well under the target of 3.0
+  sig.sheds = 6;
+  sig.depth_ewma = 1.0;  // headroom below the watermark
+  return sig;
+}
+
+TEST(AdaptiveTuner, TargetDelayTracksDegradeOnsetAndQueryBudget) {
+  AdaptiveController ctl(AdaptiveConfig{});
+  OverloadConfig base = tuner_base();
+  // Default: the delay at which answers start degrading.
+  EXPECT_DOUBLE_EQ(ctl.target_delay_for(base), 3.0);
+  // A tighter query-class deadline budget caps it.
+  base.delay_budget[static_cast<std::size_t>(Priority::kQuery)] = 2.0;
+  EXPECT_DOUBLE_EQ(ctl.target_delay_for(base), 2.0);
+  // An explicit configured target wins outright.
+  AdaptiveConfig config;
+  config.target_delay = 0.75;
+  AdaptiveController explicit_ctl(config);
+  EXPECT_DOUBLE_EQ(explicit_ctl.target_delay_for(base), 0.75);
+}
+
+TEST(AdaptiveTuner, DegradedAnswersTightenWithTheBoostedStep) {
+  AdaptiveConfig config;
+  AdaptiveController ctl(config);
+  const OverloadConfig base = tuner_base();
+  const std::vector<TuneAction> actions =
+      ctl.tune({degraded_signal(5)}, base);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].node, 5u);
+  const double expect_step = config.step * config.tighten_boost;
+  const double base_admit =
+      base.admit_fraction[static_cast<std::size_t>(Priority::kQuery)];
+  EXPECT_DOUBLE_EQ(actions[0].admit_fraction, base_admit - expect_step);
+  EXPECT_DOUBLE_EQ(actions[0].red_fraction,
+                   base.red_fraction - expect_step);
+  EXPECT_EQ(ctl.stats().tuner_tightens, 1u);
+}
+
+TEST(AdaptiveTuner, TightenedFractionsNeverEscapeTheFloorClamps) {
+  AdaptiveConfig config;
+  AdaptiveController ctl(config);
+  const OverloadConfig base = tuner_base();
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    ctl.tune({degraded_signal(5)}, base);
+  }
+  EXPECT_TRUE(ctl.violations(base).empty());
+  const std::vector<TuneAction> last = ctl.tune({degraded_signal(5)}, base);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_DOUBLE_EQ(last[0].admit_fraction, config.admit_min);
+  EXPECT_DOUBLE_EQ(last[0].red_fraction, config.red_min);
+}
+
+TEST(AdaptiveTuner, OpensOnShedsOnlyWhileNothingDegrades) {
+  AdaptiveConfig config;
+  AdaptiveController ctl(config);
+  const OverloadConfig base = tuner_base();
+  const double base_admit =
+      base.admit_fraction[static_cast<std::size_t>(Priority::kQuery)];
+  // Clean system: the shedding node's thresholds open one step.
+  std::vector<TuneAction> actions =
+      ctl.tune({open_eligible_signal(2)}, base);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_DOUBLE_EQ(actions[0].admit_fraction, base_admit + config.step);
+  EXPECT_EQ(ctl.stats().tuner_raises, 1u);
+  // The goodput gate is global: a degraded answer on ANY node pauses
+  // opening everywhere — the load an opened node admits degrades
+  // downstream, not at the node that opened.
+  actions = ctl.tune({open_eligible_signal(2), degraded_signal(9)}, base);
+  ASSERT_EQ(actions.size(), 1u);  // only node 9's tighten
+  EXPECT_EQ(actions[0].node, 9u);
+  EXPECT_EQ(ctl.stats().tuner_raises, 1u);
+}
+
+TEST(AdaptiveTuner, OpeningStopsAtTheClassMonotonicityCeiling) {
+  AdaptiveConfig config;
+  AdaptiveController ctl(config);
+  const OverloadConfig base = tuner_base();
+  const double ceiling = ctl.admit_ceiling_for(base);
+  EXPECT_DOUBLE_EQ(
+      ceiling,
+      base.admit_fraction[static_cast<std::size_t>(Priority::kMaintenance)]);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    ctl.tune({open_eligible_signal(2)}, base);
+  }
+  const std::vector<TuneAction> last =
+      ctl.tune({open_eligible_signal(2)}, base);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_LE(last[0].admit_fraction, ceiling);
+  EXPECT_LE(last[0].red_fraction, ceiling);
+  EXPECT_TRUE(ctl.violations(base).empty());
+}
+
+TEST(AdaptiveTuner, QuietSignalsInsideTheDeadbandHoldFire) {
+  AdaptiveController ctl(AdaptiveConfig{});
+  const OverloadConfig base = tuner_base();
+  NodeSignal sig;
+  sig.node = 1;
+  sig.delay_samples = 10;
+  sig.mean_delay = 3.0;  // exactly on target: inside the deadband
+  EXPECT_TRUE(ctl.tune({sig}, base).empty());
+  EXPECT_EQ(ctl.stats().tuner_steps, 0u);
+}
+
+TEST(AdaptiveTuner, OscillationFreezesTheNodeAtTheStaticBase) {
+  AdaptiveConfig config;
+  AdaptiveController ctl(config);
+  const OverloadConfig base = tuner_base();
+  const double base_admit =
+      base.admit_fraction[static_cast<std::size_t>(Priority::kQuery)];
+  // Alternate tighten/open signals until the flip counter trips. The
+  // freeze must snap the node back to the static operating point —
+  // pinning whatever point the oscillation landed on would hold a
+  // half-wrong threshold for freeze_steps epochs.
+  std::vector<TuneAction> last;
+  int epochs = 0;
+  while (ctl.stats().tuner_freezes == 0 && epochs < 32) {
+    last = ctl.tune({epochs % 2 == 0 ? degraded_signal(4)
+                                     : open_eligible_signal(4)},
+                    base);
+    ++epochs;
+  }
+  ASSERT_EQ(ctl.stats().tuner_freezes, 1u);
+  EXPECT_TRUE(ctl.frozen(4));
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_DOUBLE_EQ(last[0].admit_fraction, base_admit);
+  EXPECT_DOUBLE_EQ(last[0].red_fraction, base.red_fraction);
+  // While frozen, further pressure produces no actions; the freeze
+  // expires after freeze_steps epochs and the node thaws.
+  for (int step = 0; step < config.freeze_steps; ++step) {
+    EXPECT_TRUE(ctl.tune({degraded_signal(4)}, base).empty());
+  }
+  EXPECT_FALSE(ctl.frozen(4));
+  EXPECT_EQ(ctl.tune({degraded_signal(4)}, base).size(), 1u);
+  EXPECT_TRUE(ctl.violations(base).empty());
+}
+
+TEST(AdaptiveTuner, IdleNodesDecayBackToBaseAndAreForgotten) {
+  AdaptiveConfig config;
+  AdaptiveController ctl(config);
+  const OverloadConfig base = tuner_base();
+  ASSERT_EQ(ctl.tune({degraded_signal(6)}, base).size(), 1u);
+  // The hotspot moved away: idle epochs walk the node back to the
+  // static point, then the controller forgets it entirely.
+  NodeSignal idle;
+  idle.node = 6;
+  std::size_t decay_actions = 0;
+  for (int epoch = 0; epoch < 16; ++epoch) {
+    decay_actions += ctl.tune({idle}, base).size();
+  }
+  EXPECT_GT(decay_actions, 0u);
+  EXPECT_GT(ctl.stats().tuner_reverts, 0u);
+  // Forgotten: further idle epochs produce nothing at all.
+  EXPECT_TRUE(ctl.tune({idle}, base).empty());
+}
+
+TEST(AdaptiveTuner, DisabledTunerProducesNoActions) {
+  AdaptiveConfig config;
+  config.tune_admission = false;
+  AdaptiveController ctl(config);
+  EXPECT_TRUE(ctl.tune({degraded_signal(0)}, tuner_base()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Load-aware replica placement
+// ---------------------------------------------------------------------------
+
+LoadGauge gauge(std::uint32_t node, std::uint64_t diverts) {
+  LoadGauge g;
+  g.node = node;
+  g.diverts = diverts;
+  return g;
+}
+
+TEST(AdaptivePlacement, PlacesHottestOwnersFirstWithinTheBudget) {
+  AdaptiveConfig config;
+  config.hot_score = 4.0;
+  config.max_replicas = 2;
+  AdaptiveController ctl(config);
+  const PlacementPlan plan = ctl.plan_placements(
+      {gauge(1, 9), gauge(2, 0), gauge(3, 5), gauge(4, 30)});
+  ASSERT_EQ(plan.place.size(), 2u);  // budget binds before node 3
+  EXPECT_EQ(plan.place[0], 4u);      // hottest first
+  EXPECT_EQ(plan.place[1], 1u);
+  EXPECT_TRUE(plan.retire.empty());
+  EXPECT_EQ(ctl.placed_owners(), (std::vector<std::uint32_t>{1, 4}));
+}
+
+TEST(AdaptivePlacement, RetiresAfterConsecutiveColdEpochsRoundTrip) {
+  AdaptiveConfig config;
+  config.hot_score = 4.0;
+  config.retire_after = 2;
+  AdaptiveController ctl(config);
+  ASSERT_EQ(ctl.plan_placements({gauge(5, 10)}).place.size(), 1u);
+  // One cold epoch is not enough; a hot epoch resets the streak.
+  EXPECT_TRUE(ctl.plan_placements({gauge(5, 0)}).retire.empty());
+  EXPECT_TRUE(ctl.plan_placements({gauge(5, 10)}).retire.empty());
+  EXPECT_TRUE(ctl.plan_placements({gauge(5, 0)}).retire.empty());
+  const PlacementPlan plan = ctl.plan_placements({gauge(5, 0)});
+  ASSERT_EQ(plan.retire.size(), 1u);
+  EXPECT_EQ(plan.retire[0], 5u);
+  EXPECT_TRUE(ctl.placed_owners().empty());
+  EXPECT_EQ(ctl.stats().replicas_placed, 1u);
+  EXPECT_EQ(ctl.stats().replicas_retired, 1u);
+}
+
+TEST(AdaptivePlacement, DeadOwnersMissingFromTheGaugesAreRetired) {
+  AdaptiveConfig config;
+  config.hot_score = 4.0;
+  AdaptiveController ctl(config);
+  ASSERT_EQ(ctl.plan_placements({gauge(2, 10), gauge(3, 10)}).place.size(),
+            2u);
+  // Node 3 died: it no longer appears in the live-candidate gauges.
+  const PlacementPlan plan = ctl.plan_placements({gauge(2, 10)});
+  ASSERT_EQ(plan.retire.size(), 1u);
+  EXPECT_EQ(plan.retire[0], 3u);
+  EXPECT_EQ(ctl.placed_owners(), (std::vector<std::uint32_t>{2}));
+}
+
+TEST(AdaptivePlacement, FreedBudgetIsReusedForNewHotspots) {
+  AdaptiveConfig config;
+  config.hot_score = 4.0;
+  config.max_replicas = 1;
+  AdaptiveController ctl(config);
+  ASSERT_EQ(ctl.plan_placements({gauge(1, 10), gauge(2, 10)}).place.size(),
+            1u);
+  // The budget is full, so the second hotspot waits until the first
+  // owner dies — then the freed slot goes to it in the same step.
+  EXPECT_TRUE(ctl.plan_placements({gauge(1, 10), gauge(2, 10)})
+                  .place.empty());
+  const PlacementPlan plan = ctl.plan_placements({gauge(2, 10)});
+  EXPECT_EQ(plan.retire.size(), 1u);
+  EXPECT_EQ(plan.place.size(), 1u);
+  EXPECT_EQ(plan.place[0], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// RED threshold misconfiguration clamp
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveRedClamp, MisconfiguredFractionsDisableTheRampSafely) {
+  OverloadConfig config;
+  config.queue_capacity = 12;
+  const std::size_t limit = config.admit_limit(Priority::kQuery);
+  // In range: the onset lands strictly below the query limit.
+  config.red_fraction = 0.25;
+  EXPECT_EQ(config.red_threshold(), 3u);
+  EXPECT_LT(config.red_threshold(), limit);
+  // The established disable idiom and everything at/above it clamp to
+  // the limit (onset == limit turns the ramp off).
+  config.red_fraction = 1.0;
+  EXPECT_EQ(config.red_threshold(), limit);
+  config.red_fraction = 7.5;
+  EXPECT_EQ(config.red_threshold(), limit);
+  // Negative and NaN would be UB if the raw product were cast straight
+  // to unsigned; both must disable the ramp instead of wrapping.
+  config.red_fraction = -0.5;
+  EXPECT_EQ(config.red_threshold(), limit);
+  config.red_fraction = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(config.red_threshold(), limit);
+}
+
+TEST(AdaptiveRedClamp, DegenerateCapacitiesKeepTheThresholdBounded) {
+  OverloadConfig config;
+  for (const std::size_t capacity : {std::size_t{0}, std::size_t{1}}) {
+    config.queue_capacity = capacity;
+    for (const double fraction : {-1.0, 0.0, 0.15, 1.0, 100.0}) {
+      config.red_fraction = fraction;
+      EXPECT_LE(config.red_threshold(),
+                config.admit_limit(Priority::kQuery))
+          << "capacity " << capacity << " fraction " << fraction;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Labeled gauge export
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveMetrics, ExportPublishesLabeledControllerState) {
+  AdaptiveConfig config;
+  config.hot_score = 4.0;
+  AdaptiveController ctl(config);
+  ASSERT_TRUE(ctl.on_link_loss(3, 8));
+  ctl.tune({degraded_signal(5)}, tuner_base());
+  ctl.plan_placements({gauge(7, 10)});
+
+  obs::MetricsRegistry registry;
+  ctl.export_metrics(registry, 8);
+  bool saw_window = false, saw_admit = false, saw_replicas = false;
+  for (const obs::MetricSnapshot& metric : registry.snapshot()) {
+    if (metric.name == "mot_adapt_credit_window") {
+      saw_window = true;
+      ASSERT_EQ(metric.labels.size(), 1u);
+      EXPECT_EQ(metric.labels[0].first, "link");
+      EXPECT_EQ(metric.labels[0].second, "3");
+      EXPECT_DOUBLE_EQ(metric.gauge_value, 4.0);
+    } else if (metric.name == "mot_adapt_admit_fraction") {
+      saw_admit = true;
+      ASSERT_EQ(metric.labels.size(), 1u);
+      EXPECT_EQ(metric.labels[0].first, "node");
+      EXPECT_EQ(metric.labels[0].second, "5");
+    } else if (metric.name == "mot_adapt_replica_count") {
+      saw_replicas = true;
+      EXPECT_DOUBLE_EQ(metric.gauge_value, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_window);
+  EXPECT_TRUE(saw_admit);
+  EXPECT_TRUE(saw_replicas);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol integration
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  explicit Fixture(std::size_t side = 8)
+      : graph(make_grid(side, side)), oracle(make_distance_oracle(graph)) {
+    DoublingHierarchy::Params hp;
+    hp.seed = 7;
+    hierarchy = DoublingHierarchy::build(graph, *oracle, hp);
+    MotOptions options;
+    options.use_parent_sets = false;
+    provider = std::make_unique<MotPathProvider>(*hierarchy, options);
+    chain_options = make_mot_chain_options(options);
+  }
+
+  Graph graph;
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<DoublingHierarchy> hierarchy;
+  std::unique_ptr<MotPathProvider> provider;
+  ChainOptions chain_options;
+};
+
+// One adaptive run: publish objects, then `epochs` rounds of a seeded
+// query flood against object 0 with an adaptive_step() at each drained
+// quiescence point. Mirrors test_overload's run_flood, plus the
+// controller.
+struct AdaptiveOutcome {
+  proto::ProtocolStats stats;
+  adapt::ControllerStats controller;
+  std::vector<std::uint64_t> results;  // proxy per query, issue order
+  std::vector<std::string> violations;
+};
+
+AdaptiveOutcome run_adaptive(const Fixture& fx, const OverloadConfig& config,
+                             const AdaptiveConfig& acfg, int epochs,
+                             int flood, std::uint64_t seed,
+                             const faults::FaultPlan& plan = {}) {
+  AdaptiveOutcome out;
+  Simulator sim;
+  faults::UnreliableChannel channel(plan,
+                                    SeedTree(seed).seed_for("channel"));
+  AdaptiveController tuner(acfg);
+  DistributedMot dist(*fx.provider, sim, fx.chain_options);
+  dist.use_channel(&channel);
+  dist.replicate_placed();
+  ServiceModel service(sim, fx.graph.num_nodes(), config);
+  dist.use_overload(&service);
+  dist.use_adaptive(&tuner);
+
+  Rng rng = SeedTree(seed).stream("flood");
+  const std::size_t n = fx.graph.num_nodes();
+  for (ObjectId o = 0; o < 4; ++o) dist.publish(o, rng.below(n));
+  sim.run();
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (int i = 0; i < flood; ++i) {
+      dist.query(rng.below(n), /*object=*/0,
+                 [&out](const QueryResult& r) {
+                   out.results.push_back(r.proxy);
+                 });
+    }
+    sim.run();
+    dist.adaptive_step();
+  }
+  out.stats = dist.stats();
+  out.controller = tuner.stats();
+  out.violations = dist.invariant_violations();
+  for (std::string& line : tuner.violations(service.config())) {
+    out.violations.push_back("controller: " + std::move(line));
+  }
+  if (!service.conserved()) {
+    out.violations.push_back("service ledger unbalanced");
+  }
+  return out;
+}
+
+OverloadConfig proto_config() {
+  OverloadConfig config;
+  config.service_rate = 0.5;
+  config.queue_capacity = 8;
+  config.degrade_fraction = 0.25;
+  config.seed = 5;
+  return config;
+}
+
+TEST(AdaptiveProto, AdaptiveRunsAreBitIdenticalAcrossReruns) {
+  Fixture fx;
+  faults::FaultPlan plan;
+  faults::LinkFaults link;
+  link.drop = 0.10;
+  link.duplicate = 0.05;
+  plan.set_default_faults(link);
+  const AdaptiveOutcome a =
+      run_adaptive(fx, proto_config(), AdaptiveConfig{}, 3, 20, 9, plan);
+  const AdaptiveOutcome b =
+      run_adaptive(fx, proto_config(), AdaptiveConfig{}, 3, 20, 9, plan);
+  EXPECT_GT(a.controller.tuner_steps + a.controller.window_shrinks +
+                a.controller.replicas_placed,
+            0u);  // the controller actually acted
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_TRUE(a.controller == b.controller);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_TRUE(a.violations.empty()) << a.violations.front();
+}
+
+TEST(AdaptiveProto, AdaptiveRunsAreIdenticalAcrossWorkerCounts) {
+  // The bench sweep contract: adaptive cells are self-contained, so a
+  // slot-writing pool fills identical results for any worker count.
+  Fixture fx;
+  constexpr std::size_t kCells = 4;
+  auto run_pool = [&fx](std::size_t workers) {
+    par::ThreadPool pool(workers);
+    std::vector<AdaptiveOutcome> out(kCells);
+    pool.for_each(kCells, [&](std::size_t i) {
+      out[i] = run_adaptive(fx, proto_config(), AdaptiveConfig{}, 2, 16,
+                            100 + static_cast<std::uint64_t>(i));
+    });
+    return out;
+  };
+  const std::vector<AdaptiveOutcome> serial = run_pool(1);
+  const std::vector<AdaptiveOutcome> pooled = run_pool(4);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].stats, pooled[i].stats) << "cell " << i;
+    EXPECT_TRUE(serial[i].controller == pooled[i].controller)
+        << "cell " << i;
+    EXPECT_EQ(serial[i].results, pooled[i].results) << "cell " << i;
+    EXPECT_TRUE(serial[i].violations.empty());
+  }
+}
+
+TEST(AdaptiveProto, BreakerRecoversUnderAShrinkingWindow) {
+  // Heavy loss trips breakers, and with the controller attached each
+  // trip also shrinks the AIMD cap. The half-open probe must still get
+  // through the tightened window, close the breaker, and let clean-ack
+  // epochs raise the cap again — shrinking credit must never starve
+  // the probe that ends the outage.
+  Fixture fx;
+  OverloadConfig config;
+  config.service_rate = 8.0;
+  config.queue_capacity = 64;
+  config.breaker_threshold = 2;
+  config.breaker_cooldown = 8.0;
+  config.seed = 5;
+  faults::LinkFaults link;
+  link.drop = 0.45;
+  faults::FaultPlan lossy_plan;
+  lossy_plan.set_default_faults(link);
+  AdaptiveConfig acfg;
+  acfg.epoch_acks = 2;  // 45% drop: epochs must be short enough to complete
+  const AdaptiveOutcome out =
+      run_adaptive(fx, config, acfg, 3, 12, 3, lossy_plan);
+  EXPECT_GT(out.stats.breaker_trips, 0u);
+  EXPECT_GT(out.stats.window_decreases, 0u);
+  EXPECT_GT(out.stats.breaker_probes, 0u);
+  EXPECT_GT(out.stats.breaker_closes, 0u);
+  EXPECT_GT(out.stats.window_increases, 0u);
+  EXPECT_TRUE(out.violations.empty()) << out.violations.front();
+}
+
+TEST(AdaptiveProto, FullyDisabledControllerLeavesTheRunByteIdentical) {
+  // `use_adaptive` with every sub-controller off must not perturb a
+  // single draw: the data path consults the controller but the answers
+  // are the static configuration's.
+  Fixture fx;
+  AdaptiveConfig off;
+  off.aimd = false;
+  off.tune_admission = false;
+  off.place_replicas = false;
+
+  auto run_static = [&fx](bool attach_disabled_controller) {
+    AdaptiveOutcome out;
+    Simulator sim;
+    const faults::FaultPlan clean_plan;  // the channel keeps a reference
+    faults::UnreliableChannel channel(clean_plan,
+                                      SeedTree(9).seed_for("channel"));
+    AdaptiveConfig off_config;
+    off_config.aimd = false;
+    off_config.tune_admission = false;
+    off_config.place_replicas = false;
+    AdaptiveController tuner(off_config);
+    DistributedMot dist(*fx.provider, sim, fx.chain_options);
+    dist.use_channel(&channel);
+    dist.replicate_detection_lists(true);
+    ServiceModel service(sim, fx.graph.num_nodes(),
+                         OverloadConfig{});
+    dist.use_overload(&service);
+    if (attach_disabled_controller) dist.use_adaptive(&tuner);
+    Rng rng = SeedTree(9).stream("flood");
+    const std::size_t n = fx.graph.num_nodes();
+    for (ObjectId o = 0; o < 4; ++o) dist.publish(o, rng.below(n));
+    sim.run();
+    for (int i = 0; i < 30; ++i) {
+      dist.query(rng.below(n), 0, [&out](const QueryResult& r) {
+        out.results.push_back(r.proxy);
+      });
+    }
+    sim.run();
+    if (attach_disabled_controller) dist.adaptive_step();
+    out.stats = dist.stats();
+    out.violations = dist.invariant_violations();
+    return out;
+  };
+
+  const AdaptiveOutcome with = run_static(true);
+  const AdaptiveOutcome without = run_static(false);
+  EXPECT_EQ(with.stats, without.stats);
+  EXPECT_EQ(with.results, without.results);
+  EXPECT_TRUE(with.violations.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Correlated chaos
+// ---------------------------------------------------------------------------
+
+bool same_event(const chaos::FaultEvent& a, const chaos::FaultEvent& b) {
+  return a.kind == b.kind && a.round == b.round && a.victim == b.victim &&
+         a.pivot == b.pivot && a.duration == b.duration &&
+         a.delay == b.delay;
+}
+
+TEST(AdaptiveChaos, CorrelatedEventsExtendSchedulesWithoutPerturbingLegacy) {
+  chaos::ScheduleParams sp;
+  sp.rounds = 6;
+  sp.num_events = 5;
+  sp.num_nodes = 64;
+  const chaos::ChaosSchedule legacy = chaos::generate_schedule(17, sp);
+
+  sp.correlated_events = 2;
+  const chaos::ChaosSchedule correlated = chaos::generate_schedule(17, sp);
+  ASSERT_EQ(correlated.events.size(), legacy.events.size() + 6);
+  // The legacy schedule survives as an ordered subsequence: correlated
+  // groups draw from their own substream and merge by stable sort.
+  std::size_t matched = 0;
+  for (const chaos::FaultEvent& event : correlated.events) {
+    if (matched < legacy.events.size() &&
+        same_event(event, legacy.events[matched])) {
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, legacy.events.size());
+  // Each group lands a burst + crash + partition on one shared round —
+  // the compound stress the control plane exists for.
+  int bursts = 0, crashes = 0, partitions = 0;
+  for (const chaos::FaultEvent& event : correlated.events) {
+    if (event.kind == chaos::FaultKind::kBurst) ++bursts;
+    if (event.kind == chaos::FaultKind::kCrash) ++crashes;
+    if (event.kind == chaos::FaultKind::kPartition) ++partitions;
+  }
+  EXPECT_GE(bursts, 2);
+  EXPECT_GE(partitions, 2);
+  EXPECT_GE(crashes, 2);
+}
+
+chaos::RunnerParams adaptive_chaos_params() {
+  chaos::RunnerParams params;
+  params.rounds = 4;
+  params.overload = true;
+  params.overload_config.service_rate = 0.5;
+  params.overload_config.queue_capacity = 8;
+  params.overload_config.degrade_fraction = 0.25;
+  params.adaptive = true;
+  params.correlated_events = 1;
+  params.burst_multiplier = 6.0;
+  return params;
+}
+
+TEST(AdaptiveChaos, CorrelatedAdaptiveRunsStayGreenAndAreDeterministic) {
+  const chaos::RunnerParams params = adaptive_chaos_params();
+  chaos::ChaosRunner runner(params);
+
+  chaos::ScheduleParams sp;
+  sp.rounds = params.rounds;
+  sp.num_nodes = runner.net().num_nodes();
+  sp.correlated_events = params.correlated_events;
+  const chaos::ChaosSchedule schedule = chaos::generate_schedule(3, sp);
+
+  const chaos::RunReport a = runner.run(schedule);
+  EXPECT_TRUE(a.ok()) << a.violations.front();
+  const chaos::RunReport b = runner.run(schedule);
+  EXPECT_EQ(a.proto_stats, b.proto_stats);
+  EXPECT_EQ(a.service_stats, b.service_stats);
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+}
+
+TEST(AdaptiveChaos, ExplorerStaysGreenOverASeedRange) {
+  chaos::ChaosRunner runner(adaptive_chaos_params());
+  const chaos::ExplorerOutcome outcome = runner.explore(0, 5);
+  EXPECT_FALSE(outcome.violation_found)
+      << "seed " << outcome.seed << ": "
+      << (outcome.report.violations.empty()
+              ? ""
+              : outcome.report.violations.front());
+  EXPECT_EQ(outcome.seeds_run, 6u);
+}
+
+TEST(AdaptiveChaos, InjectedBugUnderCorrelatedScheduleShrinks) {
+  chaos::RunnerParams params = adaptive_chaos_params();
+  params.events_per_schedule = 12;
+  params.inject_recovery_bug = true;
+  chaos::ChaosRunner runner(params);
+  const chaos::ExplorerOutcome outcome = runner.explore(0, 19);
+  ASSERT_TRUE(outcome.violation_found);
+  ASSERT_FALSE(outcome.shrunk.events.empty());
+  EXPECT_LT(outcome.shrunk.events.size(), outcome.schedule.events.size());
+  EXPECT_FALSE(outcome.report.ok());  // the shrunk repro replays
+  const chaos::RunReport again = runner.run(outcome.shrunk);
+  EXPECT_EQ(again.violations, outcome.report.violations);
+  EXPECT_EQ(again.violation_round, outcome.report.violation_round);
+}
+
+}  // namespace
+}  // namespace mot
